@@ -1,0 +1,170 @@
+//! Ablations of DLVP's design choices — the knobs the paper motivates but
+//! (mostly) does not plot:
+//!
+//! * APT allocation **Policy-1 vs Policy-2** (§3.1.1: "Policy-2 is superior");
+//! * **LSCD** on/off (§3.2.2) and size;
+//! * **PAQ deadline** N (§3.2.2: N = 4 in the Cortex-A72-style pipe);
+//! * **load-path history width** (Table 4: 16 bits);
+//! * **confidence vector** — trading accuracy for coverage under flush vs
+//!   oracle-replay recovery (§5.2.4's proposed future work: "identify the
+//!   sweet spot").
+
+use dlvp::{AllocPolicy, Dlvp, DlvpConfig, Pap, PapConfig};
+use lvp_bench::{budget_from_args, report};
+use lvp_uarch::{simulate, Core, CoreConfig, NoVp, RecoveryMode, SimStats};
+
+fn geo_speedup(results: &[(SimStats, SimStats)]) -> f64 {
+    report::geomean(&results.iter().map(|(s, b)| s.speedup_over(b)).collect::<Vec<_>>())
+}
+
+fn run_all(
+    traces: &[(String, lvp_trace::Trace)],
+    bases: &[SimStats],
+    mk: impl Fn() -> Dlvp<Pap>,
+    recovery: RecoveryMode,
+) -> (f64, f64, f64) {
+    let cfg = CoreConfig { recovery, ..CoreConfig::default() };
+    let mut pairs = Vec::new();
+    let (mut cov, mut pred, mut corr) = (0.0, 0u64, 0u64);
+    for ((_, t), b) in traces.iter().zip(bases) {
+        let s = Core::new(cfg.clone(), mk()).run(t);
+        cov += s.coverage();
+        pred += s.vp_predicted;
+        corr += s.vp_correct;
+        pairs.push((s, b.clone()));
+    }
+    let acc = if pred == 0 { 0.0 } else { corr as f64 / pred as f64 };
+    (geo_speedup(&pairs), cov / traces.len() as f64, acc)
+}
+
+fn main() {
+    let budget = budget_from_args();
+    report::header("ablation_dlvp", "DLVP design-choice ablations", budget);
+    let traces: Vec<_> =
+        lvp_workloads::all().iter().map(|w| (w.name.to_string(), w.trace(budget))).collect();
+    let bases: Vec<_> = traces.iter().map(|(_, t)| simulate(t, NoVp)).collect();
+
+    println!("{:<44} {:>9} {:>9} {:>9}", "configuration", "speedup", "coverage", "accuracy");
+    let show = |name: &str, r: (f64, f64, f64)| {
+        println!(
+            "{:<44} {:>9} {:>9} {:>9}",
+            name,
+            report::speedup_pct(r.0),
+            report::pct(r.1),
+            report::pct(r.2)
+        );
+    };
+
+    // --- allocation policy (paper §3.1.1) -----------------------------
+    show(
+        "Policy-2 (paper default)",
+        run_all(&traces, &bases, dlvp::dlvp_default, RecoveryMode::Flush),
+    );
+    show(
+        "Policy-1 (always replace)",
+        run_all(
+            &traces,
+            &bases,
+            || {
+                Dlvp::new(
+                    DlvpConfig::default(),
+                    Pap::new(PapConfig { alloc_policy: AllocPolicy::Always, ..PapConfig::default() }),
+                )
+            },
+            RecoveryMode::Flush,
+        ),
+    );
+
+    // --- LSCD (paper §3.2.2) -------------------------------------------
+    show(
+        "LSCD disabled",
+        run_all(
+            &traces,
+            &bases,
+            || Dlvp::new(DlvpConfig { use_lscd: false, ..DlvpConfig::default() }, Pap::paper_default()),
+            RecoveryMode::Flush,
+        ),
+    );
+
+    // --- way prediction --------------------------------------------------
+    show(
+        "way prediction disabled (full-set probes)",
+        run_all(
+            &traces,
+            &bases,
+            || {
+                Dlvp::new(
+                    DlvpConfig { way_prediction: false, ..DlvpConfig::default() },
+                    Pap::paper_default(),
+                )
+            },
+            RecoveryMode::Flush,
+        ),
+    );
+
+    // --- PAQ deadline -----------------------------------------------------
+    for n in [2u64, 4, 8] {
+        show(
+            &format!("PAQ deadline N = {n}"),
+            run_all(
+                &traces,
+                &bases,
+                move || {
+                    Dlvp::new(DlvpConfig { paq_window: n, ..DlvpConfig::default() }, Pap::paper_default())
+                },
+                RecoveryMode::Flush,
+            ),
+        );
+    }
+
+    // --- load-path history width ------------------------------------------
+    for bits in [4u32, 8, 16, 32] {
+        show(
+            &format!("load-path history = {bits} bits"),
+            run_all(
+                &traces,
+                &bases,
+                move || {
+                    Dlvp::new(
+                        DlvpConfig::default(),
+                        Pap::new(PapConfig { history_bits: bits, ..PapConfig::default() }),
+                    )
+                },
+                RecoveryMode::Flush,
+            ),
+        );
+    }
+
+    // --- confidence vs coverage under flush and replay (§5.2.4) -----------
+    println!("\n-- confidence sweep: trading accuracy for coverage ---------------");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>12}",
+        "FPC vector (~observations)", "flush", "coverage", "accuracy", "oracle-replay"
+    );
+    for (name, denoms) in [
+        ("{1} (~1)", [1u32, 0, 0]),
+        ("{1,1/2} (~3)", [1, 2, 0]),
+        ("{1,1/2,1/4} (~8, paper)", [1, 2, 4]),
+        ("{1,1/4,1/8} (~13)", [1, 4, 8]),
+    ] {
+        let mk = move || {
+            Dlvp::new(
+                DlvpConfig::default(),
+                Pap::new(PapConfig { fpc_denoms: denoms, ..PapConfig::default() }),
+            )
+        };
+        let flush = run_all(&traces, &bases, mk, RecoveryMode::Flush);
+        let replay = run_all(&traces, &bases, mk, RecoveryMode::OracleReplay);
+        println!(
+            "{:<28} {:>9} {:>9} {:>9} {:>12}",
+            name,
+            report::speedup_pct(flush.0),
+            report::pct(flush.1),
+            report::pct(flush.2),
+            report::speedup_pct(replay.0)
+        );
+    }
+    println!("\n(lower confidence ⇒ more coverage, worse accuracy: costly under");
+    println!(" flush recovery, nearly free under oracle replay — the sweet-spot");
+    println!(" exercise the paper leaves as future work)");
+}

@@ -1,0 +1,56 @@
+//! Extension study: D-VTAGE (Perais & Seznec HPCA'15, the paper's reference 29)
+//! against VTAGE and DLVP. The paper discusses D-VTAGE qualitatively in
+//! §2.1 — stride tables behind a last-value table, at the cost of an adder
+//! on the prediction path and a speculative last-value window — but does
+//! not evaluate it; this harness fills that gap on our suite.
+
+use lvp_bench::{budget_from_args, report};
+use lvp_uarch::{simulate, NoVp};
+
+fn main() {
+    let budget = budget_from_args();
+    report::header("ext_dvtage", "extension: D-VTAGE vs VTAGE vs DLVP", budget);
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "workload", "VTAGE", "D-VTAGE", "DLVP", "covV", "covDV", "covD"
+    );
+    let mut sp = [Vec::new(), Vec::new(), Vec::new()];
+    let mut cov = [0.0f64; 3];
+    let mut n = 0.0;
+    for w in lvp_workloads::all() {
+        let t = w.trace(budget);
+        let base = simulate(&t, NoVp);
+        let v = simulate(&t, dlvp::Vtage::paper_default());
+        let dv = simulate(&t, dlvp::Dvtage::paper_default());
+        let d = simulate(&t, dlvp::dlvp_default());
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+            w.name,
+            report::speedup_pct(v.speedup_over(&base)),
+            report::speedup_pct(dv.speedup_over(&base)),
+            report::speedup_pct(d.speedup_over(&base)),
+            report::pct(v.coverage()),
+            report::pct(dv.coverage()),
+            report::pct(d.coverage()),
+        );
+        for (i, s) in [&v, &dv, &d].iter().enumerate() {
+            sp[i].push(s.speedup_over(&base));
+            cov[i] += s.coverage();
+        }
+        n += 1.0;
+    }
+    println!("----------------------------------------------------------------");
+    println!(
+        "GEOMEAN        {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        report::speedup_pct(report::geomean(&sp[0])),
+        report::speedup_pct(report::geomean(&sp[1])),
+        report::speedup_pct(report::geomean(&sp[2])),
+        report::pct(cov[0] / n),
+        report::pct(cov[1] / n),
+        report::pct(cov[2] / n),
+    );
+    println!("\nD-VTAGE adds stride capture (covers pointer-walk values VTAGE");
+    println!("misses) but stays exposed to the conflicting-store problem that");
+    println!("motivates DLVP, and needs the speculative last-value window the");
+    println!("paper cautions about (§2.1).");
+}

@@ -1,0 +1,56 @@
+//! Figure 1: fraction of dynamic loads that consume a value produced by a
+//! store since the prior dynamic instance of that load, split by whether
+//! the conflicting store would still be in flight at fetch.
+
+use lvp_bench::{budget_from_args, report};
+use lvp_trace::ConflictProfile;
+
+/// Instructions a store stays "in flight" after fetch in a smoothly running
+/// Table 4 core (fetch-to-commit depth × fetch width), used as the
+/// committed/in-flight split point.
+const INFLIGHT_WINDOW: u64 = 96;
+
+fn main() {
+    let budget = budget_from_args();
+    report::header("fig01_conflicts", "loads conflicting with stores (Figure 1)", budget);
+    println!("{:<14} {:>10} {:>12} {:>12} {:>10}", "workload", "loads", "committed", "in-flight", "total");
+    let mut total = ConflictProfile::default();
+    let (mut cf, mut inf) = (Vec::new(), Vec::new());
+    for w in lvp_workloads::all() {
+        let t = w.trace(budget);
+        let p = ConflictProfile::profile(&t, INFLIGHT_WINDOW);
+        cf.push(p.committed_fraction());
+        inf.push(p.inflight_fraction());
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>10}",
+            w.name,
+            p.loads,
+            report::pct(p.committed_fraction()),
+            report::pct(p.inflight_fraction()),
+            report::pct(p.total_fraction()),
+        );
+        total.loads += p.loads;
+        total.committed_conflicts += p.committed_conflicts;
+        total.inflight_conflicts += p.inflight_conflicts;
+    }
+    println!("----------------------------------------------------------------");
+    println!(
+        "AVERAGE       {:>10} {:>12} {:>12} {:>10}",
+        total.loads,
+        report::pct(total.committed_fraction()),
+        report::pct(total.inflight_fraction()),
+        report::pct(total.total_fraction()),
+    );
+    let mc = report::mean(&cf);
+    let mi = report::mean(&inf);
+    println!(
+        "\nper-workload mean: committed {} in-flight {}",
+        report::pct(mc),
+        report::pct(mi)
+    );
+    println!(
+        "committed share of all conflicts: {} (pooled {})  — paper: ~67%,\nthe share address prediction eliminates",
+        report::pct(mc / (mc + mi).max(1e-12)),
+        report::pct(total.committed_share())
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 2: breakdown of dynamic loads by how often their address or value
+//! repeats — the motivation for address prediction's relaxed confidence.
+
+use lvp_bench::{budget_from_args, report};
+use lvp_trace::{repeat::THRESHOLDS, RepeatProfile};
+
+fn main() {
+    let budget = budget_from_args();
+    report::header("fig02_repeatability", "address vs value repeatability (Figure 2)", budget);
+    let mut avg = RepeatProfile::default();
+    for w in lvp_workloads::all() {
+        let t = w.trace(budget);
+        avg.merge(&RepeatProfile::profile(&t));
+    }
+    println!("{:<10} {:>12} {:>12}", "repeats>=", "addresses", "values");
+    for (i, t) in THRESHOLDS.iter().enumerate() {
+        println!(
+            "{:<10} {:>12} {:>12}   {}",
+            t,
+            report::pct(avg.addr_fraction(i)),
+            report::pct(avg.value_fraction(i)),
+            report::bar(avg.addr_fraction(i), 1.0, 30),
+        );
+    }
+    let i8 = RepeatProfile::threshold_index(8).unwrap();
+    let i64 = RepeatProfile::threshold_index(64).unwrap();
+    println!(
+        "\nloads with addresses repeating >=8 times:  {}  (paper: 91%)",
+        report::pct(avg.addr_fraction(i8))
+    );
+    println!(
+        "loads with values    repeating >=64 times: {}  (paper: 80%)",
+        report::pct(avg.value_fraction(i64))
+    );
+    println!("(the gap is the coverage headroom PAP's confidence-8 buys, paper §1)");
+}

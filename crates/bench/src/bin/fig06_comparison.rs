@@ -1,0 +1,93 @@
+//! Figure 6: the headline comparison of CAP, VTAGE and DLVP — (a) speedup,
+//! (b) coverage, (c) normalized core energy, (d) predictor area/energy.
+
+use dlvp::{AddressPredictor, AptLayout, Cap, CapConfig, PapConfig, Vtage};
+use lvp_bench::{budget_from_args, report, ComparisonRow};
+use lvp_energy::SramMacro;
+
+fn main() {
+    let budget = budget_from_args();
+    report::header("fig06_comparison", "CAP vs VTAGE vs DLVP (Figure 6)", budget);
+    let mut rows = Vec::new();
+    for w in lvp_workloads::all() {
+        rows.push(ComparisonRow::standard(&w, budget));
+    }
+
+    println!("-- (a) speedup over the no-VP baseline --------------------------");
+    println!("{:<14} {:>9} {:>9} {:>9}", "workload", "CAP", "VTAGE", "DLVP");
+    let mut sp = [Vec::new(), Vec::new(), Vec::new()];
+    for r in &rows {
+        println!(
+            "{:<14} {:>9} {:>9} {:>9}",
+            r.workload,
+            report::speedup_pct(r.speedup(0)),
+            report::speedup_pct(r.speedup(1)),
+            report::speedup_pct(r.speedup(2))
+        );
+        for i in 0..3 {
+            sp[i].push(r.speedup(i));
+        }
+    }
+    println!(
+        "AVERAGE        {:>9} {:>9} {:>9}   (paper: +2.3% / +2.1% / +4.8%)",
+        report::speedup_pct(report::geomean(&sp[0])),
+        report::speedup_pct(report::geomean(&sp[1])),
+        report::speedup_pct(report::geomean(&sp[2]))
+    );
+
+    println!("\n-- (b) coverage of dynamic loads --------------------------------");
+    println!("{:<14} {:>9} {:>9} {:>9}", "workload", "CAP", "VTAGE", "DLVP");
+    let mut cov = [0.0f64; 3];
+    for r in &rows {
+        println!(
+            "{:<14} {:>9} {:>9} {:>9}",
+            r.workload,
+            report::pct(r.schemes[0].coverage),
+            report::pct(r.schemes[1].coverage),
+            report::pct(r.schemes[2].coverage)
+        );
+        for i in 0..3 {
+            cov[i] += r.schemes[i].coverage;
+        }
+    }
+    let n = rows.len() as f64;
+    println!(
+        "AVERAGE        {:>9} {:>9} {:>9}   (paper: 23.8% / 29.6% / 31.1%)",
+        report::pct(cov[0] / n),
+        report::pct(cov[1] / n),
+        report::pct(cov[2] / n)
+    );
+
+    println!("\n-- (c) core energy normalized to baseline ------------------------");
+    let mut en = [Vec::new(), Vec::new(), Vec::new()];
+    for r in &rows {
+        let base_e = r.baseline.energy();
+        for i in 0..3 {
+            en[i].push(r.schemes[i].energy() / base_e);
+        }
+    }
+    for (i, name) in ["CAP", "VTAGE", "DLVP"].iter().enumerate() {
+        println!("{:<14} {:.4}x", name, report::mean(&en[i]));
+    }
+    println!("(paper: DLVP's average core energy is on par with VTAGE's —");
+    println!(" the speedup offsets the double cache access)");
+
+    println!("\n-- (d) predictor area / access energy normalized to PAP ----------");
+    let pap = AptLayout::of(PapConfig::default(), 4);
+    let pap_m = SramMacro::new(pap.total_budget_bits(), 1, 1);
+    let cap = Cap::new(CapConfig::default());
+    let cap_m = SramMacro::new(cap.storage_bits(), 1, 1);
+    let vt = Vtage::paper_default();
+    let vt_m = SramMacro::new(vt.storage_bits(), 1, 1);
+    println!("{:<14} {:>8} {:>12} {:>12}", "predictor", "area", "read-energy", "write-energy");
+    for (name, m) in [("PAP", &pap_m), ("CAP", &cap_m), ("VTAGE", &vt_m)] {
+        println!(
+            "{:<14} {:>8.2} {:>12.2} {:>12.2}",
+            name,
+            m.area() / pap_m.area(),
+            m.read_energy() / pap_m.read_energy(),
+            m.write_energy() / pap_m.write_energy()
+        );
+    }
+    println!("(budgets: PAP 67k bits < CAP 95k bits; VTAGE 62.3k bits — Table 4)");
+}

@@ -1,0 +1,46 @@
+//! Quick per-workload overview of all schemes (a compact Figure 6a/6b).
+
+use lvp_bench::{budget_from_args, report, ComparisonRow};
+
+fn main() {
+    let budget = budget_from_args();
+    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
+    let mut rows_out: Vec<ComparisonRow> = Vec::new();
+    report::header("sweep", "per-workload scheme overview", budget);
+    println!(
+        "{:<14} {:>8} | {:>8} {:>8} {:>8} | {:>6} {:>6} | {:>6} {:>6}",
+        "workload", "baseIPC", "CAP", "VTAGE", "DLVP", "covV", "accV", "covD", "accD"
+    );
+    let mut sp = [Vec::new(), Vec::new(), Vec::new()];
+    for w in lvp_workloads::all() {
+        let r = ComparisonRow::standard(&w, budget);
+        println!(
+            "{:<14} {:>8.3} | {:>8} {:>8} {:>8} | {:>6.3} {:>6.3} | {:>6.3} {:>6.3}",
+            r.workload,
+            r.baseline.stats.ipc(),
+            report::speedup_pct(r.speedup(0)),
+            report::speedup_pct(r.speedup(1)),
+            report::speedup_pct(r.speedup(2)),
+            r.schemes[1].coverage,
+            r.schemes[1].accuracy,
+            r.schemes[2].coverage,
+            r.schemes[2].accuracy,
+        );
+        for i in 0..3 {
+            sp[i].push(r.speedup(i));
+        }
+        rows_out.push(r);
+    }
+    println!("----------------------------------------------------------------");
+    println!(
+        "GEOMEAN: CAP {} | VTAGE {} | DLVP {}",
+        report::speedup_pct(report::geomean(&sp[0])),
+        report::speedup_pct(report::geomean(&sp[1])),
+        report::speedup_pct(report::geomean(&sp[2]))
+    );
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows_out).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

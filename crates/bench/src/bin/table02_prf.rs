@@ -1,0 +1,23 @@
+//! Table 2: area and energy of the three predicted-value communication
+//! designs, normalized to design #1 (PRF write-port arbitration).
+
+use lvp_energy::PrfComparison;
+
+fn main() {
+    println!("Table 2: predicted-value communication designs");
+    println!("(normalized to design #1; 30% of operand traffic predicted)");
+    println!("=============================================================");
+    println!("{:<30} {:>8} {:>12} {:>13}", "design", "area", "read-energy", "write-energy");
+    for row in PrfComparison::default().rows() {
+        println!(
+            "{:<30} {:>8.2} {:>12.2} {:>13.2}",
+            row.name, row.area, row.read_energy, row.write_energy
+        );
+    }
+    println!("\npaper's numbers:            area  read  write");
+    println!("  PVT (2rd/2wr)             0.06  0.10  0.07");
+    println!("  Design #1 (8rd/8wr PRF)   1.00  1.00  1.00");
+    println!("  Design #2 (8rd/10wr PRF)  1.16  1.10  1.51");
+    println!("  Design #3 (#1 + PVT)      1.06  0.80  1.07");
+    println!("\nThe paper adopts design #3 (we model the same choice).");
+}

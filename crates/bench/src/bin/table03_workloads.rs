@@ -1,0 +1,27 @@
+//! Table 3: the benchmark suite (synthetic stand-ins for the paper's
+//! SPEC2K/SPEC2K6/EEMBC/JS pool) with dynamic-mix statistics.
+
+use lvp_bench::budget_from_args;
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Table 3: workload suite ({} dynamic instructions each)", budget);
+    println!("=====================================================================");
+    println!(
+        "{:<14} {:<8} {:>7} {:>7} {:>7}  {}",
+        "workload", "suite", "load%", "store%", "branch%", "modelled behaviour"
+    );
+    for w in lvp_workloads::all() {
+        let t = w.trace(budget);
+        let n = t.len() as f64;
+        println!(
+            "{:<14} {:<8} {:>6.1}% {:>6.1}% {:>6.1}%  {}",
+            w.name,
+            w.suite.to_string(),
+            t.load_count() as f64 / n * 100.0,
+            t.store_count() as f64 / n * 100.0,
+            t.branch_count() as f64 / n * 100.0,
+            w.description
+        );
+    }
+}

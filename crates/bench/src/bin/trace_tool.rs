@@ -1,0 +1,85 @@
+//! Trace capture/replay tool.
+//!
+//! Functional emulation is the expensive half of long experiments; this
+//! tool captures a workload's dynamic trace to disk once and replays it
+//! through any timing configuration afterwards.
+//!
+//! ```text
+//! trace_tool record <workload> <budget> <file>   # emulate and save
+//! trace_tool stats  <file>                       # inspect a saved trace
+//! trace_tool replay <file> [scheme]              # time it (baseline|dlvp|cap|vtage|tournament)
+//! ```
+
+use lvp_trace::{read_trace, write_trace};
+use lvp_uarch::{simulate, NoVp};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_tool record <workload> <budget> <file>");
+    eprintln!("       trace_tool stats  <file>");
+    eprintln!("       trace_tool replay <file> [baseline|dlvp|cap|vtage|tournament]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let [_, workload, budget, file] = &args[..] else { usage() };
+            let Some(w) = lvp_workloads::by_name(workload) else {
+                eprintln!("unknown workload {workload}");
+                exit(1);
+            };
+            let budget: u64 = budget.parse().unwrap_or_else(|_| usage());
+            let trace = w.trace(budget);
+            let out = File::create(file).expect("create trace file");
+            write_trace(&trace, BufWriter::new(out)).expect("write trace");
+            println!("recorded {} instructions of {} to {}", trace.len(), workload, file);
+        }
+        Some("stats") => {
+            let [_, file] = &args[..] else { usage() };
+            let trace = read_trace(BufReader::new(File::open(file).expect("open")))
+                .expect("parse trace");
+            println!("instructions : {}", trace.len());
+            println!("loads        : {}", trace.load_count());
+            println!("stores       : {}", trace.store_count());
+            println!("branches     : {}", trace.branch_count());
+            let rep = lvp_trace::RepeatProfile::profile(&trace);
+            let i8 = lvp_trace::RepeatProfile::threshold_index(8).unwrap();
+            println!("addr repeat>=8: {:.1}%", rep.addr_fraction(i8) * 100.0);
+            let conf = lvp_trace::ConflictProfile::profile(&trace, 96);
+            println!("store-conflicting loads: {:.1}%", conf.total_fraction() * 100.0);
+        }
+        Some("replay") => {
+            if args.len() < 2 {
+                usage()
+            }
+            let trace = read_trace(BufReader::new(File::open(&args[1]).expect("open")))
+                .expect("parse trace");
+            let scheme = args.get(2).map(String::as_str).unwrap_or("dlvp");
+            let base = simulate(&trace, NoVp);
+            let stats = match scheme {
+                "baseline" => base.clone(),
+                "dlvp" => simulate(&trace, dlvp::dlvp_default()),
+                "cap" => simulate(&trace, dlvp::dlvp_with_cap()),
+                "vtage" => simulate(&trace, dlvp::Vtage::paper_default()),
+                "tournament" => simulate(&trace, dlvp::Tournament::new()),
+                other => {
+                    eprintln!("unknown scheme {other}");
+                    usage()
+                }
+            };
+            println!(
+                "{scheme}: {} cycles, IPC {:.3}, speedup {:+.2}%, coverage {:.1}%, accuracy {:.2}%",
+                stats.cycles,
+                stats.ipc(),
+                (stats.speedup_over(&base) - 1.0) * 100.0,
+                stats.coverage() * 100.0,
+                stats.accuracy() * 100.0
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,229 @@
+//! Shared experiment machinery: run a workload trace under each prediction
+//! scheme and collect the statistics every figure draws from.
+
+use dlvp::{AddressPredictor, Dlvp, DlvpConfig, Pap, Tournament, Vtage};
+use lvp_energy::{core_energy, EnergyInput, EnergyParams, PredictorEnergyInput};
+use lvp_trace::Trace;
+use lvp_uarch::{Core, CoreConfig, NoVp, RecoveryMode, SimStats, VpScheme};
+use serde::Serialize;
+
+/// Which scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchemeKind {
+    Baseline,
+    Dlvp,
+    /// DLVP machinery with the CAP address predictor (paper §5.2.3).
+    Cap,
+    Vtage,
+    Tournament,
+}
+
+impl SchemeKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "baseline",
+            SchemeKind::Dlvp => "DLVP",
+            SchemeKind::Cap => "CAP",
+            SchemeKind::Vtage => "VTAGE",
+            SchemeKind::Tournament => "DLVP+VTAGE",
+        }
+    }
+}
+
+/// One scheme's outcome on one trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeOutcome {
+    pub scheme: SchemeKind,
+    #[serde(skip)]
+    pub stats: SimStats,
+    pub cycles: u64,
+    pub coverage: f64,
+    pub accuracy: f64,
+    /// Scheme-specific counters (LSCD, PAQ, tournament providers, …).
+    pub extra: Vec<(String, f64)>,
+    /// Predictor storage and activity, for the energy model.
+    pub predictor_bits: u64,
+    pub predictor_reads: u64,
+    pub predictor_writes: u64,
+}
+
+impl SchemeOutcome {
+    fn from(scheme: SchemeKind, stats: SimStats, extra: Vec<(&'static str, f64)>, bits: u64, reads: u64, writes: u64) -> SchemeOutcome {
+        SchemeOutcome {
+            scheme,
+            cycles: stats.cycles,
+            coverage: stats.coverage(),
+            accuracy: stats.accuracy(),
+            extra: extra.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            predictor_bits: bits,
+            predictor_reads: reads,
+            predictor_writes: writes,
+            stats,
+        }
+    }
+
+    /// One named extra counter.
+    pub fn extra_counter(&self, name: &str) -> Option<f64> {
+        self.extra.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Core energy under the default model.
+    pub fn energy(&self) -> f64 {
+        let s = &self.stats;
+        let input = EnergyInput {
+            cycles: s.cycles,
+            instructions: s.instructions,
+            l1i_accesses: s.mem.l1i.accesses,
+            l1d_accesses: s.mem.l1d.accesses,
+            l1d_probes: s.mem.l1d.probes,
+            l2_accesses: s.mem.l2.accesses,
+            l3_accesses: s.mem.l3.accesses,
+            tlb_accesses: s.mem.tlb.accesses,
+            prf_reads: s.prf_reads,
+            prf_writes: s.prf_writes,
+            pvt_reads: s.pvt_reads,
+            pvt_writes: s.pvt_writes,
+            flushes: s.vp_flushes,
+            predictor: PredictorEnergyInput {
+                storage_bits: self.predictor_bits,
+                reads: self.predictor_reads,
+                writes: self.predictor_writes,
+            },
+        };
+        core_energy(&EnergyParams::default(), &input)
+    }
+}
+
+/// Runs `scheme` over `trace` under `cfg`.
+pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> SchemeOutcome {
+    match scheme {
+        SchemeKind::Baseline => {
+            let stats = Core::new(cfg.clone(), NoVp).run(trace);
+            SchemeOutcome::from(scheme, stats, vec![], 0, 0, 0)
+        }
+        SchemeKind::Dlvp => {
+            let core = Core::new(cfg.clone(), dlvp::dlvp_default());
+            let (stats, s) = core.run_with_scheme(trace);
+            let act = s.predictor().activity();
+            let extra = s.extra_counters();
+            SchemeOutcome::from(scheme, stats, extra, s.predictor().storage_bits(), act.reads, act.writes)
+        }
+        SchemeKind::Cap => {
+            let core = Core::new(cfg.clone(), dlvp::dlvp_with_cap());
+            let (stats, s) = core.run_with_scheme(trace);
+            let act = s.predictor().activity();
+            let extra = s.extra_counters();
+            SchemeOutcome::from(scheme, stats, extra, s.predictor().storage_bits(), act.reads, act.writes)
+        }
+        SchemeKind::Vtage => {
+            let core = Core::new(cfg.clone(), Vtage::paper_default());
+            let (stats, s) = core.run_with_scheme(trace);
+            let (r, w) = s.activity();
+            let extra = s.extra_counters();
+            SchemeOutcome::from(scheme, stats, extra, s.storage_bits(), r, w)
+        }
+        SchemeKind::Tournament => {
+            let core = Core::new(cfg.clone(), Tournament::new());
+            let (stats, s) = core.run_with_scheme(trace);
+            let extra = s.extra_counters();
+            SchemeOutcome::from(scheme, stats, extra, 0, 0, 0)
+        }
+    }
+}
+
+/// Per-workload comparison row for the Figure 6-style experiments.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    pub workload: String,
+    pub suite: String,
+    pub baseline: SchemeOutcome,
+    pub schemes: Vec<SchemeOutcome>,
+}
+
+impl ComparisonRow {
+    /// Speedup of scheme `i` over the baseline.
+    pub fn speedup(&self, i: usize) -> f64 {
+        self.schemes[i].stats.speedup_over(&self.baseline.stats)
+    }
+
+    /// Runs the standard CAP/VTAGE/DLVP comparison on one workload.
+    pub fn standard(w: &lvp_workloads::Workload, budget: u64) -> ComparisonRow {
+        Self::with_schemes(w, budget, &[SchemeKind::Cap, SchemeKind::Vtage, SchemeKind::Dlvp])
+    }
+
+    /// Runs a custom scheme list on one workload.
+    pub fn with_schemes(
+        w: &lvp_workloads::Workload,
+        budget: u64,
+        schemes: &[SchemeKind],
+    ) -> ComparisonRow {
+        let trace = w.trace(budget);
+        let cfg = CoreConfig::default();
+        let baseline = run_scheme(&trace, SchemeKind::Baseline, &cfg);
+        let schemes = schemes.iter().map(|&s| run_scheme(&trace, s, &cfg)).collect();
+        ComparisonRow {
+            workload: w.name.to_string(),
+            suite: w.suite.to_string(),
+            baseline,
+            schemes,
+        }
+    }
+}
+
+/// Runs a scheme under oracle-replay recovery (Figure 10).
+pub fn run_with_replay(trace: &Trace, scheme: SchemeKind) -> SchemeOutcome {
+    let cfg = CoreConfig { recovery: RecoveryMode::OracleReplay, ..CoreConfig::default() };
+    run_scheme(trace, scheme, &cfg)
+}
+
+/// Runs DLVP with prefetch-on-probe-miss toggled (Figure 5).
+pub fn run_dlvp_prefetch(trace: &Trace, prefetch: bool) -> SchemeOutcome {
+    let cfg = CoreConfig::default();
+    let dcfg = DlvpConfig { prefetch_on_miss: prefetch, ..DlvpConfig::default() };
+    let core = Core::new(cfg, Dlvp::new(dcfg, Pap::paper_default()));
+    let (stats, s) = core.run_with_scheme(trace);
+    let act = s.predictor().activity();
+    let extra = s.extra_counters();
+    SchemeOutcome::from(SchemeKind::Dlvp, stats, extra, s.predictor().storage_bits(), act.reads, act.writes)
+}
+
+/// Parses the per-workload budget from argv (first positional argument).
+pub fn budget_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(lvp_workloads::DEFAULT_BUDGET)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_row_runs_all_schemes() {
+        let w = lvp_workloads::by_name("aifirf").unwrap();
+        let row = ComparisonRow::standard(&w, 10_000);
+        assert_eq!(row.schemes.len(), 3);
+        assert_eq!(row.schemes[2].scheme, SchemeKind::Dlvp);
+        assert!(row.speedup(2) > 0.5 && row.speedup(2) < 2.0);
+        assert!(row.baseline.stats.cycles > 0);
+    }
+
+    #[test]
+    fn outcome_energy_positive() {
+        let w = lvp_workloads::by_name("nat").unwrap();
+        let t = w.trace(5_000);
+        let o = run_scheme(&t, SchemeKind::Dlvp, &CoreConfig::default());
+        assert!(o.energy() > 0.0);
+        assert!(o.extra_counter("addr_predictions").is_some());
+    }
+
+    #[test]
+    fn replay_never_flushes() {
+        let w = lvp_workloads::by_name("viterbi").unwrap();
+        let t = w.trace(20_000);
+        let o = run_with_replay(&t, SchemeKind::Cap);
+        assert_eq!(o.stats.vp_flushes, 0);
+    }
+}

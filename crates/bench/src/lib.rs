@@ -1,0 +1,21 @@
+//! # lvp-bench — experiment harnesses for every table and figure
+//!
+//! This crate turns the reproduction's components into the paper's
+//! evaluation: one binary per table/figure (see DESIGN.md §4 for the index)
+//! plus Criterion micro-benchmarks of the library itself.
+//!
+//! Run any experiment with:
+//!
+//! ```text
+//! cargo run --release -p lvp-bench --bin fig06_comparison [budget]
+//! ```
+//!
+//! where `budget` is the per-workload dynamic-instruction count (default
+//! 200k — the paper uses 100M-instruction simpoints; we scale down for
+//! interactivity, which compresses absolute speedups but preserves the
+//! relative ordering the figures show).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{budget_from_args, run_scheme, ComparisonRow, SchemeKind, SchemeOutcome};

@@ -1,0 +1,135 @@
+//! Gshare — the classic global-history-XOR-PC predictor, included as the
+//! weaker baseline for branch-prediction sensitivity studies.
+//!
+//! Value prediction's benefit interacts with branch prediction quality (the
+//! paper's §5.2.3 perlbmk analysis: predicted loads resolve mispredicted
+//! branches early, so the *worse* the branch predictor, the more exposure
+//! value prediction can recover). Swapping TAGE for gshare in the core
+//! model quantifies that interaction.
+
+use crate::history::GlobalHistory;
+
+/// Gshare configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GshareConfig {
+    /// log2 of the pattern-history-table size.
+    pub pht_log2: u32,
+    /// History bits XORed into the index.
+    pub history_bits: u32,
+}
+
+impl Default for GshareConfig {
+    fn default() -> GshareConfig {
+        GshareConfig { pht_log2: 14, history_bits: 12 }
+    }
+}
+
+/// The gshare predictor.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    cfg: GshareConfig,
+    /// 2-bit counters, taken when ≥ 0.
+    pht: Vec<i8>,
+    history: GlobalHistory,
+    predictions: u64,
+    mispredicts: u64,
+}
+
+impl Gshare {
+    /// Builds an empty predictor.
+    pub fn new(cfg: GshareConfig) -> Gshare {
+        Gshare {
+            pht: vec![0; 1 << cfg.pht_log2],
+            history: GlobalHistory::new(),
+            predictions: 0,
+            mispredicts: 0,
+            cfg,
+        }
+    }
+
+    /// A 16K-entry default.
+    pub fn default_16k() -> Gshare {
+        Gshare::new(GshareConfig::default())
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let h = self.history.low(self.cfg.history_bits.min(64));
+        (((pc >> 2) ^ h) as usize) & ((1 << self.cfg.pht_log2) - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.pht[self.index(pc)] >= 0
+    }
+
+    /// Updates with the actual outcome and advances history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        self.predictions += 1;
+        if self.predict(pc) != taken {
+            self.mispredicts += 1;
+        }
+        let idx = self.index(pc);
+        let c = &mut self.pht[idx];
+        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        self.history.push(taken);
+    }
+
+    /// (predictions, mispredictions) so far.
+    pub fn accuracy_counters(&self) -> (u64, u64) {
+        (self.predictions, self.mispredicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_branch_learns() {
+        let mut g = Gshare::default_16k();
+        for _ in 0..16 {
+            g.update(0x400, true);
+        }
+        assert!(g.predict(0x400));
+        let (_, m) = g.accuracy_counters();
+        assert!(m <= 2);
+    }
+
+    #[test]
+    fn alternation_learned_through_history() {
+        let mut g = Gshare::default_16k();
+        let mut wrong_late = 0;
+        for i in 0..600 {
+            let taken = i % 2 == 0;
+            if i >= 300 && g.predict(0x800) != taken {
+                wrong_late += 1;
+            }
+            g.update(0x800, taken);
+        }
+        assert!(wrong_late < 30, "got {wrong_late}");
+    }
+
+    #[test]
+    fn weaker_than_tage_on_long_patterns() {
+        // Period-24 loop pattern: inside gshare's 12-bit history reach but
+        // aliasing-prone; TAGE's long tagged tables nail it.
+        let mut g = Gshare::default_16k();
+        let mut t = crate::Tage::default_32kb();
+        let (mut gw, mut tw) = (0u32, 0u32);
+        for i in 0..4000 {
+            let taken = i % 24 != 23;
+            if i >= 2000 {
+                if g.predict(0x900) != taken {
+                    gw += 1;
+                }
+                if t.predict(0x900).taken != taken {
+                    tw += 1;
+                }
+            }
+            g.update(0x900, taken);
+            let p = t.predict(0x900);
+            t.update(0x900, taken, p);
+        }
+        assert!(tw <= gw, "TAGE ({tw}) should not lose to gshare ({gw})");
+    }
+}

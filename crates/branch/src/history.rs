@@ -1,0 +1,119 @@
+//! Global branch history register.
+//!
+//! One bit per conditional branch outcome, newest in bit 0. VTAGE folds
+//! prefixes of this history into its table indices (paper §2.1: "indexed
+//! using a hash of instruction PC and different number of bits from the
+//! global branch history").
+
+/// A shift-register of conditional branch outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalHistory {
+    bits: u128,
+}
+
+impl GlobalHistory {
+    /// Empty history.
+    pub fn new() -> GlobalHistory {
+        GlobalHistory::default()
+    }
+
+    /// Shifts in one outcome (newest at bit 0).
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | (taken as u128);
+    }
+
+    /// The newest `n` bits (`n ≤ 64`) as a u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn low(&self, n: u32) -> u64 {
+        assert!(n <= 64, "at most 64 history bits can be extracted");
+        if n == 0 {
+            0
+        } else {
+            (self.bits as u64) & (u64::MAX >> (64 - n))
+        }
+    }
+
+    /// Folds the newest `n` bits down to `width` bits by XOR-ing
+    /// `width`-sized chunks, the classic TAGE index-folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn folded(&self, n: u32, width: u32) -> u64 {
+        assert!(width > 0 && width <= 64, "fold width must be 1..=64");
+        let mut remaining = n;
+        let mut shift = 0u32;
+        let mut acc = 0u64;
+        while remaining > 0 {
+            let take = remaining.min(width).min(64);
+            let chunk = ((self.bits >> shift) as u64) & (u64::MAX >> (64 - take));
+            acc ^= chunk;
+            shift += take;
+            remaining -= take;
+        }
+        acc & (u64::MAX >> (64 - width))
+    }
+
+    /// Raw snapshot (for checkpoint/restore on flush).
+    pub fn snapshot(&self) -> u128 {
+        self.bits
+    }
+
+    /// Restores a snapshot.
+    pub fn restore(&mut self, snap: u128) {
+        self.bits = snap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_low() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.low(3), 0b101);
+        assert_eq!(h.low(1), 0b1);
+        assert_eq!(h.low(0), 0);
+    }
+
+    #[test]
+    fn folded_is_stable_and_width_bounded() {
+        let mut h = GlobalHistory::new();
+        for i in 0..40 {
+            h.push(i % 3 == 0);
+        }
+        let f = h.folded(40, 10);
+        assert!(f < 1024);
+        assert_eq!(f, h.folded(40, 10), "pure function of state");
+        // Different histories give (almost always) different folds.
+        let mut h2 = h;
+        h2.push(true);
+        assert_ne!(h.snapshot(), h2.snapshot());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        let snap = h.snapshot();
+        h.push(false);
+        h.push(false);
+        h.restore(snap);
+        assert_eq!(h.low(1), 1);
+        assert_eq!(h.snapshot(), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "64")]
+    fn low_bounds_checked() {
+        let h = GlobalHistory::new();
+        let _ = h.low(65);
+    }
+}

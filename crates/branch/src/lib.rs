@@ -1,0 +1,34 @@
+//! # lvp-branch — branch prediction substrate
+//!
+//! The paper's baseline core (Table 4) uses "state-of-art 32KB TAGE ... and
+//! 32KB ITTAGE" predictors plus a 16-entry return address stack. This crate
+//! provides:
+//!
+//! * [`Tage`] — conditional branch direction predictor (bimodal base table
+//!   plus geometrically-growing tagged history tables);
+//! * [`Ittage`] — indirect branch target predictor;
+//! * [`Ras`] — return address stack;
+//! * [`GlobalHistory`] — the global branch history register that VTAGE
+//!   hashes into its table indices.
+//!
+//! ```
+//! use lvp_branch::Tage;
+//! let mut t = Tage::default_32kb();
+//! // A strongly-biased branch becomes predictable after a few outcomes.
+//! for _ in 0..16 { let p = t.predict(0x400); t.update(0x400, true, p); }
+//! assert!(t.predict(0x400).taken);
+//! ```
+
+pub mod btb;
+pub mod gshare;
+pub mod history;
+pub mod ittage;
+pub mod ras;
+pub mod tage;
+
+pub use btb::{Btb, BtbConfig};
+pub use gshare::{Gshare, GshareConfig};
+pub use history::GlobalHistory;
+pub use ittage::Ittage;
+pub use ras::Ras;
+pub use tage::{Tage, TagePrediction};

@@ -1,0 +1,117 @@
+//! Return address stack (16 entries in the paper's baseline, Table 4).
+//!
+//! A circular stack: pushes beyond capacity overwrite the oldest entry,
+//! pops from empty return `None` (the front-end then has no return
+//! prediction). This matches the usual hardware RAS behaviour under
+//! deep recursion.
+
+/// Fixed-capacity circular return address stack.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    slots: Vec<u64>,
+    top: usize,
+    depth: usize,
+    pushes: u64,
+    overflows: u64,
+}
+
+impl Ras {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Ras {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        Ras { slots: vec![0; capacity], top: 0, depth: 0, pushes: 0, overflows: 0 }
+    }
+
+    /// The paper-baseline 16-entry RAS.
+    pub fn default_16() -> Ras {
+        Ras::new(16)
+    }
+
+    /// Pushes a return address (on call).
+    pub fn push(&mut self, addr: u64) {
+        self.pushes += 1;
+        self.top = (self.top + 1) % self.slots.len();
+        self.slots[self.top] = addr;
+        if self.depth == self.slots.len() {
+            self.overflows += 1;
+        } else {
+            self.depth += 1;
+        }
+    }
+
+    /// Pops the predicted return address (on return).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.slots[self.top];
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Peeks without popping.
+    pub fn peek(&self) -> Option<u64> {
+        (self.depth > 0).then(|| self.slots[self.top])
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// (pushes, overflows) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.pushes, self.overflows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(4);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.peek(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_losing_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None, "oldest entry was lost");
+        assert_eq!(r.counters(), (3, 1));
+    }
+
+    #[test]
+    fn depth_tracks() {
+        let mut r = Ras::default_16();
+        assert_eq!(r.depth(), 0);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.depth(), 10);
+        r.pop();
+        assert_eq!(r.depth(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Ras::new(0);
+    }
+}

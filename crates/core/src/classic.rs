@@ -1,0 +1,254 @@
+//! Classic value predictors from the paper's related-work taxonomy (§2.1):
+//! the context-based **last-value predictor** (LVP, Lipasti et al.) and the
+//! computation-based **stride predictor** (Eickemeyer & Vassiliadis,
+//! Gabbay). They serve as reference points in unit analyses and in the
+//! repeatability experiments; the headline comparisons use VTAGE.
+
+use lvp_trace::Trace;
+
+/// A standalone (timing-free) value predictor.
+pub trait ValuePredictor {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+    /// Predicts the next value produced by the instruction at `pc`.
+    fn predict(&mut self, pc: u64) -> Option<u64>;
+    /// Trains with the actual value.
+    fn train(&mut self, pc: u64, actual: u64);
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LvpEntry {
+    tag: u32,
+    value: u64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Tagged last-value predictor with a saturating confidence counter.
+#[derive(Debug)]
+pub struct LastValuePredictor {
+    table: Vec<LvpEntry>,
+    threshold: u8,
+}
+
+impl LastValuePredictor {
+    /// `entries` (power of two) and the confidence threshold required
+    /// before predicting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, threshold: u8) -> LastValuePredictor {
+        assert!(entries.is_power_of_two(), "LVP entries must be a power of two");
+        LastValuePredictor { table: vec![LvpEntry::default(); entries], threshold }
+    }
+
+    fn index_tag(&self, pc: u64) -> (usize, u32) {
+        let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
+        ((idx), ((pc >> 2) >> self.table.len().trailing_zeros()) as u32)
+    }
+}
+
+impl ValuePredictor for LastValuePredictor {
+    fn name(&self) -> &'static str {
+        "LVP"
+    }
+
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        let (idx, tag) = self.index_tag(pc);
+        let e = self.table[idx];
+        (e.valid && e.tag == tag && e.confidence >= self.threshold).then_some(e.value)
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        let (idx, tag) = self.index_tag(pc);
+        let e = &mut self.table[idx];
+        if e.valid && e.tag == tag {
+            if e.value == actual {
+                e.confidence = e.confidence.saturating_add(1).min(63);
+            } else {
+                e.value = actual;
+                e.confidence = 0;
+            }
+        } else if !e.valid || e.confidence == 0 {
+            *e = LvpEntry { tag, value: actual, confidence: 0, valid: true };
+        } else {
+            e.confidence -= 1;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    tag: u32,
+    last: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Computation-based stride value predictor: predicts `last + stride`.
+#[derive(Debug)]
+pub struct StrideValuePredictor {
+    table: Vec<StrideEntry>,
+    threshold: u8,
+}
+
+impl StrideValuePredictor {
+    /// `entries` (power of two) and the required confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, threshold: u8) -> StrideValuePredictor {
+        assert!(entries.is_power_of_two(), "stride entries must be a power of two");
+        StrideValuePredictor { table: vec![StrideEntry::default(); entries], threshold }
+    }
+
+    fn index_tag(&self, pc: u64) -> (usize, u32) {
+        let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
+        (idx, ((pc >> 2) >> self.table.len().trailing_zeros()) as u32)
+    }
+}
+
+impl ValuePredictor for StrideValuePredictor {
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        let (idx, tag) = self.index_tag(pc);
+        let e = self.table[idx];
+        (e.valid && e.tag == tag && e.confidence >= self.threshold)
+            .then(|| e.last.wrapping_add(e.stride as u64))
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        let (idx, tag) = self.index_tag(pc);
+        let e = &mut self.table[idx];
+        if e.valid && e.tag == tag {
+            let stride = actual.wrapping_sub(e.last) as i64;
+            if stride == e.stride {
+                e.confidence = e.confidence.saturating_add(1).min(63);
+            } else {
+                e.stride = stride;
+                e.confidence = 0;
+            }
+            e.last = actual;
+        } else if !e.valid || e.confidence == 0 {
+            *e = StrideEntry { tag, last: actual, stride: 0, confidence: 0, valid: true };
+        } else {
+            e.confidence -= 1;
+        }
+    }
+}
+
+/// Result of a standalone value-prediction evaluation over a trace's loads.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ValueEval {
+    pub loads: u64,
+    pub predicted: u64,
+    pub correct: u64,
+}
+
+impl ValueEval {
+    /// Coverage: predicted / loads.
+    pub fn coverage(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / self.loads as f64
+        }
+    }
+
+    /// Accuracy: correct / predicted.
+    pub fn accuracy(&self) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predicted as f64
+        }
+    }
+}
+
+/// Evaluates a value predictor over every dynamic load's first chunk.
+pub fn evaluate_value_predictor<P: ValuePredictor>(trace: &Trace, p: &mut P) -> ValueEval {
+    let mut e = ValueEval::default();
+    for lv in trace.loads() {
+        e.loads += 1;
+        if let Some(v) = p.predict(lv.pc) {
+            e.predicted += 1;
+            if v == lv.value {
+                e.correct += 1;
+            }
+        }
+        p.train(lv.pc, lv.value);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvp_learns_constant_values() {
+        let mut p = LastValuePredictor::new(256, 3);
+        for _ in 0..3 {
+            assert_eq!(p.predict(0x40), None);
+            p.train(0x40, 7);
+        }
+        p.train(0x40, 7);
+        assert_eq!(p.predict(0x40), Some(7));
+    }
+
+    #[test]
+    fn lvp_resets_on_change() {
+        let mut p = LastValuePredictor::new(256, 2);
+        for _ in 0..5 {
+            p.train(0x40, 7);
+        }
+        p.train(0x40, 9);
+        assert_eq!(p.predict(0x40), None, "confidence must reset");
+    }
+
+    #[test]
+    fn stride_learns_arithmetic_sequences() {
+        let mut p = StrideValuePredictor::new(256, 2);
+        for i in 0..6u64 {
+            p.train(0x40, 100 + i * 8);
+        }
+        assert_eq!(p.predict(0x40), Some(100 + 6 * 8));
+    }
+
+    #[test]
+    fn stride_beats_lvp_on_striding_values() {
+        let mut t = lvp_trace::Trace::new();
+        use lvp_isa::{Instruction, MemSize, Reg};
+        for i in 0..1000u64 {
+            t.push(lvp_trace::TraceRecord {
+                seq: 0,
+                pc: 0x40,
+                inst: Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+                next_pc: 0x44,
+                eff_addr: 0x8000 + i * 8,
+                value: i * 4,
+                extra_values: None,
+            });
+        }
+        let lvp = evaluate_value_predictor(&t, &mut LastValuePredictor::new(256, 3));
+        let st = evaluate_value_predictor(&t, &mut StrideValuePredictor::new(256, 3));
+        assert!(st.coverage() > lvp.coverage());
+        assert!(st.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn tag_mismatch_does_not_predict() {
+        let mut p = LastValuePredictor::new(4, 1);
+        for _ in 0..10 {
+            p.train(0x40, 1);
+        }
+        // 0x40 and 0x40 + 4*4 alias in a 4-entry table but differ in tag.
+        assert_eq!(p.predict(0x40 + 16), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Forward probabilistic counters (Riley & Zilles, HPCA'06 — the paper's
+//! confidence mechanism, Table 1).
+//!
+//! "An FPC is different than a conventional counter in that each forward
+//! transition is only triggered with a certain probability. We use the
+//! following probability vector in our design {1, 1/2, 1/4}." A 2-bit FPC
+//! with this vector saturates after ~7 successful observations on average —
+//! the paper's "confidence of 8" with only 2 stored bits.
+
+/// Deterministic xorshift64* generator used for probabilistic transitions —
+/// hardware uses an LFSR; determinism keeps simulations reproducible.
+#[derive(Debug, Clone)]
+pub struct Lfsr {
+    state: u64,
+}
+
+impl Lfsr {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Lfsr {
+        Lfsr { state: seed.max(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Bernoulli event with probability `1/denom`.
+    pub fn one_in(&mut self, denom: u32) -> bool {
+        denom <= 1 || self.next_u64() % denom as u64 == 0
+    }
+}
+
+/// A forward probabilistic counter with a fixed probability vector.
+///
+/// The counter value is stored in full; forward transitions from value `i`
+/// happen with probability `1/denoms[i]`. Backward transitions (reset or
+/// decrement) are always taken.
+#[derive(Debug, Clone)]
+pub struct Fpc {
+    value: u8,
+    max: u8,
+    denoms: Vec<u32>,
+    lfsr: Lfsr,
+}
+
+impl Fpc {
+    /// Builds a counter saturating at `denoms.len()` with the given
+    /// transition probabilities (`denoms[i]` = denominator for the i→i+1
+    /// transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denoms` is empty.
+    pub fn new(denoms: Vec<u32>, seed: u64) -> Fpc {
+        assert!(!denoms.is_empty(), "FPC needs at least one transition");
+        Fpc { value: 0, max: denoms.len() as u8, denoms, lfsr: Lfsr::new(seed) }
+    }
+
+    /// The paper's APT confidence: 2-bit counter, vector {1, 1/2, 1/4}
+    /// (Table 1) — expected ~7 observations to saturate.
+    pub fn paper_apt(seed: u64) -> Fpc {
+        Fpc::new(vec![1, 2, 4], seed)
+    }
+
+    /// A 3-bit FPC in the spirit of VTAGE's confidence (saturation after
+    /// ~64 observations on average): {1,1/2,1/4,1/8,1/16,1/16,1/16}.
+    pub fn paper_vtage(seed: u64) -> Fpc {
+        Fpc::new(vec![1, 2, 4, 8, 16, 16, 16], seed)
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Whether the counter is saturated (prediction allowed).
+    pub fn is_confident(&self) -> bool {
+        self.value >= self.max
+    }
+
+    /// Whether the counter is at zero (entry replaceable under Policy-2).
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Probabilistic increment; returns true if the transition was taken.
+    pub fn up(&mut self) -> bool {
+        if self.value >= self.max {
+            return false;
+        }
+        let denom = self.denoms[self.value as usize];
+        if self.lfsr.one_in(denom) {
+            self.value += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deterministic decrement (floored at zero).
+    pub fn down(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Expected number of `up` calls to saturate from zero (the paper's
+    /// "observed only 8 times" for the APT vector).
+    pub fn expected_observations(&self) -> f64 {
+        self.denoms.iter().map(|&d| d as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_transition_is_deterministic() {
+        let mut f = Fpc::paper_apt(42);
+        assert!(f.is_zero());
+        assert!(f.up(), "1/1 transition always fires");
+        assert_eq!(f.value(), 1);
+    }
+
+    #[test]
+    fn saturation_and_reset() {
+        let mut f = Fpc::paper_apt(42);
+        for _ in 0..200 {
+            f.up();
+        }
+        assert!(f.is_confident());
+        assert!(!f.up(), "saturated counter stays put");
+        f.reset();
+        assert!(f.is_zero() && !f.is_confident());
+    }
+
+    #[test]
+    fn expected_observations_matches_paper() {
+        let apt = Fpc::paper_apt(1);
+        assert_eq!(apt.expected_observations(), 7.0, "~8 observations (paper §5.1)");
+        let vt = Fpc::paper_vtage(1);
+        assert!(vt.expected_observations() >= 60.0, "VTAGE-like: ~64 observations");
+    }
+
+    #[test]
+    fn average_saturation_time_close_to_expectation() {
+        // Statistical: average over many counters.
+        let mut total = 0u64;
+        const RUNS: u64 = 400;
+        for seed in 0..RUNS {
+            let mut f = Fpc::paper_apt(seed * 2_654_435_761 + 1);
+            let mut ups = 0u64;
+            while !f.is_confident() {
+                f.up();
+                ups += 1;
+            }
+            total += ups;
+        }
+        let avg = total as f64 / RUNS as f64;
+        assert!((avg - 7.0).abs() < 1.5, "average saturation {avg} should be near 7");
+    }
+
+    #[test]
+    fn down_floors_at_zero() {
+        let mut f = Fpc::paper_apt(9);
+        f.down();
+        assert_eq!(f.value(), 0);
+        f.up();
+        f.down();
+        assert!(f.is_zero());
+    }
+
+    #[test]
+    fn lfsr_deterministic_per_seed() {
+        let mut a = Lfsr::new(7);
+        let mut b = Lfsr::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_vector_rejected() {
+        let _ = Fpc::new(vec![], 1);
+    }
+}

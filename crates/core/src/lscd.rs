@@ -1,0 +1,112 @@
+//! LSCD — Load-Store Conflict Detector (paper §3.2.2).
+//!
+//! A tiny (4-entry) filter of load PCs that were address-predicted
+//! correctly but value-mispredicted — the signature of an in-flight store
+//! having modified the location after DLVP's speculative cache probe.
+//! Captured loads are barred from predicting *and* from updating the APT;
+//! their APT entries then age out naturally. LSCD is the special-purpose
+//! stand-in for the back-end-coupled MDP that cannot serve the front-end
+//! (§2.3).
+
+/// The LSCD filter (FIFO replacement).
+#[derive(Debug, Clone)]
+pub struct Lscd {
+    slots: Vec<u64>,
+    next: usize,
+    capacity: usize,
+    inserts: u64,
+    suppressions: u64,
+}
+
+impl Lscd {
+    /// Creates a filter with `capacity` entries (the paper uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Lscd {
+        assert!(capacity > 0, "LSCD capacity must be non-zero");
+        Lscd { slots: Vec::with_capacity(capacity), next: 0, capacity, inserts: 0, suppressions: 0 }
+    }
+
+    /// The paper's 4-entry filter.
+    pub fn paper_default() -> Lscd {
+        Lscd::new(4)
+    }
+
+    /// Whether `load_pc` is captured (and must not predict or train).
+    /// Counts a suppression when it is.
+    pub fn filters(&mut self, load_pc: u64) -> bool {
+        if self.slots.contains(&load_pc) {
+            self.suppressions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pure membership check (no counter side effect).
+    pub fn contains(&self, load_pc: u64) -> bool {
+        self.slots.contains(&load_pc)
+    }
+
+    /// Captures a load whose address was right but whose probed value was
+    /// stale. FIFO-replaces the oldest entry when full.
+    pub fn insert(&mut self, load_pc: u64) {
+        if self.slots.contains(&load_pc) {
+            return;
+        }
+        self.inserts += 1;
+        if self.slots.len() < self.capacity {
+            self.slots.push(load_pc);
+        } else {
+            self.slots[self.next] = load_pc;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// (inserts, suppressions) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.inserts, self.suppressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captured_loads_are_filtered() {
+        let mut l = Lscd::paper_default();
+        assert!(!l.filters(0x100));
+        l.insert(0x100);
+        assert!(l.filters(0x100));
+        assert_eq!(l.counters(), (1, 1));
+    }
+
+    #[test]
+    fn fifo_replacement_frees_old_entries() {
+        let mut l = Lscd::new(2);
+        l.insert(0x1);
+        l.insert(0x2);
+        l.insert(0x3); // evicts 0x1
+        assert!(!l.contains(0x1));
+        assert!(l.contains(0x2) && l.contains(0x3));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut l = Lscd::new(2);
+        l.insert(0x1);
+        l.insert(0x1);
+        assert_eq!(l.counters().0, 1);
+        l.insert(0x2);
+        assert!(l.contains(0x1), "duplicate insert must not burn a slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Lscd::new(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! PAQ — Predicted Address Queue (paper §3.2.2).
+//!
+//! A small FIFO in the out-of-order engine holding predicted load addresses
+//! awaiting an opportunistic data-cache probe. Entries drop after a fixed
+//! number of cycles (N = 4 in the paper's Cortex-A72-style pipeline) — the
+//! guaranteed window before the load reaches rename. The paper measures
+//! fewer than 0.1% of entries dropping.
+
+/// One queued predicted address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaqEntry {
+    /// Dynamic sequence number of the load.
+    pub seq: u64,
+    pub addr: u64,
+    pub size_code: u8,
+    pub way: Option<u8>,
+    /// Allocation cycle.
+    pub alloc_cycle: u64,
+}
+
+/// Statistics of PAQ behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaqStats {
+    pub allocated: u64,
+    /// Entries rejected because the queue was full.
+    pub overflowed: u64,
+    /// Entries that timed out without finding a probe bubble.
+    pub dropped: u64,
+    /// Entries that probed the cache.
+    pub probed: u64,
+}
+
+/// The predicted-address queue.
+#[derive(Debug, Clone)]
+pub struct Paq {
+    capacity: usize,
+    /// Drop deadline in cycles after allocation (the paper's N).
+    pub window: u64,
+    live: usize,
+    stats: PaqStats,
+}
+
+impl Paq {
+    /// Creates a PAQ with `capacity` entries (paper: 32) and an `window`-
+    /// cycle probe deadline (paper: N = 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, window: u64) -> Paq {
+        assert!(capacity > 0, "PAQ capacity must be non-zero");
+        Paq { capacity, window, live: 0, stats: PaqStats::default() }
+    }
+
+    /// The paper's configuration.
+    pub fn paper_default() -> Paq {
+        Paq::new(32, 4)
+    }
+
+    /// Attempts to allocate a slot; returns false (and counts an overflow)
+    /// when full.
+    pub fn try_alloc(&mut self) -> bool {
+        if self.live >= self.capacity {
+            self.stats.overflowed += 1;
+            return false;
+        }
+        self.live += 1;
+        self.stats.allocated += 1;
+        true
+    }
+
+    /// Releases a slot after its probe completed.
+    pub fn release_probed(&mut self) {
+        debug_assert!(self.live > 0);
+        self.live = self.live.saturating_sub(1);
+        self.stats.probed += 1;
+    }
+
+    /// Releases a slot whose deadline passed without a probe bubble.
+    pub fn release_dropped(&mut self) {
+        debug_assert!(self.live > 0);
+        self.live = self.live.saturating_sub(1);
+        self.stats.dropped += 1;
+    }
+
+    /// Live entries.
+    pub fn occupancy(&self) -> usize {
+        self.live
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PaqStats {
+        self.stats
+    }
+
+    /// Fraction of allocated entries that dropped (paper: < 0.1%).
+    pub fn drop_rate(&self) -> f64 {
+        if self.stats.allocated == 0 {
+            0.0
+        } else {
+            self.stats.dropped as f64 / self.stats.allocated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut q = Paq::new(2, 4);
+        assert!(q.try_alloc());
+        assert!(q.try_alloc());
+        assert!(!q.try_alloc(), "full queue rejects");
+        assert_eq!(q.stats().overflowed, 1);
+        q.release_probed();
+        assert!(q.try_alloc());
+        assert_eq!(q.occupancy(), 2);
+    }
+
+    #[test]
+    fn drop_rate_computed() {
+        let mut q = Paq::paper_default();
+        for _ in 0..10 {
+            q.try_alloc();
+        }
+        for _ in 0..9 {
+            q.release_probed();
+        }
+        q.release_dropped();
+        assert!((q.drop_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(q.occupancy(), 0);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let mut q = Paq::paper_default();
+        assert_eq!(q.window, 4);
+        assert!(q.try_alloc());
+        assert_eq!(q.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Paq::new(0, 4);
+    }
+}

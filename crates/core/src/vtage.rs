@@ -1,0 +1,557 @@
+//! VTAGE — the state-of-the-art context-based value predictor used as the
+//! paper's comparison point (Perais & Seznec, HPCA'14; paper §2.1, §5.2.2),
+//! including the paper's ISA-specific findings:
+//!
+//! * the paper's best configuration: 3 direct-mapped, *tagged* tables of 256
+//!   entries using global branch histories {0, 5, 13} ("using tags with the
+//!   LVP table is crucial"), 16-bit tags, 64-bit values, 3-bit FPC
+//!   confidence — 62.3k bits total (Table 4);
+//! * multi-destination loads (LDP/LDM/VLD) predicted by concatenating the
+//!   destination-chunk index to the PC before hashing (§5.2.2);
+//! * the three filter flavours of Figure 7: vanilla, a dynamic opcode filter
+//!   (block types whose measured accuracy drops below 95%) and a static
+//!   opcode filter (preloaded with LDP/LDM/VLD);
+//! * loads-only vs all-instructions targeting.
+
+use crate::fpc::Fpc;
+use lvp_branch::GlobalHistory;
+use lvp_isa::Instruction;
+use lvp_uarch::{ExecInfo, FetchCtx, FetchSlot, RenamePrediction, VpScheme, VpVerdict};
+use std::collections::HashMap;
+
+/// Which instructions VTAGE targets (Figure 7's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VtageTargets {
+    /// Predict load instructions only (the paper's winning choice at an
+    /// 8KB-class budget).
+    LoadsOnly,
+    /// Predict every value-producing instruction.
+    AllInstructions,
+}
+
+/// Opcode filter flavour (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VtageFilter {
+    /// Unmodified VTAGE.
+    Vanilla,
+    /// Track per-opcode-type accuracy; block types under 95%.
+    Dynamic,
+    /// Preloaded with the multi-destination types (LDP, LDM, VLD).
+    Static,
+}
+
+/// VTAGE configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VtageConfig {
+    /// Entries per table (paper: 256).
+    pub entries: usize,
+    /// Tag bits (paper: 16).
+    pub tag_bits: u32,
+    /// Global branch history lengths, shortest first (paper: {0, 5, 13}).
+    pub histories: Vec<u32>,
+    pub targets: VtageTargets,
+    pub filter: VtageFilter,
+    /// Whether multi-destination loads get one predictor entry per 64-bit
+    /// chunk (the paper's §5.2.2 adjustment). Unmodified ("vanilla") VTAGE
+    /// has one entry per instruction and effectively predicts only the
+    /// first chunk — mispredicting any other chunk of an LDP/LDM/VLD.
+    pub chunk_aware: bool,
+    /// Dynamic-filter accuracy floor.
+    pub filter_threshold: f64,
+    /// Dynamic-filter minimum samples before blocking.
+    pub filter_warmup: u64,
+}
+
+impl Default for VtageConfig {
+    fn default() -> VtageConfig {
+        VtageConfig {
+            entries: 256,
+            tag_bits: 16,
+            histories: vec![0, 5, 13],
+            targets: VtageTargets::LoadsOnly,
+            filter: VtageFilter::Static,
+            filter_threshold: 0.95,
+            filter_warmup: 64,
+            chunk_aware: true,
+        }
+    }
+}
+
+/// Coarse opcode classes tracked by the filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeClass {
+    Ldr,
+    Ldp,
+    Ldm,
+    Vld,
+    Alu,
+    Other,
+}
+
+/// Classifies an instruction for the opcode filters.
+pub fn opcode_class(inst: Instruction) -> OpcodeClass {
+    match inst {
+        Instruction::Ldr { .. } | Instruction::LdrIdx { .. } => OpcodeClass::Ldr,
+        Instruction::Ldp { .. } => OpcodeClass::Ldp,
+        Instruction::Ldm { .. } => OpcodeClass::Ldm,
+        Instruction::Vld { .. } => OpcodeClass::Vld,
+        Instruction::Alu { .. } | Instruction::AluImm { .. } | Instruction::MovImm { .. } => {
+            OpcodeClass::Alu
+        }
+        _ => OpcodeClass::Other,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tag: u16,
+    value: u64,
+    confidence: Fpc,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FilterStat {
+    predictions: u64,
+    mispredictions: u64,
+}
+
+struct PendingVt {
+    /// Predicted chunk values (all chunks confident), if a prediction was
+    /// made.
+    values: Option<Vec<u64>>,
+    class: OpcodeClass,
+    /// History snapshot at fetch (the index context used for training).
+    hist: GlobalHistory,
+}
+
+/// Scheme counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VtageCounters {
+    pub lookups: u64,
+    pub predictions: u64,
+    pub filtered: u64,
+    pub chunk_mispredicts: u64,
+}
+
+/// The VTAGE predictor as a pluggable value-prediction scheme.
+pub struct Vtage {
+    cfg: VtageConfig,
+    tables: Vec<Vec<Entry>>,
+    pending: HashMap<u64, PendingVt>,
+    filter_stats: HashMap<OpcodeClass, FilterStat>,
+    counters: VtageCounters,
+    misp_by_pc: HashMap<u64, u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Vtage {
+    /// Builds an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `histories` is empty.
+    pub fn new(cfg: VtageConfig) -> Vtage {
+        assert!(cfg.entries.is_power_of_two(), "VTAGE entries must be a power of two");
+        assert!(!cfg.histories.is_empty(), "VTAGE needs at least one table");
+        let tables = cfg
+            .histories
+            .iter()
+            .enumerate()
+            .map(|(t, _)| {
+                (0..cfg.entries)
+                    .map(|i| Entry {
+                        tag: 0,
+                        value: 0,
+                        confidence: Fpc::paper_vtage((t as u64) << 32 | i as u64 | 1),
+                        valid: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        Vtage {
+            tables,
+            pending: HashMap::new(),
+            filter_stats: HashMap::new(),
+            counters: VtageCounters::default(),
+            misp_by_pc: HashMap::new(),
+            reads: 0,
+            writes: 0,
+            cfg,
+        }
+    }
+
+    /// The paper's configuration (static filter, loads only).
+    pub fn paper_default() -> Vtage {
+        Vtage::new(VtageConfig::default())
+    }
+
+    /// A named Figure 7 variant. These run *without* the per-chunk PC
+    /// adjustment, as the paper's Figure 7 studies the unmodified predictor
+    /// under the three filters.
+    pub fn variant(filter: VtageFilter, targets: VtageTargets) -> Vtage {
+        Vtage::new(VtageConfig { filter, targets, chunk_aware: false, ..VtageConfig::default() })
+    }
+
+    /// Scheme counters.
+    pub fn counters(&self) -> VtageCounters {
+        self.counters
+    }
+
+    /// Per-PC misprediction counts (diagnostics).
+    pub fn misp_by_pc(&self) -> &HashMap<u64, u64> {
+        &self.misp_by_pc
+    }
+
+    /// Total storage in bits (Table 4: 3 × 256 × 83 = 62.3k bits).
+    pub fn storage_bits(&self) -> u64 {
+        let per_entry = self.cfg.tag_bits as u64 + 64 + 3;
+        per_entry * self.cfg.entries as u64 * self.cfg.histories.len() as u64
+    }
+
+    /// (reads, writes) activity for the energy comparison.
+    pub fn activity(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    fn eligible(&mut self, inst: Instruction) -> bool {
+        if inst.is_branch() || inst.is_store() || inst.dest_chunks() == 0 || inst.is_ordered() {
+            return false;
+        }
+        if self.cfg.targets == VtageTargets::LoadsOnly && !inst.is_load() {
+            return false;
+        }
+        let class = opcode_class(inst);
+        match self.cfg.filter {
+            VtageFilter::Vanilla => true,
+            VtageFilter::Static => {
+                !matches!(class, OpcodeClass::Ldp | OpcodeClass::Ldm | OpcodeClass::Vld)
+            }
+            VtageFilter::Dynamic => {
+                let st = self.filter_stats.entry(class).or_default();
+                if st.predictions < self.cfg.filter_warmup {
+                    true
+                } else {
+                    let acc = 1.0 - st.mispredictions as f64 / st.predictions as f64;
+                    acc >= self.cfg.filter_threshold
+                }
+            }
+        }
+    }
+
+    fn index_tag(&self, pc: u64, chunk: u32, hist: &GlobalHistory, table: usize) -> (usize, u16) {
+        let hl = self.cfg.histories[table];
+        let bits = self.cfg.entries.trailing_zeros();
+        let pc_c = (pc >> 2) ^ ((chunk as u64) << 17) ^ ((table as u64) << 11);
+        let idx = (pc_c ^ hist.folded(hl, bits.max(1))) as usize & (self.cfg.entries - 1);
+        let tag = ((pc_c >> 3) ^ hist.folded(hl, self.cfg.tag_bits) ^ (hl as u64))
+            & ((1 << self.cfg.tag_bits) - 1);
+        (idx, tag as u16)
+    }
+
+    /// Standalone single-chunk prediction (first destination chunk) —
+    /// exposed for micro-benchmarks and analyses outside the pipeline.
+    pub fn predict_first_chunk(&mut self, pc: u64, hist: &GlobalHistory) -> Option<u64> {
+        self.predict_chunk(pc, 0, hist)
+    }
+
+    /// Standalone single-chunk training counterpart of
+    /// [`Vtage::predict_first_chunk`].
+    pub fn train_first_chunk(&mut self, pc: u64, hist: &GlobalHistory, actual: u64) {
+        self.train_chunk(pc, 0, hist, actual);
+    }
+
+    /// Predict one chunk under `hist`; `Some(value)` only when the provider
+    /// is confident.
+    fn predict_chunk(&mut self, pc: u64, chunk: u32, hist: &GlobalHistory) -> Option<u64> {
+        self.reads += 1;
+        let mut out = None;
+        for t in 0..self.tables.len() {
+            let (idx, tag) = self.index_tag(pc, chunk, hist, t);
+            let e = &self.tables[t][idx];
+            if e.valid && e.tag == tag && e.confidence.is_confident() {
+                out = Some(e.value); // longest-history confident hit wins
+            }
+        }
+        out
+    }
+
+    /// Train one chunk with the actual value.
+    ///
+    /// The entry trained is the one a *prediction* would come from: the
+    /// longest confident hit if any (the provider), otherwise the longest
+    /// hit. Training the provider is essential — a confident entry that goes
+    /// stale must be corrected by the mispredictions it causes, or it would
+    /// keep mispredicting while training drains into younger entries.
+    fn train_chunk(&mut self, pc: u64, chunk: u32, hist: &GlobalHistory, actual: u64) {
+        self.writes += 1;
+        let mut longest_hit: Option<usize> = None;
+        let mut provider: Option<usize> = None;
+        for t in 0..self.tables.len() {
+            let (idx, tag) = self.index_tag(pc, chunk, hist, t);
+            let e = &self.tables[t][idx];
+            if e.valid && e.tag == tag {
+                longest_hit = Some(t);
+                if e.confidence.is_confident() {
+                    provider = Some(t);
+                }
+            }
+        }
+        match provider.or(longest_hit) {
+            Some(t) => {
+                let (idx, _) = self.index_tag(pc, chunk, hist, t);
+                let e = &mut self.tables[t][idx];
+                if e.value == actual {
+                    e.confidence.up();
+                    return;
+                }
+                // Wrong value: retrain this entry...
+                e.value = actual;
+                e.confidence.reset();
+                // ...and try to allocate in a longer-history table.
+                for nt in (t + 1)..self.tables.len() {
+                    let (nidx, ntag) = self.index_tag(pc, chunk, hist, nt);
+                    let ne = &mut self.tables[nt][nidx];
+                    if !ne.valid || ne.confidence.is_zero() {
+                        ne.tag = ntag;
+                        ne.value = actual;
+                        ne.confidence.reset();
+                        ne.valid = true;
+                        break;
+                    }
+                    ne.confidence.down();
+                }
+            }
+            None => {
+                // Allocate in the shortest table whose slot is replaceable.
+                for t in 0..self.tables.len() {
+                    let (idx, tag) = self.index_tag(pc, chunk, hist, t);
+                    let e = &mut self.tables[t][idx];
+                    if !e.valid || e.confidence.is_zero() {
+                        e.tag = tag;
+                        e.value = actual;
+                        e.confidence.reset();
+                        e.valid = true;
+                        break;
+                    }
+                    e.confidence.down();
+                }
+            }
+        }
+    }
+}
+
+impl VpScheme for Vtage {
+    fn name(&self) -> &'static str {
+        "VTAGE"
+    }
+
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
+        if !self.eligible(slot.inst) {
+            if slot.inst.dest_chunks() > 0 && !slot.inst.is_branch() && !slot.inst.is_store() {
+                self.counters.filtered += 1;
+            }
+            return;
+        }
+        self.counters.lookups += 1;
+        let chunks = slot.inst.dest_chunks() as u32;
+        let hist = *ctx.history;
+        let mut values = Vec::with_capacity(chunks as usize);
+        let mut all = true;
+        if self.cfg.chunk_aware {
+            for c in 0..chunks {
+                match self.predict_chunk(slot.pc, c, &hist) {
+                    Some(v) => values.push(v),
+                    None => {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+        } else {
+            // One entry per instruction: the single predicted value stands
+            // for every destination chunk (and is usually wrong for the
+            // later chunks of LDP/LDM/VLD — the paper's §5.2.2 pathology).
+            match self.predict_chunk(slot.pc, 0, &hist) {
+                Some(v) => values.extend(std::iter::repeat(v).take(chunks as usize)),
+                None => all = false,
+            }
+        }
+        let class = opcode_class(slot.inst);
+        self.pending.insert(
+            slot.seq,
+            PendingVt { values: all.then_some(values), class, hist },
+        );
+        if all {
+            self.counters.predictions += 1;
+        }
+    }
+
+    fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
+        let p = self.pending.get(&seq)?;
+        let values = p.values.as_ref()?;
+        Some(RenamePrediction { chunks: values.len() as u32 })
+    }
+
+    fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {
+        let Some(pending) = self.pending.remove(&info.seq) else {
+            return VpVerdict::NONE;
+        };
+        // Train every chunk with the actual values under the fetch-time
+        // history.
+        let hist = pending.hist;
+        if self.cfg.chunk_aware {
+            for (c, &actual) in info.values.iter().enumerate() {
+                self.train_chunk(info.pc, c as u32, &hist, actual);
+            }
+        } else if let Some(&first) = info.values.first() {
+            self.train_chunk(info.pc, 0, &hist, first);
+        }
+        let Some(pred) = pending.values else {
+            return VpVerdict::NONE;
+        };
+        if !info.was_injected {
+            return VpVerdict::NONE;
+        }
+        let correct =
+            pred.len() == info.values.len() && pred.iter().zip(info.values).all(|(a, b)| a == b);
+        if !correct {
+            self.counters.chunk_mispredicts += 1;
+            *self.misp_by_pc.entry(info.pc).or_insert(0) += 1;
+            if std::env::var_os("VTAGE_DEBUG").is_some() && self.counters.chunk_mispredicts < 20 {
+                eprintln!("VTAGE misp pc={:#x} pred={:x?} actual={:x?} hist={:x}",
+                    info.pc, pred, info.values, hist.low(16));
+            }
+        }
+        if self.cfg.filter == VtageFilter::Dynamic {
+            let st = self.filter_stats.entry(pending.class).or_default();
+            st.predictions += 1;
+            if !correct {
+                st.mispredictions += 1;
+            }
+        }
+        VpVerdict { predicted: true, correct }
+    }
+
+    fn extra_counters(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("vtage_lookups", self.counters.lookups as f64),
+            ("vtage_predictions", self.counters.predictions as f64),
+            ("vtage_filtered", self.counters.filtered as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_uarch::{simulate, NoVp};
+
+    #[test]
+    fn storage_matches_table4() {
+        let v = Vtage::paper_default();
+        assert_eq!(v.storage_bits(), 3 * 256 * 83);
+    }
+
+    #[test]
+    fn stable_values_predicted_on_nat_like_kernel() {
+        // nat: translations are stable values — VTAGE's home turf.
+        let t = lvp_workloads::by_name("nat").unwrap().trace(120_000);
+        let base = simulate(&t, NoVp);
+        let v = simulate(&t, Vtage::paper_default());
+        assert!(v.coverage() > 0.05, "coverage {}", v.coverage());
+        assert!(v.accuracy() > 0.95, "accuracy {}", v.accuracy());
+        assert!(v.speedup_over(&base) >= 0.99);
+    }
+
+    #[test]
+    fn confidence_requires_many_repeats() {
+        // A value alternating every 16 occurrences never reaches VTAGE's
+        // ~64-observation confidence (the paper's Challenge #1).
+        let mut v = Vtage::paper_default();
+        let h = GlobalHistory::new();
+        let mut predicted = 0;
+        for i in 0..2000u64 {
+            if v.predict_chunk(0x4000, 0, &h).is_some() {
+                predicted += 1;
+            }
+            let value = (i / 16) % 2;
+            v.train_chunk(0x4000, 0, &h, value);
+        }
+        assert_eq!(predicted, 0, "short value runs must stay below confidence");
+    }
+
+    #[test]
+    fn stable_value_eventually_confident() {
+        let mut v = Vtage::paper_default();
+        let h = GlobalHistory::new();
+        let mut first = None;
+        for i in 0..1000u64 {
+            if v.predict_chunk(0x4000, 0, &h) == Some(42) && first.is_none() {
+                first = Some(i);
+            }
+            v.train_chunk(0x4000, 0, &h, 42);
+        }
+        let at = first.expect("stable value must become predictable");
+        assert!(at >= 20 && at <= 400, "confidence near ~64 observations, got {at}");
+    }
+
+    #[test]
+    fn static_filter_blocks_multi_destination_loads() {
+        let mut v = Vtage::paper_default();
+        use lvp_isa::{Reg, RegList};
+        let ldp = Instruction::Ldp { rd1: Reg::X1, rd2: Reg::X2, rn: Reg::X0, offset: 0 };
+        let ldm = Instruction::Ldm { list: RegList::of(&[Reg::X1, Reg::X2]), rn: Reg::X0 };
+        let vld = Instruction::Vld { vd: Reg::X4, rn: Reg::X0, offset: 0 };
+        assert!(!v.eligible(ldp));
+        assert!(!v.eligible(ldm));
+        assert!(!v.eligible(vld));
+        let ldr = Instruction::Ldr {
+            rd: Reg::X1,
+            rn: Reg::X0,
+            offset: 0,
+            size: lvp_isa::MemSize::X,
+        };
+        assert!(v.eligible(ldr));
+    }
+
+    #[test]
+    fn loads_only_excludes_alu() {
+        let mut v = Vtage::paper_default();
+        use lvp_isa::{AluOp, Reg};
+        let alu = Instruction::Alu { op: AluOp::Add, rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 };
+        assert!(!v.eligible(alu));
+        let mut all = Vtage::variant(VtageFilter::Static, VtageTargets::AllInstructions);
+        assert!(all.eligible(alu));
+    }
+
+    #[test]
+    fn dynamic_filter_learns_to_block_bad_classes() {
+        let mut v = Vtage::variant(VtageFilter::Dynamic, VtageTargets::LoadsOnly);
+        use lvp_isa::Reg;
+        let ldp = Instruction::Ldp { rd1: Reg::X1, rd2: Reg::X2, rn: Reg::X0, offset: 0 };
+        assert!(v.eligible(ldp), "dynamic filter starts permissive");
+        // Feed it a terrible accuracy record for LDP.
+        let st = v.filter_stats.entry(OpcodeClass::Ldp).or_default();
+        st.predictions = 100;
+        st.mispredictions = 50;
+        assert!(!v.eligible(ldp), "must block after observed low accuracy");
+    }
+
+    #[test]
+    fn vanilla_suffers_on_ldp_heavy_kernel() {
+        // linpack is LDP-dense; the static filter should not do worse than
+        // vanilla (Figure 7's ordering).
+        let t = lvp_workloads::by_name("linpack").unwrap().trace(60_000);
+        let base = simulate(&t, NoVp);
+        let vanilla = simulate(&t, Vtage::variant(VtageFilter::Vanilla, VtageTargets::LoadsOnly));
+        let staticf = simulate(&t, Vtage::variant(VtageFilter::Static, VtageTargets::LoadsOnly));
+        assert!(
+            staticf.speedup_over(&base) >= vanilla.speedup_over(&base) - 0.01,
+            "static {} vs vanilla {}",
+            staticf.speedup_over(&base),
+            vanilla.speedup_over(&base)
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! The architectural interpreter.
+
+use crate::memory::SparseMemory;
+use lvp_isa::{Instruction, Program, Reg, INST_BYTES};
+use lvp_trace::{Trace, TraceRecord};
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction was executed.
+    Halted,
+    /// The dynamic instruction budget was exhausted.
+    BudgetExhausted,
+    /// The PC left the program text.
+    FellOffText,
+}
+
+/// A completed run: the dynamic trace plus final architectural state access.
+#[derive(Debug)]
+pub struct RunOutcome {
+    pub trace: Trace,
+    pub stop: StopReason,
+    /// Final register file (for kernel self-checks in tests).
+    pub regs: [u64; Reg::COUNT],
+}
+
+/// Functional emulator over a [`Program`].
+#[derive(Debug)]
+pub struct Emulator {
+    program: Program,
+    regs: [u64; Reg::COUNT],
+    mem: SparseMemory,
+    pc: u64,
+}
+
+impl Emulator {
+    /// Creates an emulator with data initializers applied, PC at the program
+    /// base, and all registers zero.
+    pub fn new(program: Program) -> Emulator {
+        let mut mem = SparseMemory::new();
+        for init in program.data() {
+            mem.write_bytes(init.addr, &init.bytes);
+        }
+        let pc = program.base();
+        Emulator { program, regs: [0; Reg::COUNT], mem, pc }
+    }
+
+    /// Reads a register (the zero register reads 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Direct memory access (for tests and workload setup).
+    pub fn mem(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Runs up to `max_insts` dynamic instructions, producing the trace.
+    pub fn run(mut self, max_insts: u64) -> RunOutcome {
+        let mut trace = Trace::new();
+        let mut stop = StopReason::BudgetExhausted;
+        for _ in 0..max_insts {
+            let Some(inst) = self.program.fetch(self.pc) else {
+                stop = StopReason::FellOffText;
+                break;
+            };
+            if matches!(inst, Instruction::Halt) {
+                stop = StopReason::Halted;
+                break;
+            }
+            let rec = self.step(inst);
+            trace.push(rec);
+        }
+        RunOutcome { trace, stop, regs: self.regs }
+    }
+
+    /// Executes a single instruction, returning its trace record and
+    /// advancing PC.
+    fn step(&mut self, inst: Instruction) -> TraceRecord {
+        use Instruction::*;
+        let pc = self.pc;
+        let mut next_pc = pc.wrapping_add(INST_BYTES);
+        let mut eff_addr = 0u64;
+        let mut value = 0u64;
+        let mut extra: Vec<u64> = Vec::new();
+
+        match inst {
+            Nop | Halt => {}
+            Alu { op, rd, rn, rm } => {
+                let v = op.apply(self.reg(rn), self.reg(rm));
+                self.set_reg(rd, v);
+                value = v;
+            }
+            AluImm { op, rd, rn, imm } => {
+                let v = op.apply(self.reg(rn), imm as u64);
+                self.set_reg(rd, v);
+                value = v;
+            }
+            MovImm { rd, imm } => {
+                self.set_reg(rd, imm);
+                value = imm;
+            }
+            Ldr { rd, rn, offset, size } => {
+                eff_addr = self.reg(rn).wrapping_add(offset as u64);
+                value = self.mem.read_le(eff_addr, size.bytes());
+                self.set_reg(rd, value);
+            }
+            Ldar { rd, rn } => {
+                eff_addr = self.reg(rn);
+                value = self.mem.read_le(eff_addr, 8);
+                self.set_reg(rd, value);
+            }
+            Stlr { rt, rn } => {
+                eff_addr = self.reg(rn);
+                value = self.reg(rt);
+                self.mem.write_le(eff_addr, 8, value);
+            }
+            LdrIdx { rd, rn, rm, size } => {
+                eff_addr = self.reg(rn).wrapping_add(self.reg(rm));
+                value = self.mem.read_le(eff_addr, size.bytes());
+                self.set_reg(rd, value);
+            }
+            Str { rt, rn, offset, size } => {
+                eff_addr = self.reg(rn).wrapping_add(offset as u64);
+                value = self.reg(rt) & mask(size.bytes());
+                self.mem.write_le(eff_addr, size.bytes(), value);
+            }
+            StrIdx { rt, rn, rm, size } => {
+                eff_addr = self.reg(rn).wrapping_add(self.reg(rm));
+                value = self.reg(rt) & mask(size.bytes());
+                self.mem.write_le(eff_addr, size.bytes(), value);
+            }
+            Ldp { rd1, rd2, rn, offset } => {
+                eff_addr = self.reg(rn).wrapping_add(offset as u64);
+                value = self.mem.read_le(eff_addr, 8);
+                let second = self.mem.read_le(eff_addr.wrapping_add(8), 8);
+                self.set_reg(rd1, value);
+                self.set_reg(rd2, second);
+                extra.push(second);
+            }
+            Stp { rt1, rt2, rn, offset } => {
+                eff_addr = self.reg(rn).wrapping_add(offset as u64);
+                value = self.reg(rt1);
+                let second = self.reg(rt2);
+                self.mem.write_le(eff_addr, 8, value);
+                self.mem.write_le(eff_addr.wrapping_add(8), 8, second);
+                extra.push(second);
+            }
+            Ldm { list, rn } => {
+                eff_addr = self.reg(rn);
+                let mut first = true;
+                let mut slot = eff_addr;
+                for r in list.iter() {
+                    let v = self.mem.read_le(slot, 8);
+                    self.set_reg(r, v);
+                    if first {
+                        value = v;
+                        first = false;
+                    } else {
+                        extra.push(v);
+                    }
+                    slot = slot.wrapping_add(8);
+                }
+            }
+            Stm { list, rn } => {
+                eff_addr = self.reg(rn);
+                let mut first = true;
+                let mut slot = eff_addr;
+                for r in list.iter() {
+                    let v = self.reg(r);
+                    self.mem.write_le(slot, 8, v);
+                    if first {
+                        value = v;
+                        first = false;
+                    } else {
+                        extra.push(v);
+                    }
+                    slot = slot.wrapping_add(8);
+                }
+            }
+            Vld { vd, rn, offset } => {
+                eff_addr = self.reg(rn).wrapping_add(offset as u64);
+                value = self.mem.read_le(eff_addr, 8);
+                let hi = self.mem.read_le(eff_addr.wrapping_add(8), 8);
+                self.set_reg(vd, value);
+                self.set_reg(Reg::x(vd.index() as u8 + 1), hi);
+                extra.push(hi);
+            }
+            Vst { vs, rn, offset } => {
+                eff_addr = self.reg(rn).wrapping_add(offset as u64);
+                value = self.reg(vs);
+                let hi = self.reg(Reg::x(vs.index() as u8 + 1));
+                self.mem.write_le(eff_addr, 8, value);
+                self.mem.write_le(eff_addr.wrapping_add(8), 8, hi);
+                extra.push(hi);
+            }
+            B { target } => next_pc = target,
+            Bc { cond, rn, rm, target } => {
+                if cond.eval(self.reg(rn), self.reg(rm)) {
+                    next_pc = target;
+                }
+            }
+            Cbz { rn, target } => {
+                if self.reg(rn) == 0 {
+                    next_pc = target;
+                }
+            }
+            Cbnz { rn, target } => {
+                if self.reg(rn) != 0 {
+                    next_pc = target;
+                }
+            }
+            Bl { target } => {
+                self.set_reg(Reg::LR, pc.wrapping_add(INST_BYTES));
+                next_pc = target;
+            }
+            Ret => next_pc = self.reg(Reg::LR),
+            Br { rn } => next_pc = self.reg(rn),
+            Blr { rn } => {
+                let t = self.reg(rn);
+                self.set_reg(Reg::LR, pc.wrapping_add(INST_BYTES));
+                next_pc = t;
+            }
+        }
+
+        self.pc = next_pc;
+        TraceRecord {
+            seq: 0, // assigned by Trace::push
+            pc,
+            inst,
+            next_pc,
+            eff_addr,
+            value,
+            extra_values: if extra.is_empty() { None } else { Some(extra.into_boxed_slice()) },
+        }
+    }
+}
+
+fn mask(bytes: u64) -> u64 {
+    if bytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * bytes)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{Asm, Cond, MemSize};
+
+    fn run(a: Asm, budget: u64) -> RunOutcome {
+        Emulator::new(a.build()).run(budget)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X1, 0); // sum
+        a.mov(Reg::X2, 10); // counter
+        let top = a.here();
+        a.add(Reg::X1, Reg::X1, Reg::X2);
+        a.subi(Reg::X2, Reg::X2, 1);
+        a.cbnz(Reg::X2, top);
+        a.halt();
+        let out = run(a, 1000);
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(out.regs[Reg::X1.index()], 55);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_through_memory() {
+        let mut a = Asm::new(0x1000);
+        a.data_u64(0x8000, &[111, 222]);
+        a.mov(Reg::X0, 0x8000);
+        a.ldr(Reg::X1, Reg::X0, 8, MemSize::X);
+        a.str_(Reg::X1, Reg::X0, 16, MemSize::X);
+        a.ldr(Reg::X2, Reg::X0, 16, MemSize::X);
+        a.halt();
+        let out = run(a, 100);
+        assert_eq!(out.regs[Reg::X1.index()], 222);
+        assert_eq!(out.regs[Reg::X2.index()], 222);
+        let loads: Vec<_> = out.trace.loads().collect();
+        assert_eq!(loads[0].addr, 0x8008);
+        assert_eq!(loads[1].addr, 0x8010);
+    }
+
+    #[test]
+    fn ldp_and_vld_fill_extra_values() {
+        let mut a = Asm::new(0x1000);
+        a.data_u64(0x8000, &[1, 2, 3, 4]);
+        a.mov(Reg::X0, 0x8000);
+        a.ldp(Reg::X1, Reg::X2, Reg::X0, 0);
+        a.vld(Reg::X4, Reg::X0, 16);
+        a.halt();
+        let out = run(a, 100);
+        assert_eq!(out.regs[Reg::X1.index()], 1);
+        assert_eq!(out.regs[Reg::X2.index()], 2);
+        assert_eq!(out.regs[Reg::X4.index()], 3);
+        assert_eq!(out.regs[Reg::X5.index()], 4);
+        let recs = out.trace.records();
+        assert_eq!(recs[1].all_values(), vec![1, 2]);
+        assert_eq!(recs[2].all_values(), vec![3, 4]);
+    }
+
+    #[test]
+    fn ldm_stm_transfer_in_ascending_order() {
+        let mut a = Asm::new(0x1000);
+        a.data_u64(0x8000, &[10, 20, 30]);
+        a.mov(Reg::X0, 0x8000);
+        a.ldm(&[Reg::X1, Reg::X2, Reg::X3], Reg::X0);
+        a.mov(Reg::X0, 0x9000);
+        a.stm(&[Reg::X1, Reg::X2, Reg::X3], Reg::X0);
+        a.mov(Reg::X0, 0x9000);
+        a.ldr(Reg::X4, Reg::X0, 16, MemSize::X);
+        a.halt();
+        let out = run(a, 100);
+        assert_eq!(out.regs[Reg::X1.index()], 10);
+        assert_eq!(out.regs[Reg::X3.index()], 30);
+        assert_eq!(out.regs[Reg::X4.index()], 30);
+    }
+
+    #[test]
+    fn call_return_links_lr() {
+        let mut a = Asm::new(0x1000);
+        let f = a.new_label();
+        a.bl(f); // 0x1000
+        a.mov(Reg::X9, 7); // 0x1004 (after return)
+        a.halt(); // 0x1008
+        a.place(f);
+        a.mov(Reg::X8, 3);
+        a.ret();
+        let out = run(a, 100);
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(out.regs[Reg::X8.index()], 3);
+        assert_eq!(out.regs[Reg::X9.index()], 7);
+        // The BL record is a taken branch; RET returns to 0x1004.
+        let recs = out.trace.records();
+        assert!(recs[0].taken());
+        let ret = recs.iter().find(|r| matches!(r.inst, Instruction::Ret)).unwrap();
+        assert_eq!(ret.next_pc, 0x1004);
+    }
+
+    #[test]
+    fn conditional_branch_both_ways() {
+        let mut a = Asm::new(0x1000);
+        let skip = a.new_label();
+        a.mov(Reg::X1, 5);
+        a.mov(Reg::X2, 5);
+        a.bc(Cond::Ne, Reg::X1, Reg::X2, skip); // not taken
+        a.mov(Reg::X3, 1);
+        a.place(skip);
+        a.halt();
+        let out = run(a, 100);
+        assert_eq!(out.regs[Reg::X3.index()], 1);
+        let bc = &out.trace.records()[2];
+        assert!(!bc.taken());
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut a = Asm::new(0x1000);
+        let top = a.here();
+        a.b(top);
+        let out = run(a, 50);
+        assert_eq!(out.stop, StopReason::BudgetExhausted);
+        assert_eq!(out.trace.len(), 50);
+    }
+
+    #[test]
+    fn falling_off_text_reported() {
+        let mut a = Asm::new(0x1000);
+        a.nop();
+        let out = run(a, 10);
+        assert_eq!(out.stop, StopReason::FellOffText);
+    }
+
+    #[test]
+    fn subword_store_masks_value() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X1, 0x1234_5678_9abc_def0);
+        a.mov(Reg::X0, 0x8000);
+        a.str_(Reg::X1, Reg::X0, 0, MemSize::W);
+        a.ldr(Reg::X2, Reg::X0, 0, MemSize::X);
+        a.halt();
+        let out = run(a, 100);
+        assert_eq!(out.regs[Reg::X2.index()], 0x9abc_def0);
+    }
+
+    #[test]
+    fn indirect_branch_through_register() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X5, 0x100c);
+        a.br(Reg::X5); // 0x1004
+        a.nop(); // 0x1008 skipped
+        a.halt(); // 0x100c
+        let out = run(a, 100);
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(out.trace.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut a = Asm::new(0x1000);
+            a.data_u64(0x8000, &[5, 6, 7]);
+            a.mov(Reg::X0, 0x8000);
+            let top = a.here();
+            a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+            a.addi(Reg::X0, Reg::X0, 8);
+            a.subi(Reg::X1, Reg::X1, 5);
+            a.cbz(Reg::X1, top);
+            a.halt();
+            a.build()
+        };
+        let t1 = Emulator::new(build()).run(1000).trace;
+        let t2 = Emulator::new(build()).run(1000).trace;
+        assert_eq!(t1.records(), t2.records());
+    }
+}

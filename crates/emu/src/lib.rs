@@ -1,0 +1,29 @@
+//! # lvp-emu — functional emulator for the `lvp-isa` instruction set
+//!
+//! Executes a [`lvp_isa::Program`] architecturally (no timing) and emits a
+//! [`lvp_trace::Trace`]: the dynamic instruction stream with branch outcomes,
+//! effective addresses and loaded/stored values. The cycle-level model in
+//! `lvp-uarch` then *replays* this trace — the standard trace-driven split
+//! used when the reference simulator (here: Qualcomm's proprietary one) is
+//! unavailable.
+//!
+//! ## Example
+//!
+//! ```
+//! use lvp_isa::{Asm, Reg, MemSize};
+//! use lvp_emu::Emulator;
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.data_u64(0x8000, &[7]);
+//! a.mov(Reg::X0, 0x8000);
+//! a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+//! a.halt();
+//! let trace = Emulator::new(a.build()).run(100).trace;
+//! assert_eq!(trace.records()[1].value, 7);
+//! ```
+
+pub mod emulator;
+pub mod memory;
+
+pub use emulator::{Emulator, RunOutcome, StopReason};
+pub use memory::SparseMemory;

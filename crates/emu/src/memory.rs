@@ -1,0 +1,131 @@
+//! Sparse byte-addressable memory backed by 4 KiB pages.
+//!
+//! Uninitialized memory reads as zero, which keeps workload kernels simple
+//! (no need to zero-fill arrays) and keeps emulation deterministic.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse memory: pages materialize on first write.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates empty (all-zero) memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads `bytes` (1..=8) little-endian, zero-extended to u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not in `1..=8`.
+    pub fn read_le(&self, addr: u64, bytes: u64) -> u64 {
+        assert!((1..=8).contains(&bytes), "read width must be 1..=8 bytes");
+        let mut v = 0u64;
+        for i in 0..bytes {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `bytes` (1..=8) of `val` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not in `1..=8`.
+    pub fn write_le(&mut self, addr: u64, bytes: u64, val: u64) {
+        assert!((1..=8).contains(&bytes), "write width must be 1..=8 bytes");
+        for i in 0..bytes {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Number of materialized pages (diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninitialized_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(0xdead_beef), 0);
+        assert_eq!(m.read_le(0x1234, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_le_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_le(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_le(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_le(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.read_u8(0x1007), 0x11);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        let addr = 0x1ffe; // straddles the 0x1000/0x2000 boundary
+        m.write_le(addr, 4, 0xaabb_ccdd);
+        assert_eq!(m.read_le(addr, 4), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbors() {
+        let mut m = SparseMemory::new();
+        m.write_le(0x100, 8, u64::MAX);
+        m.write_le(0x102, 2, 0);
+        assert_eq!(m.read_le(0x100, 8), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn write_bytes_copies() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x40, &[1, 2, 3, 4]);
+        assert_eq!(m.read_le(0x40, 4), 0x0403_0201);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn oversized_read_panics() {
+        let m = SparseMemory::new();
+        let _ = m.read_le(0, 16);
+    }
+}

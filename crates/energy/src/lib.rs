@@ -1,0 +1,29 @@
+//! # lvp-energy — analytical area/energy models for the DLVP reproduction
+//!
+//! Substitutes the paper's in-house, RTL-PTPX-validated 28 nm model (§4.2)
+//! with standard analytical forms. Everything is consumed as *normalized
+//! ratios*, exactly how the paper reports energy:
+//!
+//! * [`SramMacro`] — area and per-access energy of a multi-ported SRAM as a
+//!   function of bits and port count;
+//! * [`PrfComparison`] — the Table 2 study of the three predicted-value
+//!   communication designs (PRF port arbitration, extra PRF ports, PVT);
+//! * [`core_energy()`](fn@core_energy) — event-based whole-core energy (Figure 6c) from the
+//!   cycle/access counters the core model collects, including DLVP's
+//!   way-predicted probe discount and the fixed per-cycle term that makes
+//!   speedups save energy.
+//!
+//! ```
+//! use lvp_energy::SramMacro;
+//! let pvt = SramMacro::new(32 * 64, 2, 2);
+//! let prf = SramMacro::new(348 * 64, 8, 8);
+//! assert!(pvt.area() < 0.1 * prf.area());
+//! ```
+
+pub mod core_energy;
+pub mod prf;
+pub mod sram;
+
+pub use core_energy::{core_energy, EnergyInput, EnergyParams, PredictorEnergyInput};
+pub use prf::{PrfComparison, PrfDesignRow};
+pub use sram::SramMacro;

@@ -1,0 +1,121 @@
+//! The paper's Table 2: area and energy of the three ways to communicate
+//! predicted values (§3.2.1).
+//!
+//! * **Design #1** — arbitrate on the existing PRF write ports (8r/8w).
+//! * **Design #2** — add two PRF write ports (8r/10w).
+//! * **Design #3** — design #1 plus a small dedicated Predicted Values
+//!   Table (PVT, 32×64 bit, 2r/2w), the paper's choice.
+//!
+//! Read/write energies for designs #1/#3 are *effective per-operand*
+//! averages under the paper's assumption that 30% of operand reads/writes
+//! are predicted.
+
+use crate::sram::SramMacro;
+
+/// One row of the Table 2 comparison, normalized to design #1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrfDesignRow {
+    pub name: &'static str,
+    pub area: f64,
+    pub read_energy: f64,
+    pub write_energy: f64,
+}
+
+/// Parameters of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrfComparison {
+    /// Physical registers in the PRF.
+    pub prf_regs: u64,
+    /// PVT entries.
+    pub pvt_entries: u64,
+    /// Fraction of operand traffic that is predicted (paper: 0.30).
+    pub predicted_fraction: f64,
+}
+
+impl Default for PrfComparison {
+    fn default() -> PrfComparison {
+        PrfComparison { prf_regs: 348, pvt_entries: 32, predicted_fraction: 0.30 }
+    }
+}
+
+impl PrfComparison {
+    /// Computes the four Table 2 columns (PVT alone, designs #1, #2, #3),
+    /// everything normalized to design #1.
+    pub fn rows(&self) -> [PrfDesignRow; 4] {
+        let prf1 = SramMacro::new(self.prf_regs * 64, 8, 8);
+        let prf2 = SramMacro::new(self.prf_regs * 64, 8, 10);
+        let pvt = SramMacro::new(self.pvt_entries * 64, 2, 2);
+        let f = self.predicted_fraction;
+
+        let a1 = prf1.area();
+        let r1 = prf1.read_energy();
+        let w1 = prf1.write_energy();
+
+        // Design #3: predicted operands read from the PVT instead of the
+        // PRF; predicted values are written to both PVT (at prediction) and
+        // PRF (at execution) — the PRF write rate is unchanged, plus the PVT
+        // writes.
+        let read3 = (1.0 - f) * r1 + f * pvt.read_energy();
+        let write3 = w1 + f * pvt.write_energy();
+
+        [
+            PrfDesignRow {
+                name: "PVT (2rd/2wr ports)",
+                area: pvt.area() / a1,
+                read_energy: pvt.read_energy() / r1,
+                write_energy: pvt.write_energy() / w1,
+            },
+            PrfDesignRow { name: "Design #1 (PRF 8rd/8wr)", area: 1.0, read_energy: 1.0, write_energy: 1.0 },
+            PrfDesignRow {
+                name: "Design #2 (PRF 8rd/10wr)",
+                area: prf2.area() / a1,
+                read_energy: prf2.read_energy() / r1,
+                write_energy: prf2.write_energy() / w1 * 1.3,
+            },
+            PrfDesignRow {
+                name: "Design #3 (Design #1 + PVT)",
+                area: (a1 + pvt.area()) / a1,
+                read_energy: read3 / r1,
+                write_energy: write3 / w1,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> [PrfDesignRow; 4] {
+        PrfComparison::default().rows()
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let [pvt, d1, d2, d3] = rows();
+        // PVT is tiny next to the PRF (paper: 0.06 area, 0.10 read, 0.07
+        // write).
+        assert!(pvt.area < 0.15, "pvt area {}", pvt.area);
+        assert!(pvt.read_energy < 0.15);
+        assert!(pvt.write_energy < 0.2);
+        // Design #2 costs more than design #1 in every column (paper: 1.16 /
+        // 1.10 / 1.51).
+        assert!(d2.area > 1.05 && d2.area < 1.4, "d2 area {}", d2.area);
+        assert!(d2.read_energy > 1.0);
+        assert!(d2.write_energy > 1.2, "d2 write {}", d2.write_energy);
+        // Design #3: small area adder, *cheaper reads* than design #1,
+        // slightly costlier writes (paper: 1.06 / 0.80 / 1.07).
+        assert!(d3.area > 1.0 && d3.area < 1.15, "d3 area {}", d3.area);
+        assert!(d3.read_energy < 0.9, "d3 read {}", d3.read_energy);
+        assert!(d3.write_energy > 1.0 && d3.write_energy < 1.2, "d3 write {}", d3.write_energy);
+        assert_eq!(d1.area, 1.0);
+    }
+
+    #[test]
+    fn design3_read_savings_track_predicted_fraction() {
+        let lo = PrfComparison { predicted_fraction: 0.1, ..PrfComparison::default() }.rows()[3];
+        let hi = PrfComparison { predicted_fraction: 0.5, ..PrfComparison::default() }.rows()[3];
+        assert!(hi.read_energy < lo.read_energy, "more predictions, cheaper reads");
+        assert!(hi.write_energy > lo.write_energy, "more predictions, more PVT writes");
+    }
+}

@@ -1,0 +1,91 @@
+//! Analytical SRAM area/energy model.
+//!
+//! The paper uses an in-house, RTL-PTPX-validated 28 nm model; we substitute
+//! a standard analytical form (in the spirit of CACTI): cell area grows with
+//! the square of the port count (each extra port adds a wordline and a
+//! bitline pair per cell), access energy grows with the bit count (bitline
+//! capacitance) and per-port wiring. All results in this crate are used
+//! *normalized*, exactly as the paper reports them (Table 2, Fig 6d).
+
+/// A multi-ported SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramMacro {
+    /// Total storage in bits.
+    pub bits: u64,
+    pub read_ports: u32,
+    pub write_ports: u32,
+}
+
+/// Per-port cell pitch growth (wordline + bitline per added port).
+const PORT_PITCH: f64 = 0.0875;
+/// Fraction of access energy that scales with the port count.
+const PORT_ENERGY: f64 = 0.05;
+
+impl SramMacro {
+    /// Creates a macro description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or the macro has no ports.
+    pub fn new(bits: u64, read_ports: u32, write_ports: u32) -> SramMacro {
+        assert!(bits > 0, "SRAM must store at least one bit");
+        assert!(read_ports + write_ports > 0, "SRAM needs at least one port");
+        SramMacro { bits, read_ports, write_ports }
+    }
+
+    fn ports(&self) -> f64 {
+        (self.read_ports + self.write_ports) as f64
+    }
+
+    /// Relative area (arbitrary units): bits × (pitch growth)².
+    pub fn area(&self) -> f64 {
+        let pitch = 1.0 + PORT_PITCH * (self.ports() - 2.0).max(0.0);
+        self.bits as f64 * pitch * pitch
+    }
+
+    /// Relative energy of one read access.
+    pub fn read_energy(&self) -> f64 {
+        // Bitline energy scales with the number of cells on a bitline
+        // (∝ √bits for a square array) times the wordline width (∝ √bits),
+        // i.e. linear in bits, moderated by port wiring.
+        self.bits as f64 * (1.0 + PORT_ENERGY * (self.ports() - 2.0).max(0.0))
+    }
+
+    /// Relative energy of one write access (slightly above a read: full
+    /// bitline swing).
+    pub fn write_energy(&self) -> f64 {
+        1.15 * self.read_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_grows_superlinearly_with_ports() {
+        let small = SramMacro::new(1024, 2, 2);
+        let big = SramMacro::new(1024, 8, 8);
+        assert!(big.area() > 2.0 * small.area());
+    }
+
+    #[test]
+    fn energy_grows_with_bits() {
+        let a = SramMacro::new(1 << 10, 1, 1);
+        let b = SramMacro::new(1 << 14, 1, 1);
+        assert!(b.read_energy() > 8.0 * a.read_energy());
+        assert!(a.write_energy() > a.read_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        let _ = SramMacro::new(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        let _ = SramMacro::new(8, 0, 0);
+    }
+}

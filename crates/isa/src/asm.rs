@@ -1,0 +1,413 @@
+//! A tiny assembler: builds [`Program`]s with labels, forward references and
+//! data-segment helpers. This is how the `lvp-workloads` benchmark kernels
+//! are written.
+//!
+//! ```
+//! use lvp_isa::{Asm, Reg, MemSize};
+//!
+//! let mut a = Asm::new(0x4000);
+//! let buf = a.data_u64(0x1_0000, &[10, 20, 30]);
+//! a.mov(Reg::X0, buf);       // base pointer
+//! a.mov(Reg::X1, 0);         // sum
+//! a.mov(Reg::X2, 3);         // count
+//! let top = a.here();
+//! a.ldr(Reg::X3, Reg::X0, 0, MemSize::X);
+//! a.add(Reg::X1, Reg::X1, Reg::X3);
+//! a.addi(Reg::X0, Reg::X0, 8);
+//! a.subi(Reg::X2, Reg::X2, 1);
+//! a.cbnz(Reg::X2, top);
+//! a.halt();
+//! let p = a.build();
+//! assert_eq!(p.len(), 9);
+//! ```
+
+use crate::inst::{AluOp, Cond, Instruction, MemSize, RegList};
+use crate::program::{DataInit, Program};
+use crate::reg::Reg;
+use crate::INST_BYTES;
+
+/// A code label. Obtained from [`Asm::new_label`] (forward reference) or
+/// [`Asm::here`] (already-placed). Resolved to an absolute address at
+/// [`Asm::build`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    B,
+    Bc(Cond, Reg, Reg),
+    Cbz(Reg),
+    Cbnz(Reg),
+    Bl,
+}
+
+/// Incremental program builder. See the [module docs](self) for an example.
+#[derive(Debug)]
+pub struct Asm {
+    base: u64,
+    insts: Vec<Instruction>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<(usize, Label, Pending)>,
+    data: Vec<DataInit>,
+}
+
+impl Asm {
+    /// Starts a program whose first instruction sits at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn new(base: u64) -> Asm {
+        assert!(base % INST_BYTES == 0, "base must be 4-byte aligned");
+        Asm { base, insts: Vec::new(), labels: Vec::new(), fixups: Vec::new(), data: Vec::new() }
+    }
+
+    /// Address the next emitted instruction will occupy.
+    pub fn pc(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Creates an unplaced label for a forward branch; place it later with
+    /// [`Asm::place`].
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Creates a label already placed at the current position.
+    pub fn here(&mut self) -> Label {
+        self.labels.push(Some(self.pc()));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places a previously created label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label placed twice");
+        self.labels[l.0] = Some(self.pc());
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Instruction) {
+        self.insts.push(inst);
+    }
+
+    // --- data segment -----------------------------------------------------
+
+    /// Registers `bytes` at `addr` in the data segment; returns `addr`.
+    pub fn data_bytes(&mut self, addr: u64, bytes: &[u8]) -> u64 {
+        self.data.push(DataInit { addr, bytes: bytes.to_vec() });
+        addr
+    }
+
+    /// Lays out 64-bit little-endian words at `addr`; returns `addr`.
+    pub fn data_u64(&mut self, addr: u64, words: &[u64]) -> u64 {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data_bytes(addr, &bytes)
+    }
+
+    /// Lays out `f64` values (bit patterns) at `addr`; returns `addr`.
+    pub fn data_f64(&mut self, addr: u64, vals: &[f64]) -> u64 {
+        let words: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        self.data_u64(addr, &words)
+    }
+
+    // --- moves & ALU ------------------------------------------------------
+
+    pub fn mov(&mut self, rd: Reg, imm: u64) {
+        self.emit(Instruction::MovImm { rd, imm });
+    }
+
+    pub fn mov_r(&mut self, rd: Reg, rn: Reg) {
+        self.emit(Instruction::AluImm { op: AluOp::Add, rd, rn, imm: 0 });
+    }
+
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rn: Reg, rm: Reg) {
+        self.emit(Instruction::Alu { op, rd, rn, rm });
+    }
+
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rn: Reg, imm: i64) {
+        self.emit(Instruction::AluImm { op, rd, rn, imm });
+    }
+
+    pub fn add(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Add, rd, rn, rm);
+    }
+
+    pub fn addi(&mut self, rd: Reg, rn: Reg, imm: i64) {
+        self.alui(AluOp::Add, rd, rn, imm);
+    }
+
+    pub fn sub(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Sub, rd, rn, rm);
+    }
+
+    pub fn subi(&mut self, rd: Reg, rn: Reg, imm: i64) {
+        self.alui(AluOp::Sub, rd, rn, imm);
+    }
+
+    pub fn mul(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Mul, rd, rn, rm);
+    }
+
+    pub fn and(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::And, rd, rn, rm);
+    }
+
+    pub fn andi(&mut self, rd: Reg, rn: Reg, imm: i64) {
+        self.alui(AluOp::And, rd, rn, imm);
+    }
+
+    pub fn orr(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Orr, rd, rn, rm);
+    }
+
+    pub fn eor(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Eor, rd, rn, rm);
+    }
+
+    pub fn eori(&mut self, rd: Reg, rn: Reg, imm: i64) {
+        self.alui(AluOp::Eor, rd, rn, imm);
+    }
+
+    pub fn lsli(&mut self, rd: Reg, rn: Reg, imm: i64) {
+        self.alui(AluOp::Lsl, rd, rn, imm);
+    }
+
+    pub fn lsri(&mut self, rd: Reg, rn: Reg, imm: i64) {
+        self.alui(AluOp::Lsr, rd, rn, imm);
+    }
+
+    pub fn fadd(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::FAdd, rd, rn, rm);
+    }
+
+    pub fn fmul(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::FMul, rd, rn, rm);
+    }
+
+    pub fn fsub(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::FSub, rd, rn, rm);
+    }
+
+    // --- memory -----------------------------------------------------------
+
+    pub fn ldr(&mut self, rd: Reg, rn: Reg, offset: i64, size: MemSize) {
+        self.emit(Instruction::Ldr { rd, rn, offset, size });
+    }
+
+    pub fn ldar(&mut self, rd: Reg, rn: Reg) {
+        self.emit(Instruction::Ldar { rd, rn });
+    }
+
+    pub fn stlr(&mut self, rt: Reg, rn: Reg) {
+        self.emit(Instruction::Stlr { rt, rn });
+    }
+
+    pub fn ldr_idx(&mut self, rd: Reg, rn: Reg, rm: Reg, size: MemSize) {
+        self.emit(Instruction::LdrIdx { rd, rn, rm, size });
+    }
+
+    pub fn str_(&mut self, rt: Reg, rn: Reg, offset: i64, size: MemSize) {
+        self.emit(Instruction::Str { rt, rn, offset, size });
+    }
+
+    pub fn str_idx(&mut self, rt: Reg, rn: Reg, rm: Reg, size: MemSize) {
+        self.emit(Instruction::StrIdx { rt, rn, rm, size });
+    }
+
+    pub fn ldp(&mut self, rd1: Reg, rd2: Reg, rn: Reg, offset: i64) {
+        self.emit(Instruction::Ldp { rd1, rd2, rn, offset });
+    }
+
+    pub fn stp(&mut self, rt1: Reg, rt2: Reg, rn: Reg, offset: i64) {
+        self.emit(Instruction::Stp { rt1, rt2, rn, offset });
+    }
+
+    pub fn ldm(&mut self, regs: &[Reg], rn: Reg) {
+        self.emit(Instruction::Ldm { list: RegList::of(regs), rn });
+    }
+
+    pub fn stm(&mut self, regs: &[Reg], rn: Reg) {
+        self.emit(Instruction::Stm { list: RegList::of(regs), rn });
+    }
+
+    pub fn vld(&mut self, vd: Reg, rn: Reg, offset: i64) {
+        assert!(vd.index() % 2 == 0 && vd.index() < 30, "vld needs an even pair base below x30");
+        self.emit(Instruction::Vld { vd, rn, offset });
+    }
+
+    pub fn vst(&mut self, vs: Reg, rn: Reg, offset: i64) {
+        assert!(vs.index() % 2 == 0 && vs.index() < 30, "vst needs an even pair base below x30");
+        self.emit(Instruction::Vst { vs, rn, offset });
+    }
+
+    // --- control flow -----------------------------------------------------
+
+    pub fn b(&mut self, l: Label) {
+        self.fixups.push((self.insts.len(), l, Pending::B));
+        self.emit(Instruction::B { target: 0 });
+    }
+
+    pub fn bc(&mut self, cond: Cond, rn: Reg, rm: Reg, l: Label) {
+        self.fixups.push((self.insts.len(), l, Pending::Bc(cond, rn, rm)));
+        self.emit(Instruction::Bc { cond, rn, rm, target: 0 });
+    }
+
+    pub fn beq(&mut self, rn: Reg, rm: Reg, l: Label) {
+        self.bc(Cond::Eq, rn, rm, l);
+    }
+
+    pub fn bne(&mut self, rn: Reg, rm: Reg, l: Label) {
+        self.bc(Cond::Ne, rn, rm, l);
+    }
+
+    pub fn blt(&mut self, rn: Reg, rm: Reg, l: Label) {
+        self.bc(Cond::Lt, rn, rm, l);
+    }
+
+    pub fn bge(&mut self, rn: Reg, rm: Reg, l: Label) {
+        self.bc(Cond::Ge, rn, rm, l);
+    }
+
+    pub fn cbz(&mut self, rn: Reg, l: Label) {
+        self.fixups.push((self.insts.len(), l, Pending::Cbz(rn)));
+        self.emit(Instruction::Cbz { rn, target: 0 });
+    }
+
+    pub fn cbnz(&mut self, rn: Reg, l: Label) {
+        self.fixups.push((self.insts.len(), l, Pending::Cbnz(rn)));
+        self.emit(Instruction::Cbnz { rn, target: 0 });
+    }
+
+    pub fn bl(&mut self, l: Label) {
+        self.fixups.push((self.insts.len(), l, Pending::Bl));
+        self.emit(Instruction::Bl { target: 0 });
+    }
+
+    pub fn ret(&mut self) {
+        self.emit(Instruction::Ret);
+    }
+
+    pub fn br(&mut self, rn: Reg) {
+        self.emit(Instruction::Br { rn });
+    }
+
+    pub fn blr(&mut self, rn: Reg) {
+        self.emit(Instruction::Blr { rn });
+    }
+
+    pub fn nop(&mut self) {
+        self.emit(Instruction::Nop);
+    }
+
+    pub fn halt(&mut self) {
+        self.emit(Instruction::Halt);
+    }
+
+    /// Resolves all label references and produces the final [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never placed.
+    pub fn build(self) -> Program {
+        let Asm { base, mut insts, labels, fixups, data } = self;
+        for (idx, label, pending) in fixups {
+            let target = labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never placed"));
+            insts[idx] = match pending {
+                Pending::B => Instruction::B { target },
+                Pending::Bc(cond, rn, rm) => Instruction::Bc { cond, rn, rm, target },
+                Pending::Cbz(rn) => Instruction::Cbz { rn, target },
+                Pending::Cbnz(rn) => Instruction::Cbnz { rn, target },
+                Pending::Bl => Instruction::Bl { target },
+            };
+        }
+        Program::new(base, insts, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new(0x1000);
+        let end = a.new_label();
+        let top = a.here(); // 0x1000
+        a.subi(Reg::X0, Reg::X0, 1); // 0x1000
+        a.cbz(Reg::X0, end); // 0x1004
+        a.b(top); // 0x1008
+        a.place(end); // 0x100c
+        a.halt();
+        let p = a.build();
+        assert_eq!(p.fetch(0x1004), Some(Instruction::Cbz { rn: Reg::X0, target: 0x100c }));
+        assert_eq!(p.fetch(0x1008), Some(Instruction::B { target: 0x1000 }));
+    }
+
+    #[test]
+    fn call_and_return_shapes() {
+        let mut a = Asm::new(0x2000);
+        let f = a.new_label();
+        a.bl(f); // 0x2000
+        a.halt(); // 0x2004
+        a.place(f); // 0x2008
+        a.ret();
+        let p = a.build();
+        assert_eq!(p.fetch(0x2000), Some(Instruction::Bl { target: 0x2008 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_label_panics() {
+        let mut a = Asm::new(0);
+        let l = a.new_label();
+        a.b(l);
+        let _ = a.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_place_panics() {
+        let mut a = Asm::new(0);
+        let l = a.here();
+        a.place(l);
+    }
+
+    #[test]
+    fn data_helpers_record_initializers() {
+        let mut a = Asm::new(0x1000);
+        let addr = a.data_u64(0x9000, &[0xdead, 0xbeef]);
+        a.data_f64(0xa000, &[1.0]);
+        a.halt();
+        let p = a.build();
+        assert_eq!(addr, 0x9000);
+        assert_eq!(p.data().len(), 2);
+        assert_eq!(p.data()[0].bytes.len(), 16);
+        assert_eq!(&p.data()[0].bytes[..8], &0xdeadu64.to_le_bytes());
+        assert_eq!(p.data()[1].bytes, 1.0f64.to_bits().to_le_bytes().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "even pair")]
+    fn vld_odd_register_rejected() {
+        let mut a = Asm::new(0);
+        a.vld(Reg::X3, Reg::X0, 0);
+    }
+
+    #[test]
+    fn pc_tracks_emission() {
+        let mut a = Asm::new(0x100);
+        assert_eq!(a.pc(), 0x100);
+        a.nop();
+        a.nop();
+        assert_eq!(a.pc(), 0x108);
+    }
+}

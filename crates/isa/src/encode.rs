@@ -1,0 +1,486 @@
+//! Binary instruction encoding.
+//!
+//! A variable-length little-endian format: one 32-bit header word per
+//! instruction, followed by zero, one or two 32-bit literal words for
+//! immediates/addresses that do not fit the header. This is what the trace
+//! serializer (`lvp-trace`) embeds, and it doubles as a compact on-disk
+//! program format.
+//!
+//! Header layout (bit 31 = MSB):
+//!
+//! ```text
+//! [31:26] opcode   [25:21] ra   [20:16] rb   [15:11] rc   [10:9] size   [8:0] imm9/flags
+//! ```
+//!
+//! Small signed immediates (−256..=255) ride in `imm9`; anything larger
+//! sets the `LITERAL` flag (imm9 = 0x100) and appends the value as one or
+//! two literal words. Register-list instructions carry the 32-bit mask as a
+//! literal word.
+
+use crate::inst::{AluOp, Cond, Instruction, MemSize, RegList};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    BadOpcode(u8),
+    /// The word stream ended inside an instruction.
+    Truncated,
+    /// A field held an invalid value (register, size, condition…).
+    BadField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::Truncated => write!(f, "truncated instruction stream"),
+            DecodeError::BadField(what) => write!(f, "invalid {what} field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space.
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_ALU: u8 = 2; // rc = second source; imm9 low bits = AluOp
+const OP_ALUI: u8 = 3; // literal/imm = immediate; size field reused for op high bits
+const OP_MOVI: u8 = 4;
+const OP_LDR: u8 = 5;
+const OP_LDRIDX: u8 = 6;
+const OP_STR: u8 = 7;
+const OP_STRIDX: u8 = 8;
+const OP_LDP: u8 = 9;
+const OP_STP: u8 = 10;
+const OP_LDM: u8 = 11;
+const OP_STM: u8 = 12;
+const OP_VLD: u8 = 13;
+const OP_VST: u8 = 14;
+const OP_B: u8 = 15;
+const OP_BC: u8 = 16; // imm9 low bits = Cond
+const OP_CBZ: u8 = 17;
+const OP_CBNZ: u8 = 18;
+const OP_BL: u8 = 19;
+const OP_RET: u8 = 20;
+const OP_BR: u8 = 21;
+const OP_BLR: u8 = 22;
+const OP_LDAR: u8 = 23;
+const OP_STLR: u8 = 24;
+
+fn alu_op_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Orr => 3,
+        AluOp::Eor => 4,
+        AluOp::Lsl => 5,
+        AluOp::Lsr => 6,
+        AluOp::Asr => 7,
+        AluOp::Mul => 8,
+        AluOp::Div => 9,
+        AluOp::Rem => 10,
+        AluOp::FAdd => 11,
+        AluOp::FSub => 12,
+        AluOp::FMul => 13,
+        AluOp::FDiv => 14,
+    }
+}
+
+fn alu_op_from(code: u32) -> Result<AluOp, DecodeError> {
+    Ok(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Orr,
+        4 => AluOp::Eor,
+        5 => AluOp::Lsl,
+        6 => AluOp::Lsr,
+        7 => AluOp::Asr,
+        8 => AluOp::Mul,
+        9 => AluOp::Div,
+        10 => AluOp::Rem,
+        11 => AluOp::FAdd,
+        12 => AluOp::FSub,
+        13 => AluOp::FMul,
+        14 => AluOp::FDiv,
+        _ => return Err(DecodeError::BadField("alu-op")),
+    })
+}
+
+fn cond_code(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Ltu => 4,
+        Cond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u32) -> Result<Cond, DecodeError> {
+    Ok(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Ltu,
+        5 => Cond::Geu,
+        _ => return Err(DecodeError::BadField("condition")),
+    })
+}
+
+fn size_code(s: MemSize) -> u32 {
+    match s {
+        MemSize::B => 0,
+        MemSize::H => 1,
+        MemSize::W => 2,
+        MemSize::X => 3,
+        MemSize::Q => 3, // Q only appears on VLD/VST which imply it
+    }
+}
+
+fn size_from(code: u32) -> MemSize {
+    match code {
+        0 => MemSize::B,
+        1 => MemSize::H,
+        2 => MemSize::W,
+        _ => MemSize::X,
+    }
+}
+
+fn header(op: u8, ra: Reg, rb: Reg, rc: Reg, size: u32, imm9: u32) -> u32 {
+    debug_assert!(size < 4 && imm9 < 512);
+    ((op as u32) << 26)
+        | ((ra.index() as u32) << 21)
+        | ((rb.index() as u32) << 16)
+        | ((rc.index() as u32) << 11)
+        | (size << 9)
+        | imm9
+}
+
+fn push_i64(words: &mut Vec<u32>, v: i64) {
+    let u = v as u64;
+    words.push(u as u32);
+    words.push((u >> 32) as u32);
+}
+
+/// The biased sentinel: imm9 value 0 means "a 64-bit literal follows";
+/// in-line values are stored biased by +256, giving the range −255..=255.
+const LITERAL_FLAG_BIASED: u32 = 0;
+
+fn encode_imm(words: &mut Vec<u32>, imm: i64) -> u32 {
+    if (-255..=255).contains(&imm) {
+        (imm + 256) as u32 & 0x1ff
+    } else {
+        push_i64(words, imm);
+        LITERAL_FLAG_BIASED
+    }
+}
+
+fn decode_imm(imm9: u32, words: &[u32], cursor: &mut usize) -> Result<i64, DecodeError> {
+    if imm9 == LITERAL_FLAG_BIASED {
+        let lo = *words.get(*cursor).ok_or(DecodeError::Truncated)? as u64;
+        let hi = *words.get(*cursor + 1).ok_or(DecodeError::Truncated)? as u64;
+        *cursor += 2;
+        Ok(((hi << 32) | lo) as i64)
+    } else {
+        Ok(imm9 as i64 - 256)
+    }
+}
+
+fn reg(idx: u32) -> Result<Reg, DecodeError> {
+    Reg::try_from(idx as u8).map_err(|_| DecodeError::BadField("register"))
+}
+
+/// Encodes one instruction into 1–3 words appended to `out`.
+pub fn encode(inst: Instruction, out: &mut Vec<u32>) {
+    use Instruction::*;
+    let z = Reg::ZR;
+    let at = out.len();
+    match inst {
+        Nop => out.push(header(OP_NOP, z, z, z, 0, 0)),
+        Halt => out.push(header(OP_HALT, z, z, z, 0, 0)),
+        Alu { op, rd, rn, rm } => {
+            out.push(header(OP_ALU, rd, rn, rm, 0, alu_op_code(op) + 1))
+        }
+        AluImm { op, rd, rn, imm } => {
+            out.push(0); // patched below
+            let imm9 = encode_imm(out, imm);
+            let code = alu_op_code(op);
+            out[at] = header(OP_ALUI, rd, rn, Reg::x((code & 0x1f) as u8), 0, imm9);
+        }
+        MovImm { rd, imm } => {
+            out.push(0);
+            let imm9 = encode_imm(out, imm as i64);
+            out[at] = header(OP_MOVI, rd, z, z, 0, imm9);
+        }
+        Ldr { rd, rn, offset, size } => {
+            out.push(0);
+            let imm9 = encode_imm(out, offset);
+            out[at] = header(OP_LDR, rd, rn, z, size_code(size), imm9);
+        }
+        LdrIdx { rd, rn, rm, size } => {
+            out.push(header(OP_LDRIDX, rd, rn, rm, size_code(size), 1))
+        }
+        Str { rt, rn, offset, size } => {
+            out.push(0);
+            let imm9 = encode_imm(out, offset);
+            out[at] = header(OP_STR, rt, rn, z, size_code(size), imm9);
+        }
+        StrIdx { rt, rn, rm, size } => {
+            out.push(header(OP_STRIDX, rt, rn, rm, size_code(size), 1))
+        }
+        Ldp { rd1, rd2, rn, offset } => {
+            out.push(0);
+            let imm9 = encode_imm(out, offset);
+            out[at] = header(OP_LDP, rd1, rd2, rn, 0, imm9);
+        }
+        Stp { rt1, rt2, rn, offset } => {
+            out.push(0);
+            let imm9 = encode_imm(out, offset);
+            out[at] = header(OP_STP, rt1, rt2, rn, 0, imm9);
+        }
+        Ldm { list, rn } => {
+            out.push(header(OP_LDM, z, rn, z, 0, 1));
+            out.push(list.0);
+        }
+        Stm { list, rn } => {
+            out.push(header(OP_STM, z, rn, z, 0, 1));
+            out.push(list.0);
+        }
+        Vld { vd, rn, offset } => {
+            out.push(0);
+            let imm9 = encode_imm(out, offset);
+            out[at] = header(OP_VLD, vd, rn, z, 0, imm9);
+        }
+        Vst { vs, rn, offset } => {
+            out.push(0);
+            let imm9 = encode_imm(out, offset);
+            out[at] = header(OP_VST, vs, rn, z, 0, imm9);
+        }
+        B { target } => {
+            out.push(0);
+            let imm9 = encode_imm(out, target as i64);
+            out[at] = header(OP_B, z, z, z, 0, imm9);
+        }
+        Bc { cond, rn, rm, target } => {
+            out.push(0);
+            let imm9 = encode_imm(out, target as i64);
+            // The condition rides in the ra field.
+            out[at] = header(OP_BC, Reg::x(cond_code(cond) as u8), rn, rm, 0, imm9);
+        }
+        Cbz { rn, target } => {
+            out.push(0);
+            let imm9 = encode_imm(out, target as i64);
+            out[at] = header(OP_CBZ, z, rn, z, 0, imm9);
+        }
+        Cbnz { rn, target } => {
+            out.push(0);
+            let imm9 = encode_imm(out, target as i64);
+            out[at] = header(OP_CBNZ, z, rn, z, 0, imm9);
+        }
+        Bl { target } => {
+            out.push(0);
+            let imm9 = encode_imm(out, target as i64);
+            out[at] = header(OP_BL, z, z, z, 0, imm9);
+        }
+        Ldar { rd, rn } => out.push(header(OP_LDAR, rd, rn, z, 0, 1)),
+        Stlr { rt, rn } => out.push(header(OP_STLR, rt, rn, z, 0, 1)),
+        Ret => out.push(header(OP_RET, z, z, z, 0, 1)),
+        Br { rn } => out.push(header(OP_BR, z, rn, z, 0, 1)),
+        Blr { rn } => out.push(header(OP_BLR, z, rn, z, 0, 1)),
+    }
+}
+
+/// Decodes one instruction starting at `words[0]`; returns it and the
+/// number of words consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode(words: &[u32]) -> Result<(Instruction, usize), DecodeError> {
+    use Instruction::*;
+    let w = *words.first().ok_or(DecodeError::Truncated)?;
+    let op = (w >> 26) as u8;
+    let ra = (w >> 21) & 0x1f;
+    let rb = (w >> 16) & 0x1f;
+    let rc = (w >> 11) & 0x1f;
+    let size = (w >> 9) & 0x3;
+    let imm9 = w & 0x1ff;
+    let mut cursor = 1usize;
+
+    let inst = match op {
+        OP_NOP => Nop,
+        OP_HALT => Halt,
+        OP_ALU => Alu {
+            op: alu_op_from(imm9.checked_sub(1).ok_or(DecodeError::BadField("alu-op"))?)?,
+            rd: reg(ra)?,
+            rn: reg(rb)?,
+            rm: reg(rc)?,
+        },
+        OP_ALUI => AluImm {
+            op: alu_op_from(rc)?,
+            rd: reg(ra)?,
+            rn: reg(rb)?,
+            imm: decode_imm(imm9, words, &mut cursor)?,
+        },
+        OP_MOVI => MovImm { rd: reg(ra)?, imm: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_LDR => Ldr {
+            rd: reg(ra)?,
+            rn: reg(rb)?,
+            offset: decode_imm(imm9, words, &mut cursor)?,
+            size: size_from(size),
+        },
+        OP_LDRIDX => LdrIdx { rd: reg(ra)?, rn: reg(rb)?, rm: reg(rc)?, size: size_from(size) },
+        OP_STR => Str {
+            rt: reg(ra)?,
+            rn: reg(rb)?,
+            offset: decode_imm(imm9, words, &mut cursor)?,
+            size: size_from(size),
+        },
+        OP_STRIDX => StrIdx { rt: reg(ra)?, rn: reg(rb)?, rm: reg(rc)?, size: size_from(size) },
+        OP_LDP => Ldp {
+            rd1: reg(ra)?,
+            rd2: reg(rb)?,
+            rn: reg(rc)?,
+            offset: decode_imm(imm9, words, &mut cursor)?,
+        },
+        OP_STP => Stp {
+            rt1: reg(ra)?,
+            rt2: reg(rb)?,
+            rn: reg(rc)?,
+            offset: decode_imm(imm9, words, &mut cursor)?,
+        },
+        OP_LDM | OP_STM => {
+            let mask = *words.get(cursor).ok_or(DecodeError::Truncated)?;
+            cursor += 1;
+            if mask & (1 << 31) != 0 {
+                return Err(DecodeError::BadField("register list"));
+            }
+            if op == OP_LDM {
+                Ldm { list: RegList(mask), rn: reg(rb)? }
+            } else {
+                Stm { list: RegList(mask), rn: reg(rb)? }
+            }
+        }
+        OP_VLD => {
+            let vd = reg(ra)?;
+            if vd.index() % 2 != 0 || vd.index() >= 30 {
+                return Err(DecodeError::BadField("vector register"));
+            }
+            Vld { vd, rn: reg(rb)?, offset: decode_imm(imm9, words, &mut cursor)? }
+        }
+        OP_VST => {
+            let vs = reg(ra)?;
+            if vs.index() % 2 != 0 || vs.index() >= 30 {
+                return Err(DecodeError::BadField("vector register"));
+            }
+            Vst { vs, rn: reg(rb)?, offset: decode_imm(imm9, words, &mut cursor)? }
+        }
+        OP_B => B { target: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_BC => Bc {
+            cond: cond_from(ra)?,
+            rn: reg(rb)?,
+            rm: reg(rc)?,
+            target: decode_imm(imm9, words, &mut cursor)? as u64,
+        },
+        OP_CBZ => Cbz { rn: reg(rb)?, target: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_CBNZ => Cbnz { rn: reg(rb)?, target: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_BL => Bl { target: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_LDAR => Ldar { rd: reg(ra)?, rn: reg(rb)? },
+        OP_STLR => Stlr { rt: reg(ra)?, rn: reg(rb)? },
+        OP_RET => Ret,
+        OP_BR => Br { rn: reg(rb)? },
+        OP_BLR => Blr { rn: reg(rb)? },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((inst, cursor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Instruction) {
+        let mut words = Vec::new();
+        encode(inst, &mut words);
+        let (decoded, used) = decode(&words).expect("decode");
+        assert_eq!(decoded, inst);
+        assert_eq!(used, words.len());
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        use Instruction::*;
+        let x = Reg::x;
+        for inst in [
+            Nop,
+            Halt,
+            Alu { op: AluOp::Mul, rd: x(1), rn: x(2), rm: x(3) },
+            AluImm { op: AluOp::Eor, rd: x(4), rn: x(5), imm: -7 },
+            AluImm { op: AluOp::Add, rd: x(4), rn: x(5), imm: 1 << 40 },
+            MovImm { rd: x(6), imm: 0xdead_beef_dead_beef },
+            MovImm { rd: x(6), imm: 3 },
+            Ldr { rd: x(1), rn: x(2), offset: 255, size: MemSize::W },
+            Ldr { rd: x(1), rn: x(2), offset: -256, size: MemSize::B },
+            Ldr { rd: x(1), rn: x(2), offset: 100_000, size: MemSize::X },
+            LdrIdx { rd: x(1), rn: x(2), rm: x(3), size: MemSize::H },
+            Str { rt: x(9), rn: x(8), offset: 64, size: MemSize::X },
+            StrIdx { rt: x(9), rn: x(8), rm: x(7), size: MemSize::W },
+            Ldp { rd1: x(1), rd2: x(2), rn: x(3), offset: 16 },
+            Stp { rt1: x(1), rt2: x(2), rn: x(3), offset: -16 },
+            Ldm { list: RegList::of(&[x(1), x(5), x(9)]), rn: x(0) },
+            Stm { list: RegList::of(&[x(2), x(30)]), rn: x(0) },
+            Vld { vd: x(4), rn: x(1), offset: 32 },
+            Vst { vs: x(28), rn: x(1), offset: 1 << 20 },
+            B { target: 0x1_0000 },
+            Bc { cond: Cond::Ltu, rn: x(3), rm: x(4), target: 0x2_0000 },
+            Cbz { rn: x(5), target: 0x44 },
+            Cbnz { rn: x(6), target: 0x48 },
+            Bl { target: 0x9_0000 },
+            Ret,
+            Br { rn: x(7) },
+            Blr { rn: x(8) },
+            Ldar { rd: x(9), rn: x(10) },
+            Stlr { rt: x(11), rn: x(12) },
+        ] {
+            roundtrip(inst);
+        }
+    }
+
+    #[test]
+    fn small_immediates_stay_single_word() {
+        let mut w = Vec::new();
+        encode(Instruction::Ldr { rd: Reg::X1, rn: Reg::X2, offset: 8, size: MemSize::X }, &mut w);
+        assert_eq!(w.len(), 1);
+        w.clear();
+        encode(Instruction::Ldr { rd: Reg::X1, rn: Reg::X2, offset: 4096, size: MemSize::X }, &mut w);
+        assert_eq!(w.len(), 3, "large offsets take a 64-bit literal");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert!(matches!(decode(&[0xffff_ffff]), Err(DecodeError::BadOpcode(_))));
+        // ALUI with literal flag but no literal words.
+        let mut w = Vec::new();
+        encode(
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::X1, rn: Reg::X2, imm: 1 << 30 },
+            &mut w,
+        );
+        assert_eq!(decode(&w[..1]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_odd_vector_register() {
+        // Hand-build a VLD header with an odd register.
+        let w = ((OP_VLD as u32) << 26) | (3 << 21) | (1 << 16) | 300;
+        assert_eq!(decode(&[w]), Err(DecodeError::BadField("vector register")));
+    }
+}

@@ -1,0 +1,138 @@
+//! A linked program: instructions at a base address plus data-segment
+//! initializers.
+
+use crate::inst::Instruction;
+use crate::INST_BYTES;
+use std::fmt;
+
+/// A data-segment initializer: `bytes` copied to `addr` before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataInit {
+    pub addr: u64,
+    pub bytes: Vec<u8>,
+}
+
+/// A fully linked program ready for emulation.
+///
+/// Instruction `i` lives at `base + 4*i`. The program is immutable once
+/// built; use [`crate::Asm`] to construct one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    base: u64,
+    insts: Vec<Instruction>,
+    data: Vec<DataInit>,
+}
+
+impl Program {
+    /// Creates a program from parts. Prefer [`crate::Asm::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn new(base: u64, insts: Vec<Instruction>, data: Vec<DataInit>) -> Program {
+        assert!(base % INST_BYTES == 0, "program base must be 4-byte aligned");
+        Program { base, insts, data }
+    }
+
+    /// Base address of the first instruction.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at byte address `pc`, if in range and aligned.
+    pub fn fetch(&self, pc: u64) -> Option<Instruction> {
+        if pc < self.base || (pc - self.base) % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = ((pc - self.base) / INST_BYTES) as usize;
+        self.insts.get(idx).copied()
+    }
+
+    /// All instructions with their addresses.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Instruction)> + '_ {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(move |(i, &inst)| (self.base + i as u64 * INST_BYTES, inst))
+    }
+
+    /// Data-segment initializers.
+    pub fn data(&self) -> &[DataInit] {
+        &self.data
+    }
+
+    /// Address one past the last instruction.
+    pub fn end(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_BYTES
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.iter() {
+            writeln!(f, "{pc:#010x}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Reg};
+
+    fn tiny() -> Program {
+        Program::new(
+            0x1000,
+            vec![
+                Instruction::MovImm { rd: Reg::X1, imm: 42 },
+                Instruction::AluImm { op: AluOp::Add, rd: Reg::X1, rn: Reg::X1, imm: 1 },
+                Instruction::Halt,
+            ],
+            vec![DataInit { addr: 0x8000, bytes: vec![1, 2, 3] }],
+        )
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = tiny();
+        assert_eq!(p.fetch(0x1000), Some(Instruction::MovImm { rd: Reg::X1, imm: 42 }));
+        assert_eq!(p.fetch(0x1008), Some(Instruction::Halt));
+        assert_eq!(p.fetch(0x0ffc), None);
+        assert_eq!(p.fetch(0x100c), None, "past the end");
+        assert_eq!(p.fetch(0x1002), None, "misaligned");
+    }
+
+    #[test]
+    fn iter_addresses() {
+        let p = tiny();
+        let pcs: Vec<u64> = p.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![0x1000, 0x1004, 0x1008]);
+        assert_eq!(p.end(), 0x100c);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_base_rejected() {
+        let _ = Program::new(0x1001, vec![], vec![]);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let text = tiny().to_string();
+        assert!(text.contains("0x00001000"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Architectural register names.
+//!
+//! The ISA has 31 general-purpose 64-bit registers `X0..X30` plus a
+//! hard-wired zero register [`Reg::ZR`]. `X29` doubles as the frame pointer
+//! and `X30` as the link register (written by `BL`/`BLR`), mirroring AArch64
+//! conventions. Vector loads ([`crate::Instruction::Vld`]) write a *pair* of
+//! X registers rather than a separate vector file — what matters for value
+//! prediction is the number of 64-bit destination chunks, not the file they
+//! live in.
+
+use std::fmt;
+
+/// A general-purpose register identifier.
+///
+/// `Reg` is a thin validated wrapper over the register number; construct one
+/// with the named constants (`Reg::X0`…), [`Reg::x`], or [`Reg::try_from`].
+///
+/// ```
+/// use lvp_isa::Reg;
+/// assert_eq!(Reg::x(7), Reg::X7);
+/// assert_eq!(Reg::ZR.index(), 31);
+/// assert!(Reg::ZR.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+macro_rules! named_regs {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl Reg {
+            $(pub const $name: Reg = Reg($n);)*
+        }
+    };
+}
+
+named_regs! {
+    X0 = 0, X1 = 1, X2 = 2, X3 = 3, X4 = 4, X5 = 5, X6 = 6, X7 = 7,
+    X8 = 8, X9 = 9, X10 = 10, X11 = 11, X12 = 12, X13 = 13, X14 = 14, X15 = 15,
+    X16 = 16, X17 = 17, X18 = 18, X19 = 19, X20 = 20, X21 = 21, X22 = 22,
+    X23 = 23, X24 = 24, X25 = 25, X26 = 26, X27 = 27, X28 = 28, X29 = 29,
+    X30 = 30,
+}
+
+impl Reg {
+    /// The hard-wired zero register. Reads return 0; writes are discarded.
+    pub const ZR: Reg = Reg(31);
+    /// Frame pointer alias (`X29`).
+    pub const FP: Reg = Reg::X29;
+    /// Link register alias (`X30`), written by `BL` and `BLR`.
+    pub const LR: Reg = Reg::X30;
+
+    /// Number of architectural registers including the zero register.
+    pub const COUNT: usize = 32;
+
+    /// Returns the register `X<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    #[inline]
+    pub const fn x(n: u8) -> Reg {
+        assert!(n <= 31, "register index out of range");
+        Reg(n)
+    }
+
+    /// The raw register number in `0..=31`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = InvalidReg;
+
+    fn try_from(n: u8) -> Result<Reg, InvalidReg> {
+        if n <= 31 {
+            Ok(Reg(n))
+        } else {
+            Err(InvalidReg(n))
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Error returned when converting an out-of-range number to a [`Reg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidReg(pub u8);
+
+impl fmt::Display for InvalidReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register number {} (must be 0..=31)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidReg {}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "zr")
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_have_expected_indices() {
+        assert_eq!(Reg::X0.index(), 0);
+        assert_eq!(Reg::X30.index(), 30);
+        assert_eq!(Reg::ZR.index(), 31);
+        assert_eq!(Reg::LR, Reg::X30);
+        assert_eq!(Reg::FP, Reg::X29);
+    }
+
+    #[test]
+    fn try_from_validates() {
+        assert_eq!(Reg::try_from(5), Ok(Reg::X5));
+        assert_eq!(Reg::try_from(31), Ok(Reg::ZR));
+        assert_eq!(Reg::try_from(32), Err(InvalidReg(32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn x_panics_out_of_range() {
+        let _ = Reg::x(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::X3.to_string(), "x3");
+        assert_eq!(Reg::ZR.to_string(), "zr");
+        assert_eq!(format!("{:?}", Reg::X12), "x12");
+    }
+
+    #[test]
+    fn only_zr_is_zero() {
+        for n in 0..31u8 {
+            assert!(!Reg::x(n).is_zero());
+        }
+        assert!(Reg::ZR.is_zero());
+    }
+}

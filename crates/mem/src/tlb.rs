@@ -1,0 +1,139 @@
+//! Data TLB: 512-entry, 8-way set-associative over 4 KiB pages (paper
+//! Table 4), with a fixed page-walk penalty on miss.
+
+/// TLB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    pub entries: usize,
+    pub ways: usize,
+    pub page_bytes: u64,
+    /// Cycles added to an access on a TLB miss (page-table walk).
+    pub miss_penalty: u32,
+}
+
+impl Default for TlbConfig {
+    fn default() -> TlbConfig {
+        TlbConfig { entries: 512, ways: 8, page_bytes: 4096, miss_penalty: 30 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbLine {
+    vpn: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    pub accesses: u64,
+    pub misses: u64,
+}
+
+/// A set-associative TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<TlbLine>>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible into a power-of-two set count.
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        let sets = cfg.entries / cfg.ways;
+        assert!(sets >= 1 && sets.is_power_of_two(), "TLB set count must be a power of two");
+        Tlb { cfg, sets: vec![vec![TlbLine::default(); cfg.ways]; sets], tick: 0, stats: TlbStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TlbConfig {
+        self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Translates `addr`; returns the added latency (0 on hit, the walk
+    /// penalty on miss) and fills on miss.
+    pub fn access(&mut self, addr: u64) -> u32 {
+        self.stats.accesses += 1;
+        let vpn = addr / self.cfg.page_bytes;
+        let set = (vpn % self.sets.len() as u64) as usize;
+        self.tick += 1;
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.valid && l.vpn == vpn) {
+            l.lru = self.tick;
+            return 0;
+        }
+        self.stats.misses += 1;
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(w, _)| w)
+            .expect("TLB ways must be non-zero");
+        self.sets[set][victim] = TlbLine { vpn, valid: true, lru: self.tick };
+        self.cfg.miss_penalty
+    }
+
+    /// Pure lookup (no fill, no stats) — used by tests.
+    pub fn contains(&self, addr: u64) -> bool {
+        let vpn = addr / self.cfg.page_bytes;
+        let set = (vpn % self.sets.len() as u64) as usize;
+        self.sets[set].iter().any(|l| l.valid && l.vpn == vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Tlb {
+        Tlb::new(TlbConfig { entries: 8, ways: 2, page_bytes: 4096, miss_penalty: 30 })
+    }
+
+    #[test]
+    fn miss_fills_then_hits() {
+        let mut t = small();
+        assert_eq!(t.access(0x1234), 30);
+        assert_eq!(t.access(0x1ffc), 0, "same page");
+        assert_eq!(t.access(0x2000), 30, "next page misses");
+        assert_eq!(t.stats().misses, 2);
+        assert_eq!(t.stats().accesses, 3);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut t = small(); // 4 sets, 2 ways; pages mapping to set 0: vpn 0,4,8
+        t.access(0x0000); // vpn 0
+        t.access(0x4000); // vpn 4
+        t.access(0x0000); // touch vpn 0
+        t.access(0x8000); // vpn 8 evicts vpn 4
+        assert!(t.contains(0x0000));
+        assert!(!t.contains(0x4000));
+        assert!(t.contains(0x8000));
+    }
+
+    #[test]
+    fn default_is_table4_shape() {
+        let cfg = TlbConfig::default();
+        assert_eq!(cfg.entries, 512);
+        assert_eq!(cfg.ways, 8);
+        let t = Tlb::new(cfg);
+        assert_eq!(t.config().page_bytes, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Tlb::new(TlbConfig { entries: 6, ways: 2, page_bytes: 4096, miss_penalty: 1 });
+    }
+}

@@ -1,0 +1,213 @@
+//! Binary trace serialization.
+//!
+//! Traces can be captured once (functional emulation is the expensive part
+//! for long runs) and replayed through many timing configurations. The
+//! format is little-endian:
+//!
+//! ```text
+//! magic "LVPT" | version u32 | record count u64
+//! per record:
+//!   pc u64 | next_pc u64 | eff_addr u64 | value u64
+//!   inst_words u8 | words u32 × inst_words      (lvp-isa binary encoding)
+//!   extra_count u8 | extras u64 × extra_count
+//! ```
+//!
+//! Readers and writers are generic over [`std::io::Read`]/[`std::io::Write`];
+//! pass `&mut file` if you need the handle afterwards.
+
+use crate::record::{Trace, TraceRecord};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LVPT";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading a serialized trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// An embedded instruction failed to decode.
+    BadInstruction(lvp_isa::DecodeError),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadInstruction(e) => write!(f, "corrupt instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> TraceIoError {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes `trace` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut words = Vec::with_capacity(3);
+    for rec in trace.records() {
+        w.write_all(&rec.pc.to_le_bytes())?;
+        w.write_all(&rec.next_pc.to_le_bytes())?;
+        w.write_all(&rec.eff_addr.to_le_bytes())?;
+        w.write_all(&rec.value.to_le_bytes())?;
+        words.clear();
+        lvp_isa::encode(rec.inst, &mut words);
+        w.write_all(&[words.len() as u8])?;
+        for word in &words {
+            w.write_all(&word.to_le_bytes())?;
+        }
+        let extras: &[u64] = rec.extra_values.as_deref().unwrap_or(&[]);
+        w.write_all(&[extras.len() as u8])?;
+        for x in extras {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let count = read_u64(&mut r)?;
+    let mut trace = Trace::new();
+    let mut words = Vec::with_capacity(3);
+    for _ in 0..count {
+        let pc = read_u64(&mut r)?;
+        let next_pc = read_u64(&mut r)?;
+        let eff_addr = read_u64(&mut r)?;
+        let value = read_u64(&mut r)?;
+        let n_words = read_u8(&mut r)? as usize;
+        words.clear();
+        for _ in 0..n_words {
+            words.push(read_u32(&mut r)?);
+        }
+        let (inst, used) =
+            lvp_isa::decode(&words).map_err(TraceIoError::BadInstruction)?;
+        if used != n_words {
+            return Err(TraceIoError::BadInstruction(lvp_isa::DecodeError::Truncated));
+        }
+        let n_extra = read_u8(&mut r)? as usize;
+        let extra_values = if n_extra == 0 {
+            None
+        } else {
+            let mut v = Vec::with_capacity(n_extra);
+            for _ in 0..n_extra {
+                v.push(read_u64(&mut r)?);
+            }
+            Some(v.into_boxed_slice())
+        };
+        trace.push(TraceRecord { seq: 0, pc, inst, next_pc, eff_addr, value, extra_values });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_util::{load, store};
+    use lvp_isa::{Instruction, Reg, RegList};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(load(0x1000, 0x8000, 42));
+        t.push(store(0x1004, 0x8008, 7));
+        let mut ldm = load(0x1008, 0x9000, 1);
+        ldm.inst = Instruction::Ldm { list: RegList::of(&[Reg::X1, Reg::X2]), rn: Reg::X0 };
+        ldm.extra_values = Some(vec![2].into_boxed_slice());
+        t.push(ldm);
+        let mut br = load(0x100c, 0, 0);
+        br.inst = Instruction::B { target: 0x1000 };
+        br.next_pc = 0x1000;
+        br.eff_addr = 0;
+        t.push(br);
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let cut = &buf[..buf.len() - 3];
+        assert!(matches!(read_trace(cut).unwrap_err(), TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"LVPT");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(read_trace(buf.as_slice()).unwrap_err(), TraceIoError::BadVersion(99)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(), &mut buf).unwrap();
+        assert!(read_trace(buf.as_slice()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Trace record and trace container types.
+
+use lvp_isa::Instruction;
+
+/// One dynamically executed instruction.
+///
+/// Multi-destination loads (LDP/LDM/VLD) carry their first loaded 64-bit
+/// chunk in [`TraceRecord::value`] and the remaining chunks in
+/// [`TraceRecord::extra_values`]; single-destination records leave the latter
+/// `None` so the common case stays allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Dynamic sequence number (0-based, dense).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Instruction,
+    /// Address of the next dynamically executed instruction (branch outcome).
+    pub next_pc: u64,
+    /// Effective memory address (0 when the instruction is not a memory op).
+    pub eff_addr: u64,
+    /// First loaded 64-bit chunk (loads), or the first stored chunk (stores),
+    /// zero-extended for sub-word accesses. Zero for non-memory ops.
+    pub value: u64,
+    /// Remaining loaded/stored 64-bit chunks for multi-destination ops.
+    pub extra_values: Option<Box<[u64]>>,
+}
+
+impl TraceRecord {
+    /// Whether this record is a taken control transfer.
+    pub fn taken(&self) -> bool {
+        self.next_pc != self.pc.wrapping_add(lvp_isa::INST_BYTES)
+    }
+
+    /// All loaded/stored 64-bit chunks in order.
+    pub fn all_values(&self) -> Vec<u64> {
+        let mut v = vec![self.value];
+        if let Some(extra) = &self.extra_values {
+            v.extend_from_slice(extra);
+        }
+        v
+    }
+
+    /// Convenience view for load records, used by the standalone predictor
+    /// evaluations.
+    pub fn as_load(&self) -> Option<LoadView> {
+        if self.inst.is_load() {
+            Some(LoadView {
+                seq: self.seq,
+                pc: self.pc,
+                addr: self.eff_addr,
+                bytes: self.inst.mem_bytes().unwrap_or(8),
+                value: self.value,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Flat view of a dynamic load, used by standalone (timing-free) predictor
+/// evaluation such as the Figure 4 harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadView {
+    pub seq: u64,
+    pub pc: u64,
+    pub addr: u64,
+    pub bytes: u64,
+    pub value: u64,
+}
+
+/// An ordered dynamic trace with summary counters.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Creates a trace from records, asserting dense sequence numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequence numbers are not `0..n`.
+    pub fn from_records(records: Vec<TraceRecord>) -> Trace {
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "trace sequence numbers must be dense");
+        }
+        Trace { records }
+    }
+
+    /// Appends a record, assigning the next sequence number.
+    pub fn push(&mut self, mut rec: TraceRecord) {
+        rec.seq = self.records.len() as u64;
+        self.records.push(rec);
+    }
+
+    /// All records in program order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterator over dynamic loads.
+    pub fn loads(&self) -> impl Iterator<Item = LoadView> + '_ {
+        self.records.iter().filter_map(TraceRecord::as_load)
+    }
+
+    /// Count of dynamic loads.
+    pub fn load_count(&self) -> usize {
+        self.records.iter().filter(|r| r.inst.is_load()).count()
+    }
+
+    /// Count of dynamic stores.
+    pub fn store_count(&self) -> usize {
+        self.records.iter().filter(|r| r.inst.is_store()).count()
+    }
+
+    /// Count of dynamic branches.
+    pub fn branch_count(&self) -> usize {
+        self.records.iter().filter(|r| r.inst.is_branch()).count()
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Trace {
+        let mut t = Trace::new();
+        for r in iter {
+            t.push(r);
+        }
+        t
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, iter: I) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use lvp_isa::{Instruction, MemSize, Reg};
+
+    /// Builds a load record (for analytics tests).
+    pub fn load(pc: u64, addr: u64, value: u64) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            pc,
+            inst: Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            next_pc: pc + 4,
+            eff_addr: addr,
+            value,
+            extra_values: None,
+        }
+    }
+
+    /// Builds a store record.
+    pub fn store(pc: u64, addr: u64, value: u64) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            pc,
+            inst: Instruction::Str { rt: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            next_pc: pc + 4,
+            eff_addr: addr,
+            value,
+            extra_values: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::*;
+    use super::*;
+    use lvp_isa::Instruction;
+
+    #[test]
+    fn push_assigns_dense_seq() {
+        let mut t = Trace::new();
+        t.push(load(0x100, 0x8000, 1));
+        t.push(store(0x104, 0x8000, 2));
+        assert_eq!(t.records()[0].seq, 0);
+        assert_eq!(t.records()[1].seq, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.load_count(), 1);
+        assert_eq!(t.store_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn from_records_checks_density() {
+        let mut r = load(0, 0, 0);
+        r.seq = 5;
+        let _ = Trace::from_records(vec![r]);
+    }
+
+    #[test]
+    fn taken_detection() {
+        let mut r = load(0x100, 0, 0);
+        assert!(!r.taken());
+        r.inst = Instruction::B { target: 0x200 };
+        r.next_pc = 0x200;
+        assert!(r.taken());
+    }
+
+    #[test]
+    fn load_view_exposes_fields() {
+        let t: Trace = vec![load(0x10, 0xdead0, 7)].into_iter().collect();
+        let views: Vec<_> = t.loads().collect();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].addr, 0xdead0);
+        assert_eq!(views[0].value, 7);
+        assert_eq!(views[0].bytes, 8);
+    }
+
+    #[test]
+    fn all_values_includes_extras() {
+        let mut r = load(0, 0, 1);
+        r.extra_values = Some(vec![2, 3].into_boxed_slice());
+        assert_eq!(r.all_values(), vec![1, 2, 3]);
+        assert_eq!(load(0, 0, 9).all_values(), vec![9]);
+    }
+
+    #[test]
+    fn store_is_not_a_load_view() {
+        assert!(store(0, 0, 0).as_load().is_none());
+        let ret = TraceRecord {
+            seq: 0,
+            pc: 0,
+            inst: Instruction::Ret,
+            next_pc: 0x40,
+            eff_addr: 0,
+            value: 0,
+            extra_values: None,
+        };
+        assert!(ret.as_load().is_none());
+        assert!(ret.taken());
+    }
+}

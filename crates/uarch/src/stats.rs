@@ -1,0 +1,140 @@
+//! Simulation statistics and energy-relevant event counters.
+
+use lvp_mem::HierarchyStats;
+
+/// Everything the experiment harnesses need from one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    pub cycles: u64,
+    pub instructions: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub branches: u64,
+    /// Conditional-branch direction mispredictions.
+    pub branch_mispredicts: u64,
+    /// Indirect-target (ITTAGE) mispredictions.
+    pub indirect_mispredicts: u64,
+    /// Return-address mispredictions.
+    pub return_mispredicts: u64,
+    /// Memory-ordering violations (load executed before a conflicting older
+    /// store whose dependence the MDP missed).
+    pub ordering_violations: u64,
+    /// Loads whose execution the MDP delayed behind a predicted store.
+    pub mdp_delays: u64,
+    /// Sum over mispredicted branches of (resolve cycle − fetch cycle):
+    /// total exposure that early resolution (e.g. via value prediction)
+    /// can reduce.
+    pub misp_resolve_sum: u64,
+
+    // --- value prediction ---------------------------------------------
+    /// Instructions injected with a predicted value at rename.
+    pub vp_predicted: u64,
+    /// Of those, predictions for load instructions.
+    pub vp_predicted_loads: u64,
+    /// Correct predictions.
+    pub vp_correct: u64,
+    /// Mispredictions that triggered a pipeline flush (Flush recovery).
+    pub vp_flushes: u64,
+    /// Mispredictions absorbed by oracle replay (OracleReplay recovery).
+    pub vp_replays: u64,
+    /// Predictions dropped because the PVT was full.
+    pub vp_pvt_full: u64,
+    /// Predictions dropped because the value arrived after rename.
+    pub vp_late: u64,
+
+    // --- energy events --------------------------------------------------
+    /// Physical-register-file read/write port activations.
+    pub prf_reads: u64,
+    pub prf_writes: u64,
+    /// Predicted-values-table read/write activations.
+    pub pvt_reads: u64,
+    pub pvt_writes: u64,
+    /// Memory hierarchy counters (includes DLVP probe activity).
+    pub mem: HierarchyStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Paper's coverage definition: predicted dynamic loads / dynamic loads.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.vp_predicted_loads, self.loads)
+    }
+
+    /// Paper's accuracy definition: correct predictions / predictions.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.vp_correct, self.vp_predicted)
+    }
+
+    /// Speedup of `self` over a `baseline` run of the same trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs executed different instruction counts.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.instructions, baseline.instructions,
+            "speedup requires runs over the same trace"
+        );
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 100,
+            instructions: 250,
+            loads: 50,
+            vp_predicted: 20,
+            vp_predicted_loads: 20,
+            vp_correct: 19,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.coverage() - 0.4).abs() < 1e-12);
+        assert!((s.accuracy() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_compares_cycles() {
+        let base = SimStats { cycles: 200, instructions: 100, ..SimStats::default() };
+        let fast = SimStats { cycles: 160, instructions: 100, ..SimStats::default() };
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same trace")]
+    fn speedup_rejects_mismatched_traces() {
+        let a = SimStats { instructions: 100, cycles: 1, ..SimStats::default() };
+        let b = SimStats { instructions: 101, cycles: 1, ..SimStats::default() };
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Focused unit tests of the timing model's structural behaviours:
+//! front-end backpressure, flush shadows, queue capacities and the
+//! value-prediction injection limits. Kept in a separate module so the
+//! engine file stays readable.
+
+#![cfg(test)]
+
+use crate::config::CoreConfig;
+use crate::core::{simulate, Core};
+use crate::vp::{NoVp, OracleLoadVp};
+use lvp_emu::Emulator;
+use lvp_isa::{Asm, MemSize, Reg};
+use lvp_trace::Trace;
+
+fn alu_loop(n: u64) -> Trace {
+    let mut a = Asm::new(0x1000);
+    let top = a.here();
+    for i in 0..8 {
+        a.addi(Reg::x(1 + i), Reg::x(1 + i), 1);
+    }
+    a.b(top);
+    Emulator::new(a.build()).run(n).trace
+}
+
+fn load_loop(n: u64) -> Trace {
+    let mut a = Asm::new(0x1000);
+    a.data_u64(0x8000, &[7]);
+    a.mov(Reg::X0, 0x8000);
+    let top = a.here();
+    a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+    a.ldr(Reg::X2, Reg::X0, 0, MemSize::X);
+    a.addi(Reg::X3, Reg::X3, 1);
+    a.b(top);
+    Emulator::new(a.build()).run(n).trace
+}
+
+#[test]
+fn width_bound_ipc_approaches_frontend_width() {
+    // Independent ALU chains: the 4-wide front-end is the bottleneck
+    // (the taken backedge ends a fetch group, so a 9-instruction loop
+    // fetches in 3 groups -> IPC ceiling of 3).
+    let t = alu_loop(40_000);
+    let s = simulate(&t, NoVp);
+    assert!(s.ipc() > 2.8, "expected near-width IPC, got {}", s.ipc());
+    assert!(s.ipc() <= 4.05, "cannot beat the front-end width: {}", s.ipc());
+}
+
+#[test]
+fn fetch_buffer_limits_runahead() {
+    // With a tiny fetch buffer the front-end cannot hide a slow backend:
+    // shrinking the buffer must not accelerate anything.
+    let t = load_loop(20_000);
+    let tight = Core::new(CoreConfig { fetch_buffer: 8, ..CoreConfig::default() }, NoVp).run(&t);
+    let wide = Core::new(CoreConfig { fetch_buffer: 512, ..CoreConfig::default() }, NoVp).run(&t);
+    assert!(tight.cycles >= wide.cycles, "tight {} vs wide {}", tight.cycles, wide.cycles);
+}
+
+#[test]
+fn ls_lane_count_gates_load_throughput() {
+    let t = load_loop(20_000);
+    let two = Core::new(CoreConfig::default(), NoVp).run(&t);
+    let one = Core::new(
+        CoreConfig { ls_lanes: 1, generic_lanes: 7, ..CoreConfig::default() },
+        NoVp,
+    )
+    .run(&t);
+    assert!(one.cycles > two.cycles, "1 LS lane {} vs 2 lanes {}", one.cycles, two.cycles);
+}
+
+#[test]
+fn rob_capacity_gates_latency_tolerance() {
+    // A stream of independent loads with occasional long-latency misses:
+    // a small ROB cannot overlap them.
+    let mut a = Asm::new(0x1000);
+    a.mov(Reg::X0, 0x10_0000);
+    let top = a.here();
+    a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+    a.addi(Reg::X0, Reg::X0, 4096); // new page & block every time
+    a.addi(Reg::X2, Reg::X2, 1);
+    a.b(top);
+    let t = Emulator::new(a.build()).run(20_000).trace;
+    let big = Core::new(CoreConfig::default(), NoVp).run(&t);
+    let small = Core::new(CoreConfig { rob_entries: 16, ..CoreConfig::default() }, NoVp).run(&t);
+    assert!(
+        small.cycles > big.cycles * 11 / 10,
+        "16-entry ROB {} should clearly trail 224-entry {}",
+        small.cycles,
+        big.cycles
+    );
+}
+
+#[test]
+fn pvt_capacity_limits_inflight_predictions() {
+    let t = load_loop(20_000);
+    let tiny = Core::new(CoreConfig { pvt_entries: 1, ..CoreConfig::default() }, OracleLoadVp::default())
+        .run(&t);
+    let full = Core::new(CoreConfig::default(), OracleLoadVp::default()).run(&t);
+    assert!(tiny.vp_pvt_full > 0, "a 1-entry PVT must overflow");
+    assert!(tiny.vp_predicted < full.vp_predicted);
+}
+
+#[test]
+fn injection_rate_is_two_per_cycle() {
+    // A group of 4 loads per cycle: only 2 can be injected per rename cycle.
+    let mut a = Asm::new(0x1000);
+    a.mov(Reg::X0, 0x8000);
+    let top = a.here();
+    a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+    a.ldr(Reg::X2, Reg::X0, 8, MemSize::X);
+    a.ldr(Reg::X3, Reg::X0, 16, MemSize::X);
+    a.ldr(Reg::X4, Reg::X0, 24, MemSize::X);
+    a.b(top);
+    let t = Emulator::new(a.build()).run(20_000).trace;
+    let s = Core::new(CoreConfig::default(), OracleLoadVp::default()).run(&t);
+    assert!(s.vp_late > 0, "the 2/cycle limit must bite on a 4-load group");
+    assert!(s.vp_predicted > 0);
+}
+
+#[test]
+fn icache_misses_slow_cold_code() {
+    // A long straight-line code path: every 64B block misses the L1I once.
+    let mut a = Asm::new(0x1000);
+    for _ in 0..4000 {
+        a.addi(Reg::X1, Reg::X1, 1);
+    }
+    a.halt();
+    let t = Emulator::new(a.build()).run(4_000).trace;
+    let s = simulate(&t, NoVp);
+    assert!(s.mem.l1i.misses > 100, "cold I-stream must miss: {:?}", s.mem.l1i);
+}
+
+#[test]
+fn branch_mispredicts_cost_refill_latency() {
+    // An unpredictable branch (LCG-driven) vs a biased one.
+    let build = |random: bool| {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X11, 0x2545f4914f6cdd1d);
+        let top = a.here();
+        a.alui(lvp_isa::AluOp::Mul, Reg::X11, Reg::X11, 0x5851f42d4c957f2d);
+        a.addi(Reg::X11, Reg::X11, 12345);
+        a.lsri(Reg::X1, Reg::X11, 40);
+        a.andi(Reg::X1, Reg::X1, 1);
+        let skip = a.new_label();
+        if random {
+            a.cbz(Reg::X1, skip);
+        } else {
+            a.cbz(Reg::ZR, skip); // always taken
+        }
+        a.addi(Reg::X2, Reg::X2, 1);
+        a.place(skip);
+        a.addi(Reg::X3, Reg::X3, 1);
+        a.b(top);
+        Emulator::new(a.build()).run(30_000).trace
+    };
+    let biased = simulate(&build(false), NoVp);
+    let random = simulate(&build(true), NoVp);
+    assert!(random.branch_mispredicts > 1_000);
+    assert!(biased.branch_mispredicts < 50);
+    // Same instruction counts, so cycles are comparable directly.
+    assert!(
+        random.cycles > biased.cycles * 3 / 2,
+        "mispredicts must dominate: {} vs {}",
+        random.cycles,
+        biased.cycles
+    );
+}
+
+#[test]
+fn finite_btb_costs_cold_taken_branches() {
+    // A loop over many distinct taken branches: with a tiny BTB every
+    // (correctly-directed) taken branch still redirects on its cold target.
+    let mut a = Asm::new(0x1000);
+    let top = a.here();
+    for _ in 0..64 {
+        let l = a.new_label();
+        a.b(l); // taken direct branch to the next instruction group
+        a.place(l);
+        a.addi(Reg::X1, Reg::X1, 1);
+    }
+    a.b(top);
+    let t = Emulator::new(a.build()).run(20_000).trace;
+    let perfect = Core::new(CoreConfig::default(), NoVp).run(&t);
+    let finite = Core::new(
+        CoreConfig {
+            btb: Some(lvp_branch::BtbConfig { entries: 16, ways: 2 }),
+            ..CoreConfig::default()
+        },
+        NoVp,
+    )
+    .run(&t);
+    assert_eq!(perfect.branch_mispredicts, 0);
+    assert!(finite.branch_mispredicts > 100, "got {}", finite.branch_mispredicts);
+    assert!(finite.cycles > perfect.cycles);
+}
+
+#[test]
+fn store_set_mdp_converges() {
+    // Store→load same address back to back: early violations train the MDP;
+    // steady state has none.
+    let mut a = Asm::new(0x1000);
+    a.mov(Reg::X0, 0x8000);
+    let top = a.here();
+    a.addi(Reg::X1, Reg::X1, 1);
+    a.str_(Reg::X1, Reg::X0, 0, MemSize::X);
+    a.ldr(Reg::X2, Reg::X0, 0, MemSize::X);
+    a.add(Reg::X3, Reg::X3, Reg::X2);
+    a.b(top);
+    let t = Emulator::new(a.build()).run(40_000).trace;
+    let s = simulate(&t, NoVp);
+    assert!(s.ordering_violations > 0);
+    assert!(
+        s.ordering_violations < 20,
+        "MDP must stop the violations quickly, got {}",
+        s.ordering_violations
+    );
+    assert!(s.mdp_delays > 5_000, "loads should be delayed instead: {}", s.mdp_delays);
+}

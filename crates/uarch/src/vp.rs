@@ -1,0 +1,186 @@
+//! The value-prediction scheme interface.
+//!
+//! The core model is generic over a [`VpScheme`]: the DLVP crate implements
+//! this trait for PAP-based DLVP, CAP-based DLVP, VTAGE and the tournament
+//! combination. The engine calls the scheme at three points:
+//!
+//! 1. [`VpScheme::on_fetch`] — in program order, for every instruction, at
+//!    its fetch cycle. Address predictors look up their tables here and may
+//!    schedule opportunistic data-cache probes through [`FetchCtx`].
+//! 2. [`VpScheme::prediction_at_rename`] — when an instruction with
+//!    destination registers reaches rename; returns whether a timely
+//!    predicted value is available for injection.
+//! 3. [`VpScheme::on_execute`] — with the actual execution results, for
+//!    training and for the final correct/incorrect verdict.
+
+use crate::lanes::LaneTracker;
+use lvp_branch::GlobalHistory;
+use lvp_isa::Instruction;
+use lvp_mem::MemoryHierarchy;
+
+/// One instruction as seen by the front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchSlot {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    pub pc: u64,
+    /// Fetch group address — the paper's FGA, used by PAP as a proxy for
+    /// the load PC (§3.1.1).
+    pub fga: u64,
+    /// Position of this instruction within its fetch group.
+    pub index_in_group: u32,
+    /// How many loads precede this one in the same fetch group (PAP predicts
+    /// at most two loads per group).
+    pub load_index_in_group: u32,
+    pub inst: Instruction,
+}
+
+/// Front-end context available to schemes during [`VpScheme::on_fetch`].
+pub struct FetchCtx<'a> {
+    /// Fetch cycle of the instruction's group.
+    pub cycle: u64,
+    /// Earliest cycle the instruction can reach rename (fetch depth with no
+    /// stalls); predicted values must arrive by the *actual* rename cycle.
+    pub expected_rename: u64,
+    /// Global conditional-branch history (what VTAGE hashes).
+    pub history: &'a GlobalHistory,
+    /// Execution-lane occupancy, for finding LS-lane probe bubbles.
+    pub lanes: &'a mut LaneTracker,
+    /// The memory hierarchy, for speculative L1D probes and prefetches.
+    pub mem: &'a mut MemoryHierarchy,
+}
+
+/// A prediction the scheme can deliver at rename.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamePrediction {
+    /// Number of 64-bit chunks covered (1 for LDR, 2 for LDP/VLD, n for LDM).
+    pub chunks: u32,
+}
+
+/// Execution results handed to the scheme for training and validation.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecInfo<'a> {
+    pub seq: u64,
+    pub pc: u64,
+    pub inst: Instruction,
+    /// Effective address (memory ops only; 0 otherwise).
+    pub eff_addr: u64,
+    /// Actual produced 64-bit chunks, in destination order.
+    pub values: &'a [u64],
+    /// Cycle the instruction executed.
+    pub exec_cycle: u64,
+    /// Commit cycle of the youngest *older* store overlapping this load's
+    /// location, if any — the scheme compares this with its probe cycle to
+    /// recognise the in-flight-store staleness of paper §3.2.2.
+    pub conflicting_store_commit: Option<u64>,
+    /// L1D way the block resides in after this load's demand access (for
+    /// way-prediction training); `None` when the load was served by
+    /// store-to-load forwarding.
+    pub l1_way: Option<u8>,
+    /// Whether the engine actually injected this instruction's prediction at
+    /// rename (false when the PVT was full or the injection-rate limit hit).
+    pub was_injected: bool,
+}
+
+/// The scheme's verdict on one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpVerdict {
+    /// The scheme had made a prediction for this instruction.
+    pub predicted: bool,
+    /// The prediction matched every produced chunk.
+    pub correct: bool,
+}
+
+impl VpVerdict {
+    /// No prediction was made.
+    pub const NONE: VpVerdict = VpVerdict { predicted: false, correct: false };
+}
+
+/// A value-prediction scheme plugged into the core model.
+pub trait VpScheme {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called at fetch, in program order, for every instruction.
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>);
+
+    /// Called at rename for instructions with destination registers. Return
+    /// `Some` iff a predicted value is available *by* `rename_cycle`.
+    /// Must not consume training state (that happens in
+    /// [`VpScheme::on_execute`]).
+    fn prediction_at_rename(&mut self, seq: u64, rename_cycle: u64) -> Option<RenamePrediction>;
+
+    /// Called at execute with actual results. Train here; return the
+    /// verdict on any prediction made for `info.seq`.
+    fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict;
+
+    /// Scheme-specific counters for the harnesses (e.g. the tournament's
+    /// per-provider breakdown, LSCD suppressions, PAQ drops).
+    fn extra_counters(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+/// The baseline: no value prediction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoVp;
+
+impl VpScheme for NoVp {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn on_fetch(&mut self, _slot: &FetchSlot, _ctx: &mut FetchCtx<'_>) {}
+
+    fn prediction_at_rename(&mut self, _seq: u64, _rename: u64) -> Option<RenamePrediction> {
+        None
+    }
+
+    fn on_execute(&mut self, _info: &ExecInfo<'_>) -> VpVerdict {
+        VpVerdict::NONE
+    }
+}
+
+/// An oracle scheme that predicts every load perfectly: the upper bound used
+/// in integration tests to check the engine's dependence-breaking machinery.
+#[derive(Debug, Default, Clone)]
+pub struct OracleLoadVp {
+    load_seqs: std::collections::HashSet<u64>,
+}
+
+impl VpScheme for OracleLoadVp {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn on_fetch(&mut self, slot: &FetchSlot, _ctx: &mut FetchCtx<'_>) {
+        if slot.inst.is_load() {
+            self.load_seqs.insert(slot.seq);
+        }
+    }
+
+    fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
+        self.load_seqs.contains(&seq).then_some(RenamePrediction { chunks: 1 })
+    }
+
+    fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {
+        if self.load_seqs.remove(&info.seq) {
+            VpVerdict { predicted: true, correct: true }
+        } else {
+            VpVerdict::NONE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn novp_never_predicts() {
+        let mut s = NoVp;
+        assert_eq!(s.prediction_at_rename(1, 10), None);
+        assert_eq!(s.name(), "baseline");
+        assert!(s.extra_counters().is_empty());
+    }
+}

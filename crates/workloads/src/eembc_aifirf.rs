@@ -1,0 +1,143 @@
+//! The `aifirf` kernel: a two-channel, unrolled 8-tap delay-line FIR filter.
+//!
+//! Designed to be the paper's DLVP showcase (§5.2.3: "aifirf favors DLVP"):
+//!
+//! * every delay-line and coefficient load has a **fixed address**, so PAP
+//!   saturates its confidence-8 counter almost immediately;
+//! * the delay-line **values shift every sample**, so VTAGE's ~64-repeat
+//!   confidence never builds;
+//! * the per-sample body (two channels plus post-processing) is longer than
+//!   the ROB + fetch-buffer in-flight window, so the previous sample's shift
+//!   stores are **committed** by the time DLVP probes — the conflict class
+//!   address prediction eliminates (Figure 1's unshaded region).
+
+use crate::util::{CODE_BASE, DATA_BASE};
+use lvp_isa::{Asm, MemSize, Program, Reg};
+
+const TAPS: i64 = 8;
+const SIGNAL: u64 = 512;
+
+/// Emits one channel's FIR block. `state`/`coeffs`/`energy` are data
+/// addresses; `sample_reg` holds the input sample.
+fn emit_channel(a: &mut Asm, state_reg: Reg, coeff_reg: Reg, energy_off: i64, sample_reg: Reg) {
+    // Four parallel accumulators keep the FP chain short, as an optimizing
+    // compiler would schedule it.
+    a.mov(Reg::X26, 0);
+    a.mov(Reg::X16, 0);
+    a.mov(Reg::X17, 0);
+    a.mov(Reg::X18, 0);
+    for k in 0..TAPS {
+        let dst = Reg::x(3 + k as u8);
+        let acc = [Reg::X26, Reg::X16, Reg::X17, Reg::X18][(k % 4) as usize];
+        a.ldr(dst, state_reg, k * 8, MemSize::X); // fixed address
+        // Interleaved integer work (as a compiler would schedule it): keeps
+        // fetch from bunching two loads per cycle, which would starve the
+        // opportunistic probe bubbles.
+        a.alui(lvp_isa::AluOp::Mul, Reg::X15, Reg::X15, 0x85eb);
+        a.lsri(Reg::X19, Reg::X15, 13);
+        a.eor(Reg::X15, Reg::X15, Reg::X19);
+        a.ldr(Reg::X11, coeff_reg, k * 8, MemSize::X); // fixed address
+        a.alui(lvp_isa::AluOp::Mul, Reg::X2, Reg::X2, 1);
+        a.fmul(Reg::X12, dst, Reg::X11);
+        a.fadd(acc, acc, Reg::X12);
+        a.eori(Reg::X19, Reg::X19, 0x55);
+    }
+    a.fadd(Reg::X26, Reg::X26, Reg::X16);
+    a.fadd(Reg::X17, Reg::X17, Reg::X18);
+    a.fadd(Reg::X26, Reg::X26, Reg::X17);
+    // Shift the delay line: state[k] = state[k-1]; state[0] = sample.
+    for k in (1..TAPS).rev() {
+        let src = Reg::x(3 + (k - 1) as u8);
+        a.str_(src, state_reg, k * 8, MemSize::X);
+    }
+    a.str_(sample_reg, state_reg, 0, MemSize::X);
+    // Channel energy: fixed-address read-modify-write once per sample.
+    a.ldr(Reg::X13, state_reg, energy_off, MemSize::X);
+    a.fmul(Reg::X14, Reg::X26, Reg::X26);
+    a.fadd(Reg::X13, Reg::X13, Reg::X14);
+    a.str_(Reg::X13, state_reg, energy_off, MemSize::X);
+}
+
+/// Builds the kernel program.
+pub fn build() -> Program {
+    let mut a = Asm::new(CODE_BASE);
+
+    let state_a = DATA_BASE; // channel A delay line
+    let state_b = DATA_BASE + 0x200; // channel B delay line
+    let coeffs = DATA_BASE + 0x400;
+    let signal = DATA_BASE + 0x1000;
+    let out = DATA_BASE + 0x4000;
+
+    let fc: Vec<f64> = (0..TAPS).map(|i| 1.0 / (i + 1) as f64).collect();
+    a.data_f64(coeffs, &fc);
+    let gains = DATA_BASE + 0x600;
+    let gv: Vec<u64> = (0..64).map(|i| 0x3ff0_0000_0000_0000 + i * 0x1000).collect();
+    a.data_u64(gains, &gv);
+    let fs: Vec<f64> = (0..SIGNAL).map(|i| ((i * 37) % 101) as f64).collect();
+    a.data_f64(signal, &fs);
+
+    a.mov(Reg::X20, state_a);
+    a.mov(Reg::X25, state_b);
+    a.mov(Reg::X21, coeffs);
+    a.mov(Reg::X22, signal);
+    a.mov(Reg::X23, out);
+    a.mov(Reg::X24, 0); // sample index
+
+    let top = a.here();
+    a.andi(Reg::X24, Reg::X24, (SIGNAL - 1) as i64);
+    a.lsli(Reg::X1, Reg::X24, 3);
+    a.ldr_idx(Reg::X2, Reg::X22, Reg::X1, MemSize::X); // input sample (strided)
+
+    emit_channel(&mut a, Reg::X20, Reg::X21, 0x100, Reg::X2);
+    a.str_idx(Reg::X26, Reg::X23, Reg::X1, MemSize::X); // channel A output
+    a.mov_r(Reg::X14, Reg::X26); // keep channel A result live
+    emit_channel(&mut a, Reg::X25, Reg::X21, 0x100, Reg::X2);
+    a.str_idx(Reg::X26, Reg::X23, Reg::X1, MemSize::X); // channel B output (same slot; last write wins)
+
+    // Gain lookup: the filter outputs index a small gain table — a
+    // load-to-load chain whose second address depends on the first loaded
+    // values, giving value prediction real critical-path leverage.
+    let gains = DATA_BASE + 0x600; // 64-entry gain table
+    a.mov(Reg::X19, gains);
+    a.lsri(Reg::X12, Reg::X14, 48);
+    a.andi(Reg::X12, Reg::X12, 63);
+    a.lsli(Reg::X12, Reg::X12, 3);
+    a.ldr_idx(Reg::X15, Reg::X19, Reg::X12, MemSize::X); // gain[chanA]
+    a.lsri(Reg::X13, Reg::X26, 48);
+    a.andi(Reg::X13, Reg::X13, 63);
+    a.lsli(Reg::X13, Reg::X13, 3);
+    a.ldr_idx(Reg::X16, Reg::X19, Reg::X13, MemSize::X); // gain[chanB]
+
+    // Saturation branches on the (data-dependent) gains: these mispredict
+    // often, and their resolution time tracks the delay-line loads — value
+    // prediction resolves them early (the paper's §5.2.3 perlbmk effect).
+    let no_sat_a = a.new_label();
+    a.andi(Reg::X12, Reg::X15, 1);
+    a.cbz(Reg::X12, no_sat_a);
+    a.eori(Reg::X14, Reg::X14, 0x7ff0);
+    a.place(no_sat_a);
+    let no_sat_b = a.new_label();
+    a.andi(Reg::X13, Reg::X16, 1);
+    a.cbz(Reg::X13, no_sat_b);
+    a.eori(Reg::X26, Reg::X26, 0x7ff0);
+    a.place(no_sat_b);
+
+    // Fixed-point post-processing *seeded by the filter results*: the
+    // chain's start time tracks the loads', so breaking the load
+    // dependencies moves the whole tail earlier. Four parallel sub-chains
+    // keep the window drained (committed-store conflicts, not in-flight).
+    a.eor(Reg::X15, Reg::X15, Reg::X14);
+    a.eori(Reg::X16, Reg::X16, 0x85eb);
+    a.eor(Reg::X17, Reg::X15, Reg::X26);
+    a.eori(Reg::X18, Reg::X16, 0x27d4);
+    for _ in 0..10 {
+        for &r in &[Reg::X15, Reg::X16, Reg::X17, Reg::X18] {
+            a.alui(lvp_isa::AluOp::Mul, r, r, 0x85eb);
+            a.lsri(Reg::X19, r, 13);
+            a.eor(r, r, Reg::X19);
+        }
+    }
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.b(top);
+    a.build()
+}

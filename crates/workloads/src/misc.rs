@@ -1,0 +1,186 @@
+//! Other applications from the paper's pool: `linpack`, `mplayer`,
+//! `scimark`.
+
+use crate::util::{rand_u64s, CODE_BASE, DATA_BASE};
+use crate::{Suite, Workload};
+use lvp_isa::{Asm, MemSize, Program, Reg};
+
+/// The remaining workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "linpack",
+            Suite::Other,
+            "DAXPY/DGEMV: LDP-heavy strided FP streams",
+            linpack,
+        ),
+        Workload::new(
+            "mplayer",
+            Suite::Other,
+            "media decode: byte loads, clip tables, block stores",
+            mplayer,
+        ),
+        Workload::new("scimark", Suite::Other, "SOR stencil over a 2D grid", scimark),
+    ]
+}
+
+/// DAXPY inner loop with load-pair: `y[i] += a * x[i]`.
+fn linpack() -> Program {
+    const N: u64 = 2048;
+    let mut a = Asm::new(CODE_BASE);
+
+    let x = DATA_BASE;
+    let y = DATA_BASE + 0x1_0000;
+    let fx: Vec<f64> = (0..N).map(|i| (i % 17) as f64 * 0.25).collect();
+    let fy: Vec<f64> = (0..N).map(|i| (i % 23) as f64).collect();
+    a.data_f64(x, &fx);
+    a.data_f64(y, &fy);
+
+    let frame = DATA_BASE + 0x2_0000;
+    a.data_u64(frame, &[x, y, 2.5f64.to_bits()]);
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X22, 0); // i
+
+    let top = a.here();
+    a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // x base (spill reload)
+    a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // y base
+    a.ldr(Reg::X23, Reg::X29, 16, MemSize::X); // alpha (constant value)
+    a.andi(Reg::X22, Reg::X22, (N - 2) as i64 & !1);
+    a.lsli(Reg::X1, Reg::X22, 3);
+    a.add(Reg::X2, Reg::X20, Reg::X1);
+    a.ldp(Reg::X3, Reg::X4, Reg::X2, 0); // x[i], x[i+1]
+    a.add(Reg::X5, Reg::X21, Reg::X1);
+    a.ldp(Reg::X6, Reg::X7, Reg::X5, 0); // y[i], y[i+1]
+    a.fmul(Reg::X8, Reg::X3, Reg::X23);
+    a.fadd(Reg::X6, Reg::X6, Reg::X8);
+    a.fmul(Reg::X9, Reg::X4, Reg::X23);
+    a.fadd(Reg::X7, Reg::X7, Reg::X9);
+    a.stp(Reg::X6, Reg::X7, Reg::X5, 0);
+    a.addi(Reg::X22, Reg::X22, 2);
+    a.b(top);
+    a.build()
+}
+
+/// Media-decode kernel: clip-table lookups on byte samples plus 16-byte
+/// block stores.
+fn mplayer() -> Program {
+    const SAMPLES: u64 = 4096;
+    let mut a = Asm::new(CODE_BASE);
+
+    let samples = DATA_BASE;
+    let clip = DATA_BASE + 0x1_0000; // 512-entry clip table
+    let out = DATA_BASE + 0x2_0000;
+
+    let s: Vec<u8> = rand_u64s(0x3a, SAMPLES as usize, 256).iter().map(|&b| b as u8).collect();
+    a.data_bytes(samples, &s);
+    let c: Vec<u64> = (0..512).map(|i| if i < 256 { i } else { 255 }).collect();
+    a.data_u64(clip, &c);
+
+    let frame = DATA_BASE + 0x4_0000;
+    a.data_u64(frame, &[samples, clip, out]);
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X23, 0); // sample cursor
+    a.mov(Reg::X24, 0); // bias (slowly varying)
+
+    let top = a.here();
+    a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // samples base (spill reload)
+    a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // clip table base
+    a.ldr(Reg::X22, Reg::X29, 16, MemSize::X); // out base
+    a.andi(Reg::X23, Reg::X23, (SAMPLES - 1) as i64);
+    a.ldr_idx(Reg::X1, Reg::X20, Reg::X23, MemSize::B);
+    a.add(Reg::X2, Reg::X1, Reg::X24);
+    a.andi(Reg::X2, Reg::X2, 511);
+    a.lsli(Reg::X2, Reg::X2, 3);
+    a.ldr_idx(Reg::X3, Reg::X21, Reg::X2, MemSize::X); // clip[sample+bias]
+    a.lsli(Reg::X4, Reg::X23, 3);
+    a.str_idx(Reg::X3, Reg::X22, Reg::X4, MemSize::X);
+    a.addi(Reg::X23, Reg::X23, 1);
+    // Nudge the bias every 256 samples.
+    a.andi(Reg::X5, Reg::X23, 255);
+    let cont = a.new_label();
+    a.cbnz(Reg::X5, cont);
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.andi(Reg::X24, Reg::X24, 63);
+    a.place(cont);
+    a.b(top);
+    a.build()
+}
+
+/// SOR stencil: `g[i][j] = 0.25*(g[i-1][j]+g[i+1][j]+g[i][j-1]+g[i][j+1])`.
+fn scimark() -> Program {
+    const DIM: u64 = 64; // 64x64 grid of f64
+    let mut a = Asm::new(CODE_BASE);
+
+    let grid = DATA_BASE;
+    let g: Vec<f64> = (0..DIM * DIM).map(|i| (i % 29) as f64).collect();
+    a.data_f64(grid, &g);
+
+    let frame = DATA_BASE + 0x2_0000;
+    a.data_u64(frame, &[grid, 0.25f64.to_bits()]);
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X21, 1); // i
+    a.mov(Reg::X22, 1); // j
+
+    let top = a.here();
+    a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // grid base (spill reload)
+    a.ldr(Reg::X23, Reg::X29, 8, MemSize::X); // omega/4 (constant value)
+    // offset = (i*DIM + j) * 8
+    a.lsli(Reg::X1, Reg::X21, 6); // i*DIM
+    a.add(Reg::X1, Reg::X1, Reg::X22);
+    a.lsli(Reg::X1, Reg::X1, 3);
+    a.add(Reg::X2, Reg::X20, Reg::X1);
+    a.ldr(Reg::X3, Reg::X2, -(8 * DIM as i64), MemSize::X); // north
+    a.ldr(Reg::X4, Reg::X2, 8 * DIM as i64, MemSize::X); // south
+    a.ldr(Reg::X5, Reg::X2, -8, MemSize::X); // west
+    a.ldr(Reg::X6, Reg::X2, 8, MemSize::X); // east
+    a.fadd(Reg::X7, Reg::X3, Reg::X4);
+    a.fadd(Reg::X8, Reg::X5, Reg::X6);
+    a.fadd(Reg::X7, Reg::X7, Reg::X8);
+    a.fmul(Reg::X7, Reg::X7, Reg::X23);
+    a.str_(Reg::X7, Reg::X2, 0, MemSize::X);
+    // advance j, then i; wrap to 1 (skip borders)
+    a.addi(Reg::X22, Reg::X22, 1);
+    a.mov(Reg::X9, DIM - 1);
+    let next_row = a.new_label();
+    a.bge(Reg::X22, Reg::X9, next_row);
+    a.b(top);
+    a.place(next_row);
+    a.mov(Reg::X22, 1);
+    a.addi(Reg::X21, Reg::X21, 1);
+    let wrap = a.new_label();
+    a.bge(Reg::X21, Reg::X9, wrap);
+    a.b(top);
+    a.place(wrap);
+    a.mov(Reg::X21, 1);
+    a.b(top);
+    a.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_emu::Emulator;
+
+    #[test]
+    fn linpack_uses_ldp_heavily() {
+        let t = Emulator::new(linpack()).run(20_000).trace;
+        let ldp = t
+            .records()
+            .iter()
+            .filter(|r| matches!(r.inst, lvp_isa::Instruction::Ldp { .. }))
+            .count();
+        assert!(ldp > 1_000, "got {ldp}");
+    }
+
+    #[test]
+    fn scimark_stencil_addresses_stride() {
+        let t = Emulator::new(scimark()).run(20_000).trace;
+        assert!(t.load_count() > 4_000);
+    }
+
+    #[test]
+    fn mplayer_runs() {
+        let t = Emulator::new(mplayer()).run(10_000).trace;
+        assert_eq!(t.len(), 10_000);
+    }
+}

@@ -1,0 +1,506 @@
+//! Additional SPEC-pool kernels broadening the Table 3 suite: `parser`,
+//! `twolf`, `sjeng`, `milc`, `lbm`, `namd`, `povray`, `xalancbmk`.
+
+use crate::util::{permutation, rand_u64s, CODE_BASE, DATA_BASE};
+use crate::{Suite, Workload};
+use lvp_isa::{Asm, MemSize, Program, Reg};
+
+/// The extra workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "parser",
+            Suite::Spec2k,
+            "link-grammar style: dictionary trie walks, byte loads, branchy",
+            parser,
+        ),
+        Workload::new(
+            "twolf",
+            Suite::Spec2k,
+            "place-and-route: cell grid swaps with cost re-evaluation",
+            twolf,
+        ),
+        Workload::new(
+            "sjeng",
+            Suite::Spec2k6,
+            "chess search: transposition-table probes, bitboard ALU",
+            sjeng,
+        ),
+        Workload::new("milc", Suite::Spec2k6, "lattice QCD: SU(3)-flavoured strided FP sweeps", milc),
+        Workload::new("lbm", Suite::Spec2k6, "lattice Boltzmann: 9-point stencil with LDM", lbm),
+        Workload::new("namd", Suite::Spec2k6, "molecular dynamics: pair-list gathers, FP heavy", namd),
+        Workload::new(
+            "povray",
+            Suite::Spec2k6,
+            "ray tracing: sphere-intersection tests, object-list walks",
+            povray,
+        ),
+        Workload::new(
+            "xalancbmk",
+            Suite::Spec2k6,
+            "XML transform: node-kind dispatch over a DOM-like tree",
+            xalancbmk,
+        ),
+    ]
+}
+
+/// Dictionary-trie walker modelled on parser.
+fn parser() -> Program {
+    const TRIE_NODES: u64 = 2048; // 32B: [child0, child1, flags, pad]
+    const TEXT: u64 = 4096;
+    let mut a = Asm::new(CODE_BASE);
+
+    let trie = DATA_BASE;
+    let text = DATA_BASE + 0x4_0000;
+
+    let addr_of = |i: u64| trie + i * 32;
+    let kids = rand_u64s(0x9a1, (TRIE_NODES * 2) as usize, TRIE_NODES);
+    let mut words = Vec::with_capacity((TRIE_NODES * 4) as usize);
+    for i in 0..TRIE_NODES as usize {
+        words.push(addr_of(kids[2 * i]));
+        words.push(addr_of(kids[2 * i + 1]));
+        words.push((i % 7) as u64); // flags
+        words.push(0);
+    }
+    a.data_u64(trie, &words);
+    let bytes: Vec<u8> = rand_u64s(0x9a2, TEXT as usize, 2).iter().map(|&b| b as u8).collect();
+    a.data_bytes(text, &bytes);
+
+    let frame = DATA_BASE + 0x8_0000;
+    a.data_u64(frame, &[trie, text]);
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X22, 0); // text cursor
+    a.mov(Reg::X24, 0); // accepted words
+
+    let top = a.here();
+    a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // trie root (spill reload)
+    a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // text base
+    a.mov_r(Reg::X1, Reg::X20); // current node
+    a.mov(Reg::X2, 0); // depth
+    let walk = a.here();
+    a.andi(Reg::X22, Reg::X22, (TEXT - 1) as i64);
+    a.ldr_idx(Reg::X3, Reg::X21, Reg::X22, MemSize::B); // next bit of input
+    a.addi(Reg::X22, Reg::X22, 1);
+    a.lsli(Reg::X3, Reg::X3, 3);
+    a.ldr_idx(Reg::X1, Reg::X1, Reg::X3, MemSize::X); // child pointer (chain)
+    a.ldr(Reg::X4, Reg::X1, 16, MemSize::X); // node flags
+    a.addi(Reg::X2, Reg::X2, 1);
+    let accept = a.new_label();
+    a.cbz(Reg::X4, accept); // flag 0 = word boundary (data-dependent)
+    a.mov(Reg::X5, 12);
+    a.blt(Reg::X2, Reg::X5, walk);
+    a.place(accept);
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.b(top);
+    a.build()
+}
+
+/// Simulated-annealing cell swapper modelled on twolf.
+fn twolf() -> Program {
+    const CELLS: u64 = 512; // 16B: [x, y]
+    let mut a = Asm::new(CODE_BASE);
+
+    let cells = DATA_BASE;
+    let cost_cell = DATA_BASE + 0x8000; // global running cost
+    let mut words = Vec::new();
+    let xs = rand_u64s(0x201f, CELLS as usize, 256);
+    let ys = rand_u64s(0x2020, CELLS as usize, 256);
+    for i in 0..CELLS as usize {
+        words.push(xs[i]);
+        words.push(ys[i]);
+    }
+    a.data_u64(cells, &words);
+
+    a.mov(Reg::X20, cells);
+    a.mov(Reg::X25, cost_cell);
+    a.mov(Reg::X21, 0x243f6a8885a308d3); // RNG state
+    a.mov(Reg::X24, 0);
+
+    let top = a.here();
+    // Pick two pseudo-random cells.
+    a.alui(lvp_isa::AluOp::Mul, Reg::X21, Reg::X21, 0x5851f42d4c957f2d);
+    a.alui(lvp_isa::AluOp::Add, Reg::X21, Reg::X21, 0x14057b7ef767814f);
+    a.lsri(Reg::X1, Reg::X21, 33);
+    a.andi(Reg::X1, Reg::X1, (CELLS - 1) as i64);
+    a.lsri(Reg::X2, Reg::X21, 20);
+    a.andi(Reg::X2, Reg::X2, (CELLS - 1) as i64);
+    a.lsli(Reg::X1, Reg::X1, 4);
+    a.lsli(Reg::X2, Reg::X2, 4);
+    a.add(Reg::X3, Reg::X20, Reg::X1);
+    a.add(Reg::X4, Reg::X20, Reg::X2);
+    a.ldp(Reg::X5, Reg::X6, Reg::X3, 0); // cell A
+    a.ldp(Reg::X7, Reg::X8, Reg::X4, 0); // cell B
+    // Manhattan-ish cost delta, branch on improvement (data-dependent).
+    a.sub(Reg::X9, Reg::X5, Reg::X7);
+    a.sub(Reg::X10, Reg::X6, Reg::X8);
+    a.eor(Reg::X11, Reg::X9, Reg::X10);
+    a.andi(Reg::X11, Reg::X11, 63);
+    let no_swap = a.new_label();
+    a.mov(Reg::X12, 32);
+    a.bge(Reg::X11, Reg::X12, no_swap);
+    a.stp(Reg::X7, Reg::X8, Reg::X3, 0); // accept: swap
+    a.stp(Reg::X5, Reg::X6, Reg::X4, 0);
+    a.place(no_swap);
+    // Global cost: read per move, written back every 16th move.
+    a.ldr(Reg::X13, Reg::X25, 0, MemSize::X);
+    a.add(Reg::X13, Reg::X13, Reg::X11);
+    a.andi(Reg::X14, Reg::X24, 15);
+    let no_wb = a.new_label();
+    a.cbnz(Reg::X14, no_wb);
+    a.str_(Reg::X13, Reg::X25, 0, MemSize::X);
+    a.place(no_wb);
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.b(top);
+    a.build()
+}
+
+/// Transposition-table prober modelled on sjeng.
+fn sjeng() -> Program {
+    const TT: u64 = 4096; // 16B: [key, score]
+    let mut a = Asm::new(CODE_BASE);
+
+    let tt = DATA_BASE;
+    let mut words = Vec::new();
+    let keys = rand_u64s(0x53e1, TT as usize, u64::MAX);
+    for (i, k) in keys.iter().enumerate() {
+        words.push(*k);
+        words.push((i % 1000) as u64);
+    }
+    a.data_u64(tt, &words);
+
+    a.mov(Reg::X20, tt);
+    a.mov(Reg::X21, 0x9e3779b97f4a7c15); // position hash
+    a.mov(Reg::X24, 0); // nodes
+
+    let top = a.here();
+    a.lsri(Reg::X1, Reg::X21, 27);
+    a.eor(Reg::X21, Reg::X21, Reg::X1);
+    a.alui(lvp_isa::AluOp::Mul, Reg::X21, Reg::X21, 0x2545);
+    a.andi(Reg::X2, Reg::X21, (TT - 1) as i64);
+    a.lsli(Reg::X2, Reg::X2, 4);
+    a.add(Reg::X3, Reg::X20, Reg::X2);
+    a.ldp(Reg::X4, Reg::X5, Reg::X3, 0); // tt entry: key, score
+    // Probe hit check (data-dependent, almost always a miss -> store).
+    a.eor(Reg::X6, Reg::X4, Reg::X21);
+    a.andi(Reg::X6, Reg::X6, 0xff);
+    let hit = a.new_label();
+    a.cbz(Reg::X6, hit);
+    a.stp(Reg::X21, Reg::X24, Reg::X3, 0); // replace entry
+    a.place(hit);
+    a.add(Reg::X24, Reg::X24, Reg::X5);
+    a.b(top);
+    a.build()
+}
+
+/// SU(3)-flavoured sweep modelled on milc: strided complex FP with LDP.
+fn milc() -> Program {
+    const SITES: u64 = 2048; // 32B per site: 2 complex doubles
+    let mut a = Asm::new(CODE_BASE);
+
+    let lattice = DATA_BASE;
+    let links = DATA_BASE + 0x2_0000;
+    let fv: Vec<f64> = (0..SITES * 4).map(|i| ((i * 13) % 97) as f64 * 0.01).collect();
+    a.data_f64(lattice, &fv);
+    a.data_f64(links, &fv);
+
+    let frame = DATA_BASE + 0x6_0000;
+    a.data_u64(frame, &[lattice, links]);
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X24, 0); // site
+
+    let top = a.here();
+    a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // lattice base (spill reload)
+    a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // links base
+    a.andi(Reg::X24, Reg::X24, (SITES - 1) as i64);
+    a.lsli(Reg::X1, Reg::X24, 5);
+    a.add(Reg::X2, Reg::X20, Reg::X1);
+    a.add(Reg::X3, Reg::X21, Reg::X1);
+    a.ldp(Reg::X4, Reg::X5, Reg::X2, 0); // site re/im
+    a.ldp(Reg::X6, Reg::X7, Reg::X3, 0); // link re/im
+    // complex multiply
+    a.fmul(Reg::X8, Reg::X4, Reg::X6);
+    a.fmul(Reg::X9, Reg::X5, Reg::X7);
+    a.fsub(Reg::X10, Reg::X8, Reg::X9);
+    a.fmul(Reg::X11, Reg::X4, Reg::X7);
+    a.fmul(Reg::X12, Reg::X5, Reg::X6);
+    a.fadd(Reg::X13, Reg::X11, Reg::X12);
+    a.stp(Reg::X10, Reg::X13, Reg::X2, 16);
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.b(top);
+    a.build()
+}
+
+/// Nine-point stencil sweep modelled on lbm, using load-multiple.
+fn lbm() -> Program {
+    const DIM: u64 = 64; // 64x64 of u64 densities
+    let mut a = Asm::new(CODE_BASE);
+
+    let grid = DATA_BASE;
+    a.data_u64(grid, &rand_u64s(0x1b3, (DIM * DIM) as usize, 1 << 12));
+
+    a.mov(Reg::X20, grid);
+    a.mov(Reg::X21, 1); // i
+    a.mov(Reg::X22, 1); // j
+
+    let top = a.here();
+    a.lsli(Reg::X1, Reg::X21, 6);
+    a.add(Reg::X1, Reg::X1, Reg::X22);
+    a.lsli(Reg::X1, Reg::X1, 3);
+    a.add(Reg::X2, Reg::X20, Reg::X1);
+    // Gather the row above/below with LDM-style bulk reads.
+    a.subi(Reg::X3, Reg::X2, 8 * DIM as i64 + 8);
+    a.ldm(&[Reg::X4, Reg::X5, Reg::X6], Reg::X3); // north row
+    a.addi(Reg::X3, Reg::X2, 8 * DIM as i64 - 8);
+    a.ldm(&[Reg::X7, Reg::X8, Reg::X9], Reg::X3); // south row
+    a.ldr(Reg::X10, Reg::X2, -8, MemSize::X); // west
+    a.ldr(Reg::X11, Reg::X2, 8, MemSize::X); // east
+    a.add(Reg::X12, Reg::X4, Reg::X5);
+    a.add(Reg::X12, Reg::X12, Reg::X6);
+    a.add(Reg::X12, Reg::X12, Reg::X7);
+    a.add(Reg::X12, Reg::X12, Reg::X8);
+    a.add(Reg::X12, Reg::X12, Reg::X9);
+    a.add(Reg::X12, Reg::X12, Reg::X10);
+    a.add(Reg::X12, Reg::X12, Reg::X11);
+    a.lsri(Reg::X12, Reg::X12, 3);
+    a.str_(Reg::X12, Reg::X2, 0, MemSize::X);
+    // advance
+    a.addi(Reg::X22, Reg::X22, 1);
+    a.mov(Reg::X13, DIM - 1);
+    let next = a.new_label();
+    a.bge(Reg::X22, Reg::X13, next);
+    a.b(top);
+    a.place(next);
+    a.mov(Reg::X22, 1);
+    a.addi(Reg::X21, Reg::X21, 1);
+    let wrap = a.new_label();
+    a.bge(Reg::X21, Reg::X13, wrap);
+    a.b(top);
+    a.place(wrap);
+    a.mov(Reg::X21, 1);
+    a.b(top);
+    a.build()
+}
+
+/// Pair-list force kernel modelled on namd.
+fn namd() -> Program {
+    const ATOMS: u64 = 1024; // 32B: x,y,z,pad (f64 bits)
+    const PAIRS: u64 = 4096;
+    let mut a = Asm::new(CODE_BASE);
+
+    let atoms = DATA_BASE;
+    let pairs = DATA_BASE + 0x2_0000; // (i, j) atom indices
+    let fv: Vec<f64> = (0..ATOMS * 4).map(|i| ((i * 31) % 211) as f64 * 0.125).collect();
+    a.data_f64(atoms, &fv);
+    let pi = rand_u64s(0x4a31, PAIRS as usize, ATOMS);
+    let pj = rand_u64s(0x4a32, PAIRS as usize, ATOMS);
+    let mut pw = Vec::new();
+    for k in 0..PAIRS as usize {
+        pw.push(pi[k]);
+        pw.push(pj[k]);
+    }
+    a.data_u64(pairs, &pw);
+
+    let frame = DATA_BASE + 0x6_0000;
+    a.data_u64(frame, &[atoms, pairs]);
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X24, 0); // pair cursor
+    a.mov(Reg::X26, 0); // energy accumulator
+
+    let top = a.here();
+    a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // atoms base (spill reload)
+    a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // pairs base
+    a.andi(Reg::X24, Reg::X24, (PAIRS - 1) as i64);
+    a.lsli(Reg::X1, Reg::X24, 4);
+    a.add(Reg::X2, Reg::X21, Reg::X1);
+    a.ldp(Reg::X3, Reg::X4, Reg::X2, 0); // atom indices i, j (strided)
+    a.lsli(Reg::X3, Reg::X3, 5);
+    a.lsli(Reg::X4, Reg::X4, 5);
+    a.add(Reg::X5, Reg::X20, Reg::X3);
+    a.add(Reg::X6, Reg::X20, Reg::X4);
+    a.ldp(Reg::X7, Reg::X8, Reg::X5, 0); // atom i x,y (gather)
+    a.ldp(Reg::X9, Reg::X10, Reg::X6, 0); // atom j x,y
+    a.fsub(Reg::X11, Reg::X7, Reg::X9);
+    a.fsub(Reg::X12, Reg::X8, Reg::X10);
+    a.fmul(Reg::X11, Reg::X11, Reg::X11);
+    a.fmul(Reg::X12, Reg::X12, Reg::X12);
+    a.fadd(Reg::X13, Reg::X11, Reg::X12);
+    a.fadd(Reg::X26, Reg::X26, Reg::X13);
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.b(top);
+    a.build()
+}
+
+/// Ray-sphere intersection loop modelled on povray.
+fn povray() -> Program {
+    const SPHERES: u64 = 128; // 32B: cx, cy, r2, material
+    let mut a = Asm::new(CODE_BASE);
+
+    let spheres = DATA_BASE;
+    let mut words = Vec::new();
+    for i in 0..SPHERES {
+        words.push((((i * 37) % 199) as f64).to_bits());
+        words.push((((i * 53) % 211) as f64).to_bits());
+        words.push((((i % 13) + 1) as f64 * 4.0).to_bits());
+        words.push(i % 5);
+    }
+    a.data_u64(spheres, &words);
+
+    a.mov(Reg::X20, spheres);
+    a.mov(Reg::X21, 0x85ebca6b); // ray RNG
+    a.mov(Reg::X24, 0); // hits
+
+    let ray = a.here();
+    a.alui(lvp_isa::AluOp::Mul, Reg::X21, Reg::X21, 0x5851f42d4c957f2d);
+    a.alui(lvp_isa::AluOp::Add, Reg::X21, Reg::X21, 99991);
+    a.lsri(Reg::X1, Reg::X21, 40);
+    a.andi(Reg::X1, Reg::X1, 255); // ray ox
+    a.lsri(Reg::X2, Reg::X21, 24);
+    a.andi(Reg::X2, Reg::X2, 255); // ray oy
+    a.mov(Reg::X3, 0); // sphere index
+    let test = a.here();
+    a.lsli(Reg::X4, Reg::X3, 5);
+    a.add(Reg::X5, Reg::X20, Reg::X4);
+    a.ldp(Reg::X6, Reg::X7, Reg::X5, 0); // cx, cy (strided, stable values)
+    a.ldr(Reg::X8, Reg::X5, 16, MemSize::X); // r2
+    // Integer approximation of |o - c|^2 < r2 using the bit patterns'
+    // exponents — branchy and data-dependent, like real hit tests.
+    a.lsri(Reg::X9, Reg::X6, 52);
+    a.lsri(Reg::X10, Reg::X7, 52);
+    a.add(Reg::X9, Reg::X9, Reg::X10);
+    a.add(Reg::X11, Reg::X1, Reg::X2);
+    a.eor(Reg::X11, Reg::X11, Reg::X9);
+    a.andi(Reg::X11, Reg::X11, 31);
+    let miss = a.new_label();
+    a.mov(Reg::X12, 4);
+    a.bge(Reg::X11, Reg::X12, miss);
+    a.addi(Reg::X24, Reg::X24, 1); // hit: record and stop this ray
+    a.b(ray);
+    a.place(miss);
+    a.addi(Reg::X3, Reg::X3, 1);
+    a.mov(Reg::X13, SPHERES);
+    a.blt(Reg::X3, Reg::X13, test);
+    a.b(ray);
+    a.build()
+}
+
+/// DOM-transform kernel modelled on xalancbmk: node-kind dispatch through a
+/// jump table over a tree laid out in memory.
+fn xalancbmk() -> Program {
+    const NODES: u64 = 1024; // 32B: [kind, first_child, next_sibling, payload]
+    let mut a = Asm::new(CODE_BASE);
+
+    let nodes = DATA_BASE;
+    let jt = DATA_BASE + 0x2_0000;
+    let addr_of = |i: u64| nodes + i * 32;
+    let kinds = rand_u64s(0xa11, NODES as usize, 4);
+    let perm = permutation(0xa12, NODES as usize);
+    let mut words = Vec::new();
+    for i in 0..NODES {
+        words.push(kinds[i as usize]);
+        words.push(addr_of(perm[i as usize])); // pseudo child
+        words.push(addr_of((i + 1) % NODES)); // sibling ring
+        words.push(i * 17);
+    }
+    a.data_u64(nodes, &words);
+
+    let frame = DATA_BASE + 0x3_0000;
+    a.data_u64(frame, &[jt, nodes + 0x8000]); // jt base, output-state block
+    a.mov(Reg::X20, addr_of(0)); // cursor
+    a.mov(Reg::X29, frame);
+    a.mov(Reg::X24, 0); // output size
+
+    let top = a.here();
+    a.ldr(Reg::X22, Reg::X29, 0, MemSize::X); // jump table base (spill reload)
+    a.ldr(Reg::X26, Reg::X29, 8, MemSize::X); // output-state block pointer
+    a.ldr(Reg::X1, Reg::X20, 0, MemSize::X); // node kind
+    a.lsli(Reg::X2, Reg::X1, 3);
+    a.ldr_idx(Reg::X3, Reg::X22, Reg::X2, MemSize::X); // handler
+    a.blr(Reg::X3);
+    a.ldr(Reg::X20, Reg::X20, 16, MemSize::X); // advance to sibling
+    a.b(top);
+
+    let mut handlers = Vec::new();
+    // Handler prologue: a load of transform state whose PC bit-2 pattern
+    // encodes the handler id into the load-path history (interpreter idiom;
+    // see perlbmk).
+    let handler_prologue = |a: &mut Asm, id: u64| {
+        for bit in 0..2u64 {
+            let want = (id >> bit) & 1;
+            if ((a.pc() >> 2) & 1) != want {
+                a.nop();
+            }
+            a.ldr(Reg::X6, Reg::X26, 8 * bit as i64, MemSize::X);
+            a.add(Reg::X24, Reg::X24, Reg::X6);
+        }
+    };
+    // ELEMENT: visit child payload.
+    handlers.push(a.pc());
+    handler_prologue(&mut a, 0);
+    a.ldr(Reg::X4, Reg::X20, 8, MemSize::X);
+    a.ldr(Reg::X5, Reg::X4, 24, MemSize::X);
+    a.add(Reg::X24, Reg::X24, Reg::X5);
+    a.ret();
+    // TEXT: emit payload.
+    handlers.push(a.pc());
+    handler_prologue(&mut a, 1);
+    a.ldr(Reg::X5, Reg::X20, 24, MemSize::X);
+    a.add(Reg::X24, Reg::X24, Reg::X5);
+    a.ret();
+    // ATTRIBUTE: hash payload.
+    handlers.push(a.pc());
+    handler_prologue(&mut a, 2);
+    a.ldr(Reg::X5, Reg::X20, 24, MemSize::X);
+    a.eor(Reg::X24, Reg::X24, Reg::X5);
+    a.ret();
+    // COMMENT: skip.
+    handlers.push(a.pc());
+    handler_prologue(&mut a, 3);
+    a.addi(Reg::X24, Reg::X24, 1);
+    a.ret();
+    a.data_u64(jt, &handlers);
+    a.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_emu::Emulator;
+
+    #[test]
+    fn all_extra_kernels_run_with_loads() {
+        for w in workloads() {
+            let t = Emulator::new(w.program()).run(15_000).trace;
+            assert_eq!(t.len(), 15_000, "{}", w.name);
+            assert!(t.load_count() * 20 >= t.len(), "{}: loads {}", w.name, t.load_count());
+        }
+    }
+
+    #[test]
+    fn parser_walks_pointer_chains() {
+        let t = Emulator::new(parser()).run(20_000).trace;
+        // The child-pointer loads make up a substantial fraction.
+        assert!(t.load_count() > 4_000);
+    }
+
+    #[test]
+    fn xalancbmk_dispatches_indirectly() {
+        let t = Emulator::new(xalancbmk()).run(20_000).trace;
+        let blr = t
+            .records()
+            .iter()
+            .filter(|r| matches!(r.inst, lvp_isa::Instruction::Blr { .. }))
+            .count();
+        assert!(blr > 1_000, "got {blr}");
+    }
+
+    #[test]
+    fn lbm_uses_ldm_gathers() {
+        let t = Emulator::new(lbm()).run(20_000).trace;
+        let ldm = t
+            .records()
+            .iter()
+            .filter(|r| matches!(r.inst, lvp_isa::Instruction::Ldm { .. }))
+            .count();
+        assert!(ldm > 1_000, "got {ldm}");
+    }
+}

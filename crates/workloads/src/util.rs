@@ -1,0 +1,90 @@
+//! Shared helpers for kernel construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Code segment base shared by all kernels.
+pub const CODE_BASE: u64 = 0x1_0000;
+
+/// First data segment address.
+pub const DATA_BASE: u64 = 0x10_0000;
+
+/// Deterministic RNG for data-segment initialization; seeded per kernel so
+/// traces are reproducible run to run.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` random u64 values below `bound`.
+pub fn rand_u64s(seed: u64, n: usize, bound: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// A random permutation of `0..n` as u64, used to build pointer-chase rings.
+pub fn permutation(seed: u64, n: usize) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n as u64).collect();
+    let mut r = rng(seed);
+    for i in (1..n).rev() {
+        v.swap(i, r.gen_range(0..=i));
+    }
+    v
+}
+
+/// Builds a singly linked ring over `n` nodes of `node_bytes` each at
+/// `base`, following the cycle of a random permutation. Returns the words to
+/// place at `base` (the `next` pointer lives at offset 0 of each node;
+/// the remaining node words get the node index as payload).
+pub fn linked_ring(seed: u64, base: u64, n: usize, node_bytes: u64) -> Vec<u64> {
+    assert!(node_bytes % 8 == 0 && node_bytes >= 8);
+    let perm = permutation(seed, n);
+    // ring order: perm[0] -> perm[1] -> ... -> perm[n-1] -> perm[0]
+    let words_per_node = (node_bytes / 8) as usize;
+    let mut words = vec![0u64; n * words_per_node];
+    for i in 0..n {
+        let from = perm[i] as usize;
+        let to = perm[(i + 1) % n];
+        words[from * words_per_node] = base + to * node_bytes;
+        for w in 1..words_per_node {
+            words[from * words_per_node + w] = (from as u64) * 31 + w as u64;
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(7, 100);
+        let mut s = p.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<u64>>());
+        assert_eq!(p, permutation(7, 100), "deterministic");
+        assert_ne!(p, permutation(8, 100), "seed-sensitive");
+    }
+
+    #[test]
+    fn linked_ring_visits_every_node() {
+        let base = 0x1000u64;
+        let words = linked_ring(3, base, 16, 16);
+        let mut seen = vec![false; 16];
+        let mut addr = base; // node 0
+        for _ in 0..16 {
+            let idx = ((addr - base) / 16) as usize;
+            assert!(!seen[idx], "ring revisited node before full cycle");
+            seen[idx] = true;
+            addr = words[idx * 2];
+        }
+        assert!(seen.iter().all(|&b| b), "ring must cover all nodes");
+        assert_eq!(addr, base, "ring closes");
+    }
+
+    #[test]
+    fn rand_u64s_bounded() {
+        let v = rand_u64s(1, 1000, 50);
+        assert!(v.iter().all(|&x| x < 50));
+    }
+}

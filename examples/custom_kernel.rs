@@ -1,0 +1,91 @@
+//! Bring your own kernel: write a program against the `lvp-isa` assembler,
+//! profile its predictability, and measure what DLVP does with it.
+//!
+//! The kernel below walks a table of sensor descriptors (pointer-stable,
+//! value-mutating — DLVP's sweet spot) and accumulates calibrated readings.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use lvp_emu::Emulator;
+use lvp_isa::{Asm, MemSize, Reg};
+use lvp_trace::{ConflictProfile, RepeatProfile};
+use lvp_uarch::{simulate, NoVp};
+
+fn build() -> lvp_isa::Program {
+    let mut a = Asm::new(0x1_0000);
+    let descriptors = 0x10_0000u64; // 8 sensors x (scale, offset, last, pad)
+    let samples = 0x20_0000u64;
+
+    let mut words = Vec::new();
+    for s in 0..8u64 {
+        words.extend_from_slice(&[s + 2, 100 * s, 0, 0]);
+    }
+    a.data_u64(descriptors, &words);
+    let raw: Vec<u64> = (0..512).map(|i| (i * 37) % 1024).collect();
+    a.data_u64(samples, &raw);
+
+    a.mov(Reg::X20, descriptors);
+    a.mov(Reg::X21, samples);
+    a.mov(Reg::X22, 0); // sample index
+    a.mov(Reg::X23, 0); // checksum
+
+    let top = a.here();
+    a.andi(Reg::X22, Reg::X22, 511);
+    a.lsli(Reg::X1, Reg::X22, 3);
+    a.ldr_idx(Reg::X2, Reg::X21, Reg::X1, MemSize::X); // raw sample (strided)
+    // Each sensor descriptor sits at a fixed address: scale and offset are
+    // constants, `last` mutates every visit.
+    a.andi(Reg::X3, Reg::X22, 7);
+    a.lsli(Reg::X3, Reg::X3, 5);
+    a.add(Reg::X4, Reg::X20, Reg::X3); // descriptor pointer (8 stable addresses)
+    a.ldr(Reg::X5, Reg::X4, 0, MemSize::X); // scale (stable value)
+    a.ldr(Reg::X6, Reg::X4, 8, MemSize::X); // offset (stable value)
+    a.ldr(Reg::X7, Reg::X4, 16, MemSize::X); // last reading (mutates)
+    a.mul(Reg::X8, Reg::X2, Reg::X5);
+    a.add(Reg::X8, Reg::X8, Reg::X6);
+    a.add(Reg::X9, Reg::X8, Reg::X7);
+    a.str_(Reg::X8, Reg::X4, 16, MemSize::X); // update `last`
+    a.add(Reg::X23, Reg::X23, Reg::X9);
+    a.addi(Reg::X22, Reg::X22, 1);
+    a.b(top);
+    a.build()
+}
+
+fn main() {
+    let trace = Emulator::new(build()).run(100_000).trace;
+
+    println!("-- trace profile -------------------------------------------------");
+    let rep = RepeatProfile::profile(&trace);
+    let i8 = RepeatProfile::threshold_index(8).unwrap();
+    let i64x = RepeatProfile::threshold_index(64).unwrap();
+    println!("loads with addresses seen >=8x : {:.1}%", rep.addr_fraction(i8) * 100.0);
+    println!("loads with values seen >=64x   : {:.1}%", rep.value_fraction(i64x) * 100.0);
+    let conf = ConflictProfile::profile(&trace, 96);
+    println!(
+        "store-conflicting loads        : {:.1}% (committed {:.1}%)",
+        conf.total_fraction() * 100.0,
+        conf.committed_fraction() * 100.0
+    );
+
+    println!("\n-- timing --------------------------------------------------------");
+    let base = simulate(&trace, NoVp);
+    let d = simulate(&trace, dlvp::dlvp_default());
+    let v = simulate(&trace, dlvp::Vtage::paper_default());
+    println!("baseline IPC {:.3}", base.ipc());
+    println!(
+        "DLVP  {:+.2}%  (coverage {:.1}%, accuracy {:.2}%)",
+        (d.speedup_over(&base) - 1.0) * 100.0,
+        d.coverage() * 100.0,
+        d.accuracy() * 100.0
+    );
+    println!(
+        "VTAGE {:+.2}%  (coverage {:.1}%)",
+        (v.speedup_over(&base) - 1.0) * 100.0,
+        v.coverage() * 100.0
+    );
+    println!("\nThe descriptor loads have 8 stable addresses each (covered by PAP");
+    println!("after ~8 observations) while the `last` field's values never repeat");
+    println!("64 times — which is exactly the asymmetry the paper exploits.");
+}

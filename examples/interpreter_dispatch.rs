@@ -1,0 +1,61 @@
+//! Interpreter dispatch — the paper's headline scenario (perlbmk, §5.2.3).
+//!
+//! A bytecode interpreter resolves each opcode through a two-load chain
+//! (bytecode fetch → jump-table load) feeding an indirect branch. ITTAGE
+//! mispredicts polymorphic dispatch often, and the penalty includes the
+//! whole load chain. PAP's load-path history pinpoints the bytecode
+//! position, so DLVP delivers both loads at rename and the dispatch branch
+//! resolves many cycles sooner — the mechanism behind the paper's 71%
+//! perlbmk speedup.
+//!
+//! ```text
+//! cargo run --release --example interpreter_dispatch
+//! ```
+
+use lvp_uarch::{simulate, Core, CoreConfig, NoVp};
+
+fn main() {
+    let budget = 200_000;
+    for name in ["perlbmk", "avmshell", "gcc"] {
+        let w = lvp_workloads::by_name(name).expect("interpreter workload");
+        let trace = w.trace(budget);
+        let base = simulate(&trace, NoVp);
+        let vtage = simulate(&trace, dlvp::Vtage::paper_default());
+        let (dlvp_stats, scheme) =
+            Core::new(CoreConfig::default(), dlvp::dlvp_default()).run_with_scheme(&trace);
+
+        let misp = |s: &lvp_uarch::SimStats| {
+            s.branch_mispredicts + s.indirect_mispredicts + s.return_mispredicts
+        };
+        println!("== {name} ==");
+        println!(
+            "  baseline: IPC {:.3}, {} branch mispredicts, avg resolve depth {:.1} cycles",
+            base.ipc(),
+            misp(&base),
+            base.misp_resolve_sum as f64 / misp(&base).max(1) as f64
+        );
+        println!(
+            "  DLVP    : {:+.2}%  (coverage {:.1}%, accuracy {:.2}%, avg resolve {:.1})",
+            (dlvp_stats.speedup_over(&base) - 1.0) * 100.0,
+            dlvp_stats.coverage() * 100.0,
+            dlvp_stats.accuracy() * 100.0,
+            dlvp_stats.misp_resolve_sum as f64 / misp(&dlvp_stats).max(1) as f64
+        );
+        println!(
+            "  VTAGE   : {:+.2}%  (coverage {:.1}%)",
+            (vtage.speedup_over(&base) - 1.0) * 100.0,
+            vtage.coverage() * 100.0
+        );
+        let c = scheme.counters();
+        println!(
+            "  DLVP internals: {} address predictions, {} LSCD-suppressed, PAQ drop rate {:.2}%",
+            c.addr_predictions,
+            c.lscd_suppressed,
+            100.0 * scheme.paq_stats().dropped as f64 / scheme.paq_stats().allocated.max(1) as f64
+        );
+        println!();
+    }
+    println!("Earlier dispatch resolution (smaller \"avg resolve\") is where the");
+    println!("speedup comes from — the paper's positive interaction between");
+    println!("value prediction and branch prediction.");
+}

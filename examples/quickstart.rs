@@ -1,0 +1,53 @@
+//! Quickstart: run one benchmark under the baseline core and under DLVP,
+//! and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [budget]
+//! ```
+
+use lvp_uarch::{simulate, NoVp};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "perlbmk".to_string());
+    let budget: u64 =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(120_000);
+
+    let Some(workload) = lvp_workloads::by_name(&name) else {
+        eprintln!("unknown workload {name}; available:");
+        for w in lvp_workloads::all() {
+            eprintln!("  {:<14} [{}] {}", w.name, w.suite, w.description);
+        }
+        std::process::exit(1);
+    };
+
+    // 1. Functional emulation produces the dynamic trace.
+    let trace = workload.trace(budget);
+    println!(
+        "{name}: {} instructions ({} loads, {} stores, {} branches)",
+        trace.len(),
+        trace.load_count(),
+        trace.store_count(),
+        trace.branch_count()
+    );
+
+    // 2. Replay it through the cycle-level core, without and with DLVP.
+    let base = simulate(&trace, NoVp);
+    let with_dlvp = simulate(&trace, dlvp::dlvp_default());
+
+    println!("\nbaseline : {:>8} cycles, IPC {:.3}", base.cycles, base.ipc());
+    println!(
+        "DLVP     : {:>8} cycles, IPC {:.3}  -> speedup {:+.2}%",
+        with_dlvp.cycles,
+        with_dlvp.ipc(),
+        (with_dlvp.speedup_over(&base) - 1.0) * 100.0
+    );
+    println!(
+        "\ncoverage  {:.1}% of loads value-predicted (paper avg: 31.1%)",
+        with_dlvp.coverage() * 100.0
+    );
+    println!(
+        "accuracy  {:.2}% of predictions correct (paper: >99%)",
+        with_dlvp.accuracy() * 100.0
+    );
+    println!("flushes   {} value mispredictions", with_dlvp.vp_flushes);
+}

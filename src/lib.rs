@@ -1,0 +1,24 @@
+//! # dlvp-suite — workspace umbrella
+//!
+//! This crate exists to host the repository-level [examples](https://github.com/)
+//! (`examples/`) and cross-crate integration tests (`tests/`); the library
+//! surface lives in the member crates:
+//!
+//! * [`dlvp`] — the paper's mechanisms (PAP, DLVP, CAP, VTAGE, tournament);
+//! * [`lvp_uarch`] — the cycle-level core model;
+//! * [`lvp_workloads`] — the benchmark suite;
+//! * [`lvp_isa`] / [`lvp_emu`] / [`lvp_trace`] — ISA, emulator, traces;
+//! * [`lvp_mem`] / [`lvp_branch`] — memory and branch-prediction substrates;
+//! * [`lvp_energy`] — area/energy models;
+//! * [`lvp_bench`] — the experiment harnesses.
+
+pub use dlvp;
+pub use lvp_bench;
+pub use lvp_branch;
+pub use lvp_emu;
+pub use lvp_energy;
+pub use lvp_isa;
+pub use lvp_mem;
+pub use lvp_trace;
+pub use lvp_uarch;
+pub use lvp_workloads;

@@ -1,0 +1,139 @@
+//! End-to-end integration: workload kernels → functional emulator →
+//! cycle-level core under every prediction scheme.
+
+use lvp_uarch::{simulate, Core, CoreConfig, NoVp, OracleLoadVp, RecoveryMode};
+
+const BUDGET: u64 = 60_000;
+
+fn trace_of(name: &str) -> lvp_trace::Trace {
+    lvp_workloads::by_name(name).expect("workload").trace(BUDGET)
+}
+
+#[test]
+fn every_workload_simulates_under_every_scheme() {
+    for w in lvp_workloads::all() {
+        let t = w.trace(20_000);
+        let base = simulate(&t, NoVp);
+        assert!(base.cycles > 0, "{}: zero cycles", w.name);
+        assert!(base.ipc() > 0.01 && base.ipc() <= 8.0, "{}: ipc {}", w.name, base.ipc());
+        for (name, stats) in [
+            ("dlvp", simulate(&t, dlvp::dlvp_default())),
+            ("cap", simulate(&t, dlvp::dlvp_with_cap())),
+            ("vtage", simulate(&t, dlvp::Vtage::paper_default())),
+            ("tournament", simulate(&t, dlvp::Tournament::new())),
+        ] {
+            assert_eq!(stats.instructions, base.instructions, "{}/{name}", w.name);
+            let speedup = stats.speedup_over(&base);
+            assert!(
+                speedup > 0.7 && speedup < 3.0,
+                "{}/{name}: implausible speedup {speedup}",
+                w.name
+            );
+            if stats.vp_predicted > 100 {
+                assert!(stats.accuracy() > 0.5, "{}/{name}: accuracy {}", w.name, stats.accuracy());
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let t = trace_of("gzip");
+    let a = simulate(&t, dlvp::dlvp_default());
+    let b = simulate(&t, dlvp::dlvp_default());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dlvp_beats_vtage_on_interpreter_dispatch() {
+    // The paper's headline: perlbmk's dispatch chain is address-predictable
+    // via load-path history but not value-predictable.
+    let t = trace_of("perlbmk");
+    let base = simulate(&t, NoVp);
+    let d = simulate(&t, dlvp::dlvp_default());
+    let v = simulate(&t, dlvp::Vtage::paper_default());
+    assert!(
+        d.speedup_over(&base) > v.speedup_over(&base) + 0.01,
+        "dlvp {} vs vtage {}",
+        d.speedup_over(&base),
+        v.speedup_over(&base)
+    );
+    assert!(d.speedup_over(&base) > 1.02, "perlbmk should show a clear win");
+}
+
+#[test]
+fn dlvp_favours_address_stable_value_mutating_loads() {
+    // aifirf: fixed delay-line addresses, shifting values (paper §5.2.3:
+    // "aifirf favors DLVP").
+    let t = trace_of("aifirf");
+    let d = simulate(&t, dlvp::dlvp_default());
+    let v = simulate(&t, dlvp::Vtage::paper_default());
+    assert!(d.coverage() > v.coverage() + 0.1, "dlvp {} vtage {}", d.coverage(), v.coverage());
+    assert!(d.accuracy() > 0.99);
+}
+
+#[test]
+fn vtage_favours_value_stable_address_varying_loads() {
+    // nat: session fields whose values are constant across flows while the
+    // addresses are data-dependent (paper: "nat favors VTAGE").
+    let t = trace_of("nat");
+    let d = simulate(&t, dlvp::dlvp_default());
+    let v = simulate(&t, dlvp::Vtage::paper_default());
+    assert!(v.coverage() > d.coverage() + 0.1, "vtage {} dlvp {}", v.coverage(), d.coverage());
+}
+
+#[test]
+fn oracle_replay_is_never_slower_than_flush() {
+    for name in ["viterbi", "gzip", "perlbmk"] {
+        let t = trace_of(name);
+        let flush = simulate(&t, dlvp::dlvp_with_cap());
+        let replay = Core::new(
+            CoreConfig { recovery: RecoveryMode::OracleReplay, ..CoreConfig::default() },
+            dlvp::dlvp_with_cap(),
+        )
+        .run(&t);
+        assert!(
+            replay.cycles <= flush.cycles,
+            "{name}: replay {} vs flush {}",
+            replay.cycles,
+            flush.cycles
+        );
+        assert_eq!(replay.vp_flushes, 0);
+    }
+}
+
+#[test]
+fn oracle_load_prediction_bounds_real_schemes() {
+    let t = trace_of("perlbmk");
+    let base = simulate(&t, NoVp);
+    let oracle = simulate(&t, OracleLoadVp::default());
+    let d = simulate(&t, dlvp::dlvp_default());
+    assert!(
+        oracle.cycles <= d.cycles + base.cycles / 50,
+        "oracle {} should not trail DLVP {} by much",
+        oracle.cycles,
+        d.cycles
+    );
+    assert!((oracle.accuracy() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn predictions_never_exceed_loads_for_load_only_schemes() {
+    for name in ["soplex", "linpack", "pdfjs"] {
+        let t = trace_of(name);
+        let d = simulate(&t, dlvp::dlvp_default());
+        assert!(d.vp_predicted_loads <= d.loads);
+        assert_eq!(d.vp_predicted, d.vp_predicted_loads, "DLVP predicts loads only");
+        let v = simulate(&t, dlvp::Vtage::paper_default());
+        assert_eq!(v.vp_predicted, v.vp_predicted_loads, "paper-default VTAGE is loads-only");
+    }
+}
+
+#[test]
+fn tlb_and_cache_counters_are_consistent() {
+    let t = trace_of("bzip2");
+    let s = simulate(&t, NoVp);
+    assert!(s.mem.tlb.misses <= s.mem.tlb.accesses);
+    assert!(s.mem.l1d.hits + s.mem.l1d.misses == s.mem.l1d.accesses);
+    assert!(s.mem.tlb.misses > 100, "bzip2 must stress the TLB");
+}

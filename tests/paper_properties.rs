@@ -1,0 +1,129 @@
+//! Paper-level properties: the claims each figure/table rests on, asserted
+//! as integration tests so regressions in any crate surface here.
+
+use dlvp::{evaluate_standalone, AddrEval, AddrWidth, AptLayout, Cap, Pap, PapConfig};
+use lvp_energy::PrfComparison;
+use lvp_trace::{ConflictProfile, RepeatProfile};
+
+const BUDGET: u64 = 60_000;
+
+#[test]
+fn table1_apt_budget_is_8kb_class() {
+    let v8 = AptLayout::of(PapConfig::default(), 4);
+    assert_eq!(v8.budget_bits_per_entry(), 67);
+    assert_eq!(v8.total_budget_bits(), 67 * 1024);
+    let v7 = AptLayout::of(
+        PapConfig { addr_width: AddrWidth::A32, ..PapConfig::default() },
+        4,
+    );
+    assert_eq!(v7.total_budget_bits(), 50 * 1024);
+    // "With a modest 8KB prediction table" (abstract).
+    assert!(v8.total_budget_bits() / 8 <= 9 * 1024);
+}
+
+#[test]
+fn table2_design3_trades_reads_for_writes() {
+    let [pvt, d1, d2, d3] = PrfComparison::default().rows();
+    assert!(pvt.area < d1.area / 5.0);
+    assert!(d2.area > d3.area, "extra PRF ports cost more area than a PVT");
+    assert!(d3.read_energy < 1.0, "PVT reads are cheaper than PRF reads");
+    assert!(d3.write_energy > 1.0 && d3.write_energy < d2.write_energy);
+}
+
+#[test]
+fn figure2_addresses_out_repeat_values_at_the_thresholds_that_matter() {
+    // Paper §1: addresses repeating >=8 times cover more loads than values
+    // repeating >=64 times — the asymmetry PAP's confidence-8 exploits.
+    let mut avg = RepeatProfile::default();
+    for w in lvp_workloads::all() {
+        avg.merge(&RepeatProfile::profile(&w.trace(BUDGET)));
+    }
+    let i8 = RepeatProfile::threshold_index(8).unwrap();
+    let i64 = RepeatProfile::threshold_index(64).unwrap();
+    assert!(
+        avg.addr_fraction(i8) > avg.value_fraction(i64) + 0.03,
+        "addr@8 {} must exceed value@64 {}",
+        avg.addr_fraction(i8),
+        avg.value_fraction(i64)
+    );
+}
+
+#[test]
+fn figure1_committed_conflicts_dominate_across_workloads() {
+    // Paper: ~67% of load-store conflicts involve already-committed stores.
+    let (mut committed, mut inflight) = (0.0, 0.0);
+    for w in lvp_workloads::all() {
+        let p = ConflictProfile::profile(&w.trace(BUDGET), 96);
+        committed += p.committed_fraction();
+        inflight += p.inflight_fraction();
+    }
+    assert!(committed + inflight > 0.0, "the suite must exhibit conflicts");
+    let share = committed / (committed + inflight);
+    // The paper reports ~67% committed on real applications; our synthetic
+    // kernels have shorter re-use distances, so we assert the committed
+    // class is at least strongly represented (DESIGN.md §5.1).
+    assert!(share > 0.35, "committed share {share} too low");
+}
+
+#[test]
+fn figure4_pap_beats_cap_at_equal_confidence() {
+    // Coverage AND accuracy, with the same ~8-observation requirement.
+    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(BUDGET)).collect();
+    let mut pap = AddrEval::default();
+    let mut cap8 = AddrEval::default();
+    for t in &traces {
+        pap.merge(&evaluate_standalone(t, &mut Pap::paper_default()));
+        cap8.merge(&evaluate_standalone(t, &mut Cap::with_confidence(8)));
+    }
+    assert!(
+        pap.accuracy() > 0.97,
+        "PAP accuracy {} must be high at confidence 8 (paper: 99.1%)",
+        pap.accuracy()
+    );
+    assert!(
+        pap.accuracy() >= cap8.accuracy() - 0.005,
+        "PAP acc {} vs CAP acc {}",
+        pap.accuracy(),
+        cap8.accuracy()
+    );
+}
+
+#[test]
+fn figure4_cap_confidence_sweep_trades_coverage_for_accuracy() {
+    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(BUDGET)).collect();
+    let eval = |conf: u32| {
+        let mut e = AddrEval::default();
+        for t in &traces {
+            e.merge(&evaluate_standalone(t, &mut Cap::with_confidence(conf)));
+        }
+        e
+    };
+    let lo = eval(3);
+    let hi = eval(64);
+    assert!(lo.coverage() > hi.coverage(), "low confidence covers more");
+    assert!(hi.accuracy() >= lo.accuracy(), "high confidence is at least as accurate");
+}
+
+#[test]
+fn storage_budgets_match_table4() {
+    use dlvp::AddressPredictor;
+    let pap = Pap::paper_default();
+    assert_eq!(pap.storage_bits(), 67 * 1024, "DLVP: 67k bits (ARMv8)");
+    let cap = Cap::new(dlvp::CapConfig::default());
+    assert_eq!(cap.storage_bits(), 95 * 1024, "CAP: 95k bits (ARMv8)");
+    let vt = dlvp::Vtage::paper_default();
+    assert_eq!(vt.storage_bits(), 3 * 256 * 83, "VTAGE: 62.3k bits");
+    // PAP is the most storage-efficient of the three (paper §2.1).
+    assert!(pap.storage_bits() < cap.storage_bits());
+}
+
+#[test]
+fn fpc_confidence_of_eight_vs_sixtyfour() {
+    // "an address needs to be observed only 8 times to establish high
+    // confidence in PAP, as opposed to observing a value 64 or 128 times in
+    // VTAGE" (§1).
+    let apt = dlvp::Fpc::paper_apt(1);
+    assert!(apt.expected_observations() <= 8.0);
+    let vt = dlvp::Fpc::paper_vtage(1);
+    assert!(vt.expected_observations() >= 60.0);
+}

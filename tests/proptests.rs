@@ -1,0 +1,209 @@
+//! Property-based tests over randomly generated programs and access
+//! streams: the emulator, trace analytics, predictors and the timing model
+//! must stay well-behaved for *any* input, not just the curated kernels.
+
+use lvp_emu::Emulator;
+use lvp_isa::{AluOp, Asm, MemSize, Reg};
+use lvp_uarch::{simulate, NoVp};
+use proptest::prelude::*;
+
+/// A small random straight-line-plus-backedge program. All memory accesses
+/// land in a private page per slot to keep them well-formed.
+fn random_program(ops: &[u8]) -> lvp_isa::Program {
+    let mut a = Asm::new(0x1_0000);
+    a.data_u64(0x20_0000, &(0..256u64).collect::<Vec<_>>());
+    a.mov(Reg::X20, 0x20_0000);
+    a.mov(Reg::X21, 0);
+    let top = a.here();
+    for (i, &op) in ops.iter().enumerate() {
+        let r1 = Reg::x(1 + (i % 8) as u8);
+        let r2 = Reg::x(9 + (i % 6) as u8);
+        match op % 8 {
+            0 => a.addi(r1, r2, op as i64),
+            1 => a.alu(AluOp::Eor, r1, r2, Reg::X21),
+            2 => {
+                a.andi(r2, r2, 255);
+                a.lsli(r2, r2, 3);
+                a.ldr_idx(r1, Reg::X20, r2, MemSize::X)
+            }
+            3 => {
+                a.andi(r2, r2, 255);
+                a.lsli(r2, r2, 3);
+                a.str_idx(r1, Reg::X20, r2, MemSize::X)
+            }
+            4 => a.alui(AluOp::Mul, r1, r2, 0x9e37),
+            5 => a.ldr(r1, Reg::X20, (op as i64 % 32) * 8, MemSize::X),
+            6 => a.ldp(Reg::X15, Reg::X16, Reg::X20, (op as i64 % 16) * 8),
+            _ => a.lsri(r1, r2, (op % 63) as i64),
+        }
+    }
+    a.addi(Reg::X21, Reg::X21, 1);
+    a.b(top);
+    a.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn emulator_is_deterministic_on_random_programs(
+        ops in prop::collection::vec(any::<u8>(), 4..40)
+    ) {
+        let t1 = Emulator::new(random_program(&ops)).run(4_000).trace;
+        let t2 = Emulator::new(random_program(&ops)).run(4_000).trace;
+        prop_assert_eq!(t1.records(), t2.records());
+        prop_assert_eq!(t1.len(), 4_000);
+    }
+
+    #[test]
+    fn timing_model_is_sane_on_random_programs(
+        ops in prop::collection::vec(any::<u8>(), 4..40)
+    ) {
+        let t = Emulator::new(random_program(&ops)).run(4_000).trace;
+        let base = simulate(&t, NoVp);
+        // IPC bounded by machine width; cycles bounded below by width.
+        prop_assert!(base.cycles >= t.len() as u64 / 8);
+        prop_assert!(base.ipc() <= 8.0);
+        // Schemes never change the instruction count and never produce
+        // impossible statistics.
+        for stats in [
+            simulate(&t, dlvp::dlvp_default()),
+            simulate(&t, dlvp::Vtage::paper_default()),
+            simulate(&t, dlvp::Tournament::new()),
+        ] {
+            prop_assert_eq!(stats.instructions, base.instructions);
+            prop_assert!(stats.vp_correct <= stats.vp_predicted);
+            prop_assert!(stats.vp_predicted_loads <= stats.loads);
+        }
+    }
+
+    #[test]
+    fn pap_only_predicts_after_confidence_and_is_self_consistent(
+        addrs in prop::collection::vec(0u64..64, 32..200)
+    ) {
+        use dlvp::AddressPredictor;
+        let mut pap = dlvp::Pap::paper_default();
+        let pc = 0x4000u64;
+        let mut last: Option<u64> = None;
+        let mut run = 0u32;
+        for &slot in &addrs {
+            let addr = 0x8000 + slot * 64;
+            pap.note_load(pc);
+            let (pred, ctx) = pap.lookup(pc);
+            if let Some(p) = pred {
+                // Only ever predicts an address it has been trained with.
+                prop_assert!(addrs.iter().any(|&s| 0x8000 + s * 64 == p.addr));
+                // Never predicts without at least some repetition history.
+                prop_assert!(run >= 1 || last.is_none());
+            }
+            run = if last == Some(addr) { run + 1 } else { 0 };
+            last = Some(addr);
+            pap.train(ctx, addr, 1, None);
+        }
+    }
+
+    #[test]
+    fn cache_demand_accesses_always_hit_on_reaccess(
+        addrs in prop::collection::vec(any::<u32>(), 1..200)
+    ) {
+        let mut c = lvp_mem::Cache::new(lvp_mem::CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            block_bytes: 64,
+            hit_latency: 1,
+        });
+        for &a in &addrs {
+            c.access(a as u64);
+            // Immediately after a demand access the block must be resident.
+            prop_assert!(c.lookup(a as u64).is_some());
+            prop_assert!(c.access(a as u64).hit);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+    }
+
+    #[test]
+    fn path_history_restore_always_roundtrips(
+        pcs in prop::collection::vec(any::<u32>(), 1..64)
+    ) {
+        let mut h = dlvp::LoadPathHistory::new(16);
+        for &pc in &pcs {
+            h.push_load((pc as u64) << 2);
+        }
+        let snap = h.snapshot();
+        for &pc in &pcs {
+            h.push_load(pc as u64);
+        }
+        h.restore(snap);
+        prop_assert_eq!(h.bits(), snap);
+    }
+
+    #[test]
+    fn instruction_encoding_roundtrips(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i64>()), 1..64)
+    ) {
+        use lvp_isa::{AluOp, Cond, Instruction, MemSize, Reg, RegList};
+        let alu_ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Orr, AluOp::Eor,
+                       AluOp::Lsl, AluOp::Lsr, AluOp::Asr, AluOp::Mul, AluOp::Div,
+                       AluOp::Rem, AluOp::FAdd, AluOp::FSub, AluOp::FMul, AluOp::FDiv];
+        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+        let sizes = [MemSize::B, MemSize::H, MemSize::W, MemSize::X];
+        let mut words = Vec::new();
+        let mut insts = Vec::new();
+        for (a, b, c, imm) in ops {
+            let r1 = Reg::x(a % 31);
+            let r2 = Reg::x(b % 31);
+            let r3 = Reg::x(c % 31);
+            let inst = match a % 14 {
+                0 => Instruction::Alu { op: alu_ops[b as usize % 15], rd: r1, rn: r2, rm: r3 },
+                1 => Instruction::AluImm { op: alu_ops[c as usize % 15], rd: r1, rn: r2, imm },
+                2 => Instruction::MovImm { rd: r1, imm: imm as u64 },
+                3 => Instruction::Ldr { rd: r1, rn: r2, offset: imm, size: sizes[c as usize % 4] },
+                4 => Instruction::Str { rt: r1, rn: r2, offset: imm, size: sizes[c as usize % 4] },
+                5 => Instruction::Ldp { rd1: r1, rd2: r2, rn: r3, offset: imm },
+                6 => Instruction::Ldm {
+                    list: RegList::of(&[Reg::x(1 + a % 15), Reg::x(16 + b % 15)]),
+                    rn: r3,
+                },
+                7 => Instruction::Bc { cond: conds[b as usize % 6], rn: r2, rm: r3, target: imm as u64 },
+                8 => Instruction::Cbz { rn: r2, target: imm as u64 },
+                9 => Instruction::Bl { target: imm as u64 },
+                10 => Instruction::Ldar { rd: r1, rn: r2 },
+                11 => Instruction::Stlr { rt: r1, rn: r2 },
+                12 => Instruction::Vld { vd: Reg::x((a % 14) * 2), rn: r2, offset: imm },
+                _ => Instruction::LdrIdx { rd: r1, rn: r2, rm: r3, size: sizes[c as usize % 4] },
+            };
+            insts.push(inst);
+            lvp_isa::encode(inst, &mut words);
+        }
+        // Decode the whole stream back.
+        let mut cursor = 0usize;
+        for expected in &insts {
+            let (got, used) = lvp_isa::decode(&words[cursor..]).expect("decode");
+            prop_assert_eq!(got, *expected);
+            cursor += used;
+        }
+        prop_assert_eq!(cursor, words.len());
+    }
+
+    #[test]
+    fn trace_serialization_roundtrips(
+        ops in prop::collection::vec(any::<u8>(), 4..40)
+    ) {
+        let t = Emulator::new(random_program(&ops)).run(2_000).trace;
+        let mut buf = Vec::new();
+        lvp_trace::write_trace(&t, &mut buf).expect("write");
+        let back = lvp_trace::read_trace(buf.as_slice()).expect("read");
+        prop_assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn fpc_value_stays_bounded(ups in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut f = dlvp::Fpc::paper_apt(42);
+        for up in ups {
+            if up { f.up(); } else { f.down(); }
+            prop_assert!(f.value() <= 3);
+            prop_assert_eq!(f.is_confident(), f.value() == 3);
+        }
+    }
+}
