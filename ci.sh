@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, formatting, lints, and a smoke run of
+# the batch experiment runner (2 workloads x 2 schemes, checked against the
+# committed golden spec's determinism guarantee: two runs must be
+# byte-identical).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== runner smoke (2x2 matrix) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/runner --workloads aifirf,perlbmk --schemes baseline,dlvp \
+  --budget 10000 --jobs 1 --out "$tmp/a.json"
+./target/release/runner --workloads aifirf,perlbmk --schemes baseline,dlvp \
+  --budget 10000 --jobs 4 --out "$tmp/b.json"
+cmp "$tmp/a.json" "$tmp/b.json"
+echo "runner output is schedule-invariant"
+
+echo "CI OK"

@@ -1,37 +1,27 @@
-//! Criterion micro-benchmarks of the memory-hierarchy substrate.
+//! Micro-benchmarks of the memory-hierarchy substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lvp_bench::microbench::Bench;
 use lvp_mem::{HierarchyConfig, MemoryHierarchy};
 use std::hint::black_box;
 
-fn bench_l1_hits(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("l1_hit_access", |b| {
-        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
-        m.access_data(0x40, 0x1000, true);
-        b.iter(|| black_box(m.access_data(0x40, 0x1000, true)))
-    });
-    g.bench_function("probe_l1d", |b| {
-        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
-        m.access_data(0x40, 0x2000, true);
-        let way = m.l1d_way(0x2000);
-        b.iter(|| black_box(m.probe_l1d(0x2000, way)))
-    });
-    g.bench_function("streaming_misses", |b| {
-        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr += 64;
-            black_box(m.access_data(0x40, addr, true))
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+    m.access_data(0x40, 0x1000, true);
+    Bench::new("l1_hit_access")
+        .elements(1)
+        .run(|| black_box(m.access_data(0x40, 0x1000, true)));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_l1_hits
+    let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+    m.access_data(0x40, 0x2000, true);
+    let way = m.l1d_way(0x2000);
+    Bench::new("probe_l1d")
+        .elements(1)
+        .run(|| black_box(m.probe_l1d(0x2000, way)));
+
+    let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+    let mut addr = 0u64;
+    Bench::new("streaming_misses").elements(1).run(|| {
+        addr += 64;
+        black_box(m.access_data(0x40, addr, true))
+    });
 }
-criterion_main!(benches);

@@ -1,41 +1,30 @@
-//! Criterion benchmarks of the end-to-end simulation rate: functional
-//! emulation and cycle-level timing with each scheme.
+//! Benchmarks of the end-to-end simulation rate: functional emulation and
+//! cycle-level timing with each scheme.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lvp_bench::microbench::Bench;
 use lvp_emu::Emulator;
 use lvp_uarch::{simulate, NoVp};
 use std::hint::black_box;
 
 const N: u64 = 20_000;
 
-fn bench_emulator(c: &mut Criterion) {
+fn main() {
     let w = lvp_workloads::by_name("perlbmk").unwrap();
-    let mut g = c.benchmark_group("emulator");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("perlbmk_functional", |b| {
-        b.iter_batched(
-            || Emulator::new(w.program()),
-            |e| black_box(e.run(N)),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
-}
+    Bench::new("perlbmk_functional")
+        .elements(N)
+        .run(|| black_box(Emulator::new(w.program()).run(N)));
 
-fn bench_timing(c: &mut Criterion) {
-    let t = lvp_workloads::by_name("perlbmk").unwrap().trace(N);
-    let mut g = c.benchmark_group("timing-model");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("baseline", |b| b.iter(|| black_box(simulate(&t, NoVp))));
-    g.bench_function("dlvp", |b| b.iter(|| black_box(simulate(&t, dlvp::dlvp_default()))));
-    g.bench_function("vtage", |b| b.iter(|| black_box(simulate(&t, dlvp::Vtage::paper_default()))));
-    g.bench_function("tournament", |b| b.iter(|| black_box(simulate(&t, dlvp::Tournament::new()))));
-    g.finish();
+    let t = w.trace(N);
+    Bench::new("timing_baseline")
+        .elements(N)
+        .run(|| black_box(simulate(&t, NoVp)));
+    Bench::new("timing_dlvp")
+        .elements(N)
+        .run(|| black_box(simulate(&t, dlvp::dlvp_default())));
+    Bench::new("timing_vtage")
+        .elements(N)
+        .run(|| black_box(simulate(&t, dlvp::Vtage::paper_default())));
+    Bench::new("timing_tournament")
+        .elements(N)
+        .run(|| black_box(simulate(&t, dlvp::Tournament::new())));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_emulator, bench_timing
-}
-criterion_main!(benches);

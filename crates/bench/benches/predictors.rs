@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the predictor structures: lookup+train
-//! throughput of PAP, CAP and VTAGE, plus branch predictors.
+//! Micro-benchmarks of the predictor structures: lookup+train throughput of
+//! PAP, CAP and VTAGE, plus branch predictors.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dlvp::{evaluate_standalone, Cap, Pap, Vtage};
+use lvp_bench::microbench::Bench;
 use lvp_branch::{GlobalHistory, Tage};
 use std::hint::black_box;
 
@@ -10,57 +10,33 @@ fn trace() -> lvp_trace::Trace {
     lvp_workloads::by_name("aifirf").unwrap().trace(20_000)
 }
 
-fn bench_address_predictors(c: &mut Criterion) {
+fn main() {
     let t = trace();
     let loads = t.load_count() as u64;
-    let mut g = c.benchmark_group("address-predictors");
-    g.throughput(Throughput::Elements(loads));
-    g.bench_function("pap_lookup_train", |b| {
-        b.iter_batched(
-            Pap::paper_default,
-            |mut p| black_box(evaluate_standalone(&t, &mut p)),
-            BatchSize::LargeInput,
-        )
+    Bench::new("pap_lookup_train").elements(loads).run(|| {
+        let mut p = Pap::paper_default();
+        black_box(evaluate_standalone(&t, &mut p))
     });
-    g.bench_function("cap_lookup_train", |b| {
-        b.iter_batched(
-            || Cap::with_confidence(8),
-            |mut p| black_box(evaluate_standalone(&t, &mut p)),
-            BatchSize::LargeInput,
-        )
+    Bench::new("cap_lookup_train").elements(loads).run(|| {
+        let mut p = Cap::with_confidence(8);
+        black_box(evaluate_standalone(&t, &mut p))
     });
-    g.finish();
-}
 
-fn bench_vtage(c: &mut Criterion) {
     let h = GlobalHistory::new();
-    c.bench_function("vtage_predict_train_chunk", |b| {
-        let mut v = Vtage::paper_default();
-        let mut pc = 0x1000u64;
-        b.iter(|| {
-            pc = pc.wrapping_add(4) & 0xffff;
-            let _ = black_box(v.predict_first_chunk(pc, &h));
-            v.train_first_chunk(pc, &h, pc ^ 0x55);
-        })
+    let mut v = Vtage::paper_default();
+    let mut pc = 0x1000u64;
+    Bench::new("vtage_predict_train_chunk").run(|| {
+        pc = pc.wrapping_add(4) & 0xffff;
+        let _ = black_box(v.predict_first_chunk(pc, &h));
+        v.train_first_chunk(pc, &h, pc ^ 0x55);
+    });
+
+    let mut tage = Tage::default_32kb();
+    let mut i = 0u64;
+    Bench::new("tage_predict_update").run(|| {
+        i += 1;
+        let pc = 0x1000 + (i % 64) * 4;
+        let p = tage.predict(black_box(pc));
+        tage.update(pc, i.is_multiple_of(3), p);
     });
 }
-
-fn bench_tage(c: &mut Criterion) {
-    c.bench_function("tage_predict_update", |b| {
-        let mut t = Tage::default_32kb();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let pc = 0x1000 + (i % 64) * 4;
-            let p = t.predict(black_box(pc));
-            t.update(pc, i % 3 == 0, p);
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_address_predictors, bench_vtage, bench_tage
-}
-criterion_main!(benches);

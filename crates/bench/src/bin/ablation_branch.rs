@@ -10,13 +10,23 @@ use lvp_uarch::{BranchPredictorKind, Core, CoreConfig, NoVp};
 
 fn main() {
     let budget = budget_from_args();
-    report::header("ablation_branch", "value prediction vs branch predictor quality", budget);
+    report::header(
+        "ablation_branch",
+        "value prediction vs branch predictor quality",
+        budget,
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>12} {:>12}",
         "predictor", "base IPC*", "br-MPKI*", "DLVP spdup", "VTAGE spdup"
     );
-    for (name, kind) in [("TAGE", BranchPredictorKind::Tage), ("gshare", BranchPredictorKind::Gshare)] {
-        let cfg = CoreConfig { branch_predictor: kind, ..CoreConfig::default() };
+    for (name, kind) in [
+        ("TAGE", BranchPredictorKind::Tage),
+        ("gshare", BranchPredictorKind::Gshare),
+    ] {
+        let cfg = CoreConfig {
+            branch_predictor: kind,
+            ..CoreConfig::default()
+        };
         let (mut ipc, mut mpki, mut sd, mut sv) = (0.0, 0.0, Vec::new(), Vec::new());
         let mut n = 0.0;
         for w in lvp_workloads::all() {

@@ -14,7 +14,12 @@ use lvp_bench::{budget_from_args, report};
 use lvp_uarch::{simulate, Core, CoreConfig, NoVp, RecoveryMode, SimStats};
 
 fn geo_speedup(results: &[(SimStats, SimStats)]) -> f64 {
-    report::geomean(&results.iter().map(|(s, b)| s.speedup_over(b)).collect::<Vec<_>>())
+    report::geomean(
+        &results
+            .iter()
+            .map(|(s, b)| s.speedup_over(b))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn run_all(
@@ -23,7 +28,10 @@ fn run_all(
     mk: impl Fn() -> Dlvp<Pap>,
     recovery: RecoveryMode,
 ) -> (f64, f64, f64) {
-    let cfg = CoreConfig { recovery, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        recovery,
+        ..CoreConfig::default()
+    };
     let mut pairs = Vec::new();
     let (mut cov, mut pred, mut corr) = (0.0, 0u64, 0u64);
     for ((_, t), b) in traces.iter().zip(bases) {
@@ -33,18 +41,27 @@ fn run_all(
         corr += s.vp_correct;
         pairs.push((s, b.clone()));
     }
-    let acc = if pred == 0 { 0.0 } else { corr as f64 / pred as f64 };
+    let acc = if pred == 0 {
+        0.0
+    } else {
+        corr as f64 / pred as f64
+    };
     (geo_speedup(&pairs), cov / traces.len() as f64, acc)
 }
 
 fn main() {
     let budget = budget_from_args();
     report::header("ablation_dlvp", "DLVP design-choice ablations", budget);
-    let traces: Vec<_> =
-        lvp_workloads::all().iter().map(|w| (w.name.to_string(), w.trace(budget))).collect();
+    let traces: Vec<_> = lvp_workloads::all()
+        .iter()
+        .map(|w| (w.name.to_string(), w.trace(budget)))
+        .collect();
     let bases: Vec<_> = traces.iter().map(|(_, t)| simulate(t, NoVp)).collect();
 
-    println!("{:<44} {:>9} {:>9} {:>9}", "configuration", "speedup", "coverage", "accuracy");
+    println!(
+        "{:<44} {:>9} {:>9} {:>9}",
+        "configuration", "speedup", "coverage", "accuracy"
+    );
     let show = |name: &str, r: (f64, f64, f64)| {
         println!(
             "{:<44} {:>9} {:>9} {:>9}",
@@ -68,7 +85,10 @@ fn main() {
             || {
                 Dlvp::new(
                     DlvpConfig::default(),
-                    Pap::new(PapConfig { alloc_policy: AllocPolicy::Always, ..PapConfig::default() }),
+                    Pap::new(PapConfig {
+                        alloc_policy: AllocPolicy::Always,
+                        ..PapConfig::default()
+                    }),
                 )
             },
             RecoveryMode::Flush,
@@ -81,7 +101,15 @@ fn main() {
         run_all(
             &traces,
             &bases,
-            || Dlvp::new(DlvpConfig { use_lscd: false, ..DlvpConfig::default() }, Pap::paper_default()),
+            || {
+                Dlvp::new(
+                    DlvpConfig {
+                        use_lscd: false,
+                        ..DlvpConfig::default()
+                    },
+                    Pap::paper_default(),
+                )
+            },
             RecoveryMode::Flush,
         ),
     );
@@ -94,7 +122,10 @@ fn main() {
             &bases,
             || {
                 Dlvp::new(
-                    DlvpConfig { way_prediction: false, ..DlvpConfig::default() },
+                    DlvpConfig {
+                        way_prediction: false,
+                        ..DlvpConfig::default()
+                    },
                     Pap::paper_default(),
                 )
             },
@@ -110,7 +141,13 @@ fn main() {
                 &traces,
                 &bases,
                 move || {
-                    Dlvp::new(DlvpConfig { paq_window: n, ..DlvpConfig::default() }, Pap::paper_default())
+                    Dlvp::new(
+                        DlvpConfig {
+                            paq_window: n,
+                            ..DlvpConfig::default()
+                        },
+                        Pap::paper_default(),
+                    )
                 },
                 RecoveryMode::Flush,
             ),
@@ -127,7 +164,10 @@ fn main() {
                 move || {
                     Dlvp::new(
                         DlvpConfig::default(),
-                        Pap::new(PapConfig { history_bits: bits, ..PapConfig::default() }),
+                        Pap::new(PapConfig {
+                            history_bits: bits,
+                            ..PapConfig::default()
+                        }),
                     )
                 },
                 RecoveryMode::Flush,
@@ -150,7 +190,10 @@ fn main() {
         let mk = move || {
             Dlvp::new(
                 DlvpConfig::default(),
-                Pap::new(PapConfig { fpc_denoms: denoms, ..PapConfig::default() }),
+                Pap::new(PapConfig {
+                    fpc_denoms: denoms,
+                    ..PapConfig::default()
+                }),
             )
         };
         let flush = run_all(&traces, &bases, mk, RecoveryMode::Flush);

@@ -6,9 +6,14 @@ fn main() {
     let (s, v) = core.run_with_scheme(&t);
     println!("flush {} acc {:.4}", s.vp_flushes, s.accuracy());
     let mut m: Vec<_> = v.misp_by_pc().iter().collect();
-    m.sort_by_key(|(_,c)| std::cmp::Reverse(**c));
+    m.sort_by_key(|(_, c)| std::cmp::Reverse(**c));
     let prog = w.program();
-    for (pc,c) in m.iter().take(6) {
-        println!("misp {:#x} x{} {}", pc, c, prog.fetch(**pc).map(|i| i.to_string()).unwrap_or_default());
+    for (pc, c) in m.iter().take(6) {
+        println!(
+            "misp {:#x} x{} {}",
+            pc,
+            c,
+            prog.fetch(**pc).map(|i| i.to_string()).unwrap_or_default()
+        );
     }
 }

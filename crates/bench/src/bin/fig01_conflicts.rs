@@ -12,8 +12,15 @@ const INFLIGHT_WINDOW: u64 = 96;
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig01_conflicts", "loads conflicting with stores (Figure 1)", budget);
-    println!("{:<14} {:>10} {:>12} {:>12} {:>10}", "workload", "loads", "committed", "in-flight", "total");
+    report::header(
+        "fig01_conflicts",
+        "loads conflicting with stores (Figure 1)",
+        budget,
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "workload", "loads", "committed", "in-flight", "total"
+    );
     let mut total = ConflictProfile::default();
     let (mut cf, mut inf) = (Vec::new(), Vec::new());
     for w in lvp_workloads::all() {

@@ -6,7 +6,11 @@ use lvp_trace::{repeat::THRESHOLDS, RepeatProfile};
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig02_repeatability", "address vs value repeatability (Figure 2)", budget);
+    report::header(
+        "fig02_repeatability",
+        "address vs value repeatability (Figure 2)",
+        budget,
+    );
     let mut avg = RepeatProfile::default();
     for w in lvp_workloads::all() {
         let t = w.trace(budget);

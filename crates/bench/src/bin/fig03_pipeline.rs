@@ -2,7 +2,8 @@
 //! as text, with each component mapped to the module that implements it.
 
 fn main() {
-    println!(r#"
+    println!(
+        r#"
 Figure 3: pipeline with support for value prediction and DLVP
 ==============================================================
 
@@ -32,7 +33,11 @@ after N=4 cycles; ④ deliver values to the Value Prediction Engine by
 rename; ⑤ turn probe misses into prefetches; ⑥ validate at execute —
 a mismatch flushes after a 1-cycle confirm penalty, and an in-flight-store
 conflict inserts the load into the 4-entry LSCD.
-"#);
+"#
+    );
     let c = lvp_uarch::CoreConfig::default();
-    println!("pipeline depth check: fetch-to-execute = {} cycles (Table 4: 13)", c.fetch_to_execute());
+    println!(
+        "pipeline depth check: fetch-to-execute = {} cycles (Table 4: 13)",
+        c.fetch_to_execute()
+    );
 }

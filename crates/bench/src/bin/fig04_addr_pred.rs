@@ -6,8 +6,15 @@ use lvp_bench::{budget_from_args, report};
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig04_addr_pred", "PAP vs CAP standalone (Figure 4)", budget);
-    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(budget)).collect();
+    report::header(
+        "fig04_addr_pred",
+        "PAP vs CAP standalone (Figure 4)",
+        budget,
+    );
+    let traces: Vec<_> = lvp_workloads::all()
+        .iter()
+        .map(|w| w.trace(budget))
+        .collect();
 
     let mut pap_total = AddrEval::default();
     for t in &traces {

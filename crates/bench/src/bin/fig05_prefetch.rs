@@ -1,8 +1,8 @@
 //! Figure 5: benefit of DLVP-generated prefetches (probe misses turn into
 //! prefetch requests), plus the fraction of loads that prefetched.
 
-use lvp_bench::{budget_from_args, report};
 use lvp_bench::experiments::run_dlvp_prefetch;
+use lvp_bench::{budget_from_args, report};
 
 fn main() {
     let budget = budget_from_args();

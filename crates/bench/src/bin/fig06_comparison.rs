@@ -7,14 +7,21 @@ use lvp_energy::SramMacro;
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig06_comparison", "CAP vs VTAGE vs DLVP (Figure 6)", budget);
+    report::header(
+        "fig06_comparison",
+        "CAP vs VTAGE vs DLVP (Figure 6)",
+        budget,
+    );
     let mut rows = Vec::new();
     for w in lvp_workloads::all() {
         rows.push(ComparisonRow::standard(&w, budget));
     }
 
     println!("-- (a) speedup over the no-VP baseline --------------------------");
-    println!("{:<14} {:>9} {:>9} {:>9}", "workload", "CAP", "VTAGE", "DLVP");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9}",
+        "workload", "CAP", "VTAGE", "DLVP"
+    );
     let mut sp = [Vec::new(), Vec::new(), Vec::new()];
     for r in &rows {
         println!(
@@ -24,8 +31,8 @@ fn main() {
             report::speedup_pct(r.speedup(1)),
             report::speedup_pct(r.speedup(2))
         );
-        for i in 0..3 {
-            sp[i].push(r.speedup(i));
+        for (i, col) in sp.iter_mut().enumerate() {
+            col.push(r.speedup(i));
         }
     }
     println!(
@@ -36,7 +43,10 @@ fn main() {
     );
 
     println!("\n-- (b) coverage of dynamic loads --------------------------------");
-    println!("{:<14} {:>9} {:>9} {:>9}", "workload", "CAP", "VTAGE", "DLVP");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9}",
+        "workload", "CAP", "VTAGE", "DLVP"
+    );
     let mut cov = [0.0f64; 3];
     for r in &rows {
         println!(
@@ -46,8 +56,8 @@ fn main() {
             report::pct(r.schemes[1].coverage),
             report::pct(r.schemes[2].coverage)
         );
-        for i in 0..3 {
-            cov[i] += r.schemes[i].coverage;
+        for (i, acc) in cov.iter_mut().enumerate() {
+            *acc += r.schemes[i].coverage;
         }
     }
     let n = rows.len() as f64;
@@ -62,8 +72,8 @@ fn main() {
     let mut en = [Vec::new(), Vec::new(), Vec::new()];
     for r in &rows {
         let base_e = r.baseline.energy();
-        for i in 0..3 {
-            en[i].push(r.schemes[i].energy() / base_e);
+        for (i, col) in en.iter_mut().enumerate() {
+            col.push(r.schemes[i].energy() / base_e);
         }
     }
     for (i, name) in ["CAP", "VTAGE", "DLVP"].iter().enumerate() {
@@ -79,7 +89,10 @@ fn main() {
     let cap_m = SramMacro::new(cap.storage_bits(), 1, 1);
     let vt = Vtage::paper_default();
     let vt_m = SramMacro::new(vt.storage_bits(), 1, 1);
-    println!("{:<14} {:>8} {:>12} {:>12}", "predictor", "area", "read-energy", "write-energy");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12}",
+        "predictor", "area", "read-energy", "write-energy"
+    );
     for (name, m) in [("PAP", &pap_m), ("CAP", &cap_m), ("VTAGE", &vt_m)] {
         println!(
             "{:<14} {:>8.2} {:>12.2} {:>12.2}",

@@ -7,19 +7,53 @@ use lvp_uarch::{simulate, Core, CoreConfig, NoVp};
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig07_vtage", "VTAGE filter/target study (Figure 7)", budget);
+    report::header(
+        "fig07_vtage",
+        "VTAGE filter/target study (Figure 7)",
+        budget,
+    );
     let configs = [
-        ("vanilla, loads-only", VtageFilter::Vanilla, VtageTargets::LoadsOnly),
-        ("vanilla, all-instr", VtageFilter::Vanilla, VtageTargets::AllInstructions),
-        ("dynamic filter, loads-only", VtageFilter::Dynamic, VtageTargets::LoadsOnly),
-        ("dynamic filter, all-instr", VtageFilter::Dynamic, VtageTargets::AllInstructions),
-        ("static filter, loads-only", VtageFilter::Static, VtageTargets::LoadsOnly),
-        ("static filter, all-instr", VtageFilter::Static, VtageTargets::AllInstructions),
+        (
+            "vanilla, loads-only",
+            VtageFilter::Vanilla,
+            VtageTargets::LoadsOnly,
+        ),
+        (
+            "vanilla, all-instr",
+            VtageFilter::Vanilla,
+            VtageTargets::AllInstructions,
+        ),
+        (
+            "dynamic filter, loads-only",
+            VtageFilter::Dynamic,
+            VtageTargets::LoadsOnly,
+        ),
+        (
+            "dynamic filter, all-instr",
+            VtageFilter::Dynamic,
+            VtageTargets::AllInstructions,
+        ),
+        (
+            "static filter, loads-only",
+            VtageFilter::Static,
+            VtageTargets::LoadsOnly,
+        ),
+        (
+            "static filter, all-instr",
+            VtageFilter::Static,
+            VtageTargets::AllInstructions,
+        ),
     ];
-    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(budget)).collect();
+    let traces: Vec<_> = lvp_workloads::all()
+        .iter()
+        .map(|w| w.trace(budget))
+        .collect();
     let bases: Vec<_> = traces.iter().map(|t| simulate(t, NoVp)).collect();
 
-    println!("{:<30} {:>9} {:>10} {:>10}", "configuration", "speedup", "coverage", "accuracy");
+    println!(
+        "{:<30} {:>9} {:>10} {:>10}",
+        "configuration", "speedup", "coverage", "accuracy"
+    );
     for (name, filter, targets) in configs {
         let (mut sp, mut cov, mut pred, mut corr, mut loads) = (Vec::new(), 0.0, 0u64, 0u64, 0u64);
         for (t, base) in traces.iter().zip(&bases) {
@@ -36,7 +70,11 @@ fn main() {
             name,
             report::speedup_pct(report::geomean(&sp)),
             report::pct(cov / traces.len() as f64),
-            report::pct(if pred == 0 { 0.0 } else { corr as f64 / pred as f64 })
+            report::pct(if pred == 0 {
+                0.0
+            } else {
+                corr as f64 / pred as f64
+            })
         );
     }
     println!("\nExpected shape (paper): filters beat vanilla by a wide margin;");

@@ -6,7 +6,11 @@ use lvp_bench::{budget_from_args, report, ComparisonRow, SchemeKind};
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig08_tournament", "DLVP + VTAGE tournament (Figure 8)", budget);
+    report::header(
+        "fig08_tournament",
+        "DLVP + VTAGE tournament (Figure 8)",
+        budget,
+    );
     let schemes = [SchemeKind::Vtage, SchemeKind::Dlvp, SchemeKind::Tournament];
     let (mut sp, mut cov) = ([Vec::new(), Vec::new(), Vec::new()], [0.0f64; 3]);
     let (mut from_dlvp, mut from_vtage) = (0.0, 0.0);
@@ -17,8 +21,12 @@ fn main() {
             sp[i].push(row.speedup(i));
             cov[i] += row.schemes[i].coverage;
         }
-        from_dlvp += row.schemes[2].extra_counter("tournament_from_dlvp").unwrap_or(0.0);
-        from_vtage += row.schemes[2].extra_counter("tournament_from_vtage").unwrap_or(0.0);
+        from_dlvp += row.schemes[2]
+            .extra_counter("tournament_from_dlvp")
+            .unwrap_or(0.0);
+        from_vtage += row.schemes[2]
+            .extra_counter("tournament_from_vtage")
+            .unwrap_or(0.0);
         n += 1.0;
     }
     println!("-- (a) average speedup and coverage ------------------------------");

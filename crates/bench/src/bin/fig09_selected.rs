@@ -5,7 +5,11 @@ use lvp_bench::{budget_from_args, report, ComparisonRow, SchemeKind};
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig09_selected", "speedup vs coverage decoupling (Figure 9)", budget);
+    report::header(
+        "fig09_selected",
+        "speedup vs coverage decoupling (Figure 9)",
+        budget,
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "workload", "spd-VTAGE", "spd-DLVP", "cov-VTAGE", "cov-DLVP", "tlbm-VTAGE", "tlbm-DLVP"
@@ -13,9 +17,8 @@ fn main() {
     for name in ["bzip2", "pdfjs", "gcc", "soplex", "avmshell"] {
         let w = lvp_workloads::by_name(name).expect("paper-named workload");
         let row = ComparisonRow::with_schemes(&w, budget, &[SchemeKind::Vtage, SchemeKind::Dlvp]);
-        let tlb = |s: &lvp_uarch::SimStats| {
-            s.mem.tlb.misses as f64 / (s.mem.tlb.accesses.max(1)) as f64
-        };
+        let tlb =
+            |s: &lvp_uarch::SimStats| s.mem.tlb.misses as f64 / (s.mem.tlb.accesses.max(1)) as f64;
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
             name,

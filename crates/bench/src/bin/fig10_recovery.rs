@@ -6,11 +6,20 @@ use lvp_uarch::CoreConfig;
 
 fn main() {
     let budget = budget_from_args();
-    report::header("fig10_recovery", "flush vs oracle replay (Figure 10)", budget);
-    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(budget)).collect();
+    report::header(
+        "fig10_recovery",
+        "flush vs oracle replay (Figure 10)",
+        budget,
+    );
+    let traces: Vec<_> = lvp_workloads::all()
+        .iter()
+        .map(|w| w.trace(budget))
+        .collect();
     let cfg = CoreConfig::default();
-    let bases: Vec<_> =
-        traces.iter().map(|t| run_scheme(t, SchemeKind::Baseline, &cfg)).collect();
+    let bases: Vec<_> = traces
+        .iter()
+        .map(|t| run_scheme(t, SchemeKind::Baseline, &cfg))
+        .collect();
 
     println!("{:<10} {:>12} {:>14}", "scheme", "flush", "oracle-replay");
     for scheme in [SchemeKind::Cap, SchemeKind::Dlvp, SchemeKind::Vtage] {

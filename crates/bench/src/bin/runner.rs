@@ -1,0 +1,216 @@
+//! `runner` — the sharded, deterministic batch experiment runner.
+//!
+//! ```text
+//! cargo run --release -p lvp-bench --bin runner -- [flags]
+//!
+//!   --workloads a,b,c     workloads to run (default: all; `--list` to see)
+//!   --schemes x,y         schemes (baseline,CAP,VTAGE,DLVP,DLVP+VTAGE|tournament)
+//!   --variants v,w        config variants (default,oracle_replay,gshare,
+//!                         no_prefetch,narrow_frontend,small_pvt)
+//!   --budget N            dynamic instructions per workload (default 200000)
+//!   --jobs N              worker threads (default: LVP_JOBS or all cores)
+//!   --out PATH            results file (default results/matrix.json)
+//!   --baseline PATH       diff against a golden snapshot; non-zero exit on drift
+//!   --tol-rel X           relative per-counter tolerance for --baseline (default 0)
+//!   --tol-abs X           absolute per-counter tolerance for --baseline (default 0)
+//!   --update-golden PATH  write the snapshot (use to regenerate goldens on
+//!                         an intentional model change)
+//!   --list                print workloads/schemes/variants and exit
+//! ```
+//!
+//! The same spec produces byte-identical output for any `--jobs` value.
+
+use lvp_bench::runner::{
+    check_against_golden, default_jobs, run_matrix, ConfigVariant, MatrixSpec, Tolerances,
+};
+use lvp_bench::SchemeKind;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    spec: MatrixSpec,
+    jobs: usize,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    update_golden: Option<PathBuf>,
+    tol: Tolerances,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!("usage: runner [--workloads a,b] [--schemes x,y] [--variants v] [--budget N]");
+    eprintln!("              [--jobs N] [--out PATH] [--baseline PATH] [--tol-rel X]");
+    eprintln!("              [--tol-abs X] [--update-golden PATH] [--list]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut spec = MatrixSpec::full(lvp_workloads::DEFAULT_BUDGET);
+    let mut jobs = default_jobs();
+    let mut out = PathBuf::from("results/matrix.json");
+    let mut baseline = None;
+    let mut update_golden = None;
+    let mut tol = Tolerances::default();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workloads" => {
+                spec.workloads = value(&mut i, "--workloads")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--schemes" => {
+                spec.schemes = value(&mut i, "--schemes")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        SchemeKind::from_name(s)
+                            .unwrap_or_else(|| usage(&format!("unknown scheme '{s}'")))
+                    })
+                    .collect();
+            }
+            "--variants" => {
+                spec.variants = value(&mut i, "--variants")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        ConfigVariant::from_name(s)
+                            .unwrap_or_else(|| usage(&format!("unknown variant '{s}'")))
+                    })
+                    .collect();
+            }
+            "--budget" => {
+                spec.budget = value(&mut i, "--budget")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--budget must be an integer"));
+            }
+            "--jobs" => {
+                jobs = value(&mut i, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs must be an integer"));
+                if jobs == 0 {
+                    usage("--jobs must be >= 1");
+                }
+            }
+            "--out" => out = PathBuf::from(value(&mut i, "--out")),
+            "--baseline" => baseline = Some(PathBuf::from(value(&mut i, "--baseline"))),
+            "--update-golden" => {
+                update_golden = Some(PathBuf::from(value(&mut i, "--update-golden")))
+            }
+            "--tol-rel" => {
+                tol.rel = value(&mut i, "--tol-rel")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tol-rel must be a number"));
+            }
+            "--tol-abs" => {
+                tol.abs = value(&mut i, "--tol-abs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tol-abs must be a number"));
+            }
+            "--list" => {
+                println!("workloads:");
+                for w in lvp_workloads::all() {
+                    println!("  {:<12} [{}] {}", w.name, w.suite, w.description);
+                }
+                println!("schemes:");
+                for s in SchemeKind::all() {
+                    println!("  {}", s.name());
+                }
+                println!("variants:");
+                for v in ConfigVariant::all() {
+                    println!("  {}", v.name());
+                }
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if let Err(bad) = spec.validate() {
+        usage(&format!(
+            "unknown workloads: {} (try --list)",
+            bad.join(", ")
+        ));
+    }
+    Args {
+        spec,
+        jobs,
+        out,
+        baseline,
+        update_golden,
+        tol,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let njobs = args.spec.expand().len();
+    eprintln!(
+        "runner: {} jobs ({} workloads x {} variants x {} schemes), budget {}, {} workers",
+        njobs,
+        args.spec.workloads.len(),
+        args.spec.variants.len(),
+        args.spec.schemes.len(),
+        args.spec.budget,
+        args.jobs,
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_matrix(&args.spec, args.jobs);
+    eprintln!("runner: completed in {:.2}s", t0.elapsed().as_secs_f64());
+
+    if let Err(e) = results.write_to(&args.out) {
+        eprintln!("runner: cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if let Some(golden) = &args.update_golden {
+        if let Err(e) = results.write_to(golden) {
+            eprintln!("runner: cannot write golden {}: {e}", golden.display());
+            return ExitCode::FAILURE;
+        }
+        println!("updated golden {}", golden.display());
+    }
+
+    if let Some(golden) = &args.baseline {
+        match check_against_golden(&results, golden, args.tol) {
+            Err(e) => {
+                eprintln!("runner: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(drifts) if drifts.is_empty() => {
+                println!(
+                    "baseline check PASSED against {} (tol rel {} abs {})",
+                    golden.display(),
+                    args.tol.rel,
+                    args.tol.abs
+                );
+            }
+            Ok(drifts) => {
+                eprintln!(
+                    "baseline check FAILED against {}: {} counters drifted",
+                    golden.display(),
+                    drifts.len()
+                );
+                for d in drifts.iter().take(50) {
+                    eprintln!("  {d}");
+                }
+                if drifts.len() > 50 {
+                    eprintln!("  ... and {} more", drifts.len() - 50);
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

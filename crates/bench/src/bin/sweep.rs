@@ -1,6 +1,7 @@
 //! Quick per-workload overview of all schemes (a compact Figure 6a/6b).
 
 use lvp_bench::{budget_from_args, report, ComparisonRow};
+use lvp_json::{Json, ToJson};
 
 fn main() {
     let budget = budget_from_args();
@@ -26,8 +27,8 @@ fn main() {
             r.schemes[2].coverage,
             r.schemes[2].accuracy,
         );
-        for i in 0..3 {
-            sp[i].push(r.speedup(i));
+        for (i, col) in sp.iter_mut().enumerate() {
+            col.push(r.speedup(i));
         }
         rows_out.push(r);
     }
@@ -39,7 +40,7 @@ fn main() {
         report::speedup_pct(report::geomean(&sp[2]))
     );
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows_out).expect("serialize");
+        let json = Json::Array(rows_out.iter().map(ToJson::to_json).collect()).pretty();
         std::fs::write(&path, json).expect("write json");
         println!("wrote {path}");
     }

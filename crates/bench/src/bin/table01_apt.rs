@@ -6,14 +6,26 @@ fn main() {
     println!("Table 1: Address Prediction Table entry layout");
     println!("================================================");
     for (isa, width) in [("ARMv7", AddrWidth::A32), ("ARMv8", AddrWidth::A49)] {
-        let cfg = PapConfig { addr_width: width, ..PapConfig::default() };
+        let cfg = PapConfig {
+            addr_width: width,
+            ..PapConfig::default()
+        };
         let l = AptLayout::of(cfg, 4);
         println!("\n{isa}:");
-        println!("  tag            : {:>3} bits (XOR of load PC and folded load-path history)", l.tag_bits);
+        println!(
+            "  tag            : {:>3} bits (XOR of load PC and folded load-path history)",
+            l.tag_bits
+        );
         println!("  memory address : {:>3} bits", l.addr_bits);
-        println!("  confidence     : {:>3} bits (FPC, probability vector {{1, 1/2, 1/4}})", l.confidence_bits);
+        println!(
+            "  confidence     : {:>3} bits (FPC, probability vector {{1, 1/2, 1/4}})",
+            l.confidence_bits
+        );
         println!("  size           : {:>3} bits (bytes to read)", l.size_bits);
-        println!("  cache way      : {:>3} bits (optional, log2 of L1D associativity)", l.way_bits);
+        println!(
+            "  cache way      : {:>3} bits (optional, log2 of L1D associativity)",
+            l.way_bits
+        );
         println!(
             "  budget         : {} entries x {} bits = {}k bits (paper: {}k bits)",
             l.entries,

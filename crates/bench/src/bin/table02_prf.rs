@@ -7,7 +7,10 @@ fn main() {
     println!("Table 2: predicted-value communication designs");
     println!("(normalized to design #1; 30% of operand traffic predicted)");
     println!("=============================================================");
-    println!("{:<30} {:>8} {:>12} {:>13}", "design", "area", "read-energy", "write-energy");
+    println!(
+        "{:<30} {:>8} {:>12} {:>13}",
+        "design", "area", "read-energy", "write-energy"
+    );
     for row in PrfComparison::default().rows() {
         println!(
             "{:<30} {:>8.2} {:>12.2} {:>13.2}",

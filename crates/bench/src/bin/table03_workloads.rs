@@ -5,11 +5,14 @@ use lvp_bench::budget_from_args;
 
 fn main() {
     let budget = budget_from_args();
-    println!("Table 3: workload suite ({} dynamic instructions each)", budget);
+    println!(
+        "Table 3: workload suite ({} dynamic instructions each)",
+        budget
+    );
     println!("=====================================================================");
     println!(
-        "{:<14} {:<8} {:>7} {:>7} {:>7}  {}",
-        "workload", "suite", "load%", "store%", "branch%", "modelled behaviour"
+        "{:<14} {:<8} {:>7} {:>7} {:>7}  modelled behaviour",
+        "workload", "suite", "load%", "store%", "branch%"
     );
     for w in lvp_workloads::all() {
         let t = w.trace(budget);

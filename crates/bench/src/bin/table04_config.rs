@@ -6,10 +6,22 @@ fn main() {
     let c = CoreConfig::default();
     println!("Table 4: baseline core configuration (Skylake-like, paper Table 4)");
     println!("===================================================================");
-    println!("front-end width        : {} instr/cycle (fetch..rename)", c.frontend_width);
-    println!("back-end width         : {} instr/cycle (issue..commit)", c.backend_width);
-    println!("execution lanes        : {} load/store + {} generic", c.ls_lanes, c.generic_lanes);
-    println!("ROB/IQ/LDQ/STQ         : {}/{}/{}/{}", c.rob_entries, c.iq_entries, c.ldq_entries, c.stq_entries);
+    println!(
+        "front-end width        : {} instr/cycle (fetch..rename)",
+        c.frontend_width
+    );
+    println!(
+        "back-end width         : {} instr/cycle (issue..commit)",
+        c.backend_width
+    );
+    println!(
+        "execution lanes        : {} load/store + {} generic",
+        c.ls_lanes, c.generic_lanes
+    );
+    println!(
+        "ROB/IQ/LDQ/STQ         : {}/{}/{}/{}",
+        c.rob_entries, c.iq_entries, c.ldq_entries, c.stq_entries
+    );
     println!("physical registers     : {}", c.physical_regs);
     println!("fetch-to-execute depth : {} cycles", c.fetch_to_execute());
     println!("branch prediction      : 32KB-class TAGE + ITTAGE, 16-entry RAS");
@@ -17,14 +29,36 @@ fn main() {
     let m = c.mem;
     println!(
         "L1 (split)             : {}KB {}-way, {} cycle (D) / {} cycle (I)",
-        m.l1d.size_bytes >> 10, m.l1d.ways, m.l1d.hit_latency, m.l1i.hit_latency
+        m.l1d.size_bytes >> 10,
+        m.l1d.ways,
+        m.l1d.hit_latency,
+        m.l1i.hit_latency
     );
-    println!("L2                     : {}KB {}-way, {} cycles", m.l2.size_bytes >> 10, m.l2.ways, m.l2.hit_latency);
-    println!("L3                     : {}MB {}-way, {} cycles", m.l3.size_bytes >> 20, m.l3.ways, m.l3.hit_latency);
+    println!(
+        "L2                     : {}KB {}-way, {} cycles",
+        m.l2.size_bytes >> 10,
+        m.l2.ways,
+        m.l2.hit_latency
+    );
+    println!(
+        "L3                     : {}MB {}-way, {} cycles",
+        m.l3.size_bytes >> 20,
+        m.l3.ways,
+        m.l3.hit_latency
+    );
     println!("memory                 : {} cycles", m.memory_latency);
-    println!("TLB                    : {}-entry {}-way", m.tlb.entries, m.tlb.ways);
+    println!(
+        "TLB                    : {}-entry {}-way",
+        m.tlb.entries, m.tlb.ways
+    );
     println!("prefetcher             : PC-indexed stride");
     println!("DLVP                   : 1k-entry APT, 16-bit load-path history, 32-entry PAQ (N=4)");
-    println!("PVT                    : {} entries, {} predictions/cycle", c.pvt_entries, c.vp_per_cycle);
-    println!("value misp. recovery   : {:?} (+{} cycle confirm)", c.recovery, c.value_check_penalty);
+    println!(
+        "PVT                    : {} entries, {} predictions/cycle",
+        c.pvt_entries, c.vp_per_cycle
+    );
+    println!(
+        "value misp. recovery   : {:?} (+{} cycle confirm)",
+        c.recovery, c.value_check_penalty
+    );
 }

@@ -27,7 +27,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => {
-            let [_, workload, budget, file] = &args[..] else { usage() };
+            let [_, workload, budget, file] = &args[..] else {
+                usage()
+            };
             let Some(w) = lvp_workloads::by_name(workload) else {
                 eprintln!("unknown workload {workload}");
                 exit(1);
@@ -36,12 +38,17 @@ fn main() {
             let trace = w.trace(budget);
             let out = File::create(file).expect("create trace file");
             write_trace(&trace, BufWriter::new(out)).expect("write trace");
-            println!("recorded {} instructions of {} to {}", trace.len(), workload, file);
+            println!(
+                "recorded {} instructions of {} to {}",
+                trace.len(),
+                workload,
+                file
+            );
         }
         Some("stats") => {
             let [_, file] = &args[..] else { usage() };
-            let trace = read_trace(BufReader::new(File::open(file).expect("open")))
-                .expect("parse trace");
+            let trace =
+                read_trace(BufReader::new(File::open(file).expect("open"))).expect("parse trace");
             println!("instructions : {}", trace.len());
             println!("loads        : {}", trace.load_count());
             println!("stores       : {}", trace.store_count());
@@ -50,7 +57,10 @@ fn main() {
             let i8 = lvp_trace::RepeatProfile::threshold_index(8).unwrap();
             println!("addr repeat>=8: {:.1}%", rep.addr_fraction(i8) * 100.0);
             let conf = lvp_trace::ConflictProfile::profile(&trace, 96);
-            println!("store-conflicting loads: {:.1}%", conf.total_fraction() * 100.0);
+            println!(
+                "store-conflicting loads: {:.1}%",
+                conf.total_fraction() * 100.0
+            );
         }
         Some("replay") => {
             if args.len() < 2 {

@@ -3,12 +3,12 @@
 
 use dlvp::{AddressPredictor, Dlvp, DlvpConfig, Pap, Tournament, Vtage};
 use lvp_energy::{core_energy, EnergyInput, EnergyParams, PredictorEnergyInput};
+use lvp_json::{Json, ToJson};
 use lvp_trace::Trace;
 use lvp_uarch::{Core, CoreConfig, NoVp, RecoveryMode, SimStats, VpScheme};
-use serde::Serialize;
 
 /// Which scheme to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     Baseline,
     Dlvp,
@@ -29,13 +29,43 @@ impl SchemeKind {
             SchemeKind::Tournament => "DLVP+VTAGE",
         }
     }
+
+    /// Every scheme, in the order used by the figures.
+    pub fn all() -> [SchemeKind; 5] {
+        [
+            SchemeKind::Baseline,
+            SchemeKind::Cap,
+            SchemeKind::Vtage,
+            SchemeKind::Dlvp,
+            SchemeKind::Tournament,
+        ]
+    }
+
+    /// Parses a scheme from its display name (case-insensitive; accepts
+    /// `tournament` as an alias for `DLVP+VTAGE`).
+    pub fn from_name(name: &str) -> Option<SchemeKind> {
+        let lower = name.to_ascii_lowercase();
+        Self::all()
+            .into_iter()
+            .find(|s| s.name().to_ascii_lowercase() == lower)
+            .or(if lower == "tournament" {
+                Some(SchemeKind::Tournament)
+            } else {
+                None
+            })
+    }
+}
+
+impl ToJson for SchemeKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
 }
 
 /// One scheme's outcome on one trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeOutcome {
     pub scheme: SchemeKind,
-    #[serde(skip)]
     pub stats: SimStats,
     pub cycles: u64,
     pub coverage: f64,
@@ -49,7 +79,14 @@ pub struct SchemeOutcome {
 }
 
 impl SchemeOutcome {
-    fn from(scheme: SchemeKind, stats: SimStats, extra: Vec<(&'static str, f64)>, bits: u64, reads: u64, writes: u64) -> SchemeOutcome {
+    fn from(
+        scheme: SchemeKind,
+        stats: SimStats,
+        extra: Vec<(&'static str, f64)>,
+        bits: u64,
+        reads: u64,
+        writes: u64,
+    ) -> SchemeOutcome {
         SchemeOutcome {
             scheme,
             cycles: stats.cycles,
@@ -95,7 +132,32 @@ impl SchemeOutcome {
     }
 }
 
+impl ToJson for SchemeOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheme", self.scheme.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("coverage", self.coverage.to_json()),
+            ("accuracy", self.accuracy.to_json()),
+            (
+                "extra",
+                Json::obj(self.extra.iter().map(|(k, v)| (k.clone(), v.to_json()))),
+            ),
+            ("predictor_bits", self.predictor_bits.to_json()),
+            ("predictor_reads", self.predictor_reads.to_json()),
+            ("predictor_writes", self.predictor_writes.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
 /// Runs `scheme` over `trace` under `cfg`.
+///
+/// This function is **pure**: all predictor and core state is constructed
+/// per call (no globals, no interior mutability shared between calls), so
+/// for the same `(trace, scheme, cfg)` it returns bit-identical outcomes no
+/// matter which thread runs it or how many run concurrently — the property
+/// the parallel experiment runner is built on.
 pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> SchemeOutcome {
     match scheme {
         SchemeKind::Baseline => {
@@ -107,14 +169,28 @@ pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> Scheme
             let (stats, s) = core.run_with_scheme(trace);
             let act = s.predictor().activity();
             let extra = s.extra_counters();
-            SchemeOutcome::from(scheme, stats, extra, s.predictor().storage_bits(), act.reads, act.writes)
+            SchemeOutcome::from(
+                scheme,
+                stats,
+                extra,
+                s.predictor().storage_bits(),
+                act.reads,
+                act.writes,
+            )
         }
         SchemeKind::Cap => {
             let core = Core::new(cfg.clone(), dlvp::dlvp_with_cap());
             let (stats, s) = core.run_with_scheme(trace);
             let act = s.predictor().activity();
             let extra = s.extra_counters();
-            SchemeOutcome::from(scheme, stats, extra, s.predictor().storage_bits(), act.reads, act.writes)
+            SchemeOutcome::from(
+                scheme,
+                stats,
+                extra,
+                s.predictor().storage_bits(),
+                act.reads,
+                act.writes,
+            )
         }
         SchemeKind::Vtage => {
             let core = Core::new(cfg.clone(), Vtage::paper_default());
@@ -133,7 +209,7 @@ pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> Scheme
 }
 
 /// Per-workload comparison row for the Figure 6-style experiments.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
     pub workload: String,
     pub suite: String,
@@ -149,7 +225,11 @@ impl ComparisonRow {
 
     /// Runs the standard CAP/VTAGE/DLVP comparison on one workload.
     pub fn standard(w: &lvp_workloads::Workload, budget: u64) -> ComparisonRow {
-        Self::with_schemes(w, budget, &[SchemeKind::Cap, SchemeKind::Vtage, SchemeKind::Dlvp])
+        Self::with_schemes(
+            w,
+            budget,
+            &[SchemeKind::Cap, SchemeKind::Vtage, SchemeKind::Dlvp],
+        )
     }
 
     /// Runs a custom scheme list on one workload.
@@ -161,7 +241,10 @@ impl ComparisonRow {
         let trace = w.trace(budget);
         let cfg = CoreConfig::default();
         let baseline = run_scheme(&trace, SchemeKind::Baseline, &cfg);
-        let schemes = schemes.iter().map(|&s| run_scheme(&trace, s, &cfg)).collect();
+        let schemes = schemes
+            .iter()
+            .map(|&s| run_scheme(&trace, s, &cfg))
+            .collect();
         ComparisonRow {
             workload: w.name.to_string(),
             suite: w.suite.to_string(),
@@ -171,21 +254,62 @@ impl ComparisonRow {
     }
 }
 
+impl ToJson for ComparisonRow {
+    /// Includes the baseline, every scheme outcome, and per-scheme speedups.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", self.workload.to_json()),
+            ("suite", self.suite.to_json()),
+            ("baseline", self.baseline.to_json()),
+            (
+                "schemes",
+                Json::Array(
+                    self.schemes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            let mut j = match s.to_json() {
+                                Json::Object(pairs) => pairs,
+                                _ => unreachable!("SchemeOutcome serializes to an object"),
+                            };
+                            j.push(("speedup".to_string(), self.speedup(i).to_json()));
+                            Json::Object(j)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Runs a scheme under oracle-replay recovery (Figure 10).
 pub fn run_with_replay(trace: &Trace, scheme: SchemeKind) -> SchemeOutcome {
-    let cfg = CoreConfig { recovery: RecoveryMode::OracleReplay, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        recovery: RecoveryMode::OracleReplay,
+        ..CoreConfig::default()
+    };
     run_scheme(trace, scheme, &cfg)
 }
 
 /// Runs DLVP with prefetch-on-probe-miss toggled (Figure 5).
 pub fn run_dlvp_prefetch(trace: &Trace, prefetch: bool) -> SchemeOutcome {
     let cfg = CoreConfig::default();
-    let dcfg = DlvpConfig { prefetch_on_miss: prefetch, ..DlvpConfig::default() };
+    let dcfg = DlvpConfig {
+        prefetch_on_miss: prefetch,
+        ..DlvpConfig::default()
+    };
     let core = Core::new(cfg, Dlvp::new(dcfg, Pap::paper_default()));
     let (stats, s) = core.run_with_scheme(trace);
     let act = s.predictor().activity();
     let extra = s.extra_counters();
-    SchemeOutcome::from(SchemeKind::Dlvp, stats, extra, s.predictor().storage_bits(), act.reads, act.writes)
+    SchemeOutcome::from(
+        SchemeKind::Dlvp,
+        stats,
+        extra,
+        s.predictor().storage_bits(),
+        act.reads,
+        act.writes,
+    )
 }
 
 /// Parses the per-workload budget from argv (first positional argument).

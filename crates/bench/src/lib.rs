@@ -16,6 +16,12 @@
 //! relative ordering the figures show).
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
+pub mod runner;
 
 pub use experiments::{budget_from_args, run_scheme, ComparisonRow, SchemeKind, SchemeOutcome};
+pub use runner::{
+    default_jobs, diff_matrices, run_job, run_matrix, ConfigVariant, Drift, JobResult, JobSpec,
+    MatrixResults, MatrixSpec, Tolerances,
+};

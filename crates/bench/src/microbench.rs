@@ -1,0 +1,108 @@
+//! A minimal micro-benchmark harness (std-only; the offline build
+//! environment has no `criterion`). Measures median wall time per iteration
+//! over several samples, with a warm-up pass, and prints throughput when an
+//! element count is given.
+//!
+//! ```no_run
+//! use lvp_bench::microbench::Bench;
+//! Bench::new("example").elements(1000).run(|| std::hint::black_box(40 + 2));
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Builder for one measurement.
+pub struct Bench {
+    name: String,
+    samples: usize,
+    min_sample_time: Duration,
+    warmup: Duration,
+    elements: Option<u64>,
+}
+
+impl Bench {
+    /// A measurement with default settings: 12 samples of ≥50ms after 200ms
+    /// of warm-up.
+    pub fn new(name: impl Into<String>) -> Bench {
+        Bench {
+            name: name.into(),
+            samples: 12,
+            min_sample_time: Duration::from_millis(50),
+            warmup: Duration::from_millis(200),
+            elements: None,
+        }
+    }
+
+    /// Report per-element throughput (e.g. trace records per second).
+    pub fn elements(mut self, n: u64) -> Bench {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Number of timed samples.
+    pub fn samples(mut self, n: usize) -> Bench {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs `f` repeatedly and prints `name: median time [min .. max]`.
+    /// Returns the median per-iteration time.
+    pub fn run<T>(self, mut f: impl FnMut() -> T) -> Duration {
+        // Warm-up: also discovers a per-sample iteration count so that each
+        // sample lasts at least `min_sample_time`.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        let mut one = Duration::ZERO;
+        while warm_start.elapsed() < self.warmup || iters_per_sample == 0 {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            one = t.elapsed();
+            iters_per_sample += 1;
+        }
+        let per_iter = one.max(Duration::from_nanos(1));
+        let iters = (self.min_sample_time.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let (lo, hi) = (times[0], times[times.len() - 1]);
+        match self.elements {
+            Some(n) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!(
+                    "{:<28} {:>12?} [{:?} .. {:?}]  {:.1} Melem/s",
+                    self.name,
+                    median,
+                    lo,
+                    hi,
+                    rate / 1e6
+                );
+            }
+            _ => println!("{:<28} {:>12?} [{:?} .. {:?}]", self.name, median, lo, hi),
+        }
+        median
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        // The workload must defeat const-folding, or the measured median can
+        // round to zero in release builds.
+        let d = Bench::new("noop").samples(3).run(|| {
+            (0..std::hint::black_box(10_000u64))
+                .fold(0u64, |a, b| a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

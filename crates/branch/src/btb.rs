@@ -15,7 +15,10 @@ pub struct BtbConfig {
 
 impl Default for BtbConfig {
     fn default() -> BtbConfig {
-        BtbConfig { entries: 4096, ways: 4 }
+        BtbConfig {
+            entries: 4096,
+            ways: 4,
+        }
     }
 }
 
@@ -45,8 +48,17 @@ impl Btb {
     /// Panics if the geometry does not give a power-of-two set count.
     pub fn new(cfg: BtbConfig) -> Btb {
         let sets = cfg.entries / cfg.ways;
-        assert!(sets >= 1 && sets.is_power_of_two(), "BTB sets must be a power of two");
-        Btb { sets: vec![vec![BtbEntry::default(); cfg.ways]; sets], cfg, tick: 0, lookups: 0, misses: 0 }
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
+        Btb {
+            sets: vec![vec![BtbEntry::default(); cfg.ways]; sets],
+            cfg,
+            tick: 0,
+            lookups: 0,
+            misses: 0,
+        }
     }
 
     fn set_tag(&self, pc: u64) -> (usize, u64) {
@@ -82,12 +94,22 @@ impl Btb {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("BTB ways non-zero");
-        *victim = BtbEntry { tag, target, valid: true, lru: self.tick };
+        *victim = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            lru: self.tick,
+        };
     }
 
     /// (lookups, misses) so far.
     pub fn counters(&self) -> (u64, u64) {
         (self.lookups, self.misses)
+    }
+
+    /// The geometry this BTB was built with.
+    pub fn config(&self) -> BtbConfig {
+        self.cfg
     }
 }
 
@@ -97,7 +119,10 @@ mod tests {
 
     #[test]
     fn miss_then_hit() {
-        let mut b = Btb::new(BtbConfig { entries: 8, ways: 2 });
+        let mut b = Btb::new(BtbConfig {
+            entries: 8,
+            ways: 2,
+        });
         assert_eq!(b.lookup(0x100), None);
         b.update(0x100, 0x4000);
         assert_eq!(b.lookup(0x100), Some(0x4000));
@@ -106,8 +131,11 @@ mod tests {
 
     #[test]
     fn lru_within_set() {
-        let mut b = Btb::new(BtbConfig { entries: 4, ways: 2 }); // 2 sets
-        // Same set: pcs whose (pc>>2) differ by a multiple of 2.
+        let mut b = Btb::new(BtbConfig {
+            entries: 4,
+            ways: 2,
+        }); // 2 sets
+            // Same set: pcs whose (pc>>2) differ by a multiple of 2.
         b.update(0x100, 1);
         b.update(0x108, 2);
         b.lookup(0x100); // touch
@@ -128,6 +156,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
-        let _ = Btb::new(BtbConfig { entries: 6, ways: 2 });
+        let _ = Btb::new(BtbConfig {
+            entries: 6,
+            ways: 2,
+        });
     }
 }

@@ -20,7 +20,10 @@ pub struct GshareConfig {
 
 impl Default for GshareConfig {
     fn default() -> GshareConfig {
-        GshareConfig { pht_log2: 14, history_bits: 12 }
+        GshareConfig {
+            pht_log2: 14,
+            history_bits: 12,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ impl Gshare {
         }
         let idx = self.index(pc);
         let c = &mut self.pht[idx];
-        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        *c = if taken {
+            (*c + 1).min(1)
+        } else {
+            (*c - 1).max(-2)
+        };
         self.history.push(taken);
     }
 

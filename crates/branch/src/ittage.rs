@@ -20,7 +20,12 @@ pub struct IttageConfig {
 impl IttageConfig {
     /// A ~32 KiB configuration in the spirit of the paper's baseline.
     pub fn default_32kb() -> IttageConfig {
-        IttageConfig { base_log2: 11, tagged_log2: 9, tag_bits: 11, history_lengths: vec![4, 10, 26, 64] }
+        IttageConfig {
+            base_log2: 11,
+            tagged_log2: 9,
+            tag_bits: 11,
+            history_lengths: vec![4, 10, 26, 64],
+        }
     }
 }
 
@@ -51,7 +56,13 @@ impl Ittage {
             .iter()
             .map(|_| vec![Entry::default(); 1 << cfg.tagged_log2])
             .collect();
-        Ittage { cfg, base, tables, predictions: 0, mispredicts: 0 }
+        Ittage {
+            cfg,
+            base,
+            tables,
+            predictions: 0,
+            mispredicts: 0,
+        }
     }
 
     /// The paper-baseline ~32 KiB shape.
@@ -75,7 +86,7 @@ impl Ittage {
 
     fn tag_of(&self, pc: u64, hist: &GlobalHistory, t: usize) -> u16 {
         let f = hist.folded(self.cfg.history_lengths[t], self.cfg.tag_bits);
-        ((((pc >> 2) ^ (pc >> 13)) as u64 ^ (f << 1)) & ((1 << self.cfg.tag_bits) - 1)) as u16
+        ((((pc >> 2) ^ (pc >> 13)) ^ (f << 1)) & ((1 << self.cfg.tag_bits) - 1)) as u16
     }
 
     /// Predicts the target of the indirect branch at `pc` under `hist`.
@@ -131,7 +142,12 @@ impl Ittage {
                 let tag = self.tag_of(pc, hist, t);
                 let e = &mut self.tables[t][idx];
                 if !e.valid || e.conf == 0 {
-                    *e = Entry { tag, target, conf: 1, valid: true };
+                    *e = Entry {
+                        tag,
+                        target,
+                        conf: 1,
+                        valid: true,
+                    };
                     break;
                 } else {
                     e.conf -= 1;
@@ -170,7 +186,10 @@ mod tests {
             }
             it.update(0x200, &h, target);
         }
-        assert!(wrong_late < 30, "ITTAGE should learn correlated targets, got {wrong_late}");
+        assert!(
+            wrong_late < 30,
+            "ITTAGE should learn correlated targets, got {wrong_late}"
+        );
     }
 
     #[test]

@@ -23,7 +23,13 @@ impl Ras {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Ras {
         assert!(capacity > 0, "RAS capacity must be non-zero");
-        Ras { slots: vec![0; capacity], top: 0, depth: 0, pushes: 0, overflows: 0 }
+        Ras {
+            slots: vec![0; capacity],
+            top: 0,
+            depth: 0,
+            pushes: 0,
+            overflows: 0,
+        }
     }
 
     /// The paper-baseline 16-entry RAS.

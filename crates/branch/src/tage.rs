@@ -74,7 +74,14 @@ impl Tage {
             .iter()
             .map(|_| vec![TaggedEntry::default(); 1 << cfg.tagged_log2])
             .collect();
-        Tage { cfg, base, tables, history: GlobalHistory::new(), mispredicts: 0, predictions: 0 }
+        Tage {
+            cfg,
+            base,
+            tables,
+            history: GlobalHistory::new(),
+            mispredicts: 0,
+            predictions: 0,
+        }
     }
 
     /// The paper-baseline ~32 KiB shape.
@@ -100,7 +107,7 @@ impl Tage {
     fn tagged_index(&self, pc: u64, t: usize) -> usize {
         let hl = self.cfg.history_lengths[t];
         let folded = self.history.folded(hl, self.cfg.tagged_log2);
-        (((pc >> 2) ^ (pc >> (2 + self.cfg.tagged_log2 as u64)) ^ folded as u64) as usize)
+        (((pc >> 2) ^ (pc >> (2 + self.cfg.tagged_log2 as u64)) ^ folded) as usize)
             & ((1 << self.cfg.tagged_log2) - 1)
     }
 
@@ -108,7 +115,7 @@ impl Tage {
         let hl = self.cfg.history_lengths[t];
         let f1 = self.history.folded(hl, self.cfg.tag_bits);
         let f2 = self.history.folded(hl, self.cfg.tag_bits - 1) << 1;
-        (((pc >> 2) as u64 ^ f1 ^ f2) & ((1 << self.cfg.tag_bits) - 1)) as u16
+        (((pc >> 2) ^ f1 ^ f2) & ((1 << self.cfg.tag_bits) - 1)) as u16
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
@@ -124,7 +131,11 @@ impl Tage {
                 provider_taken = e.ctr >= 0;
             }
         }
-        TagePrediction { taken: provider_taken, provider, alt_taken }
+        TagePrediction {
+            taken: provider_taken,
+            provider,
+            alt_taken,
+        }
     }
 
     /// Updates with the actual outcome; call with the prediction returned by
@@ -165,7 +176,11 @@ impl Tage {
                 let tag = self.tag_of(pc, t);
                 let e = &mut self.tables[t][idx];
                 if e.useful == 0 {
-                    *e = TaggedEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    *e = TaggedEntry {
+                        tag,
+                        ctr: if taken { 0 } else { -1 },
+                        useful: 0,
+                    };
                     allocated = true;
                     break;
                 }
@@ -232,7 +247,10 @@ mod tests {
             }
             t.update(0x2000, taken, p);
         }
-        assert!(wrong_late < 20, "TAGE should learn T/N alternation, got {wrong_late} wrong");
+        assert!(
+            wrong_late < 20,
+            "TAGE should learn T/N alternation, got {wrong_late} wrong"
+        );
     }
 
     #[test]
@@ -248,7 +266,10 @@ mod tests {
             }
             t.update(0x3000, taken, p);
         }
-        assert!(wrong_late < 30, "loop pattern should be learned, got {wrong_late}");
+        assert!(
+            wrong_late < 30,
+            "loop pattern should be learned, got {wrong_late}"
+        );
     }
 
     #[test]

@@ -126,10 +126,18 @@ mod tests {
 
     #[test]
     fn eval_ratios() {
-        let mut e = AddrEval { loads: 100, predicted: 40, correct: 39 };
+        let mut e = AddrEval {
+            loads: 100,
+            predicted: 40,
+            correct: 39,
+        };
         assert!((e.coverage() - 0.4).abs() < 1e-12);
         assert!((e.accuracy() - 0.975).abs() < 1e-12);
-        e.merge(&AddrEval { loads: 100, predicted: 0, correct: 0 });
+        e.merge(&AddrEval {
+            loads: 100,
+            predicted: 0,
+            correct: 0,
+        });
         assert!((e.coverage() - 0.2).abs() < 1e-12);
     }
 

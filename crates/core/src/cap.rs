@@ -37,7 +37,13 @@ pub struct CapConfig {
 
 impl Default for CapConfig {
     fn default() -> CapConfig {
-        CapConfig { entries: 1024, tag_bits: 14, history_bits: 16, confidence: 8, link_bits: 41 }
+        CapConfig {
+            entries: 1024,
+            tag_bits: 14,
+            history_bits: 16,
+            confidence: 8,
+            link_bits: 41,
+        }
     }
 }
 
@@ -87,7 +93,10 @@ impl Cap {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: CapConfig) -> Cap {
-        assert!(cfg.entries.is_power_of_two(), "CAP tables must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "CAP tables must be a power of two"
+        );
         Cap {
             load_buf: vec![LoadBufEntry::default(); cfg.entries],
             link: vec![LinkEntry::default(); cfg.entries],
@@ -98,7 +107,10 @@ impl Cap {
 
     /// CAP with a specific confidence threshold (Figure 4 sweep).
     pub fn with_confidence(confidence: u32) -> Cap {
-        Cap::new(CapConfig { confidence, ..CapConfig::default() })
+        Cap::new(CapConfig {
+            confidence,
+            ..CapConfig::default()
+        })
     }
 
     fn lb_index_tag(&self, pc: u64) -> (u32, u16) {
@@ -114,7 +126,6 @@ impl Cap {
         let tag = (((history as u64) << 2) ^ (pc >> 4)) & ((1 << self.cfg.tag_bits) - 1);
         (idx as u32, tag as u16)
     }
-
 }
 
 /// Shift a hash of the new address into CAP's per-load history of recent
@@ -138,7 +149,13 @@ impl AddressPredictor for Cap {
         if !(lb.valid && lb.tag == lb_tag) {
             return (
                 None,
-                CapCtx { lb_index, lb_tag, link_index: None, link_tag: 0, predicted: None },
+                CapCtx {
+                    lb_index,
+                    lb_tag,
+                    link_index: None,
+                    link_tag: 0,
+                    predicted: None,
+                },
             );
         }
         let (link_index, link_tag) = self.link_index_tag(pc, lb.history);
@@ -146,7 +163,11 @@ impl AddressPredictor for Cap {
         let hit = le.valid && le.tag == link_tag;
         let predicted_addr = hit.then_some(le.addr);
         let pred = if hit && lb.confidence >= self.cfg.confidence {
-            Some(AddrPrediction { addr: le.addr, size_code: le.size_code, way: le.way })
+            Some(AddrPrediction {
+                addr: le.addr,
+                size_code: le.size_code,
+                way: le.way,
+            })
         } else {
             None
         };
@@ -187,7 +208,13 @@ impl AddressPredictor for Cap {
         if let Some(li) = ctx.link_index {
             let le = &mut self.link[li as usize];
             if !(le.valid && le.tag == ctx.link_tag && le.addr == actual_addr) {
-                *le = LinkEntry { tag: ctx.link_tag, addr: actual_addr, size_code, way, valid: true };
+                *le = LinkEntry {
+                    tag: ctx.link_tag,
+                    addr: actual_addr,
+                    size_code,
+                    way,
+                    valid: true,
+                };
             } else {
                 le.size_code = size_code;
                 if way.is_some() {
@@ -204,7 +231,8 @@ impl AddressPredictor for Cap {
     }
 
     fn storage_bits(&self) -> u64 {
-        let lb_bits = self.cfg.tag_bits + 2 /* confidence */ + 8 /* offset */ + self.cfg.history_bits;
+        let lb_bits =
+            self.cfg.tag_bits + 2 /* confidence */ + 8 /* offset */ + self.cfg.history_bits;
         let link_bits = self.cfg.tag_bits + self.cfg.link_bits;
         (lb_bits as u64 + link_bits as u64) * self.cfg.entries as u64
     }
@@ -225,7 +253,12 @@ mod tests {
         TraceRecord {
             seq: 0,
             pc,
-            inst: Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            inst: Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X0,
+                offset: 0,
+                size: MemSize::X,
+            },
             next_pc: pc + 4,
             eff_addr: addr,
             value: 0,
@@ -239,9 +272,11 @@ mod tests {
         let mut predicted_at = None;
         for i in 0..32 {
             let (pred, ctx) = c.lookup(0x4000);
-            if pred.is_some() && predicted_at.is_none() {
-                predicted_at = Some(i);
-                assert_eq!(pred.unwrap().addr, 0x8000);
+            if let Some(pr) = pred {
+                if predicted_at.is_none() {
+                    predicted_at = Some(i);
+                    assert_eq!(pr.addr, 0x8000);
+                }
             }
             c.train(ctx, 0x8000, 1, None);
         }
@@ -270,7 +305,7 @@ mod tests {
             let mut t = Trace::new();
             for i in 0..6000u64 {
                 let epoch = i / 12;
-                t.push(load_rec(0x4000, 0x8000 + (epoch % 7) * 4096 + 0));
+                t.push(load_rec(0x4000, 0x8000 + (epoch % 7) * 4096));
             }
             t
         };
@@ -291,7 +326,10 @@ mod tests {
     fn budget_matches_table4() {
         let v8 = Cap::new(CapConfig::default());
         assert_eq!(v8.storage_bits(), (40 + 55) * 1024, "95k bits for ARMv8");
-        let v7 = Cap::new(CapConfig { link_bits: 24, ..CapConfig::default() });
+        let v7 = Cap::new(CapConfig {
+            link_bits: 24,
+            ..CapConfig::default()
+        });
         assert_eq!(v7.storage_bits(), (40 + 38) * 1024, "78k bits for ARMv7");
     }
 

@@ -39,13 +39,22 @@ impl LastValuePredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, threshold: u8) -> LastValuePredictor {
-        assert!(entries.is_power_of_two(), "LVP entries must be a power of two");
-        LastValuePredictor { table: vec![LvpEntry::default(); entries], threshold }
+        assert!(
+            entries.is_power_of_two(),
+            "LVP entries must be a power of two"
+        );
+        LastValuePredictor {
+            table: vec![LvpEntry::default(); entries],
+            threshold,
+        }
     }
 
     fn index_tag(&self, pc: u64) -> (usize, u32) {
         let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
-        ((idx), ((pc >> 2) >> self.table.len().trailing_zeros()) as u32)
+        (
+            (idx),
+            ((pc >> 2) >> self.table.len().trailing_zeros()) as u32,
+        )
     }
 }
 
@@ -71,7 +80,12 @@ impl ValuePredictor for LastValuePredictor {
                 e.confidence = 0;
             }
         } else if !e.valid || e.confidence == 0 {
-            *e = LvpEntry { tag, value: actual, confidence: 0, valid: true };
+            *e = LvpEntry {
+                tag,
+                value: actual,
+                confidence: 0,
+                valid: true,
+            };
         } else {
             e.confidence -= 1;
         }
@@ -101,8 +115,14 @@ impl StrideValuePredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, threshold: u8) -> StrideValuePredictor {
-        assert!(entries.is_power_of_two(), "stride entries must be a power of two");
-        StrideValuePredictor { table: vec![StrideEntry::default(); entries], threshold }
+        assert!(
+            entries.is_power_of_two(),
+            "stride entries must be a power of two"
+        );
+        StrideValuePredictor {
+            table: vec![StrideEntry::default(); entries],
+            threshold,
+        }
     }
 
     fn index_tag(&self, pc: u64) -> (usize, u32) {
@@ -136,7 +156,13 @@ impl ValuePredictor for StrideValuePredictor {
             }
             e.last = actual;
         } else if !e.valid || e.confidence == 0 {
-            *e = StrideEntry { tag, last: actual, stride: 0, confidence: 0, valid: true };
+            *e = StrideEntry {
+                tag,
+                last: actual,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
         } else {
             e.confidence -= 1;
         }
@@ -229,7 +255,12 @@ mod tests {
             t.push(lvp_trace::TraceRecord {
                 seq: 0,
                 pc: 0x40,
-                inst: Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+                inst: Instruction::Ldr {
+                    rd: Reg::X1,
+                    rn: Reg::X0,
+                    offset: 0,
+                    size: MemSize::X,
+                },
                 next_pc: 0x44,
                 eff_addr: 0x8000 + i * 8,
                 value: i * 4,

@@ -30,7 +30,11 @@ pub struct DvtageConfig {
 
 impl Default for DvtageConfig {
     fn default() -> DvtageConfig {
-        DvtageConfig { entries: 256, tag_bits: 16, histories: vec![0, 5, 13] }
+        DvtageConfig {
+            entries: 256,
+            tag_bits: 16,
+            histories: vec![0, 5, 13],
+        }
     }
 }
 
@@ -77,8 +81,14 @@ impl Dvtage {
     ///
     /// Panics if `entries` is not a power of two or `histories` is empty.
     pub fn new(cfg: DvtageConfig) -> Dvtage {
-        assert!(cfg.entries.is_power_of_two(), "D-VTAGE entries must be a power of two");
-        assert!(!cfg.histories.is_empty(), "D-VTAGE needs at least one stride table");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "D-VTAGE entries must be a power of two"
+        );
+        assert!(
+            !cfg.histories.is_empty(),
+            "D-VTAGE needs at least one stride table"
+        );
         let tables = cfg
             .histories
             .iter()
@@ -126,8 +136,8 @@ impl Dvtage {
 
     fn lvt_index_tag(&self, pc: u64) -> (usize, u16) {
         let idx = ((pc >> 2) as usize) & (self.cfg.entries - 1);
-        let tag =
-            (((pc >> 2) >> self.cfg.entries.trailing_zeros()) & ((1 << self.cfg.tag_bits) - 1)) as u16;
+        let tag = (((pc >> 2) >> self.cfg.entries.trailing_zeros())
+            & ((1 << self.cfg.tag_bits) - 1)) as u16;
         (idx, tag)
     }
 
@@ -220,14 +230,24 @@ impl VpScheme for Dvtage {
             }
         }
         self.lvt[li].inflight = self.lvt[li].inflight.saturating_add(1);
-        self.pending.insert(slot.seq, PendingDv { predicted, lvt_index: li, hist });
+        self.pending.insert(
+            slot.seq,
+            PendingDv {
+                predicted,
+                lvt_index: li,
+                hist,
+            },
+        );
         if predicted.is_some() {
             self.predictions += 1;
         }
     }
 
     fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
-        self.pending.get(&seq)?.predicted.map(|_| RenamePrediction { chunks: 1 })
+        self.pending
+            .get(&seq)?
+            .predicted
+            .map(|_| RenamePrediction { chunks: 1 })
     }
 
     fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {
@@ -243,7 +263,12 @@ impl VpScheme for Dvtage {
             e.last = actual;
             self.train_stride(info.pc, &p.hist, stride);
         } else {
-            *e = LvtEntry { tag: ltag, last: actual, inflight: e.inflight, valid: true };
+            *e = LvtEntry {
+                tag: ltag,
+                last: actual,
+                inflight: e.inflight,
+                valid: true,
+            };
         }
         let Some(pred) = p.predicted else {
             return VpVerdict::NONE;
@@ -255,7 +280,10 @@ impl VpScheme for Dvtage {
         if !correct {
             self.mispredictions += 1;
         }
-        VpVerdict { predicted: true, correct }
+        VpVerdict {
+            predicted: true,
+            correct,
+        }
     }
 
     fn extra_counters(&self) -> Vec<(&'static str, f64)> {
@@ -329,10 +357,14 @@ mod tests {
         let h = GlobalHistory::new();
         // Train a stride of 8 with a warm LVT.
         use lvp_isa::{Instruction, MemSize, Reg};
-        let inst = Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X };
-        let mut seq = 0u64;
+        let inst = Instruction::Ldr {
+            rd: Reg::X1,
+            rn: Reg::X0,
+            offset: 0,
+            size: MemSize::X,
+        };
         let mut value = 0x100u64;
-        for _ in 0..300 {
+        for seq in 0..300u64 {
             let slot = FetchSlot {
                 seq,
                 pc: 0x4000,
@@ -366,7 +398,6 @@ mod tests {
                 was_injected: true,
             };
             d.on_execute(&info);
-            seq += 1;
             value = value.wrapping_add(8);
         }
         let (preds, misps) = d.counters();

@@ -155,17 +155,35 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
             // §3.2.2 memory consistency: "address prediction is not used
             // with memory ordering instructions, atomic and exclusive
             // memory accesses."
-            self.pending.insert(slot.seq, Pending { train_ctx: None, prediction: None });
+            self.pending.insert(
+                slot.seq,
+                Pending {
+                    train_ctx: None,
+                    prediction: None,
+                },
+            );
             return;
         }
         if self.cfg.use_lscd && self.lscd.filters(slot.pc) {
             self.counters.lscd_suppressed += 1;
-            self.pending.insert(slot.seq, Pending { train_ctx: None, prediction: None });
+            self.pending.insert(
+                slot.seq,
+                Pending {
+                    train_ctx: None,
+                    prediction: None,
+                },
+            );
             return;
         }
         if slot.load_index_in_group >= self.cfg.max_per_group {
             // Beyond the per-group prediction ports (paper: <2% of groups).
-            self.pending.insert(slot.seq, Pending { train_ctx: None, prediction: None });
+            self.pending.insert(
+                slot.seq,
+                Pending {
+                    train_ctx: None,
+                    prediction: None,
+                },
+            );
             return;
         }
         // The FGA-based proxy PC (§3.1.1: "load PC and load PC plus one").
@@ -208,7 +226,13 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                 }
             }
         }
-        self.pending.insert(slot.seq, Pending { train_ctx: Some(train_ctx), prediction: probed });
+        self.pending.insert(
+            slot.seq,
+            Pending {
+                train_ctx: Some(train_ctx),
+                prediction: probed,
+            },
+        );
     }
 
     fn prediction_at_rename(&mut self, seq: u64, rename_cycle: u64) -> Option<RenamePrediction> {
@@ -231,7 +255,8 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         // ⑥ always train the address predictor (unless LSCD-suppressed).
         if let Some(ctx) = pending.train_ctx {
             let bytes = info.inst.mem_bytes().unwrap_or(8);
-            self.predictor.train(ctx, info.eff_addr, size_code_for(bytes), info.l1_way);
+            self.predictor
+                .train(ctx, info.eff_addr, size_code_for(bytes), info.l1_way);
         }
         let Some(p) = pending.prediction else {
             return VpVerdict::NONE;
@@ -243,8 +268,9 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         let addr_correct = p.addr == info.eff_addr && p.size_code == size_code_for(bytes);
         // The probe read the cache at `probe_cycle`; any older store that
         // became visible later makes the probed value stale (§3.2.2).
-        let stale =
-            info.conflicting_store_commit.map_or(false, |commit| commit > p.probe_cycle);
+        let stale = info
+            .conflicting_store_commit
+            .is_some_and(|commit| commit > p.probe_cycle);
         let correct = addr_correct && !stale;
         if addr_correct && stale {
             self.counters.stale_value_mispredicts += 1;
@@ -255,7 +281,10 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         } else if !addr_correct {
             self.counters.addr_mispredicts += 1;
         }
-        VpVerdict { predicted: true, correct }
+        VpVerdict {
+            predicted: true,
+            correct,
+        }
     }
 
     fn extra_counters(&self) -> Vec<(&'static str, f64)> {
@@ -312,7 +341,10 @@ mod tests {
         let base = simulate(&t, NoVp);
         let d = simulate(&t, dlvp_default());
         let speedup = d.speedup_over(&base);
-        assert!(speedup > 0.97, "DLVP must be near-neutral on mcf, got {speedup}");
+        assert!(
+            speedup > 0.97,
+            "DLVP must be near-neutral on mcf, got {speedup}"
+        );
     }
 
     #[test]
@@ -325,7 +357,11 @@ mod tests {
         let (inserts, suppressions) = scheme.lscd_counters();
         assert!(inserts > 0, "conflicting loads must be captured");
         assert!(suppressions > 0, "future instances must be filtered");
-        assert!(stats.accuracy() > 0.9, "LSCD keeps accuracy high: {}", stats.accuracy());
+        assert!(
+            stats.accuracy() > 0.9,
+            "LSCD keeps accuracy high: {}",
+            stats.accuracy()
+        );
     }
 
     #[test]
@@ -334,7 +370,13 @@ mod tests {
         let with = simulate(&t, dlvp_default());
         let without = simulate(
             &t,
-            Dlvp::new(DlvpConfig { use_lscd: false, ..DlvpConfig::default() }, crate::Pap::paper_default()),
+            Dlvp::new(
+                DlvpConfig {
+                    use_lscd: false,
+                    ..DlvpConfig::default()
+                },
+                crate::Pap::paper_default(),
+            ),
         );
         assert!(
             without.vp_flushes > with.vp_flushes,
@@ -365,10 +407,19 @@ mod tests {
     #[test]
     fn oracle_replay_never_flushes() {
         let t = lvp_workloads::by_name("libquantum").unwrap().trace(40_000);
-        let cfg = CoreConfig { recovery: RecoveryMode::OracleReplay, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            recovery: RecoveryMode::OracleReplay,
+            ..CoreConfig::default()
+        };
         let s = lvp_uarch::Core::new(
             cfg,
-            Dlvp::new(DlvpConfig { use_lscd: false, ..DlvpConfig::default() }, crate::Pap::paper_default()),
+            Dlvp::new(
+                DlvpConfig {
+                    use_lscd: false,
+                    ..DlvpConfig::default()
+                },
+                crate::Pap::paper_default(),
+            ),
         )
         .run(&t);
         assert_eq!(s.vp_flushes, 0);
@@ -401,7 +452,10 @@ mod tests {
         let t = lvp_emu::Emulator::new(a.build()).run(10_000).trace;
         let s = simulate(&t, dlvp_default());
         assert!(s.loads > 3_000);
-        assert_eq!(s.vp_predicted, 0, "LDAR must not be value-predicted (§3.2.2)");
+        assert_eq!(
+            s.vp_predicted, 0,
+            "LDAR must not be value-predicted (§3.2.2)"
+        );
         let v = simulate(&t, crate::Vtage::paper_default());
         assert_eq!(v.vp_predicted, 0, "consistency rule applies to VTAGE too");
     }

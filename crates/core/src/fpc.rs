@@ -32,7 +32,7 @@ impl Lfsr {
 
     /// Bernoulli event with probability `1/denom`.
     pub fn one_in(&mut self, denom: u32) -> bool {
-        denom <= 1 || self.next_u64() % denom as u64 == 0
+        denom <= 1 || self.next_u64().is_multiple_of(denom as u64)
     }
 }
 
@@ -59,7 +59,12 @@ impl Fpc {
     /// Panics if `denoms` is empty.
     pub fn new(denoms: Vec<u32>, seed: u64) -> Fpc {
         assert!(!denoms.is_empty(), "FPC needs at least one transition");
-        Fpc { value: 0, max: denoms.len() as u8, denoms, lfsr: Lfsr::new(seed) }
+        Fpc {
+            value: 0,
+            max: denoms.len() as u8,
+            denoms,
+            lfsr: Lfsr::new(seed),
+        }
     }
 
     /// The paper's APT confidence: 2-bit counter, vector {1, 1/2, 1/4}
@@ -147,9 +152,16 @@ mod tests {
     #[test]
     fn expected_observations_matches_paper() {
         let apt = Fpc::paper_apt(1);
-        assert_eq!(apt.expected_observations(), 7.0, "~8 observations (paper §5.1)");
+        assert_eq!(
+            apt.expected_observations(),
+            7.0,
+            "~8 observations (paper §5.1)"
+        );
         let vt = Fpc::paper_vtage(1);
-        assert!(vt.expected_observations() >= 60.0, "VTAGE-like: ~64 observations");
+        assert!(
+            vt.expected_observations() >= 60.0,
+            "VTAGE-like: ~64 observations"
+        );
     }
 
     #[test]
@@ -167,7 +179,52 @@ mod tests {
             total += ups;
         }
         let avg = total as f64 / RUNS as f64;
-        assert!((avg - 7.0).abs() < 1.5, "average saturation {avg} should be near 7");
+        assert!(
+            (avg - 7.0).abs() < 1.5,
+            "average saturation {avg} should be near 7"
+        );
+    }
+
+    #[test]
+    fn transition_probabilities_match_vector() {
+        // Empirical acceptance rate of each forward transition must match
+        // the paper's {1, 1/2, 1/4} vector.
+        let mut attempts = [0u64; 3];
+        let mut successes = [0u64; 3];
+        for seed in 0..500u64 {
+            let mut f = Fpc::paper_apt(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+            while !f.is_confident() {
+                let v = f.value() as usize;
+                attempts[v] += 1;
+                if f.up() {
+                    successes[v] += 1;
+                }
+            }
+        }
+        assert_eq!(successes[0], attempts[0], "0→1 fires with probability 1");
+        let p1 = successes[1] as f64 / attempts[1] as f64;
+        assert!(
+            (p1 - 0.5).abs() < 0.08,
+            "1→2 should fire with p≈1/2, got {p1}"
+        );
+        let p2 = successes[2] as f64 / attempts[2] as f64;
+        assert!(
+            (p2 - 0.25).abs() < 0.08,
+            "2→3 should fire with p≈1/4, got {p2}"
+        );
+    }
+
+    #[test]
+    fn down_from_saturated_clears_confidence() {
+        // The Policy-2 decrement path: one backward step is always taken and
+        // immediately closes the prediction gate.
+        let mut f = Fpc::paper_apt(3);
+        while !f.is_confident() {
+            f.up();
+        }
+        f.down();
+        assert!(!f.is_confident());
+        assert_eq!(f.value(), 2);
     }
 
     #[test]

@@ -26,7 +26,13 @@ impl Lscd {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Lscd {
         assert!(capacity > 0, "LSCD capacity must be non-zero");
-        Lscd { slots: Vec::with_capacity(capacity), next: 0, capacity, inserts: 0, suppressions: 0 }
+        Lscd {
+            slots: Vec::with_capacity(capacity),
+            next: 0,
+            capacity,
+            inserts: 0,
+            suppressions: 0,
+        }
     }
 
     /// The paper's 4-entry filter.

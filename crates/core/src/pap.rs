@@ -156,7 +156,10 @@ impl Pap {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: PapConfig) -> Pap {
-        assert!(cfg.entries.is_power_of_two(), "APT entries must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "APT entries must be a power of two"
+        );
         let table = (0..cfg.entries)
             .map(|i| AptEntry {
                 tag: 0,
@@ -170,7 +173,12 @@ impl Pap {
                 valid: false,
             })
             .collect();
-        Pap { table, history: LoadPathHistory::new(cfg.history_bits), activity: PredictorActivity::default(), cfg }
+        Pap {
+            table,
+            history: LoadPathHistory::new(cfg.history_bits),
+            activity: PredictorActivity::default(),
+            cfg,
+        }
     }
 
     /// The paper-default configuration.
@@ -214,10 +222,17 @@ impl AddressPredictor for Pap {
     fn lookup(&mut self, pc: u64) -> (Option<AddrPrediction>, PapCtx) {
         self.activity.reads += 1;
         let (index, tag) = self.index_tag(pc);
-        let ctx = PapCtx { index, tag: tag as u16 };
+        let ctx = PapCtx {
+            index,
+            tag: tag as u16,
+        };
         let e = &self.table[index as usize];
         let pred = if e.valid && e.tag == ctx.tag && e.confidence.is_confident() {
-            Some(AddrPrediction { addr: e.addr, size_code: e.size_code, way: e.way })
+            Some(AddrPrediction {
+                addr: e.addr,
+                size_code: e.size_code,
+                way: e.way,
+            })
         } else {
             None
         };
@@ -279,14 +294,19 @@ impl AddressPredictor for Pap {
 mod tests {
     use super::*;
     use crate::addr::evaluate_standalone;
-    use lvp_trace::{Trace, TraceRecord};
     use lvp_isa::{Instruction, MemSize, Reg};
+    use lvp_trace::{Trace, TraceRecord};
 
     fn load_rec(pc: u64, addr: u64) -> TraceRecord {
         TraceRecord {
             seq: 0,
             pc,
-            inst: Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            inst: Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X0,
+                offset: 0,
+                size: MemSize::X,
+            },
             next_pc: pc + 4,
             eff_addr: addr,
             value: addr ^ 0x5555,
@@ -297,7 +317,10 @@ mod tests {
     #[test]
     fn table1_budgets_match_paper() {
         let v7 = AptLayout::of(
-            PapConfig { addr_width: AddrWidth::A32, ..PapConfig::default() },
+            PapConfig {
+                addr_width: AddrWidth::A32,
+                ..PapConfig::default()
+            },
             4,
         );
         assert_eq!(v7.budget_bits_per_entry(), 50);
@@ -322,7 +345,10 @@ mod tests {
             p.train(ctx, 0x8000, 1, Some(2));
         }
         let at = first_confident.expect("must become confident");
-        assert!(at >= 3 && at <= 25, "confidence after ~8 observations, got {at}");
+        assert!(
+            (3..=25).contains(&at),
+            "confidence after ~8 observations, got {at}"
+        );
         let (pred, _) = {
             p.note_load(pc);
             p.lookup(pc)
@@ -352,7 +378,11 @@ mod tests {
 
     #[test]
     fn policy2_protects_entries_with_confidence() {
-        let mut p = Pap::new(PapConfig { entries: 2, history_bits: 1, ..PapConfig::default() });
+        let mut p = Pap::new(PapConfig {
+            entries: 2,
+            history_bits: 1,
+            ..PapConfig::default()
+        });
         let pc_a = 0x4000;
         // One training gives confidence 1 deterministically (first FPC
         // transition has probability 1).
@@ -384,7 +414,11 @@ mod tests {
         assert!(confident.is_some(), "A must become confident again");
         // And a second alias touch when A's confidence had been decremented
         // to zero *does* allocate (the Policy-2 replacement path).
-        let mut q = Pap::new(PapConfig { entries: 2, history_bits: 1, ..PapConfig::default() });
+        let mut q = Pap::new(PapConfig {
+            entries: 2,
+            history_bits: 1,
+            ..PapConfig::default()
+        });
         let (_, ctx_b0) = q.lookup(pc_b);
         q.train(ctx_b0, 0x9000, 1, None); // allocates directly in empty slot
         let (_, ctx_b1) = q.lookup(pc_b);

@@ -49,7 +49,12 @@ impl Paq {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, window: u64) -> Paq {
         assert!(capacity > 0, "PAQ capacity must be non-zero");
-        Paq { capacity, window, live: 0, stats: PaqStats::default() }
+        Paq {
+            capacity,
+            window,
+            live: 0,
+            stats: PaqStats::default(),
+        }
     }
 
     /// The paper's configuration.

@@ -26,7 +26,7 @@ impl LoadPathHistory {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32) -> LoadPathHistory {
-        assert!(width >= 1 && width <= 64, "history width must be 1..=64");
+        assert!((1..=64).contains(&width), "history width must be 1..=64");
         LoadPathHistory { bits: 0, width }
     }
 
@@ -53,7 +53,7 @@ impl LoadPathHistory {
     ///
     /// Panics if `out` is 0 or greater than 64.
     pub fn folded(&self, out: u32) -> u64 {
-        assert!(out >= 1 && out <= 64, "fold width must be 1..=64");
+        assert!((1..=64).contains(&out), "fold width must be 1..=64");
         if out >= self.width {
             return self.bits;
         }
@@ -150,6 +150,40 @@ mod tests {
         // Usually differs; at minimum it is a pure function.
         assert_eq!(h.folded(10), f);
         let _ = h2.folded(10);
+    }
+
+    #[test]
+    fn only_bit_two_of_the_pc_matters() {
+        // PCs that agree in bit 2 but differ everywhere else produce the
+        // same history — the shift-in uses exactly one bit per load.
+        let mut a = LoadPathHistory::new(16);
+        let mut b = LoadPathHistory::new(16);
+        for (x, y) in [
+            (0x1004u64, 0xffff_f004u64),
+            (0x2008, 0x10),
+            (0x300c, 0x8000_0004),
+        ] {
+            a.push_load(x);
+            b.push_load(y);
+        }
+        assert_eq!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn folded_tag_matches_manual_xor_fold() {
+        let mut h = LoadPathHistory::new(16);
+        for pc in [0x1004u64, 0x1008, 0x100c, 0x1014, 0x101c, 0x1024, 0x102c] {
+            h.push_load(pc);
+        }
+        let bits = h.bits();
+        // Folding 16 bits to 6 XORs the chunks [0..6), [6..12), [12..16).
+        let expect = (bits & 0x3f) ^ ((bits >> 6) & 0x3f) ^ ((bits >> 12) & 0x3f);
+        assert_eq!(h.folded(6), expect);
+        // The fold is a pure function of the history (tag stability), and a
+        // fold at least as wide as the history is the identity.
+        assert_eq!(h.folded(6), h.folded(6));
+        assert_eq!(h.folded(16), bits);
+        assert_eq!(h.folded(64), bits);
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
         let both = simulate(&t, Tournament::new());
         let sd = d.speedup_over(&base);
         let sb = both.speedup_over(&base);
-        assert!(sb > (sd - 1.0) * 0.5 + 1.0 - 0.05, "tournament {sb} vs dlvp {sd}");
+        assert!(
+            sb > (sd - 1.0) * 0.5 + 1.0 - 0.05,
+            "tournament {sb} vs dlvp {sd}"
+        );
     }
 
     #[test]
@@ -200,6 +203,11 @@ mod tests {
             d.coverage(),
             v.coverage()
         );
-        assert!(both.coverage() + 1e-9 >= best * 0.8, "combined {} vs best {}", both.coverage(), best);
+        assert!(
+            both.coverage() + 1e-9 >= best * 0.8,
+            "combined {} vs best {}",
+            both.coverage(),
+            best
+        );
     }
 }

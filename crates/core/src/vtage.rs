@@ -153,7 +153,10 @@ impl Vtage {
     ///
     /// Panics if `entries` is not a power of two or `histories` is empty.
     pub fn new(cfg: VtageConfig) -> Vtage {
-        assert!(cfg.entries.is_power_of_two(), "VTAGE entries must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "VTAGE entries must be a power of two"
+        );
         assert!(!cfg.histories.is_empty(), "VTAGE needs at least one table");
         let tables = cfg
             .histories
@@ -191,7 +194,12 @@ impl Vtage {
     /// adjustment, as the paper's Figure 7 studies the unmodified predictor
     /// under the three filters.
     pub fn variant(filter: VtageFilter, targets: VtageTargets) -> Vtage {
-        Vtage::new(VtageConfig { filter, targets, chunk_aware: false, ..VtageConfig::default() })
+        Vtage::new(VtageConfig {
+            filter,
+            targets,
+            chunk_aware: false,
+            ..VtageConfig::default()
+        })
     }
 
     /// Scheme counters.
@@ -225,9 +233,10 @@ impl Vtage {
         let class = opcode_class(inst);
         match self.cfg.filter {
             VtageFilter::Vanilla => true,
-            VtageFilter::Static => {
-                !matches!(class, OpcodeClass::Ldp | OpcodeClass::Ldm | OpcodeClass::Vld)
-            }
+            VtageFilter::Static => !matches!(
+                class,
+                OpcodeClass::Ldp | OpcodeClass::Ldm | OpcodeClass::Vld
+            ),
             VtageFilter::Dynamic => {
                 let st = self.filter_stats.entry(class).or_default();
                 if st.predictions < self.cfg.filter_warmup {
@@ -374,14 +383,18 @@ impl VpScheme for Vtage {
             // for every destination chunk (and is usually wrong for the
             // later chunks of LDP/LDM/VLD — the paper's §5.2.2 pathology).
             match self.predict_chunk(slot.pc, 0, &hist) {
-                Some(v) => values.extend(std::iter::repeat(v).take(chunks as usize)),
+                Some(v) => values.extend(std::iter::repeat_n(v, chunks as usize)),
                 None => all = false,
             }
         }
         let class = opcode_class(slot.inst);
         self.pending.insert(
             slot.seq,
-            PendingVt { values: all.then_some(values), class, hist },
+            PendingVt {
+                values: all.then_some(values),
+                class,
+                hist,
+            },
         );
         if all {
             self.counters.predictions += 1;
@@ -391,7 +404,9 @@ impl VpScheme for Vtage {
     fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
         let p = self.pending.get(&seq)?;
         let values = p.values.as_ref()?;
-        Some(RenamePrediction { chunks: values.len() as u32 })
+        Some(RenamePrediction {
+            chunks: values.len() as u32,
+        })
     }
 
     fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {
@@ -420,8 +435,13 @@ impl VpScheme for Vtage {
             self.counters.chunk_mispredicts += 1;
             *self.misp_by_pc.entry(info.pc).or_insert(0) += 1;
             if std::env::var_os("VTAGE_DEBUG").is_some() && self.counters.chunk_mispredicts < 20 {
-                eprintln!("VTAGE misp pc={:#x} pred={:x?} actual={:x?} hist={:x}",
-                    info.pc, pred, info.values, hist.low(16));
+                eprintln!(
+                    "VTAGE misp pc={:#x} pred={:x?} actual={:x?} hist={:x}",
+                    info.pc,
+                    pred,
+                    info.values,
+                    hist.low(16)
+                );
             }
         }
         if self.cfg.filter == VtageFilter::Dynamic {
@@ -431,7 +451,10 @@ impl VpScheme for Vtage {
                 st.mispredictions += 1;
             }
         }
-        VpVerdict { predicted: true, correct }
+        VpVerdict {
+            predicted: true,
+            correct,
+        }
     }
 
     fn extra_counters(&self) -> Vec<(&'static str, f64)> {
@@ -494,16 +517,31 @@ mod tests {
             v.train_chunk(0x4000, 0, &h, 42);
         }
         let at = first.expect("stable value must become predictable");
-        assert!(at >= 20 && at <= 400, "confidence near ~64 observations, got {at}");
+        assert!(
+            (20..=400).contains(&at),
+            "confidence near ~64 observations, got {at}"
+        );
     }
 
     #[test]
     fn static_filter_blocks_multi_destination_loads() {
         let mut v = Vtage::paper_default();
         use lvp_isa::{Reg, RegList};
-        let ldp = Instruction::Ldp { rd1: Reg::X1, rd2: Reg::X2, rn: Reg::X0, offset: 0 };
-        let ldm = Instruction::Ldm { list: RegList::of(&[Reg::X1, Reg::X2]), rn: Reg::X0 };
-        let vld = Instruction::Vld { vd: Reg::X4, rn: Reg::X0, offset: 0 };
+        let ldp = Instruction::Ldp {
+            rd1: Reg::X1,
+            rd2: Reg::X2,
+            rn: Reg::X0,
+            offset: 0,
+        };
+        let ldm = Instruction::Ldm {
+            list: RegList::of(&[Reg::X1, Reg::X2]),
+            rn: Reg::X0,
+        };
+        let vld = Instruction::Vld {
+            vd: Reg::X4,
+            rn: Reg::X0,
+            offset: 0,
+        };
         assert!(!v.eligible(ldp));
         assert!(!v.eligible(ldm));
         assert!(!v.eligible(vld));
@@ -520,7 +558,12 @@ mod tests {
     fn loads_only_excludes_alu() {
         let mut v = Vtage::paper_default();
         use lvp_isa::{AluOp, Reg};
-        let alu = Instruction::Alu { op: AluOp::Add, rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 };
+        let alu = Instruction::Alu {
+            op: AluOp::Add,
+            rd: Reg::X1,
+            rn: Reg::X2,
+            rm: Reg::X3,
+        };
         assert!(!v.eligible(alu));
         let mut all = Vtage::variant(VtageFilter::Static, VtageTargets::AllInstructions);
         assert!(all.eligible(alu));
@@ -530,7 +573,12 @@ mod tests {
     fn dynamic_filter_learns_to_block_bad_classes() {
         let mut v = Vtage::variant(VtageFilter::Dynamic, VtageTargets::LoadsOnly);
         use lvp_isa::Reg;
-        let ldp = Instruction::Ldp { rd1: Reg::X1, rd2: Reg::X2, rn: Reg::X0, offset: 0 };
+        let ldp = Instruction::Ldp {
+            rd1: Reg::X1,
+            rd2: Reg::X2,
+            rn: Reg::X0,
+            offset: 0,
+        };
         assert!(v.eligible(ldp), "dynamic filter starts permissive");
         // Feed it a terrible accuracy record for LDP.
         let st = v.filter_stats.entry(OpcodeClass::Ldp).or_default();
@@ -545,8 +593,14 @@ mod tests {
         // vanilla (Figure 7's ordering).
         let t = lvp_workloads::by_name("linpack").unwrap().trace(60_000);
         let base = simulate(&t, NoVp);
-        let vanilla = simulate(&t, Vtage::variant(VtageFilter::Vanilla, VtageTargets::LoadsOnly));
-        let staticf = simulate(&t, Vtage::variant(VtageFilter::Static, VtageTargets::LoadsOnly));
+        let vanilla = simulate(
+            &t,
+            Vtage::variant(VtageFilter::Vanilla, VtageTargets::LoadsOnly),
+        );
+        let staticf = simulate(
+            &t,
+            Vtage::variant(VtageFilter::Static, VtageTargets::LoadsOnly),
+        );
         assert!(
             staticf.speedup_over(&base) >= vanilla.speedup_over(&base) - 0.01,
             "static {} vs vanilla {}",

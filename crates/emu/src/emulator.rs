@@ -42,7 +42,12 @@ impl Emulator {
             mem.write_bytes(init.addr, &init.bytes);
         }
         let pc = program.base();
-        Emulator { program, regs: [0; Reg::COUNT], mem, pc }
+        Emulator {
+            program,
+            regs: [0; Reg::COUNT],
+            mem,
+            pc,
+        }
     }
 
     /// Reads a register (the zero register reads 0).
@@ -81,7 +86,11 @@ impl Emulator {
             let rec = self.step(inst);
             trace.push(rec);
         }
-        RunOutcome { trace, stop, regs: self.regs }
+        RunOutcome {
+            trace,
+            stop,
+            regs: self.regs,
+        }
     }
 
     /// Executes a single instruction, returning its trace record and
@@ -110,7 +119,12 @@ impl Emulator {
                 self.set_reg(rd, imm);
                 value = imm;
             }
-            Ldr { rd, rn, offset, size } => {
+            Ldr {
+                rd,
+                rn,
+                offset,
+                size,
+            } => {
                 eff_addr = self.reg(rn).wrapping_add(offset as u64);
                 value = self.mem.read_le(eff_addr, size.bytes());
                 self.set_reg(rd, value);
@@ -130,7 +144,12 @@ impl Emulator {
                 value = self.mem.read_le(eff_addr, size.bytes());
                 self.set_reg(rd, value);
             }
-            Str { rt, rn, offset, size } => {
+            Str {
+                rt,
+                rn,
+                offset,
+                size,
+            } => {
                 eff_addr = self.reg(rn).wrapping_add(offset as u64);
                 value = self.reg(rt) & mask(size.bytes());
                 self.mem.write_le(eff_addr, size.bytes(), value);
@@ -140,7 +159,12 @@ impl Emulator {
                 value = self.reg(rt) & mask(size.bytes());
                 self.mem.write_le(eff_addr, size.bytes(), value);
             }
-            Ldp { rd1, rd2, rn, offset } => {
+            Ldp {
+                rd1,
+                rd2,
+                rn,
+                offset,
+            } => {
                 eff_addr = self.reg(rn).wrapping_add(offset as u64);
                 value = self.mem.read_le(eff_addr, 8);
                 let second = self.mem.read_le(eff_addr.wrapping_add(8), 8);
@@ -148,7 +172,12 @@ impl Emulator {
                 self.set_reg(rd2, second);
                 extra.push(second);
             }
-            Stp { rt1, rt2, rn, offset } => {
+            Stp {
+                rt1,
+                rt2,
+                rn,
+                offset,
+            } => {
                 eff_addr = self.reg(rn).wrapping_add(offset as u64);
                 value = self.reg(rt1);
                 let second = self.reg(rt2);
@@ -205,7 +234,12 @@ impl Emulator {
                 extra.push(hi);
             }
             B { target } => next_pc = target,
-            Bc { cond, rn, rm, target } => {
+            Bc {
+                cond,
+                rn,
+                rm,
+                target,
+            } => {
                 if cond.eval(self.reg(rn), self.reg(rm)) {
                     next_pc = target;
                 }
@@ -241,7 +275,11 @@ impl Emulator {
             next_pc,
             eff_addr,
             value,
-            extra_values: if extra.is_empty() { None } else { Some(extra.into_boxed_slice()) },
+            extra_values: if extra.is_empty() {
+                None
+            } else {
+                Some(extra.into_boxed_slice())
+            },
         }
     }
 }
@@ -347,7 +385,10 @@ mod tests {
         // The BL record is a taken branch; RET returns to 0x1004.
         let recs = out.trace.records();
         assert!(recs[0].taken());
-        let ret = recs.iter().find(|r| matches!(r.inst, Instruction::Ret)).unwrap();
+        let ret = recs
+            .iter()
+            .find(|r| matches!(r.inst, Instruction::Ret))
+            .unwrap();
         assert_eq!(ret.next_pc, 0x1004);
     }
 

@@ -136,11 +136,18 @@ mod tests {
         dlvp.l1d_probes = 15_000; // extra probe activity
         dlvp.pvt_reads = 15_000;
         dlvp.pvt_writes = 15_000;
-        dlvp.predictor = PredictorEnergyInput { storage_bits: 67 * 1024, reads: 30_000, writes: 30_000 };
+        dlvp.predictor = PredictorEnergyInput {
+            storage_bits: 67 * 1024,
+            reads: 30_000,
+            writes: 30_000,
+        };
         let e_base = core_energy(&p, &base);
         let e_dlvp = core_energy(&p, &dlvp);
         let ratio = e_dlvp / e_base;
-        assert!(ratio < 1.02, "energy ratio {ratio} should be near or below 1");
+        assert!(
+            ratio < 1.02,
+            "energy ratio {ratio} should be near or below 1"
+        );
         assert!(ratio > 0.90, "but not absurdly low: {ratio}");
     }
 

@@ -34,7 +34,11 @@ pub struct PrfComparison {
 
 impl Default for PrfComparison {
     fn default() -> PrfComparison {
-        PrfComparison { prf_regs: 348, pvt_entries: 32, predicted_fraction: 0.30 }
+        PrfComparison {
+            prf_regs: 348,
+            pvt_entries: 32,
+            predicted_fraction: 0.30,
+        }
     }
 }
 
@@ -65,7 +69,12 @@ impl PrfComparison {
                 read_energy: pvt.read_energy() / r1,
                 write_energy: pvt.write_energy() / w1,
             },
-            PrfDesignRow { name: "Design #1 (PRF 8rd/8wr)", area: 1.0, read_energy: 1.0, write_energy: 1.0 },
+            PrfDesignRow {
+                name: "Design #1 (PRF 8rd/8wr)",
+                area: 1.0,
+                read_energy: 1.0,
+                write_energy: 1.0,
+            },
             PrfDesignRow {
                 name: "Design #2 (PRF 8rd/10wr)",
                 area: prf2.area() / a1,
@@ -107,15 +116,33 @@ mod tests {
         // slightly costlier writes (paper: 1.06 / 0.80 / 1.07).
         assert!(d3.area > 1.0 && d3.area < 1.15, "d3 area {}", d3.area);
         assert!(d3.read_energy < 0.9, "d3 read {}", d3.read_energy);
-        assert!(d3.write_energy > 1.0 && d3.write_energy < 1.2, "d3 write {}", d3.write_energy);
+        assert!(
+            d3.write_energy > 1.0 && d3.write_energy < 1.2,
+            "d3 write {}",
+            d3.write_energy
+        );
         assert_eq!(d1.area, 1.0);
     }
 
     #[test]
     fn design3_read_savings_track_predicted_fraction() {
-        let lo = PrfComparison { predicted_fraction: 0.1, ..PrfComparison::default() }.rows()[3];
-        let hi = PrfComparison { predicted_fraction: 0.5, ..PrfComparison::default() }.rows()[3];
-        assert!(hi.read_energy < lo.read_energy, "more predictions, cheaper reads");
-        assert!(hi.write_energy > lo.write_energy, "more predictions, more PVT writes");
+        let lo = PrfComparison {
+            predicted_fraction: 0.1,
+            ..PrfComparison::default()
+        }
+        .rows()[3];
+        let hi = PrfComparison {
+            predicted_fraction: 0.5,
+            ..PrfComparison::default()
+        }
+        .rows()[3];
+        assert!(
+            hi.read_energy < lo.read_energy,
+            "more predictions, cheaper reads"
+        );
+        assert!(
+            hi.write_energy > lo.write_energy,
+            "more predictions, more PVT writes"
+        );
     }
 }

@@ -30,7 +30,11 @@ impl SramMacro {
     pub fn new(bits: u64, read_ports: u32, write_ports: u32) -> SramMacro {
         assert!(bits > 0, "SRAM must store at least one bit");
         assert!(read_ports + write_ports > 0, "SRAM needs at least one port");
-        SramMacro { bits, read_ports, write_ports }
+        SramMacro {
+            bits,
+            read_ports,
+            write_ports,
+        }
     }
 
     fn ports(&self) -> f64 {

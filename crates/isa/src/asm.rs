@@ -58,8 +58,17 @@ impl Asm {
     ///
     /// Panics if `base` is not 4-byte aligned.
     pub fn new(base: u64) -> Asm {
-        assert!(base % INST_BYTES == 0, "base must be 4-byte aligned");
-        Asm { base, insts: Vec::new(), labels: Vec::new(), fixups: Vec::new(), data: Vec::new() }
+        assert!(
+            base.is_multiple_of(INST_BYTES),
+            "base must be 4-byte aligned"
+        );
+        Asm {
+            base,
+            insts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Address the next emitted instruction will occupy.
@@ -99,7 +108,10 @@ impl Asm {
 
     /// Registers `bytes` at `addr` in the data segment; returns `addr`.
     pub fn data_bytes(&mut self, addr: u64, bytes: &[u8]) -> u64 {
-        self.data.push(DataInit { addr, bytes: bytes.to_vec() });
+        self.data.push(DataInit {
+            addr,
+            bytes: bytes.to_vec(),
+        });
         addr
     }
 
@@ -125,7 +137,12 @@ impl Asm {
     }
 
     pub fn mov_r(&mut self, rd: Reg, rn: Reg) {
-        self.emit(Instruction::AluImm { op: AluOp::Add, rd, rn, imm: 0 });
+        self.emit(Instruction::AluImm {
+            op: AluOp::Add,
+            rd,
+            rn,
+            imm: 0,
+        });
     }
 
     pub fn alu(&mut self, op: AluOp, rd: Reg, rn: Reg, rm: Reg) {
@@ -199,7 +216,12 @@ impl Asm {
     // --- memory -----------------------------------------------------------
 
     pub fn ldr(&mut self, rd: Reg, rn: Reg, offset: i64, size: MemSize) {
-        self.emit(Instruction::Ldr { rd, rn, offset, size });
+        self.emit(Instruction::Ldr {
+            rd,
+            rn,
+            offset,
+            size,
+        });
     }
 
     pub fn ldar(&mut self, rd: Reg, rn: Reg) {
@@ -215,7 +237,12 @@ impl Asm {
     }
 
     pub fn str_(&mut self, rt: Reg, rn: Reg, offset: i64, size: MemSize) {
-        self.emit(Instruction::Str { rt, rn, offset, size });
+        self.emit(Instruction::Str {
+            rt,
+            rn,
+            offset,
+            size,
+        });
     }
 
     pub fn str_idx(&mut self, rt: Reg, rn: Reg, rm: Reg, size: MemSize) {
@@ -223,28 +250,50 @@ impl Asm {
     }
 
     pub fn ldp(&mut self, rd1: Reg, rd2: Reg, rn: Reg, offset: i64) {
-        self.emit(Instruction::Ldp { rd1, rd2, rn, offset });
+        self.emit(Instruction::Ldp {
+            rd1,
+            rd2,
+            rn,
+            offset,
+        });
     }
 
     pub fn stp(&mut self, rt1: Reg, rt2: Reg, rn: Reg, offset: i64) {
-        self.emit(Instruction::Stp { rt1, rt2, rn, offset });
+        self.emit(Instruction::Stp {
+            rt1,
+            rt2,
+            rn,
+            offset,
+        });
     }
 
     pub fn ldm(&mut self, regs: &[Reg], rn: Reg) {
-        self.emit(Instruction::Ldm { list: RegList::of(regs), rn });
+        self.emit(Instruction::Ldm {
+            list: RegList::of(regs),
+            rn,
+        });
     }
 
     pub fn stm(&mut self, regs: &[Reg], rn: Reg) {
-        self.emit(Instruction::Stm { list: RegList::of(regs), rn });
+        self.emit(Instruction::Stm {
+            list: RegList::of(regs),
+            rn,
+        });
     }
 
     pub fn vld(&mut self, vd: Reg, rn: Reg, offset: i64) {
-        assert!(vd.index() % 2 == 0 && vd.index() < 30, "vld needs an even pair base below x30");
+        assert!(
+            vd.index().is_multiple_of(2) && vd.index() < 30,
+            "vld needs an even pair base below x30"
+        );
         self.emit(Instruction::Vld { vd, rn, offset });
     }
 
     pub fn vst(&mut self, vs: Reg, rn: Reg, offset: i64) {
-        assert!(vs.index() % 2 == 0 && vs.index() < 30, "vst needs an even pair base below x30");
+        assert!(
+            vs.index().is_multiple_of(2) && vs.index() < 30,
+            "vst needs an even pair base below x30"
+        );
         self.emit(Instruction::Vst { vs, rn, offset });
     }
 
@@ -256,8 +305,14 @@ impl Asm {
     }
 
     pub fn bc(&mut self, cond: Cond, rn: Reg, rm: Reg, l: Label) {
-        self.fixups.push((self.insts.len(), l, Pending::Bc(cond, rn, rm)));
-        self.emit(Instruction::Bc { cond, rn, rm, target: 0 });
+        self.fixups
+            .push((self.insts.len(), l, Pending::Bc(cond, rn, rm)));
+        self.emit(Instruction::Bc {
+            cond,
+            rn,
+            rm,
+            target: 0,
+        });
     }
 
     pub fn beq(&mut self, rn: Reg, rm: Reg, l: Label) {
@@ -317,13 +372,24 @@ impl Asm {
     ///
     /// Panics if any referenced label was never placed.
     pub fn build(self) -> Program {
-        let Asm { base, mut insts, labels, fixups, data } = self;
+        let Asm {
+            base,
+            mut insts,
+            labels,
+            fixups,
+            data,
+        } = self;
         for (idx, label, pending) in fixups {
             let target = labels[label.0]
                 .unwrap_or_else(|| panic!("label {label:?} referenced but never placed"));
             insts[idx] = match pending {
                 Pending::B => Instruction::B { target },
-                Pending::Bc(cond, rn, rm) => Instruction::Bc { cond, rn, rm, target },
+                Pending::Bc(cond, rn, rm) => Instruction::Bc {
+                    cond,
+                    rn,
+                    rm,
+                    target,
+                },
                 Pending::Cbz(rn) => Instruction::Cbz { rn, target },
                 Pending::Cbnz(rn) => Instruction::Cbnz { rn, target },
                 Pending::Bl => Instruction::Bl { target },
@@ -348,7 +414,13 @@ mod tests {
         a.place(end); // 0x100c
         a.halt();
         let p = a.build();
-        assert_eq!(p.fetch(0x1004), Some(Instruction::Cbz { rn: Reg::X0, target: 0x100c }));
+        assert_eq!(
+            p.fetch(0x1004),
+            Some(Instruction::Cbz {
+                rn: Reg::X0,
+                target: 0x100c
+            })
+        );
         assert_eq!(p.fetch(0x1008), Some(Instruction::B { target: 0x1000 }));
     }
 

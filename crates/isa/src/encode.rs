@@ -206,9 +206,7 @@ pub fn encode(inst: Instruction, out: &mut Vec<u32>) {
     match inst {
         Nop => out.push(header(OP_NOP, z, z, z, 0, 0)),
         Halt => out.push(header(OP_HALT, z, z, z, 0, 0)),
-        Alu { op, rd, rn, rm } => {
-            out.push(header(OP_ALU, rd, rn, rm, 0, alu_op_code(op) + 1))
-        }
+        Alu { op, rd, rn, rm } => out.push(header(OP_ALU, rd, rn, rm, 0, alu_op_code(op) + 1)),
         AluImm { op, rd, rn, imm } => {
             out.push(0); // patched below
             let imm9 = encode_imm(out, imm);
@@ -220,28 +218,44 @@ pub fn encode(inst: Instruction, out: &mut Vec<u32>) {
             let imm9 = encode_imm(out, imm as i64);
             out[at] = header(OP_MOVI, rd, z, z, 0, imm9);
         }
-        Ldr { rd, rn, offset, size } => {
+        Ldr {
+            rd,
+            rn,
+            offset,
+            size,
+        } => {
             out.push(0);
             let imm9 = encode_imm(out, offset);
             out[at] = header(OP_LDR, rd, rn, z, size_code(size), imm9);
         }
-        LdrIdx { rd, rn, rm, size } => {
-            out.push(header(OP_LDRIDX, rd, rn, rm, size_code(size), 1))
-        }
-        Str { rt, rn, offset, size } => {
+        LdrIdx { rd, rn, rm, size } => out.push(header(OP_LDRIDX, rd, rn, rm, size_code(size), 1)),
+        Str {
+            rt,
+            rn,
+            offset,
+            size,
+        } => {
             out.push(0);
             let imm9 = encode_imm(out, offset);
             out[at] = header(OP_STR, rt, rn, z, size_code(size), imm9);
         }
-        StrIdx { rt, rn, rm, size } => {
-            out.push(header(OP_STRIDX, rt, rn, rm, size_code(size), 1))
-        }
-        Ldp { rd1, rd2, rn, offset } => {
+        StrIdx { rt, rn, rm, size } => out.push(header(OP_STRIDX, rt, rn, rm, size_code(size), 1)),
+        Ldp {
+            rd1,
+            rd2,
+            rn,
+            offset,
+        } => {
             out.push(0);
             let imm9 = encode_imm(out, offset);
             out[at] = header(OP_LDP, rd1, rd2, rn, 0, imm9);
         }
-        Stp { rt1, rt2, rn, offset } => {
+        Stp {
+            rt1,
+            rt2,
+            rn,
+            offset,
+        } => {
             out.push(0);
             let imm9 = encode_imm(out, offset);
             out[at] = header(OP_STP, rt1, rt2, rn, 0, imm9);
@@ -269,7 +283,12 @@ pub fn encode(inst: Instruction, out: &mut Vec<u32>) {
             let imm9 = encode_imm(out, target as i64);
             out[at] = header(OP_B, z, z, z, 0, imm9);
         }
-        Bc { cond, rn, rm, target } => {
+        Bc {
+            cond,
+            rn,
+            rm,
+            target,
+        } => {
             out.push(0);
             let imm9 = encode_imm(out, target as i64);
             // The condition rides in the ra field.
@@ -330,21 +349,34 @@ pub fn decode(words: &[u32]) -> Result<(Instruction, usize), DecodeError> {
             rn: reg(rb)?,
             imm: decode_imm(imm9, words, &mut cursor)?,
         },
-        OP_MOVI => MovImm { rd: reg(ra)?, imm: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_MOVI => MovImm {
+            rd: reg(ra)?,
+            imm: decode_imm(imm9, words, &mut cursor)? as u64,
+        },
         OP_LDR => Ldr {
             rd: reg(ra)?,
             rn: reg(rb)?,
             offset: decode_imm(imm9, words, &mut cursor)?,
             size: size_from(size),
         },
-        OP_LDRIDX => LdrIdx { rd: reg(ra)?, rn: reg(rb)?, rm: reg(rc)?, size: size_from(size) },
+        OP_LDRIDX => LdrIdx {
+            rd: reg(ra)?,
+            rn: reg(rb)?,
+            rm: reg(rc)?,
+            size: size_from(size),
+        },
         OP_STR => Str {
             rt: reg(ra)?,
             rn: reg(rb)?,
             offset: decode_imm(imm9, words, &mut cursor)?,
             size: size_from(size),
         },
-        OP_STRIDX => StrIdx { rt: reg(ra)?, rn: reg(rb)?, rm: reg(rc)?, size: size_from(size) },
+        OP_STRIDX => StrIdx {
+            rt: reg(ra)?,
+            rn: reg(rb)?,
+            rm: reg(rc)?,
+            size: size_from(size),
+        },
         OP_LDP => Ldp {
             rd1: reg(ra)?,
             rd2: reg(rb)?,
@@ -364,9 +396,15 @@ pub fn decode(words: &[u32]) -> Result<(Instruction, usize), DecodeError> {
                 return Err(DecodeError::BadField("register list"));
             }
             if op == OP_LDM {
-                Ldm { list: RegList(mask), rn: reg(rb)? }
+                Ldm {
+                    list: RegList(mask),
+                    rn: reg(rb)?,
+                }
             } else {
-                Stm { list: RegList(mask), rn: reg(rb)? }
+                Stm {
+                    list: RegList(mask),
+                    rn: reg(rb)?,
+                }
             }
         }
         OP_VLD => {
@@ -374,27 +412,51 @@ pub fn decode(words: &[u32]) -> Result<(Instruction, usize), DecodeError> {
             if vd.index() % 2 != 0 || vd.index() >= 30 {
                 return Err(DecodeError::BadField("vector register"));
             }
-            Vld { vd, rn: reg(rb)?, offset: decode_imm(imm9, words, &mut cursor)? }
+            Vld {
+                vd,
+                rn: reg(rb)?,
+                offset: decode_imm(imm9, words, &mut cursor)?,
+            }
         }
         OP_VST => {
             let vs = reg(ra)?;
             if vs.index() % 2 != 0 || vs.index() >= 30 {
                 return Err(DecodeError::BadField("vector register"));
             }
-            Vst { vs, rn: reg(rb)?, offset: decode_imm(imm9, words, &mut cursor)? }
+            Vst {
+                vs,
+                rn: reg(rb)?,
+                offset: decode_imm(imm9, words, &mut cursor)?,
+            }
         }
-        OP_B => B { target: decode_imm(imm9, words, &mut cursor)? as u64 },
+        OP_B => B {
+            target: decode_imm(imm9, words, &mut cursor)? as u64,
+        },
         OP_BC => Bc {
             cond: cond_from(ra)?,
             rn: reg(rb)?,
             rm: reg(rc)?,
             target: decode_imm(imm9, words, &mut cursor)? as u64,
         },
-        OP_CBZ => Cbz { rn: reg(rb)?, target: decode_imm(imm9, words, &mut cursor)? as u64 },
-        OP_CBNZ => Cbnz { rn: reg(rb)?, target: decode_imm(imm9, words, &mut cursor)? as u64 },
-        OP_BL => Bl { target: decode_imm(imm9, words, &mut cursor)? as u64 },
-        OP_LDAR => Ldar { rd: reg(ra)?, rn: reg(rb)? },
-        OP_STLR => Stlr { rt: reg(ra)?, rn: reg(rb)? },
+        OP_CBZ => Cbz {
+            rn: reg(rb)?,
+            target: decode_imm(imm9, words, &mut cursor)? as u64,
+        },
+        OP_CBNZ => Cbnz {
+            rn: reg(rb)?,
+            target: decode_imm(imm9, words, &mut cursor)? as u64,
+        },
+        OP_BL => Bl {
+            target: decode_imm(imm9, words, &mut cursor)? as u64,
+        },
+        OP_LDAR => Ldar {
+            rd: reg(ra)?,
+            rn: reg(rb)?,
+        },
+        OP_STLR => Stlr {
+            rt: reg(ra)?,
+            rn: reg(rb)?,
+        },
         OP_RET => Ret,
         OP_BR => Br { rn: reg(rb)? },
         OP_BLR => Blr { rn: reg(rb)? },
@@ -422,33 +484,122 @@ mod tests {
         for inst in [
             Nop,
             Halt,
-            Alu { op: AluOp::Mul, rd: x(1), rn: x(2), rm: x(3) },
-            AluImm { op: AluOp::Eor, rd: x(4), rn: x(5), imm: -7 },
-            AluImm { op: AluOp::Add, rd: x(4), rn: x(5), imm: 1 << 40 },
-            MovImm { rd: x(6), imm: 0xdead_beef_dead_beef },
+            Alu {
+                op: AluOp::Mul,
+                rd: x(1),
+                rn: x(2),
+                rm: x(3),
+            },
+            AluImm {
+                op: AluOp::Eor,
+                rd: x(4),
+                rn: x(5),
+                imm: -7,
+            },
+            AluImm {
+                op: AluOp::Add,
+                rd: x(4),
+                rn: x(5),
+                imm: 1 << 40,
+            },
+            MovImm {
+                rd: x(6),
+                imm: 0xdead_beef_dead_beef,
+            },
             MovImm { rd: x(6), imm: 3 },
-            Ldr { rd: x(1), rn: x(2), offset: 255, size: MemSize::W },
-            Ldr { rd: x(1), rn: x(2), offset: -256, size: MemSize::B },
-            Ldr { rd: x(1), rn: x(2), offset: 100_000, size: MemSize::X },
-            LdrIdx { rd: x(1), rn: x(2), rm: x(3), size: MemSize::H },
-            Str { rt: x(9), rn: x(8), offset: 64, size: MemSize::X },
-            StrIdx { rt: x(9), rn: x(8), rm: x(7), size: MemSize::W },
-            Ldp { rd1: x(1), rd2: x(2), rn: x(3), offset: 16 },
-            Stp { rt1: x(1), rt2: x(2), rn: x(3), offset: -16 },
-            Ldm { list: RegList::of(&[x(1), x(5), x(9)]), rn: x(0) },
-            Stm { list: RegList::of(&[x(2), x(30)]), rn: x(0) },
-            Vld { vd: x(4), rn: x(1), offset: 32 },
-            Vst { vs: x(28), rn: x(1), offset: 1 << 20 },
+            Ldr {
+                rd: x(1),
+                rn: x(2),
+                offset: 255,
+                size: MemSize::W,
+            },
+            Ldr {
+                rd: x(1),
+                rn: x(2),
+                offset: -256,
+                size: MemSize::B,
+            },
+            Ldr {
+                rd: x(1),
+                rn: x(2),
+                offset: 100_000,
+                size: MemSize::X,
+            },
+            LdrIdx {
+                rd: x(1),
+                rn: x(2),
+                rm: x(3),
+                size: MemSize::H,
+            },
+            Str {
+                rt: x(9),
+                rn: x(8),
+                offset: 64,
+                size: MemSize::X,
+            },
+            StrIdx {
+                rt: x(9),
+                rn: x(8),
+                rm: x(7),
+                size: MemSize::W,
+            },
+            Ldp {
+                rd1: x(1),
+                rd2: x(2),
+                rn: x(3),
+                offset: 16,
+            },
+            Stp {
+                rt1: x(1),
+                rt2: x(2),
+                rn: x(3),
+                offset: -16,
+            },
+            Ldm {
+                list: RegList::of(&[x(1), x(5), x(9)]),
+                rn: x(0),
+            },
+            Stm {
+                list: RegList::of(&[x(2), x(30)]),
+                rn: x(0),
+            },
+            Vld {
+                vd: x(4),
+                rn: x(1),
+                offset: 32,
+            },
+            Vst {
+                vs: x(28),
+                rn: x(1),
+                offset: 1 << 20,
+            },
             B { target: 0x1_0000 },
-            Bc { cond: Cond::Ltu, rn: x(3), rm: x(4), target: 0x2_0000 },
-            Cbz { rn: x(5), target: 0x44 },
-            Cbnz { rn: x(6), target: 0x48 },
+            Bc {
+                cond: Cond::Ltu,
+                rn: x(3),
+                rm: x(4),
+                target: 0x2_0000,
+            },
+            Cbz {
+                rn: x(5),
+                target: 0x44,
+            },
+            Cbnz {
+                rn: x(6),
+                target: 0x48,
+            },
             Bl { target: 0x9_0000 },
             Ret,
             Br { rn: x(7) },
             Blr { rn: x(8) },
-            Ldar { rd: x(9), rn: x(10) },
-            Stlr { rt: x(11), rn: x(12) },
+            Ldar {
+                rd: x(9),
+                rn: x(10),
+            },
+            Stlr {
+                rt: x(11),
+                rn: x(12),
+            },
         ] {
             roundtrip(inst);
         }
@@ -457,21 +608,45 @@ mod tests {
     #[test]
     fn small_immediates_stay_single_word() {
         let mut w = Vec::new();
-        encode(Instruction::Ldr { rd: Reg::X1, rn: Reg::X2, offset: 8, size: MemSize::X }, &mut w);
+        encode(
+            Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X2,
+                offset: 8,
+                size: MemSize::X,
+            },
+            &mut w,
+        );
         assert_eq!(w.len(), 1);
         w.clear();
-        encode(Instruction::Ldr { rd: Reg::X1, rn: Reg::X2, offset: 4096, size: MemSize::X }, &mut w);
+        encode(
+            Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X2,
+                offset: 4096,
+                size: MemSize::X,
+            },
+            &mut w,
+        );
         assert_eq!(w.len(), 3, "large offsets take a 64-bit literal");
     }
 
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(decode(&[]), Err(DecodeError::Truncated));
-        assert!(matches!(decode(&[0xffff_ffff]), Err(DecodeError::BadOpcode(_))));
+        assert!(matches!(
+            decode(&[0xffff_ffff]),
+            Err(DecodeError::BadOpcode(_))
+        ));
         // ALUI with literal flag but no literal words.
         let mut w = Vec::new();
         encode(
-            Instruction::AluImm { op: AluOp::Add, rd: Reg::X1, rn: Reg::X2, imm: 1 << 30 },
+            Instruction::AluImm {
+                op: AluOp::Add,
+                rd: Reg::X1,
+                rn: Reg::X2,
+                imm: 1 << 30,
+            },
             &mut w,
         );
         assert_eq!(decode(&w[..1]), Err(DecodeError::Truncated));

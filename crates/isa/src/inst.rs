@@ -243,13 +243,28 @@ pub enum Instruction {
     /// Stop the program.
     Halt,
     /// `rd = op(rn, rm)`.
-    Alu { op: AluOp, rd: Reg, rn: Reg, rm: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
     /// `rd = op(rn, imm)`.
-    AluImm { op: AluOp, rd: Reg, rn: Reg, imm: i64 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rn: Reg,
+        imm: i64,
+    },
     /// `rd = imm` (64-bit move-immediate; a pseudo-instruction).
     MovImm { rd: Reg, imm: u64 },
     /// `rd = zero_extend(mem[rn + offset], size)`.
-    Ldr { rd: Reg, rn: Reg, offset: i64, size: MemSize },
+    Ldr {
+        rd: Reg,
+        rn: Reg,
+        offset: i64,
+        size: MemSize,
+    },
     /// Load-acquire (`LDAR`): an ordered load. The paper's memory-
     /// consistency rule (§3.2.2) bars address prediction for ordering,
     /// atomic and exclusive accesses; predictors must skip these.
@@ -257,17 +272,42 @@ pub enum Instruction {
     /// Store-release (`STLR`): an ordered store.
     Stlr { rt: Reg, rn: Reg },
     /// `rd = zero_extend(mem[rn + rm], size)` (register-indexed load).
-    LdrIdx { rd: Reg, rn: Reg, rm: Reg, size: MemSize },
+    LdrIdx {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+        size: MemSize,
+    },
     /// `mem[rn + offset] = rt[..size]`.
-    Str { rt: Reg, rn: Reg, offset: i64, size: MemSize },
+    Str {
+        rt: Reg,
+        rn: Reg,
+        offset: i64,
+        size: MemSize,
+    },
     /// `mem[rn + rm] = rt[..size]`.
-    StrIdx { rt: Reg, rn: Reg, rm: Reg, size: MemSize },
+    StrIdx {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+        size: MemSize,
+    },
     /// Load pair: `rd1 = mem[rn+offset]`, `rd2 = mem[rn+offset+8]`. Two
     /// 64-bit destination registers — one APT entry under DLVP, two value
     /// predictor entries under VTAGE (paper §5.2.2).
-    Ldp { rd1: Reg, rd2: Reg, rn: Reg, offset: i64 },
+    Ldp {
+        rd1: Reg,
+        rd2: Reg,
+        rn: Reg,
+        offset: i64,
+    },
     /// Store pair.
-    Stp { rt1: Reg, rt2: Reg, rn: Reg, offset: i64 },
+    Stp {
+        rt1: Reg,
+        rt2: Reg,
+        rn: Reg,
+        offset: i64,
+    },
     /// Load multiple: registers in `list` load from consecutive 8-byte slots
     /// starting at `[rn]`, ascending. Up to 16 destination registers.
     Ldm { list: RegList, rn: Reg },
@@ -281,7 +321,12 @@ pub enum Instruction {
     /// Unconditional branch to `target`.
     B { target: u64 },
     /// Conditional branch: taken when `cond(rn, rm)`.
-    Bc { cond: Cond, rn: Reg, rm: Reg, target: u64 },
+    Bc {
+        cond: Cond,
+        rn: Reg,
+        rm: Reg,
+        target: u64,
+    },
     /// Compare-and-branch-if-zero.
     Cbz { rn: Reg, target: u64 },
     /// Compare-and-branch-if-nonzero.
@@ -401,9 +446,7 @@ impl Instruction {
             | Instruction::Ldr { rd, .. }
             | Instruction::Ldar { rd, .. }
             | Instruction::LdrIdx { rd, .. } => keep(rd).into_iter().collect(),
-            Instruction::Ldp { rd1, rd2, .. } => {
-                keep(rd1).into_iter().chain(keep(rd2)).collect()
-            }
+            Instruction::Ldp { rd1, rd2, .. } => keep(rd1).into_iter().chain(keep(rd2)).collect(),
             Instruction::Ldm { list, .. } => list.iter().collect(),
             Instruction::Vld { vd, .. } => vec![vd, Reg::x(vd.index() as u8 + 1)],
             Instruction::Bl { .. } | Instruction::Blr { .. } => vec![Reg::LR],
@@ -535,20 +578,45 @@ impl fmt::Display for Instruction {
             Alu { op, rd, rn, rm } => write!(f, "{:?} {rd}, {rn}, {rm}", op),
             AluImm { op, rd, rn, imm } => write!(f, "{:?} {rd}, {rn}, #{imm}", op),
             MovImm { rd, imm } => write!(f, "mov {rd}, #{imm:#x}"),
-            Ldr { rd, rn, offset, size } => write!(f, "ldr{:?} {rd}, [{rn}, #{offset}]", size),
+            Ldr {
+                rd,
+                rn,
+                offset,
+                size,
+            } => write!(f, "ldr{:?} {rd}, [{rn}, #{offset}]", size),
             Ldar { rd, rn } => write!(f, "ldar {rd}, [{rn}]"),
             Stlr { rt, rn } => write!(f, "stlr {rt}, [{rn}]"),
             LdrIdx { rd, rn, rm, size } => write!(f, "ldr{:?} {rd}, [{rn}, {rm}]", size),
-            Str { rt, rn, offset, size } => write!(f, "str{:?} {rt}, [{rn}, #{offset}]", size),
+            Str {
+                rt,
+                rn,
+                offset,
+                size,
+            } => write!(f, "str{:?} {rt}, [{rn}, #{offset}]", size),
             StrIdx { rt, rn, rm, size } => write!(f, "str{:?} {rt}, [{rn}, {rm}]", size),
-            Ldp { rd1, rd2, rn, offset } => write!(f, "ldp {rd1}, {rd2}, [{rn}, #{offset}]"),
-            Stp { rt1, rt2, rn, offset } => write!(f, "stp {rt1}, {rt2}, [{rn}, #{offset}]"),
+            Ldp {
+                rd1,
+                rd2,
+                rn,
+                offset,
+            } => write!(f, "ldp {rd1}, {rd2}, [{rn}, #{offset}]"),
+            Stp {
+                rt1,
+                rt2,
+                rn,
+                offset,
+            } => write!(f, "stp {rt1}, {rt2}, [{rn}, #{offset}]"),
             Ldm { list, rn } => write!(f, "ldm {list:?}, [{rn}]"),
             Stm { list, rn } => write!(f, "stm {list:?}, [{rn}]"),
             Vld { vd, rn, offset } => write!(f, "vld {vd}, [{rn}, #{offset}]"),
             Vst { vs, rn, offset } => write!(f, "vst {vs}, [{rn}, #{offset}]"),
             B { target } => write!(f, "b {target:#x}"),
-            Bc { cond, rn, rm, target } => write!(f, "b.{:?} {rn}, {rm}, {target:#x}", cond),
+            Bc {
+                cond,
+                rn,
+                rm,
+                target,
+            } => write!(f, "b.{:?} {rn}, {rm}, {target:#x}", cond),
             Cbz { rn, target } => write!(f, "cbz {rn}, {target:#x}"),
             Cbnz { rn, target } => write!(f, "cbnz {rn}, {target:#x}"),
             Bl { target } => write!(f, "bl {target:#x}"),
@@ -585,7 +653,12 @@ mod tests {
 
     #[test]
     fn ldp_has_two_dests_one_base_source() {
-        let i = Instruction::Ldp { rd1: Reg::X1, rd2: Reg::X2, rn: Reg::X0, offset: 16 };
+        let i = Instruction::Ldp {
+            rd1: Reg::X1,
+            rd2: Reg::X2,
+            rn: Reg::X0,
+            offset: 16,
+        };
         assert!(i.is_load());
         assert_eq!(i.dests(), vec![Reg::X1, Reg::X2]);
         assert_eq!(i.dest_chunks(), 2);
@@ -605,20 +678,32 @@ mod tests {
 
     #[test]
     fn vld_writes_even_odd_pair() {
-        let i = Instruction::Vld { vd: Reg::X10, rn: Reg::X0, offset: 0 };
+        let i = Instruction::Vld {
+            vd: Reg::X10,
+            rn: Reg::X0,
+            offset: 0,
+        };
         assert_eq!(i.dests(), vec![Reg::X10, Reg::X11]);
         assert_eq!(i.mem_bytes(), Some(16));
     }
 
     #[test]
     fn zero_register_dest_is_filtered() {
-        let i = Instruction::AluImm { op: AluOp::Add, rd: Reg::ZR, rn: Reg::X1, imm: 1 };
+        let i = Instruction::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZR,
+            rn: Reg::X1,
+            imm: 1,
+        };
         assert!(i.dests().is_empty());
     }
 
     #[test]
     fn branch_kinds() {
-        assert_eq!(Instruction::B { target: 8 }.branch_kind(), Some(BranchKind::Direct));
+        assert_eq!(
+            Instruction::B { target: 8 }.branch_kind(),
+            Some(BranchKind::Direct)
+        );
         assert_eq!(Instruction::Ret.branch_kind(), Some(BranchKind::Return));
         assert_eq!(
             Instruction::Blr { rn: Reg::X5 }.branch_kind(),
@@ -631,7 +716,12 @@ mod tests {
 
     #[test]
     fn store_sources_include_data_and_base() {
-        let s = Instruction::Str { rt: Reg::X7, rn: Reg::X2, offset: 0, size: MemSize::X };
+        let s = Instruction::Str {
+            rt: Reg::X7,
+            rn: Reg::X2,
+            offset: 0,
+            size: MemSize::X,
+        };
         let src: Vec<_> = s.sources().iter().flatten().copied().collect();
         assert_eq!(src, vec![Reg::X2, Reg::X7]);
         assert!(s.dests().is_empty());
@@ -640,11 +730,26 @@ mod tests {
 
     #[test]
     fn op_classes() {
-        let mul = Instruction::Alu { op: AluOp::Mul, rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 };
+        let mul = Instruction::Alu {
+            op: AluOp::Mul,
+            rd: Reg::X1,
+            rn: Reg::X2,
+            rm: Reg::X3,
+        };
         assert_eq!(mul.op_class(), OpClass::IntMul);
-        let fdiv = Instruction::Alu { op: AluOp::FDiv, rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 };
+        let fdiv = Instruction::Alu {
+            op: AluOp::FDiv,
+            rd: Reg::X1,
+            rn: Reg::X2,
+            rm: Reg::X3,
+        };
         assert_eq!(fdiv.op_class(), OpClass::FpDiv);
-        let fadd = Instruction::AluImm { op: AluOp::FAdd, rd: Reg::X1, rn: Reg::X2, imm: 0 };
+        let fadd = Instruction::AluImm {
+            op: AluOp::FAdd,
+            rd: Reg::X1,
+            rn: Reg::X2,
+            imm: 0,
+        };
         assert_eq!(fadd.op_class(), OpClass::FpAlu);
     }
 
@@ -666,7 +771,12 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        let i = Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 8, size: MemSize::X };
+        let i = Instruction::Ldr {
+            rd: Reg::X1,
+            rn: Reg::X0,
+            offset: 8,
+            size: MemSize::X,
+        };
         assert_eq!(i.to_string(), "ldrX x1, [x0, #8]");
         assert!(!format!("{:?}", i).is_empty());
     }

@@ -30,7 +30,10 @@ impl Program {
     ///
     /// Panics if `base` is not 4-byte aligned.
     pub fn new(base: u64, insts: Vec<Instruction>, data: Vec<DataInit>) -> Program {
-        assert!(base % INST_BYTES == 0, "program base must be 4-byte aligned");
+        assert!(
+            base.is_multiple_of(INST_BYTES),
+            "program base must be 4-byte aligned"
+        );
         Program { base, insts, data }
     }
 
@@ -51,7 +54,7 @@ impl Program {
 
     /// The instruction at byte address `pc`, if in range and aligned.
     pub fn fetch(&self, pc: u64) -> Option<Instruction> {
-        if pc < self.base || (pc - self.base) % INST_BYTES != 0 {
+        if pc < self.base || !(pc - self.base).is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - self.base) / INST_BYTES) as usize;
@@ -95,18 +98,35 @@ mod tests {
         Program::new(
             0x1000,
             vec![
-                Instruction::MovImm { rd: Reg::X1, imm: 42 },
-                Instruction::AluImm { op: AluOp::Add, rd: Reg::X1, rn: Reg::X1, imm: 1 },
+                Instruction::MovImm {
+                    rd: Reg::X1,
+                    imm: 42,
+                },
+                Instruction::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::X1,
+                    rn: Reg::X1,
+                    imm: 1,
+                },
                 Instruction::Halt,
             ],
-            vec![DataInit { addr: 0x8000, bytes: vec![1, 2, 3] }],
+            vec![DataInit {
+                addr: 0x8000,
+                bytes: vec![1, 2, 3],
+            }],
         )
     }
 
     #[test]
     fn fetch_in_and_out_of_range() {
         let p = tiny();
-        assert_eq!(p.fetch(0x1000), Some(Instruction::MovImm { rd: Reg::X1, imm: 42 }));
+        assert_eq!(
+            p.fetch(0x1000),
+            Some(Instruction::MovImm {
+                rd: Reg::X1,
+                imm: 42
+            })
+        );
         assert_eq!(p.fetch(0x1008), Some(Instruction::Halt));
         assert_eq!(p.fetch(0x0ffc), None);
         assert_eq!(p.fetch(0x100c), None, "past the end");

@@ -28,7 +28,10 @@ impl CacheConfig {
     /// Panics if the geometry is not a power-of-two set count ≥ 1.
     pub fn sets(&self) -> u64 {
         let sets = self.size_bytes / (self.ways as u64 * self.block_bytes);
-        assert!(sets >= 1 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         sets
     }
 }
@@ -75,7 +78,12 @@ impl Cache {
     /// Builds an empty cache.
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.sets() as usize;
-        Cache { cfg, sets: vec![vec![Line::default(); cfg.ways]; sets], tick: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configured geometry.
@@ -111,7 +119,11 @@ impl Cache {
         }
         self.stats.misses += 1;
         let way = self.victim(set);
-        self.sets[set][way] = Line { tag, valid: true, lru: 0 };
+        self.sets[set][way] = Line {
+            tag,
+            valid: true,
+            lru: 0,
+        };
         self.touch(set, way);
         Access { hit: false, way }
     }
@@ -146,7 +158,11 @@ impl Cache {
             return false;
         }
         let way = self.victim(set);
-        self.sets[set][way] = Line { tag, valid: true, lru: 0 };
+        self.sets[set][way] = Line {
+            tag,
+            valid: true,
+            lru: 0,
+        };
         self.touch(set, way);
         self.stats.prefetch_fills += 1;
         true
@@ -181,7 +197,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B = 256B
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, block_bytes: 64, hit_latency: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            block_bytes: 64,
+            hit_latency: 2,
+        })
     }
 
     #[test]
@@ -225,8 +246,8 @@ mod tests {
         assert!(c.lookup(0x000).is_none());
         c.access(0x080); // touch so 0x100 becomes LRU
         let w1 = c.access(0x000).way; // refill: replaces 0x100's way
-        // In this 2-way toy, the refilled way differs from neither
-        // necessarily, but the resident way is well-defined:
+                                      // In this 2-way toy, the refilled way differs from neither
+                                      // necessarily, but the resident way is well-defined:
         assert_eq!(c.lookup(0x000), Some(w1));
         let _ = w0;
     }
@@ -254,8 +275,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
-        let _ = Cache::new(CacheConfig { size_bytes: 384, ways: 2, block_bytes: 64, hit_latency: 1 })
-            .config()
-            .sets();
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 384,
+            ways: 2,
+            block_bytes: 64,
+            hit_latency: 1,
+        })
+        .config()
+        .sets();
     }
 }

@@ -28,10 +28,30 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> HierarchyConfig {
         HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 64 << 10, ways: 4, block_bytes: 64, hit_latency: 1 },
-            l1d: CacheConfig { size_bytes: 64 << 10, ways: 4, block_bytes: 64, hit_latency: 2 },
-            l2: CacheConfig { size_bytes: 512 << 10, ways: 8, block_bytes: 128, hit_latency: 16 },
-            l3: CacheConfig { size_bytes: 8 << 20, ways: 16, block_bytes: 128, hit_latency: 32 },
+            l1i: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 4,
+                block_bytes: 64,
+                hit_latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 4,
+                block_bytes: 64,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 << 10,
+                ways: 8,
+                block_bytes: 128,
+                hit_latency: 16,
+            },
+            l3: CacheConfig {
+                size_bytes: 8 << 20,
+                ways: 16,
+                block_bytes: 128,
+                hit_latency: 32,
+            },
             memory_latency: 200,
             tlb: TlbConfig::default(),
             prefetch: StrideConfig::default(),
@@ -156,7 +176,12 @@ impl MemoryHierarchy {
                 self.fill_prefetch(pf);
             }
         }
-        DataAccess { latency: latency + walk, served_by, l1_way: a1.way, tlb_miss }
+        DataAccess {
+            latency: latency + walk,
+            served_by,
+            l1_way: a1.way,
+            tlb_miss,
+        }
     }
 
     /// DLVP speculative probe: check the L1D (through the TLB, as the
@@ -170,7 +195,12 @@ impl MemoryHierarchy {
             (Some(h), Some(w)) => h != w,
             _ => false,
         };
-        ProbeOutcome { hit: way.is_some(), way, way_mispredict, tlb_miss: walk > 0 }
+        ProbeOutcome {
+            hit: way.is_some(),
+            way,
+            way_mispredict,
+            tlb_miss: walk > 0,
+        }
     }
 
     /// Issues a DLVP-generated prefetch for `addr` (on probe miss), filling
@@ -281,13 +311,18 @@ mod tests {
                 l1_hits_late += 1;
             }
         }
-        assert!(l1_hits_late > 40, "prefetcher should cover the stream, got {l1_hits_late}");
+        assert!(
+            l1_hits_late > 40,
+            "prefetcher should cover the stream, got {l1_hits_late}"
+        );
     }
 
     #[test]
     fn prefetch_can_be_disabled() {
-        let mut cfg = HierarchyConfig::default();
-        cfg.prefetch_enabled = false;
+        let cfg = HierarchyConfig {
+            prefetch_enabled: false,
+            ..Default::default()
+        };
         let mut m = MemoryHierarchy::new(cfg);
         for i in 0..64u64 {
             m.access_data(0x80, 0x10_0000 + i * 64, true);

@@ -1,0 +1,125 @@
+//! JSON serialization of the hierarchy's statistics and configuration —
+//! every counter the experiment runner persists into `results/matrix.json`.
+
+use crate::cache::{CacheConfig, CacheStats};
+use crate::hierarchy::{HierarchyConfig, HierarchyStats};
+use crate::prefetch::{StrideConfig, StrideStats};
+use crate::tlb::{TlbConfig, TlbStats};
+use lvp_json::{Json, ToJson};
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accesses", self.accesses.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("probes", self.probes.to_json()),
+            ("probe_hits", self.probe_hits.to_json()),
+            ("prefetch_fills", self.prefetch_fills.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TlbStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accesses", self.accesses.to_json()),
+            ("misses", self.misses.to_json()),
+        ])
+    }
+}
+
+impl ToJson for StrideStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("trains", self.trains.to_json()),
+            ("prefetches", self.prefetches.to_json()),
+        ])
+    }
+}
+
+impl ToJson for HierarchyStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("l1i", self.l1i.to_json()),
+            ("l1d", self.l1d.to_json()),
+            ("l2", self.l2.to_json()),
+            ("l3", self.l3.to_json()),
+            ("tlb", self.tlb.to_json()),
+            ("prefetch", self.prefetch.to_json()),
+            ("dlvp_prefetches", self.dlvp_prefetches.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CacheConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("size_bytes", self.size_bytes.to_json()),
+            ("ways", self.ways.to_json()),
+            ("block_bytes", self.block_bytes.to_json()),
+            ("hit_latency", self.hit_latency.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TlbConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", self.entries.to_json()),
+            ("ways", self.ways.to_json()),
+            ("page_bytes", self.page_bytes.to_json()),
+            ("miss_penalty", self.miss_penalty.to_json()),
+        ])
+    }
+}
+
+impl ToJson for StrideConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", self.entries.to_json()),
+            ("threshold", self.threshold.to_json()),
+            ("distance", self.distance.to_json()),
+        ])
+    }
+}
+
+impl ToJson for HierarchyConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("l1i", self.l1i.to_json()),
+            ("l1d", self.l1d.to_json()),
+            ("l2", self.l2.to_json()),
+            ("l3", self.l3.to_json()),
+            ("memory_latency", self.memory_latency.to_json()),
+            ("tlb", self.tlb.to_json()),
+            ("prefetch", self.prefetch.to_json()),
+            ("prefetch_enabled", self.prefetch_enabled.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_serialize_every_counter() {
+        let s = HierarchyStats::default();
+        let j = s.to_json();
+        for level in ["l1i", "l1d", "l2", "l3"] {
+            assert_eq!(
+                j.get(level).and_then(|c| c.get("accesses")),
+                Some(&Json::U64(0))
+            );
+        }
+        assert!(j.get("tlb").is_some() && j.get("prefetch").is_some());
+    }
+
+    #[test]
+    fn config_roundtrips_through_text() {
+        let j = HierarchyConfig::default().to_json();
+        let text = j.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+}

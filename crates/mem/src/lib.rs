@@ -24,6 +24,7 @@
 
 pub mod cache;
 pub mod hierarchy;
+mod json;
 pub mod prefetch;
 pub mod tlb;
 

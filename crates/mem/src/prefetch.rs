@@ -19,7 +19,11 @@ pub struct StrideConfig {
 
 impl Default for StrideConfig {
     fn default() -> StrideConfig {
-        StrideConfig { entries: 256, threshold: 2, distance: 2 }
+        StrideConfig {
+            entries: 256,
+            threshold: 2,
+            distance: 2,
+        }
     }
 }
 
@@ -54,8 +58,15 @@ impl StridePrefetcher {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: StrideConfig) -> StridePrefetcher {
-        assert!(cfg.entries.is_power_of_two(), "stride table entries must be a power of two");
-        StridePrefetcher { cfg, table: vec![StrideEntry::default(); cfg.entries], stats: StrideStats::default() }
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "stride table entries must be a power of two"
+        );
+        StridePrefetcher {
+            cfg,
+            table: vec![StrideEntry::default(); cfg.entries],
+            stats: StrideStats::default(),
+        }
     }
 
     /// Accumulated counters.
@@ -70,7 +81,13 @@ impl StridePrefetcher {
         let idx = ((pc >> 2) as usize) & (self.cfg.entries - 1);
         let e = &mut self.table[idx];
         if !e.valid || e.pc_tag != pc {
-            *e = StrideEntry { pc_tag: pc, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            *e = StrideEntry {
+                pc_tag: pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return None;
         }
         let stride = addr.wrapping_sub(e.last_addr) as i64;
@@ -96,7 +113,11 @@ mod tests {
 
     #[test]
     fn constant_stride_triggers_prefetch() {
-        let mut p = StridePrefetcher::new(StrideConfig { entries: 16, threshold: 2, distance: 1 });
+        let mut p = StridePrefetcher::new(StrideConfig {
+            entries: 16,
+            threshold: 2,
+            distance: 1,
+        });
         assert_eq!(p.train(0x40, 0x1000), None); // allocate
         assert_eq!(p.train(0x40, 0x1040), None); // learn stride
         assert_eq!(p.train(0x40, 0x1080), None); // confidence 1
@@ -114,7 +135,11 @@ mod tests {
 
     #[test]
     fn stride_change_resets_confidence() {
-        let mut p = StridePrefetcher::new(StrideConfig { entries: 16, threshold: 2, distance: 1 });
+        let mut p = StridePrefetcher::new(StrideConfig {
+            entries: 16,
+            threshold: 2,
+            distance: 1,
+        });
         p.train(0x40, 0x1000);
         p.train(0x40, 0x1040);
         p.train(0x40, 0x1080);
@@ -125,7 +150,11 @@ mod tests {
 
     #[test]
     fn negative_strides_work() {
-        let mut p = StridePrefetcher::new(StrideConfig { entries: 16, threshold: 2, distance: 1 });
+        let mut p = StridePrefetcher::new(StrideConfig {
+            entries: 16,
+            threshold: 2,
+            distance: 1,
+        });
         p.train(0x40, 0x2000);
         p.train(0x40, 0x1fc0);
         p.train(0x40, 0x1f80);
@@ -135,7 +164,11 @@ mod tests {
 
     #[test]
     fn conflicting_pcs_realias() {
-        let mut p = StridePrefetcher::new(StrideConfig { entries: 2, threshold: 2, distance: 1 });
+        let mut p = StridePrefetcher::new(StrideConfig {
+            entries: 2,
+            threshold: 2,
+            distance: 1,
+        });
         // pc 0x0 and 0x8 both map to index 0 (after >>2, &1).
         p.train(0x0, 0x1000);
         p.train(0x8, 0x9000); // evicts
@@ -144,7 +177,11 @@ mod tests {
 
     #[test]
     fn distance_scales_prefetch_address() {
-        let mut p = StridePrefetcher::new(StrideConfig { entries: 16, threshold: 2, distance: 4 });
+        let mut p = StridePrefetcher::new(StrideConfig {
+            entries: 16,
+            threshold: 2,
+            distance: 4,
+        });
         p.train(0x40, 0x1000);
         p.train(0x40, 0x1010);
         p.train(0x40, 0x1020);

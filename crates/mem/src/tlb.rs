@@ -13,7 +13,12 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> TlbConfig {
-        TlbConfig { entries: 512, ways: 8, page_bytes: 4096, miss_penalty: 30 }
+        TlbConfig {
+            entries: 512,
+            ways: 8,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        }
     }
 }
 
@@ -48,8 +53,16 @@ impl Tlb {
     /// Panics if `entries` is not divisible into a power-of-two set count.
     pub fn new(cfg: TlbConfig) -> Tlb {
         let sets = cfg.entries / cfg.ways;
-        assert!(sets >= 1 && sets.is_power_of_two(), "TLB set count must be a power of two");
-        Tlb { cfg, sets: vec![vec![TlbLine::default(); cfg.ways]; sets], tick: 0, stats: TlbStats::default() }
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
+        Tlb {
+            cfg,
+            sets: vec![vec![TlbLine::default(); cfg.ways]; sets],
+            tick: 0,
+            stats: TlbStats::default(),
+        }
     }
 
     /// The configuration.
@@ -80,7 +93,11 @@ impl Tlb {
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
             .map(|(w, _)| w)
             .expect("TLB ways must be non-zero");
-        self.sets[set][victim] = TlbLine { vpn, valid: true, lru: self.tick };
+        self.sets[set][victim] = TlbLine {
+            vpn,
+            valid: true,
+            lru: self.tick,
+        };
         self.cfg.miss_penalty
     }
 
@@ -97,7 +114,12 @@ mod tests {
     use super::*;
 
     fn small() -> Tlb {
-        Tlb::new(TlbConfig { entries: 8, ways: 2, page_bytes: 4096, miss_penalty: 30 })
+        Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        })
     }
 
     #[test]
@@ -134,6 +156,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
-        let _ = Tlb::new(TlbConfig { entries: 6, ways: 2, page_bytes: 4096, miss_penalty: 1 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 6,
+            ways: 2,
+            page_bytes: 4096,
+            miss_penalty: 1,
+        });
     }
 }

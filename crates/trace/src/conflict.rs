@@ -44,14 +44,20 @@ impl ConflictProfile {
 
     /// Fraction of loads with any conflict.
     pub fn total_fraction(&self) -> f64 {
-        ratio(self.committed_conflicts + self.inflight_conflicts, self.loads)
+        ratio(
+            self.committed_conflicts + self.inflight_conflicts,
+            self.loads,
+        )
     }
 
     /// Of all conflicts, the share that involve already-committed stores —
     /// the share address prediction eliminates (the paper reports 67% across
     /// its workloads).
     pub fn committed_share(&self) -> f64 {
-        ratio(self.committed_conflicts, self.committed_conflicts + self.inflight_conflicts)
+        ratio(
+            self.committed_conflicts,
+            self.committed_conflicts + self.inflight_conflicts,
+        )
     }
 
     /// Profiles `trace` with an in-flight window of `window` instructions
@@ -112,7 +118,9 @@ mod tests {
 
     #[test]
     fn no_store_no_conflict() {
-        let t: Trace = vec![load(0x10, 0x800, 1), load(0x10, 0x800, 1)].into_iter().collect();
+        let t: Trace = vec![load(0x10, 0x800, 1), load(0x10, 0x800, 1)]
+            .into_iter()
+            .collect();
         let p = ConflictProfile::profile(&t, 224);
         assert_eq!(p.loads, 2);
         assert_eq!(p.committed_conflicts + p.inflight_conflicts, 0);
@@ -122,9 +130,13 @@ mod tests {
     #[test]
     fn interleaving_store_conflicts_inflight_when_close() {
         // load; store to same addr; load at same pc/addr — distance 1 < window
-        let t: Trace = vec![load(0x10, 0x800, 1), store(0x20, 0x800, 2), load(0x10, 0x800, 2)]
-            .into_iter()
-            .collect();
+        let t: Trace = vec![
+            load(0x10, 0x800, 1),
+            store(0x20, 0x800, 2),
+            load(0x10, 0x800, 2),
+        ]
+        .into_iter()
+        .collect();
         let p = ConflictProfile::profile(&t, 224);
         assert_eq!(p.inflight_conflicts, 1);
         assert_eq!(p.committed_conflicts, 0);
@@ -148,18 +160,26 @@ mod tests {
     #[test]
     fn different_address_instance_is_not_a_conflict() {
         // Same static load, but the address changed between instances.
-        let t: Trace = vec![load(0x10, 0x800, 1), store(0x20, 0x900, 2), load(0x10, 0x900, 2)]
-            .into_iter()
-            .collect();
+        let t: Trace = vec![
+            load(0x10, 0x800, 1),
+            store(0x20, 0x900, 2),
+            load(0x10, 0x900, 2),
+        ]
+        .into_iter()
+        .collect();
         let p = ConflictProfile::profile(&t, 224);
         assert_eq!(p.committed_conflicts + p.inflight_conflicts, 0);
     }
 
     #[test]
     fn store_before_first_instance_does_not_conflict() {
-        let t: Trace = vec![store(0x20, 0x800, 9), load(0x10, 0x800, 9), load(0x10, 0x800, 9)]
-            .into_iter()
-            .collect();
+        let t: Trace = vec![
+            store(0x20, 0x800, 9),
+            load(0x10, 0x800, 9),
+            load(0x10, 0x800, 9),
+        ]
+        .into_iter()
+        .collect();
         let p = ConflictProfile::profile(&t, 224);
         assert_eq!(p.committed_conflicts + p.inflight_conflicts, 0);
     }

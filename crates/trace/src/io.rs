@@ -129,10 +129,11 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
         for _ in 0..n_words {
             words.push(read_u32(&mut r)?);
         }
-        let (inst, used) =
-            lvp_isa::decode(&words).map_err(TraceIoError::BadInstruction)?;
+        let (inst, used) = lvp_isa::decode(&words).map_err(TraceIoError::BadInstruction)?;
         if used != n_words {
-            return Err(TraceIoError::BadInstruction(lvp_isa::DecodeError::Truncated));
+            return Err(TraceIoError::BadInstruction(
+                lvp_isa::DecodeError::Truncated,
+            ));
         }
         let n_extra = read_u8(&mut r)? as usize;
         let extra_values = if n_extra == 0 {
@@ -144,7 +145,15 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
             }
             Some(v.into_boxed_slice())
         };
-        trace.push(TraceRecord { seq: 0, pc, inst, next_pc, eff_addr, value, extra_values });
+        trace.push(TraceRecord {
+            seq: 0,
+            pc,
+            inst,
+            next_pc,
+            eff_addr,
+            value,
+            extra_values,
+        });
     }
     Ok(trace)
 }
@@ -160,7 +169,10 @@ mod tests {
         t.push(load(0x1000, 0x8000, 42));
         t.push(store(0x1004, 0x8008, 7));
         let mut ldm = load(0x1008, 0x9000, 1);
-        ldm.inst = Instruction::Ldm { list: RegList::of(&[Reg::X1, Reg::X2]), rn: Reg::X0 };
+        ldm.inst = Instruction::Ldm {
+            list: RegList::of(&[Reg::X1, Reg::X2]),
+            rn: Reg::X0,
+        };
         ldm.extra_values = Some(vec![2].into_boxed_slice());
         t.push(ldm);
         let mut br = load(0x100c, 0, 0);
@@ -201,7 +213,10 @@ mod tests {
         buf.extend_from_slice(b"LVPT");
         buf.extend_from_slice(&99u32.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
-        assert!(matches!(read_trace(buf.as_slice()).unwrap_err(), TraceIoError::BadVersion(99)));
+        assert!(matches!(
+            read_trace(buf.as_slice()).unwrap_err(),
+            TraceIoError::BadVersion(99)
+        ));
     }
 
     #[test]

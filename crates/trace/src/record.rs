@@ -164,7 +164,12 @@ pub(crate) mod test_util {
         TraceRecord {
             seq: 0,
             pc,
-            inst: Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            inst: Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X0,
+                offset: 0,
+                size: MemSize::X,
+            },
             next_pc: pc + 4,
             eff_addr: addr,
             value,
@@ -177,7 +182,12 @@ pub(crate) mod test_util {
         TraceRecord {
             seq: 0,
             pc,
-            inst: Instruction::Str { rt: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            inst: Instruction::Str {
+                rt: Reg::X1,
+                rn: Reg::X0,
+                offset: 0,
+                size: MemSize::X,
+            },
             next_pc: pc + 4,
             eff_addr: addr,
             value,

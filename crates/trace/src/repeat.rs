@@ -108,7 +108,9 @@ mod tests {
         // A load striding over 4 slots, repeated 8 passes: by the last
         // passes every address has been seen many times, even though
         // consecutive instances always differ.
-        let t: Trace = (0..32).map(|i| load(0x10, 0x800 + (i % 4) * 8, i)).collect();
+        let t: Trace = (0..32)
+            .map(|i| load(0x10, 0x800 + (i % 4) * 8, i))
+            .collect();
         let p = RepeatProfile::profile(&t);
         let i4 = RepeatProfile::threshold_index(4).unwrap();
         // Address occurrence reaches 4 on pass 4: instances 12..31 = 20.
@@ -125,7 +127,10 @@ mod tests {
         let p = RepeatProfile::profile(&t);
         let i8 = RepeatProfile::threshold_index(8).unwrap();
         assert_eq!(p.addr_ge[i8], 0);
-        assert_eq!(p.value_ge[i8], 9, "value 42 seen 8+ times from instance 8 on");
+        assert_eq!(
+            p.value_ge[i8], 9,
+            "value 42 seen 8+ times from instance 8 on"
+        );
     }
 
     #[test]
@@ -154,7 +159,9 @@ mod tests {
 
     #[test]
     fn every_load_counts_at_threshold_one() {
-        let t: Trace = (0..5).map(|i| load(0x10 + i * 4, 0x800 + i * 64, i)).collect();
+        let t: Trace = (0..5)
+            .map(|i| load(0x10 + i * 4, 0x800 + i * 64, i))
+            .collect();
         let p = RepeatProfile::profile(&t);
         assert_eq!(p.addr_ge[0], 5);
         assert_eq!(p.value_ge[0], 5);

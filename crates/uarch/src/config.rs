@@ -1,5 +1,6 @@
 //! Core configuration (paper Table 4) and misprediction-recovery policy.
 
+use lvp_json::{Json, ToJson};
 use lvp_mem::HierarchyConfig;
 
 /// Which conditional-branch direction predictor the core uses.
@@ -121,6 +122,69 @@ impl CoreConfig {
     pub fn fetch_to_execute(&self) -> u32 {
         // fetch..rename + rename..issue + AGU/dispatch + first execute cycle
         self.fetch_to_rename + self.rename_to_issue + 2
+    }
+}
+
+impl ToJson for RecoveryMode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                RecoveryMode::Flush => "flush",
+                RecoveryMode::OracleReplay => "oracle_replay",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for BranchPredictorKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                BranchPredictorKind::Tage => "tage",
+                BranchPredictorKind::Gshare => "gshare",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for CoreConfig {
+    fn to_json(&self) -> Json {
+        // BtbConfig lives in lvp-branch (no lvp-json dep there); build its
+        // object inline from the public fields.
+        let btb = match &self.btb {
+            None => Json::Null,
+            Some(b) => Json::obj([("entries", b.entries.to_json()), ("ways", b.ways.to_json())]),
+        };
+        Json::obj([
+            ("frontend_width", self.frontend_width.to_json()),
+            ("backend_width", self.backend_width.to_json()),
+            ("ls_lanes", self.ls_lanes.to_json()),
+            ("generic_lanes", self.generic_lanes.to_json()),
+            ("rob_entries", self.rob_entries.to_json()),
+            ("iq_entries", self.iq_entries.to_json()),
+            ("ldq_entries", self.ldq_entries.to_json()),
+            ("stq_entries", self.stq_entries.to_json()),
+            ("physical_regs", self.physical_regs.to_json()),
+            ("fetch_to_rename", self.fetch_to_rename.to_json()),
+            ("fetch_buffer", self.fetch_buffer.to_json()),
+            ("rename_to_issue", self.rename_to_issue.to_json()),
+            ("value_check_penalty", self.value_check_penalty.to_json()),
+            ("recovery", self.recovery.to_json()),
+            ("branch_predictor", self.branch_predictor.to_json()),
+            ("btb", btb),
+            ("vp_per_cycle", self.vp_per_cycle.to_json()),
+            ("pvt_entries", self.pvt_entries.to_json()),
+            ("mem", self.mem.to_json()),
+            ("lat_int_alu", self.lat_int_alu.to_json()),
+            ("lat_int_mul", self.lat_int_mul.to_json()),
+            ("lat_int_div", self.lat_int_div.to_json()),
+            ("lat_fp_alu", self.lat_fp_alu.to_json()),
+            ("lat_fp_div", self.lat_fp_div.to_json()),
+            ("lat_branch", self.lat_branch.to_json()),
+            ("lat_forward", self.lat_forward.to_json()),
+        ])
     }
 }
 

@@ -410,7 +410,7 @@ impl<S: VpScheme> Core<S> {
                 let mut newest: Option<StoreInfo> = None;
                 for g in granules(rec.eff_addr, bytes) {
                     if let Some(&s) = self.granule_stores.get(&g) {
-                        if s.seq < rec.seq && newest.map_or(true, |n| s.seq > n.seq) {
+                        if s.seq < rec.seq && newest.is_none_or(|n| s.seq > n.seq) {
                             newest = Some(s);
                         }
                     }
@@ -449,9 +449,7 @@ impl<S: VpScheme> Core<S> {
             OpClass::IntDiv => complete = exec_start + self.cfg.lat_int_div as u64,
             OpClass::FpAlu => complete = exec_start + self.cfg.lat_fp_alu as u64,
             OpClass::FpDiv => complete = exec_start + self.cfg.lat_fp_div as u64,
-            OpClass::IntAlu | OpClass::Other => {
-                complete = exec_start + self.cfg.lat_int_alu as u64
-            }
+            OpClass::IntAlu | OpClass::Other => complete = exec_start + self.cfg.lat_int_alu as u64,
         }
 
         // ---- scheme verdict ---------------------------------------------
@@ -485,8 +483,7 @@ impl<S: VpScheme> Core<S> {
                         dest_avail = rename_cycle;
                     } else {
                         self.stats.vp_flushes += 1;
-                        vp_redirect =
-                            Some(complete + self.cfg.value_check_penalty as u64 + 1);
+                        vp_redirect = Some(complete + self.cfg.value_check_penalty as u64 + 1);
                     }
                 }
                 RecoveryMode::OracleReplay => {
@@ -548,9 +545,7 @@ impl<S: VpScheme> Core<S> {
             for g in granules(rec.eff_addr, bytes) {
                 self.granule_stores.insert(g, si);
             }
-            if let Some(prev) =
-                self.mdp.store_dispatched(rec.pc, rec.seq, exec_start)
-            {
+            if let Some(prev) = self.mdp.store_dispatched(rec.pc, rec.seq, exec_start) {
                 let _ = prev; // store-store ordering not modelled
             }
         }
@@ -561,10 +556,21 @@ impl<S: VpScheme> Core<S> {
         if rec.seq < self.verbose_until {
             eprintln!(
                 "#{:<6} {:#8x} F{:<6} R{:<6} I{:<6} X{:<6} C{:<6} cm{:<6} src{:<6} {}{}{} {}",
-                rec.seq, rec.pc, fetch_cycle, rename_cycle, issue_cycle, exec_start, complete,
-                commit_cycle, src_ready,
+                rec.seq,
+                rec.pc,
+                fetch_cycle,
+                rename_cycle,
+                issue_cycle,
+                exec_start,
+                complete,
+                commit_cycle,
+                src_ready,
                 if injected { "VP" } else { "  " },
-                if verdict.predicted && verdict.correct { "+" } else { " " },
+                if verdict.predicted && verdict.correct {
+                    "+"
+                } else {
+                    " "
+                },
                 if branch_mispredicted { "MISP" } else { "" },
                 inst
             );
@@ -667,7 +673,10 @@ mod tests {
         let base = simulate(&t, NoVp);
         let vp = simulate(&t, OracleLoadVp::default());
         let speedup = vp.speedup_over(&base);
-        assert!(speedup > 1.2, "oracle VP must break the chain, got {speedup}");
+        assert!(
+            speedup > 1.2,
+            "oracle VP must break the chain, got {speedup}"
+        );
         assert!(vp.vp_predicted_loads > 0);
         assert!((vp.accuracy() - 1.0).abs() < 1e-9);
     }

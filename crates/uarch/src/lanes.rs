@@ -37,7 +37,11 @@ impl LaneTracker {
         let idx = (cycle & (WINDOW - 1)) as usize;
         let s = &mut self.slots[idx];
         if s.cycle != cycle {
-            *s = Slot { cycle, ls: 0, generic: 0 };
+            *s = Slot {
+                cycle,
+                ls: 0,
+                generic: 0,
+            };
         }
         s
     }

@@ -32,5 +32,7 @@ pub use config::{BranchPredictorKind, CoreConfig, RecoveryMode};
 pub use lanes::LaneTracker;
 pub use mdp::{MdpConfig, StoreSets};
 pub use stats::SimStats;
-pub use vp::{ExecInfo, FetchCtx, FetchSlot, NoVp, OracleLoadVp, RenamePrediction, VpScheme, VpVerdict};
+pub use vp::{
+    ExecInfo, FetchCtx, FetchSlot, NoVp, OracleLoadVp, RenamePrediction, VpScheme, VpVerdict,
+};
 pub use vpe::{InjectOutcome, Vpe, VpeStats};

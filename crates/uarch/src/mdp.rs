@@ -19,7 +19,10 @@ pub struct MdpConfig {
 
 impl Default for MdpConfig {
     fn default() -> MdpConfig {
-        MdpConfig { ssit_entries: 1024, max_sets: 256 }
+        MdpConfig {
+            ssit_entries: 1024,
+            max_sets: 256,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl StoreSets {
     ///
     /// Panics if `ssit_entries` is not a power of two.
     pub fn new(cfg: MdpConfig) -> StoreSets {
-        assert!(cfg.ssit_entries.is_power_of_two(), "SSIT entries must be a power of two");
+        assert!(
+            cfg.ssit_entries.is_power_of_two(),
+            "SSIT entries must be a power of two"
+        );
         StoreSets {
             cfg,
             ssit: vec![None; cfg.ssit_entries],
@@ -71,7 +77,7 @@ impl StoreSets {
     /// order behind, and registers this store as the set's latest.
     pub fn store_dispatched(&mut self, pc: u64, seq: u64, exec_cycle: u64) -> Option<LfstStore> {
         let idx = self.index(pc);
-        let Some(set) = self.ssit[idx] else { return None };
+        let set = self.ssit[idx]?;
         let prev = self.lfst[set as usize];
         self.lfst[set as usize] = Some(LfstStore { seq, exec_cycle });
         prev.filter(|p| p.seq < seq)
@@ -131,7 +137,9 @@ mod tests {
         let mut m = StoreSets::new(MdpConfig::default());
         m.train_violation(0x200, 0x100);
         m.store_dispatched(0x200, 20, 500);
-        let dep = m.load_dependence(0x100, 25).expect("trained pair must depend");
+        let dep = m
+            .load_dependence(0x100, 25)
+            .expect("trained pair must depend");
         assert_eq!(dep.seq, 20);
         assert_eq!(dep.exec_cycle, 500);
         assert_eq!(m.trained(), 1);
@@ -168,7 +176,9 @@ mod tests {
         let mut m = StoreSets::new(MdpConfig::default());
         m.train_violation(0x200, 0x100);
         assert_eq!(m.store_dispatched(0x200, 10, 100), None);
-        let prev = m.store_dispatched(0x200, 20, 200).expect("second store sees first");
+        let prev = m
+            .store_dispatched(0x200, 20, 200)
+            .expect("second store sees first");
         assert_eq!(prev.seq, 10);
     }
 }

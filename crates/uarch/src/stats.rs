@@ -1,5 +1,6 @@
 //! Simulation statistics and energy-relevant event counters.
 
+use lvp_json::{Json, ToJson};
 use lvp_mem::HierarchyStats;
 
 /// Everything the experiment harnesses need from one simulation run.
@@ -87,6 +88,36 @@ impl SimStats {
     }
 }
 
+impl ToJson for SimStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("instructions", self.instructions.to_json()),
+            ("loads", self.loads.to_json()),
+            ("stores", self.stores.to_json()),
+            ("branches", self.branches.to_json()),
+            ("branch_mispredicts", self.branch_mispredicts.to_json()),
+            ("indirect_mispredicts", self.indirect_mispredicts.to_json()),
+            ("return_mispredicts", self.return_mispredicts.to_json()),
+            ("ordering_violations", self.ordering_violations.to_json()),
+            ("mdp_delays", self.mdp_delays.to_json()),
+            ("misp_resolve_sum", self.misp_resolve_sum.to_json()),
+            ("vp_predicted", self.vp_predicted.to_json()),
+            ("vp_predicted_loads", self.vp_predicted_loads.to_json()),
+            ("vp_correct", self.vp_correct.to_json()),
+            ("vp_flushes", self.vp_flushes.to_json()),
+            ("vp_replays", self.vp_replays.to_json()),
+            ("vp_pvt_full", self.vp_pvt_full.to_json()),
+            ("vp_late", self.vp_late.to_json()),
+            ("prf_reads", self.prf_reads.to_json()),
+            ("prf_writes", self.prf_writes.to_json()),
+            ("pvt_reads", self.pvt_reads.to_json()),
+            ("pvt_writes", self.pvt_writes.to_json()),
+            ("mem", self.mem.to_json()),
+        ])
+    }
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -117,16 +148,32 @@ mod tests {
 
     #[test]
     fn speedup_compares_cycles() {
-        let base = SimStats { cycles: 200, instructions: 100, ..SimStats::default() };
-        let fast = SimStats { cycles: 160, instructions: 100, ..SimStats::default() };
+        let base = SimStats {
+            cycles: 200,
+            instructions: 100,
+            ..SimStats::default()
+        };
+        let fast = SimStats {
+            cycles: 160,
+            instructions: 100,
+            ..SimStats::default()
+        };
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
     }
 
     #[test]
     #[should_panic(expected = "same trace")]
     fn speedup_rejects_mismatched_traces() {
-        let a = SimStats { instructions: 100, cycles: 1, ..SimStats::default() };
-        let b = SimStats { instructions: 101, cycles: 1, ..SimStats::default() };
+        let a = SimStats {
+            instructions: 100,
+            cycles: 1,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            instructions: 101,
+            cycles: 1,
+            ..SimStats::default()
+        };
         let _ = a.speedup_over(&b);
     }
 

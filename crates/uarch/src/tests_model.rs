@@ -42,7 +42,11 @@ fn width_bound_ipc_approaches_frontend_width() {
     let t = alu_loop(40_000);
     let s = simulate(&t, NoVp);
     assert!(s.ipc() > 2.8, "expected near-width IPC, got {}", s.ipc());
-    assert!(s.ipc() <= 4.05, "cannot beat the front-end width: {}", s.ipc());
+    assert!(
+        s.ipc() <= 4.05,
+        "cannot beat the front-end width: {}",
+        s.ipc()
+    );
 }
 
 #[test]
@@ -50,9 +54,28 @@ fn fetch_buffer_limits_runahead() {
     // With a tiny fetch buffer the front-end cannot hide a slow backend:
     // shrinking the buffer must not accelerate anything.
     let t = load_loop(20_000);
-    let tight = Core::new(CoreConfig { fetch_buffer: 8, ..CoreConfig::default() }, NoVp).run(&t);
-    let wide = Core::new(CoreConfig { fetch_buffer: 512, ..CoreConfig::default() }, NoVp).run(&t);
-    assert!(tight.cycles >= wide.cycles, "tight {} vs wide {}", tight.cycles, wide.cycles);
+    let tight = Core::new(
+        CoreConfig {
+            fetch_buffer: 8,
+            ..CoreConfig::default()
+        },
+        NoVp,
+    )
+    .run(&t);
+    let wide = Core::new(
+        CoreConfig {
+            fetch_buffer: 512,
+            ..CoreConfig::default()
+        },
+        NoVp,
+    )
+    .run(&t);
+    assert!(
+        tight.cycles >= wide.cycles,
+        "tight {} vs wide {}",
+        tight.cycles,
+        wide.cycles
+    );
 }
 
 #[test]
@@ -60,11 +83,20 @@ fn ls_lane_count_gates_load_throughput() {
     let t = load_loop(20_000);
     let two = Core::new(CoreConfig::default(), NoVp).run(&t);
     let one = Core::new(
-        CoreConfig { ls_lanes: 1, generic_lanes: 7, ..CoreConfig::default() },
+        CoreConfig {
+            ls_lanes: 1,
+            generic_lanes: 7,
+            ..CoreConfig::default()
+        },
         NoVp,
     )
     .run(&t);
-    assert!(one.cycles > two.cycles, "1 LS lane {} vs 2 lanes {}", one.cycles, two.cycles);
+    assert!(
+        one.cycles > two.cycles,
+        "1 LS lane {} vs 2 lanes {}",
+        one.cycles,
+        two.cycles
+    );
 }
 
 #[test]
@@ -80,7 +112,14 @@ fn rob_capacity_gates_latency_tolerance() {
     a.b(top);
     let t = Emulator::new(a.build()).run(20_000).trace;
     let big = Core::new(CoreConfig::default(), NoVp).run(&t);
-    let small = Core::new(CoreConfig { rob_entries: 16, ..CoreConfig::default() }, NoVp).run(&t);
+    let small = Core::new(
+        CoreConfig {
+            rob_entries: 16,
+            ..CoreConfig::default()
+        },
+        NoVp,
+    )
+    .run(&t);
     assert!(
         small.cycles > big.cycles * 11 / 10,
         "16-entry ROB {} should clearly trail 224-entry {}",
@@ -92,8 +131,14 @@ fn rob_capacity_gates_latency_tolerance() {
 #[test]
 fn pvt_capacity_limits_inflight_predictions() {
     let t = load_loop(20_000);
-    let tiny = Core::new(CoreConfig { pvt_entries: 1, ..CoreConfig::default() }, OracleLoadVp::default())
-        .run(&t);
+    let tiny = Core::new(
+        CoreConfig {
+            pvt_entries: 1,
+            ..CoreConfig::default()
+        },
+        OracleLoadVp::default(),
+    )
+    .run(&t);
     let full = Core::new(CoreConfig::default(), OracleLoadVp::default()).run(&t);
     assert!(tiny.vp_pvt_full > 0, "a 1-entry PVT must overflow");
     assert!(tiny.vp_predicted < full.vp_predicted);
@@ -112,7 +157,10 @@ fn injection_rate_is_two_per_cycle() {
     a.b(top);
     let t = Emulator::new(a.build()).run(20_000).trace;
     let s = Core::new(CoreConfig::default(), OracleLoadVp::default()).run(&t);
-    assert!(s.vp_late > 0, "the 2/cycle limit must bite on a 4-load group");
+    assert!(
+        s.vp_late > 0,
+        "the 2/cycle limit must bite on a 4-load group"
+    );
     assert!(s.vp_predicted > 0);
 }
 
@@ -126,7 +174,11 @@ fn icache_misses_slow_cold_code() {
     a.halt();
     let t = Emulator::new(a.build()).run(4_000).trace;
     let s = simulate(&t, NoVp);
-    assert!(s.mem.l1i.misses > 100, "cold I-stream must miss: {:?}", s.mem.l1i);
+    assert!(
+        s.mem.l1i.misses > 100,
+        "cold I-stream must miss: {:?}",
+        s.mem.l1i
+    );
 }
 
 #[test]
@@ -182,14 +234,21 @@ fn finite_btb_costs_cold_taken_branches() {
     let perfect = Core::new(CoreConfig::default(), NoVp).run(&t);
     let finite = Core::new(
         CoreConfig {
-            btb: Some(lvp_branch::BtbConfig { entries: 16, ways: 2 }),
+            btb: Some(lvp_branch::BtbConfig {
+                entries: 16,
+                ways: 2,
+            }),
             ..CoreConfig::default()
         },
         NoVp,
     )
     .run(&t);
     assert_eq!(perfect.branch_mispredicts, 0);
-    assert!(finite.branch_mispredicts > 100, "got {}", finite.branch_mispredicts);
+    assert!(
+        finite.branch_mispredicts > 100,
+        "got {}",
+        finite.branch_mispredicts
+    );
     assert!(finite.cycles > perfect.cycles);
 }
 
@@ -213,5 +272,9 @@ fn store_set_mdp_converges() {
         "MDP must stop the violations quickly, got {}",
         s.ordering_violations
     );
-    assert!(s.mdp_delays > 5_000, "loads should be delayed instead: {}", s.mdp_delays);
+    assert!(
+        s.mdp_delays > 5_000,
+        "loads should be delayed instead: {}",
+        s.mdp_delays
+    );
 }

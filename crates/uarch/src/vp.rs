@@ -93,7 +93,10 @@ pub struct VpVerdict {
 
 impl VpVerdict {
     /// No prediction was made.
-    pub const NONE: VpVerdict = VpVerdict { predicted: false, correct: false };
+    pub const NONE: VpVerdict = VpVerdict {
+        predicted: false,
+        correct: false,
+    };
 }
 
 /// A value-prediction scheme plugged into the core model.
@@ -160,12 +163,17 @@ impl VpScheme for OracleLoadVp {
     }
 
     fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
-        self.load_seqs.contains(&seq).then_some(RenamePrediction { chunks: 1 })
+        self.load_seqs
+            .contains(&seq)
+            .then_some(RenamePrediction { chunks: 1 })
     }
 
     fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {
         if self.load_seqs.remove(&info.seq) {
-            VpVerdict { predicted: true, correct: true }
+            VpVerdict {
+                predicted: true,
+                correct: true,
+            }
         } else {
             VpVerdict::NONE
         }

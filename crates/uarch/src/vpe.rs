@@ -182,9 +182,15 @@ mod tests {
     #[test]
     fn multi_chunk_prediction_occupies_multiple_entries() {
         let mut v = Vpe::new(3, 2);
-        assert_eq!(v.try_inject(1, &[Reg::X1, Reg::X2], 40), InjectOutcome::Injected);
+        assert_eq!(
+            v.try_inject(1, &[Reg::X1, Reg::X2], 40),
+            InjectOutcome::Injected
+        );
         assert_eq!(v.occupancy(), 2);
-        assert_eq!(v.try_inject(2, &[Reg::X3, Reg::X4], 40), InjectOutcome::PvtFull);
+        assert_eq!(
+            v.try_inject(2, &[Reg::X3, Reg::X4], 40),
+            InjectOutcome::PvtFull
+        );
     }
 
     #[test]

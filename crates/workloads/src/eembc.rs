@@ -20,15 +20,30 @@ pub fn workloads() -> Vec<Workload> {
             "NAT table lookups: small stable tables, repeating values",
             nat,
         ),
-        Workload::new("fft", Suite::Eembc, "radix-2 butterflies: bit-reversed strides", fft),
+        Workload::new(
+            "fft",
+            Suite::Eembc,
+            "radix-2 butterflies: bit-reversed strides",
+            fft,
+        ),
         Workload::new(
             "viterbi",
             Suite::Eembc,
             "trellis decode: small metric tables, branchy selects",
             viterbi,
         ),
-        Workload::new("autcor", Suite::Eembc, "autocorrelation: two sliding strided streams", autcor),
-        Workload::new("idct", Suite::Eembc, "8x8 inverse DCT: VLD/LDP row transforms", idct),
+        Workload::new(
+            "autcor",
+            Suite::Eembc,
+            "autocorrelation: two sliding strided streams",
+            autcor,
+        ),
+        Workload::new(
+            "idct",
+            Suite::Eembc,
+            "8x8 inverse DCT: VLD/LDP row transforms",
+            idct,
+        ),
     ]
 }
 
@@ -75,8 +90,8 @@ fn nat() -> Program {
     a.ldr(Reg::X20, Reg::X25, 0, MemSize::X); // table base
     a.ldr(Reg::X21, Reg::X25, 8, MemSize::X); // sessions base
     a.ldr(Reg::X22, Reg::X25, 16, MemSize::X); // counters base
-    // Pick the session struct for this packet: pointer load, then field
-    // loads through the pointer (a two-load chain).
+                                               // Pick the session struct for this packet: pointer load, then field
+                                               // loads through the pointer (a two-load chain).
     a.andi(Reg::X1, Reg::X23, (FLOWS - 1) as i64);
     a.lsli(Reg::X1, Reg::X1, 3); // *8 bytes
     a.ldr_idx(Reg::X2, Reg::X21, Reg::X1, MemSize::X); // session pointer (varies)
@@ -85,7 +100,7 @@ fn nat() -> Program {
     a.ldr(Reg::X9, Reg::X2, 16, MemSize::X); // MTU: value 1500 always
     a.lsli(Reg::X4, Reg::X3, 3);
     a.ldr_idx(Reg::X5, Reg::X20, Reg::X4, MemSize::X); // translation
-    // Checksum rewrite with the translation (pure ALU).
+                                                       // Checksum rewrite with the translation (pure ALU).
     a.eor(Reg::X6, Reg::X5, Reg::X23);
     a.add(Reg::X6, Reg::X6, Reg::X8);
     // Fragmentation check: packet length (pseudo-random) against the MTU
@@ -135,7 +150,7 @@ fn fft() -> Program {
     let fly = a.here();
     a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // re base (spill reload)
     a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // im base
-    // indices: i and i + stride (mod N)
+                                              // indices: i and i + stride (mod N)
     a.andi(Reg::X1, Reg::X23, (N - 1) as i64);
     a.add(Reg::X2, Reg::X1, Reg::X22);
     a.andi(Reg::X2, Reg::X2, (N - 1) as i64);
@@ -235,7 +250,9 @@ fn autcor() -> Program {
 
     let x = DATA_BASE;
     let r = DATA_BASE + 0x2000;
-    let fv: Vec<f64> = (0..N + LAGS).map(|i| ((i * 7) % 64) as f64 - 32.0).collect();
+    let fv: Vec<f64> = (0..N + LAGS)
+        .map(|i| ((i * 7) % 64) as f64 - 32.0)
+        .collect();
     a.data_f64(x, &fv);
 
     let frame = DATA_BASE + 0x4000;
@@ -284,8 +301,8 @@ fn idct() -> Program {
     let dc_state = DATA_BASE + 0x9_1000; // (previous DC, running sum)
     let top = a.here();
     a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // blocks base (spill reload)
-    // DC predictor state: fixed-address pair, read then rewritten each
-    // block; the ~120-instruction row loop makes the conflict committed.
+                                              // DC predictor state: fixed-address pair, read then rewritten each
+                                              // block; the ~120-instruction row loop makes the conflict committed.
     a.mov(Reg::X26, dc_state);
     a.ldp(Reg::X22, Reg::X23, Reg::X26, 0);
     a.andi(Reg::X1, Reg::X21, (BLOCKS - 1) as i64);
@@ -325,11 +342,17 @@ mod tests {
 
     #[test]
     fn aifirf_addresses_repeat_values_do_not() {
-        let t = Emulator::new(crate::eembc_aifirf::build()).run(60_000).trace;
+        let t = Emulator::new(crate::eembc_aifirf::build())
+            .run(60_000)
+            .trace;
         let p = RepeatProfile::profile(&t);
         let i8 = RepeatProfile::threshold_index(8).unwrap();
         let i64x = RepeatProfile::threshold_index(64).unwrap();
-        assert!(p.addr_fraction(i8) > 0.5, "addr runs expected, got {}", p.addr_fraction(i8));
+        assert!(
+            p.addr_fraction(i8) > 0.5,
+            "addr runs expected, got {}",
+            p.addr_fraction(i8)
+        );
         assert!(
             p.addr_fraction(i8) > p.value_fraction(i64x) + 0.2,
             "DLVP-favourable gap expected: addr@8={} value@64={}",

@@ -30,9 +30,9 @@ fn emit_channel(a: &mut Asm, state_reg: Reg, coeff_reg: Reg, energy_off: i64, sa
         let dst = Reg::x(3 + k as u8);
         let acc = [Reg::X26, Reg::X16, Reg::X17, Reg::X18][(k % 4) as usize];
         a.ldr(dst, state_reg, k * 8, MemSize::X); // fixed address
-        // Interleaved integer work (as a compiler would schedule it): keeps
-        // fetch from bunching two loads per cycle, which would starve the
-        // opportunistic probe bubbles.
+                                                  // Interleaved integer work (as a compiler would schedule it): keeps
+                                                  // fetch from bunching two loads per cycle, which would starve the
+                                                  // opportunistic probe bubbles.
         a.alui(lvp_isa::AluOp::Mul, Reg::X15, Reg::X15, 0x85eb);
         a.lsri(Reg::X19, Reg::X15, 13);
         a.eor(Reg::X15, Reg::X15, Reg::X19);
@@ -71,7 +71,9 @@ pub fn build() -> Program {
     let fc: Vec<f64> = (0..TAPS).map(|i| 1.0 / (i + 1) as f64).collect();
     a.data_f64(coeffs, &fc);
     let gains = DATA_BASE + 0x600;
-    let gv: Vec<u64> = (0..64).map(|i| 0x3ff0_0000_0000_0000 + i * 0x1000).collect();
+    let gv: Vec<u64> = (0..64)
+        .map(|i| 0x3ff0_0000_0000_0000 + i * 0x1000)
+        .collect();
     a.data_u64(gains, &gv);
     let fs: Vec<f64> = (0..SIGNAL).map(|i| ((i * 37) % 101) as f64).collect();
     a.data_f64(signal, &fs);

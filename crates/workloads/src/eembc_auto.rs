@@ -29,9 +29,24 @@ pub fn workloads() -> Vec<Workload> {
             "CAN frame decode: byte unpacking, id-based dispatch",
             canrdr,
         ),
-        Workload::new("rspeed", Suite::Eembc, "road-speed calculation: pulse deltas, divides", rspeed),
-        Workload::new("pntrch", Suite::Eembc, "pointer chase over a static record ring", pntrch),
-        Workload::new("idctrn", Suite::Eembc, "inverse DCT (integer), row-column passes", idctrn),
+        Workload::new(
+            "rspeed",
+            Suite::Eembc,
+            "road-speed calculation: pulse deltas, divides",
+            rspeed,
+        ),
+        Workload::new(
+            "pntrch",
+            Suite::Eembc,
+            "pointer chase over a static record ring",
+            pntrch,
+        ),
+        Workload::new(
+            "idctrn",
+            Suite::Eembc,
+            "inverse DCT (integer), row-column passes",
+            idctrn,
+        ),
     ]
 }
 
@@ -93,7 +108,7 @@ fn tblook() -> Program {
     a.lsli(Reg::X4, Reg::X2, 3);
     a.add(Reg::X5, Reg::X20, Reg::X4);
     a.ldp(Reg::X6, Reg::X7, Reg::X5, 0); // y0, y1 (adjacent cells)
-    // y0 + (y1 - y0) * frac / 256
+                                         // y0 + (y1 - y0) * frac / 256
     a.sub(Reg::X8, Reg::X7, Reg::X6);
     a.mul(Reg::X8, Reg::X8, Reg::X3);
     a.lsri(Reg::X8, Reg::X8, 8);
@@ -273,7 +288,12 @@ mod tests {
         for w in workloads() {
             let t = Emulator::new(w.program()).run(15_000).trace;
             assert_eq!(t.len(), 15_000, "{}", w.name);
-            assert!(t.load_count() * 20 >= t.len(), "{}: loads {}", w.name, t.load_count());
+            assert!(
+                t.load_count() * 20 >= t.len(),
+                "{}: loads {}",
+                w.name,
+                t.load_count()
+            );
         }
     }
 

@@ -186,7 +186,10 @@ fn sunspider() -> Program {
 
     let src = DATA_BASE;
     let dst = DATA_BASE + 0x1_0000;
-    let bytes: Vec<u8> = rand_u64s(0x55, STR_LEN as usize, 96).iter().map(|&b| (b + 32) as u8).collect();
+    let bytes: Vec<u8> = rand_u64s(0x55, STR_LEN as usize, 96)
+        .iter()
+        .map(|&b| (b + 32) as u8)
+        .collect();
     a.data_bytes(src, &bytes);
 
     let frame = DATA_BASE + 0x2_0000;
@@ -232,7 +235,11 @@ fn dromaeo() -> Program {
         let fc = 2 * i + 1;
         let sib = if i % 2 == 1 { i + 1 } else { 0 }; // left child's sibling is right child
         words[(i * 4) as usize] = if fc < NODES { addr_of(fc) } else { 0 };
-        words[(i * 4 + 1) as usize] = if sib != 0 && sib < NODES { addr_of(sib) } else { 0 };
+        words[(i * 4 + 1) as usize] = if sib != 0 && sib < NODES {
+            addr_of(sib)
+        } else {
+            0
+        };
         words[(i * 4 + 2) as usize] = i % 11; // tag
     }
     a.data_u64(nodes, &words);
@@ -254,7 +261,7 @@ fn dromaeo() -> Program {
     a.ldr(Reg::X2, Reg::X1, 16, MemSize::X); // tag
     a.add(Reg::X24, Reg::X24, Reg::X2);
     a.ldr(Reg::X3, Reg::X1, 8, MemSize::X); // next sibling
-    // push sibling
+                                            // push sibling
     let no_push = a.new_label();
     a.cbz(Reg::X3, no_push);
     a.lsli(Reg::X4, Reg::X22, 3);
@@ -332,7 +339,11 @@ mod tests {
         let t = Emulator::new(pdfjs()).run(60_000).trace;
         let p = RepeatProfile::profile(&t);
         let i8 = RepeatProfile::threshold_index(8).unwrap();
-        assert!(p.value_fraction(i8) > 0.3, "stable slots expected, got {}", p.value_fraction(i8));
+        assert!(
+            p.value_fraction(i8) > 0.3,
+            "stable slots expected, got {}",
+            p.value_fraction(i8)
+        );
     }
 
     #[test]

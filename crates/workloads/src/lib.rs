@@ -35,8 +35,8 @@ pub mod eembc_auto;
 pub mod js;
 pub mod misc;
 pub mod spec2k;
-pub mod spec_extra;
 pub mod spec2k6;
+pub mod spec_extra;
 mod util;
 
 use lvp_emu::Emulator;
@@ -94,7 +94,12 @@ impl Workload {
         description: &'static str,
         builder: fn() -> Program,
     ) -> Workload {
-        Workload { name, suite, description, builder }
+        Workload {
+            name,
+            suite,
+            description,
+            builder,
+        }
     }
 
     /// Builds the program.
@@ -128,6 +133,17 @@ pub fn by_name(name: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.name == name)
 }
 
+/// The registry of kernel names, in suite order — the canonical enumeration
+/// batch runners iterate (same order as [`all`]).
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|w| w.name).collect()
+}
+
+/// All workloads belonging to one suite.
+pub fn by_suite(suite: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == suite).collect()
+}
+
 /// The default per-workload dynamic instruction budget used by the
 /// experiment harnesses (the paper uses 100M-instruction simpoints; we scale
 /// down to keep the harnesses interactive — shapes, not absolute numbers).
@@ -149,7 +165,10 @@ mod tests {
 
     #[test]
     fn by_name_finds_paper_highlights() {
-        for name in ["perlbmk", "aifirf", "nat", "bzip2", "pdfjs", "gcc", "soplex", "avmshell", "h264ref", "linpack"] {
+        for name in [
+            "perlbmk", "aifirf", "nat", "bzip2", "pdfjs", "gcc", "soplex", "avmshell", "h264ref",
+            "linpack",
+        ] {
             assert!(by_name(name).is_some(), "missing workload {name}");
         }
         assert!(by_name("does-not-exist").is_none());
@@ -159,9 +178,40 @@ mod tests {
     fn every_workload_runs_and_loads() {
         for w in all() {
             let t = w.trace(20_000);
-            assert!(t.len() >= 10_000, "{} produced a short trace ({})", w.name, t.len());
+            assert!(
+                t.len() >= 10_000,
+                "{} produced a short trace ({})",
+                w.name,
+                t.len()
+            );
             let loads = t.load_count();
-            assert!(loads * 20 >= t.len(), "{}: too few loads ({loads}/{})", w.name, t.len());
+            assert!(
+                loads * 20 >= t.len(),
+                "{}: too few loads ({loads}/{})",
+                w.name,
+                t.len()
+            );
+        }
+    }
+
+    #[test]
+    fn names_registry_matches_all() {
+        let ws = all();
+        let ns = names();
+        assert_eq!(ns.len(), ws.len());
+        for (w, n) in ws.iter().zip(&ns) {
+            assert_eq!(w.name, *n);
+        }
+        for s in [
+            Suite::Spec2k,
+            Suite::Spec2k6,
+            Suite::Eembc,
+            Suite::Javascript,
+            Suite::Other,
+        ] {
+            for w in by_suite(s) {
+                assert_eq!(w.suite, s);
+            }
         }
     }
 

@@ -20,7 +20,12 @@ pub fn workloads() -> Vec<Workload> {
             "media decode: byte loads, clip tables, block stores",
             mplayer,
         ),
-        Workload::new("scimark", Suite::Other, "SOR stencil over a 2D grid", scimark),
+        Workload::new(
+            "scimark",
+            Suite::Other,
+            "SOR stencil over a 2D grid",
+            scimark,
+        ),
     ]
 }
 
@@ -71,7 +76,10 @@ fn mplayer() -> Program {
     let clip = DATA_BASE + 0x1_0000; // 512-entry clip table
     let out = DATA_BASE + 0x2_0000;
 
-    let s: Vec<u8> = rand_u64s(0x3a, SAMPLES as usize, 256).iter().map(|&b| b as u8).collect();
+    let s: Vec<u8> = rand_u64s(0x3a, SAMPLES as usize, 256)
+        .iter()
+        .map(|&b| b as u8)
+        .collect();
     a.data_bytes(samples, &s);
     let c: Vec<u64> = (0..512).map(|i| if i < 256 { i } else { 255 }).collect();
     a.data_u64(clip, &c);
@@ -124,7 +132,7 @@ fn scimark() -> Program {
     let top = a.here();
     a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // grid base (spill reload)
     a.ldr(Reg::X23, Reg::X29, 8, MemSize::X); // omega/4 (constant value)
-    // offset = (i*DIM + j) * 8
+                                              // offset = (i*DIM + j) * 8
     a.lsli(Reg::X1, Reg::X21, 6); // i*DIM
     a.add(Reg::X1, Reg::X1, Reg::X22);
     a.lsli(Reg::X1, Reg::X1, 3);

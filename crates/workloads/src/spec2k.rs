@@ -25,7 +25,12 @@ pub fn workloads() -> Vec<Workload> {
             "object-database: LDM record fetches, hash-probe then field update",
             vortex,
         ),
-        Workload::new("gap", Suite::Spec2k, "permutation algebra: double-indirect gathers", gap),
+        Workload::new(
+            "gap",
+            Suite::Spec2k,
+            "permutation algebra: double-indirect gathers",
+            gap,
+        ),
         Workload::new(
             "crafty",
             Suite::Spec2k,
@@ -80,7 +85,7 @@ fn perlbmk() -> Program {
     a.addi(Reg::X21, Reg::X21, 1);
     a.lsli(Reg::X3, Reg::X2, 3);
     a.ldr_idx(Reg::X4, Reg::X22, Reg::X3, MemSize::X); // handler address
-    // VM tick: fixed-address read-modify-write per dispatched op.
+                                                       // VM tick: fixed-address read-modify-write per dispatched op.
     a.ldr(Reg::X5, Reg::X23, 0x80, MemSize::X);
     a.addi(Reg::X5, Reg::X5, 1);
     a.str_(Reg::X5, Reg::X23, 0x80, MemSize::X);
@@ -214,8 +219,10 @@ fn gzip() -> Program {
     // Compressible input: like text, a handful of symbols dominate, so hash
     // chains repeat heavily.
     let raw: Vec<u64> = rand_u64s(0xf00d, INPUT_LEN as usize, 24);
-    let as_bytes: Vec<u8> =
-        raw.iter().map(|&b| if b < 18 { (b % 4) as u8 } else { b as u8 }).collect();
+    let as_bytes: Vec<u8> = raw
+        .iter()
+        .map(|&b| if b < 18 { (b % 4) as u8 } else { b as u8 })
+        .collect();
     a.data_bytes(input, &as_bytes);
 
     let bitbuf = DATA_BASE + 0x3_0000; // global bit-output buffer
@@ -289,7 +296,10 @@ fn vortex() -> Program {
     let records = DATA_BASE;
     let index = DATA_BASE + 0x1_0000;
 
-    a.data_u64(records, &rand_u64s(0xbeef, (N_RECORDS * 8) as usize, 1 << 20));
+    a.data_u64(
+        records,
+        &rand_u64s(0xbeef, (N_RECORDS * 8) as usize, 1 << 20),
+    );
     a.data_u64(index, &rand_u64s(0xcafe, 1024, N_RECORDS));
 
     let frame = DATA_BASE + 0x2_0000;
@@ -422,7 +432,10 @@ mod tests {
             .iter()
             .filter(|r| matches!(r.inst, lvp_isa::Instruction::Blr { .. }))
             .count();
-        assert!(indirect > 500, "interpreter should dispatch often, got {indirect}");
+        assert!(
+            indirect > 500,
+            "interpreter should dispatch often, got {indirect}"
+        );
         // Dispatch targets should be polymorphic.
         let mut targets: Vec<u64> = t
             .records()
@@ -432,7 +445,11 @@ mod tests {
             .collect();
         targets.sort_unstable();
         targets.dedup();
-        assert!(targets.len() >= 5, "expected many handlers, got {}", targets.len());
+        assert!(
+            targets.len() >= 5,
+            "expected many handlers, got {}",
+            targets.len()
+        );
     }
 
     #[test]

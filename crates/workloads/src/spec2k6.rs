@@ -8,8 +8,18 @@ use lvp_isa::{Asm, MemSize, Program, Reg};
 /// The SPEC2K6-styled workloads.
 pub fn workloads() -> Vec<Workload> {
     vec![
-        Workload::new("mcf", Suite::Spec2k6, "network-simplex pointer chasing over arc lists", mcf),
-        Workload::new("gcc", Suite::Spec2k6, "IR walk: tagged-union nodes, switch-heavy", gcc),
+        Workload::new(
+            "mcf",
+            Suite::Spec2k6,
+            "network-simplex pointer chasing over arc lists",
+            mcf,
+        ),
+        Workload::new(
+            "gcc",
+            Suite::Spec2k6,
+            "IR walk: tagged-union nodes, switch-heavy",
+            gcc,
+        ),
         Workload::new(
             "bzip2",
             Suite::Spec2k6,
@@ -197,7 +207,7 @@ fn h264ref() -> Program {
     a.ldr(Reg::X20, Reg::X29, 0, MemSize::X); // frame base (spill reload)
     a.ldr(Reg::X21, Reg::X29, 8, MemSize::X); // current block base
     a.ldr(Reg::X26, Reg::X29, 16, MemSize::X); // best-match pair address
-    // wrap offset
+                                               // wrap offset
     a.andi(Reg::X22, Reg::X22, ((FRAME_WORDS - 64) * 8 - 1) as i64 & !7);
     a.mov(Reg::X24, 0); // row
     let row = a.here();
@@ -311,9 +321,9 @@ fn libquantum() -> Program {
     a.ldr_idx(Reg::X2, Reg::X20, Reg::X1, MemSize::X); // amplitude
     a.eor(Reg::X2, Reg::X2, Reg::X22); // apply gate
     a.str_idx(Reg::X2, Reg::X20, Reg::X1, MemSize::X); // write back
-    // Global phase: read every gate, written back every 8th gate. The next
-    // read after a write still usually finds the store in flight — the
-    // Figure 1 shaded class.
+                                                       // Global phase: read every gate, written back every 8th gate. The next
+                                                       // read after a write still usually finds the store in flight — the
+                                                       // Figure 1 shaded class.
     a.ldr(Reg::X4, Reg::X25, 0, MemSize::X);
     a.add(Reg::X4, Reg::X4, Reg::X2);
     a.andi(Reg::X5, Reg::X21, 7);
@@ -379,7 +389,7 @@ fn hmmer() -> Program {
     a.add(Reg::X6, Reg::X2, Reg::X5);
     a.place(picked);
     a.str_idx(Reg::X6, Reg::X21, Reg::X1, MemSize::X); // cur[j]
-    // Global running checksum: read per column, written every 8th column.
+                                                       // Global running checksum: read per column, written every 8th column.
     a.ldr(Reg::X12, Reg::X22, 0x800, MemSize::X);
     a.eor(Reg::X12, Reg::X12, Reg::X6);
     a.andi(Reg::X13, Reg::X23, 7);
@@ -412,7 +422,10 @@ mod tests {
         let t = Emulator::new(mcf()).run(30_000).trace;
         let p = RepeatProfile::profile(&t);
         let i8 = RepeatProfile::threshold_index(8).unwrap();
-        assert!(p.addr_fraction(i8) < 0.2, "pointer chase should defeat address runs");
+        assert!(
+            p.addr_fraction(i8) < 0.2,
+            "pointer chase should defeat address runs"
+        );
     }
 
     #[test]
@@ -441,7 +454,11 @@ mod tests {
         let mut pages: Vec<u64> = t.loads().map(|l| l.addr >> 12).collect();
         pages.sort_unstable();
         pages.dedup();
-        assert!(pages.len() > 256, "TLB-stressing footprint expected, got {} pages", pages.len());
+        assert!(
+            pages.len() > 256,
+            "TLB-stressing footprint expected, got {} pages",
+            pages.len()
+        );
     }
 
     #[test]

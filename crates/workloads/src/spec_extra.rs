@@ -26,9 +26,24 @@ pub fn workloads() -> Vec<Workload> {
             "chess search: transposition-table probes, bitboard ALU",
             sjeng,
         ),
-        Workload::new("milc", Suite::Spec2k6, "lattice QCD: SU(3)-flavoured strided FP sweeps", milc),
-        Workload::new("lbm", Suite::Spec2k6, "lattice Boltzmann: 9-point stencil with LDM", lbm),
-        Workload::new("namd", Suite::Spec2k6, "molecular dynamics: pair-list gathers, FP heavy", namd),
+        Workload::new(
+            "milc",
+            Suite::Spec2k6,
+            "lattice QCD: SU(3)-flavoured strided FP sweeps",
+            milc,
+        ),
+        Workload::new(
+            "lbm",
+            Suite::Spec2k6,
+            "lattice Boltzmann: 9-point stencil with LDM",
+            lbm,
+        ),
+        Workload::new(
+            "namd",
+            Suite::Spec2k6,
+            "molecular dynamics: pair-list gathers, FP heavy",
+            namd,
+        ),
         Workload::new(
             "povray",
             Suite::Spec2k6,
@@ -63,7 +78,10 @@ fn parser() -> Program {
         words.push(0);
     }
     a.data_u64(trie, &words);
-    let bytes: Vec<u8> = rand_u64s(0x9a2, TEXT as usize, 2).iter().map(|&b| b as u8).collect();
+    let bytes: Vec<u8> = rand_u64s(0x9a2, TEXT as usize, 2)
+        .iter()
+        .map(|&b| b as u8)
+        .collect();
     a.data_bytes(text, &bytes);
 
     let frame = DATA_BASE + 0x8_0000;
@@ -130,7 +148,7 @@ fn twolf() -> Program {
     a.add(Reg::X4, Reg::X20, Reg::X2);
     a.ldp(Reg::X5, Reg::X6, Reg::X3, 0); // cell A
     a.ldp(Reg::X7, Reg::X8, Reg::X4, 0); // cell B
-    // Manhattan-ish cost delta, branch on improvement (data-dependent).
+                                         // Manhattan-ish cost delta, branch on improvement (data-dependent).
     a.sub(Reg::X9, Reg::X5, Reg::X7);
     a.sub(Reg::X10, Reg::X6, Reg::X8);
     a.eor(Reg::X11, Reg::X9, Reg::X10);
@@ -180,7 +198,7 @@ fn sjeng() -> Program {
     a.lsli(Reg::X2, Reg::X2, 4);
     a.add(Reg::X3, Reg::X20, Reg::X2);
     a.ldp(Reg::X4, Reg::X5, Reg::X3, 0); // tt entry: key, score
-    // Probe hit check (data-dependent, almost always a miss -> store).
+                                         // Probe hit check (data-dependent, almost always a miss -> store).
     a.eor(Reg::X6, Reg::X4, Reg::X21);
     a.andi(Reg::X6, Reg::X6, 0xff);
     let hit = a.new_label();
@@ -199,7 +217,9 @@ fn milc() -> Program {
 
     let lattice = DATA_BASE;
     let links = DATA_BASE + 0x2_0000;
-    let fv: Vec<f64> = (0..SITES * 4).map(|i| ((i * 13) % 97) as f64 * 0.01).collect();
+    let fv: Vec<f64> = (0..SITES * 4)
+        .map(|i| ((i * 13) % 97) as f64 * 0.01)
+        .collect();
     a.data_f64(lattice, &fv);
     a.data_f64(links, &fv);
 
@@ -217,7 +237,7 @@ fn milc() -> Program {
     a.add(Reg::X3, Reg::X21, Reg::X1);
     a.ldp(Reg::X4, Reg::X5, Reg::X2, 0); // site re/im
     a.ldp(Reg::X6, Reg::X7, Reg::X3, 0); // link re/im
-    // complex multiply
+                                         // complex multiply
     a.fmul(Reg::X8, Reg::X4, Reg::X6);
     a.fmul(Reg::X9, Reg::X5, Reg::X7);
     a.fsub(Reg::X10, Reg::X8, Reg::X9);
@@ -289,7 +309,9 @@ fn namd() -> Program {
 
     let atoms = DATA_BASE;
     let pairs = DATA_BASE + 0x2_0000; // (i, j) atom indices
-    let fv: Vec<f64> = (0..ATOMS * 4).map(|i| ((i * 31) % 211) as f64 * 0.125).collect();
+    let fv: Vec<f64> = (0..ATOMS * 4)
+        .map(|i| ((i * 31) % 211) as f64 * 0.125)
+        .collect();
     a.data_f64(atoms, &fv);
     let pi = rand_u64s(0x4a31, PAIRS as usize, ATOMS);
     let pj = rand_u64s(0x4a32, PAIRS as usize, ATOMS);
@@ -362,8 +384,8 @@ fn povray() -> Program {
     a.add(Reg::X5, Reg::X20, Reg::X4);
     a.ldp(Reg::X6, Reg::X7, Reg::X5, 0); // cx, cy (strided, stable values)
     a.ldr(Reg::X8, Reg::X5, 16, MemSize::X); // r2
-    // Integer approximation of |o - c|^2 < r2 using the bit patterns'
-    // exponents — branchy and data-dependent, like real hit tests.
+                                             // Integer approximation of |o - c|^2 < r2 using the bit patterns'
+                                             // exponents — branchy and data-dependent, like real hit tests.
     a.lsri(Reg::X9, Reg::X6, 52);
     a.lsri(Reg::X10, Reg::X7, 52);
     a.add(Reg::X9, Reg::X9, Reg::X10);
@@ -471,7 +493,12 @@ mod tests {
         for w in workloads() {
             let t = Emulator::new(w.program()).run(15_000).trace;
             assert_eq!(t.len(), 15_000, "{}", w.name);
-            assert!(t.load_count() * 20 >= t.len(), "{}: loads {}", w.name, t.load_count());
+            assert!(
+                t.load_count() * 20 >= t.len(),
+                "{}: loads {}",
+                w.name,
+                t.load_count()
+            );
         }
     }
 

@@ -1,24 +1,77 @@
 //! Shared helpers for kernel construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Code segment base shared by all kernels.
 pub const CODE_BASE: u64 = 0x1_0000;
 
 /// First data segment address.
 pub const DATA_BASE: u64 = 0x10_0000;
 
+/// Deterministic xoshiro256** generator for data-segment initialization;
+/// seeded per kernel (via splitmix64 state expansion) so traces are
+/// reproducible run to run and across platforms. Local implementation —
+/// the build environment is offline, so no `rand` crate.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator from a seed, expanding it with splitmix64.
+    pub fn seed_from_u64(seed: u64) -> Prng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Prng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `0..bound` (Lemire's multiply-shift with rejection;
+    /// unbiased, deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is empty");
+        let reject_below = bound.wrapping_neg() % bound; // 2^64 mod bound
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= reject_below {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
 /// Deterministic RNG for data-segment initialization; seeded per kernel so
 /// traces are reproducible run to run.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Prng {
+    Prng::seed_from_u64(seed)
 }
 
 /// `n` random u64 values below `bound`.
 pub fn rand_u64s(seed: u64, n: usize, bound: u64) -> Vec<u64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..bound)).collect()
+    (0..n).map(|_| r.below(bound)).collect()
 }
 
 /// A random permutation of `0..n` as u64, used to build pointer-chase rings.
@@ -26,7 +79,7 @@ pub fn permutation(seed: u64, n: usize) -> Vec<u64> {
     let mut v: Vec<u64> = (0..n as u64).collect();
     let mut r = rng(seed);
     for i in (1..n).rev() {
-        v.swap(i, r.gen_range(0..=i));
+        v.swap(i, r.below(i as u64 + 1) as usize);
     }
     v
 }
@@ -36,7 +89,7 @@ pub fn permutation(seed: u64, n: usize) -> Vec<u64> {
 /// place at `base` (the `next` pointer lives at offset 0 of each node;
 /// the remaining node words get the node index as payload).
 pub fn linked_ring(seed: u64, base: u64, n: usize, node_bytes: u64) -> Vec<u64> {
-    assert!(node_bytes % 8 == 0 && node_bytes >= 8);
+    assert!(node_bytes.is_multiple_of(8) && node_bytes >= 8);
     let perm = permutation(seed, n);
     // ring order: perm[0] -> perm[1] -> ... -> perm[n-1] -> perm[0]
     let words_per_node = (node_bytes / 8) as usize;
@@ -70,7 +123,7 @@ mod tests {
     fn linked_ring_visits_every_node() {
         let base = 0x1000u64;
         let words = linked_ring(3, base, 16, 16);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         let mut addr = base; // node 0
         for _ in 0..16 {
             let idx = ((addr - base) / 16) as usize;
@@ -86,5 +139,32 @@ mod tests {
     fn rand_u64s_bounded() {
         let v = rand_u64s(1, 1000, 50);
         assert!(v.iter().all(|&x| x < 50));
+        // All residues appear over 1000 draws — the generator is not stuck.
+        let mut seen = [false; 50];
+        for &x in &v {
+            seen[x as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "all 50 residues should appear in 1000 draws"
+        );
+    }
+
+    #[test]
+    fn below_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = rng(9);
+            (0..32).map(|_| r.below(1 << 40)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(9);
+            (0..32).map(|_| r.below(1 << 40)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = rng(10);
+            (0..32).map(|_| r.below(1 << 40)).collect()
+        };
+        assert_ne!(a, c);
     }
 }

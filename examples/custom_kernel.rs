@@ -35,8 +35,8 @@ fn build() -> lvp_isa::Program {
     a.andi(Reg::X22, Reg::X22, 511);
     a.lsli(Reg::X1, Reg::X22, 3);
     a.ldr_idx(Reg::X2, Reg::X21, Reg::X1, MemSize::X); // raw sample (strided)
-    // Each sensor descriptor sits at a fixed address: scale and offset are
-    // constants, `last` mutates every visit.
+                                                       // Each sensor descriptor sits at a fixed address: scale and offset are
+                                                       // constants, `last` mutates every visit.
     a.andi(Reg::X3, Reg::X22, 7);
     a.lsli(Reg::X3, Reg::X3, 5);
     a.add(Reg::X4, Reg::X20, Reg::X3); // descriptor pointer (8 stable addresses)
@@ -60,8 +60,14 @@ fn main() {
     let rep = RepeatProfile::profile(&trace);
     let i8 = RepeatProfile::threshold_index(8).unwrap();
     let i64x = RepeatProfile::threshold_index(64).unwrap();
-    println!("loads with addresses seen >=8x : {:.1}%", rep.addr_fraction(i8) * 100.0);
-    println!("loads with values seen >=64x   : {:.1}%", rep.value_fraction(i64x) * 100.0);
+    println!(
+        "loads with addresses seen >=8x : {:.1}%",
+        rep.addr_fraction(i8) * 100.0
+    );
+    println!(
+        "loads with values seen >=64x   : {:.1}%",
+        rep.value_fraction(i64x) * 100.0
+    );
     let conf = ConflictProfile::profile(&trace, 96);
     println!(
         "store-conflicting loads        : {:.1}% (committed {:.1}%)",

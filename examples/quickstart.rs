@@ -8,9 +8,13 @@
 use lvp_uarch::{simulate, NoVp};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "perlbmk".to_string());
-    let budget: u64 =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(120_000);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "perlbmk".to_string());
+    let budget: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
 
     let Some(workload) = lvp_workloads::by_name(&name) else {
         eprintln!("unknown workload {name}; available:");
@@ -34,7 +38,11 @@ fn main() {
     let base = simulate(&trace, NoVp);
     let with_dlvp = simulate(&trace, dlvp::dlvp_default());
 
-    println!("\nbaseline : {:>8} cycles, IPC {:.3}", base.cycles, base.ipc());
+    println!(
+        "\nbaseline : {:>8} cycles, IPC {:.3}",
+        base.cycles,
+        base.ipc()
+    );
     println!(
         "DLVP     : {:>8} cycles, IPC {:.3}  -> speedup {:+.2}%",
         with_dlvp.cycles,

@@ -51,12 +51,20 @@ fn main() {
     let (s_with, scheme) = with.run_with_scheme(&t);
     let without = simulate(
         &t,
-        Dlvp::new(DlvpConfig { use_lscd: false, ..DlvpConfig::default() }, Pap::paper_default()),
+        Dlvp::new(
+            DlvpConfig {
+                use_lscd: false,
+                ..DlvpConfig::default()
+            },
+            Pap::paper_default(),
+        ),
     );
     let (inserts, suppressions) = scheme.lscd_counters();
     println!("libquantum value-misprediction flushes:");
-    println!("  with LSCD    : {:>6}   (LSCD captured {} loads, suppressed {} predictions)",
-        s_with.vp_flushes, inserts, suppressions);
+    println!(
+        "  with LSCD    : {:>6}   (LSCD captured {} loads, suppressed {} predictions)",
+        s_with.vp_flushes, inserts, suppressions
+    );
     println!("  without LSCD : {:>6}", without.vp_flushes);
     println!(
         "  accuracy     : {:.2}% vs {:.2}%",

@@ -6,7 +6,9 @@ use lvp_uarch::{simulate, Core, CoreConfig, NoVp, OracleLoadVp, RecoveryMode};
 const BUDGET: u64 = 60_000;
 
 fn trace_of(name: &str) -> lvp_trace::Trace {
-    lvp_workloads::by_name(name).expect("workload").trace(BUDGET)
+    lvp_workloads::by_name(name)
+        .expect("workload")
+        .trace(BUDGET)
 }
 
 #[test]
@@ -15,7 +17,12 @@ fn every_workload_simulates_under_every_scheme() {
         let t = w.trace(20_000);
         let base = simulate(&t, NoVp);
         assert!(base.cycles > 0, "{}: zero cycles", w.name);
-        assert!(base.ipc() > 0.01 && base.ipc() <= 8.0, "{}: ipc {}", w.name, base.ipc());
+        assert!(
+            base.ipc() > 0.01 && base.ipc() <= 8.0,
+            "{}: ipc {}",
+            w.name,
+            base.ipc()
+        );
         for (name, stats) in [
             ("dlvp", simulate(&t, dlvp::dlvp_default())),
             ("cap", simulate(&t, dlvp::dlvp_with_cap())),
@@ -30,7 +37,12 @@ fn every_workload_simulates_under_every_scheme() {
                 w.name
             );
             if stats.vp_predicted > 100 {
-                assert!(stats.accuracy() > 0.5, "{}/{name}: accuracy {}", w.name, stats.accuracy());
+                assert!(
+                    stats.accuracy() > 0.5,
+                    "{}/{name}: accuracy {}",
+                    w.name,
+                    stats.accuracy()
+                );
             }
         }
     }
@@ -58,7 +70,10 @@ fn dlvp_beats_vtage_on_interpreter_dispatch() {
         d.speedup_over(&base),
         v.speedup_over(&base)
     );
-    assert!(d.speedup_over(&base) > 1.02, "perlbmk should show a clear win");
+    assert!(
+        d.speedup_over(&base) > 1.02,
+        "perlbmk should show a clear win"
+    );
 }
 
 #[test]
@@ -68,7 +83,12 @@ fn dlvp_favours_address_stable_value_mutating_loads() {
     let t = trace_of("aifirf");
     let d = simulate(&t, dlvp::dlvp_default());
     let v = simulate(&t, dlvp::Vtage::paper_default());
-    assert!(d.coverage() > v.coverage() + 0.1, "dlvp {} vtage {}", d.coverage(), v.coverage());
+    assert!(
+        d.coverage() > v.coverage() + 0.1,
+        "dlvp {} vtage {}",
+        d.coverage(),
+        v.coverage()
+    );
     assert!(d.accuracy() > 0.99);
 }
 
@@ -79,7 +99,12 @@ fn vtage_favours_value_stable_address_varying_loads() {
     let t = trace_of("nat");
     let d = simulate(&t, dlvp::dlvp_default());
     let v = simulate(&t, dlvp::Vtage::paper_default());
-    assert!(v.coverage() > d.coverage() + 0.1, "vtage {} dlvp {}", v.coverage(), d.coverage());
+    assert!(
+        v.coverage() > d.coverage() + 0.1,
+        "vtage {} dlvp {}",
+        v.coverage(),
+        d.coverage()
+    );
 }
 
 #[test]
@@ -88,7 +113,10 @@ fn oracle_replay_is_never_slower_than_flush() {
         let t = trace_of(name);
         let flush = simulate(&t, dlvp::dlvp_with_cap());
         let replay = Core::new(
-            CoreConfig { recovery: RecoveryMode::OracleReplay, ..CoreConfig::default() },
+            CoreConfig {
+                recovery: RecoveryMode::OracleReplay,
+                ..CoreConfig::default()
+            },
             dlvp::dlvp_with_cap(),
         )
         .run(&t);
@@ -123,9 +151,15 @@ fn predictions_never_exceed_loads_for_load_only_schemes() {
         let t = trace_of(name);
         let d = simulate(&t, dlvp::dlvp_default());
         assert!(d.vp_predicted_loads <= d.loads);
-        assert_eq!(d.vp_predicted, d.vp_predicted_loads, "DLVP predicts loads only");
+        assert_eq!(
+            d.vp_predicted, d.vp_predicted_loads,
+            "DLVP predicts loads only"
+        );
         let v = simulate(&t, dlvp::Vtage::paper_default());
-        assert_eq!(v.vp_predicted, v.vp_predicted_loads, "paper-default VTAGE is loads-only");
+        assert_eq!(
+            v.vp_predicted, v.vp_predicted_loads,
+            "paper-default VTAGE is loads-only"
+        );
     }
 }
 

@@ -13,7 +13,10 @@ fn table1_apt_budget_is_8kb_class() {
     assert_eq!(v8.budget_bits_per_entry(), 67);
     assert_eq!(v8.total_budget_bits(), 67 * 1024);
     let v7 = AptLayout::of(
-        PapConfig { addr_width: AddrWidth::A32, ..PapConfig::default() },
+        PapConfig {
+            addr_width: AddrWidth::A32,
+            ..PapConfig::default()
+        },
         4,
     );
     assert_eq!(v7.total_budget_bits(), 50 * 1024);
@@ -25,7 +28,10 @@ fn table1_apt_budget_is_8kb_class() {
 fn table2_design3_trades_reads_for_writes() {
     let [pvt, d1, d2, d3] = PrfComparison::default().rows();
     assert!(pvt.area < d1.area / 5.0);
-    assert!(d2.area > d3.area, "extra PRF ports cost more area than a PVT");
+    assert!(
+        d2.area > d3.area,
+        "extra PRF ports cost more area than a PVT"
+    );
     assert!(d3.read_energy < 1.0, "PVT reads are cheaper than PRF reads");
     assert!(d3.write_energy > 1.0 && d3.write_energy < d2.write_energy);
 }
@@ -57,7 +63,10 @@ fn figure1_committed_conflicts_dominate_across_workloads() {
         committed += p.committed_fraction();
         inflight += p.inflight_fraction();
     }
-    assert!(committed + inflight > 0.0, "the suite must exhibit conflicts");
+    assert!(
+        committed + inflight > 0.0,
+        "the suite must exhibit conflicts"
+    );
     let share = committed / (committed + inflight);
     // The paper reports ~67% committed on real applications; our synthetic
     // kernels have shorter re-use distances, so we assert the committed
@@ -68,7 +77,10 @@ fn figure1_committed_conflicts_dominate_across_workloads() {
 #[test]
 fn figure4_pap_beats_cap_at_equal_confidence() {
     // Coverage AND accuracy, with the same ~8-observation requirement.
-    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(BUDGET)).collect();
+    let traces: Vec<_> = lvp_workloads::all()
+        .iter()
+        .map(|w| w.trace(BUDGET))
+        .collect();
     let mut pap = AddrEval::default();
     let mut cap8 = AddrEval::default();
     for t in &traces {
@@ -90,7 +102,10 @@ fn figure4_pap_beats_cap_at_equal_confidence() {
 
 #[test]
 fn figure4_cap_confidence_sweep_trades_coverage_for_accuracy() {
-    let traces: Vec<_> = lvp_workloads::all().iter().map(|w| w.trace(BUDGET)).collect();
+    let traces: Vec<_> = lvp_workloads::all()
+        .iter()
+        .map(|w| w.trace(BUDGET))
+        .collect();
     let eval = |conf: u32| {
         let mut e = AddrEval::default();
         for t in &traces {
@@ -101,7 +116,10 @@ fn figure4_cap_confidence_sweep_trades_coverage_for_accuracy() {
     let lo = eval(3);
     let hi = eval(64);
     assert!(lo.coverage() > hi.coverage(), "low confidence covers more");
-    assert!(hi.accuracy() >= lo.accuracy(), "high confidence is at least as accurate");
+    assert!(
+        hi.accuracy() >= lo.accuracy(),
+        "high confidence is at least as accurate"
+    );
 }
 
 #[test]

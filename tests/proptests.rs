@@ -1,11 +1,53 @@
 //! Property-based tests over randomly generated programs and access
 //! streams: the emulator, trace analytics, predictors and the timing model
 //! must stay well-behaved for *any* input, not just the curated kernels.
+//!
+//! The harness is a hand-rolled deterministic case generator (the offline
+//! build has no `proptest`): each property runs over `CASES` inputs drawn
+//! from a seeded splitmix64 stream, so failures reproduce exactly and a
+//! failing case is identified by its case index.
 
+use lvp_bench::runner::{run_matrix, ConfigVariant, MatrixSpec};
+use lvp_bench::SchemeKind;
 use lvp_emu::Emulator;
 use lvp_isa::{AluOp, Asm, MemSize, Reg};
 use lvp_uarch::{simulate, NoVp};
-use proptest::prelude::*;
+
+const CASES: usize = 24;
+
+/// Deterministic splitmix64 stream for generating test inputs.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A byte vector with length in `len_range`.
+    fn bytes(&mut self, min: usize, max: usize) -> Vec<u8> {
+        let n = min + self.below((max - min) as u64) as usize;
+        (0..n).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn u64s(&mut self, min_len: usize, max_len: usize, bound: u64) -> Vec<u64> {
+        let n = min_len + self.below((max_len - min_len) as u64) as usize;
+        (0..n).map(|_| self.below(bound)).collect()
+    }
+}
 
 /// A small random straight-line-plus-backedge program. All memory accesses
 /// land in a private page per slot to keep them well-formed.
@@ -42,28 +84,28 @@ fn random_program(ops: &[u8]) -> lvp_isa::Program {
     a.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn emulator_is_deterministic_on_random_programs(
-        ops in prop::collection::vec(any::<u8>(), 4..40)
-    ) {
+#[test]
+fn emulator_is_deterministic_on_random_programs() {
+    let mut g = Gen::new(0xe41);
+    for case in 0..CASES {
+        let ops = g.bytes(4, 40);
         let t1 = Emulator::new(random_program(&ops)).run(4_000).trace;
         let t2 = Emulator::new(random_program(&ops)).run(4_000).trace;
-        prop_assert_eq!(t1.records(), t2.records());
-        prop_assert_eq!(t1.len(), 4_000);
+        assert_eq!(t1.records(), t2.records(), "case {case}");
+        assert_eq!(t1.len(), 4_000, "case {case}");
     }
+}
 
-    #[test]
-    fn timing_model_is_sane_on_random_programs(
-        ops in prop::collection::vec(any::<u8>(), 4..40)
-    ) {
+#[test]
+fn timing_model_is_sane_on_random_programs() {
+    let mut g = Gen::new(0x71a);
+    for case in 0..CASES {
+        let ops = g.bytes(4, 40);
         let t = Emulator::new(random_program(&ops)).run(4_000).trace;
         let base = simulate(&t, NoVp);
         // IPC bounded by machine width; cycles bounded below by width.
-        prop_assert!(base.cycles >= t.len() as u64 / 8);
-        prop_assert!(base.ipc() <= 8.0);
+        assert!(base.cycles >= t.len() as u64 / 8, "case {case}");
+        assert!(base.ipc() <= 8.0, "case {case}");
         // Schemes never change the instruction count and never produce
         // impossible statistics.
         for stats in [
@@ -71,17 +113,19 @@ proptest! {
             simulate(&t, dlvp::Vtage::paper_default()),
             simulate(&t, dlvp::Tournament::new()),
         ] {
-            prop_assert_eq!(stats.instructions, base.instructions);
-            prop_assert!(stats.vp_correct <= stats.vp_predicted);
-            prop_assert!(stats.vp_predicted_loads <= stats.loads);
+            assert_eq!(stats.instructions, base.instructions, "case {case}");
+            assert!(stats.vp_correct <= stats.vp_predicted, "case {case}");
+            assert!(stats.vp_predicted_loads <= stats.loads, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn pap_only_predicts_after_confidence_and_is_self_consistent(
-        addrs in prop::collection::vec(0u64..64, 32..200)
-    ) {
-        use dlvp::AddressPredictor;
+#[test]
+fn pap_only_predicts_after_confidence_and_is_self_consistent() {
+    use dlvp::AddressPredictor;
+    let mut g = Gen::new(0x9a9);
+    for case in 0..CASES {
+        let addrs = g.u64s(32, 200, 64);
         let mut pap = dlvp::Pap::paper_default();
         let pc = 0x4000u64;
         let mut last: Option<u64> = None;
@@ -92,20 +136,26 @@ proptest! {
             let (pred, ctx) = pap.lookup(pc);
             if let Some(p) = pred {
                 // Only ever predicts an address it has been trained with.
-                prop_assert!(addrs.iter().any(|&s| 0x8000 + s * 64 == p.addr));
+                assert!(
+                    addrs.iter().any(|&s| 0x8000 + s * 64 == p.addr),
+                    "case {case}: predicted untrained address {:#x}",
+                    p.addr
+                );
                 // Never predicts without at least some repetition history.
-                prop_assert!(run >= 1 || last.is_none());
+                assert!(run >= 1 || last.is_none(), "case {case}");
             }
             run = if last == Some(addr) { run + 1 } else { 0 };
             last = Some(addr);
             pap.train(ctx, addr, 1, None);
         }
     }
+}
 
-    #[test]
-    fn cache_demand_accesses_always_hit_on_reaccess(
-        addrs in prop::collection::vec(any::<u32>(), 1..200)
-    ) {
+#[test]
+fn cache_demand_accesses_always_hit_on_reaccess() {
+    let mut g = Gen::new(0xcac4e);
+    for case in 0..CASES {
+        let addrs = g.u64s(1, 200, u64::from(u32::MAX) + 1);
         let mut c = lvp_mem::Cache::new(lvp_mem::CacheConfig {
             size_bytes: 4096,
             ways: 4,
@@ -113,65 +163,130 @@ proptest! {
             hit_latency: 1,
         });
         for &a in &addrs {
-            c.access(a as u64);
+            c.access(a);
             // Immediately after a demand access the block must be resident.
-            prop_assert!(c.lookup(a as u64).is_some());
-            prop_assert!(c.access(a as u64).hit);
+            assert!(c.lookup(a).is_some(), "case {case}");
+            assert!(c.access(a).hit, "case {case}");
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.hits + s.misses, s.accesses, "case {case}");
     }
+}
 
-    #[test]
-    fn path_history_restore_always_roundtrips(
-        pcs in prop::collection::vec(any::<u32>(), 1..64)
-    ) {
+#[test]
+fn path_history_restore_always_roundtrips() {
+    let mut g = Gen::new(0x9174);
+    for case in 0..CASES {
+        let pcs = g.u64s(1, 64, u64::from(u32::MAX) + 1);
         let mut h = dlvp::LoadPathHistory::new(16);
         for &pc in &pcs {
-            h.push_load((pc as u64) << 2);
+            h.push_load(pc << 2);
         }
         let snap = h.snapshot();
         for &pc in &pcs {
-            h.push_load(pc as u64);
+            h.push_load(pc);
         }
         h.restore(snap);
-        prop_assert_eq!(h.bits(), snap);
+        assert_eq!(h.bits(), snap, "case {case}");
     }
+}
 
-    #[test]
-    fn instruction_encoding_roundtrips(
-        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i64>()), 1..64)
-    ) {
-        use lvp_isa::{AluOp, Cond, Instruction, MemSize, Reg, RegList};
-        let alu_ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Orr, AluOp::Eor,
-                       AluOp::Lsl, AluOp::Lsr, AluOp::Asr, AluOp::Mul, AluOp::Div,
-                       AluOp::Rem, AluOp::FAdd, AluOp::FSub, AluOp::FMul, AluOp::FDiv];
-        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
-        let sizes = [MemSize::B, MemSize::H, MemSize::W, MemSize::X];
+#[test]
+fn instruction_encoding_roundtrips() {
+    use lvp_isa::{AluOp, Cond, Instruction, MemSize, Reg, RegList};
+    let alu_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Orr,
+        AluOp::Eor,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::FAdd,
+        AluOp::FSub,
+        AluOp::FMul,
+        AluOp::FDiv,
+    ];
+    let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+    let sizes = [MemSize::B, MemSize::H, MemSize::W, MemSize::X];
+    let mut g = Gen::new(0xe2c);
+    for case in 0..CASES {
+        let n = 1 + g.below(63) as usize;
         let mut words = Vec::new();
         let mut insts = Vec::new();
-        for (a, b, c, imm) in ops {
+        for _ in 0..n {
+            let (a, b, c) = (g.next_u64() as u8, g.next_u64() as u8, g.next_u64() as u8);
+            let imm = g.next_u64() as i64;
             let r1 = Reg::x(a % 31);
             let r2 = Reg::x(b % 31);
             let r3 = Reg::x(c % 31);
             let inst = match a % 14 {
-                0 => Instruction::Alu { op: alu_ops[b as usize % 15], rd: r1, rn: r2, rm: r3 },
-                1 => Instruction::AluImm { op: alu_ops[c as usize % 15], rd: r1, rn: r2, imm },
-                2 => Instruction::MovImm { rd: r1, imm: imm as u64 },
-                3 => Instruction::Ldr { rd: r1, rn: r2, offset: imm, size: sizes[c as usize % 4] },
-                4 => Instruction::Str { rt: r1, rn: r2, offset: imm, size: sizes[c as usize % 4] },
-                5 => Instruction::Ldp { rd1: r1, rd2: r2, rn: r3, offset: imm },
+                0 => Instruction::Alu {
+                    op: alu_ops[b as usize % 15],
+                    rd: r1,
+                    rn: r2,
+                    rm: r3,
+                },
+                1 => Instruction::AluImm {
+                    op: alu_ops[c as usize % 15],
+                    rd: r1,
+                    rn: r2,
+                    imm,
+                },
+                2 => Instruction::MovImm {
+                    rd: r1,
+                    imm: imm as u64,
+                },
+                3 => Instruction::Ldr {
+                    rd: r1,
+                    rn: r2,
+                    offset: imm,
+                    size: sizes[c as usize % 4],
+                },
+                4 => Instruction::Str {
+                    rt: r1,
+                    rn: r2,
+                    offset: imm,
+                    size: sizes[c as usize % 4],
+                },
+                5 => Instruction::Ldp {
+                    rd1: r1,
+                    rd2: r2,
+                    rn: r3,
+                    offset: imm,
+                },
                 6 => Instruction::Ldm {
                     list: RegList::of(&[Reg::x(1 + a % 15), Reg::x(16 + b % 15)]),
                     rn: r3,
                 },
-                7 => Instruction::Bc { cond: conds[b as usize % 6], rn: r2, rm: r3, target: imm as u64 },
-                8 => Instruction::Cbz { rn: r2, target: imm as u64 },
+                7 => Instruction::Bc {
+                    cond: conds[b as usize % 6],
+                    rn: r2,
+                    rm: r3,
+                    target: imm as u64,
+                },
+                8 => Instruction::Cbz {
+                    rn: r2,
+                    target: imm as u64,
+                },
                 9 => Instruction::Bl { target: imm as u64 },
                 10 => Instruction::Ldar { rd: r1, rn: r2 },
                 11 => Instruction::Stlr { rt: r1, rn: r2 },
-                12 => Instruction::Vld { vd: Reg::x((a % 14) * 2), rn: r2, offset: imm },
-                _ => Instruction::LdrIdx { rd: r1, rn: r2, rm: r3, size: sizes[c as usize % 4] },
+                12 => Instruction::Vld {
+                    vd: Reg::x((a % 14) * 2),
+                    rn: r2,
+                    offset: imm,
+                },
+                _ => Instruction::LdrIdx {
+                    rd: r1,
+                    rn: r2,
+                    rm: r3,
+                    size: sizes[c as usize % 4],
+                },
             };
             insts.push(inst);
             lvp_isa::encode(inst, &mut words);
@@ -180,30 +295,77 @@ proptest! {
         let mut cursor = 0usize;
         for expected in &insts {
             let (got, used) = lvp_isa::decode(&words[cursor..]).expect("decode");
-            prop_assert_eq!(got, *expected);
+            assert_eq!(got, *expected, "case {case}");
             cursor += used;
         }
-        prop_assert_eq!(cursor, words.len());
+        assert_eq!(cursor, words.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn trace_serialization_roundtrips(
-        ops in prop::collection::vec(any::<u8>(), 4..40)
-    ) {
+#[test]
+fn trace_serialization_roundtrips() {
+    let mut g = Gen::new(0x7ace);
+    for case in 0..CASES {
+        let ops = g.bytes(4, 40);
         let t = Emulator::new(random_program(&ops)).run(2_000).trace;
         let mut buf = Vec::new();
         lvp_trace::write_trace(&t, &mut buf).expect("write");
         let back = lvp_trace::read_trace(buf.as_slice()).expect("read");
-        prop_assert_eq!(back.records(), t.records());
+        assert_eq!(back.records(), t.records(), "case {case}");
     }
+}
 
-    #[test]
-    fn fpc_value_stays_bounded(ups in prop::collection::vec(any::<bool>(), 0..300)) {
+#[test]
+fn fpc_value_stays_bounded() {
+    let mut g = Gen::new(0xf9c);
+    for case in 0..CASES {
         let mut f = dlvp::Fpc::paper_apt(42);
-        for up in ups {
-            if up { f.up(); } else { f.down(); }
-            prop_assert!(f.value() <= 3);
-            prop_assert_eq!(f.is_confident(), f.value() == 3);
+        let n = g.below(300);
+        for _ in 0..n {
+            if g.below(2) == 0 {
+                f.up();
+            } else {
+                f.down();
+            }
+            assert!(f.value() <= 3, "case {case}");
+            assert_eq!(f.is_confident(), f.value() == 3, "case {case}");
         }
+    }
+}
+
+/// The runner's core determinism property: the same matrix run twice —
+/// and with 1 vs. 4 worker threads — yields identical `SchemeOutcome`
+/// stats and byte-identical serialized results.
+#[test]
+fn matrix_runner_is_schedule_invariant() {
+    let spec = MatrixSpec {
+        workloads: vec![
+            "aifirf".to_string(),
+            "nat".to_string(),
+            "perlbmk".to_string(),
+        ],
+        schemes: vec![SchemeKind::Baseline, SchemeKind::Dlvp, SchemeKind::Vtage],
+        variants: vec![ConfigVariant::Default, ConfigVariant::OracleReplay],
+        budget: 8_000,
+    };
+    let one_a = run_matrix(&spec, 1);
+    let one_b = run_matrix(&spec, 1);
+    assert_eq!(
+        one_a, one_b,
+        "same spec, same worker count must be identical"
+    );
+
+    let four = run_matrix(&spec, 4);
+    assert_eq!(one_a, four, "1-thread and 4-thread runs must be identical");
+    assert_eq!(
+        one_a.to_json().pretty(),
+        four.to_json().pretty(),
+        "serialized bytes must not depend on the thread schedule"
+    );
+    // Every job really ran: canonical order and per-job outcomes present.
+    assert_eq!(one_a.jobs.len(), 3 * 3 * 2);
+    for (i, job) in one_a.jobs.iter().enumerate() {
+        assert!(job.outcome.stats.cycles > 0, "job {i} has zero cycles");
+        assert_eq!(job.seed, job.spec.seed());
     }
 }

@@ -2,7 +2,7 @@
 //! reproduction, plus tests encoding the small-suite effects documented in
 //! DESIGN.md §5.
 
-use dlvp::{evaluate_standalone, AddressPredictor, Cap, Dlvp, DlvpConfig, Pap, PapConfig};
+use dlvp::{evaluate_standalone, AllocPolicy, Cap, Dlvp, DlvpConfig, Pap, PapConfig};
 use lvp_branch::GlobalHistory;
 use lvp_emu::Emulator;
 use lvp_isa::{Asm, MemSize, Reg};
@@ -35,7 +35,10 @@ fn vtage_stale_confident_provider_is_corrected() {
         v.train_first_chunk(0x4000, &h, 9);
     }
     // With provider training, the stale prediction dies quickly.
-    assert!(still_wrong < 10, "stale provider must be corrected, got {still_wrong} repeats");
+    assert!(
+        still_wrong < 10,
+        "stale provider must be corrected, got {still_wrong} repeats"
+    );
     // And the new value eventually becomes predictable.
     let mut learned = false;
     for _ in 0..400 {
@@ -75,7 +78,11 @@ fn cap_link_table_pressure_degrades_coverage() {
     };
     let small = evaluate_standalone(&cyclic(64), &mut Cap::with_confidence(8));
     let large = evaluate_standalone(&cyclic(8192), &mut Cap::with_confidence(8));
-    assert!(small.coverage() > 0.5, "small cyclic sets are CAP's home turf: {}", small.coverage());
+    assert!(
+        small.coverage() > 0.5,
+        "small cyclic sets are CAP's home turf: {}",
+        small.coverage()
+    );
     assert!(
         large.coverage() < small.coverage() / 2.0,
         "8k-address cycles must overwhelm the 1k link table: {} vs {}",
@@ -102,7 +109,10 @@ fn saturated_ls_lanes_leave_no_probe_bubbles() {
     let core = Core::new(CoreConfig::default(), dlvp::dlvp_default());
     let (stats, scheme) = core.run_with_scheme(&t);
     let paq = scheme.paq_stats();
-    assert!(paq.allocated > 5_000, "the APT itself predicts fine: {paq:?}");
+    assert!(
+        paq.allocated > 5_000,
+        "the APT itself predicts fine: {paq:?}"
+    );
     assert!(
         paq.dropped * 10 > paq.allocated * 9,
         "with 2 LS lanes fully busy, probes must starve: {paq:?}"
@@ -120,7 +130,7 @@ fn dlvp_predicts_at_most_two_loads_per_group() {
     a.mov(Reg::X0, 0x8000);
     // Align the loop head to a 16-byte fetch-group boundary so all four
     // loads land in ONE group.
-    while a.pc() % 16 != 0 {
+    while !a.pc().is_multiple_of(16) {
         a.nop();
     }
     let top = a.here();
@@ -141,7 +151,11 @@ fn dlvp_predicts_at_most_two_loads_per_group() {
         "coverage {} exceeds the 2-per-group port limit",
         stats.coverage()
     );
-    assert!(stats.coverage() > 0.2, "the group's first two loads should be covered: {}", stats.coverage());
+    assert!(
+        stats.coverage() > 0.2,
+        "the group's first two loads should be covered: {}",
+        stats.coverage()
+    );
     let _ = scheme;
 }
 
@@ -150,7 +164,10 @@ fn dlvp_predicts_at_most_two_loads_per_group() {
 fn paq_overflow_is_counted_not_fatal() {
     let t = lvp_workloads::by_name("aifirf").unwrap().trace(30_000);
     let tiny = Dlvp::new(
-        DlvpConfig { paq_entries: 1, ..DlvpConfig::default() },
+        DlvpConfig {
+            paq_entries: 1,
+            ..DlvpConfig::default()
+        },
         Pap::paper_default(),
     );
     let core = Core::new(CoreConfig::default(), tiny);
@@ -171,7 +188,12 @@ fn path_history_width_gates_context_coverage() {
         let mk = |pc: u64, addr: u64| lvp_trace::TraceRecord {
             seq: 0,
             pc,
-            inst: lvp_isa::Instruction::Ldr { rd: Reg::X1, rn: Reg::X0, offset: 0, size: MemSize::X },
+            inst: lvp_isa::Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X0,
+                offset: 0,
+                size: MemSize::X,
+            },
             next_pc: pc + 4,
             eff_addr: addr,
             value: 0,
@@ -179,14 +201,20 @@ fn path_history_width_gates_context_coverage() {
         };
         for i in 0..4000u64 {
             let phase = i % 2;
-            t.push(mk(if phase == 0 { 0x1004 } else { 0x1008 }, 0x7000 + phase * 64));
+            t.push(mk(
+                if phase == 0 { 0x1004 } else { 0x1008 },
+                0x7000 + phase * 64,
+            ));
             t.push(mk(0x2000, 0x9000 + phase * 128));
         }
         t
     };
     let narrow = evaluate_standalone(
         &build(),
-        &mut Pap::new(PapConfig { history_bits: 1, ..PapConfig::default() }),
+        &mut Pap::new(PapConfig {
+            history_bits: 1,
+            ..PapConfig::default()
+        }),
     );
     let wide = evaluate_standalone(&build(), &mut Pap::paper_default());
     assert!(
@@ -195,7 +223,11 @@ fn path_history_width_gates_context_coverage() {
         wide.accuracy(),
         narrow.accuracy()
     );
-    assert!(wide.coverage() > 0.8, "16-bit history separates the contexts: {}", wide.coverage());
+    assert!(
+        wide.coverage() > 0.8,
+        "16-bit history separates the contexts: {}",
+        wide.coverage()
+    );
 }
 
 /// The hierarchy's L3 actually serves blocks evicted from L2.
@@ -213,6 +245,109 @@ fn l3_serves_l2_victims() {
         matches!(again.served_by, ServedBy::L3 | ServedBy::L2),
         "victim must still be on chip: {:?}",
         again.served_by
+    );
+}
+
+/// APT Allocation Policy-2 (paper §3.1.1): on a tag miss, a new entry is
+/// allocated only when the probed entry's confidence is zero; otherwise the
+/// confidence is decremented and the resident entry survives.
+#[test]
+fn pap_policy2_alias_misses_decrement_then_allocate() {
+    use dlvp::AddressPredictor;
+    // A 1-entry APT with constant history: 0x4000 and 0x4040 share the slot
+    // but carry different tags (both PCs have bit 2 clear, so the path
+    // history register stays at zero and the contexts are stable).
+    let cfg = PapConfig {
+        entries: 1,
+        history_bits: 1,
+        ..PapConfig::default()
+    };
+    let (pc_a, pc_b) = (0x4000u64, 0x4040u64);
+
+    // (a) A single alias touch decrements A's confidence but does NOT evict.
+    let mut p = Pap::new(cfg);
+    let (_, ctx) = p.lookup(pc_a);
+    p.train(ctx, 0x8000, 1, None); // allocate (empty slot), confidence 0
+    let (_, ctx) = p.lookup(pc_a);
+    p.train(ctx, 0x8000, 1, None); // hit: 0→1 transition fires with p=1
+    let (pred_b, ctx_b) = p.lookup(pc_b);
+    assert!(pred_b.is_none());
+    p.train(ctx_b, 0x9000, 1, None); // miss, confidence 1 ≠ 0 → decrement only
+    let mut survived = None;
+    for _ in 0..64 {
+        let (pred, ctx) = p.lookup(pc_a);
+        if let Some(pr) = pred {
+            survived = Some(pr.addr);
+            break;
+        }
+        p.train(ctx, 0x8000, 1, None);
+    }
+    assert_eq!(
+        survived,
+        Some(0x8000),
+        "the alias must not have stolen A's entry"
+    );
+
+    // (b) Once the probed entry's confidence IS zero, the alias allocates.
+    let mut q = Pap::new(cfg);
+    let (_, ctx) = q.lookup(pc_a);
+    q.train(ctx, 0x8000, 1, None); // A allocated at confidence 0
+    let (_, ctx_b) = q.lookup(pc_b);
+    q.train(ctx_b, 0x9000, 1, None); // zero confidence → B replaces A
+    let mut owner = None;
+    for _ in 0..64 {
+        let (pred, ctx) = q.lookup(pc_b);
+        if let Some(pr) = pred {
+            owner = Some(pr.addr);
+            break;
+        }
+        q.train(ctx, 0x9000, 1, None);
+    }
+    assert_eq!(
+        owner,
+        Some(0x9000),
+        "B must own the entry after replacing at zero"
+    );
+
+    // (c) End to end, Policy-2 beats always-allocate under aliasing: a
+    // dominant stable load interleaved 7:1 with an aliasing one.
+    let mk_trace = || {
+        let mut t = lvp_trace::Trace::new();
+        let mk = |pc: u64, addr: u64| lvp_trace::TraceRecord {
+            seq: 0,
+            pc,
+            inst: lvp_isa::Instruction::Ldr {
+                rd: Reg::X1,
+                rn: Reg::X0,
+                offset: 0,
+                size: MemSize::X,
+            },
+            next_pc: pc + 4,
+            eff_addr: addr,
+            value: 0,
+            extra_values: None,
+        };
+        for _ in 0..400 {
+            for _ in 0..7 {
+                t.push(mk(pc_a, 0x8000));
+            }
+            t.push(mk(pc_b, 0x9000));
+        }
+        t
+    };
+    let p2 = evaluate_standalone(&mk_trace(), &mut Pap::new(cfg));
+    let p1 = evaluate_standalone(
+        &mk_trace(),
+        &mut Pap::new(PapConfig {
+            alloc_policy: AllocPolicy::Always,
+            ..cfg
+        }),
+    );
+    assert!(
+        p2.coverage() > p1.coverage() + 0.2,
+        "Policy-2 must protect the dominant entry: p2 {} vs p1 {}",
+        p2.coverage(),
+        p1.coverage()
     );
 }
 
