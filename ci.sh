@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, tests, formatting, lints, and a smoke run of
-# the batch experiment runner (2 workloads x 2 schemes, checked against the
+# Tier-1 verification: build, tests, formatting, lints, a smoke run of the
+# batch experiment runner (2 workloads x 2 schemes, checked against the
 # committed golden spec's determinism guarantee: two runs must be
-# byte-identical).
+# byte-identical), and the static-analysis cross-validation gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,6 +18,13 @@ cargo fmt --all -- --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy (library crates: no unwrap/panic outside tests) =="
+cargo clippy -q -p dlvp -p lvp-uarch -p lvp-mem -p lvp-emu -p lvp-json \
+  -p lvp-analysis --lib -- -D warnings -D clippy::unwrap_used
+
+echo "== docs (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "== runner smoke (2x2 matrix) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -27,5 +34,12 @@ trap 'rm -rf "$tmp"' EXIT
   --budget 10000 --jobs 4 --out "$tmp/b.json"
 cmp "$tmp/a.json" "$tmp/b.json"
 echo "runner output is schedule-invariant"
+
+echo "== analyze cross-validation gate =="
+# The gate itself (exit 1 on any static-vs-dynamic contradiction) plus the
+# byte-determinism of the committed report artifact.
+./target/release/analyze --budget 60000 --out "$tmp/analysis.json"
+cmp "$tmp/analysis.json" results/analysis/report.json
+echo "analyze report matches the committed artifact byte-for-byte"
 
 echo "CI OK"

@@ -1,0 +1,127 @@
+//! May-alias regions for memory instructions, aligned to the simulator's
+//! conflict granularity.
+//!
+//! `lvp_uarch` detects load/store conflicts at 8-byte *granule* granularity
+//! (`granules(addr, bytes)` in `crates/uarch/src/core.rs`), so the static
+//! side works in the same units: a region is a set of granule numbers
+//! (`addr >> 3`). A load is statically **conflict-free** when no store in
+//! the program has a region overlapping the load's region; because every
+//! region over-approximates the addresses the instruction can touch (it is
+//! derived from the sound [`crate::dataflow::AbsVal`] for the address), a
+//! conflict-free load can never be squashed by a store conflict in the
+//! simulator — the cross-validation gate's rule R1.
+
+use crate::dataflow::AbsVal;
+
+/// Log2 of the conflict granule size used by the simulator.
+pub const GRANULE_SHIFT: u32 = 3;
+
+/// Over-approximate set of 8-byte granules a memory instruction can touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Touches nothing (statically unreachable instruction).
+    Empty,
+    /// Every touched granule lies in `lo..=hi` (granule numbers).
+    Granules {
+        /// Lowest possibly-touched granule.
+        lo: u64,
+        /// Highest possibly-touched granule.
+        hi: u64,
+    },
+    /// Could touch any granule.
+    Unknown,
+}
+
+impl Region {
+    /// Region of an access at abstract address `addr` spanning `bytes`.
+    pub fn from_abs(addr: AbsVal, bytes: u64) -> Region {
+        let bytes = bytes.max(1);
+        match addr {
+            AbsVal::Top => Region::Unknown,
+            AbsVal::Const(_) | AbsVal::Range { .. } => {
+                let (lo, hi) = addr.bounds();
+                match hi.checked_add(bytes - 1) {
+                    Some(last) => Region::Granules {
+                        lo: lo >> GRANULE_SHIFT,
+                        hi: last >> GRANULE_SHIFT,
+                    },
+                    None => Region::Unknown,
+                }
+            }
+        }
+    }
+
+    /// Whether the two regions can share a granule.
+    pub fn overlaps(self, other: Region) -> bool {
+        use Region::*;
+        match (self, other) {
+            (Empty, _) | (_, Empty) => false,
+            (Unknown, _) | (_, Unknown) => true,
+            (Granules { lo: a, hi: b }, Granules { lo: c, hi: d }) => a <= d && c <= b,
+        }
+    }
+
+    /// Whether a concrete access at `addr` spanning `bytes` is contained in
+    /// this region (used by the soundness oracle in tests).
+    pub fn contains(self, addr: u64, bytes: u64) -> bool {
+        let bytes = bytes.max(1);
+        match self {
+            Region::Empty => false,
+            Region::Unknown => true,
+            Region::Granules { lo, hi } => {
+                let first = addr >> GRANULE_SHIFT;
+                let last = (addr + (bytes - 1)) >> GRANULE_SHIFT;
+                lo <= first && last <= hi
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_region_covers_spanning_access() {
+        // An 8-byte access at 0x100c straddles granules 0x201 and 0x202.
+        let r = Region::from_abs(AbsVal::Const(0x100c), 8);
+        assert_eq!(
+            r,
+            Region::Granules {
+                lo: 0x201,
+                hi: 0x202
+            }
+        );
+        assert!(r.contains(0x100c, 8));
+        assert!(!r.contains(0x1018, 8));
+    }
+
+    #[test]
+    fn range_region_and_overlap() {
+        let a = Region::from_abs(
+            AbsVal::Range {
+                lo: 0x1000,
+                hi: 0x1ff8,
+            },
+            8,
+        );
+        let b = Region::from_abs(AbsVal::Const(0x1ff8), 8);
+        let c = Region::from_abs(AbsVal::Const(0x2000), 8);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(a.overlaps(Region::Unknown));
+        assert!(!Region::Empty.overlaps(Region::Unknown));
+    }
+
+    #[test]
+    fn overflow_addresses_degrade_to_unknown() {
+        let r = Region::from_abs(
+            AbsVal::Range {
+                lo: 0,
+                hi: u64::MAX,
+            },
+            8,
+        );
+        assert_eq!(r, Region::Unknown);
+    }
+}

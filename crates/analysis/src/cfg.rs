@@ -1,0 +1,258 @@
+//! Control-flow graph construction over a linked [`Program`].
+//!
+//! Two views are provided. [`Cfg`] partitions the text into basic blocks
+//! with static successor edges — the shape reports and def-use chains are
+//! phrased in. The dataflow fixpoint itself runs at instruction granularity
+//! (see [`crate::dataflow`]) because indirect branches (`BR`/`BLR`/`RET`)
+//! can in principle target *any* instruction: rather than splitting every
+//! instruction into its own block, the dataflow joins indirect-exit states
+//! into a global pool that feeds every instruction, which keeps the block
+//! view readable while staying sound.
+
+use lvp_isa::{BranchKind, Instruction, Program, INST_BYTES};
+
+/// Static successors of one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exit {
+    /// Falls through to the next instruction (or off the end of the text).
+    Fall,
+    /// Unconditional transfer to a known target index (`B`, `BL`).
+    Jump(usize),
+    /// Two-way transfer: taken target index + fallthrough.
+    Branch(usize),
+    /// Indirect transfer (`BR`, `BLR`, `RET`): the target register is only
+    /// known to the dataflow, which may resolve it to a constant.
+    Indirect,
+    /// No successors (`HALT`, or a direct branch out of the text).
+    Stop,
+}
+
+/// A maximal straight-line instruction run `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids for the statically known edges. Indirect exits
+    /// contribute no edges here; [`BasicBlock::indirect_exit`] marks them.
+    pub succs: Vec<usize>,
+    /// Whether the block ends in an indirect transfer.
+    pub indirect_exit: bool,
+}
+
+/// Basic blocks over a program's text, in address order.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    base: u64,
+    n_insts: usize,
+    blocks: Vec<BasicBlock>,
+    /// Block id containing each instruction.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the block graph.
+    pub fn build(program: &Program) -> Cfg {
+        let insts: Vec<Instruction> = program.iter().map(|(_, i)| i).collect();
+        let base = program.base();
+        let n = insts.len();
+        let index_of = |pc: u64| -> Option<usize> {
+            if pc < base || !pc.is_multiple_of(INST_BYTES) {
+                return None;
+            }
+            let idx = ((pc - base) / INST_BYTES) as usize;
+            (idx < n).then_some(idx)
+        };
+
+        let mut leader = vec![false; n.max(1)];
+        if n > 0 {
+            leader[0] = true;
+        }
+        let mut any_indirect = false;
+        for (i, inst) in insts.iter().enumerate() {
+            let Some(kind) = inst.branch_kind() else {
+                if matches!(inst, Instruction::Halt) && i + 1 < n {
+                    leader[i + 1] = true;
+                }
+                continue;
+            };
+            if i + 1 < n {
+                leader[i + 1] = true;
+            }
+            if let Some(t) = inst.direct_target().and_then(index_of) {
+                leader[t] = true;
+            }
+            if matches!(
+                kind,
+                BranchKind::Indirect | BranchKind::IndirectCall | BranchKind::Return
+            ) {
+                any_indirect = true;
+            }
+        }
+        // Soundness for indirect transfers: any instruction a materialized
+        // code address could name becomes a join point. The dataflow handles
+        // that with its pool; for the *block view* it is enough to split at
+        // call-return sites (the targets `RET` actually takes).
+        if any_indirect {
+            for (i, inst) in insts.iter().enumerate() {
+                if matches!(inst.branch_kind(), Some(BranchKind::Call)) && i + 1 < n {
+                    leader[i + 1] = true;
+                }
+            }
+        }
+
+        let mut starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        starts.push(n);
+        let mut block_of = vec![0usize; n];
+        let mut blocks = Vec::with_capacity(starts.len().saturating_sub(1));
+        for w in starts.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            let id = blocks.len();
+            for slot in block_of.iter_mut().take(end).skip(start) {
+                *slot = id;
+            }
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                indirect_exit: false,
+            });
+        }
+        // Wire static edges from each block's terminator.
+        for block in &mut blocks {
+            let last = block.end - 1;
+            let exit = exit_of(insts[last], index_of, last, n);
+            let (succ_insts, indirect): (Vec<usize>, bool) = match exit {
+                Exit::Fall => (vec![last + 1], false),
+                Exit::Jump(t) => (vec![t], false),
+                Exit::Branch(t) => {
+                    let mut v = vec![t];
+                    if last + 1 < n {
+                        v.push(last + 1);
+                    }
+                    (v, false)
+                }
+                Exit::Indirect => (Vec::new(), true),
+                Exit::Stop => (Vec::new(), false),
+            };
+            let mut succs: Vec<usize> = succ_insts.into_iter().map(|i| block_of[i]).collect();
+            succs.sort_unstable();
+            succs.dedup();
+            block.succs = succs;
+            block.indirect_exit = indirect;
+        }
+        Cfg {
+            base,
+            n_insts: n,
+            blocks,
+            block_of,
+        }
+    }
+
+    /// The blocks, in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Block id holding instruction `idx`.
+    pub fn block_of(&self, idx: usize) -> usize {
+        self.block_of[idx]
+    }
+
+    /// Number of instructions in the text.
+    pub fn len(&self) -> usize {
+        self.n_insts
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.n_insts == 0
+    }
+
+    /// The byte address of instruction `idx`.
+    pub fn pc_of(&self, idx: usize) -> u64 {
+        self.base + idx as u64 * INST_BYTES
+    }
+}
+
+/// Classifies the control-flow exit of instruction `idx`.
+pub fn exit_of(
+    inst: Instruction,
+    index_of: impl Fn(u64) -> Option<usize>,
+    idx: usize,
+    n: usize,
+) -> Exit {
+    match inst.branch_kind() {
+        None => {
+            if matches!(inst, Instruction::Halt) || idx + 1 >= n {
+                Exit::Stop
+            } else {
+                Exit::Fall
+            }
+        }
+        Some(BranchKind::Direct | BranchKind::Call) => inst
+            .direct_target()
+            .and_then(&index_of)
+            .map_or(Exit::Stop, Exit::Jump),
+        Some(BranchKind::Conditional) => match inst.direct_target().and_then(&index_of) {
+            Some(t) => Exit::Branch(t),
+            None if idx + 1 < n => Exit::Fall,
+            None => Exit::Stop,
+        },
+        Some(BranchKind::Indirect | BranchKind::IndirectCall | BranchKind::Return) => {
+            Exit::Indirect
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{Asm, MemSize, Reg};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 1);
+        a.addi(Reg::X0, Reg::X0, 1);
+        a.halt();
+        let cfg = Cfg::build(&a.build());
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].start, 0);
+        assert_eq!(cfg.blocks()[0].end, 3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_with_branch_splits_blocks() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000); // block 0
+        let top = a.here();
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X); // block 1
+        a.cbnz(Reg::X1, top);
+        a.halt(); // block 2
+        let cfg = Cfg::build(&a.build());
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[0].succs, vec![1]);
+        assert_eq!(cfg.blocks()[1].succs, vec![1, 2]);
+        assert!(cfg.blocks()[2].succs.is_empty());
+        assert_eq!(cfg.block_of(2), 1);
+        assert_eq!(cfg.pc_of(1), 0x1004);
+    }
+
+    #[test]
+    fn indirect_exit_is_flagged_and_return_sites_split() {
+        let mut a = Asm::new(0x1000);
+        let f = a.new_label();
+        a.bl(f); // block 0
+        a.addi(Reg::X1, Reg::X1, 1); // block 1 (return site)
+        a.halt();
+        a.place(f);
+        a.ret(); // block 2
+        let cfg = Cfg::build(&a.build());
+        assert_eq!(cfg.blocks().len(), 3);
+        assert!(cfg.blocks()[2].indirect_exit);
+        assert!(cfg.blocks()[2].succs.is_empty());
+    }
+}

@@ -1,0 +1,911 @@
+//! Register dataflow over a program: a constant/interval abstract
+//! interpretation plus reaching-definition chains, both at instruction
+//! granularity.
+//!
+//! Soundness contract (what [`crate::xval`] relies on): the emulator starts
+//! every register at zero, so the entry state is `Const(0)` for all
+//! registers; every transfer function over-approximates
+//! [`lvp_isa::AluOp::apply`]; and indirect control transfers whose target
+//! the analysis cannot resolve to a constant join their out-state into a
+//! *pool* that flows into every instruction (any instruction is a potential
+//! indirect target). A register value the analysis calls `Const(c)` is
+//! therefore `c` on every dynamic execution of that instruction.
+
+use crate::cfg::{exit_of, Exit};
+use lvp_isa::{AluOp, BranchKind, Instruction, Program, Reg, INST_BYTES};
+use std::collections::HashMap;
+
+/// Abstract 64-bit register value: a constant, an unsigned interval
+/// (inclusive bounds), or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Exactly this value on every execution.
+    Const(u64),
+    /// Any unsigned value in `lo..=hi`.
+    Range { lo: u64, hi: u64 },
+    /// Unknown.
+    Top,
+}
+
+impl AbsVal {
+    /// Least upper bound of two abstract values.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Top, _) | (_, Top) => Top,
+            (Const(a), Const(b)) if a == b => Const(a),
+            (a, b) => {
+                let (alo, ahi) = a.bounds();
+                let (blo, bhi) = b.bounds();
+                Range {
+                    lo: alo.min(blo),
+                    hi: ahi.max(bhi),
+                }
+            }
+        }
+    }
+
+    /// `(lo, hi)` unsigned bounds; `(0, u64::MAX)` for [`AbsVal::Top`].
+    pub fn bounds(self) -> (u64, u64) {
+        match self {
+            AbsVal::Const(c) => (c, c),
+            AbsVal::Range { lo, hi } => (lo, hi),
+            AbsVal::Top => (0, u64::MAX),
+        }
+    }
+
+    /// The constant, when exactly known.
+    pub fn as_const(self) -> Option<u64> {
+        match self {
+            AbsVal::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Sound abstraction of [`AluOp::apply`] on abstract operands.
+pub fn eval_alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::*;
+    if let (Const(x), Const(y)) = (a, b) {
+        return Const(op.apply(x, y));
+    }
+    match op {
+        AluOp::Add => match (a, b) {
+            (Range { lo, hi }, Const(c)) | (Const(c), Range { lo, hi }) => {
+                match (lo.checked_add(c), hi.checked_add(c)) {
+                    (Some(lo), Some(hi)) => Range { lo, hi },
+                    _ => Top,
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Sub => match (a, b) {
+            (Range { lo, hi }, Const(c)) => match (lo.checked_sub(c), hi.checked_sub(c)) {
+                (Some(lo), Some(hi)) => Range { lo, hi },
+                _ => Top,
+            },
+            _ => Top,
+        },
+        // `x & m <= m` unsigned, whatever `x` is — this recovers precision
+        // even from Top (the masked-induction-variable pattern).
+        AluOp::And => match (a, b) {
+            (_, Const(m)) | (Const(m), _) => Range { lo: 0, hi: m },
+            _ => Top,
+        },
+        AluOp::Orr => match (a, b) {
+            (Range { lo, hi }, Const(c)) | (Const(c), Range { lo, hi }) => {
+                // `x | c` is in `[max(x_lo, c), x_hi + c]` (since
+                // `x | c = x + c - (x & c) <= x + c`).
+                match hi.checked_add(c) {
+                    Some(hi) => Range { lo: lo.max(c), hi },
+                    None => Top,
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Lsl => match (a, b) {
+            (Range { lo, hi }, Const(k)) => {
+                let k = (k & 63) as u32;
+                if hi.leading_zeros() >= k {
+                    Range {
+                        lo: lo << k,
+                        hi: hi << k,
+                    }
+                } else {
+                    Top
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Lsr => match (a, b) {
+            (Range { lo, hi }, Const(k)) => {
+                let k = (k & 63) as u32;
+                Range {
+                    lo: lo >> k,
+                    hi: hi >> k,
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Mul => match (a, b) {
+            (Range { lo, hi }, Const(c)) | (Const(c), Range { lo, hi }) => {
+                match (lo.checked_mul(c), hi.checked_mul(c)) {
+                    (Some(lo), Some(hi)) => Range { lo, hi },
+                    _ => Top,
+                }
+            }
+            _ => Top,
+        },
+        _ => Top,
+    }
+}
+
+/// One abstract machine state: a value per architectural register. The zero
+/// register is pinned to `Const(0)` by the accessors, not stored.
+pub type State = [AbsVal; Reg::COUNT];
+
+fn get(state: &State, r: Reg) -> AbsVal {
+    if r.is_zero() {
+        AbsVal::Const(0)
+    } else {
+        state[r.index()]
+    }
+}
+
+fn set(state: &mut State, r: Reg, v: AbsVal) {
+    if !r.is_zero() {
+        state[r.index()] = v;
+    }
+}
+
+/// Static classification of a load's address behaviour (the paper's
+/// taxonomy of address predictability, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadClass {
+    /// The effective address is the same constant on every execution.
+    Constant {
+        /// The (statically computed) effective address.
+        addr: u64,
+    },
+    /// The address advances by register self-updates (induction variable),
+    /// possibly masked for wrap-around.
+    Strided,
+    /// The address takes one of finitely many constants depending on the
+    /// control-flow path reaching the load.
+    PathDependent,
+    /// None of the above could be established.
+    Unanalyzable,
+}
+
+impl LoadClass {
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadClass::Constant { .. } => "constant",
+            LoadClass::Strided => "strided",
+            LoadClass::PathDependent => "path_dependent",
+            LoadClass::Unanalyzable => "unanalyzable",
+        }
+    }
+}
+
+/// Per-register reaching-definition set: instruction indices, sorted, with
+/// [`ENTRY_DEF`] standing for the implicit all-zero entry state.
+pub const ENTRY_DEF: u32 = u32::MAX;
+type DefSet = Vec<u32>;
+type DefState = Vec<DefSet>;
+
+fn def_join(dst: &mut DefState, src: &DefState) -> bool {
+    let mut changed = false;
+    for (d, s) in dst.iter_mut().zip(src) {
+        for &v in s {
+            if let Err(pos) = d.binary_search(&v) {
+                d.insert(pos, v);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// After this many in-state updates an instruction's growing ranges widen
+/// straight to [`AbsVal::Top`], bounding the fixpoint.
+const WIDEN_AFTER: u32 = 16;
+
+/// The completed dataflow over one program.
+#[derive(Debug)]
+pub struct Dataflow {
+    base: u64,
+    insts: Vec<Instruction>,
+    /// Abstract state on entry to each instruction; `None` = unreachable.
+    value_in: Vec<Option<State>>,
+    /// Reaching definitions on entry to each instruction.
+    def_in: Vec<Option<DefState>>,
+}
+
+impl Dataflow {
+    /// Runs both fixpoints over `program`.
+    pub fn run(program: &Program) -> Dataflow {
+        let insts: Vec<Instruction> = program.iter().map(|(_, i)| i).collect();
+        let base = program.base();
+        let mut df = Dataflow {
+            value_in: vec![None; insts.len()],
+            def_in: vec![None; insts.len()],
+            base,
+            insts,
+        };
+        df.run_values();
+        df.run_defs();
+        df
+    }
+
+    fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < self.base || !pc.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = ((pc - self.base) / INST_BYTES) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    fn pc_of(&self, idx: usize) -> u64 {
+        self.base + idx as u64 * INST_BYTES
+    }
+
+    /// Number of instructions with a reachable in-state.
+    pub fn reachable(&self) -> usize {
+        self.value_in.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Abstract state on entry to instruction `idx` (`None` = unreachable).
+    pub fn state_before(&self, idx: usize) -> Option<&State> {
+        self.value_in.get(idx).and_then(|s| s.as_ref())
+    }
+
+    /// Reaching definitions of `reg` at instruction `idx`.
+    pub fn defs_of(&self, idx: usize, reg: Reg) -> &[u32] {
+        static EMPTY: [u32; 0] = [];
+        match self.def_in.get(idx).and_then(|s| s.as_ref()) {
+            Some(ds) if !reg.is_zero() => &ds[reg.index()],
+            _ => &EMPTY,
+        }
+    }
+
+    /// Abstract effective address of the memory instruction at `idx`
+    /// (`Top` for non-memory instructions or unreachable code).
+    pub fn addr_value(&self, idx: usize) -> AbsVal {
+        let inst = self.insts[idx];
+        let Some(state) = self.state_before(idx) else {
+            return AbsVal::Top;
+        };
+        let Some(base) = inst.mem_base() else {
+            return AbsVal::Top;
+        };
+        let base_v = get(state, base);
+        match (inst.mem_offset(), inst.mem_index()) {
+            (Some(off), _) => eval_alu(AluOp::Add, base_v, AbsVal::Const(off as u64)),
+            (None, Some(idx_reg)) => eval_alu(AluOp::Add, base_v, get(state, idx_reg)),
+            (None, None) => AbsVal::Top,
+        }
+    }
+
+    /// Classifies the memory instruction at `idx` per the paper's address-
+    /// predictability taxonomy. Returns [`LoadClass::Unanalyzable`] for
+    /// unreachable instructions.
+    pub fn classify_mem(&self, idx: usize) -> LoadClass {
+        let inst = self.insts[idx];
+        if self.state_before(idx).is_none() {
+            return LoadClass::Unanalyzable;
+        }
+        if let AbsVal::Const(addr) = self.addr_value(idx) {
+            return LoadClass::Constant { addr };
+        }
+        let Some(base) = inst.mem_base() else {
+            return LoadClass::Unanalyzable;
+        };
+        let mut memo = HashMap::new();
+        let base_kind = self.reg_kind(base, idx, 0, &mut memo);
+        let kind = match inst.mem_index() {
+            None => base_kind,
+            Some(rm) => combine(base_kind, self.reg_kind(rm, idx, 0, &mut memo)),
+        };
+        match kind {
+            RegKind::Const(_) => match self.addr_value(idx) {
+                // The def-chain proved the base constant even though the
+                // joined state had lost it; without an exact address keep
+                // the conservative class.
+                AbsVal::Const(addr) => LoadClass::Constant { addr },
+                _ => LoadClass::PathDependent,
+            },
+            RegKind::Finite => LoadClass::PathDependent,
+            RegKind::Strided => LoadClass::Strided,
+            RegKind::Unknown => LoadClass::Unanalyzable,
+        }
+    }
+
+    // -- classification helpers ----------------------------------------
+
+    /// How the value of `reg`, as seen at instruction `at`, is produced.
+    fn reg_kind(
+        &self,
+        reg: Reg,
+        at: usize,
+        depth: u32,
+        memo: &mut HashMap<(u8, usize), Option<RegKind>>,
+    ) -> RegKind {
+        if reg.is_zero() {
+            return RegKind::Const(0);
+        }
+        if depth > 8 {
+            return RegKind::Unknown;
+        }
+        let key = (reg.index() as u8, at);
+        match memo.get(&key) {
+            Some(Some(k)) => return *k,
+            // In-progress: a def-chain cycle that is not a recognised
+            // self-update.
+            Some(None) => return RegKind::Unknown,
+            None => {}
+        }
+        memo.insert(key, None);
+        let kind = self.reg_kind_uncached(reg, at, depth, memo);
+        memo.insert(key, Some(kind));
+        kind
+    }
+
+    fn reg_kind_uncached(
+        &self,
+        reg: Reg,
+        at: usize,
+        depth: u32,
+        memo: &mut HashMap<(u8, usize), Option<RegKind>>,
+    ) -> RegKind {
+        if let Some(state) = self.state_before(at) {
+            if let AbsVal::Const(c) = get(state, reg) {
+                return RegKind::Const(c);
+            }
+        }
+        let defs = self.defs_of(at, reg).to_vec();
+        if defs.is_empty() {
+            return RegKind::Unknown;
+        }
+        let mut consts: Vec<u64> = Vec::new();
+        let mut self_updates = 0usize;
+        let mut others: Vec<usize> = Vec::new();
+        for &d in &defs {
+            if d == ENTRY_DEF {
+                consts.push(0);
+                continue;
+            }
+            let d = d as usize;
+            if let Some(c) = self.def_value(d, reg) {
+                consts.push(c);
+            } else if self.is_self_update(d, reg) {
+                self_updates += 1;
+            } else {
+                others.push(d);
+            }
+        }
+        if others.is_empty() && self_updates == 0 {
+            consts.sort_unstable();
+            consts.dedup();
+            return match consts[..] {
+                [c] => RegKind::Const(c),
+                _ => RegKind::Finite,
+            };
+        }
+        if others.is_empty() {
+            // Only self-updates (plus possibly constant re-initialisations)
+            // reach: an induction variable, possibly with wrap-around
+            // masking. The initialising def may be killed by the update on
+            // every path, so `consts` can legitimately be empty here.
+            return RegKind::Strided;
+        }
+        if let ([d], 0, true) = (&others[..], self_updates, consts.is_empty()) {
+            // A single producing definition: peel affine operations.
+            if let Some(src) = self.affine_source(*d, reg) {
+                return match self.reg_kind(src, *d, depth + 1, memo) {
+                    RegKind::Const(_) => RegKind::Finite, // value not tracked through the op
+                    k => k,
+                };
+            }
+        }
+        RegKind::Unknown
+    }
+
+    /// The constant `reg` holds right after executing definition `d`, when
+    /// exactly known.
+    fn def_value(&self, d: usize, reg: Reg) -> Option<u64> {
+        let state = self.state_before(d)?;
+        let mut out = *state;
+        self.transfer(&mut out, d);
+        get(&out, reg).as_const()
+    }
+
+    /// Whether definition `d` updates `reg` in terms of itself by a
+    /// constant (`reg = reg op const`, op ∈ {+, −, &}) — the accepted
+    /// induction-variable step shapes (add/sub advance, and-mask wrap).
+    fn is_self_update(&self, d: usize, reg: Reg) -> bool {
+        let stride_op = |op: AluOp| matches!(op, AluOp::Add | AluOp::Sub | AluOp::And);
+        match self.insts[d] {
+            Instruction::AluImm { op, rd, rn, .. } => rd == reg && rn == reg && stride_op(op),
+            Instruction::Alu { op, rd, rn, rm } if rd == reg && stride_op(op) => {
+                let const_at = |r: Reg| {
+                    self.state_before(d)
+                        .is_some_and(|s| get(s, r).as_const().is_some())
+                };
+                (rn == reg && const_at(rm)) || (rm == reg && const_at(rn) && op != AluOp::Sub)
+            }
+            _ => false,
+        }
+    }
+
+    /// If definition `d` computes `reg` as an affine-ish function of a
+    /// single source register (other operand constant), that source.
+    fn affine_source(&self, d: usize, reg: Reg) -> Option<Reg> {
+        match self.insts[d] {
+            Instruction::AluImm { rd, rn, .. } if rd == reg => Some(rn),
+            Instruction::Alu { rd, rn, rm, .. } if rd == reg => {
+                let const_at = |r: Reg| {
+                    self.state_before(d)
+                        .is_some_and(|s| get(s, r).as_const().is_some())
+                };
+                if const_at(rm) {
+                    Some(rn)
+                } else if const_at(rn) {
+                    Some(rm)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    // -- transfer function ---------------------------------------------
+
+    /// Applies instruction `idx`'s register effects to `state`.
+    fn transfer(&self, state: &mut State, idx: usize) {
+        let inst = self.insts[idx];
+        match inst {
+            Instruction::MovImm { rd, imm } => set(state, rd, AbsVal::Const(imm)),
+            Instruction::Alu { op, rd, rn, rm } => {
+                let v = eval_alu(op, get(state, rn), get(state, rm));
+                set(state, rd, v);
+            }
+            Instruction::AluImm { op, rd, rn, imm } => {
+                let v = eval_alu(op, get(state, rn), AbsVal::Const(imm as u64));
+                set(state, rd, v);
+            }
+            Instruction::Bl { .. } | Instruction::Blr { .. } => {
+                set(state, Reg::LR, AbsVal::Const(self.pc_of(idx) + INST_BYTES));
+            }
+            _ => {
+                // Loads produce unknown values; everything else (stores,
+                // branches, nop/halt) leaves registers alone.
+                for d in inst.dests() {
+                    set(state, d, AbsVal::Top);
+                }
+            }
+        }
+    }
+
+    /// Successors of `idx` under in-state `state`; `None` means the exit is
+    /// indirect and unresolved (flows into the pool).
+    fn successors(&self, idx: usize, state: &State) -> Option<Vec<usize>> {
+        let inst = self.insts[idx];
+        let exit = exit_of(inst, |pc| self.index_of(pc), idx, self.insts.len());
+        match exit {
+            Exit::Fall => Some(vec![idx + 1]),
+            Exit::Jump(t) => Some(vec![t]),
+            Exit::Branch(t) => {
+                let mut v = vec![t];
+                if idx + 1 < self.insts.len() {
+                    v.push(idx + 1);
+                }
+                Some(v)
+            }
+            Exit::Stop => Some(Vec::new()),
+            Exit::Indirect => {
+                let target_reg = match inst.branch_kind() {
+                    Some(BranchKind::Return) => Reg::LR,
+                    _ => match inst {
+                        Instruction::Br { rn } | Instruction::Blr { rn } => rn,
+                        _ => return Some(Vec::new()),
+                    },
+                };
+                // A constant target outside the text simply exits.
+                get(state, target_reg)
+                    .as_const()
+                    .map(|t| self.index_of(t).into_iter().collect())
+            }
+        }
+    }
+
+    fn run_values(&mut self) {
+        let n = self.insts.len();
+        if n == 0 {
+            return;
+        }
+        let mut updates = vec![0u32; n];
+        let mut pool: Option<State> = None;
+        let mut pool_updates = 0u32;
+        let mut worklist: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut queued = vec![false; n];
+
+        fn join_into(dst: &mut State, src: &State, widen: bool) -> bool {
+            let mut changed = false;
+            for (d, s) in dst.iter_mut().zip(src) {
+                let mut nv = d.join(*s);
+                if widen && nv != *d {
+                    if let AbsVal::Range { .. } = nv {
+                        nv = AbsVal::Top;
+                    }
+                }
+                if nv != *d {
+                    *d = nv;
+                    changed = true;
+                }
+            }
+            changed
+        }
+
+        let push = |value_in: &mut Vec<Option<State>>,
+                    updates: &mut Vec<u32>,
+                    worklist: &mut std::collections::VecDeque<usize>,
+                    queued: &mut Vec<bool>,
+                    j: usize,
+                    s: &State| {
+            let widen = updates[j] > WIDEN_AFTER;
+            let changed = match &mut value_in[j] {
+                Some(dst) => join_into(dst, s, widen),
+                slot @ None => {
+                    *slot = Some(*s);
+                    true
+                }
+            };
+            if changed {
+                updates[j] += 1;
+                if !queued[j] {
+                    queued[j] = true;
+                    worklist.push_back(j);
+                }
+            }
+        };
+
+        let entry = [AbsVal::Const(0); Reg::COUNT];
+        push(
+            &mut self.value_in,
+            &mut updates,
+            &mut worklist,
+            &mut queued,
+            0,
+            &entry,
+        );
+        while let Some(j) = worklist.pop_front() {
+            queued[j] = false;
+            let Some(in_state) = self.value_in[j] else {
+                continue;
+            };
+            let mut out = in_state;
+            self.transfer(&mut out, j);
+            match self.successors(j, &in_state) {
+                Some(succs) => {
+                    for t in succs {
+                        push(
+                            &mut self.value_in,
+                            &mut updates,
+                            &mut worklist,
+                            &mut queued,
+                            t,
+                            &out,
+                        );
+                    }
+                }
+                None => {
+                    let widen = pool_updates > WIDEN_AFTER;
+                    let changed = match &mut pool {
+                        Some(p) => join_into(p, &out, widen),
+                        slot @ None => {
+                            *slot = Some(out);
+                            true
+                        }
+                    };
+                    if changed {
+                        pool_updates += 1;
+                        let p = pool.expect("pool just set");
+                        // The pool flows into every instruction: any of them
+                        // is a potential indirect target.
+                        for t in 0..n {
+                            push(
+                                &mut self.value_in,
+                                &mut updates,
+                                &mut worklist,
+                                &mut queued,
+                                t,
+                                &p,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_defs(&mut self) {
+        let n = self.insts.len();
+        if n == 0 {
+            return;
+        }
+        let mut pool: Option<DefState> = None;
+        let mut worklist: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut queued = vec![false; n];
+
+        let push = |def_in: &mut Vec<Option<DefState>>,
+                    worklist: &mut std::collections::VecDeque<usize>,
+                    queued: &mut Vec<bool>,
+                    j: usize,
+                    s: &DefState| {
+            let changed = match &mut def_in[j] {
+                Some(dst) => def_join(dst, s),
+                slot @ None => {
+                    *slot = Some(s.clone());
+                    true
+                }
+            };
+            if changed && !queued[j] {
+                queued[j] = true;
+                worklist.push_back(j);
+            }
+        };
+
+        let entry: DefState = vec![vec![ENTRY_DEF]; Reg::COUNT];
+        push(&mut self.def_in, &mut worklist, &mut queued, 0, &entry);
+        while let Some(j) = worklist.pop_front() {
+            queued[j] = false;
+            let Some(in_defs) = self.def_in[j].clone() else {
+                continue;
+            };
+            let mut out = in_defs;
+            for d in self.insts[j].dests() {
+                out[d.index()] = vec![j as u32];
+            }
+            // Successor resolution uses the *final* value states, which are
+            // already a sound over-approximation of dynamic control flow.
+            let succs = self.value_in[j]
+                .as_ref()
+                .map(|s| self.successors(j, s))
+                .unwrap_or(Some(Vec::new()));
+            match succs {
+                Some(succs) => {
+                    for t in succs {
+                        push(&mut self.def_in, &mut worklist, &mut queued, t, &out);
+                    }
+                }
+                None => {
+                    let changed = match &mut pool {
+                        Some(p) => def_join(p, &out),
+                        slot @ None => {
+                            *slot = Some(out);
+                            true
+                        }
+                    };
+                    if changed {
+                        let p = pool.clone().expect("pool just set");
+                        for t in 0..n {
+                            push(&mut self.def_in, &mut worklist, &mut queued, t, &p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Address-operand combination result used by [`Dataflow::classify_mem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegKind {
+    Const(u64),
+    /// Finitely many constants, path-selected.
+    Finite,
+    Strided,
+    Unknown,
+}
+
+fn combine(a: RegKind, b: RegKind) -> RegKind {
+    use RegKind::*;
+    match (a, b) {
+        (Unknown, _) | (_, Unknown) => Unknown,
+        (Const(x), Const(y)) => Const(x.wrapping_add(y)),
+        (Strided, Finite) | (Finite, Strided) => Unknown,
+        (Strided, _) | (_, Strided) => Strided,
+        (Finite, _) | (_, Finite) => Finite,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{Asm, MemSize};
+
+    fn df(a: Asm) -> Dataflow {
+        Dataflow::run(&a.build())
+    }
+
+    #[test]
+    fn joins_and_bounds() {
+        let c5 = AbsVal::Const(5);
+        assert_eq!(c5.join(AbsVal::Const(5)), c5);
+        assert_eq!(c5.join(AbsVal::Const(9)), AbsVal::Range { lo: 5, hi: 9 });
+        assert_eq!(c5.join(AbsVal::Top), AbsVal::Top);
+        assert_eq!(AbsVal::Top.bounds(), (0, u64::MAX));
+    }
+
+    #[test]
+    fn eval_alu_soundly_overapproximates() {
+        let r = AbsVal::Range { lo: 8, hi: 16 };
+        assert_eq!(
+            eval_alu(AluOp::Add, r, AbsVal::Const(4)),
+            AbsVal::Range { lo: 12, hi: 20 }
+        );
+        assert_eq!(
+            eval_alu(AluOp::And, AbsVal::Top, AbsVal::Const(511)),
+            AbsVal::Range { lo: 0, hi: 511 }
+        );
+        assert_eq!(
+            eval_alu(
+                AluOp::Lsl,
+                AbsVal::Range { lo: 0, hi: 511 },
+                AbsVal::Const(3)
+            ),
+            AbsVal::Range { lo: 0, hi: 4088 }
+        );
+        assert_eq!(eval_alu(AluOp::Mul, AbsVal::Top, AbsVal::Top), AbsVal::Top);
+        // Overflow falls back to Top, never wraps silently.
+        assert_eq!(
+            eval_alu(
+                AluOp::Add,
+                AbsVal::Range {
+                    lo: 0,
+                    hi: u64::MAX
+                },
+                AbsVal::Const(1)
+            ),
+            AbsVal::Top
+        );
+    }
+
+    #[test]
+    fn constant_load_is_classified_with_its_address() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        a.ldr(Reg::X1, Reg::X0, 16, MemSize::X); // idx 1
+        a.halt();
+        let d = df(a);
+        assert_eq!(d.addr_value(1), AbsVal::Const(0x8010));
+        assert_eq!(d.classify_mem(1), LoadClass::Constant { addr: 0x8010 });
+    }
+
+    #[test]
+    fn induction_variable_load_is_strided() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        let top = a.here();
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X); // idx 1
+        a.addi(Reg::X0, Reg::X0, 8);
+        a.b(top);
+        let d = df(a);
+        assert_eq!(d.classify_mem(1), LoadClass::Strided);
+    }
+
+    #[test]
+    fn masked_induction_through_shift_is_strided() {
+        // X2 = (i & 511) * 8; ldr [X0 + X2] — the circular-buffer pattern.
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        a.mov(Reg::X1, 0);
+        let top = a.here();
+        a.andi(Reg::X1, Reg::X1, 511); // idx 2 (self-mask)
+        a.lsli(Reg::X2, Reg::X1, 3); // idx 3
+        a.ldr_idx(Reg::X3, Reg::X0, Reg::X2, MemSize::X); // idx 4
+        a.addi(Reg::X1, Reg::X1, 1); // idx 5 (self-add)
+        a.b(top);
+        let d = df(a);
+        assert_eq!(d.classify_mem(4), LoadClass::Strided);
+        // The masked index keeps the address bounded.
+        let (lo, hi) = d.addr_value(4).bounds();
+        assert_eq!(lo, 0x8000);
+        assert!(hi <= 0x8000 + 511 * 8);
+    }
+
+    #[test]
+    fn two_sided_branch_constant_base_is_path_dependent() {
+        let mut a = Asm::new(0x1000);
+        let other = a.new_label();
+        let join = a.new_label();
+        a.mov(Reg::X0, 0x8000); // idx 0
+        a.cbz(Reg::X5, other); // idx 1
+        a.mov(Reg::X0, 0x9000); // idx 2
+        a.b(join); // idx 3
+        a.place(other);
+        a.nop(); // idx 4
+        a.place(join);
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X); // idx 5
+        a.halt();
+        let d = df(a);
+        assert_eq!(d.classify_mem(5), LoadClass::PathDependent);
+        let (lo, hi) = d.addr_value(5).bounds();
+        assert_eq!((lo, hi), (0x8000, 0x9000));
+    }
+
+    #[test]
+    fn load_fed_address_is_unanalyzable() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        let top = a.here();
+        a.ldr(Reg::X0, Reg::X0, 0, MemSize::X); // idx 1: pointer chase
+        a.b(top);
+        let d = df(a);
+        assert_eq!(d.classify_mem(1), LoadClass::Unanalyzable);
+        assert_eq!(d.addr_value(1), AbsVal::Top);
+    }
+
+    #[test]
+    fn call_return_keeps_constants() {
+        let mut a = Asm::new(0x1000);
+        let f = a.new_label();
+        a.mov(Reg::X0, 0x8000); // idx 0
+        a.bl(f); // idx 1
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X); // idx 2 (return site)
+        a.halt(); // idx 3
+        a.place(f);
+        a.addi(Reg::X2, Reg::X2, 1); // idx 4
+        a.ret(); // idx 5
+        let d = df(a);
+        // The single call site gives RET a constant LR: the return edge is
+        // resolved exactly and X0 survives as a constant.
+        assert_eq!(d.classify_mem(2), LoadClass::Constant { addr: 0x8000 });
+    }
+
+    #[test]
+    fn unresolved_indirect_pools_to_every_instruction() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000); // idx 0
+        a.ldr(Reg::X5, Reg::X0, 0, MemSize::X); // idx 1: X5 unknown
+        a.br(Reg::X5); // idx 2: could target anything
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X); // idx 3
+        a.halt();
+        let d = df(a);
+        // idx 3 is only reachable through the pool, and must still be
+        // analyzed (with X0's constant intact, since no path clobbers it).
+        assert_eq!(d.classify_mem(3), LoadClass::Constant { addr: 0x8000 });
+    }
+
+    #[test]
+    fn reaching_defs_track_entry_and_real_defs() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000); // idx 0
+        let top = a.here();
+        a.addi(Reg::X0, Reg::X0, 8); // idx 1
+        a.cbnz(Reg::X1, top); // idx 2
+        a.halt();
+        let d = df(a);
+        assert_eq!(d.defs_of(1, Reg::X0), &[0, 1]);
+        // X1 is never written: only the entry pseudo-def reaches.
+        assert_eq!(d.defs_of(2, Reg::X1), &[ENTRY_DEF]);
+    }
+
+    #[test]
+    fn widening_terminates_on_unbounded_counters() {
+        // An unmasked strided pointer would grow its range forever without
+        // widening; the analysis must terminate with Top.
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0);
+        let top = a.here();
+        a.addi(Reg::X0, Reg::X0, 8);
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X); // idx 2
+        a.b(top);
+        let d = df(a);
+        assert_eq!(d.addr_value(2), AbsVal::Top);
+        assert_eq!(d.classify_mem(2), LoadClass::Strided);
+    }
+}

@@ -1,0 +1,298 @@
+//! # lvp-analysis — static load/store dependence analysis
+//!
+//! A static counterpart to the trace-driven simulator: it classifies every
+//! load in an `lvp_isa::Program` by how predictable its effective address
+//! is (constant / strided / path-dependent / unanalyzable, the taxonomy of
+//! PAPER.md §2) and runs a may-alias pass that decides which loads can
+//! *never* observe a conflicting in-flight store — the property the paper's
+//! whole mechanism exists to work around.
+//!
+//! Because the analysis is sound (see [`dataflow`]), its verdicts double as
+//! an oracle over dynamic behaviour: [`xval::cross_validate`] checks static
+//! classes against per-PC simulator counters and fails when an implication
+//! is violated (e.g. a conflict-free load got squashed by a store, or a
+//! constant-address load kept mispredicting at high confidence). The
+//! `analyze` CLI in `lvp-bench` wires this gate into CI.
+//!
+//! Pipeline: [`cfg::Cfg`] (block view) → [`dataflow::Dataflow`] (abstract
+//! interpretation + reaching defs) → [`ProgramAnalysis::analyze`]
+//! (classification + alias regions) → [`xval`] (dynamic cross-check).
+
+pub mod alias;
+pub mod cfg;
+pub mod dataflow;
+pub mod xval;
+
+pub use alias::Region;
+pub use cfg::Cfg;
+pub use dataflow::{AbsVal, Dataflow, LoadClass};
+pub use xval::{cross_validate, DynLoadStats, Violation, XvalConfig, XvalLoad};
+
+use lvp_isa::Program;
+use lvp_json::{Json, ToJson};
+
+/// Static facts about one load instruction.
+#[derive(Debug, Clone)]
+pub struct LoadInfo {
+    /// Instruction index in the program text.
+    pub index: usize,
+    /// Program counter.
+    pub pc: u64,
+    /// Bytes touched per execution.
+    pub bytes: u64,
+    /// Whether the load has acquire semantics (`LDAR`).
+    pub ordered: bool,
+    /// Address-predictability class.
+    pub class: LoadClass,
+    /// Over-approximate footprint.
+    pub region: Region,
+    /// PCs of stores whose region may overlap this load's, ascending.
+    pub conflicting_stores: Vec<u64>,
+}
+
+impl LoadInfo {
+    /// Whether no store in the program can overlap this load.
+    pub fn conflict_free(&self) -> bool {
+        self.conflicting_stores.is_empty()
+    }
+}
+
+/// Static facts about one store instruction.
+#[derive(Debug, Clone)]
+pub struct StoreInfo {
+    /// Instruction index in the program text.
+    pub index: usize,
+    /// Program counter.
+    pub pc: u64,
+    /// Bytes touched per execution.
+    pub bytes: u64,
+    /// Over-approximate footprint.
+    pub region: Region,
+}
+
+/// The full static analysis of one program.
+#[derive(Debug)]
+pub struct ProgramAnalysis {
+    /// Number of instructions in the text.
+    pub instructions: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Instructions the dataflow found reachable.
+    pub reachable: usize,
+    /// All loads, in address order.
+    pub loads: Vec<LoadInfo>,
+    /// All stores, in address order.
+    pub stores: Vec<StoreInfo>,
+    dataflow: Dataflow,
+}
+
+impl ProgramAnalysis {
+    /// Runs the full static pipeline over `program`.
+    pub fn analyze(program: &Program) -> ProgramAnalysis {
+        let cfg = Cfg::build(program);
+        let dataflow = Dataflow::run(program);
+        let mut loads = Vec::new();
+        let mut stores = Vec::new();
+        for (idx, (pc, inst)) in program.iter().enumerate() {
+            let Some(bytes) = inst.mem_bytes() else {
+                continue;
+            };
+            let region = if dataflow.state_before(idx).is_none() {
+                // Unreachable code never executes: an empty footprint keeps
+                // dead stores from poisoning live loads' conflict sets.
+                Region::Empty
+            } else {
+                Region::from_abs(dataflow.addr_value(idx), bytes)
+            };
+            if inst.is_store() {
+                stores.push(StoreInfo {
+                    index: idx,
+                    pc,
+                    bytes,
+                    region,
+                });
+            }
+            if inst.is_load() {
+                loads.push(LoadInfo {
+                    index: idx,
+                    pc,
+                    bytes,
+                    ordered: inst.is_ordered(),
+                    class: dataflow.classify_mem(idx),
+                    region,
+                    conflicting_stores: Vec::new(),
+                });
+            }
+        }
+        for load in &mut loads {
+            load.conflicting_stores = stores
+                .iter()
+                .filter(|s| s.region.overlaps(load.region))
+                .map(|s| s.pc)
+                .collect();
+        }
+        ProgramAnalysis {
+            instructions: cfg.len(),
+            blocks: cfg.blocks().len(),
+            reachable: dataflow.reachable(),
+            loads,
+            stores,
+            dataflow,
+        }
+    }
+
+    /// The underlying dataflow (for tests and tooling that want raw
+    /// abstract states).
+    pub fn dataflow(&self) -> &Dataflow {
+        &self.dataflow
+    }
+
+    /// Loads per class, in the order constant / strided / path-dependent /
+    /// unanalyzable.
+    pub fn class_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for l in &self.loads {
+            let slot = match l.class {
+                LoadClass::Constant { .. } => 0,
+                LoadClass::Strided => 1,
+                LoadClass::PathDependent => 2,
+                LoadClass::Unanalyzable => 3,
+            };
+            counts[slot] += 1;
+        }
+        counts
+    }
+
+    /// Static-only JSON fragment (the `analyze` CLI adds dynamic counters
+    /// and violations around this).
+    pub fn to_json(&self) -> Json {
+        let [constant, strided, path_dependent, unanalyzable] = self.class_counts();
+        Json::obj([
+            ("instructions", (self.instructions as u64).to_json()),
+            ("blocks", (self.blocks as u64).to_json()),
+            ("reachable", (self.reachable as u64).to_json()),
+            (
+                "class_counts",
+                Json::obj([
+                    ("constant", (constant as u64).to_json()),
+                    ("strided", (strided as u64).to_json()),
+                    ("path_dependent", (path_dependent as u64).to_json()),
+                    ("unanalyzable", (unanalyzable as u64).to_json()),
+                ]),
+            ),
+            (
+                "conflict_free_loads",
+                (self.loads.iter().filter(|l| l.conflict_free()).count() as u64).to_json(),
+            ),
+            ("stores", (self.stores.len() as u64).to_json()),
+            (
+                "loads",
+                Json::Array(self.loads.iter().map(load_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn region_to_json(r: Region) -> Json {
+    match r {
+        Region::Empty => Json::Str("empty".into()),
+        Region::Unknown => Json::Str("unknown".into()),
+        Region::Granules { lo, hi } => {
+            Json::obj([("granule_lo", lo.to_json()), ("granule_hi", hi.to_json())])
+        }
+    }
+}
+
+fn load_to_json(l: &LoadInfo) -> Json {
+    let mut pairs = vec![
+        ("pc".to_string(), l.pc.to_json()),
+        ("bytes".to_string(), l.bytes.to_json()),
+        ("ordered".to_string(), l.ordered.to_json()),
+        ("class".to_string(), l.class.name().to_json()),
+    ];
+    if let LoadClass::Constant { addr } = l.class {
+        pairs.push(("addr".to_string(), addr.to_json()));
+    }
+    pairs.push(("region".to_string(), region_to_json(l.region)));
+    pairs.push(("conflict_free".to_string(), l.conflict_free().to_json()));
+    pairs.push((
+        "conflicting_stores".to_string(),
+        Json::Array(l.conflicting_stores.iter().map(|pc| pc.to_json()).collect()),
+    ));
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{Asm, MemSize, Reg};
+
+    /// A loop that reads a constant cell and a strided buffer, and stores
+    /// into a disjoint region.
+    fn sample() -> Program {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000); // constant cell
+        a.mov(Reg::X1, 0x9000); // strided read buffer
+        a.mov(Reg::X2, 0xa000); // store buffer
+        let top = a.here();
+        a.ldr(Reg::X3, Reg::X0, 0, MemSize::X); // idx 3: constant
+        a.ldr(Reg::X4, Reg::X1, 0, MemSize::X); // idx 4: strided
+        a.str_(Reg::X4, Reg::X2, 0, MemSize::X); // idx 5
+        a.addi(Reg::X1, Reg::X1, 8);
+        a.addi(Reg::X2, Reg::X2, 8);
+        a.cbnz(Reg::X4, top);
+        a.halt();
+        a.build()
+    }
+
+    #[test]
+    fn sample_is_classified_and_conflict_checked() {
+        let pa = ProgramAnalysis::analyze(&sample());
+        assert_eq!(pa.loads.len(), 2);
+        assert_eq!(pa.stores.len(), 1);
+        let constant = &pa.loads[0];
+        assert_eq!(constant.class, LoadClass::Constant { addr: 0x8000 });
+        // The store pointer is an unbounded induction variable: it widens
+        // to Unknown, so even the constant load may conflict. The strided
+        // load widens too.
+        assert_eq!(pa.loads[1].class, LoadClass::Strided);
+    }
+
+    #[test]
+    fn masked_store_leaves_constant_load_conflict_free() {
+        // Store pointer wraps inside 0xa000..0xa200 via masking, so the
+        // constant load at 0x8000 is provably conflict-free.
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        a.mov(Reg::X1, 0); // index
+        a.mov(Reg::X2, 0xa000);
+        let top = a.here();
+        a.ldr(Reg::X3, Reg::X0, 0, MemSize::X); // idx 3: constant
+        a.andi(Reg::X1, Reg::X1, 63);
+        a.lsli(Reg::X4, Reg::X1, 3);
+        a.alu(lvp_isa::AluOp::Add, Reg::X5, Reg::X2, Reg::X4);
+        a.str_(Reg::X3, Reg::X5, 0, MemSize::X);
+        a.addi(Reg::X1, Reg::X1, 1);
+        a.cbnz(Reg::X3, top);
+        a.halt();
+        let pa = ProgramAnalysis::analyze(&a.build());
+        let load = &pa.loads[0];
+        assert_eq!(load.class, LoadClass::Constant { addr: 0x8000 });
+        assert!(load.conflict_free(), "store region should be bounded");
+        assert_eq!(pa.class_counts()[0], 1);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_complete() {
+        let pa = ProgramAnalysis::analyze(&sample());
+        let a = pa.to_json().pretty();
+        let b = ProgramAnalysis::analyze(&sample()).to_json().pretty();
+        assert_eq!(a, b);
+        let v = lvp_json::Json::parse(&a).expect("report parses");
+        assert_eq!(
+            v.get("loads").and_then(|l| l.as_array()).map(|l| l.len()),
+            Some(2)
+        );
+        assert!(v.get("class_counts").is_some());
+    }
+}

@@ -1,0 +1,316 @@
+//! Static-vs-dynamic cross-validation: the gate that turns the static
+//! classification into a semantic oracle over the simulator.
+//!
+//! Each rule states an implication that must hold if *both* the static
+//! analyzer and the dynamic predictor/simulator are correct. A violation
+//! therefore indicates a bug on one side (or an unsound threshold), and the
+//! `analyze` CLI fails CI when any rule fires:
+//!
+//! * **R1 `conflict-free`** — a load proven conflict-free by the alias pass
+//!   must never observe an in-flight overlapping store in the simulator
+//!   (`conflict_exposed == 0`). This is an exact implication: the static
+//!   region over-approximates the touched granules, and the simulator
+//!   detects conflicts at the same granularity.
+//! * **R2 `const-accuracy`** — a constant-address load that the predictor
+//!   commits to (enough issued predictions) must have a near-zero address
+//!   mispredict rate: its address never changes, so a trained APT entry
+//!   cannot go stale.
+//! * **R3 `addr-accuracy`** — *any* load with many issued predictions must
+//!   keep its address mispredict rate below a loose bound. High confidence
+//!   with a high mispredict rate means the APT failed to reset confidence
+//!   on address mismatch (the paper's §3.1.2 training rule) — this is the
+//!   rule that catches the injected-bug regression test.
+//! * **R4 `saturation`** — aggregate: if constant-address loads were looked
+//!   up many times in total, at least one prediction must have been issued;
+//!   a predictor that never saturates confidence on constant addresses is
+//!   broken.
+//!
+//! R2–R4 involve thresholds because the APT is indexed by *proxy* PC
+//! (fetch-group address + load index), so distinct loads can collide and a
+//! single load can migrate between entries when fetch alignment changes;
+//! the defaults leave headroom for that structural noise.
+
+use crate::dataflow::LoadClass;
+
+/// Dynamic per-load-PC counters merged from the simulator
+/// (`lvp_uarch::stats`) and the DLVP engine (`dlvp::engine`). The analysis
+/// crate only sees plain numbers; the bench layer does the merging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynLoadStats {
+    /// Committed executions of the load.
+    pub executions: u64,
+    /// Executions that observed an in-flight older overlapping store.
+    pub conflict_exposed: u64,
+    /// Memory-ordering violations charged to this PC.
+    pub ordering_violations: u64,
+    /// Value predictions injected at rename.
+    pub injected: u64,
+    /// Injected predictions whose value was correct.
+    pub value_correct: u64,
+    /// APT lookups performed for this PC (post LSCD/ordering filters).
+    pub attempts: u64,
+    /// Confident address predictions issued (probe launched).
+    pub predictions: u64,
+    /// Issued predictions whose address (or size) was wrong.
+    pub addr_mispredicts: u64,
+    /// Address-correct predictions squashed by a conflicting store.
+    pub stale_mispredicts: u64,
+}
+
+/// Thresholds for the statistical rules (R2–R4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XvalConfig {
+    /// R2: minimum issued predictions before the constant-address accuracy
+    /// bound applies.
+    pub min_predictions_const: u64,
+    /// R2: maximum address mispredict rate for constant-address loads.
+    pub const_max_mispredict_rate: f64,
+    /// R3: minimum issued predictions before the general accuracy bound
+    /// applies.
+    pub min_predictions_any: u64,
+    /// R3: maximum address mispredict rate for any load.
+    pub any_max_mispredict_rate: f64,
+    /// R4: minimum total APT lookups over constant-address loads before
+    /// demanding at least one issued prediction.
+    pub min_attempts_saturation: u64,
+}
+
+impl Default for XvalConfig {
+    fn default() -> Self {
+        XvalConfig {
+            min_predictions_const: 32,
+            const_max_mispredict_rate: 0.10,
+            min_predictions_any: 64,
+            any_max_mispredict_rate: 0.25,
+            min_attempts_saturation: 128,
+        }
+    }
+}
+
+/// One load PC's static verdicts plus its dynamic counters.
+#[derive(Debug, Clone, Copy)]
+pub struct XvalLoad {
+    /// The load's program counter.
+    pub pc: u64,
+    /// Static address class.
+    pub class: LoadClass,
+    /// Whether the alias pass proved no store can overlap this load.
+    pub conflict_free: bool,
+    /// Whether the load has acquire semantics (the engine never predicts
+    /// ordered loads, so R4 excludes them).
+    pub ordered: bool,
+    /// Merged dynamic counters.
+    pub stats: DynLoadStats,
+}
+
+/// A single rule violation. `pc == 0` marks program-aggregate rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Offending load PC, or 0 for aggregate rules.
+    pub pc: u64,
+    /// Stable rule name (`conflict-free`, `const-accuracy`, `addr-accuracy`,
+    /// `saturation`).
+    pub rule: &'static str,
+    /// Human-readable, deterministic explanation.
+    pub detail: String,
+}
+
+/// Runs all rules over one program's loads. Returns violations in rule
+/// order, then PC order — deterministic for a given input.
+pub fn cross_validate(loads: &[XvalLoad], cfg: &XvalConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // R1: statically conflict-free ⇒ dynamically conflict-free.
+    for l in loads {
+        if l.conflict_free && l.stats.conflict_exposed > 0 {
+            out.push(Violation {
+                pc: l.pc,
+                rule: "conflict-free",
+                detail: format!(
+                    "load {:#x} is statically conflict-free but observed {} in-flight store conflicts over {} executions",
+                    l.pc, l.stats.conflict_exposed, l.stats.executions
+                ),
+            });
+        }
+    }
+
+    // R2: constant address ⇒ accurate once the predictor commits.
+    for l in loads {
+        let LoadClass::Constant { addr } = l.class else {
+            continue;
+        };
+        let s = l.stats;
+        if s.predictions >= cfg.min_predictions_const {
+            let rate = s.addr_mispredicts as f64 / s.predictions as f64;
+            if rate > cfg.const_max_mispredict_rate {
+                out.push(Violation {
+                    pc: l.pc,
+                    rule: "const-accuracy",
+                    detail: format!(
+                        "load {:#x} has constant address {:#x} but mispredicted {}/{} issued predictions (rate {:.4} > {:.4})",
+                        l.pc, addr, s.addr_mispredicts, s.predictions, rate, cfg.const_max_mispredict_rate
+                    ),
+                });
+            }
+        }
+    }
+
+    // R3: confident predictions must be mostly right for every load.
+    for l in loads {
+        let s = l.stats;
+        if s.predictions >= cfg.min_predictions_any {
+            let rate = s.addr_mispredicts as f64 / s.predictions as f64;
+            if rate > cfg.any_max_mispredict_rate {
+                out.push(Violation {
+                    pc: l.pc,
+                    rule: "addr-accuracy",
+                    detail: format!(
+                        "load {:#x} ({}) mispredicted {}/{} issued predictions (rate {:.4} > {:.4}); confidence should have reset on address mismatch",
+                        l.pc, l.class.name(), s.addr_mispredicts, s.predictions, rate, cfg.any_max_mispredict_rate
+                    ),
+                });
+            }
+        }
+    }
+
+    // R4: the predictor must saturate on constant addresses (aggregate).
+    let (mut attempts, mut predictions) = (0u64, 0u64);
+    for l in loads {
+        if matches!(l.class, LoadClass::Constant { .. }) && !l.ordered {
+            attempts += l.stats.attempts;
+            predictions += l.stats.predictions;
+        }
+    }
+    if attempts >= cfg.min_attempts_saturation && predictions == 0 {
+        out.push(Violation {
+            pc: 0,
+            rule: "saturation",
+            detail: format!(
+                "constant-address loads were looked up {attempts} times but the predictor never issued a prediction; APT confidence failed to saturate"
+            ),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(pc: u64, class: LoadClass, conflict_free: bool, stats: DynLoadStats) -> XvalLoad {
+        XvalLoad {
+            pc,
+            class,
+            conflict_free,
+            ordered: false,
+            stats,
+        }
+    }
+
+    #[test]
+    fn clean_stats_pass() {
+        let loads = [load(
+            0x1000,
+            LoadClass::Constant { addr: 0x8000 },
+            true,
+            DynLoadStats {
+                executions: 500,
+                attempts: 500,
+                predictions: 400,
+                value_correct: 400,
+                injected: 400,
+                ..Default::default()
+            },
+        )];
+        assert!(cross_validate(&loads, &XvalConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn conflict_free_load_with_dynamic_conflict_fires_r1() {
+        let loads = [load(
+            0x1000,
+            LoadClass::Strided,
+            true,
+            DynLoadStats {
+                executions: 10,
+                conflict_exposed: 1,
+                ..Default::default()
+            },
+        )];
+        let v = cross_validate(&loads, &XvalConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "conflict-free");
+        assert_eq!(v[0].pc, 0x1000);
+    }
+
+    #[test]
+    fn inaccurate_constant_load_fires_r2_and_r3() {
+        let loads = [load(
+            0x1000,
+            LoadClass::Constant { addr: 0x8000 },
+            false,
+            DynLoadStats {
+                executions: 200,
+                attempts: 200,
+                predictions: 100,
+                addr_mispredicts: 50,
+                ..Default::default()
+            },
+        )];
+        let v = cross_validate(&loads, &XvalConfig::default());
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, ["const-accuracy", "addr-accuracy"]);
+    }
+
+    #[test]
+    fn below_threshold_counts_are_ignored() {
+        let loads = [load(
+            0x1000,
+            LoadClass::Constant { addr: 0x8000 },
+            false,
+            DynLoadStats {
+                executions: 10,
+                attempts: 10,
+                predictions: 4,
+                addr_mispredicts: 4,
+                ..Default::default()
+            },
+        )];
+        assert!(cross_validate(&loads, &XvalConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn never_saturating_predictor_fires_r4() {
+        let loads = [load(
+            0x1000,
+            LoadClass::Constant { addr: 0x8000 },
+            true,
+            DynLoadStats {
+                executions: 300,
+                attempts: 300,
+                ..Default::default()
+            },
+        )];
+        let v = cross_validate(&loads, &XvalConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "saturation");
+        assert_eq!(v[0].pc, 0);
+    }
+
+    #[test]
+    fn ordered_loads_are_exempt_from_saturation() {
+        let mut l = load(
+            0x1000,
+            LoadClass::Constant { addr: 0x8000 },
+            true,
+            DynLoadStats {
+                executions: 300,
+                attempts: 300,
+                ..Default::default()
+            },
+        );
+        l.ordered = true;
+        assert!(cross_validate(&[l], &XvalConfig::default()).is_empty());
+    }
+}

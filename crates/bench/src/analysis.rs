@@ -1,0 +1,184 @@
+//! The `analyze` pipeline: static analysis of every workload program,
+//! cross-validated against a dynamic DLVP simulation of the same workload.
+//!
+//! This is the library backing the `analyze` CLI (and the integration
+//! tests): [`analyze_workload`] runs `lvp-analysis` over the workload's
+//! program, simulates the trace under DLVP, merges the simulator's and the
+//! engine's per-PC counters into [`lvp_analysis::DynLoadStats`], and runs
+//! the [`lvp_analysis::cross_validate`] gate. [`report_json`] renders the
+//! whole batch as one deterministic JSON document.
+
+use dlvp::{Dlvp, DlvpConfig, Pap, PapConfig};
+use lvp_analysis::{
+    cross_validate, DynLoadStats, ProgramAnalysis, Violation, XvalConfig, XvalLoad,
+};
+use lvp_json::{Json, ToJson};
+use lvp_uarch::{Core, CoreConfig};
+use lvp_workloads::Workload;
+
+/// One workload's static analysis, merged dynamic counters and gate
+/// verdicts.
+pub struct WorkloadAnalysis {
+    /// Workload name.
+    pub name: &'static str,
+    /// The static analysis of the workload's program.
+    pub analysis: ProgramAnalysis,
+    /// Per load: static verdicts + merged dynamic counters, address order.
+    pub loads: Vec<XvalLoad>,
+    /// Cross-validation violations (empty = gate passed).
+    pub violations: Vec<Violation>,
+}
+
+/// Analyzes one workload and cross-validates against a DLVP simulation of
+/// `budget` dynamic instructions. `pap` configures the predictor under
+/// test — pass `PapConfig { train_reset_on_mismatch: false, .. }` to
+/// inject the training bug the gate is designed to catch.
+pub fn analyze_workload(
+    workload: &Workload,
+    budget: u64,
+    pap: PapConfig,
+    xval: &XvalConfig,
+) -> WorkloadAnalysis {
+    let program = workload.program();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let trace = workload.trace(budget);
+    let core = Core::new(
+        CoreConfig::default(),
+        Dlvp::new(DlvpConfig::default(), Pap::new(pap)),
+    );
+    let (stats, scheme) = core.run_with_scheme(&trace);
+    let outcomes = scheme.per_pc_outcomes();
+    let loads: Vec<XvalLoad> = analysis
+        .loads
+        .iter()
+        .map(|l| {
+            let sim = stats.per_pc.get(&l.pc).copied().unwrap_or_default();
+            let eng = outcomes.get(&l.pc).copied().unwrap_or_default();
+            XvalLoad {
+                pc: l.pc,
+                class: l.class,
+                conflict_free: l.conflict_free(),
+                ordered: l.ordered,
+                stats: DynLoadStats {
+                    executions: sim.executions,
+                    conflict_exposed: sim.conflict_exposed,
+                    ordering_violations: sim.ordering_violations,
+                    injected: sim.injected,
+                    value_correct: sim.correct,
+                    attempts: eng.attempts,
+                    predictions: eng.predictions,
+                    addr_mispredicts: eng.addr_mispredicts,
+                    stale_mispredicts: eng.stale_mispredicts,
+                },
+            }
+        })
+        .collect();
+    let violations = cross_validate(&loads, xval);
+    WorkloadAnalysis {
+        name: workload.name,
+        analysis,
+        loads,
+        violations,
+    }
+}
+
+/// Analyzes a batch of workloads (see [`analyze_workload`]).
+pub fn analyze_workloads(
+    workloads: &[Workload],
+    budget: u64,
+    pap: PapConfig,
+    xval: &XvalConfig,
+) -> Vec<WorkloadAnalysis> {
+    workloads
+        .iter()
+        .map(|w| analyze_workload(w, budget, pap, xval))
+        .collect()
+}
+
+/// Total violations across a batch.
+pub fn total_violations(results: &[WorkloadAnalysis]) -> usize {
+    results.iter().map(|r| r.violations.len()).sum()
+}
+
+fn dyn_load_to_json(l: &XvalLoad) -> Json {
+    let s = l.stats;
+    Json::obj([
+        ("pc", l.pc.to_json()),
+        ("class", l.class.name().to_json()),
+        ("conflict_free", l.conflict_free.to_json()),
+        ("ordered", l.ordered.to_json()),
+        ("executions", s.executions.to_json()),
+        ("conflict_exposed", s.conflict_exposed.to_json()),
+        ("ordering_violations", s.ordering_violations.to_json()),
+        ("injected", s.injected.to_json()),
+        ("value_correct", s.value_correct.to_json()),
+        ("attempts", s.attempts.to_json()),
+        ("predictions", s.predictions.to_json()),
+        ("addr_mispredicts", s.addr_mispredicts.to_json()),
+        ("stale_mispredicts", s.stale_mispredicts.to_json()),
+    ])
+}
+
+fn violation_to_json(v: &Violation) -> Json {
+    Json::obj([
+        ("pc", v.pc.to_json()),
+        ("rule", v.rule.to_json()),
+        ("detail", v.detail.to_json()),
+    ])
+}
+
+/// The full deterministic report for one batch.
+pub fn report_json(results: &[WorkloadAnalysis], budget: u64) -> Json {
+    Json::obj([
+        ("schema_version", 1u64.to_json()),
+        ("budget", budget.to_json()),
+        (
+            "total_violations",
+            (total_violations(results) as u64).to_json(),
+        ),
+        (
+            "workloads",
+            Json::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", r.name.to_json()),
+                            ("static", r.analysis.to_json()),
+                            (
+                                "loads",
+                                Json::Array(r.loads.iter().map(dyn_load_to_json).collect()),
+                            ),
+                            (
+                                "violations",
+                                Json::Array(r.violations.iter().map(violation_to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_kernel_passes_the_gate_and_reports() {
+        let w = lvp_workloads::by_name("aifirf").expect("workload");
+        let r = analyze_workload(&w, 30_000, PapConfig::default(), &XvalConfig::default());
+        assert!(
+            r.violations.is_empty(),
+            "gate must pass on the correct simulator: {:?}",
+            r.violations
+        );
+        assert!(!r.loads.is_empty());
+        // The report must parse back and stay deterministic.
+        let text = report_json(&[r], 30_000).pretty();
+        let again = analyze_workload(&w, 30_000, PapConfig::default(), &XvalConfig::default());
+        assert_eq!(text, report_json(&[again], 30_000).pretty());
+        assert!(Json::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! `analyze` — static load/store dependence analysis with the
+//! static-vs-dynamic cross-validation gate.
+//!
+//! ```text
+//! cargo run --release -p lvp-bench --bin analyze -- [flags]
+//!
+//!   --workloads a,b,c   workloads to analyze (default: all; `--list` to see)
+//!   --budget N          dynamic instructions per workload for the
+//!                       cross-validation simulation (default 60000)
+//!   --out PATH          report file (default results/analysis/report.json)
+//!   --check             additionally verify the report is byte-identical to
+//!                       the existing file at --out (determinism gate)
+//!   --inject-train-bug  disable the APT's §3.1.2 confidence reset on
+//!                       address mismatch (must make the gate FAIL; used to
+//!                       demonstrate the gate catches predictor bugs)
+//!   --list              print workloads and exit
+//! ```
+//!
+//! Exit status: 0 when the cross-validation gate passes (and, with
+//! `--check`, the report is byte-identical); 1 on violations; 2 on usage
+//! errors.
+
+use lvp_analysis::XvalConfig;
+use lvp_bench::analysis::{analyze_workloads, report_json, total_violations};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workloads: Vec<String>,
+    budget: u64,
+    out: PathBuf,
+    check: bool,
+    inject_train_bug: bool,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!("usage: analyze [--workloads a,b] [--budget N] [--out PATH] [--check]");
+    eprintln!("               [--inject-train-bug] [--list]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workloads: Vec::new(),
+        budget: 60_000,
+        out: PathBuf::from("results/analysis/report.json"),
+        check: false,
+        inject_train_bug: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workloads" => {
+                args.workloads = value(&mut i, "--workloads")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--budget" => {
+                args.budget = value(&mut i, "--budget")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--budget must be an integer"));
+            }
+            "--out" => args.out = PathBuf::from(value(&mut i, "--out")),
+            "--check" => args.check = true,
+            "--inject-train-bug" => args.inject_train_bug = true,
+            "--list" => {
+                println!("workloads:");
+                for w in lvp_workloads::all() {
+                    println!("  {:<12} [{}] {}", w.name, w.suite, w.description);
+                }
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let workloads: Vec<lvp_workloads::Workload> = if args.workloads.is_empty() {
+        lvp_workloads::all()
+    } else {
+        let mut ws = Vec::new();
+        for name in &args.workloads {
+            match lvp_workloads::by_name(name) {
+                Some(w) => ws.push(w),
+                None => usage(&format!("unknown workload '{name}' (try --list)")),
+            }
+        }
+        ws
+    };
+    let pap = dlvp::PapConfig {
+        train_reset_on_mismatch: !args.inject_train_bug,
+        ..dlvp::PapConfig::default()
+    };
+    eprintln!(
+        "analyze: {} workloads, budget {}{}",
+        workloads.len(),
+        args.budget,
+        if args.inject_train_bug {
+            " [INJECTED TRAIN BUG]"
+        } else {
+            ""
+        }
+    );
+    let t0 = std::time::Instant::now();
+    let results = analyze_workloads(&workloads, args.budget, pap, &XvalConfig::default());
+    eprintln!("analyze: completed in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let text = report_json(&results, args.budget).pretty();
+    if args.check {
+        match std::fs::read_to_string(&args.out) {
+            Ok(prev) if prev == text => {
+                println!("determinism check PASSED against {}", args.out.display());
+            }
+            Ok(_) => {
+                eprintln!(
+                    "analyze: report differs from existing {} (non-determinism or \
+                     un-regenerated artifact)",
+                    args.out.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("analyze: cannot read {}: {e}", args.out.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        if let Some(dir) = args.out.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("analyze: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&args.out, &text) {
+            eprintln!("analyze: cannot write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", args.out.display());
+    }
+
+    for r in &results {
+        let counts = r.analysis.class_counts();
+        eprintln!(
+            "  {:<12} loads {:>3} (const {:>2} strided {:>2} path {:>2} unk {:>2}) \
+             conflict-free {:>3} violations {}",
+            r.name,
+            r.loads.len(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            r.loads.iter().filter(|l| l.conflict_free).count(),
+            r.violations.len(),
+        );
+        for v in &r.violations {
+            eprintln!("    VIOLATION [{}] {}", v.rule, v.detail);
+        }
+    }
+    let total = total_violations(&results);
+    if total > 0 {
+        eprintln!("analyze: cross-validation FAILED: {total} violations");
+        return ExitCode::FAILURE;
+    }
+    println!("cross-validation gate PASSED ({} workloads)", results.len());
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,7 @@
 //! interactivity, which compresses absolute speedups but preserves the
 //! relative ordering the figures show).
 
+pub mod analysis;
 pub mod experiments;
 pub mod microbench;
 pub mod report;

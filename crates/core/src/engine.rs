@@ -18,7 +18,7 @@ use crate::addr::{size_code_for, AddressPredictor};
 use crate::lscd::Lscd;
 use crate::paq::Paq;
 use lvp_uarch::{ExecInfo, FetchCtx, FetchSlot, RenamePrediction, VpScheme, VpVerdict};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// DLVP knobs (defaults = the paper's design point).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +85,23 @@ pub struct DlvpCounters {
     pub prefetches: u64,
 }
 
+/// Per-load-PC predictor outcomes, keyed by the load's *architectural* PC
+/// (not the FGA proxy PC used to index the APT). Consumed by the
+/// `lvp-analysis` cross-validation gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcOutcome {
+    /// APT lookups performed (the load passed the ordering/LSCD/port
+    /// filters).
+    pub attempts: u64,
+    /// Lookups that returned a confident address prediction.
+    pub predictions: u64,
+    /// Validated predictions whose address (or size) was wrong.
+    pub addr_mispredicts: u64,
+    /// Address-correct predictions squashed because the probed value was
+    /// stale (conflicting in-flight store).
+    pub stale_mispredicts: u64,
+}
+
 /// Decoupled Load Value Prediction over an address predictor `A`.
 pub struct Dlvp<A: AddressPredictor> {
     cfg: DlvpConfig,
@@ -93,8 +110,8 @@ pub struct Dlvp<A: AddressPredictor> {
     paq: Paq,
     pending: HashMap<u64, Pending<A::Ctx>>,
     counters: DlvpCounters,
-    /// Per-PC stale-probe mispredictions (diagnostics).
-    stale_by_pc: HashMap<u64, u64>,
+    /// Per-PC outcomes (ordered so exports are deterministic).
+    per_pc: BTreeMap<u64, PcOutcome>,
     name: &'static str,
 }
 
@@ -107,7 +124,7 @@ impl<A: AddressPredictor> Dlvp<A> {
             paq: Paq::new(cfg.paq_entries, cfg.paq_window),
             pending: HashMap::new(),
             counters: DlvpCounters::default(),
-            stale_by_pc: HashMap::new(),
+            per_pc: BTreeMap::new(),
             cfg,
             predictor,
             name,
@@ -134,9 +151,9 @@ impl<A: AddressPredictor> Dlvp<A> {
         self.lscd.counters()
     }
 
-    /// Per-PC stale-probe misprediction counts (diagnostics).
-    pub fn stale_by_pc(&self) -> &HashMap<u64, u64> {
-        &self.stale_by_pc
+    /// Per-load-PC predictor outcomes, keyed by architectural PC.
+    pub fn per_pc_outcomes(&self) -> &BTreeMap<u64, PcOutcome> {
+        &self.per_pc
     }
 }
 
@@ -189,40 +206,54 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         // The FGA-based proxy PC (§3.1.1: "load PC and load PC plus one").
         let proxy_pc = slot.fga + 4 * slot.load_index_in_group as u64;
         let (pred, train_ctx) = self.predictor.lookup(proxy_pc);
+        let outcome = self.per_pc.entry(slot.pc).or_default();
+        outcome.attempts += 1;
         let mut probed = None;
         if let Some(p) = pred {
+            outcome.predictions += 1;
             self.counters.addr_predictions += 1;
             // ② deposit in the PAQ; ③ probe on an LS-lane bubble.
-            if self.paq.try_alloc() {
-                let alloc = ctx.cycle + 2; // predict + transfer to the backend
-                match ctx.lanes.book_ls_bubble(alloc, alloc + self.paq.window) {
+            let alloc = ctx.cycle + 2; // predict + transfer to the backend
+            if self.paq.alloc(crate::paq::PaqEntry {
+                seq: slot.seq,
+                addr: p.addr,
+                size_code: p.size_code,
+                way: p.way,
+                alloc_cycle: alloc,
+            }) {
+                match ctx.lanes.book_ls_bubble(alloc, alloc + self.paq.window()) {
                     Some(probe_cycle) => {
-                        self.paq.release_probed();
-                        let hint = if self.cfg.way_prediction {
-                            p.way.map(|w| w as usize)
-                        } else {
-                            None
-                        };
-                        let outcome = ctx.mem.probe_l1d(p.addr, hint);
-                        if outcome.way_mispredict {
-                            // The one-way probe read the wrong way: no data.
-                            self.counters.way_mispredicts += 1;
-                        } else if outcome.hit {
-                            // ④ value to the VPE (1-cycle read + 1-cycle
-                            // transfer).
-                            probed = Some(ProbedPrediction {
-                                addr: p.addr,
-                                size_code: p.size_code,
-                                probe_cycle,
-                                value_ready: probe_cycle + 2,
-                            });
-                        } else if self.cfg.prefetch_on_miss {
-                            // ⑤ prefetch the missing block.
-                            ctx.mem.dlvp_prefetch(p.addr);
-                            self.counters.prefetches += 1;
+                        if let Some(entry) = self.paq.pop_probed(probe_cycle) {
+                            let hint = if self.cfg.way_prediction {
+                                entry.way.map(|w| w as usize)
+                            } else {
+                                None
+                            };
+                            let outcome = ctx.mem.probe_l1d(entry.addr, hint);
+                            if outcome.way_mispredict {
+                                // The one-way probe read the wrong way: no
+                                // data.
+                                self.counters.way_mispredicts += 1;
+                            } else if outcome.hit {
+                                // ④ value to the VPE (1-cycle read + 1-cycle
+                                // transfer).
+                                probed = Some(ProbedPrediction {
+                                    addr: entry.addr,
+                                    size_code: entry.size_code,
+                                    probe_cycle,
+                                    value_ready: probe_cycle + 2,
+                                });
+                            } else if self.cfg.prefetch_on_miss {
+                                // ⑤ prefetch the missing block.
+                                ctx.mem.dlvp_prefetch(entry.addr);
+                                self.counters.prefetches += 1;
+                            }
                         }
                     }
-                    None => self.paq.release_dropped(),
+                    None => {
+                        // No LS bubble inside the window: the entry expires.
+                        self.paq.drop_expired(alloc + self.paq.window() + 1);
+                    }
                 }
             }
         }
@@ -274,12 +305,13 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         let correct = addr_correct && !stale;
         if addr_correct && stale {
             self.counters.stale_value_mispredicts += 1;
-            *self.stale_by_pc.entry(info.pc).or_insert(0) += 1;
+            self.per_pc.entry(info.pc).or_default().stale_mispredicts += 1;
             if self.cfg.use_lscd {
                 self.lscd.insert(info.pc);
             }
         } else if !addr_correct {
             self.counters.addr_mispredicts += 1;
+            self.per_pc.entry(info.pc).or_default().addr_mispredicts += 1;
         }
         VpVerdict {
             predicted: true,

@@ -49,11 +49,11 @@ pub mod vtage;
 pub use addr::{evaluate_standalone, AddrEval, AddrPrediction, AddressPredictor};
 pub use cap::{Cap, CapConfig};
 pub use dvtage::{Dvtage, DvtageConfig};
-pub use engine::{dlvp_default, dlvp_with_cap, Dlvp, DlvpConfig, DlvpCounters};
+pub use engine::{dlvp_default, dlvp_with_cap, Dlvp, DlvpConfig, DlvpCounters, PcOutcome};
 pub use fpc::Fpc;
 pub use lscd::Lscd;
 pub use pap::{AddrWidth, AllocPolicy, AptLayout, Pap, PapConfig};
-pub use paq::{Paq, PaqStats};
+pub use paq::{Paq, PaqEntry, PaqStats};
 pub use path::LoadPathHistory;
 pub use tournament::{Tournament, TournamentCounters};
 pub use vtage::{Vtage, VtageConfig, VtageFilter, VtageTargets};

@@ -65,6 +65,12 @@ pub struct PapConfig {
     /// point is {1, 2, 4} (~8 observations); sweeping this trades accuracy
     /// for coverage (§5.2.4's future-work knob).
     pub fpc_denoms: [u32; 3],
+    /// Apply the paper's §3.1.2 training rule on an address mismatch
+    /// (reset confidence and reallocate the entry). `true` is correct
+    /// behaviour; setting `false` *injects a bug* — the entry keeps its old
+    /// address and confidence — used by the cross-validation gate tests to
+    /// prove the gate detects a broken predictor.
+    pub train_reset_on_mismatch: bool,
 }
 
 impl Default for PapConfig {
@@ -77,6 +83,7 @@ impl Default for PapConfig {
             way_prediction: true,
             alloc_policy: AllocPolicy::RespectConfidence,
             fpc_denoms: [1, 2, 4],
+            train_reset_on_mismatch: true,
         }
     }
 }
@@ -250,7 +257,7 @@ impl AddressPredictor for Pap {
                 if way.is_some() {
                     e.way = way;
                 }
-            } else {
+            } else if self.cfg.train_reset_on_mismatch {
                 // §3.1.2: "Otherwise, we reset the confidence and reallocate
                 // the entry" with the executed load information.
                 e.addr = actual_addr;
@@ -258,6 +265,8 @@ impl AddressPredictor for Pap {
                 e.way = way;
                 e.confidence.reset();
             }
+            // else: injected bug for gate tests — stale address survives at
+            // full confidence.
         } else {
             // APT miss — allocation per the configured policy.
             let replace = match self.cfg.alloc_policy {
@@ -374,6 +383,30 @@ mod tests {
         p.note_load(pc);
         let (pred, _) = p.lookup(pc);
         assert!(pred.is_none(), "must retrain after an address change");
+    }
+
+    #[test]
+    fn injected_bug_keeps_stale_address_confident() {
+        // With the §3.1.2 reset disabled, an address change leaves the old
+        // address predicted at full confidence — the defect the static
+        // cross-validation gate exists to catch.
+        let mut p = Pap::new(PapConfig {
+            train_reset_on_mismatch: false,
+            ..PapConfig::default()
+        });
+        let pc = 0x4000;
+        for _ in 0..32 {
+            p.note_load(pc);
+            let (_, ctx) = p.lookup(pc);
+            p.train(ctx, 0x8000, 1, None);
+        }
+        p.note_load(pc);
+        let (_, ctx) = p.lookup(pc);
+        p.train(ctx, 0x9000, 1, None); // address changed, reset skipped
+        p.note_load(pc);
+        let (pred, _) = p.lookup(pc);
+        let pred = pred.expect("buggy predictor stays confident");
+        assert_eq!(pred.addr, 0x8000, "stale address survives");
     }
 
     #[test]

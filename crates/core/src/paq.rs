@@ -5,6 +5,12 @@
 //! number of cycles (N = 4 in the paper's Cortex-A72-style pipeline) — the
 //! guaranteed window before the load reaches rename. The paper measures
 //! fewer than 0.1% of entries dropping.
+//!
+//! The queue holds real entries and enforces the drop deadline itself:
+//! [`Paq::pop_probed`] first retires every entry whose window has passed,
+//! so a stale predicted address can never reach the cache probe path.
+
+use std::collections::VecDeque;
 
 /// One queued predicted address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,13 +41,13 @@ pub struct PaqStats {
 pub struct Paq {
     capacity: usize,
     /// Drop deadline in cycles after allocation (the paper's N).
-    pub window: u64,
-    live: usize,
+    window: u64,
+    queue: VecDeque<PaqEntry>,
     stats: PaqStats,
 }
 
 impl Paq {
-    /// Creates a PAQ with `capacity` entries (paper: 32) and an `window`-
+    /// Creates a PAQ with `capacity` entries (paper: 32) and a `window`-
     /// cycle probe deadline (paper: N = 4).
     ///
     /// # Panics
@@ -52,7 +58,7 @@ impl Paq {
         Paq {
             capacity,
             window,
-            live: 0,
+            queue: VecDeque::with_capacity(capacity),
             stats: PaqStats::default(),
         }
     }
@@ -62,35 +68,53 @@ impl Paq {
         Paq::new(32, 4)
     }
 
-    /// Attempts to allocate a slot; returns false (and counts an overflow)
-    /// when full.
-    pub fn try_alloc(&mut self) -> bool {
-        if self.live >= self.capacity {
+    /// The probe deadline in cycles after allocation.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Enqueues a predicted address; returns false (and counts an overflow)
+    /// when the queue is full.
+    pub fn alloc(&mut self, entry: PaqEntry) -> bool {
+        if self.queue.len() >= self.capacity {
             self.stats.overflowed += 1;
             return false;
         }
-        self.live += 1;
+        self.queue.push_back(entry);
         self.stats.allocated += 1;
         true
     }
 
-    /// Releases a slot after its probe completed.
-    pub fn release_probed(&mut self) {
-        debug_assert!(self.live > 0);
-        self.live = self.live.saturating_sub(1);
-        self.stats.probed += 1;
+    /// Retires every entry whose probe window has passed at `now`, counting
+    /// each as dropped. Returns how many were dropped. Entries are in
+    /// allocation order, so expiry only needs to look at the front.
+    pub fn drop_expired(&mut self, now: u64) -> usize {
+        let mut n = 0;
+        while let Some(front) = self.queue.front() {
+            if now > front.alloc_cycle + self.window {
+                self.queue.pop_front();
+                self.stats.dropped += 1;
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
     }
 
-    /// Releases a slot whose deadline passed without a probe bubble.
-    pub fn release_dropped(&mut self) {
-        debug_assert!(self.live > 0);
-        self.live = self.live.saturating_sub(1);
-        self.stats.dropped += 1;
+    /// Dequeues the oldest entry still inside its probe window at `now`,
+    /// counting it as probed. Expired entries are dropped first, so the
+    /// returned address is never stale.
+    pub fn pop_probed(&mut self, now: u64) -> Option<PaqEntry> {
+        self.drop_expired(now);
+        let e = self.queue.pop_front()?;
+        self.stats.probed += 1;
+        Some(e)
     }
 
     /// Live entries.
     pub fn occupancy(&self) -> usize {
-        self.live
+        self.queue.len()
     }
 
     /// Accumulated statistics.
@@ -112,28 +136,110 @@ impl Paq {
 mod tests {
     use super::*;
 
+    fn entry(seq: u64, cycle: u64) -> PaqEntry {
+        PaqEntry {
+            seq,
+            addr: 0x8000 + seq * 8,
+            size_code: 3,
+            way: Some(1),
+            alloc_cycle: cycle,
+        }
+    }
+
     #[test]
-    fn alloc_release_cycle() {
-        let mut q = Paq::new(2, 4);
-        assert!(q.try_alloc());
-        assert!(q.try_alloc());
-        assert!(!q.try_alloc(), "full queue rejects");
+    fn paper_capacity_bound_is_32_entries() {
+        let mut q = Paq::paper_default();
+        for i in 0..32 {
+            assert!(q.alloc(entry(i, 0)), "entry {i} must fit");
+        }
+        assert_eq!(q.occupancy(), 32);
+        assert!(!q.alloc(entry(32, 0)), "33rd entry must be rejected");
         assert_eq!(q.stats().overflowed, 1);
-        q.release_probed();
-        assert!(q.try_alloc());
-        assert_eq!(q.occupancy(), 2);
+        assert_eq!(q.stats().allocated, 32);
+    }
+
+    #[test]
+    fn n4_drop_policy_boundary() {
+        // An entry allocated at cycle 10 with N = 4 may probe through cycle
+        // 14 and must drop at cycle 15.
+        let mut q = Paq::paper_default();
+        assert!(q.alloc(entry(0, 10)));
+        let e = q.pop_probed(14).expect("still inside the window");
+        assert_eq!(e.seq, 0);
+        assert_eq!(q.stats().probed, 1);
+
+        assert!(q.alloc(entry(1, 10)));
+        assert!(q.pop_probed(15).is_none(), "window passed: must drop");
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.occupancy(), 0);
+    }
+
+    #[test]
+    fn drop_expired_only_retires_old_entries() {
+        let mut q = Paq::paper_default();
+        q.alloc(entry(0, 10));
+        q.alloc(entry(1, 13));
+        assert_eq!(q.drop_expired(15), 1, "only the cycle-10 entry expires");
+        let e = q.pop_probed(15).expect("cycle-13 entry still live");
+        assert_eq!(e.seq, 1);
+    }
+
+    #[test]
+    fn never_returns_a_stale_address() {
+        // Property loop: under pseudo-random allocation/probe timing, every
+        // popped entry is within its window — a dropped (expired) address
+        // can never come back out of the queue.
+        let mut q = Paq::new(8, 4);
+        let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for _ in 0..10_000 {
+            now += next() % 4; // time advances 0–3 cycles
+            match next() % 3 {
+                0 => {
+                    if q.alloc(entry(seq, now)) {
+                        seq += 1;
+                    }
+                }
+                1 => {
+                    if let Some(e) = q.pop_probed(now) {
+                        assert!(
+                            now <= e.alloc_cycle + q.window(),
+                            "stale entry escaped: alloc={} now={now}",
+                            e.alloc_cycle
+                        );
+                    }
+                }
+                _ => {
+                    q.drop_expired(now);
+                }
+            }
+        }
+        let s = q.stats();
+        assert_eq!(
+            s.allocated,
+            s.probed + s.dropped + q.occupancy() as u64,
+            "every allocated entry is accounted for: {s:?}"
+        );
+        assert!(s.probed > 0 && s.dropped > 0, "both paths exercised: {s:?}");
     }
 
     #[test]
     fn drop_rate_computed() {
         let mut q = Paq::paper_default();
-        for _ in 0..10 {
-            q.try_alloc();
+        for i in 0..10 {
+            q.alloc(entry(i, 0));
         }
         for _ in 0..9 {
-            q.release_probed();
+            q.pop_probed(0);
         }
-        q.release_dropped();
+        q.drop_expired(5);
         assert!((q.drop_rate() - 0.1).abs() < 1e-12);
         assert_eq!(q.occupancy(), 0);
     }
@@ -141,8 +247,8 @@ mod tests {
     #[test]
     fn paper_default_shape() {
         let mut q = Paq::paper_default();
-        assert_eq!(q.window, 4);
-        assert!(q.try_alloc());
+        assert_eq!(q.window(), 4);
+        assert!(q.alloc(entry(0, 0)));
         assert_eq!(q.occupancy(), 1);
     }
 

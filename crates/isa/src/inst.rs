@@ -529,6 +529,36 @@ impl Instruction {
         out
     }
 
+    /// The constant byte offset added to the base register for memory
+    /// operations with an immediate addressing form (zero for the
+    /// base-only forms `LDAR`/`STLR`/`LDM`/`STM`). `None` for
+    /// register-indexed forms and non-memory instructions — static analyses
+    /// must consult [`Instruction::mem_index`] in that case.
+    pub const fn mem_offset(self) -> Option<i64> {
+        match self {
+            Instruction::Ldr { offset, .. }
+            | Instruction::Str { offset, .. }
+            | Instruction::Ldp { offset, .. }
+            | Instruction::Stp { offset, .. }
+            | Instruction::Vld { offset, .. }
+            | Instruction::Vst { offset, .. } => Some(offset),
+            Instruction::Ldar { .. }
+            | Instruction::Stlr { .. }
+            | Instruction::Ldm { .. }
+            | Instruction::Stm { .. } => Some(0),
+            _ => None,
+        }
+    }
+
+    /// The index register for register-indexed memory operations
+    /// (`LdrIdx`/`StrIdx`), whose effective address is `rn + rm`.
+    pub const fn mem_index(self) -> Option<Reg> {
+        match self {
+            Instruction::LdrIdx { rm, .. } | Instruction::StrIdx { rm, .. } => Some(rm),
+            _ => None,
+        }
+    }
+
     /// The base address register for memory operations.
     pub const fn mem_base(self) -> Option<Reg> {
         match self {
@@ -760,6 +790,33 @@ mod tests {
         assert_eq!(v, vec![Reg::X1, Reg::X9, Reg::X30]);
         assert_eq!(l.len(), 3);
         assert!(RegList::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn mem_offset_and_index_accessors() {
+        let ldr = Instruction::Ldr {
+            rd: Reg::X1,
+            rn: Reg::X0,
+            offset: 24,
+            size: MemSize::X,
+        };
+        assert_eq!(ldr.mem_offset(), Some(24));
+        assert_eq!(ldr.mem_index(), None);
+        let idx = Instruction::StrIdx {
+            rt: Reg::X1,
+            rn: Reg::X0,
+            rm: Reg::X5,
+            size: MemSize::W,
+        };
+        assert_eq!(idx.mem_offset(), None);
+        assert_eq!(idx.mem_index(), Some(Reg::X5));
+        let ldar = Instruction::Ldar {
+            rd: Reg::X1,
+            rn: Reg::X0,
+        };
+        assert_eq!(ldar.mem_offset(), Some(0));
+        assert_eq!(Instruction::Nop.mem_offset(), None);
+        assert_eq!(Instruction::Nop.mem_index(), None);
     }
 
     #[test]

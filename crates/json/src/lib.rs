@@ -1,6 +1,6 @@
 //! # lvp-json — deterministic JSON for experiment results
 //!
-//! The experiment runner persists every [`SchemeOutcome`-style] record to
+//! The experiment runner persists every `SchemeOutcome`-style record to
 //! `results/matrix.json` and diffs re-runs against committed golden
 //! snapshots. That workflow needs three guarantees an external serializer
 //! would also give us, but which we implement here to keep the workspace
@@ -427,7 +427,10 @@ impl<'a> Parser<'a> {
                     // on char boundaries is safe via char_indices logic).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated input"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -451,7 +454,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
         if !is_float {
             if let Ok(x) = text.parse::<u64>() {
                 return Ok(Json::U64(x));

@@ -452,6 +452,18 @@ impl<S: VpScheme> Core<S> {
             OpClass::IntAlu | OpClass::Other => complete = exec_start + self.cfg.lat_int_alu as u64,
         }
 
+        // ---- per-PC load breakdown --------------------------------------
+        if is_load {
+            let pcs = self.stats.per_pc.entry(rec.pc).or_default();
+            pcs.executions += 1;
+            if conflicting_store_commit.is_some() {
+                pcs.conflict_exposed += 1;
+            }
+            if violation_redirect.is_some() {
+                pcs.ordering_violations += 1;
+            }
+        }
+
         // ---- scheme verdict ---------------------------------------------
         let values = rec.all_values();
         let info = ExecInfo {
@@ -471,6 +483,15 @@ impl<S: VpScheme> Core<S> {
         let mut dest_avail = complete;
         let mut vp_redirect: Option<u64> = None;
         if injected && verdict.predicted {
+            if is_load {
+                let pcs = self.stats.per_pc.entry(rec.pc).or_default();
+                pcs.injected += 1;
+                if verdict.correct {
+                    pcs.correct += 1;
+                } else if conflicting_store_commit.is_some() {
+                    pcs.conflict_squashes += 1;
+                }
+            }
             match self.cfg.recovery {
                 RecoveryMode::Flush => {
                     self.stats.vp_predicted += 1;

@@ -2,6 +2,43 @@
 
 use lvp_json::{Json, ToJson};
 use lvp_mem::HierarchyStats;
+use std::collections::BTreeMap;
+
+/// Dynamic counters for one static load PC, kept in [`SimStats::per_pc`].
+///
+/// These are what the static analyzer's cross-validation gate consumes
+/// (`lvp-analysis`): `conflict_exposed` must stay zero for loads the alias
+/// pass proves conflict-free, and `conflict_squashes` breaks down value
+/// mispredictions attributable to in-flight stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcLoadStats {
+    /// Committed executions of this load.
+    pub executions: u64,
+    /// Executions that saw an older overlapping store still in flight.
+    pub conflict_exposed: u64,
+    /// Memory-ordering violations charged to this load.
+    pub ordering_violations: u64,
+    /// Value predictions injected at rename for this load.
+    pub injected: u64,
+    /// Injected predictions that were value-correct.
+    pub correct: u64,
+    /// Injected mispredictions coincident with an in-flight conflicting
+    /// store (the paper's stale-value case).
+    pub conflict_squashes: u64,
+}
+
+impl ToJson for PcLoadStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("executions", self.executions.to_json()),
+            ("conflict_exposed", self.conflict_exposed.to_json()),
+            ("ordering_violations", self.ordering_violations.to_json()),
+            ("injected", self.injected.to_json()),
+            ("correct", self.correct.to_json()),
+            ("conflict_squashes", self.conflict_squashes.to_json()),
+        ])
+    }
+}
 
 /// Everything the experiment harnesses need from one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -52,7 +89,36 @@ pub struct SimStats {
     pub pvt_writes: u64,
     /// Memory hierarchy counters (includes DLVP probe activity).
     pub mem: HierarchyStats,
+    /// Per-load-PC breakdown (ordered map so reports are deterministic).
+    pub per_pc: BTreeMap<u64, PcLoadStats>,
 }
+
+/// Typed error for statistics that relate two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The two runs executed different instruction counts, so they are not
+    /// the same trace and their cycle counts are not comparable.
+    TraceMismatch {
+        /// Instructions in the numerator run.
+        this: u64,
+        /// Instructions in the baseline run.
+        baseline: u64,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TraceMismatch { this, baseline } => write!(
+                f,
+                "speedup requires runs over the same trace \
+                 (self executed {this} instructions, baseline {baseline})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 impl SimStats {
     /// Instructions per cycle.
@@ -78,13 +144,24 @@ impl SimStats {
     ///
     /// # Panics
     ///
-    /// Panics if the two runs executed different instruction counts.
+    /// Panics if the two runs executed different instruction counts; use
+    /// [`SimStats::try_speedup_over`] to handle that case gracefully.
     pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
-        assert_eq!(
-            self.instructions, baseline.instructions,
-            "speedup requires runs over the same trace"
-        );
-        baseline.cycles as f64 / self.cycles.max(1) as f64
+        match self.try_speedup_over(baseline) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`SimStats::speedup_over`].
+    pub fn try_speedup_over(&self, baseline: &SimStats) -> Result<f64, StatsError> {
+        if self.instructions != baseline.instructions {
+            return Err(StatsError::TraceMismatch {
+                this: self.instructions,
+                baseline: baseline.instructions,
+            });
+        }
+        Ok(baseline.cycles as f64 / self.cycles.max(1) as f64)
     }
 }
 
@@ -114,6 +191,21 @@ impl ToJson for SimStats {
             ("pvt_reads", self.pvt_reads.to_json()),
             ("pvt_writes", self.pvt_writes.to_json()),
             ("mem", self.mem.to_json()),
+            (
+                "per_pc",
+                Json::Array(
+                    self.per_pc
+                        .iter()
+                        .map(|(pc, s)| {
+                            let mut obj = vec![("pc".to_string(), pc.to_json())];
+                            if let Json::Object(fields) = s.to_json() {
+                                obj.extend(fields);
+                            }
+                            Json::Object(obj)
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -175,6 +267,57 @@ mod tests {
             ..SimStats::default()
         };
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn try_speedup_reports_trace_mismatch() {
+        let a = SimStats {
+            instructions: 100,
+            cycles: 1,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            instructions: 101,
+            cycles: 1,
+            ..SimStats::default()
+        };
+        assert_eq!(
+            a.try_speedup_over(&b),
+            Err(StatsError::TraceMismatch {
+                this: 100,
+                baseline: 101
+            })
+        );
+        assert!(a.try_speedup_over(&a).is_ok());
+    }
+
+    #[test]
+    fn per_pc_serializes_sorted_by_pc() {
+        let mut s = SimStats::default();
+        s.per_pc.insert(
+            0x2000,
+            PcLoadStats {
+                executions: 5,
+                ..PcLoadStats::default()
+            },
+        );
+        s.per_pc.insert(
+            0x1000,
+            PcLoadStats {
+                executions: 9,
+                conflict_exposed: 2,
+                ..PcLoadStats::default()
+            },
+        );
+        let j = s.to_json();
+        let arr = j.get("per_pc").and_then(|v| v.as_array()).expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("pc").and_then(Json::as_f64), Some(0x1000 as f64));
+        assert_eq!(
+            arr[0].get("conflict_exposed").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(arr[1].get("pc").and_then(Json::as_f64), Some(0x2000 as f64));
     }
 
     #[test]
