@@ -20,7 +20,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== clippy (library crates: no unwrap/panic outside tests) =="
 cargo clippy -q -p dlvp -p lvp-uarch -p lvp-mem -p lvp-emu -p lvp-json \
-  -p lvp-analysis --lib -- -D warnings -D clippy::unwrap_used
+  -p lvp-analysis -p lvp-obs -p lvp-isa -p lvp-trace -p lvp-branch \
+  --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
@@ -34,6 +35,18 @@ trap 'rm -rf "$tmp"' EXIT
   --budget 10000 --jobs 4 --out "$tmp/b.json"
 cmp "$tmp/a.json" "$tmp/b.json"
 echo "runner output is schedule-invariant"
+
+echo "== obs smoke (trace artifacts are schedule-invariant) =="
+./target/release/obs run --workload aifirf --scheme dlvp --budget 10000 \
+  --trace-out "$tmp/obs1.chrome.json" --report-out "$tmp/obs1.report.json"
+./target/release/obs run --workload aifirf --scheme dlvp --budget 10000 \
+  --trace-out "$tmp/obs2.chrome.json" --report-out "$tmp/obs2.report.json"
+cmp "$tmp/obs1.chrome.json" "$tmp/obs2.chrome.json"
+cmp "$tmp/obs1.report.json" "$tmp/obs2.report.json"
+echo "obs artifacts are deterministic"
+
+echo "== obs overhead (tracing must stay under 2x a NullSink run) =="
+./target/release/obs overhead --workload aifirf --budget 10000 --max-ratio 2.0
 
 echo "== analyze cross-validation gate =="
 # The gate itself (exit 1 on any static-vs-dynamic contradiction) plus the

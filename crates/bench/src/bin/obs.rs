@@ -1,0 +1,425 @@
+//! `obs` — the observability CLI: traced runs, Chrome-trace export,
+//! lifecycle reports, trace capture/replay, and tracing-overhead checks.
+//!
+//! ```text
+//! obs run      [--workload W] [--scheme S] [--budget N] [--ring N]
+//!              [--trace-out PATH] [--report-out PATH]
+//!   Simulate one (workload, scheme) with event tracing on. Writes a Chrome
+//!   trace_event JSON (load it at chrome://tracing) and a per-load-PC
+//!   lifecycle report, then cross-checks the report's injected/correct
+//!   columns against SimStats::per_pc — exact reconciliation or exit 1.
+//!
+//! obs record <workload> <budget> <file>   emulate once, save the trace
+//! obs stats  <file>                       inspect a saved trace
+//! obs replay <file> [scheme]              time a saved trace under a scheme
+//! obs misp     [--workload W] [--budget N] [--top N]
+//!   Rank load PCs by VTAGE value mispredictions, with disassembly.
+//! obs overhead [--workload W] [--budget N] [--max-ratio X]
+//!   Measure the wall-clock cost of tracing vs the NullSink build of the
+//!   same run (min of 3 each); exit 1 if the ratio exceeds --max-ratio.
+//! ```
+//!
+//! Every artifact `obs run` writes is a pure function of (workload, scheme,
+//! budget, ring): byte-identical across re-runs, machines, and thread
+//! counts. Host-timing output (the profiler, `overhead`) goes to stderr
+//! only and never into an artifact.
+
+use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
+use lvp_json::ToJson;
+use lvp_obs::{chrome_trace, HostProfiler, LifecycleReport, RunMeta};
+use lvp_trace::{read_trace, write_trace};
+use lvp_uarch::{simulate, CoreConfig, NoVp, SimStats};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_BUDGET: u64 = 20_000;
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: obs run      [--workload W] [--scheme S] [--budget N] [--ring N]");
+    eprintln!("                    [--trace-out PATH] [--report-out PATH]");
+    eprintln!("       obs record   <workload> <budget> <file>");
+    eprintln!("       obs stats    <file>");
+    eprintln!("       obs replay   <file> [baseline|dlvp|cap|vtage|tournament]");
+    eprintln!("       obs misp     [--workload W] [--budget N] [--top N]");
+    eprintln!("       obs overhead [--workload W] [--budget N] [--max-ratio X]");
+    std::process::exit(2);
+}
+
+/// Tiny `--flag value` parser shared by the flag-style subcommands.
+struct Flags {
+    argv: Vec<String>,
+}
+
+impl Flags {
+    fn new(argv: Vec<String>) -> Flags {
+        Flags { argv }
+    }
+
+    fn take(&mut self, flag: &str) -> Option<String> {
+        let i = self.argv.iter().position(|a| a == flag)?;
+        if i + 1 >= self.argv.len() {
+            usage(&format!("{flag} needs a value"));
+        }
+        let v = self.argv.remove(i + 1);
+        self.argv.remove(i);
+        Some(v)
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Option<T> {
+        self.take(flag).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| usage(&format!("{flag}: cannot parse '{v}'")))
+        })
+    }
+
+    fn finish(self) {
+        if let Some(stray) = self.argv.first() {
+            usage(&format!("unknown argument '{stray}'"));
+        }
+    }
+}
+
+fn workload_or_die(name: &str) -> lvp_workloads::Workload {
+    lvp_workloads::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}'; available:");
+        for w in lvp_workloads::all() {
+            eprintln!("  {:<12} [{}] {}", w.name, w.suite, w.description);
+        }
+        std::process::exit(2);
+    })
+}
+
+fn scheme_or_die(name: &str) -> SchemeKind {
+    SchemeKind::from_name(name).unwrap_or_else(|| usage(&format!("unknown scheme '{name}'")))
+}
+
+fn write_artifact(path: &PathBuf, bytes: &str) -> ExitCode {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("obs: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(path, bytes) {
+        eprintln!("obs: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Cross-checks the lifecycle report against `SimStats::per_pc`: both count
+/// injections at the same verify site, so with a lossless ring every
+/// (injected, correct, conflict_squashes) triple must match exactly.
+fn reconcile(report: &LifecycleReport, stats: &SimStats) -> Result<u64, String> {
+    let mut from_stats: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for (&pc, s) in &stats.per_pc {
+        if s.injected + s.correct + s.conflict_squashes > 0 {
+            from_stats.insert(pc, (s.injected, s.correct, s.conflict_squashes));
+        }
+    }
+    let mut from_report: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for (&pc, r) in report.per_pc() {
+        if r.injected + r.correct + r.conflict_squashes > 0 {
+            from_report.insert(pc, (r.injected, r.correct, r.conflict_squashes));
+        }
+    }
+    if from_stats == from_report {
+        return Ok(from_stats.len() as u64);
+    }
+    let mut msg = String::from("per-PC injection counts disagree with SimStats::per_pc:\n");
+    for pc in from_stats.keys().chain(from_report.keys()) {
+        let s = from_stats.get(pc);
+        let r = from_report.get(pc);
+        if s != r {
+            msg.push_str(&format!(
+                "  pc {pc:#x}: stats {s:?} vs report {r:?} (injected, correct, conflict_squashes)\n"
+            ));
+        }
+    }
+    Err(msg)
+}
+
+fn cmd_run(mut flags: Flags) -> ExitCode {
+    let workload = flags.take("--workload").unwrap_or_else(|| "aifirf".into());
+    let scheme_name = flags.take("--scheme").unwrap_or_else(|| "dlvp".into());
+    let budget: u64 = flags.take_parsed("--budget").unwrap_or(DEFAULT_BUDGET);
+    let ring: usize = flags
+        .take_parsed("--ring")
+        .unwrap_or_else(|| (budget as usize).saturating_mul(8).max(1));
+    let slug = format!("{workload}_{}", scheme_name.to_ascii_lowercase());
+    let trace_out = flags
+        .take("--trace-out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("results/obs/{slug}.chrome.json")));
+    let report_out = flags
+        .take("--report-out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("results/obs/{slug}.report.json")));
+    flags.finish();
+
+    let w = workload_or_die(&workload);
+    let scheme = scheme_or_die(&scheme_name);
+    if ring == 0 {
+        usage("--ring must be >= 1");
+    }
+
+    let mut prof = HostProfiler::new();
+    let trace = prof.time("emulate", || w.trace(budget));
+    let (outcome, events, overwritten) = prof.time("simulate", || {
+        run_scheme_traced(&trace, scheme, &CoreConfig::default(), ring)
+    });
+    let stats = &outcome.stats;
+
+    // Satellite: an empty run must be a typed error, not a silent 0.0 IPC.
+    let ipc = match stats.try_ipc() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs: {workload}/{}: {e}", scheme.name());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let meta = RunMeta {
+        workload: workload.clone(),
+        scheme: scheme.name().to_string(),
+        budget,
+    };
+    let report = prof.time("join", || {
+        LifecycleReport::build(meta, &events, overwritten)
+    });
+    let chrome = prof.time("export", || chrome_trace(&events));
+
+    if overwritten > 0 {
+        eprintln!(
+            "obs: warning: ring overwrote {overwritten} events; the report is a \
+             lower bound and is not reconciled (raise --ring)"
+        );
+    } else {
+        match reconcile(&report, stats) {
+            Ok(pcs) => eprintln!(
+                "obs: report reconciled with SimStats::per_pc across {pcs} predicted load PCs"
+            ),
+            Err(msg) => {
+                eprintln!("obs: RECONCILIATION FAILED\n{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rc = write_artifact(&trace_out, &(chrome.compact() + "\n"));
+    if rc != ExitCode::SUCCESS {
+        return rc;
+    }
+    let rc = write_artifact(&report_out, &report.to_json().pretty());
+    if rc != ExitCode::SUCCESS {
+        return rc;
+    }
+
+    println!(
+        "{workload}/{}: {} cycles, IPC {ipc:.3}, coverage {:.1}%, accuracy {:.2}%",
+        scheme.name(),
+        stats.cycles,
+        stats.coverage() * 100.0,
+        stats.accuracy() * 100.0,
+    );
+    println!(
+        "recorded {} events ({} overwritten); {} load PCs in report",
+        report.recorded(),
+        overwritten,
+        report.per_pc().len()
+    );
+    println!("wrote {}", trace_out.display());
+    println!("wrote {}", report_out.display());
+    eprint!("{}", prof.report(stats.instructions));
+    ExitCode::SUCCESS
+}
+
+fn cmd_record(args: &[String]) -> ExitCode {
+    let [workload, budget, file] = args else {
+        usage("record takes <workload> <budget> <file>")
+    };
+    let w = workload_or_die(workload);
+    let budget: u64 = budget
+        .parse()
+        .unwrap_or_else(|_| usage("record: budget must be an integer"));
+    let trace = w.trace(budget);
+    let out = match File::create(file) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs: cannot create {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_trace(&trace, BufWriter::new(out)) {
+        eprintln!("obs: cannot write {file}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "recorded {} instructions of {workload} to {file}",
+        trace.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn read_trace_file(file: &str) -> Result<lvp_trace::Trace, String> {
+    let f = File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?;
+    read_trace(BufReader::new(f)).map_err(|e| format!("cannot parse {file}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let [file] = args else {
+        usage("stats takes <file>")
+    };
+    let trace = match read_trace_file(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("instructions : {}", trace.len());
+    println!("loads        : {}", trace.load_count());
+    println!("stores       : {}", trace.store_count());
+    println!("branches     : {}", trace.branch_count());
+    let rep = lvp_trace::RepeatProfile::profile(&trace);
+    match lvp_trace::RepeatProfile::threshold_index(8) {
+        Some(i8) => println!("addr repeat>=8: {:.1}%", rep.addr_fraction(i8) * 100.0),
+        None => eprintln!("obs: repeat profile has no >=8 threshold bucket"),
+    }
+    let conf = lvp_trace::ConflictProfile::profile(&trace, 96);
+    println!(
+        "store-conflicting loads: {:.1}%",
+        conf.total_fraction() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let file = match args.first() {
+        Some(f) => f,
+        None => usage("replay takes <file> [scheme]"),
+    };
+    let trace = match read_trace_file(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scheme_name = args.get(1).map(String::as_str).unwrap_or("dlvp");
+    let scheme = scheme_or_die(scheme_name);
+    let base = simulate(&trace, NoVp);
+    let stats = if scheme == SchemeKind::Baseline {
+        base.clone()
+    } else {
+        run_scheme(&trace, scheme, &CoreConfig::default()).stats
+    };
+    let ipc = match stats.try_ipc() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: {} cycles, IPC {ipc:.3}, speedup {:+.2}%, coverage {:.1}%, accuracy {:.2}%",
+        scheme.name(),
+        stats.cycles,
+        (stats.speedup_over(&base) - 1.0) * 100.0,
+        stats.coverage() * 100.0,
+        stats.accuracy() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_misp(mut flags: Flags) -> ExitCode {
+    let workload = flags.take("--workload").unwrap_or_else(|| "autcor".into());
+    let budget: u64 = flags.take_parsed("--budget").unwrap_or(200_000);
+    let top: usize = flags.take_parsed("--top").unwrap_or(6);
+    flags.finish();
+
+    let w = workload_or_die(&workload);
+    let t = w.trace(budget);
+    let core = lvp_uarch::Core::new(CoreConfig::default(), dlvp::Vtage::paper_default());
+    let (s, v) = core.run_with_scheme(&t);
+    match s.try_accuracy() {
+        Ok(acc) => println!("{workload}: flushes {} accuracy {acc:.4}", s.vp_flushes),
+        Err(_) => println!("{workload}: flushes {} (no predictions made)", s.vp_flushes),
+    }
+    let mut m: Vec<_> = v.misp_by_pc().iter().collect();
+    m.sort_by_key(|(pc, c)| (std::cmp::Reverse(**c), **pc));
+    let prog = w.program();
+    for (pc, c) in m.iter().take(top) {
+        println!(
+            "misp {:#x} x{} {}",
+            pc,
+            c,
+            prog.fetch(**pc).map(|i| i.to_string()).unwrap_or_default()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_overhead(mut flags: Flags) -> ExitCode {
+    let workload = flags.take("--workload").unwrap_or_else(|| "aifirf".into());
+    let budget: u64 = flags.take_parsed("--budget").unwrap_or(DEFAULT_BUDGET);
+    let max_ratio: f64 = flags.take_parsed("--max-ratio").unwrap_or(2.0);
+    flags.finish();
+
+    let w = workload_or_die(&workload);
+    let trace = w.trace(budget);
+    let cfg = CoreConfig::default();
+    let ring = (budget as usize).saturating_mul(8).max(1);
+
+    // Min of three: the least noisy point estimate a cold CI box can give.
+    let mut null_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let o = run_scheme(&trace, SchemeKind::Dlvp, &cfg);
+        null_best = null_best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&o);
+
+        let t1 = std::time::Instant::now();
+        let (o, ev, _) = run_scheme_traced(&trace, SchemeKind::Dlvp, &cfg, ring);
+        traced_best = traced_best.min(t1.elapsed().as_secs_f64());
+        events = ev.len() as u64;
+        std::hint::black_box((&o, &ev));
+    }
+    let ratio = if null_best > 0.0 {
+        traced_best / null_best
+    } else {
+        1.0
+    };
+    println!(
+        "{workload}: NullSink {:.3} ms, RingSink {:.3} ms ({events} events), ratio {ratio:.2}x (max {max_ratio:.2}x)",
+        null_best * 1e3,
+        traced_best * 1e3
+    );
+    if ratio > max_ratio {
+        eprintln!("obs: tracing overhead {ratio:.2}x exceeds the {max_ratio:.2}x budget");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("run") => cmd_run(Flags::new(argv[1..].to_vec())),
+        Some("record") => cmd_record(&argv[1..]),
+        Some("stats") => cmd_stats(&argv[1..]),
+        Some("replay") => cmd_replay(&argv[1..]),
+        Some("misp") => cmd_misp(Flags::new(argv[1..].to_vec())),
+        Some("overhead") => cmd_overhead(Flags::new(argv[1..].to_vec())),
+        Some("--help") | Some("-h") | Some("help") => usage(""),
+        _ => usage("missing subcommand"),
+    }
+}

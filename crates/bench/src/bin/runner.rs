@@ -168,6 +168,25 @@ fn main() -> ExitCode {
     let results = run_matrix(&args.spec, args.jobs);
     eprintln!("runner: completed in {:.2}s", t0.elapsed().as_secs_f64());
 
+    // A job that committed nothing would flow 0.0 IPC into every derived
+    // figure; surface the typed EmptyRun error per job and fail instead.
+    let mut empty_jobs = 0usize;
+    for j in &results.jobs {
+        if let Err(e) = j.outcome.stats.try_ipc() {
+            eprintln!(
+                "runner: {} / {} / {}: {e}",
+                j.spec.workload,
+                j.spec.variant.name(),
+                j.spec.scheme.name()
+            );
+            empty_jobs += 1;
+        }
+    }
+    if empty_jobs > 0 {
+        eprintln!("runner: {empty_jobs} empty job(s); refusing to write results");
+        return ExitCode::FAILURE;
+    }
+
     if let Err(e) = results.write_to(&args.out) {
         eprintln!("runner: cannot write {}: {e}", args.out.display());
         return ExitCode::FAILURE;

@@ -4,6 +4,7 @@
 use dlvp::{AddressPredictor, Dlvp, DlvpConfig, Pap, Tournament, Vtage};
 use lvp_energy::{core_energy, EnergyInput, EnergyParams, PredictorEnergyInput};
 use lvp_json::{Json, ToJson};
+use lvp_obs::{ObsEvent, RingSink};
 use lvp_trace::Trace;
 use lvp_uarch::{Core, CoreConfig, NoVp, RecoveryMode, SimStats, VpScheme};
 
@@ -204,6 +205,94 @@ pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> Scheme
             let (stats, s) = core.run_with_scheme(trace);
             let extra = s.extra_counters();
             SchemeOutcome::from(scheme, stats, extra, 0, 0, 0)
+        }
+    }
+}
+
+/// [`run_scheme`] with event tracing: the core records up to
+/// `ring_capacity` lifecycle events into a ring sink. Returns the outcome,
+/// the recorded events oldest-first, and how many events the ring
+/// overwrote. The returned `SimStats` are byte-identical (via `ToJson`) to
+/// an untraced [`run_scheme`] of the same inputs — sinks only observe.
+pub fn run_scheme_traced(
+    trace: &Trace,
+    scheme: SchemeKind,
+    cfg: &CoreConfig,
+    ring_capacity: usize,
+) -> (SchemeOutcome, Vec<ObsEvent>, u64) {
+    fn go<S: VpScheme>(
+        trace: &Trace,
+        cfg: &CoreConfig,
+        scheme: S,
+        cap: usize,
+    ) -> (SimStats, S, Vec<ObsEvent>, u64) {
+        let core = Core::with_sink(cfg.clone(), scheme, RingSink::new(cap));
+        let (stats, scheme, sink) = core.run_traced(trace);
+        let ring = sink.into_ring();
+        let overwritten = ring.overwritten();
+        (stats, scheme, ring.drain(), overwritten)
+    }
+    match scheme {
+        SchemeKind::Baseline => {
+            let (stats, _, events, lost) = go(trace, cfg, NoVp, ring_capacity);
+            (
+                SchemeOutcome::from(scheme, stats, vec![], 0, 0, 0),
+                events,
+                lost,
+            )
+        }
+        SchemeKind::Dlvp => {
+            let (stats, s, events, lost) = go(trace, cfg, dlvp::dlvp_default(), ring_capacity);
+            let act = s.predictor().activity();
+            let extra = s.extra_counters();
+            (
+                SchemeOutcome::from(
+                    scheme,
+                    stats,
+                    extra,
+                    s.predictor().storage_bits(),
+                    act.reads,
+                    act.writes,
+                ),
+                events,
+                lost,
+            )
+        }
+        SchemeKind::Cap => {
+            let (stats, s, events, lost) = go(trace, cfg, dlvp::dlvp_with_cap(), ring_capacity);
+            let act = s.predictor().activity();
+            let extra = s.extra_counters();
+            (
+                SchemeOutcome::from(
+                    scheme,
+                    stats,
+                    extra,
+                    s.predictor().storage_bits(),
+                    act.reads,
+                    act.writes,
+                ),
+                events,
+                lost,
+            )
+        }
+        SchemeKind::Vtage => {
+            let (stats, s, events, lost) = go(trace, cfg, Vtage::paper_default(), ring_capacity);
+            let (r, w) = s.activity();
+            let extra = s.extra_counters();
+            (
+                SchemeOutcome::from(scheme, stats, extra, s.storage_bits(), r, w),
+                events,
+                lost,
+            )
+        }
+        SchemeKind::Tournament => {
+            let (stats, s, events, lost) = go(trace, cfg, Tournament::new(), ring_capacity);
+            let extra = s.extra_counters();
+            (
+                SchemeOutcome::from(scheme, stats, extra, 0, 0, 0),
+                events,
+                lost,
+            )
         }
     }
 }

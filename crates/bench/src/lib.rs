@@ -21,7 +21,9 @@ pub mod microbench;
 pub mod report;
 pub mod runner;
 
-pub use experiments::{budget_from_args, run_scheme, ComparisonRow, SchemeKind, SchemeOutcome};
+pub use experiments::{
+    budget_from_args, run_scheme, run_scheme_traced, ComparisonRow, SchemeKind, SchemeOutcome,
+};
 pub use runner::{
     default_jobs, diff_matrices, run_job, run_matrix, ConfigVariant, Drift, JobResult, JobSpec,
     MatrixResults, MatrixSpec, Tolerances,

@@ -13,6 +13,10 @@ pub struct AddrPrediction {
     /// Predicted L1D way, when way prediction is trained (Table 1, optional
     /// field).
     pub way: Option<u8>,
+    /// Confidence of the predicting entry at lookup (FPC value for PAP,
+    /// saturating counter for CAP). Observability only — the engine's
+    /// predict/don't-predict decision happened inside the predictor.
+    pub confidence: u8,
 }
 
 /// Read/write activity counters (for the Figure 6d energy comparison).
@@ -53,6 +57,13 @@ pub trait AddressPredictor {
 
     /// Accumulated read/write activity.
     fn activity(&self) -> PredictorActivity;
+
+    /// Snapshot of the predictor's path-history register, recorded into
+    /// fetch-time observability events. History-free predictors (CAP) keep
+    /// the default 0.
+    fn path_signature(&self) -> u64 {
+        0
+    }
 }
 
 /// Result of a standalone address-prediction evaluation (Figure 4).

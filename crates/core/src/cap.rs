@@ -167,6 +167,7 @@ impl AddressPredictor for Cap {
                 addr: le.addr,
                 size_code: le.size_code,
                 way: le.way,
+                confidence: lb.confidence.min(u8::MAX as u32) as u8,
             })
         } else {
             None

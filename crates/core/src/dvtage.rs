@@ -211,7 +211,7 @@ impl VpScheme for Dvtage {
         "D-VTAGE"
     }
 
-    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
+    fn on_fetch<K: lvp_uarch::EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
         if !slot.inst.is_load() || slot.inst.dest_chunks() != 1 || slot.inst.is_ordered() {
             return;
         }
@@ -377,12 +377,14 @@ mod tests {
             // fetch
             let mut lanes = lvp_uarch::LaneTracker::new(2, 6);
             let mut mem = lvp_mem::MemoryHierarchy::new(lvp_mem::HierarchyConfig::default());
+            let mut sink = lvp_uarch::NullSink;
             let mut ctx = lvp_uarch::FetchCtx {
                 cycle: seq,
                 expected_rename: seq + 8,
                 history: &h,
                 lanes: &mut lanes,
                 mem: &mut mem,
+                sink: &mut sink,
             };
             d.on_fetch(&slot, &mut ctx);
             let values = [value];

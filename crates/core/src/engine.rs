@@ -17,6 +17,7 @@
 use crate::addr::{size_code_for, AddressPredictor};
 use crate::lscd::Lscd;
 use crate::paq::Paq;
+use lvp_obs::{EventSink, FilterReason, ObsEvent};
 use lvp_uarch::{ExecInfo, FetchCtx, FetchSlot, RenamePrediction, VpScheme, VpVerdict};
 use std::collections::{BTreeMap, HashMap};
 
@@ -162,7 +163,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         self.name
     }
 
-    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
+    fn on_fetch<K: EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
         if !slot.inst.is_load() {
             return;
         }
@@ -172,6 +173,14 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
             // §3.2.2 memory consistency: "address prediction is not used
             // with memory ordering instructions, atomic and exclusive
             // memory accesses."
+            if K::ENABLED {
+                ctx.sink.emit(ObsEvent::PredictFiltered {
+                    seq: slot.seq,
+                    pc: slot.pc,
+                    cycle: ctx.cycle,
+                    reason: FilterReason::Ordered,
+                });
+            }
             self.pending.insert(
                 slot.seq,
                 Pending {
@@ -183,6 +192,14 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         }
         if self.cfg.use_lscd && self.lscd.filters(slot.pc) {
             self.counters.lscd_suppressed += 1;
+            if K::ENABLED {
+                ctx.sink.emit(ObsEvent::PredictFiltered {
+                    seq: slot.seq,
+                    pc: slot.pc,
+                    cycle: ctx.cycle,
+                    reason: FilterReason::Lscd,
+                });
+            }
             self.pending.insert(
                 slot.seq,
                 Pending {
@@ -194,6 +211,14 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         }
         if slot.load_index_in_group >= self.cfg.max_per_group {
             // Beyond the per-group prediction ports (paper: <2% of groups).
+            if K::ENABLED {
+                ctx.sink.emit(ObsEvent::PredictFiltered {
+                    seq: slot.seq,
+                    pc: slot.pc,
+                    cycle: ctx.cycle,
+                    reason: FilterReason::PortLimit,
+                });
+            }
             self.pending.insert(
                 slot.seq,
                 Pending {
@@ -206,6 +231,18 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         // The FGA-based proxy PC (§3.1.1: "load PC and load PC plus one").
         let proxy_pc = slot.fga + 4 * slot.load_index_in_group as u64;
         let (pred, train_ctx) = self.predictor.lookup(proxy_pc);
+        if K::ENABLED {
+            ctx.sink.emit(ObsEvent::AptLookup {
+                seq: slot.seq,
+                pc: slot.pc,
+                proxy_pc,
+                cycle: ctx.cycle,
+                path_sig: self.predictor.path_signature(),
+                predicted: pred.is_some(),
+                confidence: pred.map_or(0, |p| p.confidence),
+                addr: pred.map_or(0, |p| p.addr),
+            });
+        }
         let outcome = self.per_pc.entry(slot.pc).or_default();
         outcome.attempts += 1;
         let mut probed = None;
@@ -221,15 +258,37 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                 way: p.way,
                 alloc_cycle: alloc,
             }) {
+                if K::ENABLED {
+                    ctx.sink.emit(ObsEvent::PaqEnqueue {
+                        seq: slot.seq,
+                        addr: p.addr,
+                        cycle: alloc,
+                    });
+                }
                 match ctx.lanes.book_ls_bubble(alloc, alloc + self.paq.window()) {
                     Some(probe_cycle) => {
-                        if let Some(entry) = self.paq.pop_probed(probe_cycle) {
+                        let sink = &mut *ctx.sink;
+                        if let Some(entry) = self.paq.pop_probed_with(probe_cycle, |e| {
+                            if K::ENABLED {
+                                sink.emit(ObsEvent::PaqDrop {
+                                    seq: e.seq,
+                                    cycle: probe_cycle,
+                                    enqueued: e.alloc_cycle,
+                                });
+                            }
+                        }) {
                             let hint = if self.cfg.way_prediction {
                                 entry.way.map(|w| w as usize)
                             } else {
                                 None
                             };
-                            let outcome = ctx.mem.probe_l1d(entry.addr, hint);
+                            let outcome = ctx.mem.probe_l1d_traced(
+                                entry.seq,
+                                probe_cycle,
+                                entry.addr,
+                                hint,
+                                &mut *ctx.sink,
+                            );
                             if outcome.way_mispredict {
                                 // The one-way probe read the wrong way: no
                                 // data.
@@ -247,14 +306,36 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                                 // ⑤ prefetch the missing block.
                                 ctx.mem.dlvp_prefetch(entry.addr);
                                 self.counters.prefetches += 1;
+                                if K::ENABLED {
+                                    ctx.sink.emit(ObsEvent::Prefetch {
+                                        seq: entry.seq,
+                                        addr: entry.addr,
+                                        cycle: probe_cycle,
+                                    });
+                                }
                             }
                         }
                     }
                     None => {
                         // No LS bubble inside the window: the entry expires.
-                        self.paq.drop_expired(alloc + self.paq.window() + 1);
+                        let deadline = alloc + self.paq.window() + 1;
+                        let sink = &mut *ctx.sink;
+                        self.paq.drop_expired_with(deadline, |e| {
+                            if K::ENABLED {
+                                sink.emit(ObsEvent::PaqDrop {
+                                    seq: e.seq,
+                                    cycle: deadline,
+                                    enqueued: e.alloc_cycle,
+                                });
+                            }
+                        });
                     }
                 }
+            } else if K::ENABLED {
+                ctx.sink.emit(ObsEvent::PaqOverflow {
+                    seq: slot.seq,
+                    cycle: alloc,
+                });
             }
         }
         self.pending.insert(

@@ -239,6 +239,7 @@ impl AddressPredictor for Pap {
                 addr: e.addr,
                 size_code: e.size_code,
                 way: e.way,
+                confidence: e.confidence.value(),
             })
         } else {
             None
@@ -296,6 +297,10 @@ impl AddressPredictor for Pap {
 
     fn activity(&self) -> PredictorActivity {
         self.activity
+    }
+
+    fn path_signature(&self) -> u64 {
+        self.history.snapshot()
     }
 }
 

@@ -89,9 +89,16 @@ impl Paq {
     /// each as dropped. Returns how many were dropped. Entries are in
     /// allocation order, so expiry only needs to look at the front.
     pub fn drop_expired(&mut self, now: u64) -> usize {
+        self.drop_expired_with(now, |_| {})
+    }
+
+    /// [`Paq::drop_expired`] with a callback observing each dropped entry
+    /// (for event tracing). Identical queue and counter behaviour.
+    pub fn drop_expired_with(&mut self, now: u64, mut on_drop: impl FnMut(&PaqEntry)) -> usize {
         let mut n = 0;
         while let Some(front) = self.queue.front() {
             if now > front.alloc_cycle + self.window {
+                on_drop(front);
                 self.queue.pop_front();
                 self.stats.dropped += 1;
                 n += 1;
@@ -106,7 +113,17 @@ impl Paq {
     /// counting it as probed. Expired entries are dropped first, so the
     /// returned address is never stale.
     pub fn pop_probed(&mut self, now: u64) -> Option<PaqEntry> {
-        self.drop_expired(now);
+        self.pop_probed_with(now, |_| {})
+    }
+
+    /// [`Paq::pop_probed`] with a callback observing each entry the expiry
+    /// sweep drops on the way (for event tracing).
+    pub fn pop_probed_with(
+        &mut self,
+        now: u64,
+        on_drop: impl FnMut(&PaqEntry),
+    ) -> Option<PaqEntry> {
+        self.drop_expired_with(now, on_drop);
         let e = self.queue.pop_front()?;
         self.stats.probed += 1;
         Some(e)

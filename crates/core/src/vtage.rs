@@ -356,7 +356,7 @@ impl VpScheme for Vtage {
         "VTAGE"
     }
 
-    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
+    fn on_fetch<K: lvp_uarch::EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
         if !self.eligible(slot.inst) {
             if slot.inst.dest_chunks() > 0 && !slot.inst.is_branch() && !slot.inst.is_store() {
                 self.counters.filtered += 1;

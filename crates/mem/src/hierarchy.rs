@@ -203,6 +203,31 @@ impl MemoryHierarchy {
         }
     }
 
+    /// [`MemoryHierarchy::probe_l1d`] with an observability record: emits
+    /// one [`lvp_obs::ObsEvent::L1Probe`] describing the outcome when the
+    /// sink is enabled. Cache state changes identically either way.
+    pub fn probe_l1d_traced<K: lvp_obs::EventSink>(
+        &mut self,
+        seq: u64,
+        cycle: u64,
+        addr: u64,
+        hint: Option<usize>,
+        sink: &mut K,
+    ) -> ProbeOutcome {
+        let outcome = self.probe_l1d(addr, hint);
+        if K::ENABLED {
+            sink.emit(lvp_obs::ObsEvent::L1Probe {
+                seq,
+                addr,
+                cycle,
+                hit: outcome.hit,
+                way_mispredict: outcome.way_mispredict,
+                tlb_miss: outcome.tlb_miss,
+            });
+        }
+        outcome
+    }
+
     /// Issues a DLVP-generated prefetch for `addr` (on probe miss), filling
     /// the hierarchy as the baseline prefetch path does.
     pub fn dlvp_prefetch(&mut self, addr: u64) {

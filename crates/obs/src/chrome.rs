@@ -1,0 +1,267 @@
+//! Chrome `trace_event` export: turns an event stream into JSON loadable at
+//! `chrome://tracing` (or Perfetto's legacy importer).
+//!
+//! Layout: process 0 ("pipeline") shows each retired load as a complete
+//! span (`ph: "X"`) from fetch to commit, packed first-fit into lanes so
+//! overlapping loads render side by side; process 1 ("dlvp") shows every
+//! DLVP lifecycle event as a thread-scoped instant (`ph: "i"`), one thread
+//! per event kind. One simulated cycle maps to one microsecond of trace
+//! time, so the viewer's time axis reads directly in cycles.
+
+use crate::event::ObsEvent;
+use lvp_json::{Json, ToJson};
+
+/// Trace process for pipeline spans.
+const PID_PIPELINE: u64 = 0;
+/// Trace process for DLVP lifecycle instants.
+const PID_DLVP: u64 = 1;
+/// Cap on pipeline lanes; deeper overlap folds into the last lane.
+const MAX_LANES: usize = 64;
+
+/// Fixed kind → thread-id mapping for instant events, so traces from
+/// different runs line up thread-for-thread.
+const INSTANT_KINDS: [&str; 12] = [
+    "apt_lookup",
+    "predict_filtered",
+    "paq_enqueue",
+    "paq_overflow",
+    "paq_drop",
+    "l1_probe",
+    "prefetch",
+    "mdp_delay",
+    "rename_inject",
+    "inject_blocked",
+    "verify",
+    "redirect",
+];
+
+fn instant_tid(kind: &str) -> u64 {
+    INSTANT_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .map_or(INSTANT_KINDS.len() as u64, |i| i as u64)
+}
+
+fn metadata(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), name.to_json()),
+        ("ph".to_string(), "M".to_json()),
+        ("pid".to_string(), pid.to_json()),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid".to_string(), tid.to_json()));
+    }
+    pairs.push(("args".to_string(), Json::obj([("name", value.to_json())])));
+    Json::Object(pairs)
+}
+
+/// Builds the Chrome `trace_event` document for an oldest-first event
+/// stream. Pure and deterministic: the same events produce byte-identical
+/// JSON.
+pub fn chrome_trace(events: &[ObsEvent]) -> Json {
+    // First-fit lane packing for load spans: lane i is free at time t when
+    // its previous span ended at or before t.
+    let mut lane_free_at: Vec<u64> = Vec::new();
+    let mut spans: Vec<Json> = Vec::new();
+    let mut instants: Vec<Json> = Vec::new();
+    let mut kinds_seen = [false; 12];
+
+    for event in events {
+        if let ObsEvent::Retire {
+            seq,
+            pc,
+            is_load,
+            eff_addr,
+            fetch,
+            rename,
+            issue,
+            execute,
+            complete,
+            commit,
+            ..
+        } = *event
+        {
+            if !is_load {
+                continue;
+            }
+            let dur = commit.saturating_sub(fetch).max(1);
+            let lane = match lane_free_at.iter().position(|&free| free <= fetch) {
+                Some(i) => i,
+                None if lane_free_at.len() < MAX_LANES => {
+                    lane_free_at.push(0);
+                    lane_free_at.len() - 1
+                }
+                None => MAX_LANES - 1,
+            };
+            lane_free_at[lane] = lane_free_at[lane].max(fetch + dur);
+            spans.push(Json::obj([
+                ("name", format!("load@{pc:#x}").to_json()),
+                ("ph", "X".to_json()),
+                ("ts", fetch.to_json()),
+                ("dur", dur.to_json()),
+                ("pid", PID_PIPELINE.to_json()),
+                ("tid", (lane as u64).to_json()),
+                (
+                    "args",
+                    Json::obj([
+                        ("seq", seq.to_json()),
+                        ("eff_addr", eff_addr.to_json()),
+                        ("fetch", fetch.to_json()),
+                        ("rename", rename.to_json()),
+                        ("issue", issue.to_json()),
+                        ("execute", execute.to_json()),
+                        ("complete", complete.to_json()),
+                        ("commit", commit.to_json()),
+                    ]),
+                ),
+            ]));
+        } else {
+            let kind = event.kind();
+            let tid = instant_tid(kind);
+            if let Some(seen) = kinds_seen.get_mut(tid as usize) {
+                *seen = true;
+            }
+            instants.push(Json::obj([
+                ("name", kind.to_json()),
+                ("ph", "i".to_json()),
+                ("ts", event.cycle().to_json()),
+                ("pid", PID_DLVP.to_json()),
+                ("tid", tid.to_json()),
+                ("s", "t".to_json()),
+                ("args", event.to_json()),
+            ]));
+        }
+    }
+
+    let mut trace_events = vec![
+        metadata("process_name", PID_PIPELINE, None, "pipeline"),
+        metadata("process_name", PID_DLVP, None, "dlvp"),
+    ];
+    for lane in 0..lane_free_at.len() {
+        trace_events.push(metadata(
+            "thread_name",
+            PID_PIPELINE,
+            Some(lane as u64),
+            &format!("lane {lane}"),
+        ));
+    }
+    for (tid, kind) in INSTANT_KINDS.iter().enumerate() {
+        if kinds_seen[tid] {
+            trace_events.push(metadata("thread_name", PID_DLVP, Some(tid as u64), kind));
+        }
+    }
+    trace_events.extend(spans);
+    trace_events.extend(instants);
+
+    Json::obj([
+        ("displayTimeUnit", "ms".to_json()),
+        ("traceEvents", Json::Array(trace_events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retire(seq: u64, fetch: u64, commit: u64) -> ObsEvent {
+        ObsEvent::Retire {
+            seq,
+            pc: 0x4000 + seq * 4,
+            is_load: true,
+            is_store: false,
+            eff_addr: 0x100 * seq,
+            fetch,
+            rename: fetch + 2,
+            issue: fetch + 4,
+            execute: fetch + 5,
+            complete: commit.saturating_sub(1),
+            commit,
+            rob: 0,
+            iq: 0,
+            ldq: 0,
+            stq: 0,
+        }
+    }
+
+    fn trace_events(doc: &Json) -> &[Json] {
+        doc.get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents")
+    }
+
+    #[test]
+    fn overlapping_loads_get_distinct_lanes() {
+        let doc = chrome_trace(&[retire(1, 10, 30), retire(2, 15, 25), retire(3, 31, 40)]);
+        let spans: Vec<&Json> = trace_events(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        let tid = |s: &Json| s.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        assert_ne!(tid(spans[0]), tid(spans[1]), "overlap must split lanes");
+        assert_eq!(tid(spans[2]), tid(spans[0]), "lane 0 is free again at 31");
+    }
+
+    #[test]
+    fn instants_carry_scope_and_stable_tids() {
+        let doc = chrome_trace(&[
+            ObsEvent::PaqEnqueue {
+                seq: 1,
+                addr: 0x8,
+                cycle: 5,
+            },
+            ObsEvent::Redirect {
+                cycle: 9,
+                cause: crate::event::RedirectCause::Branch,
+            },
+        ]);
+        let evs = trace_events(&doc);
+        let inst: Vec<&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .collect();
+        assert_eq!(inst.len(), 2);
+        assert!(inst
+            .iter()
+            .all(|e| e.get("s").and_then(Json::as_str) == Some("t")));
+        assert_eq!(inst[0].get("tid").and_then(Json::as_f64), Some(2.0));
+        // thread_name metadata exists only for kinds actually present.
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(names, vec!["paq_enqueue", "redirect"]);
+    }
+
+    #[test]
+    fn document_round_trips_and_is_deterministic() {
+        let events = [
+            retire(1, 0, 12),
+            ObsEvent::RenameInject {
+                seq: 1,
+                pc: 0x4004,
+                cycle: 2,
+            },
+        ];
+        let a = chrome_trace(&events);
+        let b = chrome_trace(&events);
+        assert_eq!(a.compact(), b.compact());
+        assert_eq!(Json::parse(&a.compact()).expect("parse"), a);
+        assert_eq!(a.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    }
+
+    #[test]
+    fn zero_length_spans_get_minimum_duration() {
+        let doc = chrome_trace(&[retire(1, 7, 7)]);
+        let span = trace_events(&doc)
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("span");
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(1.0));
+    }
+}

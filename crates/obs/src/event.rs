@@ -1,0 +1,467 @@
+//! The typed event model: everything that can happen to a dynamic load on
+//! its way through the DLVP pipeline (paper Figure 3), plus the core-model
+//! events needed to anchor those moments to pipeline stages.
+//!
+//! Events are small `Copy` values so recording is one vector write; all
+//! cycle fields are simulated cycles (the core model's clock), never host
+//! time.
+
+use lvp_json::{Json, ToJson};
+
+/// Why the DLVP front-end declined to predict a load (paper §3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterReason {
+    /// Ordered/atomic/exclusive access — barred by the consistency rule.
+    Ordered,
+    /// Suppressed by the LSCD in-flight-conflict filter.
+    Lscd,
+    /// Beyond the per-fetch-group prediction ports (paper: 2).
+    PortLimit,
+}
+
+impl FilterReason {
+    /// Stable lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterReason::Ordered => "ordered",
+            FilterReason::Lscd => "lscd",
+            FilterReason::PortLimit => "port_limit",
+        }
+    }
+}
+
+/// Why a timely prediction was not injected at rename.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectBlock {
+    /// The predicted-values table was full.
+    PvtFull,
+    /// The per-cycle injection port limit was hit.
+    PortLimit,
+}
+
+impl InjectBlock {
+    /// Stable lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectBlock::PvtFull => "pvt_full",
+            InjectBlock::PortLimit => "port_limit",
+        }
+    }
+}
+
+/// Outcome of validating an injected prediction at execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The prediction matched every produced chunk.
+    Correct,
+    /// Misprediction under Flush recovery: pipeline flush.
+    Flush,
+    /// Misprediction under OracleReplay recovery: absorbed by replay.
+    Replay,
+}
+
+impl VerifyOutcome {
+    /// Stable lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyOutcome::Correct => "correct",
+            VerifyOutcome::Flush => "flush",
+            VerifyOutcome::Replay => "replay",
+        }
+    }
+}
+
+/// What redirected fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedirectCause {
+    Branch,
+    OrderingViolation,
+    ValueMisprediction,
+}
+
+impl RedirectCause {
+    /// Stable lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            RedirectCause::Branch => "branch",
+            RedirectCause::OrderingViolation => "ordering_violation",
+            RedirectCause::ValueMisprediction => "value_misprediction",
+        }
+    }
+}
+
+/// One observability event. Variants cover the full DLVP load lifecycle —
+/// fetch-time prediction through verify — plus the pipeline anchors
+/// (retirement, redirects) that give every lifecycle a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// APT lookup at fetch (paper §3.1.1): made with the FGA-based proxy PC
+    /// under the current load-path history.
+    AptLookup {
+        seq: u64,
+        /// Architectural PC of the load.
+        pc: u64,
+        /// FGA + 4·load-index proxy PC used to index the APT.
+        proxy_pc: u64,
+        cycle: u64,
+        /// Load-path history register snapshot at lookup (0 for history-free
+        /// predictors such as CAP).
+        path_sig: u64,
+        /// Whether the lookup returned a confident prediction.
+        predicted: bool,
+        /// FPC confidence of the resident entry's prediction.
+        confidence: u8,
+        /// Predicted effective address (0 when not predicted).
+        addr: u64,
+    },
+    /// The load was filtered before the APT lookup.
+    PredictFiltered {
+        seq: u64,
+        pc: u64,
+        cycle: u64,
+        reason: FilterReason,
+    },
+    /// A predicted address entered the PAQ (paper §3.2.2 step ②).
+    PaqEnqueue { seq: u64, addr: u64, cycle: u64 },
+    /// The PAQ was full; the prediction was discarded at allocation.
+    PaqOverflow { seq: u64, cycle: u64 },
+    /// A PAQ entry timed out without finding a probe bubble (the paper's
+    /// N-cycle drop; measured < 0.1%).
+    PaqDrop {
+        seq: u64,
+        cycle: u64,
+        /// The dropped entry's allocation cycle.
+        enqueued: u64,
+    },
+    /// Opportunistic L1D probe of a predicted address (step ③).
+    L1Probe {
+        seq: u64,
+        addr: u64,
+        cycle: u64,
+        hit: bool,
+        way_mispredict: bool,
+        tlb_miss: bool,
+    },
+    /// Prefetch issued for a probe miss (step ⑤).
+    Prefetch { seq: u64, addr: u64, cycle: u64 },
+    /// The MDP delayed this load behind a predicted in-flight store.
+    MdpDelay {
+        seq: u64,
+        pc: u64,
+        /// Cycle the load would have executed.
+        cycle: u64,
+        /// Cycle it was pushed to.
+        until: u64,
+    },
+    /// A predicted value was injected at rename (step ④ landing).
+    RenameInject { seq: u64, pc: u64, cycle: u64 },
+    /// A timely prediction existed but could not be injected.
+    InjectBlocked {
+        seq: u64,
+        pc: u64,
+        cycle: u64,
+        reason: InjectBlock,
+    },
+    /// Verdict on an injected prediction at execute (step ⑥).
+    Verify {
+        seq: u64,
+        pc: u64,
+        cycle: u64,
+        outcome: VerifyOutcome,
+        /// An older overlapping store was in flight — a misprediction with
+        /// this set is the paper's stale-value conflict squash.
+        conflict: bool,
+        is_load: bool,
+    },
+    /// Instruction retirement with its full stage timeline and the
+    /// ROB/IQ/LDQ/STQ occupancy sampled at its rename.
+    Retire {
+        seq: u64,
+        pc: u64,
+        is_load: bool,
+        is_store: bool,
+        eff_addr: u64,
+        fetch: u64,
+        rename: u64,
+        issue: u64,
+        execute: u64,
+        complete: u64,
+        commit: u64,
+        rob: u32,
+        iq: u32,
+        ldq: u32,
+        stq: u32,
+    },
+    /// Fetch redirect (flushes are modelled as refetches).
+    Redirect { cycle: u64, cause: RedirectCause },
+}
+
+impl ObsEvent {
+    /// Stable snake_case name of the variant, used in artifacts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::AptLookup { .. } => "apt_lookup",
+            ObsEvent::PredictFiltered { .. } => "predict_filtered",
+            ObsEvent::PaqEnqueue { .. } => "paq_enqueue",
+            ObsEvent::PaqOverflow { .. } => "paq_overflow",
+            ObsEvent::PaqDrop { .. } => "paq_drop",
+            ObsEvent::L1Probe { .. } => "l1_probe",
+            ObsEvent::Prefetch { .. } => "prefetch",
+            ObsEvent::MdpDelay { .. } => "mdp_delay",
+            ObsEvent::RenameInject { .. } => "rename_inject",
+            ObsEvent::InjectBlocked { .. } => "inject_blocked",
+            ObsEvent::Verify { .. } => "verify",
+            ObsEvent::Retire { .. } => "retire",
+            ObsEvent::Redirect { .. } => "redirect",
+        }
+    }
+
+    /// The dynamic sequence number the event belongs to, when it has one.
+    pub fn seq(&self) -> Option<u64> {
+        match *self {
+            ObsEvent::AptLookup { seq, .. }
+            | ObsEvent::PredictFiltered { seq, .. }
+            | ObsEvent::PaqEnqueue { seq, .. }
+            | ObsEvent::PaqOverflow { seq, .. }
+            | ObsEvent::PaqDrop { seq, .. }
+            | ObsEvent::L1Probe { seq, .. }
+            | ObsEvent::Prefetch { seq, .. }
+            | ObsEvent::MdpDelay { seq, .. }
+            | ObsEvent::RenameInject { seq, .. }
+            | ObsEvent::InjectBlocked { seq, .. }
+            | ObsEvent::Verify { seq, .. }
+            | ObsEvent::Retire { seq, .. } => Some(seq),
+            ObsEvent::Redirect { .. } => None,
+        }
+    }
+
+    /// The simulated cycle the event is anchored to (fetch cycle for
+    /// [`ObsEvent::Retire`]).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            ObsEvent::AptLookup { cycle, .. }
+            | ObsEvent::PredictFiltered { cycle, .. }
+            | ObsEvent::PaqEnqueue { cycle, .. }
+            | ObsEvent::PaqOverflow { cycle, .. }
+            | ObsEvent::PaqDrop { cycle, .. }
+            | ObsEvent::L1Probe { cycle, .. }
+            | ObsEvent::Prefetch { cycle, .. }
+            | ObsEvent::MdpDelay { cycle, .. }
+            | ObsEvent::RenameInject { cycle, .. }
+            | ObsEvent::InjectBlocked { cycle, .. }
+            | ObsEvent::Verify { cycle, .. }
+            | ObsEvent::Redirect { cycle, .. } => cycle,
+            ObsEvent::Retire { fetch, .. } => fetch,
+        }
+    }
+}
+
+impl ToJson for ObsEvent {
+    /// Serializes as `{"kind": ..., field: ...}` with insertion-ordered
+    /// keys, so artifacts are byte-deterministic.
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("kind".into(), self.kind().to_json())];
+        let mut put = |k: &str, v: Json| pairs.push((k.to_string(), v));
+        match *self {
+            ObsEvent::AptLookup {
+                seq,
+                pc,
+                proxy_pc,
+                cycle,
+                path_sig,
+                predicted,
+                confidence,
+                addr,
+            } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("proxy_pc", proxy_pc.to_json());
+                put("cycle", cycle.to_json());
+                put("path_sig", path_sig.to_json());
+                put("predicted", predicted.to_json());
+                put("confidence", confidence.to_json());
+                put("addr", addr.to_json());
+            }
+            ObsEvent::PredictFiltered {
+                seq,
+                pc,
+                cycle,
+                reason,
+            } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("cycle", cycle.to_json());
+                put("reason", reason.name().to_json());
+            }
+            ObsEvent::PaqEnqueue { seq, addr, cycle } => {
+                put("seq", seq.to_json());
+                put("addr", addr.to_json());
+                put("cycle", cycle.to_json());
+            }
+            ObsEvent::PaqOverflow { seq, cycle } => {
+                put("seq", seq.to_json());
+                put("cycle", cycle.to_json());
+            }
+            ObsEvent::PaqDrop {
+                seq,
+                cycle,
+                enqueued,
+            } => {
+                put("seq", seq.to_json());
+                put("cycle", cycle.to_json());
+                put("enqueued", enqueued.to_json());
+            }
+            ObsEvent::L1Probe {
+                seq,
+                addr,
+                cycle,
+                hit,
+                way_mispredict,
+                tlb_miss,
+            } => {
+                put("seq", seq.to_json());
+                put("addr", addr.to_json());
+                put("cycle", cycle.to_json());
+                put("hit", hit.to_json());
+                put("way_mispredict", way_mispredict.to_json());
+                put("tlb_miss", tlb_miss.to_json());
+            }
+            ObsEvent::Prefetch { seq, addr, cycle } => {
+                put("seq", seq.to_json());
+                put("addr", addr.to_json());
+                put("cycle", cycle.to_json());
+            }
+            ObsEvent::MdpDelay {
+                seq,
+                pc,
+                cycle,
+                until,
+            } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("cycle", cycle.to_json());
+                put("until", until.to_json());
+            }
+            ObsEvent::RenameInject { seq, pc, cycle } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("cycle", cycle.to_json());
+            }
+            ObsEvent::InjectBlocked {
+                seq,
+                pc,
+                cycle,
+                reason,
+            } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("cycle", cycle.to_json());
+                put("reason", reason.name().to_json());
+            }
+            ObsEvent::Verify {
+                seq,
+                pc,
+                cycle,
+                outcome,
+                conflict,
+                is_load,
+            } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("cycle", cycle.to_json());
+                put("outcome", outcome.name().to_json());
+                put("conflict", conflict.to_json());
+                put("is_load", is_load.to_json());
+            }
+            ObsEvent::Retire {
+                seq,
+                pc,
+                is_load,
+                is_store,
+                eff_addr,
+                fetch,
+                rename,
+                issue,
+                execute,
+                complete,
+                commit,
+                rob,
+                iq,
+                ldq,
+                stq,
+            } => {
+                put("seq", seq.to_json());
+                put("pc", pc.to_json());
+                put("is_load", is_load.to_json());
+                put("is_store", is_store.to_json());
+                put("eff_addr", eff_addr.to_json());
+                put("fetch", fetch.to_json());
+                put("rename", rename.to_json());
+                put("issue", issue.to_json());
+                put("execute", execute.to_json());
+                put("complete", complete.to_json());
+                put("commit", commit.to_json());
+                put("rob", rob.to_json());
+                put("iq", iq.to_json());
+                put("ldq", ldq.to_json());
+                put("stq", stq.to_json());
+            }
+            ObsEvent::Redirect { cycle, cause } => {
+                put("cycle", cycle.to_json());
+                put("cause", cause.name().to_json());
+            }
+        }
+        Json::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_seq_are_consistent() {
+        let e = ObsEvent::PaqDrop {
+            seq: 7,
+            cycle: 40,
+            enqueued: 35,
+        };
+        assert_eq!(e.kind(), "paq_drop");
+        assert_eq!(e.seq(), Some(7));
+        assert_eq!(e.cycle(), 40);
+        let r = ObsEvent::Redirect {
+            cycle: 9,
+            cause: RedirectCause::Branch,
+        };
+        assert_eq!(r.seq(), None);
+        assert_eq!(r.cycle(), 9);
+    }
+
+    #[test]
+    fn json_carries_kind_first() {
+        let e = ObsEvent::RenameInject {
+            seq: 1,
+            pc: 0x4000,
+            cycle: 12,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("rename_inject"));
+        let Json::Object(pairs) = &j else {
+            panic!("object expected")
+        };
+        assert_eq!(pairs[0].0, "kind");
+        // Round-trips through the deterministic writer/parser.
+        assert_eq!(Json::parse(&j.pretty()).expect("parse"), j);
+    }
+
+    #[test]
+    fn enum_names_are_stable() {
+        assert_eq!(FilterReason::Lscd.name(), "lscd");
+        assert_eq!(InjectBlock::PvtFull.name(), "pvt_full");
+        assert_eq!(VerifyOutcome::Replay.name(), "replay");
+        assert_eq!(
+            RedirectCause::OrderingViolation.name(),
+            "ordering_violation"
+        );
+    }
+}

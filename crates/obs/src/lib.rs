@@ -1,0 +1,48 @@
+//! # lvp-obs — cycle-level DLVP observability
+//!
+//! The paper's claims (§3.1–3.2, §5) are about *when* things happen: a PAP
+//! prediction made early in fetch, a PAQ entry dropped after its N-cycle
+//! window, a probed value arriving in time for rename. The simulator's
+//! terminal counters (`SimStats`) cannot answer "why did coverage drop" —
+//! this crate records the full per-load DLVP lifecycle as typed events and
+//! turns them into deterministic artifacts:
+//!
+//! * [`ObsEvent`] — the event taxonomy (APT lookup with FPC confidence and
+//!   path-history signature, PAQ enqueue/overflow/drop, L1 probe, rename
+//!   injection, verify outcome, retirement with stage cycles);
+//! * [`EventSink`] — the recording interface threaded through the pipeline.
+//!   [`NullSink`] has `ENABLED = false` and monomorphizes every emission to
+//!   nothing, so an untraced simulation is bit-identical to one built
+//!   without this crate. [`RingSink`] records into a fixed-capacity
+//!   [`EventRing`] (oldest events overwritten first);
+//! * [`MetricsRegistry`] / [`Histogram`] — deterministic counters and
+//!   fixed-bucket histograms serialized via `lvp-json`;
+//! * [`chrome_trace`] — Chrome `trace_event` JSON for `chrome://tracing`;
+//! * [`LifecycleReport`] — a compact per-load-PC lifecycle report whose
+//!   injected/correct counts reconcile exactly with `SimStats::per_pc`;
+//! * [`HostProfiler`] — host-side wall-clock per simulator phase plus
+//!   simulated MIPS (stderr only; never part of deterministic artifacts).
+//!
+//! ## Overhead contract
+//!
+//! Every emission site in the pipeline is guarded by `K::ENABLED`, a
+//! `const` on the sink type. With [`NullSink`] the guard is
+//! constant-folded, so tracing support costs nothing when disabled; with
+//! [`RingSink`] an emission is one bounds-checked vector write. CI enforces
+//! both halves: golden stats must stay byte-identical with tracing on or
+//! off, and a traced run must stay under 2× the wall-clock of an untraced
+//! one.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod report;
+pub mod ring;
+
+pub use chrome::chrome_trace;
+pub use event::{FilterReason, InjectBlock, ObsEvent, RedirectCause, VerifyOutcome};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{mips, HostProfiler};
+pub use report::{LifecycleReport, PcLifecycle, RunMeta};
+pub use ring::{EventRing, EventSink, NullSink, RingSink};

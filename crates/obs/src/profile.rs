@@ -1,0 +1,126 @@
+//! Host-side self-profiling: wall-clock per simulator phase and simulated
+//! MIPS.
+//!
+//! Host timing is inherently non-deterministic, so nothing from this module
+//! may flow into a deterministic artifact (golden stats, Chrome traces,
+//! lifecycle reports). The `obs` CLI prints profiler output to stderr only.
+
+use std::time::{Duration, Instant};
+
+/// Simulated million-instructions-per-second for a run that committed
+/// `instructions` in `wall` of host time. Zero when `wall` is zero.
+pub fn mips(instructions: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        instructions as f64 / secs / 1.0e6
+    }
+}
+
+/// Accumulates wall-clock time per labelled phase, in first-use order.
+#[derive(Debug, Default)]
+pub struct HostProfiler {
+    phases: Vec<(String, Duration)>,
+}
+
+impl HostProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> HostProfiler {
+        HostProfiler::default()
+    }
+
+    /// Runs `f`, charging its wall-clock time to `label`. Repeated labels
+    /// accumulate.
+    pub fn time<T>(&mut self, label: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(label, start.elapsed());
+        out
+    }
+
+    /// Charges an externally-measured duration to `label`.
+    pub fn add(&mut self, label: &str, elapsed: Duration) {
+        match self.phases.iter_mut().find(|(n, _)| n == label) {
+            Some((_, d)) => *d += elapsed,
+            None => self.phases.push((label.to_string(), elapsed)),
+        }
+    }
+
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Time charged to `label`, zero when absent.
+    pub fn elapsed(&self, label: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == label)
+            .map_or(Duration::ZERO, |(_, d)| *d)
+    }
+
+    /// Phases in first-use order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Human-readable report: per-phase wall-clock with share of total, and
+    /// simulated MIPS for `instructions` committed instructions.
+    pub fn report(&self, instructions: u64) -> String {
+        let total = self.total();
+        let mut out = String::from("host profile:\n");
+        for (name, d) in &self.phases {
+            let share = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * d.as_secs_f64() / total.as_secs_f64()
+            };
+            out.push_str(&format!(
+                "  {name:<12} {:>9.3} ms  {share:>5.1}%\n",
+                d.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "  total        {:>9.3} ms  sim {:.2} MIPS\n",
+            total.as_secs_f64() * 1e3,
+            mips(instructions, total)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mips_is_zero_without_time() {
+        assert_eq!(mips(1_000_000, Duration::ZERO), 0.0);
+        let m = mips(2_000_000, Duration::from_secs(1));
+        assert!((m - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_accumulate_in_first_use_order() {
+        let mut p = HostProfiler::new();
+        p.add("simulate", Duration::from_millis(30));
+        p.add("export", Duration::from_millis(10));
+        p.add("simulate", Duration::from_millis(20));
+        assert_eq!(p.elapsed("simulate"), Duration::from_millis(50));
+        assert_eq!(p.elapsed("missing"), Duration::ZERO);
+        assert_eq!(p.total(), Duration::from_millis(60));
+        assert_eq!(p.phases()[0].0, "simulate");
+        let r = p.report(1000);
+        assert!(r.contains("simulate"));
+        assert!(r.contains("total"));
+    }
+
+    #[test]
+    fn time_returns_the_closure_value() {
+        let mut p = HostProfiler::new();
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(!p.phases().is_empty());
+    }
+}

@@ -21,6 +21,7 @@ use crate::vpe::{InjectOutcome, Vpe};
 use lvp_branch::{Btb, GlobalHistory, Gshare, Ittage, Ras, Tage};
 use lvp_isa::{BranchKind, OpClass, Reg};
 use lvp_mem::MemoryHierarchy;
+use lvp_obs::{EventSink, InjectBlock, NullSink, ObsEvent, RedirectCause, VerifyOutcome};
 use lvp_trace::{Trace, TraceRecord};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -69,8 +70,12 @@ struct StoreInfo {
     commit_cycle: u64,
 }
 
-/// The core model, generic over the value-prediction scheme.
-pub struct Core<S: VpScheme> {
+/// The core model, generic over the value-prediction scheme and the
+/// observability sink. The sink defaults to [`NullSink`], whose
+/// `ENABLED = false` constant folds every emission site away, so an
+/// untraced `Core` is exactly the pre-observability machine — byte-identical
+/// stats, no recording overhead.
+pub struct Core<S: VpScheme, K: EventSink = NullSink> {
     cfg: CoreConfig,
     mem: MemoryHierarchy,
     direction: DirectionPredictor,
@@ -115,11 +120,21 @@ pub struct Core<S: VpScheme> {
     /// Print a per-instruction pipeline trace for the first N instructions
     /// (debugging aid).
     verbose_until: u64,
+    /// Observability sink; purely write-only from the core's point of view.
+    sink: K,
 }
 
 impl<S: VpScheme> Core<S> {
-    /// Builds a core around `scheme`.
+    /// Builds an untraced core around `scheme`.
     pub fn new(cfg: CoreConfig, scheme: S) -> Core<S> {
+        Core::with_sink(cfg, scheme, NullSink)
+    }
+}
+
+impl<S: VpScheme, K: EventSink> Core<S, K> {
+    /// Builds a core around `scheme` that records lifecycle events into
+    /// `sink`.
+    pub fn with_sink(cfg: CoreConfig, scheme: S, sink: K) -> Core<S, K> {
         Core {
             mem: MemoryHierarchy::new(cfg.mem),
             direction: DirectionPredictor::new(cfg.branch_predictor),
@@ -152,6 +167,7 @@ impl<S: VpScheme> Core<S> {
             rename_hist: VecDeque::new(),
             fetch_bound: 0,
             verbose_until: 0,
+            sink,
             cfg,
         }
     }
@@ -182,6 +198,16 @@ impl<S: VpScheme> Core<S> {
         }
         self.finalize();
         (self.stats, self.scheme)
+    }
+
+    /// Runs the trace and returns the statistics, the scheme and the sink
+    /// (holding whatever the sink recorded).
+    pub fn run_traced(mut self, trace: &Trace) -> (SimStats, S, K) {
+        for rec in trace.records() {
+            self.step(rec);
+        }
+        self.finalize();
+        (self.stats, self.scheme, self.sink)
     }
 
     fn finalize(&mut self) {
@@ -253,6 +279,7 @@ impl<S: VpScheme> Core<S> {
                 history: &self.hist,
                 lanes: &mut self.lanes,
                 mem: &mut self.mem,
+                sink: &mut self.sink,
             };
             self.scheme.on_fetch(&slot, &mut ctx);
         }
@@ -364,15 +391,56 @@ impl<S: VpScheme> Core<S> {
         }
         let rename_cycle = self.rename_cycle_cursor;
         self.rename_hist.push_back(rename_cycle);
+        // Queue occupancy sampled at rename, for the retire event. Folded
+        // away (and the tuple never built) under NullSink.
+        let occupancy = if K::ENABLED {
+            (
+                self.rob.len() as u32,
+                self.iq.len() as u32,
+                self.ldq.len() as u32,
+                self.stq.len() as u32,
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
 
         // ---- value prediction injection decision -----------------------
         let mut injected = false;
         if !dests.is_empty() && !inst.is_branch() {
             if let Some(_pred) = self.scheme.prediction_at_rename(rec.seq, rename_cycle) {
                 match self.vpe.admit(rename_cycle, dests.len()) {
-                    InjectOutcome::Injected => injected = true,
-                    InjectOutcome::PvtFull => self.stats.vp_pvt_full += 1,
-                    InjectOutcome::PortLimit => self.stats.vp_late += 1,
+                    InjectOutcome::Injected => {
+                        injected = true;
+                        if K::ENABLED {
+                            self.sink.emit(ObsEvent::RenameInject {
+                                seq: rec.seq,
+                                pc: rec.pc,
+                                cycle: rename_cycle,
+                            });
+                        }
+                    }
+                    InjectOutcome::PvtFull => {
+                        self.stats.vp_pvt_full += 1;
+                        if K::ENABLED {
+                            self.sink.emit(ObsEvent::InjectBlocked {
+                                seq: rec.seq,
+                                pc: rec.pc,
+                                cycle: rename_cycle,
+                                reason: InjectBlock::PvtFull,
+                            });
+                        }
+                    }
+                    InjectOutcome::PortLimit => {
+                        self.stats.vp_late += 1;
+                        if K::ENABLED {
+                            self.sink.emit(ObsEvent::InjectBlocked {
+                                seq: rec.seq,
+                                pc: rec.pc,
+                                cycle: rename_cycle,
+                                reason: InjectBlock::PortLimit,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -401,6 +469,14 @@ impl<S: VpScheme> Core<S> {
                 // MDP: wait on a predicted in-flight store dependence.
                 if let Some(dep) = self.mdp.load_dependence(rec.pc, rec.seq) {
                     if dep.exec_cycle > exec_start {
+                        if K::ENABLED {
+                            self.sink.emit(ObsEvent::MdpDelay {
+                                seq: rec.seq,
+                                pc: rec.pc,
+                                cycle: exec_start,
+                                until: dep.exec_cycle + 1,
+                            });
+                        }
                         exec_start = dep.exec_cycle + 1;
                         self.stats.mdp_delays += 1;
                     }
@@ -483,6 +559,27 @@ impl<S: VpScheme> Core<S> {
         let mut dest_avail = complete;
         let mut vp_redirect: Option<u64> = None;
         if injected && verdict.predicted {
+            // The verify event mirrors the per-PC accounting below exactly,
+            // so a traced run's lifecycle report reconciles count-for-count
+            // with `SimStats::per_pc`.
+            if K::ENABLED {
+                let outcome = if verdict.correct {
+                    VerifyOutcome::Correct
+                } else {
+                    match self.cfg.recovery {
+                        RecoveryMode::Flush => VerifyOutcome::Flush,
+                        RecoveryMode::OracleReplay => VerifyOutcome::Replay,
+                    }
+                };
+                self.sink.emit(ObsEvent::Verify {
+                    seq: rec.seq,
+                    pc: rec.pc,
+                    cycle: complete,
+                    outcome,
+                    conflict: conflicting_store_commit.is_some(),
+                    is_load,
+                });
+            }
             if is_load {
                 let pcs = self.stats.per_pc.entry(rec.pc).or_default();
                 pcs.injected += 1;
@@ -574,6 +671,26 @@ impl<S: VpScheme> Core<S> {
             self.prf.push(Reverse(commit_cycle));
         }
 
+        if K::ENABLED {
+            self.sink.emit(ObsEvent::Retire {
+                seq: rec.seq,
+                pc: rec.pc,
+                is_load,
+                is_store,
+                eff_addr: rec.eff_addr,
+                fetch: fetch_cycle,
+                rename: rename_cycle,
+                issue: issue_cycle,
+                execute: exec_start,
+                complete,
+                commit: commit_cycle,
+                rob: occupancy.0,
+                iq: occupancy.1,
+                ldq: occupancy.2,
+                stq: occupancy.3,
+            });
+        }
+
         if rec.seq < self.verbose_until {
             eprintln!(
                 "#{:<6} {:#8x} F{:<6} R{:<6} I{:<6} X{:<6} C{:<6} cm{:<6} src{:<6} {}{}{} {}",
@@ -600,12 +717,30 @@ impl<S: VpScheme> Core<S> {
         // ---- redirects (branch / violation / value misprediction) --------
         if branch_mispredicted {
             self.stats.misp_resolve_sum += complete.saturating_sub(fetch_cycle);
+            if K::ENABLED {
+                self.sink.emit(ObsEvent::Redirect {
+                    cycle: complete + 1,
+                    cause: RedirectCause::Branch,
+                });
+            }
             self.redirect(complete + 1);
         }
         if let Some(r) = violation_redirect {
+            if K::ENABLED {
+                self.sink.emit(ObsEvent::Redirect {
+                    cycle: r,
+                    cause: RedirectCause::OrderingViolation,
+                });
+            }
             self.redirect(r);
         }
         if let Some(r) = vp_redirect {
+            if K::ENABLED {
+                self.sink.emit(ObsEvent::Redirect {
+                    cycle: r,
+                    cause: RedirectCause::ValueMisprediction,
+                });
+            }
             self.redirect(r);
         }
     }

@@ -30,8 +30,9 @@ pub mod vpe;
 pub use crate::core::{simulate, Core};
 pub use config::{BranchPredictorKind, CoreConfig, RecoveryMode};
 pub use lanes::LaneTracker;
+pub use lvp_obs::{EventRing, EventSink, NullSink, ObsEvent, RingSink};
 pub use mdp::{MdpConfig, StoreSets};
-pub use stats::SimStats;
+pub use stats::{SimStats, StatsError};
 pub use vp::{
     ExecInfo, FetchCtx, FetchSlot, NoVp, OracleLoadVp, RenamePrediction, VpScheme, VpVerdict,
 };

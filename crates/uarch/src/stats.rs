@@ -104,6 +104,11 @@ pub enum StatsError {
         /// Instructions in the baseline run.
         baseline: u64,
     },
+    /// The run committed no instructions, so per-instruction ratios (IPC,
+    /// coverage, accuracy) are undefined. The infallible accessors return
+    /// 0.0 here; harnesses that would silently report a meaningless number
+    /// should use the `try_*` variants and surface this instead.
+    EmptyRun,
 }
 
 impl std::fmt::Display for StatsError {
@@ -114,6 +119,12 @@ impl std::fmt::Display for StatsError {
                 "speedup requires runs over the same trace \
                  (self executed {this} instructions, baseline {baseline})"
             ),
+            StatsError::EmptyRun => {
+                write!(
+                    f,
+                    "no instructions committed: per-instruction statistics are undefined"
+                )
+            }
         }
     }
 }
@@ -138,6 +149,34 @@ impl SimStats {
     /// Paper's accuracy definition: correct predictions / predictions.
     pub fn accuracy(&self) -> f64 {
         ratio(self.vp_correct, self.vp_predicted)
+    }
+
+    /// [`SimStats::ipc`] that surfaces an empty run as a typed error
+    /// instead of silently returning 0.0.
+    pub fn try_ipc(&self) -> Result<f64, StatsError> {
+        if self.instructions == 0 || self.cycles == 0 {
+            Err(StatsError::EmptyRun)
+        } else {
+            Ok(self.instructions as f64 / self.cycles as f64)
+        }
+    }
+
+    /// [`SimStats::coverage`], erring on a run with no committed loads.
+    pub fn try_coverage(&self) -> Result<f64, StatsError> {
+        if self.loads == 0 {
+            Err(StatsError::EmptyRun)
+        } else {
+            Ok(self.vp_predicted_loads as f64 / self.loads as f64)
+        }
+    }
+
+    /// [`SimStats::accuracy`], erring on a run with no predictions.
+    pub fn try_accuracy(&self) -> Result<f64, StatsError> {
+        if self.vp_predicted == 0 {
+            Err(StatsError::EmptyRun)
+        } else {
+            Ok(self.vp_correct as f64 / self.vp_predicted as f64)
+        }
     }
 
     /// Speedup of `self` over a `baseline` run of the same trace.

@@ -17,6 +17,7 @@ use crate::lanes::LaneTracker;
 use lvp_branch::GlobalHistory;
 use lvp_isa::Instruction;
 use lvp_mem::MemoryHierarchy;
+use lvp_obs::EventSink;
 
 /// One instruction as seen by the front-end.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +37,11 @@ pub struct FetchSlot {
 }
 
 /// Front-end context available to schemes during [`VpScheme::on_fetch`].
-pub struct FetchCtx<'a> {
+///
+/// Generic over the observability sink so schemes can record lifecycle
+/// events (APT lookups, PAQ traffic, probes) at their source; with
+/// [`lvp_obs::NullSink`] every `if K::ENABLED` emission site folds away.
+pub struct FetchCtx<'a, K: EventSink = lvp_obs::NullSink> {
     /// Fetch cycle of the instruction's group.
     pub cycle: u64,
     /// Earliest cycle the instruction can reach rename (fetch depth with no
@@ -48,6 +53,8 @@ pub struct FetchCtx<'a> {
     pub lanes: &'a mut LaneTracker,
     /// The memory hierarchy, for speculative L1D probes and prefetches.
     pub mem: &'a mut MemoryHierarchy,
+    /// Observability sink; schemes emit through this, never read from it.
+    pub sink: &'a mut K,
 }
 
 /// A prediction the scheme can deliver at rename.
@@ -104,8 +111,10 @@ pub trait VpScheme {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 
-    /// Called at fetch, in program order, for every instruction.
-    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>);
+    /// Called at fetch, in program order, for every instruction. Generic
+    /// over the sink so emission sites vanish under `NullSink` (no scheme
+    /// is used through `dyn VpScheme`, so the generic method is free).
+    fn on_fetch<K: EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>);
 
     /// Called at rename for instructions with destination registers. Return
     /// `Some` iff a predicted value is available *by* `rename_cycle`.
@@ -133,7 +142,7 @@ impl VpScheme for NoVp {
         "baseline"
     }
 
-    fn on_fetch(&mut self, _slot: &FetchSlot, _ctx: &mut FetchCtx<'_>) {}
+    fn on_fetch<K: EventSink>(&mut self, _slot: &FetchSlot, _ctx: &mut FetchCtx<'_, K>) {}
 
     fn prediction_at_rename(&mut self, _seq: u64, _rename: u64) -> Option<RenamePrediction> {
         None
@@ -156,7 +165,7 @@ impl VpScheme for OracleLoadVp {
         "oracle"
     }
 
-    fn on_fetch(&mut self, slot: &FetchSlot, _ctx: &mut FetchCtx<'_>) {
+    fn on_fetch<K: EventSink>(&mut self, slot: &FetchSlot, _ctx: &mut FetchCtx<'_, K>) {
         if slot.inst.is_load() {
             self.load_seqs.insert(slot.seq);
         }
