@@ -21,7 +21,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== clippy (library crates: no unwrap/panic outside tests) =="
 cargo clippy -q -p dlvp -p lvp-uarch -p lvp-mem -p lvp-emu -p lvp-json \
   -p lvp-analysis -p lvp-obs -p lvp-isa -p lvp-trace -p lvp-branch \
-  --lib -- -D warnings -D clippy::unwrap_used
+  -p lvp-bench --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
@@ -35,6 +35,13 @@ trap 'rm -rf "$tmp"' EXIT
   --budget 10000 --jobs 4 --out "$tmp/b.json"
 cmp "$tmp/a.json" "$tmp/b.json"
 echo "runner output is schedule-invariant"
+
+echo "== figs (every committed results/*.txt regenerates byte-identically) =="
+./target/release/figs --all --out-dir "$tmp/figs" > /dev/null
+for f in "$tmp"/figs/*.txt; do
+  cmp "$f" "results/$(basename "$f")"
+done
+echo "figs --all matches the committed artifacts byte-for-byte"
 
 echo "== obs smoke (trace artifacts are schedule-invariant) =="
 ./target/release/obs run --workload aifirf --scheme dlvp --budget 10000 \

@@ -28,7 +28,7 @@ use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
 use lvp_json::ToJson;
 use lvp_obs::{chrome_trace, HostProfiler, LifecycleReport, RunMeta};
 use lvp_trace::{read_trace, write_trace};
-use lvp_uarch::{simulate, CoreConfig, NoVp, SimStats};
+use lvp_uarch::{simulate, CoreConfig, NoVp, SimConfig, SimStats};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -172,7 +172,7 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
     let mut prof = HostProfiler::new();
     let trace = prof.time("emulate", || w.trace(budget));
     let (outcome, events, overwritten) = prof.time("simulate", || {
-        run_scheme_traced(&trace, scheme, &CoreConfig::default(), ring)
+        run_scheme_traced(&trace, scheme, &SimConfig::default(), ring)
     });
     let stats = &outcome.stats;
 
@@ -318,7 +318,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     let stats = if scheme == SchemeKind::Baseline {
         base.clone()
     } else {
-        run_scheme(&trace, scheme, &CoreConfig::default()).stats
+        run_scheme(&trace, scheme, &SimConfig::default()).stats
     };
     let ipc = match stats.try_ipc() {
         Ok(v) => v,
@@ -374,7 +374,7 @@ fn cmd_overhead(mut flags: Flags) -> ExitCode {
 
     let w = workload_or_die(&workload);
     let trace = w.trace(budget);
-    let cfg = CoreConfig::default();
+    let cfg = SimConfig::default();
     let ring = (budget as usize).saturating_mul(8).max(1);
 
     // Min of three: the least noisy point estimate a cold CI box can give.

@@ -1,67 +1,17 @@
 //! Shared experiment machinery: run a workload trace under each prediction
 //! scheme and collect the statistics every figure draws from.
+//!
+//! Scheme dispatch lives in `dlvp::SchemeKind::build` — the single registry
+//! that turns a scheme name into a configured predictor. The functions here
+//! add the harness-side plumbing: core construction from a [`SimConfig`],
+//! outcome collection, optional event tracing, and the derived energy model.
 
-use dlvp::{AddressPredictor, Dlvp, DlvpConfig, Pap, Tournament, Vtage};
+pub use dlvp::SchemeKind;
 use lvp_energy::{core_energy, EnergyInput, EnergyParams, PredictorEnergyInput};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{ObsEvent, RingSink};
 use lvp_trace::Trace;
-use lvp_uarch::{Core, CoreConfig, NoVp, RecoveryMode, SimStats, VpScheme};
-
-/// Which scheme to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SchemeKind {
-    Baseline,
-    Dlvp,
-    /// DLVP machinery with the CAP address predictor (paper §5.2.3).
-    Cap,
-    Vtage,
-    Tournament,
-}
-
-impl SchemeKind {
-    /// Display name matching the paper's figures.
-    pub fn name(self) -> &'static str {
-        match self {
-            SchemeKind::Baseline => "baseline",
-            SchemeKind::Dlvp => "DLVP",
-            SchemeKind::Cap => "CAP",
-            SchemeKind::Vtage => "VTAGE",
-            SchemeKind::Tournament => "DLVP+VTAGE",
-        }
-    }
-
-    /// Every scheme, in the order used by the figures.
-    pub fn all() -> [SchemeKind; 5] {
-        [
-            SchemeKind::Baseline,
-            SchemeKind::Cap,
-            SchemeKind::Vtage,
-            SchemeKind::Dlvp,
-            SchemeKind::Tournament,
-        ]
-    }
-
-    /// Parses a scheme from its display name (case-insensitive; accepts
-    /// `tournament` as an alias for `DLVP+VTAGE`).
-    pub fn from_name(name: &str) -> Option<SchemeKind> {
-        let lower = name.to_ascii_lowercase();
-        Self::all()
-            .into_iter()
-            .find(|s| s.name().to_ascii_lowercase() == lower)
-            .or(if lower == "tournament" {
-                Some(SchemeKind::Tournament)
-            } else {
-                None
-            })
-    }
-}
-
-impl ToJson for SchemeKind {
-    fn to_json(&self) -> Json {
-        Json::Str(self.name().to_string())
-    }
-}
+use lvp_uarch::{Core, SimConfig, SimStats, VpScheme};
 
 /// One scheme's outcome on one trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,21 +30,21 @@ pub struct SchemeOutcome {
 }
 
 impl SchemeOutcome {
-    fn from(
-        scheme: SchemeKind,
-        stats: SimStats,
-        extra: Vec<(&'static str, f64)>,
-        bits: u64,
-        reads: u64,
-        writes: u64,
-    ) -> SchemeOutcome {
+    /// Collects the outcome from a finished scheme: stats plus the scheme's
+    /// own counters, storage budget and table activity.
+    fn collect<S: VpScheme>(scheme: SchemeKind, stats: SimStats, s: &S) -> SchemeOutcome {
+        let (reads, writes) = s.activity();
         SchemeOutcome {
             scheme,
             cycles: stats.cycles,
             coverage: stats.coverage(),
             accuracy: stats.accuracy(),
-            extra: extra.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-            predictor_bits: bits,
+            extra: s
+                .extra_counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            predictor_bits: s.storage_bits(),
             predictor_reads: reads,
             predictor_writes: writes,
             stats,
@@ -159,54 +109,10 @@ impl ToJson for SchemeOutcome {
 /// for the same `(trace, scheme, cfg)` it returns bit-identical outcomes no
 /// matter which thread runs it or how many run concurrently — the property
 /// the parallel experiment runner is built on.
-pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> SchemeOutcome {
-    match scheme {
-        SchemeKind::Baseline => {
-            let stats = Core::new(cfg.clone(), NoVp).run(trace);
-            SchemeOutcome::from(scheme, stats, vec![], 0, 0, 0)
-        }
-        SchemeKind::Dlvp => {
-            let core = Core::new(cfg.clone(), dlvp::dlvp_default());
-            let (stats, s) = core.run_with_scheme(trace);
-            let act = s.predictor().activity();
-            let extra = s.extra_counters();
-            SchemeOutcome::from(
-                scheme,
-                stats,
-                extra,
-                s.predictor().storage_bits(),
-                act.reads,
-                act.writes,
-            )
-        }
-        SchemeKind::Cap => {
-            let core = Core::new(cfg.clone(), dlvp::dlvp_with_cap());
-            let (stats, s) = core.run_with_scheme(trace);
-            let act = s.predictor().activity();
-            let extra = s.extra_counters();
-            SchemeOutcome::from(
-                scheme,
-                stats,
-                extra,
-                s.predictor().storage_bits(),
-                act.reads,
-                act.writes,
-            )
-        }
-        SchemeKind::Vtage => {
-            let core = Core::new(cfg.clone(), Vtage::paper_default());
-            let (stats, s) = core.run_with_scheme(trace);
-            let (r, w) = s.activity();
-            let extra = s.extra_counters();
-            SchemeOutcome::from(scheme, stats, extra, s.storage_bits(), r, w)
-        }
-        SchemeKind::Tournament => {
-            let core = Core::new(cfg.clone(), Tournament::new());
-            let (stats, s) = core.run_with_scheme(trace);
-            let extra = s.extra_counters();
-            SchemeOutcome::from(scheme, stats, extra, 0, 0, 0)
-        }
-    }
+pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &SimConfig) -> SchemeOutcome {
+    let core = Core::new(cfg.core.clone(), scheme.build(cfg));
+    let (stats, s) = core.run_with_scheme(trace);
+    SchemeOutcome::collect(scheme, stats, &s)
 }
 
 /// [`run_scheme`] with event tracing: the core records up to
@@ -217,84 +123,19 @@ pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &CoreConfig) -> Scheme
 pub fn run_scheme_traced(
     trace: &Trace,
     scheme: SchemeKind,
-    cfg: &CoreConfig,
+    cfg: &SimConfig,
     ring_capacity: usize,
 ) -> (SchemeOutcome, Vec<ObsEvent>, u64) {
-    fn go<S: VpScheme>(
-        trace: &Trace,
-        cfg: &CoreConfig,
-        scheme: S,
-        cap: usize,
-    ) -> (SimStats, S, Vec<ObsEvent>, u64) {
-        let core = Core::with_sink(cfg.clone(), scheme, RingSink::new(cap));
-        let (stats, scheme, sink) = core.run_traced(trace);
-        let ring = sink.into_ring();
-        let overwritten = ring.overwritten();
-        (stats, scheme, ring.drain(), overwritten)
-    }
-    match scheme {
-        SchemeKind::Baseline => {
-            let (stats, _, events, lost) = go(trace, cfg, NoVp, ring_capacity);
-            (
-                SchemeOutcome::from(scheme, stats, vec![], 0, 0, 0),
-                events,
-                lost,
-            )
-        }
-        SchemeKind::Dlvp => {
-            let (stats, s, events, lost) = go(trace, cfg, dlvp::dlvp_default(), ring_capacity);
-            let act = s.predictor().activity();
-            let extra = s.extra_counters();
-            (
-                SchemeOutcome::from(
-                    scheme,
-                    stats,
-                    extra,
-                    s.predictor().storage_bits(),
-                    act.reads,
-                    act.writes,
-                ),
-                events,
-                lost,
-            )
-        }
-        SchemeKind::Cap => {
-            let (stats, s, events, lost) = go(trace, cfg, dlvp::dlvp_with_cap(), ring_capacity);
-            let act = s.predictor().activity();
-            let extra = s.extra_counters();
-            (
-                SchemeOutcome::from(
-                    scheme,
-                    stats,
-                    extra,
-                    s.predictor().storage_bits(),
-                    act.reads,
-                    act.writes,
-                ),
-                events,
-                lost,
-            )
-        }
-        SchemeKind::Vtage => {
-            let (stats, s, events, lost) = go(trace, cfg, Vtage::paper_default(), ring_capacity);
-            let (r, w) = s.activity();
-            let extra = s.extra_counters();
-            (
-                SchemeOutcome::from(scheme, stats, extra, s.storage_bits(), r, w),
-                events,
-                lost,
-            )
-        }
-        SchemeKind::Tournament => {
-            let (stats, s, events, lost) = go(trace, cfg, Tournament::new(), ring_capacity);
-            let extra = s.extra_counters();
-            (
-                SchemeOutcome::from(scheme, stats, extra, 0, 0, 0),
-                events,
-                lost,
-            )
-        }
-    }
+    let core = Core::with_sink(
+        cfg.core.clone(),
+        scheme.build(cfg),
+        RingSink::new(ring_capacity),
+    );
+    let (stats, s, sink) = core.run_traced(trace);
+    let ring = sink.into_ring();
+    let overwritten = ring.overwritten();
+    let outcome = SchemeOutcome::collect(scheme, stats, &s);
+    (outcome, ring.drain(), overwritten)
 }
 
 /// Per-workload comparison row for the Figure 6-style experiments.
@@ -321,14 +162,15 @@ impl ComparisonRow {
         )
     }
 
-    /// Runs a custom scheme list on one workload.
+    /// Runs a custom scheme list on one workload under the paper default
+    /// configuration.
     pub fn with_schemes(
         w: &lvp_workloads::Workload,
         budget: u64,
         schemes: &[SchemeKind],
     ) -> ComparisonRow {
         let trace = w.trace(budget);
-        let cfg = CoreConfig::default();
+        let cfg = SimConfig::default();
         let baseline = run_scheme(&trace, SchemeKind::Baseline, &cfg);
         let schemes = schemes
             .iter()
@@ -371,34 +213,23 @@ impl ToJson for ComparisonRow {
     }
 }
 
-/// Runs a scheme under oracle-replay recovery (Figure 10).
+/// Runs a scheme under oracle-replay recovery (Figure 10) — the
+/// `oracle_replay` preset.
 pub fn run_with_replay(trace: &Trace, scheme: SchemeKind) -> SchemeOutcome {
-    let cfg = CoreConfig {
-        recovery: RecoveryMode::OracleReplay,
-        ..CoreConfig::default()
-    };
+    let cfg = SimConfig::preset("oracle_replay").expect("known preset");
     run_scheme(trace, scheme, &cfg)
 }
 
-/// Runs DLVP with prefetch-on-probe-miss toggled (Figure 5).
+/// Runs DLVP with prefetch-on-probe-miss toggled (Figure 5): the `default`
+/// preset against `no_dlvp_prefetch`.
 pub fn run_dlvp_prefetch(trace: &Trace, prefetch: bool) -> SchemeOutcome {
-    let cfg = CoreConfig::default();
-    let dcfg = DlvpConfig {
-        prefetch_on_miss: prefetch,
-        ..DlvpConfig::default()
+    let name = if prefetch {
+        "default"
+    } else {
+        "no_dlvp_prefetch"
     };
-    let core = Core::new(cfg, Dlvp::new(dcfg, Pap::paper_default()));
-    let (stats, s) = core.run_with_scheme(trace);
-    let act = s.predictor().activity();
-    let extra = s.extra_counters();
-    SchemeOutcome::from(
-        SchemeKind::Dlvp,
-        stats,
-        extra,
-        s.predictor().storage_bits(),
-        act.reads,
-        act.writes,
-    )
+    let cfg = SimConfig::preset(name).expect("known preset");
+    run_scheme(trace, SchemeKind::Dlvp, &cfg)
 }
 
 /// Parses the per-workload budget from argv (first positional argument).
@@ -415,7 +246,7 @@ mod tests {
 
     #[test]
     fn standard_row_runs_all_schemes() {
-        let w = lvp_workloads::by_name("aifirf").unwrap();
+        let w = lvp_workloads::by_name("aifirf").expect("workload");
         let row = ComparisonRow::standard(&w, 10_000);
         assert_eq!(row.schemes.len(), 3);
         assert_eq!(row.schemes[2].scheme, SchemeKind::Dlvp);
@@ -425,18 +256,32 @@ mod tests {
 
     #[test]
     fn outcome_energy_positive() {
-        let w = lvp_workloads::by_name("nat").unwrap();
+        let w = lvp_workloads::by_name("nat").expect("workload");
         let t = w.trace(5_000);
-        let o = run_scheme(&t, SchemeKind::Dlvp, &CoreConfig::default());
+        let o = run_scheme(&t, SchemeKind::Dlvp, &SimConfig::default());
         assert!(o.energy() > 0.0);
         assert!(o.extra_counter("addr_predictions").is_some());
     }
 
     #[test]
     fn replay_never_flushes() {
-        let w = lvp_workloads::by_name("viterbi").unwrap();
+        let w = lvp_workloads::by_name("viterbi").expect("workload");
         let t = w.trace(20_000);
         let o = run_with_replay(&t, SchemeKind::Cap);
         assert_eq!(o.stats.vp_flushes, 0);
+    }
+
+    #[test]
+    fn traced_stats_match_untraced() {
+        let w = lvp_workloads::by_name("aifirf").expect("workload");
+        let t = w.trace(5_000);
+        let cfg = SimConfig::default();
+        for kind in SchemeKind::all() {
+            let plain = run_scheme(&t, kind, &cfg);
+            let (traced, events, _lost) = run_scheme_traced(&t, kind, &cfg, 1024);
+            assert_eq!(plain, traced, "{} diverged under tracing", kind.name());
+            // Even the baseline records core pipeline lifecycle events.
+            assert!(!events.is_empty(), "{} recorded nothing", kind.name());
+        }
     }
 }

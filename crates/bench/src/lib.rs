@@ -1,30 +1,36 @@
 //! # lvp-bench — experiment harnesses for every table and figure
 //!
 //! This crate turns the reproduction's components into the paper's
-//! evaluation: one binary per table/figure (see DESIGN.md §4 for the index)
-//! plus Criterion micro-benchmarks of the library itself.
+//! evaluation. Every figure, table and ablation is declared as data in
+//! [`specs`] — an [`specs::ExperimentSpec`] names the `(workload, scheme,
+//! preset)` simulations it needs and renders the collected results — and a
+//! single `figs` binary executes any selection of them on the deterministic
+//! parallel worker pool (see DESIGN.md §4 for the index).
 //!
-//! Run any experiment with:
+//! Regenerate everything with:
 //!
 //! ```text
-//! cargo run --release -p lvp-bench --bin fig06_comparison [budget]
+//! cargo run --release -p lvp-bench --bin figs -- --all
 //! ```
 //!
-//! where `budget` is the per-workload dynamic-instruction count (default
-//! 200k — the paper uses 100M-instruction simpoints; we scale down for
-//! interactivity, which compresses absolute speedups but preserves the
-//! relative ordering the figures show).
+//! or one experiment with `figs fig06_comparison [--budget N]`, where the
+//! budget is the per-workload dynamic-instruction count (default 200k — the
+//! paper uses 100M-instruction simpoints; we scale down for interactivity,
+//! which compresses absolute speedups but preserves the relative ordering
+//! the figures show).
 
 pub mod analysis;
 pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod specs;
 
 pub use experiments::{
     budget_from_args, run_scheme, run_scheme_traced, ComparisonRow, SchemeKind, SchemeOutcome,
 };
 pub use runner::{
-    default_jobs, diff_matrices, run_job, run_matrix, ConfigVariant, Drift, JobResult, JobSpec,
-    MatrixResults, MatrixSpec, Tolerances,
+    default_jobs, diff_matrices, par_map, run_job, run_matrix, ConfigVariant, Drift, JobResult,
+    JobSpec, MatrixResults, MatrixSpec, Tolerances,
 };
+pub use specs::{run_specs, ExperimentSpec, RenderedSpec, ResultSet, SimRequest, SimScheme};

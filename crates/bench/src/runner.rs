@@ -22,13 +22,15 @@
 
 use crate::experiments::{run_scheme, SchemeKind, SchemeOutcome};
 use lvp_json::{Json, ToJson};
-use lvp_uarch::{BranchPredictorKind, CoreConfig, RecoveryMode};
+use lvp_uarch::SimConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// A named, serializable core-configuration override. Variants rather than
+/// A named, serializable configuration override. Variants rather than
 /// closures so job specs can be parsed from the CLI, hashed into seeds, and
-/// written into result files.
+/// written into result files. Each variant is a [`SimConfig`] preset of the
+/// same name; the full preset catalogue (ablation design points included)
+/// lives in `SimConfig::preset_names`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConfigVariant {
     /// Paper Table 4 baseline.
@@ -75,33 +77,10 @@ impl ConfigVariant {
         Self::all().into_iter().find(|v| v.name() == name)
     }
 
-    /// The core configuration this variant runs under.
-    pub fn config(self) -> CoreConfig {
-        let base = CoreConfig::default();
-        match self {
-            ConfigVariant::Default => base,
-            ConfigVariant::OracleReplay => CoreConfig {
-                recovery: RecoveryMode::OracleReplay,
-                ..base
-            },
-            ConfigVariant::Gshare => CoreConfig {
-                branch_predictor: BranchPredictorKind::Gshare,
-                ..base
-            },
-            ConfigVariant::NoPrefetch => {
-                let mut c = base;
-                c.mem.prefetch_enabled = false;
-                c
-            }
-            ConfigVariant::NarrowFrontend => CoreConfig {
-                frontend_width: 2,
-                ..base
-            },
-            ConfigVariant::SmallPvt => CoreConfig {
-                pvt_entries: 8,
-                ..base
-            },
-        }
+    /// The configuration this variant runs under: the [`SimConfig`] preset
+    /// of the same name.
+    pub fn config(self) -> SimConfig {
+        SimConfig::preset(self.name()).expect("every variant names a preset")
     }
 }
 
@@ -308,6 +287,41 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
     }
 }
 
+/// Applies `f` to every item on a scoped worker pool and returns results in
+/// **input order** — bit-identical for any `workers >= 1`, provided `f` is
+/// pure. Items are consumed via an atomic cursor; each result lands in its
+/// own index slot, so neither the thread count nor the completion schedule
+/// can reorder output. This is the worker pool under both [`run_matrix`]
+/// and the declarative figure pipeline.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot lock poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every item processed")
+        })
+        .collect()
+}
+
 /// Executes the matrix on `workers` scoped threads and returns results in
 /// canonical job order, bit-identical for any `workers >= 1`.
 ///
@@ -315,7 +329,6 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
 /// across jobs — then the job list is consumed via an atomic cursor.
 pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResults {
     let jobs = spec.expand();
-    let workers = workers.max(1).min(jobs.len().max(1));
 
     // Phase 1: build each workload's trace once, in parallel.
     let workload_list: Vec<lvp_workloads::Workload> = spec
@@ -323,53 +336,23 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResults {
         .iter()
         .map(|w| lvp_workloads::by_name(w).unwrap_or_else(|| panic!("unknown workload '{w}'")))
         .collect();
-    let traces: Vec<lvp_trace::Trace> = {
-        let slots: Vec<Mutex<Option<lvp_trace::Trace>>> =
-            workload_list.iter().map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(workload_list.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(w) = workload_list.get(i) else { break };
-                    let t = w.trace(spec.budget);
-                    *slots[i].lock().unwrap() = Some(t);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("trace built"))
-            .collect()
-    };
+    let traces: Vec<lvp_trace::Trace> = par_map(&workload_list, workers, |w| w.trace(spec.budget));
+
     // Phase 2: run jobs; each result lands in its own index slot.
-    let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let wi = spec
-                    .workloads
-                    .iter()
-                    .position(|w| *w == job.workload)
-                    .expect("job came from this spec");
-                let outcome = run_scheme(&traces[wi], job.scheme, &job.variant.config());
-                let result = JobResult {
-                    seed: job.seed(),
-                    suite: workload_list[wi].suite.to_string(),
-                    spec: job.clone(),
-                    outcome,
-                };
-                *slots[i].lock().unwrap() = Some(result);
-            });
+    let results = par_map(&jobs, workers, |job| {
+        let wi = spec
+            .workloads
+            .iter()
+            .position(|w| *w == job.workload)
+            .expect("job came from this spec");
+        let outcome = run_scheme(&traces[wi], job.scheme, &job.variant.config());
+        JobResult {
+            seed: job.seed(),
+            suite: workload_list[wi].suite.to_string(),
+            spec: job.clone(),
+            outcome,
         }
     });
-    let results = slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("job completed"))
-        .collect();
     MatrixResults {
         spec: spec.clone(),
         jobs: results,
@@ -592,15 +575,30 @@ mod tests {
     fn variant_configs_differ_from_default() {
         for v in ConfigVariant::all() {
             assert_eq!(ConfigVariant::from_name(v.name()), Some(v));
+            assert!(
+                SimConfig::preset_names().contains(&v.name()),
+                "{} must name a preset",
+                v.name()
+            );
             if v != ConfigVariant::Default {
                 assert_ne!(
                     v.config(),
-                    CoreConfig::default(),
+                    SimConfig::default(),
                     "{} must change config",
                     v.name()
                 );
             }
         }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map(&items, 1, |&x| x * x);
+        let parallel = par_map(&items, 8, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        assert!(par_map(&[] as &[u64], 4, |&x| x).is_empty());
     }
 
     #[test]

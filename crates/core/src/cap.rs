@@ -17,35 +17,9 @@
 
 use crate::addr::{AddrPrediction, AddressPredictor, PredictorActivity};
 
-/// CAP configuration (defaults = paper Table 4 CAP row, confidence swept in
-/// the experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CapConfig {
-    /// Entries in each of the two tables.
-    pub entries: usize,
-    pub tag_bits: u32,
-    /// Per-load address history width.
-    pub history_bits: u32,
-    /// Consecutive correct link lookups required before predicting
-    /// (the paper's original CAP used 3; the paper sweeps 3..64 in Fig 4 and
-    /// uses 24 for the DLVP-with-CAP runs).
-    pub confidence: u32,
-    /// Link field width for the budget calculation (24 for ARMv7, 41 for
-    /// ARMv8).
-    pub link_bits: u32,
-}
-
-impl Default for CapConfig {
-    fn default() -> CapConfig {
-        CapConfig {
-            entries: 1024,
-            tag_bits: 14,
-            history_bits: 16,
-            confidence: 8,
-            link_bits: 41,
-        }
-    }
-}
+// The configuration record lives with the rest of the `SimConfig` aggregate
+// in `lvp-uarch`; re-exported here at its historical path.
+pub use lvp_uarch::simconfig::CapConfig;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct LoadBufEntry {

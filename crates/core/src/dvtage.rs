@@ -211,7 +211,7 @@ impl VpScheme for Dvtage {
         "D-VTAGE"
     }
 
-    fn on_fetch<K: lvp_uarch::EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
         if !slot.inst.is_load() || slot.inst.dest_chunks() != 1 || slot.inst.is_ordered() {
             return;
         }
@@ -384,7 +384,7 @@ mod tests {
                 history: &h,
                 lanes: &mut lanes,
                 mem: &mut mem,
-                sink: &mut sink,
+                sink: lvp_obs::SinkHandle::new(&mut sink),
             };
             d.on_fetch(&slot, &mut ctx);
             let values = [value];

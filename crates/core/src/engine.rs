@@ -17,40 +17,13 @@
 use crate::addr::{size_code_for, AddressPredictor};
 use crate::lscd::Lscd;
 use crate::paq::Paq;
-use lvp_obs::{EventSink, FilterReason, ObsEvent};
+use lvp_obs::{FilterReason, ObsEvent};
 use lvp_uarch::{ExecInfo, FetchCtx, FetchSlot, RenamePrediction, VpScheme, VpVerdict};
 use std::collections::{BTreeMap, HashMap};
 
-/// DLVP knobs (defaults = the paper's design point).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DlvpConfig {
-    /// Generate a prefetch when a probe misses the L1D (Figure 5 toggles
-    /// this).
-    pub prefetch_on_miss: bool,
-    /// Use the LSCD in-flight-conflict filter.
-    pub use_lscd: bool,
-    /// Probe a single predicted way instead of the whole set.
-    pub way_prediction: bool,
-    /// Address predictions per fetch group (paper: 2).
-    pub max_per_group: u32,
-    /// PAQ capacity (paper: 32).
-    pub paq_entries: usize,
-    /// PAQ probe deadline in cycles (the paper's N = 4).
-    pub paq_window: u64,
-}
-
-impl Default for DlvpConfig {
-    fn default() -> DlvpConfig {
-        DlvpConfig {
-            prefetch_on_miss: true,
-            use_lscd: true,
-            way_prediction: true,
-            max_per_group: 2,
-            paq_entries: 32,
-            paq_window: 4,
-        }
-    }
-}
+// The configuration record lives with the rest of the `SimConfig` aggregate
+// in `lvp-uarch`; re-exported here at its historical path.
+pub use lvp_uarch::simconfig::DlvpConfig;
 
 #[derive(Debug, Clone, Copy)]
 struct ProbedPrediction {
@@ -163,7 +136,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         self.name
     }
 
-    fn on_fetch<K: EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
         if !slot.inst.is_load() {
             return;
         }
@@ -173,7 +146,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
             // §3.2.2 memory consistency: "address prediction is not used
             // with memory ordering instructions, atomic and exclusive
             // memory accesses."
-            if K::ENABLED {
+            if ctx.sink.enabled() {
                 ctx.sink.emit(ObsEvent::PredictFiltered {
                     seq: slot.seq,
                     pc: slot.pc,
@@ -192,7 +165,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         }
         if self.cfg.use_lscd && self.lscd.filters(slot.pc) {
             self.counters.lscd_suppressed += 1;
-            if K::ENABLED {
+            if ctx.sink.enabled() {
                 ctx.sink.emit(ObsEvent::PredictFiltered {
                     seq: slot.seq,
                     pc: slot.pc,
@@ -211,7 +184,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         }
         if slot.load_index_in_group >= self.cfg.max_per_group {
             // Beyond the per-group prediction ports (paper: <2% of groups).
-            if K::ENABLED {
+            if ctx.sink.enabled() {
                 ctx.sink.emit(ObsEvent::PredictFiltered {
                     seq: slot.seq,
                     pc: slot.pc,
@@ -231,7 +204,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         // The FGA-based proxy PC (§3.1.1: "load PC and load PC plus one").
         let proxy_pc = slot.fga + 4 * slot.load_index_in_group as u64;
         let (pred, train_ctx) = self.predictor.lookup(proxy_pc);
-        if K::ENABLED {
+        if ctx.sink.enabled() {
             ctx.sink.emit(ObsEvent::AptLookup {
                 seq: slot.seq,
                 pc: slot.pc,
@@ -258,7 +231,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                 way: p.way,
                 alloc_cycle: alloc,
             }) {
-                if K::ENABLED {
+                if ctx.sink.enabled() {
                     ctx.sink.emit(ObsEvent::PaqEnqueue {
                         seq: slot.seq,
                         addr: p.addr,
@@ -267,9 +240,9 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                 }
                 match ctx.lanes.book_ls_bubble(alloc, alloc + self.paq.window()) {
                     Some(probe_cycle) => {
-                        let sink = &mut *ctx.sink;
+                        let sink = &mut ctx.sink;
                         if let Some(entry) = self.paq.pop_probed_with(probe_cycle, |e| {
-                            if K::ENABLED {
+                            if sink.enabled() {
                                 sink.emit(ObsEvent::PaqDrop {
                                     seq: e.seq,
                                     cycle: probe_cycle,
@@ -287,7 +260,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                                 probe_cycle,
                                 entry.addr,
                                 hint,
-                                &mut *ctx.sink,
+                                &mut ctx.sink,
                             );
                             if outcome.way_mispredict {
                                 // The one-way probe read the wrong way: no
@@ -306,7 +279,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                                 // ⑤ prefetch the missing block.
                                 ctx.mem.dlvp_prefetch(entry.addr);
                                 self.counters.prefetches += 1;
-                                if K::ENABLED {
+                                if ctx.sink.enabled() {
                                     ctx.sink.emit(ObsEvent::Prefetch {
                                         seq: entry.seq,
                                         addr: entry.addr,
@@ -319,9 +292,9 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                     None => {
                         // No LS bubble inside the window: the entry expires.
                         let deadline = alloc + self.paq.window() + 1;
-                        let sink = &mut *ctx.sink;
+                        let sink = &mut ctx.sink;
                         self.paq.drop_expired_with(deadline, |e| {
-                            if K::ENABLED {
+                            if sink.enabled() {
                                 sink.emit(ObsEvent::PaqDrop {
                                     seq: e.seq,
                                     cycle: deadline,
@@ -331,7 +304,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
                         });
                     }
                 }
-            } else if K::ENABLED {
+            } else if ctx.sink.enabled() {
                 ctx.sink.emit(ObsEvent::PaqOverflow {
                     seq: slot.seq,
                     cycle: alloc,
@@ -414,6 +387,15 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
             ("paq_drop_rate", self.paq.drop_rate()),
             ("paq_allocated", paq.allocated as f64),
         ]
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.predictor.storage_bits()
+    }
+
+    fn activity(&self) -> (u64, u64) {
+        let a = self.predictor.activity();
+        (a.reads, a.writes)
     }
 }
 

@@ -43,6 +43,7 @@ pub mod lscd;
 pub mod pap;
 pub mod paq;
 pub mod path;
+pub mod registry;
 pub mod tournament;
 pub mod vtage;
 
@@ -55,5 +56,6 @@ pub use lscd::Lscd;
 pub use pap::{AddrWidth, AllocPolicy, AptLayout, Pap, PapConfig};
 pub use paq::{Paq, PaqEntry, PaqStats};
 pub use path::LoadPathHistory;
+pub use registry::SchemeKind;
 pub use tournament::{Tournament, TournamentCounters};
 pub use vtage::{Vtage, VtageConfig, VtageFilter, VtageTargets};

@@ -14,79 +14,9 @@ use crate::addr::{AddrPrediction, AddressPredictor, PredictorActivity};
 use crate::fpc::Fpc;
 use crate::path::LoadPathHistory;
 
-/// Address-width flavour (paper Table 1: 32-bit ARMv7 or 49-bit ARMv8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AddrWidth {
-    /// 32-bit addresses (ARMv7).
-    A32,
-    /// 49-bit addresses (ARMv8).
-    A49,
-}
-
-impl AddrWidth {
-    /// Memory-address field width in bits.
-    pub fn bits(self) -> u32 {
-        match self {
-            AddrWidth::A32 => 32,
-            AddrWidth::A49 => 49,
-        }
-    }
-}
-
-/// APT allocation policy on a tag miss (paper §3.1.1 "Training on an APT
-/// Miss"). The paper's experiments found Policy-2 superior: "entries with
-/// high confidence can survive eviction".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AllocPolicy {
-    /// Policy-1: a new entry always replaces the probed entry.
-    Always,
-    /// Policy-2: allocate only when the probed entry's confidence is zero;
-    /// otherwise decrement it.
-    RespectConfidence,
-}
-
-/// PAP configuration (defaults = paper Table 4 DLVP row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PapConfig {
-    /// APT entries (direct-mapped; paper: 1k).
-    pub entries: usize,
-    /// Tag width in bits (paper Table 1: 14).
-    pub tag_bits: u32,
-    /// Load-path history register width (paper Table 4: 16).
-    pub history_bits: u32,
-    /// Address width flavour.
-    pub addr_width: AddrWidth,
-    /// Track the cache way for probe-energy reduction (Table 1 optional
-    /// field).
-    pub way_prediction: bool,
-    /// Allocation policy on APT miss.
-    pub alloc_policy: AllocPolicy,
-    /// Confidence FPC probability-denominator vector. The paper's design
-    /// point is {1, 2, 4} (~8 observations); sweeping this trades accuracy
-    /// for coverage (§5.2.4's future-work knob).
-    pub fpc_denoms: [u32; 3],
-    /// Apply the paper's §3.1.2 training rule on an address mismatch
-    /// (reset confidence and reallocate the entry). `true` is correct
-    /// behaviour; setting `false` *injects a bug* — the entry keeps its old
-    /// address and confidence — used by the cross-validation gate tests to
-    /// prove the gate detects a broken predictor.
-    pub train_reset_on_mismatch: bool,
-}
-
-impl Default for PapConfig {
-    fn default() -> PapConfig {
-        PapConfig {
-            entries: 1024,
-            tag_bits: 14,
-            history_bits: 16,
-            addr_width: AddrWidth::A49,
-            way_prediction: true,
-            alloc_policy: AllocPolicy::RespectConfidence,
-            fpc_denoms: [1, 2, 4],
-            train_reset_on_mismatch: true,
-        }
-    }
-}
+// The configuration records live with the rest of the `SimConfig` aggregate
+// in `lvp-uarch`; re-exported here at their historical paths.
+pub use lvp_uarch::simconfig::{AddrWidth, AllocPolicy, PapConfig};
 
 /// Storage layout of one APT entry and of the whole table (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -77,7 +77,7 @@ impl VpScheme for Tournament {
         "DLVP+VTAGE"
     }
 
-    fn on_fetch<K: lvp_uarch::EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
         self.dlvp.on_fetch(slot, ctx);
         self.vtage.on_fetch(slot, ctx);
         if slot.inst.dest_chunks() > 0 {

@@ -19,63 +19,9 @@ use lvp_isa::Instruction;
 use lvp_uarch::{ExecInfo, FetchCtx, FetchSlot, RenamePrediction, VpScheme, VpVerdict};
 use std::collections::HashMap;
 
-/// Which instructions VTAGE targets (Figure 7's x-axis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VtageTargets {
-    /// Predict load instructions only (the paper's winning choice at an
-    /// 8KB-class budget).
-    LoadsOnly,
-    /// Predict every value-producing instruction.
-    AllInstructions,
-}
-
-/// Opcode filter flavour (Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VtageFilter {
-    /// Unmodified VTAGE.
-    Vanilla,
-    /// Track per-opcode-type accuracy; block types under 95%.
-    Dynamic,
-    /// Preloaded with the multi-destination types (LDP, LDM, VLD).
-    Static,
-}
-
-/// VTAGE configuration.
-#[derive(Debug, Clone, PartialEq)]
-pub struct VtageConfig {
-    /// Entries per table (paper: 256).
-    pub entries: usize,
-    /// Tag bits (paper: 16).
-    pub tag_bits: u32,
-    /// Global branch history lengths, shortest first (paper: {0, 5, 13}).
-    pub histories: Vec<u32>,
-    pub targets: VtageTargets,
-    pub filter: VtageFilter,
-    /// Whether multi-destination loads get one predictor entry per 64-bit
-    /// chunk (the paper's §5.2.2 adjustment). Unmodified ("vanilla") VTAGE
-    /// has one entry per instruction and effectively predicts only the
-    /// first chunk — mispredicting any other chunk of an LDP/LDM/VLD.
-    pub chunk_aware: bool,
-    /// Dynamic-filter accuracy floor.
-    pub filter_threshold: f64,
-    /// Dynamic-filter minimum samples before blocking.
-    pub filter_warmup: u64,
-}
-
-impl Default for VtageConfig {
-    fn default() -> VtageConfig {
-        VtageConfig {
-            entries: 256,
-            tag_bits: 16,
-            histories: vec![0, 5, 13],
-            targets: VtageTargets::LoadsOnly,
-            filter: VtageFilter::Static,
-            filter_threshold: 0.95,
-            filter_warmup: 64,
-            chunk_aware: true,
-        }
-    }
-}
+// The configuration records live with the rest of the `SimConfig` aggregate
+// in `lvp-uarch`; re-exported here at their historical paths.
+pub use lvp_uarch::simconfig::{VtageConfig, VtageFilter, VtageTargets};
 
 /// Coarse opcode classes tracked by the filters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -356,7 +302,7 @@ impl VpScheme for Vtage {
         "VTAGE"
     }
 
-    fn on_fetch<K: lvp_uarch::EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>) {
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
         if !self.eligible(slot.inst) {
             if slot.inst.dest_chunks() > 0 && !slot.inst.is_branch() && !slot.inst.is_store() {
                 self.counters.filtered += 1;
@@ -463,6 +409,14 @@ impl VpScheme for Vtage {
             ("vtage_predictions", self.counters.predictions as f64),
             ("vtage_filtered", self.counters.filtered as f64),
         ]
+    }
+
+    fn storage_bits(&self) -> u64 {
+        Vtage::storage_bits(self)
+    }
+
+    fn activity(&self) -> (u64, u64) {
+        Vtage::activity(self)
     }
 }
 

@@ -215,7 +215,7 @@ impl MemoryHierarchy {
         sink: &mut K,
     ) -> ProbeOutcome {
         let outcome = self.probe_l1d(addr, hint);
-        if K::ENABLED {
+        if sink.enabled() {
             sink.emit(lvp_obs::ObsEvent::L1Probe {
                 seq,
                 addr,

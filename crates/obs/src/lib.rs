@@ -45,4 +45,4 @@ pub use event::{FilterReason, InjectBlock, ObsEvent, RedirectCause, VerifyOutcom
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{mips, HostProfiler};
 pub use report::{LifecycleReport, PcLifecycle, RunMeta};
-pub use ring::{EventRing, EventSink, NullSink, RingSink};
+pub use ring::{ErasedEmit, EventRing, EventSink, NullSink, RingSink, SinkHandle};

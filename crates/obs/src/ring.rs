@@ -18,6 +18,15 @@ pub trait EventSink {
 
     /// Records one event.
     fn emit(&mut self, event: ObsEvent);
+
+    /// Instance-level enablement. Equal to [`EventSink::ENABLED`] for every
+    /// concrete sink; [`SinkHandle`] overrides it to carry the erased sink's
+    /// flag at runtime, so guards written `if sink.enabled()` stay
+    /// constant-foldable for `NullSink` yet truthful through type erasure.
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        Self::ENABLED
+    }
 }
 
 /// The disabled sink: records nothing, costs nothing.
@@ -37,6 +46,93 @@ impl<K: EventSink> EventSink for &mut K {
     #[inline(always)]
     fn emit(&mut self, event: ObsEvent) {
         (**self).emit(event);
+    }
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// Object-safe emission: the `dyn` face of [`EventSink`], implemented for
+/// every sink. [`SinkHandle`] pairs a `&mut dyn ErasedEmit` with the sink's
+/// compile-time `ENABLED` flag so schemes can be used through
+/// `dyn`-dispatched interfaces without giving up the disabled-sink
+/// fast path.
+pub trait ErasedEmit {
+    /// Records one event (see [`EventSink::emit`]).
+    fn emit_event(&mut self, event: ObsEvent);
+}
+
+impl<K: EventSink> ErasedEmit for K {
+    #[inline(always)]
+    fn emit_event(&mut self, event: ObsEvent) {
+        self.emit(event);
+    }
+}
+
+/// A borrowed, type-erased sink: what the pipeline hands to object-safe
+/// consumers (e.g. `dyn`-dispatched value-prediction schemes). Emission
+/// sites behind a handle must guard with the *runtime* flag —
+/// `if sink.enabled() { sink.emit(..) }` — which is `false` whenever the
+/// handle wraps a [`NullSink`], preserving observer-only semantics and
+/// (after the trivially predictable branch) near-zero disabled cost.
+pub struct SinkHandle<'a> {
+    enabled: bool,
+    inner: &'a mut dyn ErasedEmit,
+}
+
+impl<'a> SinkHandle<'a> {
+    /// Wraps a concrete sink, capturing its compile-time `ENABLED` flag.
+    #[inline(always)]
+    pub fn new<K: EventSink>(sink: &'a mut K) -> SinkHandle<'a> {
+        SinkHandle {
+            enabled: K::ENABLED,
+            inner: sink,
+        }
+    }
+
+    /// The wrapped sink's enablement (inherent mirror of
+    /// [`EventSink::enabled`], so callers need no trait import).
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event if the wrapped sink is enabled (inherent mirror of
+    /// [`EventSink::emit`]).
+    #[inline(always)]
+    pub fn emit(&mut self, event: ObsEvent) {
+        if self.enabled {
+            self.inner.emit_event(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for SinkHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventSink for SinkHandle<'_> {
+    /// Conservatively `true`: a handle may wrap an enabled sink, so
+    /// compile-time guards must not fold emission away. The per-instance
+    /// [`EventSink::enabled`] carries the wrapped sink's real flag.
+    const ENABLED: bool = true;
+
+    #[inline(always)]
+    fn emit(&mut self, event: ObsEvent) {
+        if self.enabled {
+            self.inner.emit_event(event);
+        }
+    }
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        self.enabled
     }
 }
 
@@ -258,5 +354,36 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = EventRing::new(0);
+    }
+
+    #[test]
+    fn sink_handle_carries_the_wrapped_flag() {
+        let mut null = NullSink;
+        let mut h = SinkHandle::new(&mut null);
+        assert!(!h.enabled());
+        h.emit(ev(0)); // must silently drop, not reach the inner sink
+
+        let mut ring = RingSink::new(4);
+        {
+            let mut h = SinkHandle::new(&mut ring);
+            assert!(h.enabled());
+            h.emit(ev(1));
+            h.emit(ev(2));
+        }
+        assert_eq!(seqs(ring.ring()), vec![1, 2]);
+    }
+
+    #[test]
+    fn sink_handle_nests_and_forwards() {
+        // A handle over a handle (what a scheme sees when the core itself
+        // was handed an erased sink) still records and reports correctly.
+        let mut ring = RingSink::new(4);
+        {
+            let mut outer = SinkHandle::new(&mut ring);
+            let mut inner = SinkHandle::new(&mut outer);
+            assert!(inner.enabled());
+            inner.emit(ev(7));
+        }
+        assert_eq!(seqs(ring.ring()), vec![7]);
     }
 }

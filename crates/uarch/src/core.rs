@@ -279,7 +279,7 @@ impl<S: VpScheme, K: EventSink> Core<S, K> {
                 history: &self.hist,
                 lanes: &mut self.lanes,
                 mem: &mut self.mem,
-                sink: &mut self.sink,
+                sink: lvp_obs::SinkHandle::new(&mut self.sink),
             };
             self.scheme.on_fetch(&slot, &mut ctx);
         }

@@ -21,6 +21,7 @@ pub mod config;
 pub mod core;
 pub mod lanes;
 pub mod mdp;
+pub mod simconfig;
 pub mod stats;
 #[cfg(test)]
 mod tests_model;
@@ -32,6 +33,10 @@ pub use config::{BranchPredictorKind, CoreConfig, RecoveryMode};
 pub use lanes::LaneTracker;
 pub use lvp_obs::{EventRing, EventSink, NullSink, ObsEvent, RingSink};
 pub use mdp::{MdpConfig, StoreSets};
+pub use simconfig::{
+    AddrWidth, AllocPolicy, CapConfig, ConfigError, DlvpConfig, PapConfig, SimConfig, VtageConfig,
+    VtageFilter, VtageTargets,
+};
 pub use stats::{SimStats, StatsError};
 pub use vp::{
     ExecInfo, FetchCtx, FetchSlot, NoVp, OracleLoadVp, RenamePrediction, VpScheme, VpVerdict,

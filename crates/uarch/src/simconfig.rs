@@ -1,0 +1,1005 @@
+//! The unified experiment configuration: one validated aggregate of every
+//! knob a simulation run depends on.
+//!
+//! Historically each figure binary hand-wired its own `CoreConfig` +
+//! predictor configs; [`SimConfig`] replaces that with a single record the
+//! scheme registry (`dlvp::SchemeKind::build`) and the experiment specs
+//! consume. The predictor configuration *types* live here (they are pure
+//! data; the predictors themselves live in the `dlvp` crate, which
+//! re-exports these under their historical paths) so that one crate owns
+//! the whole configuration surface.
+//!
+//! Three capabilities come with the aggregate:
+//!
+//! * [`SimConfig::validate`] rejects contradictory configurations (a fetch
+//!   buffer smaller than the front-end width, a zero-entry PAQ or APT, …)
+//!   with a typed [`ConfigError`] instead of silently simulating nonsense;
+//! * [`SimConfig::preset`] names every configuration the experiments use —
+//!   the paper Table 4 baseline plus each ablation variant — so a spec can
+//!   reference `"no_lscd"` instead of re-deriving the override;
+//! * lossless `lvp-json` round-trip: [`SimConfig::from_json`] parses
+//!   exactly what [`ToJson`] writes.
+
+use crate::config::{BranchPredictorKind, CoreConfig, RecoveryMode};
+use lvp_branch::BtbConfig;
+use lvp_json::{Json, ToJson};
+use lvp_mem::{CacheConfig, HierarchyConfig, StrideConfig, TlbConfig};
+
+// ---------------------------------------------------------------------------
+// Predictor configuration records (re-exported by `dlvp` under their
+// historical paths).
+// ---------------------------------------------------------------------------
+
+/// Address-width flavour (paper Table 1: 32-bit ARMv7 or 49-bit ARMv8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrWidth {
+    /// 32-bit addresses (ARMv7).
+    A32,
+    /// 49-bit addresses (ARMv8).
+    A49,
+}
+
+impl AddrWidth {
+    /// Memory-address field width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            AddrWidth::A32 => 32,
+            AddrWidth::A49 => 49,
+        }
+    }
+}
+
+/// APT allocation policy on a tag miss (paper §3.1.1 "Training on an APT
+/// Miss"). The paper's experiments found Policy-2 superior: "entries with
+/// high confidence can survive eviction".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Policy-1: a new entry always replaces the probed entry.
+    Always,
+    /// Policy-2: allocate only when the probed entry's confidence is zero;
+    /// otherwise decrement it.
+    RespectConfidence,
+}
+
+/// PAP configuration (defaults = paper Table 4 DLVP row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PapConfig {
+    /// APT entries (direct-mapped; paper: 1k).
+    pub entries: usize,
+    /// Tag width in bits (paper Table 1: 14).
+    pub tag_bits: u32,
+    /// Load-path history register width (paper Table 4: 16).
+    pub history_bits: u32,
+    /// Address width flavour.
+    pub addr_width: AddrWidth,
+    /// Track the cache way for probe-energy reduction (Table 1 optional
+    /// field).
+    pub way_prediction: bool,
+    /// Allocation policy on APT miss.
+    pub alloc_policy: AllocPolicy,
+    /// Confidence FPC probability-denominator vector. The paper's design
+    /// point is {1, 2, 4} (~8 observations); sweeping this trades accuracy
+    /// for coverage (§5.2.4's future-work knob).
+    pub fpc_denoms: [u32; 3],
+    /// Apply the paper's §3.1.2 training rule on an address mismatch
+    /// (reset confidence and reallocate the entry). `true` is correct
+    /// behaviour; setting `false` *injects a bug* — the entry keeps its old
+    /// address and confidence — used by the cross-validation gate tests to
+    /// prove the gate detects a broken predictor.
+    pub train_reset_on_mismatch: bool,
+}
+
+impl Default for PapConfig {
+    fn default() -> PapConfig {
+        PapConfig {
+            entries: 1024,
+            tag_bits: 14,
+            history_bits: 16,
+            addr_width: AddrWidth::A49,
+            way_prediction: true,
+            alloc_policy: AllocPolicy::RespectConfidence,
+            fpc_denoms: [1, 2, 4],
+            train_reset_on_mismatch: true,
+        }
+    }
+}
+
+/// CAP configuration (defaults = paper Table 4 CAP row, confidence swept in
+/// the experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapConfig {
+    /// Entries in each of the two tables.
+    pub entries: usize,
+    pub tag_bits: u32,
+    /// Per-load address history width.
+    pub history_bits: u32,
+    /// Consecutive correct link lookups required before predicting
+    /// (the paper's original CAP used 3; the paper sweeps 3..64 in Fig 4 and
+    /// uses 24 for the DLVP-with-CAP runs).
+    pub confidence: u32,
+    /// Link field width for the budget calculation (24 for ARMv7, 41 for
+    /// ARMv8).
+    pub link_bits: u32,
+}
+
+impl Default for CapConfig {
+    fn default() -> CapConfig {
+        CapConfig {
+            entries: 1024,
+            tag_bits: 14,
+            history_bits: 16,
+            confidence: 8,
+            link_bits: 41,
+        }
+    }
+}
+
+/// Which instructions VTAGE targets (Figure 7's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VtageTargets {
+    /// Predict load instructions only (the paper's winning choice at an
+    /// 8KB-class budget).
+    LoadsOnly,
+    /// Predict every value-producing instruction.
+    AllInstructions,
+}
+
+/// Opcode filter flavour (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VtageFilter {
+    /// Unmodified VTAGE.
+    Vanilla,
+    /// Track per-opcode-type accuracy; block types under 95%.
+    Dynamic,
+    /// Preloaded with the multi-destination types (LDP, LDM, VLD).
+    Static,
+}
+
+/// VTAGE configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VtageConfig {
+    /// Entries per table (paper: 256).
+    pub entries: usize,
+    /// Tag bits (paper: 16).
+    pub tag_bits: u32,
+    /// Global branch history lengths, shortest first (paper: {0, 5, 13}).
+    pub histories: Vec<u32>,
+    pub targets: VtageTargets,
+    pub filter: VtageFilter,
+    /// Whether multi-destination loads get one predictor entry per 64-bit
+    /// chunk (the paper's §5.2.2 adjustment). Unmodified ("vanilla") VTAGE
+    /// has one entry per instruction and effectively predicts only the
+    /// first chunk — mispredicting any other chunk of an LDP/LDM/VLD.
+    pub chunk_aware: bool,
+    /// Dynamic-filter accuracy floor.
+    pub filter_threshold: f64,
+    /// Dynamic-filter minimum samples before blocking.
+    pub filter_warmup: u64,
+}
+
+impl Default for VtageConfig {
+    fn default() -> VtageConfig {
+        VtageConfig {
+            entries: 256,
+            tag_bits: 16,
+            histories: vec![0, 5, 13],
+            targets: VtageTargets::LoadsOnly,
+            filter: VtageFilter::Static,
+            filter_threshold: 0.95,
+            filter_warmup: 64,
+            chunk_aware: true,
+        }
+    }
+}
+
+/// DLVP engine configuration (paper §3.2; defaults = Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlvpConfig {
+    /// Generate a prefetch when a probe misses the L1D (Figure 5 toggles
+    /// this).
+    pub prefetch_on_miss: bool,
+    /// Use the LSCD in-flight-conflict filter.
+    pub use_lscd: bool,
+    /// Probe a single predicted way instead of the whole set.
+    pub way_prediction: bool,
+    /// Address predictions per fetch group (paper: 2).
+    pub max_per_group: u32,
+    /// PAQ capacity (paper: 32).
+    pub paq_entries: usize,
+    /// PAQ probe deadline in cycles (the paper's N = 4).
+    pub paq_window: u64,
+}
+
+impl Default for DlvpConfig {
+    fn default() -> DlvpConfig {
+        DlvpConfig {
+            prefetch_on_miss: true,
+            use_lscd: true,
+            way_prediction: true,
+            max_per_group: 2,
+            paq_entries: 32,
+            paq_window: 4,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The aggregate
+// ---------------------------------------------------------------------------
+
+/// Everything one simulation run depends on: the core model plus the
+/// configuration of every scheme the registry can build. Schemes read only
+/// their own section, so a single `SimConfig` parameterizes any
+/// `SchemeKind` without loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The cycle-level core (paper Table 4).
+    pub core: CoreConfig,
+    /// The DLVP engine (PAQ/LSCD/probe machinery).
+    pub dlvp: DlvpConfig,
+    /// The PAP address predictor behind `SchemeKind::Dlvp`.
+    pub pap: PapConfig,
+    /// The CAP address predictor behind `SchemeKind::Cap`. Note the
+    /// *experiment* default confidence is 24 (the paper's DLVP-with-CAP
+    /// design point, §5.2.3), set by [`SimConfig::paper_default`];
+    /// `CapConfig::default()` alone keeps the standalone-evaluation default
+    /// of 8.
+    pub cap: CapConfig,
+    /// The VTAGE value predictor behind `SchemeKind::Vtage`.
+    pub vtage: VtageConfig,
+}
+
+impl Default for SimConfig {
+    /// Identical to [`SimConfig::paper_default`] — the Table 4 experiment
+    /// configuration, *not* the field-wise defaults (which would lose the
+    /// CAP confidence-24 design point).
+    fn default() -> SimConfig {
+        SimConfig::paper_default()
+    }
+}
+
+impl SimConfig {
+    /// The paper Table 4 baseline configuration (`"default"` preset).
+    pub fn paper_default() -> SimConfig {
+        SimConfig {
+            core: CoreConfig::default(),
+            dlvp: DlvpConfig::default(),
+            pap: PapConfig::default(),
+            cap: CapConfig {
+                confidence: 24,
+                ..CapConfig::default()
+            },
+            vtage: VtageConfig::default(),
+        }
+    }
+
+    /// Checks the configuration for contradictions that would otherwise
+    /// produce silently meaningless runs (or assertion panics deep in a
+    /// constructor). Returns the first problem found, in field order.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let c = &self.core;
+        for (field, width) in [
+            ("core.frontend_width", c.frontend_width),
+            ("core.backend_width", c.backend_width),
+            ("core.ls_lanes", c.ls_lanes),
+            ("core.vp_per_cycle", c.vp_per_cycle),
+        ] {
+            if width == 0 {
+                return Err(ConfigError::ZeroWidth(field));
+            }
+        }
+        if c.fetch_buffer < c.frontend_width as usize {
+            return Err(ConfigError::FetchBufferTooSmall {
+                fetch_buffer: c.fetch_buffer,
+                frontend_width: c.frontend_width,
+            });
+        }
+        for (table, entries) in [
+            ("core.rob_entries", c.rob_entries),
+            ("core.iq_entries", c.iq_entries),
+            ("core.ldq_entries", c.ldq_entries),
+            ("core.stq_entries", c.stq_entries),
+            ("core.pvt_entries", c.pvt_entries),
+            ("dlvp.paq_entries", self.dlvp.paq_entries),
+            ("pap.entries", self.pap.entries),
+            ("cap.entries", self.cap.entries),
+            ("vtage.entries", self.vtage.entries),
+        ] {
+            if entries == 0 {
+                return Err(ConfigError::EmptyTable(table));
+            }
+        }
+        for (table, entries) in [
+            ("pap.entries", self.pap.entries),
+            ("cap.entries", self.cap.entries),
+            ("vtage.entries", self.vtage.entries),
+        ] {
+            if !entries.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { table, entries });
+            }
+        }
+        if self.vtage.histories.is_empty() {
+            return Err(ConfigError::EmptyHistories("vtage.histories"));
+        }
+        Ok(())
+    }
+
+    /// Every preset name, in registry order. The first six are the batch
+    /// runner's config variants; the rest are the ablation design points of
+    /// the figure specs.
+    pub fn preset_names() -> &'static [&'static str] {
+        PRESETS
+    }
+
+    /// Builds a named preset. Every preset validates by construction.
+    pub fn preset(name: &str) -> Result<SimConfig, ConfigError> {
+        let mut cfg = SimConfig::paper_default();
+        match name {
+            "default" => {}
+            "oracle_replay" => cfg.core.recovery = RecoveryMode::OracleReplay,
+            "gshare" => cfg.core.branch_predictor = BranchPredictorKind::Gshare,
+            "no_prefetch" => cfg.core.mem.prefetch_enabled = false,
+            "narrow_frontend" => cfg.core.frontend_width = 2,
+            "small_pvt" => cfg.core.pvt_entries = 8,
+            "policy1" => cfg.pap.alloc_policy = AllocPolicy::Always,
+            "no_lscd" => cfg.dlvp.use_lscd = false,
+            "no_way_prediction" => cfg.dlvp.way_prediction = false,
+            "no_dlvp_prefetch" => cfg.dlvp.prefetch_on_miss = false,
+            "paq_n2" => cfg.dlvp.paq_window = 2,
+            "paq_n8" => cfg.dlvp.paq_window = 8,
+            "hist4" => cfg.pap.history_bits = 4,
+            "hist8" => cfg.pap.history_bits = 8,
+            "hist32" => cfg.pap.history_bits = 32,
+            "fpc_1" => cfg.pap.fpc_denoms = [1, 0, 0],
+            "fpc_12" => cfg.pap.fpc_denoms = [1, 2, 0],
+            "fpc_148" => cfg.pap.fpc_denoms = [1, 4, 8],
+            "fpc_1_replay" => {
+                cfg.pap.fpc_denoms = [1, 0, 0];
+                cfg.core.recovery = RecoveryMode::OracleReplay;
+            }
+            "fpc_12_replay" => {
+                cfg.pap.fpc_denoms = [1, 2, 0];
+                cfg.core.recovery = RecoveryMode::OracleReplay;
+            }
+            "fpc_148_replay" => {
+                cfg.pap.fpc_denoms = [1, 4, 8];
+                cfg.core.recovery = RecoveryMode::OracleReplay;
+            }
+            "vtage_vanilla_loads" => {
+                cfg.vtage = vtage_fig07(VtageFilter::Vanilla, VtageTargets::LoadsOnly)
+            }
+            "vtage_vanilla_all" => {
+                cfg.vtage = vtage_fig07(VtageFilter::Vanilla, VtageTargets::AllInstructions)
+            }
+            "vtage_dynamic_loads" => {
+                cfg.vtage = vtage_fig07(VtageFilter::Dynamic, VtageTargets::LoadsOnly)
+            }
+            "vtage_dynamic_all" => {
+                cfg.vtage = vtage_fig07(VtageFilter::Dynamic, VtageTargets::AllInstructions)
+            }
+            "vtage_static_loads" => {
+                cfg.vtage = vtage_fig07(VtageFilter::Static, VtageTargets::LoadsOnly)
+            }
+            "vtage_static_all" => {
+                cfg.vtage = vtage_fig07(VtageFilter::Static, VtageTargets::AllInstructions)
+            }
+            other => return Err(ConfigError::UnknownPreset(other.to_string())),
+        }
+        Ok(cfg)
+    }
+}
+
+/// A Figure 7 VTAGE variant: runs *without* the per-chunk PC adjustment, as
+/// the paper's Figure 7 studies the unmodified predictor under the filters.
+fn vtage_fig07(filter: VtageFilter, targets: VtageTargets) -> VtageConfig {
+    VtageConfig {
+        filter,
+        targets,
+        chunk_aware: false,
+        ..VtageConfig::default()
+    }
+}
+
+/// The preset registry (see [`SimConfig::preset`]).
+const PRESETS: &[&str] = &[
+    "default",
+    "oracle_replay",
+    "gshare",
+    "no_prefetch",
+    "narrow_frontend",
+    "small_pvt",
+    "policy1",
+    "no_lscd",
+    "no_way_prediction",
+    "no_dlvp_prefetch",
+    "paq_n2",
+    "paq_n8",
+    "hist4",
+    "hist8",
+    "hist32",
+    "fpc_1",
+    "fpc_12",
+    "fpc_148",
+    "fpc_1_replay",
+    "fpc_12_replay",
+    "fpc_148_replay",
+    "vtage_vanilla_loads",
+    "vtage_vanilla_all",
+    "vtage_dynamic_loads",
+    "vtage_dynamic_all",
+    "vtage_static_loads",
+    "vtage_static_all",
+];
+
+/// Why a [`SimConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A per-cycle width is zero.
+    ZeroWidth(&'static str),
+    /// The fetch/decode buffer cannot hold even one fetch group.
+    FetchBufferTooSmall {
+        fetch_buffer: usize,
+        frontend_width: u32,
+    },
+    /// A queue or predictor table has zero entries.
+    EmptyTable(&'static str),
+    /// A direct-mapped table size is not a power of two (its index mask
+    /// would alias incorrectly).
+    NotPowerOfTwo { table: &'static str, entries: usize },
+    /// A history-length list is empty.
+    EmptyHistories(&'static str),
+    /// [`SimConfig::preset`] was given a name not in the registry.
+    UnknownPreset(String),
+    /// [`SimConfig::from_json`] met JSON that does not describe a config.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWidth(field) => write!(f, "{field} must be at least 1"),
+            ConfigError::FetchBufferTooSmall {
+                fetch_buffer,
+                frontend_width,
+            } => write!(
+                f,
+                "core.fetch_buffer ({fetch_buffer}) must hold at least one fetch group \
+                 (core.frontend_width = {frontend_width})"
+            ),
+            ConfigError::EmptyTable(table) => write!(f, "{table} must be non-zero"),
+            ConfigError::NotPowerOfTwo { table, entries } => {
+                write!(f, "{table} must be a power of two (got {entries})")
+            }
+            ConfigError::EmptyHistories(field) => {
+                write!(f, "{field} needs at least one history length")
+            }
+            ConfigError::UnknownPreset(name) => write!(
+                f,
+                "unknown preset '{name}' (available: {})",
+                PRESETS.join(", ")
+            ),
+            ConfigError::Malformed(detail) => write!(f, "malformed config JSON: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+impl ToJson for AddrWidth {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                AddrWidth::A32 => "a32",
+                AddrWidth::A49 => "a49",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for AllocPolicy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                AllocPolicy::Always => "always",
+                AllocPolicy::RespectConfidence => "respect_confidence",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for PapConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", self.entries.to_json()),
+            ("tag_bits", self.tag_bits.to_json()),
+            ("history_bits", self.history_bits.to_json()),
+            ("addr_width", self.addr_width.to_json()),
+            ("way_prediction", self.way_prediction.to_json()),
+            ("alloc_policy", self.alloc_policy.to_json()),
+            ("fpc_denoms", self.fpc_denoms.as_slice().to_json()),
+            (
+                "train_reset_on_mismatch",
+                self.train_reset_on_mismatch.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for CapConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", self.entries.to_json()),
+            ("tag_bits", self.tag_bits.to_json()),
+            ("history_bits", self.history_bits.to_json()),
+            ("confidence", self.confidence.to_json()),
+            ("link_bits", self.link_bits.to_json()),
+        ])
+    }
+}
+
+impl ToJson for VtageTargets {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                VtageTargets::LoadsOnly => "loads_only",
+                VtageTargets::AllInstructions => "all_instructions",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for VtageFilter {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                VtageFilter::Vanilla => "vanilla",
+                VtageFilter::Dynamic => "dynamic",
+                VtageFilter::Static => "static",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for VtageConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", self.entries.to_json()),
+            ("tag_bits", self.tag_bits.to_json()),
+            ("histories", self.histories.to_json()),
+            ("targets", self.targets.to_json()),
+            ("filter", self.filter.to_json()),
+            ("chunk_aware", self.chunk_aware.to_json()),
+            ("filter_threshold", self.filter_threshold.to_json()),
+            ("filter_warmup", self.filter_warmup.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DlvpConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("prefetch_on_miss", self.prefetch_on_miss.to_json()),
+            ("use_lscd", self.use_lscd.to_json()),
+            ("way_prediction", self.way_prediction.to_json()),
+            ("max_per_group", self.max_per_group.to_json()),
+            ("paq_entries", self.paq_entries.to_json()),
+            ("paq_window", self.paq_window.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("core", self.core.to_json()),
+            ("dlvp", self.dlvp.to_json()),
+            ("pap", self.pap.to_json()),
+            ("cap", self.cap.to_json()),
+            ("vtage", self.vtage.to_json()),
+        ])
+    }
+}
+
+// -- parsing helpers --------------------------------------------------------
+
+fn bad(detail: impl Into<String>) -> ConfigError {
+    ConfigError::Malformed(detail.into())
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, ConfigError> {
+    j.get(key)
+        .ok_or_else(|| bad(format!("missing key '{key}'")))
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, ConfigError> {
+    match field(j, key)? {
+        Json::U64(n) => Ok(*n),
+        Json::I64(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(bad(format!(
+            "'{key}' must be an unsigned integer, got {other:?}"
+        ))),
+    }
+}
+
+fn get_u32(j: &Json, key: &str) -> Result<u32, ConfigError> {
+    u32::try_from(get_u64(j, key)?).map_err(|_| bad(format!("'{key}' exceeds u32")))
+}
+
+fn get_u8(j: &Json, key: &str) -> Result<u8, ConfigError> {
+    u8::try_from(get_u64(j, key)?).map_err(|_| bad(format!("'{key}' exceeds u8")))
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, ConfigError> {
+    usize::try_from(get_u64(j, key)?).map_err(|_| bad(format!("'{key}' exceeds usize")))
+}
+
+fn get_bool(j: &Json, key: &str) -> Result<bool, ConfigError> {
+    match field(j, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(bad(format!("'{key}' must be a boolean, got {other:?}"))),
+    }
+}
+
+fn get_f64(j: &Json, key: &str) -> Result<f64, ConfigError> {
+    field(j, key)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("'{key}' must be a number")))
+}
+
+fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, ConfigError> {
+    field(j, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("'{key}' must be a string")))
+}
+
+fn parse_cache(j: &Json, key: &str) -> Result<CacheConfig, ConfigError> {
+    let j = field(j, key)?;
+    Ok(CacheConfig {
+        size_bytes: get_u64(j, "size_bytes")?,
+        ways: get_usize(j, "ways")?,
+        block_bytes: get_u64(j, "block_bytes")?,
+        hit_latency: get_u32(j, "hit_latency")?,
+    })
+}
+
+fn parse_mem(j: &Json) -> Result<HierarchyConfig, ConfigError> {
+    let tlb = field(j, "tlb")?;
+    let prefetch = field(j, "prefetch")?;
+    Ok(HierarchyConfig {
+        l1i: parse_cache(j, "l1i")?,
+        l1d: parse_cache(j, "l1d")?,
+        l2: parse_cache(j, "l2")?,
+        l3: parse_cache(j, "l3")?,
+        memory_latency: get_u32(j, "memory_latency")?,
+        tlb: TlbConfig {
+            entries: get_usize(tlb, "entries")?,
+            ways: get_usize(tlb, "ways")?,
+            page_bytes: get_u64(tlb, "page_bytes")?,
+            miss_penalty: get_u32(tlb, "miss_penalty")?,
+        },
+        prefetch: StrideConfig {
+            entries: get_usize(prefetch, "entries")?,
+            threshold: get_u8(prefetch, "threshold")?,
+            distance: get_u64(prefetch, "distance")?,
+        },
+        prefetch_enabled: get_bool(j, "prefetch_enabled")?,
+    })
+}
+
+fn parse_core(j: &Json) -> Result<CoreConfig, ConfigError> {
+    let recovery = match get_str(j, "recovery")? {
+        "flush" => RecoveryMode::Flush,
+        "oracle_replay" => RecoveryMode::OracleReplay,
+        other => return Err(bad(format!("unknown recovery mode '{other}'"))),
+    };
+    let branch_predictor = match get_str(j, "branch_predictor")? {
+        "tage" => BranchPredictorKind::Tage,
+        "gshare" => BranchPredictorKind::Gshare,
+        other => return Err(bad(format!("unknown branch predictor '{other}'"))),
+    };
+    let btb = match field(j, "btb")? {
+        Json::Null => None,
+        b => Some(BtbConfig {
+            entries: get_usize(b, "entries")?,
+            ways: get_usize(b, "ways")?,
+        }),
+    };
+    Ok(CoreConfig {
+        frontend_width: get_u32(j, "frontend_width")?,
+        backend_width: get_u32(j, "backend_width")?,
+        ls_lanes: get_u32(j, "ls_lanes")?,
+        generic_lanes: get_u32(j, "generic_lanes")?,
+        rob_entries: get_usize(j, "rob_entries")?,
+        iq_entries: get_usize(j, "iq_entries")?,
+        ldq_entries: get_usize(j, "ldq_entries")?,
+        stq_entries: get_usize(j, "stq_entries")?,
+        physical_regs: get_usize(j, "physical_regs")?,
+        fetch_to_rename: get_u32(j, "fetch_to_rename")?,
+        fetch_buffer: get_usize(j, "fetch_buffer")?,
+        rename_to_issue: get_u32(j, "rename_to_issue")?,
+        value_check_penalty: get_u32(j, "value_check_penalty")?,
+        recovery,
+        branch_predictor,
+        btb,
+        vp_per_cycle: get_u32(j, "vp_per_cycle")?,
+        pvt_entries: get_usize(j, "pvt_entries")?,
+        mem: parse_mem(field(j, "mem")?)?,
+        lat_int_alu: get_u32(j, "lat_int_alu")?,
+        lat_int_mul: get_u32(j, "lat_int_mul")?,
+        lat_int_div: get_u32(j, "lat_int_div")?,
+        lat_fp_alu: get_u32(j, "lat_fp_alu")?,
+        lat_fp_div: get_u32(j, "lat_fp_div")?,
+        lat_branch: get_u32(j, "lat_branch")?,
+        lat_forward: get_u32(j, "lat_forward")?,
+    })
+}
+
+fn parse_dlvp(j: &Json) -> Result<DlvpConfig, ConfigError> {
+    Ok(DlvpConfig {
+        prefetch_on_miss: get_bool(j, "prefetch_on_miss")?,
+        use_lscd: get_bool(j, "use_lscd")?,
+        way_prediction: get_bool(j, "way_prediction")?,
+        max_per_group: get_u32(j, "max_per_group")?,
+        paq_entries: get_usize(j, "paq_entries")?,
+        paq_window: get_u64(j, "paq_window")?,
+    })
+}
+
+fn parse_pap(j: &Json) -> Result<PapConfig, ConfigError> {
+    let addr_width = match get_str(j, "addr_width")? {
+        "a32" => AddrWidth::A32,
+        "a49" => AddrWidth::A49,
+        other => return Err(bad(format!("unknown address width '{other}'"))),
+    };
+    let alloc_policy = match get_str(j, "alloc_policy")? {
+        "always" => AllocPolicy::Always,
+        "respect_confidence" => AllocPolicy::RespectConfidence,
+        other => return Err(bad(format!("unknown alloc policy '{other}'"))),
+    };
+    let denoms = field(j, "fpc_denoms")?
+        .as_array()
+        .ok_or_else(|| bad("'fpc_denoms' must be an array"))?;
+    if denoms.len() != 3 {
+        return Err(bad(format!(
+            "'fpc_denoms' must have exactly 3 elements, got {}",
+            denoms.len()
+        )));
+    }
+    let mut fpc_denoms = [0u32; 3];
+    for (slot, d) in fpc_denoms.iter_mut().zip(denoms) {
+        *slot = match d {
+            Json::U64(n) => u32::try_from(*n).map_err(|_| bad("fpc denom exceeds u32"))?,
+            other => return Err(bad(format!("fpc denom must be unsigned, got {other:?}"))),
+        };
+    }
+    Ok(PapConfig {
+        entries: get_usize(j, "entries")?,
+        tag_bits: get_u32(j, "tag_bits")?,
+        history_bits: get_u32(j, "history_bits")?,
+        addr_width,
+        way_prediction: get_bool(j, "way_prediction")?,
+        alloc_policy,
+        fpc_denoms,
+        train_reset_on_mismatch: get_bool(j, "train_reset_on_mismatch")?,
+    })
+}
+
+fn parse_cap(j: &Json) -> Result<CapConfig, ConfigError> {
+    Ok(CapConfig {
+        entries: get_usize(j, "entries")?,
+        tag_bits: get_u32(j, "tag_bits")?,
+        history_bits: get_u32(j, "history_bits")?,
+        confidence: get_u32(j, "confidence")?,
+        link_bits: get_u32(j, "link_bits")?,
+    })
+}
+
+fn parse_vtage(j: &Json) -> Result<VtageConfig, ConfigError> {
+    let targets = match get_str(j, "targets")? {
+        "loads_only" => VtageTargets::LoadsOnly,
+        "all_instructions" => VtageTargets::AllInstructions,
+        other => return Err(bad(format!("unknown vtage targets '{other}'"))),
+    };
+    let filter = match get_str(j, "filter")? {
+        "vanilla" => VtageFilter::Vanilla,
+        "dynamic" => VtageFilter::Dynamic,
+        "static" => VtageFilter::Static,
+        other => return Err(bad(format!("unknown vtage filter '{other}'"))),
+    };
+    let histories = field(j, "histories")?
+        .as_array()
+        .ok_or_else(|| bad("'histories' must be an array"))?
+        .iter()
+        .map(|h| match h {
+            Json::U64(n) => u32::try_from(*n).map_err(|_| bad("history length exceeds u32")),
+            other => Err(bad(format!(
+                "history length must be unsigned, got {other:?}"
+            ))),
+        })
+        .collect::<Result<Vec<u32>, ConfigError>>()?;
+    Ok(VtageConfig {
+        entries: get_usize(j, "entries")?,
+        tag_bits: get_u32(j, "tag_bits")?,
+        histories,
+        targets,
+        filter,
+        chunk_aware: get_bool(j, "chunk_aware")?,
+        filter_threshold: get_f64(j, "filter_threshold")?,
+        filter_warmup: get_u64(j, "filter_warmup")?,
+    })
+}
+
+impl SimConfig {
+    /// Parses the exact shape [`ToJson`] writes; `from_json(cfg.to_json())`
+    /// is the identity for every config. Does *not* validate — callers
+    /// decide whether an unusual config is an error.
+    pub fn from_json(j: &Json) -> Result<SimConfig, ConfigError> {
+        Ok(SimConfig {
+            core: parse_core(field(j, "core")?)?,
+            dlvp: parse_dlvp(field(j, "dlvp")?)?,
+            pap: parse_pap(field(j, "pap")?)?,
+            cap: parse_cap(field(j, "cap")?)?,
+            vtage: parse_vtage(field(j, "vtage")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert_eq!(SimConfig::paper_default().validate(), Ok(()));
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn every_preset_builds_and_validates() {
+        for name in SimConfig::preset_names() {
+            let cfg = SimConfig::preset(name).expect("preset builds");
+            assert_eq!(cfg.validate(), Ok(()), "preset {name}");
+        }
+        assert!(matches!(
+            SimConfig::preset("not_a_preset"),
+            Err(ConfigError::UnknownPreset(_))
+        ));
+    }
+
+    #[test]
+    fn default_preset_is_the_paper_default() {
+        assert_eq!(
+            SimConfig::preset("default").expect("default exists"),
+            SimConfig::paper_default()
+        );
+    }
+
+    #[test]
+    fn rejects_fetch_buffer_smaller_than_frontend() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.core.fetch_buffer = 3; // frontend_width is 4
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::FetchBufferTooSmall {
+                fetch_buffer: 3,
+                frontend_width: 4
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_entry_paq() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.dlvp.paq_entries = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::EmptyTable("dlvp.paq_entries"))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_entry_apt() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.pap.entries = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyTable("pap.entries")));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_tables() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.pap.entries = 1000;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::NotPowerOfTwo {
+                table: "pap.entries",
+                entries: 1000
+            })
+        );
+        let mut cfg = SimConfig::paper_default();
+        cfg.vtage.entries = 300;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::NotPowerOfTwo {
+                table: "vtage.entries",
+                entries: 300
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_frontend_width() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.core.frontend_width = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroWidth("core.frontend_width"))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_entry_pvt() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.core.pvt_entries = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::EmptyTable("core.pvt_entries"))
+        );
+    }
+
+    #[test]
+    fn rejects_empty_vtage_histories() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.vtage.histories.clear();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::EmptyHistories("vtage.histories"))
+        );
+    }
+
+    #[test]
+    fn json_round_trips_the_default() {
+        let cfg = SimConfig::paper_default();
+        let j = cfg.to_json();
+        assert_eq!(SimConfig::from_json(&j).expect("parses"), cfg);
+        // ... and survives an actual serialize/parse cycle.
+        let reparsed = Json::parse(&j.pretty()).expect("valid JSON");
+        assert_eq!(SimConfig::from_json(&reparsed).expect("parses"), cfg);
+    }
+
+    #[test]
+    fn json_round_trips_every_preset() {
+        for name in SimConfig::preset_names() {
+            let cfg = SimConfig::preset(name).expect("preset builds");
+            let parsed = SimConfig::from_json(&cfg.to_json()).expect("parses");
+            assert_eq!(parsed, cfg, "preset {name}");
+        }
+    }
+
+    #[test]
+    fn from_json_flags_missing_fields() {
+        let mut j = SimConfig::paper_default().to_json();
+        if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "pap");
+        }
+        assert!(matches!(
+            SimConfig::from_json(&j),
+            Err(ConfigError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display_the_offending_field() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.dlvp.paq_entries = 0;
+        let msg = cfg.validate().expect_err("invalid").to_string();
+        assert!(msg.contains("paq_entries"), "{msg}");
+    }
+}

@@ -17,7 +17,7 @@ use crate::lanes::LaneTracker;
 use lvp_branch::GlobalHistory;
 use lvp_isa::Instruction;
 use lvp_mem::MemoryHierarchy;
-use lvp_obs::EventSink;
+use lvp_obs::SinkHandle;
 
 /// One instruction as seen by the front-end.
 #[derive(Debug, Clone, Copy)]
@@ -38,10 +38,10 @@ pub struct FetchSlot {
 
 /// Front-end context available to schemes during [`VpScheme::on_fetch`].
 ///
-/// Generic over the observability sink so schemes can record lifecycle
-/// events (APT lookups, PAQ traffic, probes) at their source; with
-/// [`lvp_obs::NullSink`] every `if K::ENABLED` emission site folds away.
-pub struct FetchCtx<'a, K: EventSink = lvp_obs::NullSink> {
+/// Carries a type-erased observability sink ([`SinkHandle`]) so the trait
+/// stays object-safe; schemes guard emission with `ctx.sink.enabled()`,
+/// which is `false` (one predictable branch) for an untraced run.
+pub struct FetchCtx<'a> {
     /// Fetch cycle of the instruction's group.
     pub cycle: u64,
     /// Earliest cycle the instruction can reach rename (fetch depth with no
@@ -54,7 +54,7 @@ pub struct FetchCtx<'a, K: EventSink = lvp_obs::NullSink> {
     /// The memory hierarchy, for speculative L1D probes and prefetches.
     pub mem: &'a mut MemoryHierarchy,
     /// Observability sink; schemes emit through this, never read from it.
-    pub sink: &'a mut K,
+    pub sink: SinkHandle<'a>,
 }
 
 /// A prediction the scheme can deliver at rename.
@@ -107,14 +107,18 @@ impl VpVerdict {
 }
 
 /// A value-prediction scheme plugged into the core model.
+///
+/// The trait is object-safe: the core runs `Core<Box<dyn VpScheme>>`
+/// exactly as it runs a concrete `Core<Dlvp<Pap>>`, which is what lets the
+/// scheme registry hand out boxed schemes built from a `SimConfig`.
 pub trait VpScheme {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 
-    /// Called at fetch, in program order, for every instruction. Generic
-    /// over the sink so emission sites vanish under `NullSink` (no scheme
-    /// is used through `dyn VpScheme`, so the generic method is free).
-    fn on_fetch<K: EventSink>(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_, K>);
+    /// Called at fetch, in program order, for every instruction. The
+    /// context's sink is type-erased; guard emissions with
+    /// `ctx.sink.enabled()`.
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>);
 
     /// Called at rename for instructions with destination registers. Return
     /// `Some` iff a predicted value is available *by* `rename_cycle`.
@@ -131,6 +135,47 @@ pub trait VpScheme {
     fn extra_counters(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+
+    /// Storage budget of the scheme's predictor tables in bits (0 for
+    /// schemes with no tables, e.g. the baseline).
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    /// Predictor table traffic as `(reads, writes)`, for energy accounting.
+    fn activity(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+impl<S: VpScheme + ?Sized> VpScheme for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_fetch(&mut self, slot: &FetchSlot, ctx: &mut FetchCtx<'_>) {
+        (**self).on_fetch(slot, ctx);
+    }
+
+    fn prediction_at_rename(&mut self, seq: u64, rename_cycle: u64) -> Option<RenamePrediction> {
+        (**self).prediction_at_rename(seq, rename_cycle)
+    }
+
+    fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {
+        (**self).on_execute(info)
+    }
+
+    fn extra_counters(&self) -> Vec<(&'static str, f64)> {
+        (**self).extra_counters()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn activity(&self) -> (u64, u64) {
+        (**self).activity()
+    }
 }
 
 /// The baseline: no value prediction.
@@ -142,7 +187,7 @@ impl VpScheme for NoVp {
         "baseline"
     }
 
-    fn on_fetch<K: EventSink>(&mut self, _slot: &FetchSlot, _ctx: &mut FetchCtx<'_, K>) {}
+    fn on_fetch(&mut self, _slot: &FetchSlot, _ctx: &mut FetchCtx<'_>) {}
 
     fn prediction_at_rename(&mut self, _seq: u64, _rename: u64) -> Option<RenamePrediction> {
         None
@@ -165,7 +210,7 @@ impl VpScheme for OracleLoadVp {
         "oracle"
     }
 
-    fn on_fetch<K: EventSink>(&mut self, slot: &FetchSlot, _ctx: &mut FetchCtx<'_, K>) {
+    fn on_fetch(&mut self, slot: &FetchSlot, _ctx: &mut FetchCtx<'_>) {
         if slot.inst.is_load() {
             self.load_seqs.insert(slot.seq);
         }

@@ -7,7 +7,7 @@
 use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{chrome_trace, LifecycleReport, ObsEvent, RunMeta};
-use lvp_uarch::CoreConfig;
+use lvp_uarch::SimConfig;
 
 fn traced(workload: &str, budget: u64) -> (lvp_bench::SchemeOutcome, Vec<ObsEvent>, u64) {
     let w = lvp_workloads::by_name(workload).expect("workload exists");
@@ -15,7 +15,7 @@ fn traced(workload: &str, budget: u64) -> (lvp_bench::SchemeOutcome, Vec<ObsEven
     run_scheme_traced(
         &trace,
         SchemeKind::Dlvp,
-        &CoreConfig::default(),
+        &SimConfig::default(),
         budget as usize * 8,
     )
 }
@@ -27,7 +27,7 @@ fn traced_stats_byte_identical_to_nullsink_on_two_workloads() {
     for workload in ["aifirf", "libquantum"] {
         let w = lvp_workloads::by_name(workload).expect("workload exists");
         let trace = w.trace(8_000);
-        let cfg = CoreConfig::default();
+        let cfg = SimConfig::default();
         let plain = run_scheme(&trace, SchemeKind::Dlvp, &cfg);
         let (traced, events, _) = run_scheme_traced(&trace, SchemeKind::Dlvp, &cfg, 64_000);
         assert!(!events.is_empty(), "{workload}: tracing recorded nothing");
@@ -49,7 +49,7 @@ fn traced_stats_byte_identical_to_nullsink_on_two_workloads() {
 fn baseline_stats_unchanged_by_tracing() {
     let w = lvp_workloads::by_name("nat").expect("workload exists");
     let trace = w.trace(6_000);
-    let cfg = CoreConfig::default();
+    let cfg = SimConfig::default();
     let plain = run_scheme(&trace, SchemeKind::Baseline, &cfg);
     let (traced, _, _) = run_scheme_traced(&trace, SchemeKind::Baseline, &cfg, 64_000);
     assert_eq!(
@@ -143,7 +143,7 @@ fn lifecycle_report_reconciles_with_per_pc_stats() {
 fn tiny_ring_overwrites_without_perturbing_stats() {
     let w = lvp_workloads::by_name("aifirf").expect("workload exists");
     let trace = w.trace(5_000);
-    let cfg = CoreConfig::default();
+    let cfg = SimConfig::default();
     let plain = run_scheme(&trace, SchemeKind::Dlvp, &cfg);
     let (traced, events, overwritten) = run_scheme_traced(&trace, SchemeKind::Dlvp, &cfg, 32);
     assert_eq!(events.len(), 32);

@@ -369,3 +369,126 @@ fn matrix_runner_is_schedule_invariant() {
         assert_eq!(job.seed, job.spec.seed());
     }
 }
+
+/// A randomly mutated — but always valid — [`SimConfig`], spanning every
+/// enum variant and a wide numeric range on the table/width knobs.
+fn random_valid_config(g: &mut Gen) -> lvp_uarch::SimConfig {
+    use lvp_uarch::SimConfig;
+
+    // Seed from a random preset so the CoreConfig side also varies.
+    let names = SimConfig::preset_names();
+    let mut cfg = SimConfig::preset(names[g.below(names.len() as u64) as usize])
+        .expect("preset_names entries resolve");
+
+    cfg.core.frontend_width = 1 + g.below(8) as u32;
+    cfg.core.fetch_buffer = cfg.core.frontend_width as usize * (1 + g.below(4) as usize);
+    cfg.core.backend_width = 1 + g.below(8) as u32;
+    cfg.core.rob_entries = 16 << g.below(5);
+    cfg.core.pvt_entries = 1 + g.below(64) as usize;
+    cfg.core.value_check_penalty = g.below(8) as u32;
+
+    cfg.dlvp.prefetch_on_miss = g.below(2) == 0;
+    cfg.dlvp.use_lscd = g.below(2) == 0;
+    cfg.dlvp.way_prediction = g.below(2) == 0;
+    cfg.dlvp.paq_entries = 1 + g.below(64) as usize;
+    cfg.dlvp.paq_window = 1 + g.below(16);
+
+    cfg.pap.entries = 1 << (2 + g.below(12));
+    cfg.pap.tag_bits = 4 + g.below(20) as u32;
+    cfg.pap.history_bits = 1 + g.below(32) as u32;
+    cfg.pap.addr_width = if g.below(2) == 0 {
+        lvp_uarch::AddrWidth::A32
+    } else {
+        lvp_uarch::AddrWidth::A49
+    };
+    cfg.pap.alloc_policy = if g.below(2) == 0 {
+        lvp_uarch::AllocPolicy::Always
+    } else {
+        lvp_uarch::AllocPolicy::RespectConfidence
+    };
+    cfg.pap.fpc_denoms = [1 + g.below(8) as u32, g.below(9) as u32, g.below(9) as u32];
+
+    cfg.cap.entries = 1 << (2 + g.below(12));
+    cfg.cap.confidence = 1 + g.below(64) as u32;
+
+    cfg.vtage.entries = 1 << (2 + g.below(10));
+    cfg.vtage.histories = (0..1 + g.below(5)).map(|_| g.below(30) as u32).collect();
+    cfg.vtage.targets = if g.below(2) == 0 {
+        lvp_uarch::VtageTargets::LoadsOnly
+    } else {
+        lvp_uarch::VtageTargets::AllInstructions
+    };
+    cfg.vtage.filter = match g.below(3) {
+        0 => lvp_uarch::VtageFilter::Vanilla,
+        1 => lvp_uarch::VtageFilter::Dynamic,
+        _ => lvp_uarch::VtageFilter::Static,
+    };
+    cfg.vtage.chunk_aware = g.below(2) == 0;
+    cfg.vtage.filter_warmup = g.below(256);
+
+    cfg
+}
+
+/// Property: any valid `SimConfig` survives a full serialize → text →
+/// parse → deserialize cycle losslessly, and the round-tripped config is
+/// still valid.
+#[test]
+fn simconfig_json_round_trips_for_arbitrary_valid_configs() {
+    use lvp_json::{Json, ToJson};
+    use lvp_uarch::SimConfig;
+
+    let mut g = Gen::new(0x51c0_7f16);
+    for case in 0..CASES {
+        let cfg = random_valid_config(&mut g);
+        assert!(
+            cfg.validate().is_ok(),
+            "case {case}: generator made an invalid config"
+        );
+
+        let text = cfg.to_json().pretty();
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("case {case}: reparse: {e}"));
+        let back =
+            SimConfig::from_json(&parsed).unwrap_or_else(|e| panic!("case {case}: from_json: {e}"));
+        assert_eq!(cfg, back, "case {case}: round-trip changed the config");
+        assert!(
+            back.validate().is_ok(),
+            "case {case}: round-trip broke validity"
+        );
+        assert_eq!(
+            text,
+            back.to_json().pretty(),
+            "case {case}: second serialization differs"
+        );
+    }
+}
+
+/// Property: every registered scheme's display name *and* short label parse
+/// back to the same scheme, including through arbitrary case mangling.
+#[test]
+fn schemekind_names_and_labels_round_trip() {
+    let mut g = Gen::new(0xface_0ff5);
+    for kind in SchemeKind::all() {
+        assert_eq!(SchemeKind::from_name(kind.name()), Some(kind));
+        assert_eq!(SchemeKind::from_name(kind.label()), Some(kind));
+        // from_name is documented case-insensitive: mangle randomly.
+        for _ in 0..CASES {
+            let mangled: String = kind
+                .name()
+                .chars()
+                .map(|c| {
+                    if g.below(2) == 0 {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                })
+                .collect();
+            assert_eq!(SchemeKind::from_name(&mangled), Some(kind), "{mangled}");
+        }
+    }
+    assert_eq!(
+        SchemeKind::from_name("tournament"),
+        Some(SchemeKind::Tournament)
+    );
+    assert_eq!(SchemeKind::from_name("nonesuch"), None);
+}
