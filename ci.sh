@@ -2,7 +2,8 @@
 # Tier-1 verification: build, tests, formatting, lints, a smoke run of the
 # batch experiment runner (2 workloads x 2 schemes, checked against the
 # committed golden spec's determinism guarantee: two runs must be
-# byte-identical), and the static-analysis cross-validation gate.
+# byte-identical), a bounded fuzz campaign diffed against its pinned
+# corpus, and the static-analysis cross-validation gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,7 +22,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== clippy (library crates: no unwrap/panic outside tests) =="
 cargo clippy -q -p dlvp -p lvp-uarch -p lvp-mem -p lvp-emu -p lvp-json \
   -p lvp-analysis -p lvp-obs -p lvp-isa -p lvp-trace -p lvp-branch \
-  -p lvp-bench --lib -- -D warnings -D clippy::unwrap_used
+  -p lvp-bench -p lvp-fuzz --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
@@ -54,6 +55,14 @@ echo "obs artifacts are deterministic"
 
 echo "== obs overhead (tracing must stay under 2x a NullSink run) =="
 ./target/release/obs overhead --workload aifirf --budget 10000 --max-ratio 2.0
+
+echo "== fuzz smoke (campaign report matches the pinned corpus) =="
+# 25 smoke-profile seeds through the synthesizer + differential oracle;
+# the report is a pure function of (profile, seeds, oracle config), so it
+# must reproduce the committed corpus byte-for-byte.
+./target/release/fuzz --smoke --out "$tmp/fuzz_corpus.json"
+cmp "$tmp/fuzz_corpus.json" results/golden/fuzz_corpus.json
+echo "fuzz --smoke matches the pinned corpus byte-for-byte"
 
 echo "== analyze cross-validation gate =="
 # The gate itself (exit 1 on any static-vs-dynamic contradiction) plus the

@@ -28,8 +28,7 @@ use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
 use lvp_json::ToJson;
 use lvp_obs::{chrome_trace, HostProfiler, LifecycleReport, RunMeta};
 use lvp_trace::{read_trace, write_trace};
-use lvp_uarch::{simulate, CoreConfig, NoVp, SimConfig, SimStats};
-use std::collections::BTreeMap;
+use lvp_uarch::{fmt_pct, simulate, CoreConfig, NoVp, SimConfig, SimStats};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
@@ -113,36 +112,16 @@ fn write_artifact(path: &PathBuf, bytes: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Cross-checks the lifecycle report against `SimStats::per_pc`: both count
-/// injections at the same verify site, so with a lossless ring every
-/// (injected, correct, conflict_squashes) triple must match exactly.
+/// Cross-checks the lifecycle report against `SimStats::per_pc` — the
+/// logic lives on [`LifecycleReport::reconcile_injections`] so the fuzz
+/// oracle shares it.
 fn reconcile(report: &LifecycleReport, stats: &SimStats) -> Result<u64, String> {
-    let mut from_stats: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
-    for (&pc, s) in &stats.per_pc {
-        if s.injected + s.correct + s.conflict_squashes > 0 {
-            from_stats.insert(pc, (s.injected, s.correct, s.conflict_squashes));
-        }
-    }
-    let mut from_report: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
-    for (&pc, r) in report.per_pc() {
-        if r.injected + r.correct + r.conflict_squashes > 0 {
-            from_report.insert(pc, (r.injected, r.correct, r.conflict_squashes));
-        }
-    }
-    if from_stats == from_report {
-        return Ok(from_stats.len() as u64);
-    }
-    let mut msg = String::from("per-PC injection counts disagree with SimStats::per_pc:\n");
-    for pc in from_stats.keys().chain(from_report.keys()) {
-        let s = from_stats.get(pc);
-        let r = from_report.get(pc);
-        if s != r {
-            msg.push_str(&format!(
-                "  pc {pc:#x}: stats {s:?} vs report {r:?} (injected, correct, conflict_squashes)\n"
-            ));
-        }
-    }
-    Err(msg)
+    report.reconcile_injections(
+        stats
+            .per_pc
+            .iter()
+            .map(|(&pc, s)| (pc, (s.injected, s.correct, s.conflict_squashes))),
+    )
 }
 
 fn cmd_run(mut flags: Flags) -> ExitCode {
@@ -222,11 +201,11 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
     }
 
     println!(
-        "{workload}/{}: {} cycles, IPC {ipc:.3}, coverage {:.1}%, accuracy {:.2}%",
+        "{workload}/{}: {} cycles, IPC {ipc:.3}, coverage {}, accuracy {}",
         scheme.name(),
         stats.cycles,
-        stats.coverage() * 100.0,
-        stats.accuracy() * 100.0,
+        fmt_pct(stats.try_coverage(), 1),
+        fmt_pct(stats.try_accuracy(), 2),
     );
     println!(
         "recorded {} events ({} overwritten); {} load PCs in report",
@@ -328,12 +307,12 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "{}: {} cycles, IPC {ipc:.3}, speedup {:+.2}%, coverage {:.1}%, accuracy {:.2}%",
+        "{}: {} cycles, IPC {ipc:.3}, speedup {:+.2}%, coverage {}, accuracy {}",
         scheme.name(),
         stats.cycles,
         (stats.speedup_over(&base) - 1.0) * 100.0,
-        stats.coverage() * 100.0,
-        stats.accuracy() * 100.0
+        fmt_pct(stats.try_coverage(), 1),
+        fmt_pct(stats.try_accuracy(), 2)
     );
     ExitCode::SUCCESS
 }

@@ -113,6 +113,24 @@ mod tests {
     }
 
     #[test]
+    fn from_name_rejects_empty_and_near_misses() {
+        assert_eq!(SchemeKind::from_name(""), None);
+        assert_eq!(SchemeKind::from_name(" "), None);
+        assert_eq!(SchemeKind::from_name(" dlvp"), None, "no trimming");
+        assert_eq!(SchemeKind::from_name("dlvp+"), None);
+        assert_eq!(SchemeKind::from_name("DLVP+VTAGE "), None);
+        // Case-insensitivity is exact-match only.
+        assert_eq!(
+            SchemeKind::from_name("TOURNAMENT"),
+            Some(SchemeKind::Tournament)
+        );
+        assert_eq!(
+            SchemeKind::from_name("BaSeLiNe"),
+            Some(SchemeKind::Baseline)
+        );
+    }
+
+    #[test]
     fn build_matches_historical_constructors() {
         // The registry under the default config must equal the historical
         // `dlvp_default()` / `dlvp_with_cap()` / `paper_default()`

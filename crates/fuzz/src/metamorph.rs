@@ -1,0 +1,246 @@
+//! Metamorphic transformations: semantics-preserving program rewrites the
+//! analyzer and predictor stack must be invariant under.
+//!
+//! Two families are provided:
+//!
+//! * **register renaming** ([`rename_registers`]) — apply a bijection over
+//!   the general-purpose registers to every operand. Dataflow is untouched,
+//!   so per-PC load-class verdicts, conflict-freedom, and every simulator
+//!   statistic must be bit-identical.
+//! * **layout rotation** ([`rotate_layout`]) — re-emit the site basic
+//!   blocks in a rotated order while explicit branches preserve execution
+//!   order. The dynamic instruction *stream* is identical except for PC
+//!   values, so aggregate coverage/accuracy must be preserved for
+//!   PC-indexed predictors up to table-aliasing effects (the metamorphic
+//!   tests pick configurations where these do not bite).
+
+use crate::synth::{build_with_layout, ProgramSpec, SynthProgram};
+use lvp_isa::{Instruction, Program, Reg, RegList};
+
+/// The identity register map (`map[i] == i`).
+pub fn identity_map() -> [u8; 32] {
+    let mut m = [0u8; 32];
+    for (i, slot) in m.iter_mut().enumerate() {
+        *slot = i as u8;
+    }
+    m
+}
+
+/// Applies a register bijection to every operand of every instruction.
+///
+/// `map[i]` is the replacement index for `X<i>`. The zero register
+/// (index 31) must map to itself, and the map must be a permutation of
+/// `0..32` — renaming must neither merge registers (which would create
+/// false dependences) nor touch the hard-wired zero.
+///
+/// # Panics
+///
+/// Panics if `map` is not a permutation or moves the zero register.
+pub fn rename_registers(program: &Program, map: &[u8; 32]) -> Program {
+    {
+        let mut seen = [false; 32];
+        for &m in map {
+            assert!(m < 32 && !seen[m as usize], "map must be a permutation");
+            seen[m as usize] = true;
+        }
+        assert_eq!(map[31], 31, "the zero register cannot be renamed");
+    }
+    let r = |reg: Reg| Reg::x(map[reg.index()]);
+    let rl = |list: RegList| {
+        let regs: Vec<Reg> = list.iter().map(r).collect();
+        RegList::of(&regs)
+    };
+    let insts = program
+        .iter()
+        .map(|(_, inst)| match inst {
+            Instruction::Nop | Instruction::Halt | Instruction::Ret => inst,
+            Instruction::Alu { op, rd, rn, rm } => Instruction::Alu {
+                op,
+                rd: r(rd),
+                rn: r(rn),
+                rm: r(rm),
+            },
+            Instruction::AluImm { op, rd, rn, imm } => Instruction::AluImm {
+                op,
+                rd: r(rd),
+                rn: r(rn),
+                imm,
+            },
+            Instruction::MovImm { rd, imm } => Instruction::MovImm { rd: r(rd), imm },
+            Instruction::Ldr {
+                rd,
+                rn,
+                offset,
+                size,
+            } => Instruction::Ldr {
+                rd: r(rd),
+                rn: r(rn),
+                offset,
+                size,
+            },
+            Instruction::Ldar { rd, rn } => Instruction::Ldar {
+                rd: r(rd),
+                rn: r(rn),
+            },
+            Instruction::Stlr { rt, rn } => Instruction::Stlr {
+                rt: r(rt),
+                rn: r(rn),
+            },
+            Instruction::LdrIdx { rd, rn, rm, size } => Instruction::LdrIdx {
+                rd: r(rd),
+                rn: r(rn),
+                rm: r(rm),
+                size,
+            },
+            Instruction::Str {
+                rt,
+                rn,
+                offset,
+                size,
+            } => Instruction::Str {
+                rt: r(rt),
+                rn: r(rn),
+                offset,
+                size,
+            },
+            Instruction::StrIdx { rt, rn, rm, size } => Instruction::StrIdx {
+                rt: r(rt),
+                rn: r(rn),
+                rm: r(rm),
+                size,
+            },
+            Instruction::Ldp {
+                rd1,
+                rd2,
+                rn,
+                offset,
+            } => Instruction::Ldp {
+                rd1: r(rd1),
+                rd2: r(rd2),
+                rn: r(rn),
+                offset,
+            },
+            Instruction::Stp {
+                rt1,
+                rt2,
+                rn,
+                offset,
+            } => Instruction::Stp {
+                rt1: r(rt1),
+                rt2: r(rt2),
+                rn: r(rn),
+                offset,
+            },
+            Instruction::Ldm { list, rn } => Instruction::Ldm {
+                list: rl(list),
+                rn: r(rn),
+            },
+            Instruction::Stm { list, rn } => Instruction::Stm {
+                list: rl(list),
+                rn: r(rn),
+            },
+            Instruction::Vld { vd, rn, offset } => Instruction::Vld {
+                vd: r(vd),
+                rn: r(rn),
+                offset,
+            },
+            Instruction::Vst { vs, rn, offset } => Instruction::Vst {
+                vs: r(vs),
+                rn: r(rn),
+                offset,
+            },
+            Instruction::B { target } => Instruction::B { target },
+            Instruction::Bc {
+                cond,
+                rn,
+                rm,
+                target,
+            } => Instruction::Bc {
+                cond,
+                rn: r(rn),
+                rm: r(rm),
+                target,
+            },
+            Instruction::Cbz { rn, target } => Instruction::Cbz { rn: r(rn), target },
+            Instruction::Cbnz { rn, target } => Instruction::Cbnz { rn: r(rn), target },
+            Instruction::Bl { target } => Instruction::Bl { target },
+            Instruction::Br { rn } => Instruction::Br { rn: r(rn) },
+            Instruction::Blr { rn } => Instruction::Blr { rn: r(rn) },
+        })
+        .collect();
+    Program::new(program.base(), insts, program.data().to_vec())
+}
+
+/// A register map that swaps disjoint pairs of the registers the
+/// synthesizer uses (scratch, persistent bases, destinations), leaving the
+/// loop counter and the zero register fixed. Deterministic and involutive.
+pub fn swap_map() -> [u8; 32] {
+    let mut m = identity_map();
+    // Scratch B <-> C, bases pairwise, destinations pairwise.
+    for (a, b) in [(2u8, 3u8), (4, 5), (6, 7), (8, 9), (20, 21), (22, 23)] {
+        m[a as usize] = b;
+        m[b as usize] = a;
+    }
+    m
+}
+
+/// Rebuilds the spec with the site basic blocks rotated by `by` positions
+/// in the emitted layout, preserving execution order.
+pub fn rotate_layout(spec: &ProgramSpec, by: usize) -> SynthProgram {
+    let n = spec.sites.len();
+    let layout: Vec<usize> = (0..n).map(|i| (i + by) % n).collect();
+    build_with_layout(spec, &layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SynthProfile;
+    use crate::synth::synthesize;
+    use lvp_emu::Emulator;
+
+    #[test]
+    fn identity_rename_is_identity() {
+        let sp = synthesize(&SynthProfile::preset("smoke").expect("preset"), 11);
+        let renamed = rename_registers(&sp.program, &identity_map());
+        assert_eq!(renamed, sp.program);
+    }
+
+    #[test]
+    fn swap_rename_preserves_architectural_results() {
+        let sp = synthesize(&SynthProfile::preset("mixed").expect("preset"), 5);
+        let renamed = rename_registers(&sp.program, &swap_map());
+        let a = Emulator::new(sp.program.clone()).run(sp.budget);
+        let b = Emulator::new(renamed).run(sp.budget);
+        assert_eq!(a.stop, b.stop);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn merging_map_rejected() {
+        let mut m = identity_map();
+        m[1] = 2; // X1 and X2 both map to X2
+        let sp = synthesize(&SynthProfile::preset("smoke").expect("preset"), 0);
+        let _ = rename_registers(&sp.program, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero register")]
+    fn zero_register_rename_rejected() {
+        let mut m = identity_map();
+        m.swap(31, 30);
+        let sp = synthesize(&SynthProfile::preset("smoke").expect("preset"), 0);
+        let _ = rename_registers(&sp.program, &m);
+    }
+
+    #[test]
+    fn rotation_preserves_dynamic_length() {
+        let sp = synthesize(&SynthProfile::preset("smoke").expect("preset"), 9);
+        let rot = rotate_layout(&sp.spec, 2);
+        let a = Emulator::new(sp.program.clone()).run(sp.budget);
+        let b = Emulator::new(rot.program.clone()).run(rot.budget);
+        assert_eq!(a.stop, b.stop);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+}

@@ -1,0 +1,552 @@
+//! The seeded program synthesizer: `(profile, seed)` → plan → program.
+//!
+//! Synthesis is split into two deterministic stages so the minimizer can
+//! operate on a structured intermediate form:
+//!
+//! 1. [`plan`] draws a [`ProgramSpec`] — a list of [`SiteSpec`]s — from the
+//!    in-repo xoshiro [`Prng`], seeded by an FNV-1a hash of the profile
+//!    identity and the campaign seed (the batch runner's seed idiom).
+//! 2. [`build`] assembles the spec into an `lvp_isa` program. No randomness
+//!    is consumed here, so a mutated spec (fewer sites, fewer iterations)
+//!    rebuilds without re-planning.
+//!
+//! Every program has the same skeleton: a register-setup prologue, one
+//! basic block per site chained by explicit unconditional branches, and a
+//! counted-loop tail (`subi` + `cbnz`). Branches inside a site are strictly
+//! forward, and the single back edge is guarded by a decrementing counter —
+//! so programs terminate by construction. Each site block is padded to a
+//! 32-byte boundary with never-executed `nop`s, which makes the dynamic
+//! instruction stream invariant under block-layout permutation (the
+//! metamorphic tests rely on this).
+//!
+//! Load classes are constructed to land exactly where `lvp_analysis` will
+//! classify them:
+//!
+//! * constant — load through a base register initialized once in setup;
+//! * strided — load through `base + ((idx & mask) << 3)` with `idx`
+//!   self-incremented: an induction variable with wrap-around masking,
+//!   giving a *bounded* footprint the alias pass can reason about;
+//! * path-dependent — a forward-branch diamond tree whose `2^depth` leaves
+//!   each `mov` a different cell address into the address register;
+//! * unanalyzable — load through a pointer that was itself loaded from
+//!   memory.
+
+use crate::profile::SynthProfile;
+use lvp_isa::{AluOp, Asm, Label, MemSize, Program, Reg};
+use lvp_workloads::util::{Prng, CODE_BASE, DATA_BASE};
+
+/// Address-predictability class a site is constructed to exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    Constant,
+    Strided,
+    PathDependent,
+    Unanalyzable,
+}
+
+impl LoadKind {
+    /// Stable lower-case name matching `lvp_analysis::LoadClass::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadKind::Constant => "constant",
+            LoadKind::Strided => "strided",
+            LoadKind::PathDependent => "path_dependent",
+            LoadKind::Unanalyzable => "unanalyzable",
+        }
+    }
+
+    /// Index into `ProgramAnalysis::class_counts` order.
+    pub fn class_slot(self) -> usize {
+        match self {
+            LoadKind::Constant => 0,
+            LoadKind::Strided => 1,
+            LoadKind::PathDependent => 2,
+            LoadKind::Unanalyzable => 3,
+        }
+    }
+}
+
+/// Whether a site's load is paired with a store, and where it lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorePlacement {
+    /// No store at this site.
+    None,
+    /// Store into the load's own region — the alias pass must report the
+    /// load as may-conflicting, and the store writes a fresh value (the
+    /// loop counter) every iteration so stale-value squashes are reachable.
+    Conflicting,
+    /// Store into the site's dedicated store region — provably disjoint
+    /// from every load region, so it must *not* cost any load its
+    /// conflict-free verdict.
+    Disjoint,
+}
+
+impl StorePlacement {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorePlacement::None => "none",
+            StorePlacement::Conflicting => "conflicting",
+            StorePlacement::Disjoint => "disjoint",
+        }
+    }
+}
+
+/// One load site drawn by [`plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    pub kind: LoadKind,
+    pub store: StorePlacement,
+    /// Diamond depth (path-dependent sites only; 1..=3).
+    pub depth: usize,
+    /// Strided store phase / initial index offset (1..=4).
+    pub phase: u64,
+    /// Seed for the site's data-region initialization values.
+    pub data_seed: u64,
+}
+
+/// The structured intermediate form between planning and assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    pub iterations: u64,
+    pub region_words: u64,
+    pub sites: Vec<SiteSpec>,
+}
+
+/// Static facts about one synthesized site, recorded during assembly.
+#[derive(Debug, Clone)]
+pub struct SiteInfo {
+    /// Site index in execution (spec) order.
+    pub index: usize,
+    pub kind: LoadKind,
+    pub store: StorePlacement,
+    /// PC of the site's main load.
+    pub load_pc: u64,
+    /// PC of the constant pointer load (unanalyzable sites only).
+    pub helper_pc: Option<u64>,
+    /// Whether the alias pass is expected to prove the main load
+    /// conflict-free. `None` when it depends on program-wide store
+    /// presence (unanalyzable loads have an unknown footprint).
+    pub expect_conflict_free: Option<bool>,
+}
+
+/// A synthesized program plus the facts the oracle checks against.
+#[derive(Debug, Clone)]
+pub struct SynthProgram {
+    pub program: Program,
+    pub spec: ProgramSpec,
+    pub sites: Vec<SiteInfo>,
+    /// Emulation budget guaranteed to outlast the counted loop.
+    pub budget: u64,
+}
+
+impl SynthProgram {
+    /// Static instruction count excluding alignment padding.
+    pub fn instructions(&self) -> usize {
+        self.program
+            .iter()
+            .filter(|(_, i)| !matches!(i, lvp_isa::Instruction::Nop))
+            .count()
+    }
+
+    /// Declared class counts (main loads plus unanalyzable helper loads),
+    /// in `class_counts` order.
+    pub fn declared_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for s in &self.sites {
+            counts[s.kind.class_slot()] += 1;
+            if s.helper_pc.is_some() {
+                counts[0] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Deterministic campaign seed: FNV-1a over the profile identity and the
+/// raw seed — the same namespace idiom as the batch runner's `JobSpec`.
+pub fn campaign_seed(profile: &SynthProfile, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    };
+    eat(profile.name.as_bytes());
+    eat(&(profile.loads as u64).to_le_bytes());
+    for w in profile.mix {
+        eat(&(w as u64).to_le_bytes());
+    }
+    eat(&profile.region_words.to_le_bytes());
+    eat(&profile.iterations.to_le_bytes());
+    eat(&seed.to_le_bytes());
+    h
+}
+
+/// Draws a [`ProgramSpec`] from the profile and seed.
+///
+/// # Panics
+///
+/// Panics if the profile fails [`SynthProfile::validate`].
+pub fn plan(profile: &SynthProfile, seed: u64) -> ProgramSpec {
+    profile
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid profile '{}': {e}", profile.name));
+    let mut rng = Prng::seed_from_u64(campaign_seed(profile, seed));
+    let total: u64 = profile.mix.iter().map(|&w| w as u64).sum();
+    let conflict_cut = (profile.store_conflict_density * 1000.0) as u64;
+    let kinds = [
+        LoadKind::Constant,
+        LoadKind::Strided,
+        LoadKind::PathDependent,
+        LoadKind::Unanalyzable,
+    ];
+    let sites = (0..profile.loads)
+        .map(|_| {
+            let mut draw = rng.below(total);
+            let mut kind = LoadKind::Constant;
+            for (k, &w) in kinds.iter().zip(&profile.mix) {
+                if draw < w as u64 {
+                    kind = *k;
+                    break;
+                }
+                draw -= w as u64;
+            }
+            let store = if rng.below(1000) < conflict_cut {
+                StorePlacement::Conflicting
+            } else if rng.below(2) == 0 {
+                StorePlacement::Disjoint
+            } else {
+                StorePlacement::None
+            };
+            SiteSpec {
+                kind,
+                store,
+                depth: 1 + rng.below(profile.branch_path_depth as u64) as usize,
+                phase: 1 + rng.below(4),
+                data_seed: rng.next_u64(),
+            }
+        })
+        .collect();
+    ProgramSpec {
+        iterations: profile.iterations,
+        region_words: profile.region_words,
+        sites,
+    }
+}
+
+/// Convenience: [`plan`] + [`build`].
+pub fn synthesize(profile: &SynthProfile, seed: u64) -> SynthProgram {
+    build(&plan(profile, seed))
+}
+
+/// Assembles the spec with sites laid out in execution order.
+pub fn build(spec: &ProgramSpec) -> SynthProgram {
+    let layout: Vec<usize> = (0..spec.sites.len()).collect();
+    build_with_layout(spec, &layout)
+}
+
+// Scratch registers shared by all sites (each use is preceded by a killing
+// definition in the same block, so no value flows between sites):
+// X0 loop counter, X1/X2 address scratch, X3 path-dependent address /
+// disjoint-store base. Persistent per-site bases are allocated from
+// X4..X19; load destinations rotate through X20..X27.
+const COUNTER: Reg = Reg::X0;
+const SCRATCH_A: Reg = Reg::X1;
+const SCRATCH_B: Reg = Reg::X2;
+const SCRATCH_C: Reg = Reg::X3;
+
+/// Block alignment in bytes. Padding `nop`s sit between an unconditional
+/// branch and the next block label, so they never execute; aligning every
+/// block keeps intra-block fetch-group offsets identical under layout
+/// permutation.
+const BLOCK_ALIGN: u64 = 32;
+
+struct RegPool {
+    next: u8,
+}
+
+impl RegPool {
+    fn take(&mut self) -> Reg {
+        assert!(self.next < 20, "persistent register pool exhausted");
+        let r = Reg::x(self.next);
+        self.next += 1;
+        r
+    }
+}
+
+/// Assembles the spec with site blocks emitted in `layout` order while
+/// preserving execution (spec) order through explicit branches. `layout`
+/// must be a permutation of `0..sites.len()`.
+pub fn build_with_layout(spec: &ProgramSpec, layout: &[usize]) -> SynthProgram {
+    let n = spec.sites.len();
+    assert!(n > 0, "spec needs at least one site");
+    {
+        let mut seen = vec![false; n];
+        assert_eq!(layout.len(), n, "layout length mismatch");
+        for &i in layout {
+            assert!(i < n && !seen[i], "layout must be a permutation");
+            seen[i] = true;
+        }
+    }
+    let region_bytes = spec.region_words * 8;
+    let slot =
+        |site: usize, store: bool| DATA_BASE + (site as u64 * 2 + store as u64) * region_bytes;
+
+    let mut a = Asm::new(CODE_BASE);
+    let mut pool = RegPool { next: 4 };
+    // Persistent base registers, allocated and initialized in spec order so
+    // the prologue is layout-independent.
+    let mut bases: Vec<Option<Reg>> = Vec::new();
+    let mut idxs: Vec<Option<Reg>> = Vec::new();
+    a.mov(COUNTER, spec.iterations);
+    for (i, site) in spec.sites.iter().enumerate() {
+        let (base, idx) = match site.kind {
+            LoadKind::Constant | LoadKind::Unanalyzable => {
+                let b = pool.take();
+                a.mov(b, slot(i, false));
+                (Some(b), None)
+            }
+            LoadKind::Strided => {
+                let b = pool.take();
+                let ix = pool.take();
+                a.mov(b, slot(i, false));
+                a.mov(ix, site.phase % spec.region_words);
+                (Some(b), Some(ix))
+            }
+            LoadKind::PathDependent => (None, None),
+        };
+        bases.push(base);
+        idxs.push(idx);
+    }
+
+    let labels: Vec<Label> = (0..n).map(|_| a.new_label()).collect();
+    let tail = a.new_label();
+    a.b(labels[0]);
+
+    let mask = (spec.region_words - 1) as i64;
+    let mut infos: Vec<Option<SiteInfo>> = vec![None; n];
+    let program_has_stores = spec.sites.iter().any(|s| s.store != StorePlacement::None);
+
+    for &si in layout {
+        while !a.pc().is_multiple_of(BLOCK_ALIGN) {
+            a.nop();
+        }
+        a.place(labels[si]);
+        let site = &spec.sites[si];
+        let dst = Reg::x(20 + (si % 8) as u8);
+        let load_slot = slot(si, false);
+        let store_slot = slot(si, true);
+        let mut helper_pc = None;
+        let load_pc;
+        match site.kind {
+            LoadKind::Constant => {
+                let base = bases[si].expect("constant site has a base");
+                match site.store {
+                    StorePlacement::Conflicting => a.str_(COUNTER, base, 0, MemSize::X),
+                    StorePlacement::Disjoint => {
+                        a.mov(SCRATCH_C, store_slot);
+                        a.str_(COUNTER, SCRATCH_C, 0, MemSize::X);
+                    }
+                    StorePlacement::None => {}
+                }
+                load_pc = a.pc();
+                a.ldr(dst, base, 0, MemSize::X);
+            }
+            LoadKind::Strided => {
+                let base = bases[si].expect("strided site has a base");
+                let idx = idxs[si].expect("strided site has an index");
+                match site.store {
+                    StorePlacement::Conflicting | StorePlacement::Disjoint => {
+                        a.addi(SCRATCH_A, idx, site.phase as i64);
+                        a.andi(SCRATCH_A, SCRATCH_A, mask);
+                        a.lsli(SCRATCH_A, SCRATCH_A, 3);
+                        if site.store == StorePlacement::Conflicting {
+                            a.alu(AluOp::Add, SCRATCH_B, base, SCRATCH_A);
+                        } else {
+                            a.mov(SCRATCH_C, store_slot);
+                            a.alu(AluOp::Add, SCRATCH_B, SCRATCH_C, SCRATCH_A);
+                        }
+                        a.str_(COUNTER, SCRATCH_B, 0, MemSize::X);
+                    }
+                    StorePlacement::None => {}
+                }
+                a.andi(idx, idx, mask);
+                a.lsli(SCRATCH_A, idx, 3);
+                a.alu(AluOp::Add, SCRATCH_B, base, SCRATCH_A);
+                load_pc = a.pc();
+                a.ldr(dst, SCRATCH_B, 0, MemSize::X);
+                a.addi(idx, idx, 1);
+            }
+            LoadKind::PathDependent => {
+                match site.store {
+                    StorePlacement::Conflicting => {
+                        // Leaf 0 of the load region: overlaps the load's
+                        // finite address set.
+                        a.mov(SCRATCH_B, load_slot);
+                        a.str_(COUNTER, SCRATCH_B, 0, MemSize::X);
+                    }
+                    StorePlacement::Disjoint => {
+                        a.mov(SCRATCH_B, store_slot);
+                        a.str_(COUNTER, SCRATCH_B, 0, MemSize::X);
+                    }
+                    StorePlacement::None => {}
+                }
+                let join = a.new_label();
+                emit_tree(&mut a, 0, site.depth, 0, load_slot, join);
+                a.place(join);
+                load_pc = a.pc();
+                a.ldr(dst, SCRATCH_C, 0, MemSize::X);
+            }
+            LoadKind::Unanalyzable => {
+                let base = bases[si].expect("unanalyzable site has a base");
+                let target = load_slot + (spec.region_words / 2) * 8;
+                match site.store {
+                    StorePlacement::Conflicting => {
+                        a.mov(SCRATCH_B, target);
+                        a.str_(COUNTER, SCRATCH_B, 0, MemSize::X);
+                    }
+                    StorePlacement::Disjoint => {
+                        a.mov(SCRATCH_B, store_slot);
+                        a.str_(COUNTER, SCRATCH_B, 0, MemSize::X);
+                    }
+                    StorePlacement::None => {}
+                }
+                helper_pc = Some(a.pc());
+                a.ldr(SCRATCH_A, base, 0, MemSize::X);
+                load_pc = a.pc();
+                a.ldr(dst, SCRATCH_A, 0, MemSize::X);
+            }
+        }
+        if si + 1 == n {
+            a.b(tail);
+        } else {
+            a.b(labels[si + 1]);
+        }
+        let expect_conflict_free = match site.kind {
+            // An unanalyzable load's footprint is unknown, so it is
+            // conflict-free only in an entirely store-free program.
+            LoadKind::Unanalyzable => {
+                if program_has_stores {
+                    Some(false)
+                } else {
+                    Some(true)
+                }
+            }
+            _ => Some(site.store != StorePlacement::Conflicting),
+        };
+        infos[si] = Some(SiteInfo {
+            index: si,
+            kind: site.kind,
+            store: site.store,
+            load_pc,
+            helper_pc,
+            expect_conflict_free,
+        });
+    }
+
+    while !a.pc().is_multiple_of(BLOCK_ALIGN) {
+        a.nop();
+    }
+    a.place(tail);
+    a.subi(COUNTER, COUNTER, 1);
+    a.cbnz(COUNTER, labels[0]);
+    a.halt();
+
+    // Data segments: every load region gets deterministic per-site values;
+    // unanalyzable sites get a pointer planted in cell 0.
+    for (i, site) in spec.sites.iter().enumerate() {
+        let mut rng = Prng::seed_from_u64(site.data_seed);
+        let mut words: Vec<u64> = (0..spec.region_words).map(|_| rng.next_u64()).collect();
+        if site.kind == LoadKind::Unanalyzable {
+            words[0] = slot(i, false) + (spec.region_words / 2) * 8;
+        }
+        a.data_u64(slot(i, false), &words);
+    }
+
+    let program = a.build();
+    let budget = (program.len() as u64 + 4) * (spec.iterations + 2);
+    SynthProgram {
+        program,
+        spec: spec.clone(),
+        sites: infos
+            .into_iter()
+            .map(|i| i.expect("every site emitted"))
+            .collect(),
+        budget,
+    }
+}
+
+/// Emits a binary diamond tree selecting one of `2^depth` leaf cells by the
+/// counter's low bits; every leaf `mov`s its cell address into `SCRATCH_C`
+/// and branches forward to `join`.
+fn emit_tree(a: &mut Asm, level: usize, depth: usize, prefix: u64, slot: u64, join: Label) {
+    if level == depth {
+        a.mov(SCRATCH_C, slot + prefix * 8);
+        a.b(join);
+        return;
+    }
+    let right = a.new_label();
+    a.andi(SCRATCH_A, COUNTER, 1 << level);
+    a.cbnz(SCRATCH_A, right);
+    emit_tree(a, level + 1, depth, prefix, slot, join);
+    a.place(right);
+    emit_tree(a, level + 1, depth, prefix | (1 << level), slot, join);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_emu::Emulator;
+
+    fn smoke() -> SynthProfile {
+        SynthProfile::preset("smoke").expect("preset")
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_seed_sensitive() {
+        let p = smoke();
+        assert_eq!(plan(&p, 7), plan(&p, 7));
+        assert_ne!(plan(&p, 7), plan(&p, 8));
+    }
+
+    #[test]
+    fn build_is_reproducible() {
+        let spec = plan(&smoke(), 3);
+        let a = build(&spec);
+        let b = build(&spec);
+        assert_eq!(
+            a.program.iter().collect::<Vec<_>>(),
+            b.program.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(a.budget, b.budget);
+    }
+
+    #[test]
+    fn programs_terminate_by_construction() {
+        let p = smoke();
+        for seed in 0..4 {
+            let sp = synthesize(&p, seed);
+            let out = Emulator::new(sp.program.clone()).run(sp.budget);
+            assert!(
+                matches!(out.stop, lvp_emu::StopReason::Halted),
+                "seed {seed} did not halt: {:?}",
+                out.stop
+            );
+        }
+    }
+
+    #[test]
+    fn site_blocks_are_aligned() {
+        let sp = synthesize(&smoke(), 1);
+        // Every recorded load PC belongs to a block whose label was aligned;
+        // check the coarser invariant directly: rebuilding with a rotated
+        // layout keeps the instruction multiset equal minus padding.
+        let rot: Vec<usize> = (0..sp.spec.sites.len())
+            .map(|i| (i + 1) % sp.spec.sites.len())
+            .collect();
+        let rotated = build_with_layout(&sp.spec, &rot);
+        assert_eq!(sp.instructions(), rotated.instructions());
+    }
+}

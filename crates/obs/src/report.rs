@@ -384,6 +384,43 @@ impl LifecycleReport {
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
+
+    /// Cross-checks this report against the simulator's per-PC injection
+    /// counters: both count injections at the same verify site, so with a
+    /// lossless ring every `(injected, correct, conflict_squashes)` triple
+    /// must match exactly. `stats_per_pc` supplies the simulator side
+    /// (e.g. from `SimStats::per_pc`); PCs whose triple is all-zero are
+    /// ignored on both sides. Returns the number of reconciled PCs, or a
+    /// deterministic description of every disagreeing PC.
+    pub fn reconcile_injections<I>(&self, stats_per_pc: I) -> Result<u64, String>
+    where
+        I: IntoIterator<Item = (u64, (u64, u64, u64))>,
+    {
+        let from_stats: BTreeMap<u64, (u64, u64, u64)> = stats_per_pc
+            .into_iter()
+            .filter(|&(_, (i, c, s))| i + c + s > 0)
+            .collect();
+        let mut from_report: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+        for (&pc, r) in &self.per_pc {
+            if r.injected + r.correct + r.conflict_squashes > 0 {
+                from_report.insert(pc, (r.injected, r.correct, r.conflict_squashes));
+            }
+        }
+        if from_stats == from_report {
+            return Ok(from_stats.len() as u64);
+        }
+        let mut msg = String::from("per-PC injection counts disagree with SimStats::per_pc:\n");
+        for pc in from_stats.keys().chain(from_report.keys()) {
+            let s = from_stats.get(pc);
+            let r = from_report.get(pc);
+            if s != r {
+                msg.push_str(&format!(
+                    "  pc {pc:#x}: stats {s:?} vs report {r:?} (injected, correct, conflict_squashes)\n"
+                ));
+            }
+        }
+        Err(msg)
+    }
 }
 
 impl ToJson for LifecycleReport {

@@ -37,7 +37,7 @@ pub use simconfig::{
     AddrWidth, AllocPolicy, CapConfig, ConfigError, DlvpConfig, PapConfig, SimConfig, VtageConfig,
     VtageFilter, VtageTargets,
 };
-pub use stats::{SimStats, StatsError};
+pub use stats::{fmt_pct, SimStats, StatsError};
 pub use vp::{
     ExecInfo, FetchCtx, FetchSlot, NoVp, OracleLoadVp, RenamePrediction, VpScheme, VpVerdict,
 };

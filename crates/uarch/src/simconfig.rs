@@ -945,6 +945,77 @@ mod tests {
     }
 
     #[test]
+    fn rejects_every_zero_width_field() {
+        for field in [
+            "core.frontend_width",
+            "core.backend_width",
+            "core.ls_lanes",
+            "core.vp_per_cycle",
+        ] {
+            let mut cfg = SimConfig::paper_default();
+            match field {
+                "core.frontend_width" => cfg.core.frontend_width = 0,
+                "core.backend_width" => cfg.core.backend_width = 0,
+                "core.ls_lanes" => cfg.core.ls_lanes = 0,
+                "core.vp_per_cycle" => cfg.core.vp_per_cycle = 0,
+                _ => unreachable!(),
+            }
+            assert_eq!(cfg.validate(), Err(ConfigError::ZeroWidth(field)));
+        }
+    }
+
+    #[test]
+    fn rejects_every_empty_queue_table() {
+        for table in [
+            "core.rob_entries",
+            "core.iq_entries",
+            "core.ldq_entries",
+            "core.stq_entries",
+            "cap.entries",
+        ] {
+            let mut cfg = SimConfig::paper_default();
+            match table {
+                "core.rob_entries" => cfg.core.rob_entries = 0,
+                "core.iq_entries" => cfg.core.iq_entries = 0,
+                "core.ldq_entries" => cfg.core.ldq_entries = 0,
+                "core.stq_entries" => cfg.core.stq_entries = 0,
+                "cap.entries" => cfg.cap.entries = 0,
+                _ => unreachable!(),
+            }
+            assert_eq!(cfg.validate(), Err(ConfigError::EmptyTable(table)));
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_cap() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.cap.entries = 48;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::NotPowerOfTwo {
+                table: "cap.entries",
+                entries: 48
+            })
+        );
+    }
+
+    #[test]
+    fn config_errors_display_the_offending_field() {
+        assert!(ConfigError::ZeroWidth("core.ls_lanes")
+            .to_string()
+            .contains("core.ls_lanes"));
+        assert!(ConfigError::EmptyTable("core.rob_entries")
+            .to_string()
+            .contains("core.rob_entries"));
+        assert!(ConfigError::NotPowerOfTwo {
+            table: "cap.entries",
+            entries: 48
+        }
+        .to_string()
+        .contains("48"));
+    }
+
+    #[test]
     fn rejects_zero_entry_pvt() {
         let mut cfg = SimConfig::paper_default();
         cfg.core.pvt_entries = 0;

@@ -204,6 +204,17 @@ impl SimStats {
     }
 }
 
+/// Renders a fallible ratio (e.g. [`SimStats::try_accuracy`]) as a
+/// percentage with `decimals` digits, or `"n/a"` on [`StatsError::EmptyRun`]
+/// so report paths never print a meaningless `0.0%` for a run that made no
+/// predictions.
+pub fn fmt_pct(ratio: Result<f64, StatsError>, decimals: usize) -> String {
+    match ratio {
+        Ok(r) => format!("{:.*}%", decimals, r * 100.0),
+        Err(_) => "n/a".to_string(),
+    }
+}
+
 impl ToJson for SimStats {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -260,6 +271,24 @@ fn ratio(num: u64, den: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fmt_pct_renders_empty_runs_as_na() {
+        let empty = SimStats::default();
+        assert_eq!(fmt_pct(empty.try_accuracy(), 2), "n/a");
+        assert_eq!(fmt_pct(empty.try_coverage(), 1), "n/a");
+        let s = SimStats {
+            cycles: 10,
+            instructions: 10,
+            loads: 4,
+            vp_predicted: 8,
+            vp_predicted_loads: 3,
+            vp_correct: 6,
+            ..SimStats::default()
+        };
+        assert_eq!(fmt_pct(s.try_accuracy(), 2), "75.00%");
+        assert_eq!(fmt_pct(s.try_coverage(), 1), "75.0%");
+    }
 
     #[test]
     fn derived_metrics() {

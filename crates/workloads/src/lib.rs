@@ -37,7 +37,9 @@ pub mod misc;
 pub mod spec2k;
 pub mod spec2k6;
 pub mod spec_extra;
-mod util;
+pub mod util;
+
+pub use util::Prng;
 
 use lvp_emu::Emulator;
 use lvp_isa::Program;

@@ -1,0 +1,111 @@
+//! Property tests over the lvp-fuzz synthesizer: every program a profile
+//! can generate must assemble, encode/decode round-trip through the binary
+//! ISA format, terminate within its declared budget, and pass the
+//! analyzer-soundness check — for *every* preset, not just the smoke
+//! profile the CI campaign pins.
+
+use lvp_analysis::ProgramAnalysis;
+use lvp_emu::{Emulator, StopReason};
+use lvp_fuzz::oracle;
+use lvp_fuzz::{synthesize, SynthProfile};
+use lvp_isa::{decode, encode, Instruction};
+
+const SEEDS_PER_PROFILE: u64 = 6;
+
+fn profiles() -> Vec<SynthProfile> {
+    SynthProfile::preset_names()
+        .iter()
+        .map(|n| SynthProfile::preset(n).expect("catalogue entry"))
+        .collect()
+}
+
+#[test]
+fn every_generated_program_assembles_nonempty() {
+    for p in profiles() {
+        for seed in 0..SEEDS_PER_PROFILE {
+            let sp = synthesize(&p, seed);
+            assert!(!sp.program.is_empty(), "{}/{seed}: empty program", p.name);
+            assert!(
+                sp.program
+                    .iter()
+                    .filter(|(_, i)| matches!(i, Instruction::Halt))
+                    .count()
+                    == 1,
+                "{}/{seed}: exactly one halt",
+                p.name
+            );
+            assert_eq!(
+                sp.sites.len(),
+                p.loads,
+                "{}/{seed}: one site per declared load",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_generated_program_round_trips_through_encode() {
+    for p in profiles() {
+        for seed in 0..SEEDS_PER_PROFILE {
+            let sp = synthesize(&p, seed);
+            let mut words = Vec::new();
+            let insts: Vec<Instruction> = sp.program.iter().map(|(_, i)| i).collect();
+            for &inst in &insts {
+                encode(inst, &mut words);
+            }
+            let mut decoded = Vec::new();
+            let mut at = 0usize;
+            while at < words.len() {
+                let (inst, used) = decode(&words[at..]).unwrap_or_else(|e| {
+                    panic!("{}/{seed}: decode failed at word {at}: {e:?}", p.name)
+                });
+                decoded.push(inst);
+                at += used;
+            }
+            assert_eq!(
+                decoded, insts,
+                "{}/{seed}: encode/decode round trip",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_generated_program_terminates_within_budget() {
+    for p in profiles() {
+        for seed in 0..SEEDS_PER_PROFILE {
+            let sp = synthesize(&p, seed);
+            let out = Emulator::new(sp.program.clone()).run(sp.budget);
+            assert!(
+                matches!(out.stop, StopReason::Halted),
+                "{}/{seed}: stopped with {:?} (budget {})",
+                p.name,
+                out.stop,
+                sp.budget
+            );
+            assert!(
+                (out.trace.len() as u64) <= sp.budget,
+                "{}/{seed}: trace exceeded budget",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_generated_program_is_analyzer_sound() {
+    for p in profiles() {
+        for seed in 0..SEEDS_PER_PROFILE {
+            let sp = synthesize(&p, seed);
+            let analysis = ProgramAnalysis::analyze(&sp.program);
+            let defects = oracle::soundness(&sp, &analysis, p.mix_tolerance);
+            assert!(
+                defects.is_empty(),
+                "{}/{seed}: soundness defects: {defects:?}",
+                p.name
+            );
+        }
+    }
+}
