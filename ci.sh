@@ -64,11 +64,20 @@ echo "== fuzz smoke (campaign report matches the pinned corpus) =="
 cmp "$tmp/fuzz_corpus.json" results/golden/fuzz_corpus.json
 echo "fuzz --smoke matches the pinned corpus byte-for-byte"
 
+echo "== fuzz guided (analyzer-guided profile through the R5-R7 oracle) =="
+# The analyzer-guided synthesis profile: dense must/may-conflict stores and
+# unanalyzable sites, cross-validated against the dependence pass. Any
+# finding (including a dependence-rule violation) fails the run.
+./target/release/fuzz --profile guided --seeds 25 --out "$tmp/fuzz_guided.json"
+echo "guided campaign is clean"
+
 echo "== analyze cross-validation gate =="
 # The gate itself (exit 1 on any static-vs-dynamic contradiction) plus the
-# byte-determinism of the committed report artifact.
-./target/release/analyze --budget 60000 --out "$tmp/analysis.json"
+# byte-determinism of the committed report and dependence-graph artifacts.
+./target/release/analyze --budget 60000 --out "$tmp/analysis.json" \
+  --depgraph "$tmp/depgraph.json"
 cmp "$tmp/analysis.json" results/analysis/report.json
-echo "analyze report matches the committed artifact byte-for-byte"
+cmp "$tmp/depgraph.json" results/analysis/depgraph.json
+echo "analyze report and depgraph match the committed artifacts byte-for-byte"
 
 echo "CI OK"

@@ -70,8 +70,12 @@ impl Region {
             Region::Unknown => true,
             Region::Granules { lo, hi } => {
                 let first = addr >> GRANULE_SHIFT;
-                let last = (addr + (bytes - 1)) >> GRANULE_SHIFT;
-                lo <= first && last <= hi
+                // A bounded region cannot contain an access that wraps the
+                // address space (`from_abs` degrades those to `Unknown`).
+                let Some(last_byte) = addr.checked_add(bytes - 1) else {
+                    return false;
+                };
+                lo <= first && (last_byte >> GRANULE_SHIFT) <= hi
             }
         }
     }
@@ -123,5 +127,108 @@ mod tests {
             8,
         );
         assert_eq!(r, Region::Unknown);
+    }
+
+    #[test]
+    fn granule_boundary_is_exclusive() {
+        // A store whose byte range ends exactly on an 8-byte granule
+        // boundary must not claim the next granule: 8 bytes at 0x1ff8 end
+        // at byte 0x1fff, wholly inside granule 0x3ff.
+        let store = Region::from_abs(AbsVal::Const(0x1ff8), 8);
+        assert_eq!(
+            store,
+            Region::Granules {
+                lo: 0x3ff,
+                hi: 0x3ff
+            }
+        );
+        let next = Region::from_abs(AbsVal::Const(0x2000), 8);
+        assert!(!store.overlaps(next));
+        assert!(!store.contains(0x2000, 1));
+        assert!(store.contains(0x1fff, 1));
+    }
+
+    #[test]
+    fn contains_never_wraps_the_address_space() {
+        // Regression: the last-byte computation used to overflow (panic in
+        // debug) for accesses near the top of the address space.
+        let r = Region::from_abs(AbsVal::Const(0x1000), 8);
+        assert!(!r.contains(u64::MAX - 3, 8));
+        assert!(Region::Unknown.contains(u64::MAX, 8));
+    }
+
+    /// Concrete mirror of the granule math: the set of granules an access
+    /// touches, byte by byte.
+    fn concrete_granules(addr: u64, bytes: u64) -> Vec<u64> {
+        let mut g: Vec<u64> = (0..bytes.max(1))
+            .filter_map(|i| addr.checked_add(i))
+            .map(|a| a >> GRANULE_SHIFT)
+            .collect();
+        g.dedup();
+        g
+    }
+
+    #[test]
+    fn rounding_matches_concrete_granule_enumeration() {
+        // Property loop: for random (addr, bytes) pairs, from_abs /
+        // contains / overlaps agree with the byte-wise granule set.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // xorshift64*: deterministic, no external dependency.
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for _ in 0..2000 {
+            let addr = match next() % 4 {
+                0 => next() & 0xffff,            // small addresses
+                1 => (next() & 0xffff) | 0x7ff8, // around boundaries
+                2 => u64::MAX - (next() & 0x1f), // near the top
+                _ => next(),                     // anywhere
+            };
+            let bytes = 1 + next() % 16;
+            let concrete = concrete_granules(addr, bytes);
+            let region = Region::from_abs(AbsVal::Const(addr), bytes);
+            match region {
+                Region::Granules { lo, hi } => {
+                    let expect_lo = *concrete.first().expect("non-empty");
+                    let expect_hi = *concrete.last().expect("non-empty");
+                    assert_eq!(
+                        (lo, hi),
+                        (expect_lo, expect_hi),
+                        "addr={addr:#x} bytes={bytes}"
+                    );
+                    assert!(region.contains(addr, bytes));
+                    // One byte past the range must stay outside unless it
+                    // shares the last granule.
+                    if let Some(past) = addr.checked_add(bytes) {
+                        assert_eq!(
+                            region.contains(past, 1),
+                            past >> GRANULE_SHIFT <= hi,
+                            "addr={addr:#x} bytes={bytes}"
+                        );
+                    }
+                    // Overlap with the next granule's region only when the
+                    // byte range actually reaches it.
+                    if hi < u64::MAX {
+                        let next_granule = Region::Granules {
+                            lo: hi + 1,
+                            hi: hi + 1,
+                        };
+                        assert!(
+                            !region.overlaps(next_granule),
+                            "addr={addr:#x} bytes={bytes}"
+                        );
+                    }
+                }
+                Region::Unknown => {
+                    // Only a wrapping access may degrade.
+                    assert!(addr.checked_add(bytes - 1).is_none());
+                    assert!(region.contains(addr, bytes));
+                }
+                Region::Empty => unreachable!("constant access is never empty"),
+            }
+        }
     }
 }

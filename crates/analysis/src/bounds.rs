@@ -1,0 +1,453 @@
+//! Static predictability bounds per load PC, plus the path-hash collision
+//! audit.
+//!
+//! Two bounds per load, both consumed by the cross-validation gate
+//! ([`crate::xval`]):
+//!
+//! - **Coverage upper bound** — a cap on the fraction of executions DLVP
+//!   can legitimately inject (`injected / executions`, rule R6). Ordered
+//!   loads are never predicted, so their bound is exactly 0. A load whose
+//!   address provably *advances* on every execution (a strided induction
+//!   variable with a non-zero step) and whose path summary is *complete*
+//!   never presents the same address on consecutive executions under one
+//!   enumerable path context, so the PAP's last-address entry cannot
+//!   legitimately saturate — its bound is the configured small constant
+//!   (APT aliasing noise is absorbed by the gate's slack, not the bound). Every other class is unbounded (1.0): even an
+//!   "unanalyzable" pointer load may be perfectly predictable dynamically
+//!   if the pointed-to cell happens to be runtime-constant.
+//! - **Exposure lower bound** — whether the load sits on a must-conflict
+//!   edge ([`crate::conflict::EdgeKind::Must`]): if the store side executes,
+//!   the load is guaranteed to observe conflict exposure (rule R5).
+//!
+//! The audit ([`hash_collisions`]) statically mirrors the predictor's
+//! folded path hash over the enumerated contexts: two contexts of one load
+//! with *different* constant addresses but the *same* APT `(index, tag)`
+//! are exactly the collisions that make the dynamic predictor train one
+//! entry on two addresses (warn-level, rule R8).
+
+use crate::conflict::{ConflictGraph, EdgeKind};
+use crate::dataflow::{get, Dataflow, LoadClass, ENTRY_DEF};
+use crate::paths::{index_tag, HashParams, PathSummary};
+use crate::ProgramAnalysis;
+use lvp_isa::{AluOp, Instruction, Program, Reg};
+use std::collections::BTreeMap;
+
+/// Knobs for the coverage upper bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsConfig {
+    /// Coverage bound for provably-advancing strided loads. Non-zero
+    /// because wrap-around masks make addresses recur across (not within)
+    /// iterations and APT entries alias across proxy PCs.
+    pub strided_coverage_bound: f64,
+}
+
+impl Default for BoundsConfig {
+    fn default() -> BoundsConfig {
+        BoundsConfig {
+            strided_coverage_bound: 0.35,
+        }
+    }
+}
+
+/// The static bounds of one load PC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBounds {
+    /// PC of the load.
+    pub pc: u64,
+    /// Upper bound on `injected / executions` (R6); 1.0 = unbounded.
+    pub coverage_bound: f64,
+    /// Whether a must-conflict edge guarantees exposure once the store
+    /// executes (R5).
+    pub must_conflict: bool,
+}
+
+/// Computes bounds for every load, in `analysis.loads` order.
+pub fn compute(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    summaries: &[PathSummary],
+    graph: &ConflictGraph,
+    cfg: &BoundsConfig,
+) -> Vec<LoadBounds> {
+    assert_eq!(
+        summaries.len(),
+        analysis.loads.len(),
+        "one summary per load"
+    );
+    let insts: Vec<Instruction> = program.iter().map(|(_, i)| i).collect();
+    let df = analysis.dataflow();
+    analysis
+        .loads
+        .iter()
+        .zip(summaries)
+        .map(|(load, summary)| {
+            // The strided bound additionally demands a *complete* path
+            // summary: when enumeration is cut short (indirect dispatch,
+            // path explosion) the predictor may observe path contexts the
+            // analysis cannot see, and a hidden context can legitimately
+            // carry a stable address for a wrapping induction — exactly
+            // the path-correlation the paper's predictor exploits.
+            let coverage_bound = if load.ordered {
+                0.0
+            } else if load.class == LoadClass::Strided
+                && summary.complete
+                && address_advances(df, &insts, load.index)
+            {
+                cfg.strided_coverage_bound
+            } else {
+                1.0
+            };
+            LoadBounds {
+                pc: load.pc,
+                coverage_bound,
+                must_conflict: graph.edges_of(load.pc).any(|e| e.kind == EdgeKind::Must),
+            }
+        })
+        .collect()
+}
+
+/// Whether some address operand of the memory instruction at `idx` is
+/// *fresh*: provably different on every execution (beyond the gate's
+/// warmup slack). The walk mirrors the classifier's strided recognition —
+/// peel single-producer affine chains (`r = s << k`, `r = s ± const`,
+/// `r = const + s`) down to an induction register whose reaching defs are
+/// only self-updates plus constant initialisations, then demand a nonzero
+/// add/sub step compatible with any and-mask wrap (contiguous mask `m`,
+/// every step `0 < s <= m`, so `(v ± s) & m != v` on every iteration). A
+/// strided load without such a chain (e.g. a pure and-mask) may be
+/// dynamically constant, so it gets no tight bound.
+fn address_advances(df: &Dataflow, insts: &[Instruction], idx: usize) -> bool {
+    let inst = insts[idx];
+    let mut regs = Vec::new();
+    if let Some(b) = inst.mem_base() {
+        regs.push(b);
+    }
+    if let Some(i) = inst.mem_index() {
+        regs.push(i);
+    }
+    regs.into_iter()
+        .any(|reg| fresh(df, insts, reg, idx, 0, None))
+}
+
+/// See [`address_advances`]. `at` is the instruction whose incoming state
+/// the register is read in; `depth` bounds the affine peel; `mask` is the
+/// tightest and-mask the walk has already passed through on the way down
+/// from the load (the wrap any deeper add step must survive).
+fn fresh(
+    df: &Dataflow,
+    insts: &[Instruction],
+    reg: Reg,
+    at: usize,
+    depth: usize,
+    mask: Option<u64>,
+) -> bool {
+    if depth > 8 {
+        return false;
+    }
+    let defs = df.defs_of(at, reg).to_vec();
+    if defs.is_empty() || defs.contains(&ENTRY_DEF) {
+        return false;
+    }
+    let mut consts = 0usize;
+    let mut updates: Vec<usize> = Vec::new();
+    let mut others: Vec<usize> = Vec::new();
+    for &d in &defs {
+        let d = d as usize;
+        if df.is_self_update(d, reg) {
+            updates.push(d);
+        } else if df.def_value(d, reg).is_some() {
+            consts += 1;
+        } else {
+            others.push(d);
+        }
+    }
+    if !others.is_empty() {
+        // A producing chain: freshness survives injective affine steps on
+        // a single producer (no competing defs, no constant re-inits that
+        // could pin the value on some path).
+        let ([d], [], 0) = (&others[..], &updates[..], consts) else {
+            return false;
+        };
+        return match insts[*d] {
+            Instruction::AluImm {
+                op: AluOp::Lsl,
+                rd,
+                rn,
+                imm,
+            } if rd == reg && (0..=32).contains(&imm) => fresh(df, insts, rn, *d, depth + 1, mask),
+            Instruction::AluImm {
+                op: AluOp::Add | AluOp::Sub,
+                rd,
+                rn,
+                ..
+            } if rd == reg => fresh(df, insts, rn, *d, depth + 1, mask),
+            Instruction::Alu {
+                op: AluOp::Add,
+                rd,
+                rn,
+                rm,
+            } if rd == reg => {
+                let const_at = |r: Reg| {
+                    df.state_before(*d)
+                        .is_some_and(|s| get(s, r).as_const().is_some())
+                };
+                (const_at(rn) && fresh(df, insts, rm, *d, depth + 1, mask))
+                    || (const_at(rm) && fresh(df, insts, rn, *d, depth + 1, mask))
+            }
+            _ => false,
+        };
+    }
+    // Only self-updates (plus constant initialisations) reach: an
+    // induction register. It is fresh when every update path advances it
+    // by a step no and-mask wrap can cancel.
+    let mut steps: Vec<u64> = Vec::new();
+    let mut and_defs: Vec<(usize, u64)> = Vec::new();
+    for &d in &updates {
+        match insts[d] {
+            Instruction::AluImm {
+                op: AluOp::Add | AluOp::Sub,
+                imm,
+                ..
+            } => {
+                if imm == 0 {
+                    return false;
+                }
+                steps.push(imm.unsigned_abs());
+            }
+            Instruction::AluImm {
+                op: AluOp::And,
+                imm,
+                ..
+            } => and_defs.push((d, imm as u64)),
+            Instruction::Alu { op, rn, rm, .. } => {
+                let other = if rn == reg { rm } else { rn };
+                let Some(c) = df.state_before(d).and_then(|s| get(s, other).as_const()) else {
+                    return false;
+                };
+                match op {
+                    AluOp::Add | AluOp::Sub => {
+                        if c == 0 {
+                            return false;
+                        }
+                        steps.push(c.min(c.wrapping_neg()));
+                    }
+                    AluOp::And => and_defs.push((d, c)),
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+    // Every mask on this level must be contiguous (a power-of-two wrap);
+    // the tightest one constrains whatever step drives the cycle.
+    let mut m = mask;
+    for &(_, mk) in &and_defs {
+        if mk == 0 || !mk.wrapping_add(1).is_power_of_two() {
+            return false;
+        }
+        m = Some(m.map_or(mk, |x| x.min(mk)));
+    }
+    if steps.is_empty() {
+        // A pure mask level (`idx &= m` is the def the load sees): the
+        // additive step lives deeper in the cycle, before the masks.
+        return !and_defs.is_empty()
+            && and_defs
+                .iter()
+                .all(|&(d, _)| fresh(df, insts, reg, d, depth + 1, m));
+    }
+    steps.iter().all(|&s| match m {
+        None => s != 0,
+        Some(m) => (1..=m).contains(&s),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Path-hash collision audit (R8)
+// ---------------------------------------------------------------------------
+
+/// Two statically distinct constant addresses of one load whose path
+/// contexts collide in the predictor's `(index, tag)` hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashCollision {
+    /// PC of the load.
+    pub pc: u64,
+    /// The two colliding constant addresses, `addr_a < addr_b`.
+    pub addr_a: u64,
+    /// See `addr_a`.
+    pub addr_b: u64,
+    /// The shared APT index.
+    pub index: u64,
+    /// The shared APT tag.
+    pub tag: u64,
+}
+
+/// Finds path-hash collisions across all loads' contexts. Only complete
+/// summaries with constant per-context addresses participate — the audit
+/// flags *provably distinct* addresses the hash cannot separate.
+pub fn hash_collisions(summaries: &[PathSummary], params: &HashParams) -> Vec<HashCollision> {
+    let mut out = Vec::new();
+    for s in summaries {
+        if !s.complete {
+            continue;
+        }
+        // (index, tag) -> constant addresses seen.
+        let mut buckets: BTreeMap<(u64, u64), Vec<u64>> = BTreeMap::new();
+        for c in &s.contexts {
+            if let Some(addr) = c.addr.as_const() {
+                let key = index_tag(&c.load_pcs, s.pc, params);
+                buckets.entry(key).or_default().push(addr);
+            }
+        }
+        for ((index, tag), mut addrs) in buckets {
+            addrs.sort_unstable();
+            addrs.dedup();
+            // Report each distinct colliding pair once.
+            for w in addrs.windows(2) {
+                out.push(HashCollision {
+                    pc: s.pc,
+                    addr_a: w[0],
+                    addr_b: w[1],
+                    index,
+                    tag,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::AbsVal;
+    use crate::paths::{PathConfig, PathContext, PathEnumerator};
+    use crate::Cfg;
+    use lvp_isa::{Asm, MemSize, Reg};
+
+    fn analyze_all(
+        program: &lvp_isa::Program,
+    ) -> (ProgramAnalysis, Vec<PathSummary>, ConflictGraph) {
+        let pa = ProgramAnalysis::analyze(program);
+        let cfg = Cfg::build(program);
+        let en = PathEnumerator::new(program, &cfg, pa.dataflow(), PathConfig::default());
+        let summaries: Vec<_> = pa.loads.iter().map(|l| en.summarize(l.index)).collect();
+        let g = crate::conflict::build(&pa, &summaries);
+        (pa, summaries, g)
+    }
+
+    #[test]
+    fn ordered_load_bound_is_zero() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        a.ldar(Reg::X1, Reg::X0);
+        a.halt();
+        let p = a.build();
+        let (pa, s, g) = analyze_all(&p);
+        let b = compute(&p, &pa, &s, &g, &BoundsConfig::default());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].coverage_bound, 0.0);
+    }
+
+    #[test]
+    fn advancing_strided_load_gets_tight_bound() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x9000);
+        let top = a.here();
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+        a.addi(Reg::X0, Reg::X0, 8);
+        a.cbnz(Reg::X1, top);
+        a.halt();
+        let p = a.build();
+        let (pa, s, g) = analyze_all(&p);
+        assert_eq!(pa.loads[0].class, LoadClass::Strided);
+        let b = compute(&p, &pa, &s, &g, &BoundsConfig::default());
+        assert!(b[0].coverage_bound < 1.0);
+    }
+
+    #[test]
+    fn pure_mask_strided_load_stays_unbounded() {
+        // The only self-update is an and-mask: the address may be
+        // dynamically constant, so no tight bound applies.
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x9000);
+        let top = a.here();
+        a.andi(Reg::X0, Reg::X0, 0xffff);
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+        a.cbnz(Reg::X1, top);
+        a.halt();
+        let p = a.build();
+        let (pa, s, g) = analyze_all(&p);
+        let b = compute(&p, &pa, &s, &g, &BoundsConfig::default());
+        assert_eq!(b[0].coverage_bound, 1.0);
+    }
+
+    #[test]
+    fn constant_and_must_conflict_bounds() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        let top = a.here();
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+        a.addi(Reg::X1, Reg::X1, 1);
+        a.str_(Reg::X1, Reg::X0, 0, MemSize::X);
+        a.cbnz(Reg::X1, top);
+        a.halt();
+        let p = a.build();
+        let (pa, s, g) = analyze_all(&p);
+        let b = compute(&p, &pa, &s, &g, &BoundsConfig::default());
+        assert_eq!(b[0].coverage_bound, 1.0);
+        assert!(b[0].must_conflict);
+    }
+
+    #[test]
+    fn collision_audit_flags_same_bucket_distinct_addrs() {
+        // Hand-built summaries: two contexts with identical (empty) path
+        // history and different constant addresses must collide.
+        let s = PathSummary {
+            index: 0,
+            pc: 0x1004,
+            contexts: vec![
+                PathContext {
+                    blocks: vec![0],
+                    load_pcs: vec![],
+                    addr: AbsVal::Const(0x8000),
+                },
+                PathContext {
+                    blocks: vec![1],
+                    load_pcs: vec![],
+                    addr: AbsVal::Const(0x8100),
+                },
+            ],
+            complete: true,
+        };
+        let hits = hash_collisions(std::slice::from_ref(&s), &HashParams::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].addr_a, hits[0].addr_b), (0x8000, 0x8100));
+        // Distinguishable histories do not collide.
+        let mut s2 = s;
+        s2.contexts[0].load_pcs = vec![0x1004]; // shifts in a 1 bit
+        let hits2 = hash_collisions(&[s2], &HashParams::default());
+        assert!(hits2.is_empty());
+    }
+
+    #[test]
+    fn incomplete_summaries_are_excluded_from_audit() {
+        let s = PathSummary {
+            index: 0,
+            pc: 0x1004,
+            contexts: vec![
+                PathContext {
+                    blocks: vec![0],
+                    load_pcs: vec![],
+                    addr: AbsVal::Const(0x8000),
+                },
+                PathContext {
+                    blocks: vec![1],
+                    load_pcs: vec![],
+                    addr: AbsVal::Const(0x8100),
+                },
+            ],
+            complete: false,
+        };
+        assert!(hash_collisions(&[s], &HashParams::default()).is_empty());
+    }
+}

@@ -144,7 +144,7 @@ pub fn eval_alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
 /// register is pinned to `Const(0)` by the accessors, not stored.
 pub type State = [AbsVal; Reg::COUNT];
 
-fn get(state: &State, r: Reg) -> AbsVal {
+pub(crate) fn get(state: &State, r: Reg) -> AbsVal {
     if r.is_zero() {
         AbsVal::Const(0)
     } else {
@@ -221,6 +221,10 @@ pub struct Dataflow {
     value_in: Vec<Option<State>>,
     /// Reaching definitions on entry to each instruction.
     def_in: Vec<Option<DefState>>,
+    /// Whether the value fixpoint ever routed an unresolved indirect exit
+    /// through the pool. When set, instruction in-states are joins over
+    /// *every* instruction, so per-path refinement is meaningless.
+    pool_used: bool,
 }
 
 impl Dataflow {
@@ -233,6 +237,7 @@ impl Dataflow {
             def_in: vec![None; insts.len()],
             base,
             insts,
+            pool_used: false,
         };
         df.run_values();
         df.run_defs();
@@ -249,6 +254,13 @@ impl Dataflow {
 
     fn pc_of(&self, idx: usize) -> u64 {
         self.base + idx as u64 * INST_BYTES
+    }
+
+    /// Whether any unresolved indirect exit joined the pool during the
+    /// value fixpoint (see [`Dataflow`] docs; path-sensitive refinement
+    /// must degrade when this is set).
+    pub fn uses_indirect_pool(&self) -> bool {
+        self.pool_used
     }
 
     /// Number of instructions with a reachable in-state.
@@ -277,6 +289,22 @@ impl Dataflow {
         let Some(state) = self.state_before(idx) else {
             return AbsVal::Top;
         };
+        let Some(base) = inst.mem_base() else {
+            return AbsVal::Top;
+        };
+        let base_v = get(state, base);
+        match (inst.mem_offset(), inst.mem_index()) {
+            (Some(off), _) => eval_alu(AluOp::Add, base_v, AbsVal::Const(off as u64)),
+            (None, Some(idx_reg)) => eval_alu(AluOp::Add, base_v, get(state, idx_reg)),
+            (None, None) => AbsVal::Top,
+        }
+    }
+
+    /// [`Dataflow::addr_value`], but evaluated in a caller-supplied state
+    /// (the path-sensitive pass re-derives per-path states by replaying
+    /// [`Dataflow::transfer`] along a concrete segment).
+    pub(crate) fn addr_value_in(&self, idx: usize, state: &State) -> AbsVal {
+        let inst = self.insts[idx];
         let Some(base) = inst.mem_base() else {
             return AbsVal::Top;
         };
@@ -414,7 +442,7 @@ impl Dataflow {
 
     /// The constant `reg` holds right after executing definition `d`, when
     /// exactly known.
-    fn def_value(&self, d: usize, reg: Reg) -> Option<u64> {
+    pub(crate) fn def_value(&self, d: usize, reg: Reg) -> Option<u64> {
         let state = self.state_before(d)?;
         let mut out = *state;
         self.transfer(&mut out, d);
@@ -424,7 +452,7 @@ impl Dataflow {
     /// Whether definition `d` updates `reg` in terms of itself by a
     /// constant (`reg = reg op const`, op ∈ {+, −, &}) — the accepted
     /// induction-variable step shapes (add/sub advance, and-mask wrap).
-    fn is_self_update(&self, d: usize, reg: Reg) -> bool {
+    pub(crate) fn is_self_update(&self, d: usize, reg: Reg) -> bool {
         let stride_op = |op: AluOp| matches!(op, AluOp::Add | AluOp::Sub | AluOp::And);
         match self.insts[d] {
             Instruction::AluImm { op, rd, rn, .. } => rd == reg && rn == reg && stride_op(op),
@@ -464,7 +492,7 @@ impl Dataflow {
     // -- transfer function ---------------------------------------------
 
     /// Applies instruction `idx`'s register effects to `state`.
-    fn transfer(&self, state: &mut State, idx: usize) {
+    pub(crate) fn transfer(&self, state: &mut State, idx: usize) {
         let inst = self.insts[idx];
         match inst {
             Instruction::MovImm { rd, imm } => set(state, rd, AbsVal::Const(imm)),
@@ -602,6 +630,7 @@ impl Dataflow {
                     }
                 }
                 None => {
+                    self.pool_used = true;
                     let widen = pool_updates > WIDEN_AFTER;
                     let changed = match &mut pool {
                         Some(p) => join_into(p, &out, widen),

@@ -19,14 +19,22 @@
 //! (classification + alias regions) → [`xval`] (dynamic cross-check).
 
 pub mod alias;
+pub mod bounds;
 pub mod cfg;
+pub mod conflict;
 pub mod dataflow;
+pub mod paths;
 pub mod xval;
 
 pub use alias::Region;
+pub use bounds::{BoundsConfig, HashCollision, LoadBounds};
 pub use cfg::Cfg;
+pub use conflict::{ConflictEdge, ConflictGraph, EdgeKind};
 pub use dataflow::{AbsVal, Dataflow, LoadClass};
-pub use xval::{cross_validate, DynLoadStats, Violation, XvalConfig, XvalLoad};
+pub use paths::{HashParams, PathConfig, PathContext, PathSummary};
+pub use xval::{
+    cross_validate, cross_validate_dep, DepInputs, DynLoadStats, Violation, XvalConfig, XvalLoad,
+};
 
 use lvp_isa::Program;
 use lvp_json::{Json, ToJson};
@@ -193,6 +201,122 @@ impl ProgramAnalysis {
     }
 }
 
+/// The path-sensitive memory-dependence analysis: path contexts per load,
+/// the store→load conflict graph, static predictability bounds, and the
+/// path-hash collision audit. Built on top of a finished
+/// [`ProgramAnalysis`].
+#[derive(Debug)]
+pub struct DepAnalysis {
+    /// One path summary per load, in `ProgramAnalysis::loads` order.
+    pub summaries: Vec<PathSummary>,
+    /// The store→load conflict graph.
+    pub graph: ConflictGraph,
+    /// Static bounds, one per load, same order as `summaries`.
+    pub bounds: Vec<LoadBounds>,
+    /// Warn-level path-hash collisions (R8 audit).
+    pub collisions: Vec<HashCollision>,
+}
+
+impl DepAnalysis {
+    /// Runs the dependence pass with default depth/bound/hash parameters
+    /// (matched to the paper's DLVP configuration).
+    pub fn analyze(program: &Program, analysis: &ProgramAnalysis) -> DepAnalysis {
+        DepAnalysis::analyze_with(
+            program,
+            analysis,
+            PathConfig::default(),
+            &BoundsConfig::default(),
+            &HashParams::default(),
+        )
+    }
+
+    /// Runs the dependence pass with explicit parameters.
+    pub fn analyze_with(
+        program: &Program,
+        analysis: &ProgramAnalysis,
+        path_cfg: PathConfig,
+        bounds_cfg: &BoundsConfig,
+        hash: &HashParams,
+    ) -> DepAnalysis {
+        let cfg = Cfg::build(program);
+        let en = paths::PathEnumerator::new(program, &cfg, analysis.dataflow(), path_cfg);
+        let summaries: Vec<PathSummary> = analysis
+            .loads
+            .iter()
+            .map(|l| en.summarize(l.index))
+            .collect();
+        let graph = conflict::build(analysis, &summaries);
+        let bounds = bounds::compute(program, analysis, &summaries, &graph, bounds_cfg);
+        let collisions = bounds::hash_collisions(&summaries, hash);
+        DepAnalysis {
+            summaries,
+            graph,
+            bounds,
+            collisions,
+        }
+    }
+
+    /// Deterministic JSON for `results/analysis/depgraph.json`: per-load
+    /// path/bound facts and the full edge list, in stable order.
+    pub fn to_json(&self) -> Json {
+        let loads: Vec<Json> = self
+            .summaries
+            .iter()
+            .zip(&self.bounds)
+            .map(|(s, b)| {
+                Json::obj([
+                    ("pc", s.pc.to_json()),
+                    ("contexts", (s.contexts.len() as u64).to_json()),
+                    ("complete", s.complete.to_json()),
+                    ("all_const", s.all_const().to_json()),
+                    ("coverage_bound", b.coverage_bound.to_json()),
+                    ("must_conflict", b.must_conflict.to_json()),
+                ])
+            })
+            .collect();
+        let edges: Vec<Json> = self
+            .graph
+            .edges
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("load_pc", e.load_pc.to_json()),
+                    ("store_pc", e.store_pc.to_json()),
+                    ("kind", e.kind.name().to_json()),
+                    (
+                        "contexts",
+                        Json::Array(e.contexts.iter().map(|&i| (i as u64).to_json()).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let collisions: Vec<Json> = self
+            .collisions
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("pc", c.pc.to_json()),
+                    ("addr_a", c.addr_a.to_json()),
+                    ("addr_b", c.addr_b.to_json()),
+                    ("index", c.index.to_json()),
+                    ("tag", c.tag.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "must_edges",
+                (self.graph.must_edges().count() as u64).to_json(),
+            ),
+            ("may_edges", (self.graph.edges.len() as u64).to_json()),
+            ("hash_collisions", (self.collisions.len() as u64).to_json()),
+            ("loads", Json::Array(loads)),
+            ("edges", Json::Array(edges)),
+            ("collisions", Json::Array(collisions)),
+        ])
+    }
+}
+
 fn region_to_json(r: Region) -> Json {
     match r {
         Region::Empty => Json::Str("empty".into()),
@@ -280,6 +404,23 @@ mod tests {
         assert_eq!(load.class, LoadClass::Constant { addr: 0x8000 });
         assert!(load.conflict_free(), "store region should be bounded");
         assert_eq!(pa.class_counts()[0], 1);
+    }
+
+    #[test]
+    fn dep_analysis_json_is_deterministic_and_parses() {
+        let p = sample();
+        let pa = ProgramAnalysis::analyze(&p);
+        let dep = DepAnalysis::analyze(&p, &pa);
+        assert_eq!(dep.summaries.len(), pa.loads.len());
+        assert_eq!(dep.bounds.len(), pa.loads.len());
+        let a = dep.to_json().pretty();
+        let b = DepAnalysis::analyze(&p, &ProgramAnalysis::analyze(&p))
+            .to_json()
+            .pretty();
+        assert_eq!(a, b);
+        let v = lvp_json::Json::parse(&a).expect("depgraph parses");
+        assert!(v.get("must_edges").is_some());
+        assert!(v.get("edges").is_some());
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! Path-sensitive refinement: acyclic path-segment enumeration per load.
+//!
+//! The DLVP predictor distinguishes dynamic instances of one static load by
+//! the *path* that reached it (the folded load-path history, PAPER.md
+//! §3.1). This module gives the static layer the same vocabulary: for every
+//! load it enumerates the acyclic basic-block segments that can immediately
+//! precede an execution of the load, to a configurable depth matched to the
+//! predictor's history, and replays the abstract transfer function along
+//! each segment to obtain a *per-path* effective address.
+//!
+//! Soundness: a segment's replay is seeded with the dataflow fixpoint
+//! in-state at the segment's first instruction, which over-approximates
+//! every dynamic machine state at that point. Enumeration explores *all*
+//! predecessors at each backward step and only stops extending at the
+//! depth/size caps, at a block revisit (cycle), or at a block with no
+//! predecessors — and a stopped walk is still emitted as a context. Every
+//! dynamic execution of the load therefore matches at least one emitted
+//! context whose address over-approximates the dynamic effective address.
+//! When that guarantee cannot be kept (unresolved indirect control flow,
+//! enumeration blow-up), the summary degrades to a single join-state
+//! context and is marked incomplete.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{AbsVal, Dataflow};
+use lvp_isa::{Instruction, Program};
+
+/// Enumeration depth and blow-up caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathConfig {
+    /// Stop extending a segment once it holds this many loads *before* the
+    /// target — the static analogue of the predictor's load-path-history
+    /// depth.
+    pub history_loads: usize,
+    /// Hard cap on basic blocks per segment.
+    pub max_blocks: usize,
+    /// Cap on enumerated segments per load; beyond it the summary degrades.
+    pub max_paths: usize,
+}
+
+impl PathConfig {
+    /// Depth matched to a DLVP path history of `bits` shifted-in loads,
+    /// capped for tractability (each backward step can fan out).
+    pub fn for_history_bits(bits: u32) -> PathConfig {
+        PathConfig {
+            history_loads: (bits as usize).min(8),
+            max_blocks: 8,
+            max_paths: 64,
+        }
+    }
+}
+
+impl Default for PathConfig {
+    fn default() -> PathConfig {
+        // The paper's DLVP configuration uses 16 history bits (Table 4).
+        PathConfig::for_history_bits(16)
+    }
+}
+
+/// One acyclic segment reaching a load, with its refined address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathContext {
+    /// Basic-block ids in execution order; the last block contains the
+    /// target load.
+    pub blocks: Vec<usize>,
+    /// PCs of loads executed along the segment strictly before the target,
+    /// in execution order (feeds the path-hash collision audit).
+    pub load_pcs: Vec<u64>,
+    /// The target load's effective address when reached via this segment.
+    pub addr: AbsVal,
+}
+
+/// All enumerated contexts for one load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSummary {
+    /// Instruction index of the load in the program text.
+    pub index: usize,
+    /// Program counter of the load.
+    pub pc: u64,
+    /// Contexts in deterministic (block-sequence) order.
+    pub contexts: Vec<PathContext>,
+    /// Whether the coverage guarantee holds (no indirect-control-flow or
+    /// blow-up degradation). Only complete summaries support must-conflict
+    /// reasoning.
+    pub complete: bool,
+}
+
+impl PathSummary {
+    /// Whether every context resolves the address to a constant.
+    pub fn all_const(&self) -> bool {
+        self.contexts.iter().all(|c| c.addr.as_const().is_some())
+    }
+}
+
+/// Shared state for enumerating every load of one program.
+pub struct PathEnumerator<'a> {
+    insts: Vec<Instruction>,
+    base: u64,
+    cfg: &'a Cfg,
+    df: &'a Dataflow,
+    /// Predecessor block ids, ascending, per block.
+    preds: Vec<Vec<usize>>,
+    /// Indirect exits leave edges out of the [`Cfg`], so predecessor sets
+    /// are not trustworthy anywhere in the program.
+    degraded: bool,
+    config: PathConfig,
+}
+
+impl<'a> PathEnumerator<'a> {
+    /// Prepares enumeration over `program`.
+    pub fn new(
+        program: &Program,
+        cfg: &'a Cfg,
+        df: &'a Dataflow,
+        config: PathConfig,
+    ) -> PathEnumerator<'a> {
+        let mut preds = vec![Vec::new(); cfg.blocks().len()];
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        let degraded = df.uses_indirect_pool() || cfg.blocks().iter().any(|b| b.indirect_exit);
+        PathEnumerator {
+            insts: program.iter().map(|(_, i)| i).collect(),
+            base: program.base(),
+            cfg,
+            df,
+            preds,
+            degraded,
+            config,
+        }
+    }
+
+    fn pc_of(&self, idx: usize) -> u64 {
+        self.base + idx as u64 * lvp_isa::INST_BYTES
+    }
+
+    /// Enumerates the path contexts of the memory instruction at `idx`.
+    pub fn summarize(&self, idx: usize) -> PathSummary {
+        let pc = self.pc_of(idx);
+        if self.degraded || self.df.state_before(idx).is_none() {
+            return self.degenerate(idx, pc);
+        }
+        let target_block = self.cfg.block_of(idx);
+        // Backward DFS: `stack` holds segments as block lists from the
+        // target backward (head = earliest block found so far).
+        let mut segments: Vec<Vec<usize>> = Vec::new();
+        let mut stack: Vec<Vec<usize>> = vec![vec![target_block]];
+        while let Some(seg) = stack.pop() {
+            if segments.len() > self.config.max_paths {
+                return self.degenerate(idx, pc);
+            }
+            let head = *seg.last().expect("segments are never empty");
+            let done = seg.len() >= self.config.max_blocks
+                || self.loads_before(&seg, idx) >= self.config.history_loads;
+            if done {
+                segments.push(seg);
+                continue;
+            }
+            let preds = &self.preds[head];
+            if preds.is_empty() {
+                segments.push(seg);
+                continue;
+            }
+            let mut truncated = false;
+            for &p in preds {
+                if seg.contains(&p) {
+                    // A cycle: the walk through this edge is covered by the
+                    // segment as-is (seeded by the fixpoint join).
+                    truncated = true;
+                } else {
+                    let mut ext = seg.clone();
+                    ext.push(p);
+                    stack.push(ext);
+                }
+            }
+            if truncated {
+                segments.push(seg);
+            }
+        }
+        if segments.len() > self.config.max_paths {
+            return self.degenerate(idx, pc);
+        }
+        let mut contexts: Vec<PathContext> = segments
+            .into_iter()
+            .filter_map(|mut seg| {
+                seg.reverse(); // execution order
+                self.replay(&seg, idx)
+            })
+            .collect();
+        if contexts.is_empty() {
+            // Every enumerated entry point was unreachable; fall back.
+            return self.degenerate(idx, pc);
+        }
+        contexts.sort_by(|a, b| a.blocks.cmp(&b.blocks));
+        PathSummary {
+            index: idx,
+            pc,
+            contexts,
+            complete: true,
+        }
+    }
+
+    /// Loads strictly before `idx` along `seg` (blocks target-backward).
+    fn loads_before(&self, seg: &[usize], idx: usize) -> usize {
+        let mut n = 0;
+        for (pos, &b) in seg.iter().enumerate() {
+            let blk = &self.cfg.blocks()[b];
+            let end = if pos == 0 { idx } else { blk.end };
+            n += (blk.start..end)
+                .filter(|&i| self.insts[i].is_load())
+                .count();
+        }
+        n
+    }
+
+    /// Replays the transfer function along `seg` (execution order) up to
+    /// the target; `None` when the segment's entry is unreachable.
+    fn replay(&self, seg: &[usize], idx: usize) -> Option<PathContext> {
+        let first = self.cfg.blocks()[seg[0]].start;
+        let mut state = *self.df.state_before(first)?;
+        let mut load_pcs = Vec::new();
+        let last = seg.len() - 1;
+        for (pos, &b) in seg.iter().enumerate() {
+            let blk = &self.cfg.blocks()[b];
+            let end = if pos == last { idx } else { blk.end };
+            for i in blk.start..end {
+                if self.insts[i].is_load() {
+                    load_pcs.push(self.pc_of(i));
+                }
+                self.df.transfer(&mut state, i);
+            }
+        }
+        Some(PathContext {
+            blocks: seg.to_vec(),
+            load_pcs,
+            addr: self.df.addr_value_in(idx, &state),
+        })
+    }
+
+    /// The degraded single-context summary: the fixpoint join, no path
+    /// discrimination, marked incomplete.
+    fn degenerate(&self, idx: usize, pc: u64) -> PathSummary {
+        PathSummary {
+            index: idx,
+            pc,
+            contexts: vec![PathContext {
+                blocks: vec![self.cfg.block_of(idx)],
+                load_pcs: Vec::new(),
+                addr: self.df.addr_value(idx),
+            }],
+            complete: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static mirror of the DLVP path hash (for the collision audit)
+// ---------------------------------------------------------------------------
+
+/// The hash geometry of the dynamic predictor's APT indexing, mirrored
+/// statically. Defaults match the paper's DLVP configuration (Table 4) and
+/// `PapConfig::default()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashParams {
+    /// Load-path history width in bits.
+    pub history_bits: u32,
+    /// APT entries (the index is `log2(entries)` bits wide).
+    pub entries: u64,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+}
+
+impl Default for HashParams {
+    fn default() -> HashParams {
+        HashParams {
+            history_bits: 16,
+            entries: 1024,
+            tag_bits: 14,
+        }
+    }
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// XOR-fold of `bits` (width `width`) down to `out` bits — the fold the
+/// dynamic `LoadPathHistory::folded` applies.
+fn fold(bits: u64, width: u32, out: u32) -> u64 {
+    if out >= width {
+        return bits;
+    }
+    let m = mask(out);
+    let mut acc = 0u64;
+    let mut rest = bits;
+    let mut remaining = width;
+    while remaining > 0 {
+        acc ^= rest & m;
+        rest >>= out;
+        remaining = remaining.saturating_sub(out);
+    }
+    acc & m
+}
+
+/// The APT `(index, tag)` a load at `pc` maps to after the loads in
+/// `load_pcs` (execution order) shifted into an initially-zero history.
+///
+/// Two approximations, both documented for the warn-level audit this
+/// feeds: history older than the enumerated segment is assumed zero, and
+/// the architectural `pc` stands in for the simulator's fetch-group proxy
+/// PC.
+pub fn index_tag(load_pcs: &[u64], pc: u64, p: &HashParams) -> (u64, u64) {
+    let m = mask(p.history_bits);
+    let mut h = 0u64;
+    for &lpc in load_pcs {
+        h = ((h << 1) | ((lpc >> 2) & 1)) & m;
+    }
+    let idx_bits = p.entries.trailing_zeros().max(1);
+    let index = ((pc >> 2) ^ fold(h, p.history_bits, idx_bits)) & (p.entries - 1);
+    let tag = ((pc >> 2) ^ fold(h, p.history_bits, p.tag_bits)) & mask(p.tag_bits);
+    (index, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::LoadClass;
+    use crate::ProgramAnalysis;
+    use lvp_isa::{Asm, MemSize, Reg};
+
+    /// A diamond that selects one of two constant load addresses.
+    fn diamond() -> lvp_isa::Program {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        a.mov(Reg::X2, 0);
+        let top = a.here();
+        a.andi(Reg::X3, Reg::X2, 1);
+        let else_ = a.new_label();
+        let join = a.new_label();
+        a.cbz(Reg::X3, else_);
+        a.mov(Reg::X1, 0x9000);
+        a.b(join);
+        a.place(else_);
+        a.mov(Reg::X1, 0x9100);
+        a.place(join);
+        a.ldr(Reg::X4, Reg::X1, 0, MemSize::X); // the path-dependent load
+        a.addi(Reg::X2, Reg::X2, 1);
+        a.cbnz(Reg::X2, top);
+        a.halt();
+        a.build()
+    }
+
+    fn summary_for(
+        program: &lvp_isa::Program,
+        pick: impl Fn(&crate::LoadInfo) -> bool,
+    ) -> PathSummary {
+        let pa = ProgramAnalysis::analyze(program);
+        let cfg = Cfg::build(program);
+        let en = PathEnumerator::new(program, &cfg, pa.dataflow(), PathConfig::default());
+        let load = pa.loads.iter().find(|l| pick(l)).expect("load present");
+        en.summarize(load.index)
+    }
+
+    #[test]
+    fn diamond_contexts_refine_to_distinct_constants() {
+        let program = diamond();
+        let s = summary_for(&program, |l| l.class == LoadClass::PathDependent);
+        assert!(s.complete);
+        let consts: std::collections::BTreeSet<u64> = s
+            .contexts
+            .iter()
+            .filter_map(|c| c.addr.as_const())
+            .collect();
+        assert!(
+            consts.contains(&0x9000) && consts.contains(&0x9100),
+            "both diamond arms must appear as constant contexts, got {consts:?}"
+        );
+        assert!(s.all_const());
+    }
+
+    #[test]
+    fn straight_loop_constant_load_has_constant_contexts() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        let top = a.here();
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+        a.addi(Reg::X2, Reg::X2, 1);
+        a.cbnz(Reg::X1, top);
+        a.halt();
+        let program = a.build();
+        let s = summary_for(&program, |_| true);
+        assert!(s.complete);
+        assert!(!s.contexts.is_empty());
+        for c in &s.contexts {
+            assert_eq!(c.addr.as_const(), Some(0x8000));
+        }
+    }
+
+    #[test]
+    fn indirect_control_flow_degrades_to_incomplete() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X0, 0x8000);
+        a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+        a.br(Reg::X1); // unresolved indirect
+        a.halt();
+        let program = a.build();
+        let s = summary_for(&program, |_| true);
+        assert!(!s.complete);
+        assert_eq!(s.contexts.len(), 1);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let program = diamond();
+        let a = summary_for(&program, |l| l.class == LoadClass::PathDependent);
+        let b = summary_for(&program, |l| l.class == LoadClass::PathDependent);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_mirror_matches_fold_semantics() {
+        let p = HashParams::default();
+        // No history: index/tag are pure functions of the PC.
+        let (i0, t0) = index_tag(&[], 0x1004, &p);
+        assert_eq!(i0, (0x1004 >> 2) & (p.entries - 1));
+        assert_eq!(t0, (0x1004 >> 2) & ((1 << p.tag_bits) - 1));
+        // History sensitivity: paths differing in one load's bit-2 map
+        // differently.
+        let a = index_tag(&[0x1004, 0x1008], 0x2000, &p);
+        let b = index_tag(&[0x1004, 0x100c], 0x2000, &p);
+        assert_ne!(a, b);
+        // Determinism.
+        assert_eq!(
+            index_tag(&[0x1004], 0x2000, &p),
+            index_tag(&[0x1004], 0x2000, &p)
+        );
+    }
+}

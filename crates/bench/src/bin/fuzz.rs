@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzz [--profile P] [--seeds N] [--seed-base B] [--jobs J] [--out PATH]
-//!      [--minimize] [--inject-train-bug] [--smoke] [--list]
+//!      [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke] [--list]
 //! ```
 //!
 //! Each seed is synthesized, executed, soundness-checked against the static
@@ -16,6 +16,10 @@
 //!   (the PR 2 seeded predictor bug) and *inverts* the exit semantics: the
 //!   campaign must catch the bug on at least one seed, and with
 //!   `--minimize` shrink it to a small reproducer.
+//! * `--inject-lscd-bug` seeds `DlvpConfig::inject_lscd_bug` (the LSCD
+//!   over-captures cleanly-validated loads, so statically conflict-free
+//!   PCs get suppressed) with the same inverted exit semantics — the
+//!   dependence rule R7 must catch it on at least one seed.
 //! * `--minimize` greedily shrinks each failing seed's program and appends
 //!   the reproducers to the report.
 
@@ -31,7 +35,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: fuzz [--profile P] [--seeds N] [--seed-base B] [--jobs J] [--out PATH]");
-    eprintln!("            [--minimize] [--inject-train-bug] [--smoke] [--list]");
+    eprintln!(
+        "            [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke] [--list]"
+    );
     eprintln!("profiles: {}", SynthProfile::preset_names().join(", "));
     std::process::exit(2);
 }
@@ -112,7 +118,9 @@ fn main() -> ExitCode {
         }
     });
     let do_minimize = flags.take_bool("--minimize");
-    let inject = flags.take_bool("--inject-train-bug");
+    let inject_train = flags.take_bool("--inject-train-bug");
+    let inject_lscd = flags.take_bool("--inject-lscd-bug");
+    let inject = inject_train || inject_lscd;
     flags.finish();
 
     let profile = SynthProfile::preset(&profile_name)
@@ -125,8 +133,11 @@ fn main() -> ExitCode {
     }
 
     let mut cfg = OracleConfig::default();
-    if inject {
+    if inject_train {
         cfg.sim.pap.train_reset_on_mismatch = false;
+    }
+    if inject_lscd {
+        cfg.sim.dlvp.inject_lscd_bug = true;
     }
 
     let seed_list: Vec<u64> = (seed_base..seed_base + seeds).collect();
@@ -196,13 +207,20 @@ fn main() -> ExitCode {
     }
 
     if inject {
-        // The campaign *must* catch the seeded predictor bug.
+        // The campaign *must* catch the seeded bug(s).
+        let what = if inject_train && inject_lscd {
+            "training + LSCD bugs"
+        } else if inject_lscd {
+            "LSCD bug"
+        } else {
+            "training bug"
+        };
         if failing.is_empty() {
-            eprintln!("fuzz: injected training bug was NOT caught over {seeds} seeds");
+            eprintln!("fuzz: injected {what} was NOT caught over {seeds} seeds");
             return ExitCode::FAILURE;
         }
         println!(
-            "fuzz: injected training bug caught on {} of {} seeds",
+            "fuzz: injected {what} caught on {} of {} seeds",
             failing.len(),
             outcomes.len()
         );

@@ -74,6 +74,9 @@ pub struct PcOutcome {
     /// Address-correct predictions squashed because the probed value was
     /// stale (conflicting in-flight store).
     pub stale_mispredicts: u64,
+    /// Fetches of this PC the LSCD filter suppressed. The gate's rule R7
+    /// demands this stays 0 for statically conflict-free loads.
+    pub lscd_suppressed: u64,
 }
 
 /// Decoupled Load Value Prediction over an address predictor `A`.
@@ -165,6 +168,7 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
         }
         if self.cfg.use_lscd && self.lscd.filters(slot.pc) {
             self.counters.lscd_suppressed += 1;
+            self.per_pc.entry(slot.pc).or_default().lscd_suppressed += 1;
             if ctx.sink.enabled() {
                 ctx.sink.emit(ObsEvent::PredictFiltered {
                     seq: slot.seq,
@@ -363,6 +367,10 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
             if self.cfg.use_lscd {
                 self.lscd.insert(info.pc);
             }
+        } else if self.cfg.inject_lscd_bug && self.cfg.use_lscd && addr_correct {
+            // Injected bug: capture cleanly-validated loads too, so even
+            // statically conflict-free PCs end up suppressed (R7 bait).
+            self.lscd.insert(info.pc);
         } else if !addr_correct {
             self.counters.addr_mispredicts += 1;
             self.per_pc.entry(info.pc).or_default().addr_mispredicts += 1;

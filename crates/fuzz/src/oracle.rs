@@ -20,19 +20,29 @@
 //!    mispredictions, per-PC injections summing to the run total);
 //! 6. **squash-alias** — conflict squashes and conflict exposure only
 //!    occur on loads the alias pass could not prove conflict-free;
-//! 7. **xval** — the PR 2 cross-validation gate (R1-R4) over a DLVP run,
-//!    which is the rule set that catches the injected training bug;
+//! 7. **xval** — the cross-validation gate over a DLVP run: the PR 2 rules
+//!    (R1-R4) plus the dependence rules R5-R7 driven by the path-sensitive
+//!    [`lvp_analysis::DepAnalysis`] (must-conflict exposure, coverage
+//!    bounds, LSCD-suppression subset) — between them these catch both the
+//!    injected training bug and the injected LSCD bug;
 //! 8. **const-value-accuracy** — a conflict-free constant-address load
 //!    reads a cell only the data-segment initializer ever wrote, so once
 //!    the DLVP predictor commits to it, its *value* accuracy must be high.
+//!    The check is pruned by the static verdicts: loads whose coverage
+//!    bound caps injection are skipped, since they cannot accumulate a
+//!    meaningful injection sample.
 
 use crate::synth::SynthProgram;
 use dlvp::{Dlvp, Pap, SchemeKind};
-use lvp_analysis::{cross_validate, DynLoadStats, ProgramAnalysis, XvalConfig, XvalLoad};
+use lvp_analysis::{
+    cross_validate, cross_validate_dep, DepAnalysis, DepInputs, DynLoadStats, ProgramAnalysis,
+    XvalConfig, XvalLoad,
+};
 use lvp_emu::{Emulator, RunOutcome, StopReason};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{LifecycleReport, RingSink, RunMeta};
 use lvp_uarch::{Core, SimConfig, SimStats};
+use std::collections::BTreeMap;
 
 /// Configuration for one oracle evaluation.
 #[derive(Debug, Clone)]
@@ -312,7 +322,9 @@ pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Fin
         }
     }
 
-    // 7.+8. DLVP deep check: engine counters, xval gate, value accuracy.
+    // 7.+8. DLVP deep check: engine counters, xval gate (R1-R7), value
+    // accuracy.
+    let dep = DepAnalysis::analyze(&sp.program, &analysis);
     let core = Core::new(
         cfg.sim.core.clone(),
         Dlvp::new(cfg.sim.dlvp, Pap::new(cfg.sim.pap)),
@@ -340,6 +352,7 @@ pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Fin
                     predictions: eng.predictions,
                     addr_mispredicts: eng.addr_mispredicts,
                     stale_mispredicts: eng.stale_mispredicts,
+                    lscd_suppressed: eng.lscd_suppressed,
                 },
             }
         })
@@ -366,7 +379,35 @@ pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Fin
             v.detail,
         ));
     }
+    // Dependence rules R5-R7: must-edge exposure, coverage bounds, and the
+    // LSCD-suppression subset check.
+    let exercised = must_exercised(trace, &dep);
+    for v in cross_validate_dep(
+        &xval_loads,
+        &DepInputs {
+            graph: &dep.graph,
+            bounds: &dep.bounds,
+            must_exercised: &exercised,
+        },
+        &cfg.xval,
+    ) {
+        out.push(Finding::new(
+            SchemeKind::Dlvp.label(),
+            &format!("xval:{}", v.rule),
+            v.detail,
+        ));
+    }
     for l in &xval_loads {
+        let capped = dep
+            .bounds
+            .iter()
+            .any(|b| b.pc == l.pc && b.coverage_bound < 1.0);
+        if capped {
+            // Static-verdict pruning: the bounds pass caps this load's
+            // injection rate, so a value-accuracy sample over `injected`
+            // would be noise.
+            continue;
+        }
         let constant = matches!(l.class, lvp_analysis::LoadClass::Constant { .. });
         if constant && l.conflict_free && l.stats.injected >= cfg.min_injected_const {
             let acc = l.stats.value_correct as f64 / l.stats.injected as f64;
@@ -384,6 +425,34 @@ pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Fin
         }
     }
     out
+}
+
+/// Counts, per must-conflict edge, the load executions after the store's
+/// first execution (R5's exercise metric, mirroring the bench pipeline).
+fn must_exercised(trace: &lvp_trace::Trace, dep: &DepAnalysis) -> BTreeMap<(u64, u64), u64> {
+    let mut store_first: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut load_indices: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, r) in trace.records().iter().enumerate() {
+        if r.inst.is_store() {
+            store_first.entry(r.pc).or_insert(i);
+        } else if r.inst.is_load() {
+            load_indices.entry(r.pc).or_default().push(i);
+        }
+    }
+    dep.graph
+        .must_edges()
+        .map(|e| {
+            let n = store_first
+                .get(&e.store_pc)
+                .map(|&first| {
+                    load_indices
+                        .get(&e.load_pc)
+                        .map_or(0, |v| v.iter().filter(|&&i| i > first).count() as u64)
+                })
+                .unwrap_or(0);
+            ((e.load_pc, e.store_pc), n)
+        })
+        .collect()
 }
 
 fn sanity(out: &mut Vec<Finding>, scheme: &str, stats: &SimStats) {

@@ -138,14 +138,35 @@ impl SynthProfile {
                 region_words: 16,
                 iterations: 350,
             },
+            // Analyzer-guided: weighted toward the sites the dependence
+            // pass finds hardest (unanalyzable pointer loads) and densest
+            // in may/must-conflicting stores, to exercise the R5-R7 rules
+            // and the static-verdict pruning of the oracle.
+            "guided" => SynthProfile {
+                name: "guided".into(),
+                loads: 8,
+                mix: [2, 1, 1, 4],
+                mix_tolerance: 0.35,
+                store_conflict_density: 0.9,
+                branch_path_depth: 2,
+                region_words: 16,
+                iterations: 400,
+            },
             _ => return None,
         };
         Some(p)
     }
 
     /// Names accepted by [`SynthProfile::preset`], in catalogue order.
-    pub fn preset_names() -> [&'static str; 5] {
-        ["smoke", "store_conflict", "path_heavy", "strided", "mixed"]
+    pub fn preset_names() -> [&'static str; 6] {
+        [
+            "smoke",
+            "store_conflict",
+            "path_heavy",
+            "strided",
+            "mixed",
+            "guided",
+        ]
     }
 
     /// Declared class fractions (normalized mix weights), in class order.

@@ -208,6 +208,10 @@ pub struct DlvpConfig {
     pub paq_entries: usize,
     /// PAQ probe deadline in cycles (the paper's N = 4).
     pub paq_window: u64,
+    /// `true` *injects a bug* for cross-validation testing: the LSCD also
+    /// captures loads whose prediction validated cleanly, so statically
+    /// conflict-free loads get suppressed (gate rule R7 must catch this).
+    pub inject_lscd_bug: bool,
 }
 
 impl Default for DlvpConfig {
@@ -219,6 +223,7 @@ impl Default for DlvpConfig {
             max_per_group: 2,
             paq_entries: 32,
             paq_window: 4,
+            inject_lscd_bug: false,
         }
     }
 }
@@ -592,6 +597,7 @@ impl ToJson for DlvpConfig {
             ("max_per_group", self.max_per_group.to_json()),
             ("paq_entries", self.paq_entries.to_json()),
             ("paq_window", self.paq_window.to_json()),
+            ("inject_lscd_bug", self.inject_lscd_bug.to_json()),
         ])
     }
 }
@@ -750,6 +756,7 @@ fn parse_dlvp(j: &Json) -> Result<DlvpConfig, ConfigError> {
         max_per_group: get_u32(j, "max_per_group")?,
         paq_entries: get_usize(j, "paq_entries")?,
         paq_window: get_u64(j, "paq_window")?,
+        inject_lscd_bug: get_bool(j, "inject_lscd_bug")?,
     })
 }
 

@@ -3,9 +3,11 @@
 //! gate — including the mandated demonstration that the gate FAILS on an
 //! injected predictor bug.
 
-use dlvp::PapConfig;
+use dlvp::{DlvpConfig, PapConfig};
 use lvp_analysis::{LoadClass, ProgramAnalysis, XvalConfig};
-use lvp_bench::analysis::{analyze_workload, analyze_workloads, report_json, total_violations};
+use lvp_bench::analysis::{
+    analyze_workload, analyze_workloads, depgraph_json, report_json, total_violations,
+};
 use std::collections::HashMap;
 
 const BUDGET: u64 = 30_000;
@@ -69,7 +71,13 @@ fn gate_passes_on_the_correct_simulator() {
     let ws = ["aifirf", "nat", "gzip", "libquantum", "mcf"];
     for name in ws {
         let w = lvp_workloads::by_name(name).expect("workload");
-        let r = analyze_workload(&w, BUDGET, PapConfig::default(), &XvalConfig::default());
+        let r = analyze_workload(
+            &w,
+            BUDGET,
+            PapConfig::default(),
+            DlvpConfig::default(),
+            &XvalConfig::default(),
+        );
         assert!(
             r.violations.is_empty(),
             "{name}: gate must pass on the correct simulator: {:?}",
@@ -98,7 +106,13 @@ fn gate_fails_on_injected_training_bug() {
     let mut caught = 0;
     for name in ["nat", "gzip"] {
         let w = lvp_workloads::by_name(name).expect("workload");
-        let r = analyze_workload(&w, 60_000, buggy, &XvalConfig::default());
+        let r = analyze_workload(
+            &w,
+            60_000,
+            buggy,
+            DlvpConfig::default(),
+            &XvalConfig::default(),
+        );
         if !r.violations.is_empty() {
             caught += 1;
             assert!(
@@ -114,6 +128,35 @@ fn gate_fails_on_injected_training_bug() {
     );
 }
 
+/// The second mandated bug demonstration: an LSCD that also captures
+/// cleanly-validated loads suppresses statically conflict-free PCs, which
+/// the dependence rule R7 must catch.
+#[test]
+fn gate_fails_on_injected_lscd_bug() {
+    let buggy = DlvpConfig {
+        inject_lscd_bug: true,
+        ..DlvpConfig::default()
+    };
+    let mut caught = 0;
+    for name in ["aifirf", "nat", "gzip"] {
+        let w = lvp_workloads::by_name(name).expect("workload");
+        let r = analyze_workload(
+            &w,
+            60_000,
+            PapConfig::default(),
+            buggy,
+            &XvalConfig::default(),
+        );
+        if r.violations.iter().any(|v| v.rule == "lscd-subset") {
+            caught += 1;
+        }
+    }
+    assert!(
+        caught > 0,
+        "the injected LSCD bug must trip rule R7 on at least one workload"
+    );
+}
+
 /// The full multi-workload report is byte-deterministic.
 #[test]
 fn report_is_byte_deterministic() {
@@ -122,17 +165,29 @@ fn report_is_byte_deterministic() {
         .map(|n| lvp_workloads::by_name(n).expect("workload"))
         .collect();
     let cfg = XvalConfig::default();
-    let a = report_json(
-        &analyze_workloads(&ws, BUDGET, PapConfig::default(), &cfg),
+    let a = analyze_workloads(
+        &ws,
         BUDGET,
-    )
-    .pretty();
-    let b = report_json(
-        &analyze_workloads(&ws, BUDGET, PapConfig::default(), &cfg),
+        PapConfig::default(),
+        DlvpConfig::default(),
+        &cfg,
+    );
+    let b = analyze_workloads(
+        &ws,
         BUDGET,
-    )
-    .pretty();
-    assert_eq!(a, b, "analyze report must be byte-deterministic");
-    let batch = analyze_workloads(&ws, BUDGET, PapConfig::default(), &cfg);
-    assert_eq!(total_violations(&batch), 0);
+        PapConfig::default(),
+        DlvpConfig::default(),
+        &cfg,
+    );
+    assert_eq!(
+        report_json(&a, BUDGET).pretty(),
+        report_json(&b, BUDGET).pretty(),
+        "analyze report must be byte-deterministic"
+    );
+    assert_eq!(
+        depgraph_json(&a).pretty(),
+        depgraph_json(&b).pretty(),
+        "depgraph must be byte-deterministic"
+    );
+    assert_eq!(total_violations(&a), 0);
 }
