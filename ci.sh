@@ -24,25 +24,37 @@ cargo clippy -q -p dlvp -p lvp-uarch -p lvp-mem -p lvp-emu -p lvp-json \
   -p lvp-analysis -p lvp-obs -p lvp-isa -p lvp-trace -p lvp-branch \
   -p lvp-bench -p lvp-fuzz --lib -- -D warnings -D clippy::unwrap_used
 
+echo "== clippy (CLI binaries: no unwrap outside tests) =="
+cargo clippy -q -p lvp-bench --bins -- -D warnings -D clippy::unwrap_used
+
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
-echo "== runner smoke (2x2 matrix) =="
+echo "== runner smoke (2x2 matrix; telemetry must not perturb results) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 ./target/release/runner --workloads aifirf,perlbmk --schemes baseline,dlvp \
   --budget 10000 --jobs 1 --out "$tmp/a.json"
+# The second run records a full host-telemetry manifest and Chrome trace:
+# the results artifact must stay byte-identical, for any --jobs value.
 ./target/release/runner --workloads aifirf,perlbmk --schemes baseline,dlvp \
-  --budget 10000 --jobs 4 --out "$tmp/b.json"
+  --budget 10000 --jobs 4 --out "$tmp/b.json" \
+  --telemetry "$tmp/runner_manifest.json" --host-trace "$tmp/runner_host.json" --quiet
 cmp "$tmp/a.json" "$tmp/b.json"
-echo "runner output is schedule-invariant"
+echo "runner output is schedule- and telemetry-invariant"
+
+echo "== telemetry smoke (manifest round-trips its schema) =="
+./target/release/bench --validate-manifest "$tmp/runner_manifest.json"
 
 echo "== figs (every committed results/*.txt regenerates byte-identically) =="
-./target/release/figs --all --out-dir "$tmp/figs" > /dev/null
+# Telemetry on: the rendered artifacts must still match the committed files.
+./target/release/figs --all --out-dir "$tmp/figs" --quiet \
+  --telemetry "$tmp/figs_manifest.json" > /dev/null
 for f in "$tmp"/figs/*.txt; do
   cmp "$f" "results/$(basename "$f")"
 done
-echo "figs --all matches the committed artifacts byte-for-byte"
+./target/release/bench --validate-manifest "$tmp/figs_manifest.json"
+echo "figs --all matches the committed artifacts byte-for-byte (telemetry on)"
 
 echo "== obs smoke (trace artifacts are schedule-invariant) =="
 ./target/release/obs run --workload aifirf --scheme dlvp --budget 10000 \
@@ -60,9 +72,11 @@ echo "== fuzz smoke (campaign report matches the pinned corpus) =="
 # 25 smoke-profile seeds through the synthesizer + differential oracle;
 # the report is a pure function of (profile, seeds, oracle config), so it
 # must reproduce the committed corpus byte-for-byte.
-./target/release/fuzz --smoke --out "$tmp/fuzz_corpus.json"
+./target/release/fuzz --smoke --out "$tmp/fuzz_corpus.json" \
+  --telemetry "$tmp/fuzz_manifest.json" --quiet
 cmp "$tmp/fuzz_corpus.json" results/golden/fuzz_corpus.json
-echo "fuzz --smoke matches the pinned corpus byte-for-byte"
+./target/release/bench --validate-manifest "$tmp/fuzz_manifest.json"
+echo "fuzz --smoke matches the pinned corpus byte-for-byte (telemetry on)"
 
 echo "== fuzz guided (analyzer-guided profile through the R5-R7 oracle) =="
 # The analyzer-guided synthesis profile: dense must/may-conflict stores and
@@ -75,9 +89,27 @@ echo "== analyze cross-validation gate =="
 # The gate itself (exit 1 on any static-vs-dynamic contradiction) plus the
 # byte-determinism of the committed report and dependence-graph artifacts.
 ./target/release/analyze --budget 60000 --out "$tmp/analysis.json" \
-  --depgraph "$tmp/depgraph.json"
+  --depgraph "$tmp/depgraph.json" --telemetry "$tmp/analyze_manifest.json"
 cmp "$tmp/analysis.json" results/analysis/report.json
 cmp "$tmp/depgraph.json" results/analysis/depgraph.json
-echo "analyze report and depgraph match the committed artifacts byte-for-byte"
+./target/release/bench --validate-manifest "$tmp/analyze_manifest.json"
+echo "analyze report and depgraph match the committed artifacts byte-for-byte (telemetry on)"
+
+echo "== sim-throughput regression gate =="
+# Median-of-5 (warm-up discarded) per matrix cell against the committed
+# BENCH_simcore.json baseline. The tolerance band is rel=1.0 (fail only
+# past 2x baseline): wide enough for host-to-host wall-clock variance,
+# tight enough to catch integer-factor hot-loop regressions. Deterministic
+# counters are compared exactly — drift there fails at any speed. See
+# DESIGN.md §12 for the baseline-refresh policy.
+./target/release/bench --check
+# Prove the gate bites: a deliberate busy-loop in the core step (results
+# stay bit-identical) must blow through the band and fail the check.
+if ./target/release/bench --check --inject-slowdown \
+     --warmup-ms 1 --min-sample-ms 1 > /dev/null 2>&1; then
+  echo "bench --inject-slowdown was NOT caught by the gate" >&2
+  exit 1
+fi
+echo "throughput gate passes at HEAD and catches the injected slowdown"
 
 echo "CI OK"

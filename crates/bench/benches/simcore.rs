@@ -1,58 +1,26 @@
-//! Simulation-rate trajectory benchmark: how many simulated cycles per
-//! wall-clock second the hot `Core::run` loop sustains, on two fixed
-//! workloads under the paper-default DLVP configuration.
+//! Baseline refresher for the sim-throughput regression gate: runs the full
+//! [`lvp_bench::perf`] benchmark matrix (simcore × schemes, analyze,
+//! fuzz-oracle) and rewrites `BENCH_simcore.json` at the repository root as
+//! a schema-v2 baseline document.
 //!
-//! Emits `BENCH_simcore.json` at the repository root so successive perf PRs
-//! have a comparable record. The simulation fields (`instructions`,
-//! `sim_cycles`) are bit-deterministic — any drift there is a behaviour
-//! change, not noise; the wall-clock fields (`median_ns_per_run`,
-//! `sim_cycles_per_sec`) are machine-dependent measurements.
+//! The deterministic fields (`instructions`, `sim_cycles`, counts) are
+//! bit-exact — drift there is a behaviour change, not noise; the wall-clock
+//! fields are machine-dependent medians-of-N after a discarded warm-up.
+//! `bench --check` compares against this file; regenerate it here (or with
+//! `bench --out BENCH_simcore.json`) on intentional perf changes.
 //!
 //! ```text
 //! cargo bench -p lvp-bench --bench simcore
 //! ```
 
-use lvp_bench::microbench::Bench;
-use lvp_bench::{run_scheme, SchemeKind};
-use lvp_json::{Json, ToJson};
-use lvp_uarch::SimConfig;
-use std::hint::black_box;
+use lvp_bench::perf::{bench_doc, run_benchmarks, BenchPolicy, DEFAULT_TOL_REL};
+use lvp_obs::NullPhases;
 use std::path::Path;
 
-const WORKLOADS: [&str; 2] = ["aifirf", "libquantum"];
-const BUDGET: u64 = 50_000;
-
 fn main() {
-    let cfg = SimConfig::default();
-    let mut rows = Vec::new();
-    for name in WORKLOADS {
-        let w = lvp_workloads::by_name(name).expect("fixed benchmark workload");
-        let trace = w.trace(BUDGET);
-        let outcome = run_scheme(&trace, SchemeKind::Dlvp, &cfg);
-        let median = Bench::new(format!("simcore_{name}"))
-            .elements(outcome.stats.cycles)
-            .run(|| black_box(run_scheme(&trace, SchemeKind::Dlvp, &cfg)));
-        let secs = median.as_secs_f64();
-        let rate = if secs > 0.0 {
-            outcome.stats.cycles as f64 / secs
-        } else {
-            0.0
-        };
-        rows.push(Json::obj([
-            ("workload", name.to_json()),
-            ("scheme", outcome.scheme.to_json()),
-            ("budget", BUDGET.to_json()),
-            ("instructions", outcome.stats.instructions.to_json()),
-            ("sim_cycles", outcome.stats.cycles.to_json()),
-            ("median_ns_per_run", (median.as_nanos() as u64).to_json()),
-            ("sim_cycles_per_sec", rate.to_json()),
-        ]));
-    }
-    let doc = Json::obj([
-        ("benchmark", "simcore".to_json()),
-        ("unit", "simulated cycles per wall-clock second".to_json()),
-        ("runs", Json::Array(rows)),
-    ]);
+    let policy = BenchPolicy::default();
+    let rows = run_benchmarks(&policy, 0, &NullPhases);
+    let doc = bench_doc(&policy, DEFAULT_TOL_REL, &rows);
 
     // crates/bench/../../ == the repository root.
     let out = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -43,6 +43,11 @@ pub struct WorkloadAnalysis {
     pub must_exercised: BTreeMap<(u64, u64), u64>,
     /// Cross-validation violations, R1–R4 then R5–R7 (empty = gate passed).
     pub violations: Vec<Violation>,
+    /// Cycles the validating DLVP simulation ran for (host-telemetry
+    /// accounting only — never serialized into the report).
+    pub sim_cycles: u64,
+    /// Instructions the validating simulation committed (telemetry only).
+    pub sim_instructions: u64,
 }
 
 /// Counts, for every must-conflict edge, how many times the load committed
@@ -138,6 +143,8 @@ pub fn analyze_workload(
         loads,
         must_exercised: exercised,
         violations,
+        sim_cycles: stats.cycles,
+        sim_instructions: stats.instructions,
     }
 }
 
@@ -149,10 +156,56 @@ pub fn analyze_workloads(
     dlvp: DlvpConfig,
     xval: &XvalConfig,
 ) -> Vec<WorkloadAnalysis> {
-    workloads
+    analyze_workloads_with(
+        workloads,
+        budget,
+        pap,
+        dlvp,
+        xval,
+        &lvp_obs::NullPhases,
+        &crate::telemetry::Progress::off(),
+    )
+}
+
+/// [`analyze_workloads`] with host telemetry: the batch runs under a lane-0
+/// `analyze` span with one `job:<workload>/analyze/dlvp` span per workload,
+/// charged with the validating simulation's cycles and instructions. The
+/// batch stays serial and in input order — the reports are byte-identical
+/// to [`analyze_workloads`]'s.
+pub fn analyze_workloads_with<P: lvp_obs::PhaseSink>(
+    workloads: &[Workload],
+    budget: u64,
+    pap: PapConfig,
+    dlvp: DlvpConfig,
+    xval: &XvalConfig,
+    phases: &P,
+    progress: &crate::telemetry::Progress,
+) -> Vec<WorkloadAnalysis> {
+    let mut span = phases.span(0, "analyze");
+    let results: Vec<WorkloadAnalysis> = workloads
         .iter()
-        .map(|w| analyze_workload(w, budget, pap, dlvp, xval))
-        .collect()
+        .map(|w| {
+            let mut job = if P::ENABLED {
+                Some(phases.span(0, &format!("job:{}/analyze/dlvp", w.name)))
+            } else {
+                None
+            };
+            let r = analyze_workload(w, budget, pap, dlvp, xval);
+            if let Some(j) = job.as_mut() {
+                j.charge(r.sim_cycles, r.sim_instructions, 1);
+                j.finish();
+            }
+            progress.tick(r.sim_cycles);
+            r
+        })
+        .collect();
+    span.charge(
+        results.iter().map(|r| r.sim_cycles).sum(),
+        results.iter().map(|r| r.sim_instructions).sum(),
+        results.len() as u64,
+    );
+    span.finish();
+    results
 }
 
 /// Total violations across a batch.

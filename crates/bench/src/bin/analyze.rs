@@ -35,9 +35,12 @@
 
 use lvp_analysis::XvalConfig;
 use lvp_bench::analysis::{
-    analyze_workloads, depgraph_json, report_json, total_collisions, total_violations,
+    analyze_workloads_with, depgraph_json, report_json, total_collisions, total_violations,
+    WorkloadAnalysis,
 };
+use lvp_bench::{telemetry, Progress};
 use lvp_json::{Json, ToJson};
+use lvp_obs::{NullPhases, PhaseRecorder};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -50,13 +53,16 @@ struct Args {
     check: bool,
     inject_train_bug: bool,
     inject_lscd_bug: bool,
+    telemetry: Option<PathBuf>,
+    host_trace: Option<PathBuf>,
+    quiet: bool,
 }
 
 fn help_text() -> String {
     [
         "usage: analyze [--workloads a,b] [--budget N] [--out PATH] [--depgraph PATH]",
         "               [--json PATH] [--check] [--inject-train-bug] [--inject-lscd-bug]",
-        "               [--list] [--help]",
+        "               [--telemetry PATH] [--host-trace PATH] [--quiet] [--list] [--help]",
         "",
         "  --workloads a,b,c    workloads to analyze (default: all)",
         "  --budget N           dynamic instructions per workload (default 60000)",
@@ -66,6 +72,9 @@ fn help_text() -> String {
         "  --check              byte-compare report and depgraph against existing files",
         "  --inject-train-bug   seed the APT training bug (gate must FAIL)",
         "  --inject-lscd-bug    seed the LSCD over-capture bug (rule R7 must FAIL)",
+        "  --telemetry PATH     write a host-telemetry manifest of this run",
+        "  --host-trace PATH    write a Chrome trace of the host phases",
+        "  --quiet              suppress stderr progress lines",
         "  --list               print workloads and exit",
         "",
         "exit status:",
@@ -92,6 +101,9 @@ fn parse_args() -> Args {
         check: false,
         inject_train_bug: false,
         inject_lscd_bug: false,
+        telemetry: None,
+        host_trace: None,
+        quiet: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -121,6 +133,9 @@ fn parse_args() -> Args {
             "--check" => args.check = true,
             "--inject-train-bug" => args.inject_train_bug = true,
             "--inject-lscd-bug" => args.inject_lscd_bug = true,
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value(&mut i, "--telemetry"))),
+            "--host-trace" => args.host_trace = Some(PathBuf::from(value(&mut i, "--host-trace"))),
+            "--quiet" => args.quiet = true,
             "--list" => {
                 println!("workloads:");
                 for w in lvp_workloads::all() {
@@ -177,6 +192,59 @@ fn write_or_check(path: &Path, text: &str, check: bool, what: &str) -> Result<()
     }
 }
 
+/// Runs the analysis pass, recording host telemetry when requested. The
+/// report/depgraph/violations artifacts are byte-identical either way.
+fn run(
+    args: &Args,
+    workloads: &[lvp_workloads::Workload],
+    pap: dlvp::PapConfig,
+    dlvp_cfg: dlvp::DlvpConfig,
+) -> Result<Vec<WorkloadAnalysis>, String> {
+    let xval = XvalConfig::default();
+    let progress = Progress::new("analyze", workloads.len(), !args.quiet);
+    if args.telemetry.is_none() && args.host_trace.is_none() {
+        return Ok(analyze_workloads_with(
+            workloads,
+            args.budget,
+            pap,
+            dlvp_cfg,
+            &xval,
+            &NullPhases,
+            &progress,
+        ));
+    }
+    let rec = PhaseRecorder::new();
+    let results = analyze_workloads_with(
+        workloads,
+        args.budget,
+        pap,
+        dlvp_cfg,
+        &xval,
+        &rec,
+        &progress,
+    );
+    let config = Json::obj([
+        (
+            "workloads",
+            Json::Array(workloads.iter().map(|w| w.name.to_json()).collect()),
+        ),
+        ("budget", args.budget.to_json()),
+        ("inject_train_bug", args.inject_train_bug.to_json()),
+        ("inject_lscd_bug", args.inject_lscd_bug.to_json()),
+    ]);
+    telemetry::emit(
+        "analyze",
+        &config,
+        args.budget,
+        Vec::new(),
+        1,
+        &rec,
+        args.telemetry.as_deref(),
+        args.host_trace.as_deref(),
+    )?;
+    Ok(results)
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let workloads: Vec<lvp_workloads::Workload> = if args.workloads.is_empty() {
@@ -205,20 +273,24 @@ fn main() -> ExitCode {
         (false, true) => " [INJECTED LSCD BUG]",
         (false, false) => "",
     };
-    eprintln!(
-        "analyze: {} workloads, budget {}{injected}",
-        workloads.len(),
-        args.budget,
-    );
+    if !args.quiet {
+        eprintln!(
+            "analyze: {} workloads, budget {}{injected}",
+            workloads.len(),
+            args.budget,
+        );
+    }
     let t0 = std::time::Instant::now();
-    let results = analyze_workloads(
-        &workloads,
-        args.budget,
-        pap,
-        dlvp_cfg,
-        &XvalConfig::default(),
-    );
-    eprintln!("analyze: completed in {:.2}s", t0.elapsed().as_secs_f64());
+    let results = match run(&args, &workloads, pap, dlvp_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        eprintln!("analyze: completed in {:.2}s", t0.elapsed().as_secs_f64());
+    }
 
     let report = report_json(&results, args.budget).pretty();
     if write_or_check(&args.out, &report, args.check, "report").is_err() {

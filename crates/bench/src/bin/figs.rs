@@ -14,7 +14,10 @@
 //! `--jobs` value — including the retired one-binary-per-figure harnesses'
 //! stdout, which these files replace.
 
-use lvp_bench::specs::{self, ExperimentSpec};
+use lvp_bench::specs::{self, ExperimentSpec, RenderedSpec};
+use lvp_bench::{telemetry, Progress};
+use lvp_json::{Json, ToJson};
+use lvp_obs::{NullPhases, PhaseRecorder};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,14 +28,19 @@ struct Args {
     budget: u64,
     jobs: usize,
     out_dir: PathBuf,
+    telemetry: Option<PathBuf>,
+    host_trace: Option<PathBuf>,
+    quiet: bool,
 }
 
 fn usage() -> String {
     let mut u = String::from(
-        "usage: figs [--list] [--all | <spec>...] [--budget N] [--jobs N] [--out-dir DIR]\n\n\
+        "usage: figs [--list] [--all | <spec>...] [--budget N] [--jobs N] [--out-dir DIR]\n\
+         \x20           [--telemetry PATH] [--host-trace PATH] [--quiet]\n\n\
          Runs the named experiment specs (or all of them) and writes\n\
          <out-dir>/<spec>.txt for each. Defaults: budget 200000, out-dir 'results',\n\
-         jobs = available cores.\n\nspecs:\n",
+         jobs = available cores. --telemetry/--host-trace record host-side phase\n\
+         timing (never part of the .txt artifacts); --quiet silences progress.\n\nspecs:\n",
     );
     for spec in specs::SPECS {
         u.push_str(&format!("  {:<22} {}\n", spec.name, spec.title));
@@ -48,12 +56,16 @@ fn parse_args() -> Result<Args, String> {
         budget: lvp_workloads::DEFAULT_BUDGET,
         jobs: lvp_bench::default_jobs(),
         out_dir: PathBuf::from("results"),
+        telemetry: None,
+        host_trace: None,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--list" => args.list = true,
             "--all" => args.all = true,
+            "--quiet" => args.quiet = true,
             "--budget" => {
                 let v = it.next().ok_or("--budget needs a value")?;
                 args.budget = v.parse().map_err(|_| format!("bad budget '{v}'"))?;
@@ -65,12 +77,63 @@ fn parse_args() -> Result<Args, String> {
             "--out-dir" => {
                 args.out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a value")?);
             }
+            "--telemetry" => {
+                args.telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a value")?));
+            }
+            "--host-trace" => {
+                args.host_trace = Some(PathBuf::from(
+                    it.next().ok_or("--host-trace needs a value")?,
+                ));
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             name => args.names.push(name.to_string()),
         }
     }
     Ok(args)
+}
+
+/// Runs the selected specs, recording host telemetry when requested. The
+/// rendered texts are byte-identical either way.
+fn run(args: &Args, selected: &[&ExperimentSpec]) -> Result<Vec<RenderedSpec>, String> {
+    let total: usize = {
+        let mut seen = std::collections::HashSet::new();
+        selected
+            .iter()
+            .flat_map(|s| (s.sims)())
+            .filter(|r| seen.insert(*r))
+            .count()
+    };
+    let progress = Progress::new("figs", total, !args.quiet && total > 0);
+    if args.telemetry.is_none() && args.host_trace.is_none() {
+        return Ok(specs::run_specs_with(
+            selected,
+            args.budget,
+            args.jobs,
+            &NullPhases,
+            &progress,
+        ));
+    }
+    let rec = PhaseRecorder::new();
+    let rendered = specs::run_specs_with(selected, args.budget, args.jobs, &rec, &progress);
+    let config = Json::obj([
+        (
+            "specs",
+            Json::Array(selected.iter().map(|s| s.name.to_json()).collect()),
+        ),
+        ("budget", args.budget.to_json()),
+    ]);
+    telemetry::emit(
+        "figs",
+        &config,
+        args.budget,
+        Vec::new(),
+        args.jobs,
+        &rec,
+        args.telemetry.as_deref(),
+        args.host_trace.as_deref(),
+    )?;
+    Ok(rendered)
 }
 
 fn main() -> ExitCode {
@@ -116,7 +179,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let rendered = specs::run_specs(&selected, args.budget, args.jobs);
+    let rendered = match run(&args, &selected) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("figs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
         eprintln!("figs: cannot create {}: {e}", args.out_dir.display());

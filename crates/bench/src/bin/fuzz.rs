@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fuzz [--profile P] [--seeds N] [--seed-base B] [--jobs J] [--out PATH]
-//!      [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke] [--list]
+//!      [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke]
+//!      [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]
 //! ```
 //!
 //! Each seed is synthesized, executed, soundness-checked against the static
@@ -23,10 +24,11 @@
 //! * `--minimize` greedily shrinks each failing seed's program and appends
 //!   the reproducers to the report.
 
-use lvp_bench::par_map;
+use lvp_bench::{par_map, par_map_metered, telemetry, Progress};
 use lvp_fuzz::minimize::minimize;
-use lvp_fuzz::{campaign_report, plan, run_seed, OracleConfig, SynthProfile};
+use lvp_fuzz::{campaign_report, plan, run_seed, OracleConfig, SeedOutcome, SynthProfile};
 use lvp_json::{Json, ToJson};
+use lvp_obs::{NullPhases, PhaseRecorder, PhaseSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -35,9 +37,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: fuzz [--profile P] [--seeds N] [--seed-base B] [--jobs J] [--out PATH]");
-    eprintln!(
-        "            [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke] [--list]"
-    );
+    eprintln!("            [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke]");
+    eprintln!("            [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]");
     eprintln!("profiles: {}", SynthProfile::preset_names().join(", "));
     std::process::exit(2);
 }
@@ -78,6 +79,33 @@ impl Flags {
             usage(&format!("unknown argument '{stray}'"));
         }
     }
+}
+
+/// Runs the seed campaign on the worker pool, one `job:` span per seed
+/// (charged with its dynamic instruction count). The outcomes are
+/// byte-identical with or without recording.
+fn run_campaign<P: PhaseSink>(
+    seed_list: &[u64],
+    jobs: usize,
+    profile: &SynthProfile,
+    cfg: &OracleConfig,
+    phases: &P,
+    progress: &Progress,
+) -> Vec<SeedOutcome> {
+    let mut span = phases.span(0, "campaign");
+    let outcomes = par_map_metered(
+        seed_list,
+        jobs,
+        phases,
+        progress,
+        |seed| format!("job:seed{seed}/fuzz/oracle"),
+        |o: &SeedOutcome| (0, o.dynamic as u64),
+        |&seed| run_seed(profile, seed, cfg),
+    );
+    let dynamic: u64 = outcomes.iter().map(|o| o.dynamic as u64).sum();
+    span.charge(0, dynamic, outcomes.len() as u64);
+    span.finish();
+    outcomes
 }
 
 fn main() -> ExitCode {
@@ -121,6 +149,9 @@ fn main() -> ExitCode {
     let inject_train = flags.take_bool("--inject-train-bug");
     let inject_lscd = flags.take_bool("--inject-lscd-bug");
     let inject = inject_train || inject_lscd;
+    let telemetry_path = flags.take("--telemetry").map(PathBuf::from);
+    let host_trace = flags.take("--host-trace").map(PathBuf::from);
+    let quiet = flags.take_bool("--quiet");
     flags.finish();
 
     let profile = SynthProfile::preset(&profile_name)
@@ -141,7 +172,36 @@ fn main() -> ExitCode {
     }
 
     let seed_list: Vec<u64> = (seed_base..seed_base + seeds).collect();
-    let outcomes = par_map(&seed_list, jobs, |&seed| run_seed(&profile, seed, &cfg));
+    let progress = Progress::new("fuzz", seed_list.len(), !quiet);
+    let want_telemetry = telemetry_path.is_some() || host_trace.is_some();
+    let rec = PhaseRecorder::new();
+    let outcomes = if want_telemetry {
+        run_campaign(&seed_list, jobs, &profile, &cfg, &rec, &progress)
+    } else {
+        run_campaign(&seed_list, jobs, &profile, &cfg, &NullPhases, &progress)
+    };
+    if want_telemetry {
+        let config = Json::obj([
+            ("profile", profile_name.to_json()),
+            ("seeds", seeds.to_json()),
+            ("seed_base", seed_base.to_json()),
+            ("inject_train_bug", inject_train.to_json()),
+            ("inject_lscd_bug", inject_lscd.to_json()),
+        ]);
+        if let Err(e) = telemetry::emit(
+            "fuzz",
+            &config,
+            seeds,
+            seed_list.clone(),
+            jobs,
+            &rec,
+            telemetry_path.as_deref(),
+            host_trace.as_deref(),
+        ) {
+            eprintln!("fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut report = campaign_report(&profile, &outcomes);
     let failing: Vec<u64> = outcomes

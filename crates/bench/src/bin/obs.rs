@@ -26,7 +26,7 @@
 
 use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
 use lvp_json::ToJson;
-use lvp_obs::{chrome_trace, HostProfiler, LifecycleReport, RunMeta};
+use lvp_obs::{chrome_trace, LifecycleReport, PhaseRecorder, PhaseSink, RunMeta};
 use lvp_trace::{read_trace, write_trace};
 use lvp_uarch::{fmt_pct, simulate, CoreConfig, NoVp, SimConfig, SimStats};
 use std::fs::File;
@@ -148,9 +148,9 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
         usage("--ring must be >= 1");
     }
 
-    let mut prof = HostProfiler::new();
-    let trace = prof.time("emulate", || w.trace(budget));
-    let (outcome, events, overwritten) = prof.time("simulate", || {
+    let prof = PhaseRecorder::new();
+    let trace = prof.time(0, "emulate", || w.trace(budget));
+    let (outcome, events, overwritten) = prof.time(0, "simulate", || {
         run_scheme_traced(&trace, scheme, &SimConfig::default(), ring)
     });
     let stats = &outcome.stats;
@@ -169,10 +169,10 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
         scheme: scheme.name().to_string(),
         budget,
     };
-    let report = prof.time("join", || {
+    let report = prof.time(0, "join", || {
         LifecycleReport::build(meta, &events, overwritten)
     });
-    let chrome = prof.time("export", || chrome_trace(&events));
+    let chrome = prof.time(0, "export", || chrome_trace(&events));
 
     if overwritten > 0 {
         eprintln!(

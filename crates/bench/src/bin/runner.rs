@@ -15,15 +15,24 @@
 //!   --tol-abs X           absolute per-counter tolerance for --baseline (default 0)
 //!   --update-golden PATH  write the snapshot (use to regenerate goldens on
 //!                         an intentional model change)
+//!   --telemetry PATH      write a host-telemetry manifest of this run
+//!   --host-trace PATH     write a Chrome trace of host phases (one lane
+//!                         per worker) for chrome://tracing
+//!   --quiet               suppress stderr progress lines
 //!   --list                print workloads/schemes/variants and exit
 //! ```
 //!
-//! The same spec produces byte-identical output for any `--jobs` value.
+//! The same spec produces byte-identical output for any `--jobs` value —
+//! with or without telemetry: manifests and progress go to their own files
+//! and stderr, never into the results artifact.
 
 use lvp_bench::runner::{
-    check_against_golden, default_jobs, run_matrix, ConfigVariant, MatrixSpec, Tolerances,
+    check_against_golden, default_jobs, run_matrix_with, ConfigVariant, MatrixResults, MatrixSpec,
+    Tolerances,
 };
-use lvp_bench::SchemeKind;
+use lvp_bench::{telemetry, Progress, SchemeKind};
+use lvp_json::ToJson;
+use lvp_obs::{NullPhases, PhaseRecorder};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -34,13 +43,17 @@ struct Args {
     baseline: Option<PathBuf>,
     update_golden: Option<PathBuf>,
     tol: Tolerances,
+    telemetry: Option<PathBuf>,
+    host_trace: Option<PathBuf>,
+    quiet: bool,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
     eprintln!("usage: runner [--workloads a,b] [--schemes x,y] [--variants v] [--budget N]");
     eprintln!("              [--jobs N] [--out PATH] [--baseline PATH] [--tol-rel X]");
-    eprintln!("              [--tol-abs X] [--update-golden PATH] [--list]");
+    eprintln!("              [--tol-abs X] [--update-golden PATH] [--telemetry PATH]");
+    eprintln!("              [--host-trace PATH] [--quiet] [--list]");
     std::process::exit(2);
 }
 
@@ -51,6 +64,9 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut update_golden = None;
     let mut tol = Tolerances::default();
+    let mut telemetry = None;
+    let mut host_trace = None;
+    let mut quiet = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -103,6 +119,9 @@ fn parse_args() -> Args {
                 }
             }
             "--out" => out = PathBuf::from(value(&mut i, "--out")),
+            "--telemetry" => telemetry = Some(PathBuf::from(value(&mut i, "--telemetry"))),
+            "--host-trace" => host_trace = Some(PathBuf::from(value(&mut i, "--host-trace"))),
+            "--quiet" => quiet = true,
             "--baseline" => baseline = Some(PathBuf::from(value(&mut i, "--baseline"))),
             "--update-golden" => {
                 update_golden = Some(PathBuf::from(value(&mut i, "--update-golden")))
@@ -149,24 +168,66 @@ fn parse_args() -> Args {
         baseline,
         update_golden,
         tol,
+        telemetry,
+        host_trace,
+        quiet,
     }
+}
+
+/// Runs the matrix, recording host telemetry when any telemetry output was
+/// requested (the recording path costs a little; the default path
+/// monomorphizes it away entirely).
+fn run(args: &Args, njobs: usize) -> Result<MatrixResults, String> {
+    let progress = Progress::new("runner", njobs, !args.quiet);
+    if args.telemetry.is_none() && args.host_trace.is_none() {
+        return Ok(run_matrix_with(
+            &args.spec,
+            args.jobs,
+            &NullPhases,
+            &progress,
+        ));
+    }
+    let rec = PhaseRecorder::new();
+    let results = run_matrix_with(&args.spec, args.jobs, &rec, &progress);
+    let seeds = args.spec.expand().iter().map(|j| j.seed()).collect();
+    telemetry::emit(
+        "runner",
+        &args.spec.to_json(),
+        args.spec.budget,
+        seeds,
+        args.jobs,
+        &rec,
+        args.telemetry.as_deref(),
+        args.host_trace.as_deref(),
+    )?;
+    Ok(results)
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
     let njobs = args.spec.expand().len();
-    eprintln!(
-        "runner: {} jobs ({} workloads x {} variants x {} schemes), budget {}, {} workers",
-        njobs,
-        args.spec.workloads.len(),
-        args.spec.variants.len(),
-        args.spec.schemes.len(),
-        args.spec.budget,
-        args.jobs,
-    );
+    if !args.quiet {
+        eprintln!(
+            "runner: {} jobs ({} workloads x {} variants x {} schemes), budget {}, {} workers",
+            njobs,
+            args.spec.workloads.len(),
+            args.spec.variants.len(),
+            args.spec.schemes.len(),
+            args.spec.budget,
+            args.jobs,
+        );
+    }
     let t0 = std::time::Instant::now();
-    let results = run_matrix(&args.spec, args.jobs);
-    eprintln!("runner: completed in {:.2}s", t0.elapsed().as_secs_f64());
+    let results = match run(&args, njobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("runner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        eprintln!("runner: completed in {:.2}s", t0.elapsed().as_secs_f64());
+    }
 
     // A job that committed nothing would flow 0.0 IPC into every derived
     // figure; surface the typed EmptyRun error per job and fail instead.

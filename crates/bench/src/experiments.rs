@@ -110,7 +110,23 @@ impl ToJson for SchemeOutcome {
 /// matter which thread runs it or how many run concurrently — the property
 /// the parallel experiment runner is built on.
 pub fn run_scheme(trace: &Trace, scheme: SchemeKind, cfg: &SimConfig) -> SchemeOutcome {
-    let core = Core::new(cfg.core.clone(), scheme.build(cfg));
+    run_scheme_spun(trace, scheme, cfg, 0)
+}
+
+/// [`run_scheme`] with a deliberate host-side busy-loop of `spin` iterations
+/// per simulated instruction (`Core::set_host_spin`). The spin burns only
+/// wall-clock — simulated state, stats, and serialized outcomes are
+/// bit-identical to `spin == 0` — which is exactly what the throughput
+/// regression gate's `--inject-slowdown` mode needs: a provable slowdown
+/// with provably unchanged results.
+pub fn run_scheme_spun(
+    trace: &Trace,
+    scheme: SchemeKind,
+    cfg: &SimConfig,
+    spin: u32,
+) -> SchemeOutcome {
+    let mut core = Core::new(cfg.core.clone(), scheme.build(cfg));
+    core.set_host_spin(spin);
     let (stats, s) = core.run_with_scheme(trace);
     SchemeOutcome::collect(scheme, stats, &s)
 }

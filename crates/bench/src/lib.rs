@@ -22,15 +22,21 @@
 pub mod analysis;
 pub mod experiments;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod specs;
+pub mod telemetry;
 
 pub use experiments::{
-    budget_from_args, run_scheme, run_scheme_traced, ComparisonRow, SchemeKind, SchemeOutcome,
+    budget_from_args, run_scheme, run_scheme_spun, run_scheme_traced, ComparisonRow, SchemeKind,
+    SchemeOutcome,
 };
 pub use runner::{
-    default_jobs, diff_matrices, par_map, run_job, run_matrix, ConfigVariant, Drift, JobResult,
-    JobSpec, MatrixResults, MatrixSpec, Tolerances,
+    default_jobs, diff_matrices, par_map, par_map_metered, run_job, run_matrix, run_matrix_with,
+    ConfigVariant, Drift, JobResult, JobSpec, MatrixResults, MatrixSpec, Tolerances,
 };
-pub use specs::{run_specs, ExperimentSpec, RenderedSpec, ResultSet, SimRequest, SimScheme};
+pub use specs::{
+    run_specs, run_specs_with, ExperimentSpec, RenderedSpec, ResultSet, SimRequest, SimScheme,
+};
+pub use telemetry::{config_hash, Manifest, PoolStats, Progress};

@@ -44,9 +44,24 @@ impl Bench {
         self
     }
 
-    /// Runs `f` repeatedly and prints `name: median time [min .. max]`.
-    /// Returns the median per-iteration time.
-    pub fn run<T>(self, mut f: impl FnMut() -> T) -> Duration {
+    /// Warm-up duration (iterations run and **discarded** before timing —
+    /// caches, branch predictors and the allocator settle first).
+    pub fn warmup(mut self, d: Duration) -> Bench {
+        self.warmup = d;
+        self
+    }
+
+    /// Minimum wall-clock per timed sample; the warm-up pass picks an
+    /// iteration count that reaches it.
+    pub fn min_sample_time(mut self, d: Duration) -> Bench {
+        self.min_sample_time = d;
+        self
+    }
+
+    /// Runs the measurement without printing: warm-up (discarded), then
+    /// `samples` timed samples of `iters` iterations each. The regression
+    /// gate consumes this; `run` adds the human-readable line on top.
+    pub fn measure<T>(&self, mut f: impl FnMut() -> T) -> Measurement {
         // Warm-up: also discovers a per-sample iteration count so that each
         // sample lasts at least `min_sample_time`.
         let warm_start = Instant::now();
@@ -71,24 +86,51 @@ impl Bench {
             })
             .collect();
         times.sort_unstable();
-        let median = times[times.len() / 2];
-        let (lo, hi) = (times[0], times[times.len() - 1]);
+        Measurement {
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+            samples: times.len(),
+            iters_per_sample: iters,
+        }
+    }
+
+    /// Runs `f` repeatedly and prints `name: median time [min .. max]`.
+    /// Returns the median per-iteration time.
+    pub fn run<T>(self, f: impl FnMut() -> T) -> Duration {
+        let m = self.measure(f);
         match self.elements {
-            Some(n) if median > Duration::ZERO => {
-                let rate = n as f64 / median.as_secs_f64();
+            Some(n) if m.median > Duration::ZERO => {
+                let rate = n as f64 / m.median.as_secs_f64();
                 println!(
                     "{:<28} {:>12?} [{:?} .. {:?}]  {:.1} Melem/s",
                     self.name,
-                    median,
-                    lo,
-                    hi,
+                    m.median,
+                    m.min,
+                    m.max,
                     rate / 1e6
                 );
             }
-            _ => println!("{:<28} {:>12?} [{:?} .. {:?}]", self.name, median, lo, hi),
+            _ => println!(
+                "{:<28} {:>12?} [{:?} .. {:?}]",
+                self.name, m.median, m.min, m.max
+            ),
         }
-        median
+        m.median
     }
+}
+
+/// The result of one [`Bench::measure`]: median-of-N per-iteration wall
+/// time with the sample extremes (warm-up iterations already discarded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    pub median: Duration,
+    pub min: Duration,
+    pub max: Duration,
+    /// Timed samples taken (the N of median-of-N).
+    pub samples: usize,
+    /// Iterations per timed sample, chosen during warm-up.
+    pub iters_per_sample: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,626 @@
+//! The sim-throughput regression gate: a fixed benchmark matrix, a
+//! committed baseline (`BENCH_simcore.json`), and a tolerance-banded
+//! comparison CI runs on every change.
+//!
+//! The matrix covers the three hot paths a perf regression can hide in:
+//!
+//! * **simcore** — six workloads × three registry schemes through the
+//!   cycle-level `Core::run` loop at a fixed budget;
+//! * **analyze** — the static + dependence passes plus the validating DLVP
+//!   simulation on one workload;
+//! * **fuzz_oracle** — synthesize/execute/differential-check over a fixed
+//!   seed range of the `smoke` profile.
+//!
+//! Each cell is measured as **median-of-N (N ≥ 5) per-run wall time after
+//! a discarded warm-up** ([`Bench::measure`]): the warm-up settles caches
+//! and the allocator, and the median is robust to one-off scheduler noise
+//! that would whipsaw a mean-based gate. `bench --check` compares current
+//! medians against the committed baseline under a relative tolerance band
+//! (default [`DEFAULT_TOL_REL`], i.e. fail only when slower than
+//! `(1 + tol) ×` baseline — wide enough for machine-to-machine variance,
+//! tight enough to catch the step-function slowdowns that matter).
+//! Deterministic fields (instruction counts, simulated cycles, findings)
+//! are compared **exactly**: drift there is a behaviour change wearing a
+//! benchmark's clothes, and fails the gate at any speed.
+//!
+//! `--inject-slowdown` threads a busy-loop into the core step
+//! ([`crate::run_scheme_spun`]) to prove the gate bites: results stay
+//! bit-identical, wall time multiplies, `--check` must fail.
+
+use crate::analysis::analyze_workload;
+use crate::experiments::run_scheme_spun;
+use crate::microbench::Bench;
+use crate::SchemeKind;
+use dlvp::{DlvpConfig, PapConfig};
+use lvp_analysis::XvalConfig;
+use lvp_fuzz::{run_seed, OracleConfig, SynthProfile};
+use lvp_json::{Json, ToJson};
+use lvp_obs::PhaseSink;
+use lvp_uarch::SimConfig;
+use std::time::Duration;
+
+/// The simcore phase's workload list (≥ 6, spanning suites and behaviours).
+pub const SIMCORE_WORKLOADS: [&str; 6] = [
+    "aifirf",
+    "autcor",
+    "viterbi",
+    "libquantum",
+    "perlbmk",
+    "nat",
+];
+
+/// The simcore phase's registry schemes.
+pub const SIMCORE_SCHEMES: [SchemeKind; 3] =
+    [SchemeKind::Baseline, SchemeKind::Vtage, SchemeKind::Dlvp];
+
+/// Per-workload budget of the simcore phase (matches the historical
+/// `BENCH_simcore.json` rows).
+pub const SIMCORE_BUDGET: u64 = 50_000;
+
+/// The analyze phase's workload and budget.
+pub const ANALYZE_WORKLOAD: &str = "perlbmk";
+pub const ANALYZE_BUDGET: u64 = 20_000;
+
+/// The fuzz phase: this synth profile over seeds `0..FUZZ_SEEDS`.
+pub const FUZZ_PROFILE: &str = "smoke";
+pub const FUZZ_SEEDS: u64 = 5;
+
+/// Default relative tolerance: fail when a median exceeds `2×` baseline.
+/// Wall-clock on shared CI hosts varies tens of percent run to run; a 100%
+/// band stays quiet through that while still catching the integer-factor
+/// slowdowns a hot-loop regression produces (see DESIGN.md §12 for the
+/// baseline-refresh policy).
+pub const DEFAULT_TOL_REL: f64 = 1.0;
+
+/// `--inject-slowdown`'s spin count: enough busy-loop iterations per
+/// simulated instruction to push every simcore cell far past any sane
+/// tolerance band without stretching the run unreasonably.
+pub const INJECT_SPIN: u32 = 2_500;
+
+/// Measurement policy for every cell: median-of-N with warm-up discard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchPolicy {
+    /// Timed samples per cell; clamped to ≥ 5 so the median is taken over
+    /// a real distribution, never a best-of-few.
+    pub samples: usize,
+    /// Warm-up wall-clock discarded before sampling.
+    pub warmup: Duration,
+    /// Minimum wall-clock per timed sample.
+    pub min_sample: Duration,
+}
+
+impl Default for BenchPolicy {
+    fn default() -> BenchPolicy {
+        BenchPolicy {
+            samples: 5,
+            warmup: Duration::from_millis(100),
+            min_sample: Duration::from_millis(30),
+        }
+    }
+}
+
+impl BenchPolicy {
+    /// Enforces the N ≥ 5 floor.
+    pub fn normalized(mut self) -> BenchPolicy {
+        self.samples = self.samples.max(5);
+        self
+    }
+
+    fn bench(&self, name: String) -> Bench {
+        Bench::new(name)
+            .samples(self.samples)
+            .warmup(self.warmup)
+            .min_sample_time(self.min_sample)
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("samples", (self.samples as u64).to_json()),
+            ("warmup_ms", (self.warmup.as_millis() as u64).to_json()),
+            (
+                "min_sample_ms",
+                (self.min_sample.as_millis() as u64).to_json(),
+            ),
+            ("aggregate", "median".to_json()),
+            ("warmup_discarded", true.to_json()),
+        ])
+    }
+}
+
+/// One benchmark cell: identity, exact deterministic counters, and the
+/// measured wall-clock statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    pub phase: String,
+    pub workload: String,
+    pub scheme: String,
+    pub budget: u64,
+    /// Deterministic counters, compared **exactly** against the baseline.
+    pub det: Vec<(String, u64)>,
+    pub median_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub sim_cycles_per_sec: f64,
+}
+
+impl BenchRow {
+    /// Unique row identity within the matrix.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.phase, self.workload, self.scheme)
+    }
+}
+
+/// Keys every row carries besides its deterministic counters; anything
+/// else in a serialized row parses back as a `det` counter.
+const ROW_META_KEYS: [&str; 8] = [
+    "phase",
+    "workload",
+    "scheme",
+    "budget",
+    "median_ns_per_run",
+    "min_ns_per_run",
+    "max_ns_per_run",
+    "sim_cycles_per_sec",
+];
+
+impl ToJson for BenchRow {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("phase".into(), self.phase.to_json()),
+            ("workload".into(), self.workload.to_json()),
+            ("scheme".into(), self.scheme.to_json()),
+            ("budget".into(), self.budget.to_json()),
+        ];
+        for (k, v) in &self.det {
+            pairs.push((k.clone(), v.to_json()));
+        }
+        pairs.push(("median_ns_per_run".into(), self.median_ns.to_json()));
+        pairs.push(("min_ns_per_run".into(), self.min_ns.to_json()));
+        pairs.push(("max_ns_per_run".into(), self.max_ns.to_json()));
+        pairs.push((
+            "sim_cycles_per_sec".into(),
+            self.sim_cycles_per_sec.to_json(),
+        ));
+        Json::Object(pairs)
+    }
+}
+
+impl BenchRow {
+    /// Parses a serialized row (baseline or `--out` document).
+    pub fn from_json(j: &Json) -> Result<BenchRow, String> {
+        let pairs = match j {
+            Json::Object(p) => p,
+            other => return Err(format!("bench row is not an object: {other:?}")),
+        };
+        let string = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("row missing string '{key}'"))
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            match j.get(key) {
+                Some(Json::U64(v)) => Ok(*v),
+                _ => Err(format!("row missing u64 '{key}'")),
+            }
+        };
+        let det = pairs
+            .iter()
+            .filter(|(k, _)| !ROW_META_KEYS.contains(&k.as_str()))
+            .map(|(k, v)| match v {
+                Json::U64(n) => Ok((k.clone(), *n)),
+                other => Err(format!("counter '{k}' is not a u64: {other:?}")),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchRow {
+            phase: string("phase")?,
+            workload: string("workload")?,
+            scheme: string("scheme")?,
+            budget: num("budget")?,
+            det,
+            median_ns: num("median_ns_per_run")?,
+            min_ns: num("min_ns_per_run")?,
+            max_ns: num("max_ns_per_run")?,
+            sim_cycles_per_sec: j
+                .get("sim_cycles_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or("row missing 'sim_cycles_per_sec'")?,
+        })
+    }
+}
+
+/// Runs the full benchmark matrix serially (measurement never shares the
+/// machine with other jobs of the same run) and returns one row per cell.
+/// `spin > 0` injects the deliberate host-side slowdown into the simcore
+/// phase — deterministic fields are unaffected by construction.
+pub fn run_benchmarks<P: PhaseSink>(policy: &BenchPolicy, spin: u32, phases: &P) -> Vec<BenchRow> {
+    let policy = policy.normalized();
+    let mut rows = Vec::new();
+    let cfg = SimConfig::default();
+
+    let mut span = phases.span(0, "bench:simcore");
+    let (mut total_cycles, mut total_instr) = (0u64, 0u64);
+    for name in SIMCORE_WORKLOADS {
+        let w = lvp_workloads::by_name(name).expect("fixed benchmark workload");
+        let trace = phases.time(0, "build_trace", || w.trace(SIMCORE_BUDGET));
+        for scheme in SIMCORE_SCHEMES {
+            let mut cell = if P::ENABLED {
+                Some(phases.span(0, &format!("job:{}/simcore/{}", name, scheme.name())))
+            } else {
+                None
+            };
+            let outcome = run_scheme_spun(&trace, scheme, &cfg, spin);
+            let m = policy
+                .bench(format!("simcore_{name}_{}", scheme.label()))
+                .measure(|| std::hint::black_box(run_scheme_spun(&trace, scheme, &cfg, spin)));
+            let median_ns = m.median.as_nanos() as u64;
+            if let Some(c) = cell.as_mut() {
+                c.charge(outcome.stats.cycles, outcome.stats.instructions, 1);
+                c.finish();
+            }
+            total_cycles += outcome.stats.cycles;
+            total_instr += outcome.stats.instructions;
+            rows.push(BenchRow {
+                phase: "simcore".into(),
+                workload: name.into(),
+                scheme: outcome.scheme.name().into(),
+                budget: SIMCORE_BUDGET,
+                det: vec![
+                    ("instructions".into(), outcome.stats.instructions),
+                    ("sim_cycles".into(), outcome.stats.cycles),
+                ],
+                median_ns,
+                min_ns: m.min.as_nanos() as u64,
+                max_ns: m.max.as_nanos() as u64,
+                sim_cycles_per_sec: lvp_obs::sim_cycles_per_sec(outcome.stats.cycles, median_ns),
+            });
+        }
+    }
+    span.charge(total_cycles, total_instr, rows.len() as u64);
+    span.finish();
+
+    let mut span = phases.span(0, "bench:analyze");
+    let w = lvp_workloads::by_name(ANALYZE_WORKLOAD).expect("fixed benchmark workload");
+    let one = analyze_workload(
+        &w,
+        ANALYZE_BUDGET,
+        PapConfig::default(),
+        DlvpConfig::default(),
+        &XvalConfig::default(),
+    );
+    let m = policy
+        .bench(format!("analyze_{ANALYZE_WORKLOAD}"))
+        .measure(|| {
+            std::hint::black_box(analyze_workload(
+                &w,
+                ANALYZE_BUDGET,
+                PapConfig::default(),
+                DlvpConfig::default(),
+                &XvalConfig::default(),
+            ))
+        });
+    let median_ns = m.median.as_nanos() as u64;
+    span.charge(one.sim_cycles, one.sim_instructions, 1);
+    span.finish();
+    rows.push(BenchRow {
+        phase: "analyze".into(),
+        workload: ANALYZE_WORKLOAD.into(),
+        scheme: "dlvp_xval".into(),
+        budget: ANALYZE_BUDGET,
+        det: vec![
+            ("loads".into(), one.loads.len() as u64),
+            (
+                "must_edges".into(),
+                one.dep.graph.must_edges().count() as u64,
+            ),
+            ("violations".into(), one.violations.len() as u64),
+            ("sim_cycles".into(), one.sim_cycles),
+        ],
+        median_ns,
+        min_ns: m.min.as_nanos() as u64,
+        max_ns: m.max.as_nanos() as u64,
+        sim_cycles_per_sec: lvp_obs::sim_cycles_per_sec(one.sim_cycles, median_ns),
+    });
+
+    let mut span = phases.span(0, "bench:fuzz_oracle");
+    let profile = SynthProfile::preset(FUZZ_PROFILE).expect("fixed benchmark profile");
+    let oracle_cfg = OracleConfig::default();
+    let run_all = || {
+        (0..FUZZ_SEEDS)
+            .map(|seed| run_seed(&profile, seed, &oracle_cfg))
+            .collect::<Vec<_>>()
+    };
+    let outcomes = run_all();
+    let dynamic: u64 = outcomes.iter().map(|o| o.dynamic as u64).sum();
+    let hash_xor = outcomes.iter().fold(0u64, |h, o| h ^ o.program_hash);
+    let m = policy
+        .bench(format!("fuzz_{FUZZ_PROFILE}_x{FUZZ_SEEDS}"))
+        .measure(|| std::hint::black_box(run_all()));
+    let median_ns = m.median.as_nanos() as u64;
+    span.charge(0, dynamic, FUZZ_SEEDS);
+    span.finish();
+    rows.push(BenchRow {
+        phase: "fuzz_oracle".into(),
+        workload: FUZZ_PROFILE.into(),
+        scheme: "differential".into(),
+        budget: FUZZ_SEEDS,
+        det: vec![
+            ("dynamic_instructions".into(), dynamic),
+            (
+                "findings".into(),
+                outcomes.iter().map(|o| o.findings.len() as u64).sum(),
+            ),
+            (
+                "soundness_defects".into(),
+                outcomes.iter().map(|o| o.soundness.len() as u64).sum(),
+            ),
+            ("program_hash_xor".into(), hash_xor),
+        ],
+        median_ns,
+        min_ns: m.min.as_nanos() as u64,
+        max_ns: m.max.as_nanos() as u64,
+        sim_cycles_per_sec: 0.0,
+    });
+
+    rows
+}
+
+/// Serializes a benchmark run as the baseline document (schema v2: v1's
+/// `runs` rows plus the measurement policy and the committed tolerance).
+pub fn bench_doc(policy: &BenchPolicy, tol_rel: f64, rows: &[BenchRow]) -> Json {
+    Json::obj([
+        ("benchmark", "simcore".to_json()),
+        ("version", 2u64.to_json()),
+        ("unit", "simulated cycles per wall-clock second".to_json()),
+        ("policy", policy.normalized().to_json()),
+        ("tolerance", Json::obj([("rel", tol_rel.to_json())])),
+        (
+            "runs",
+            Json::Array(rows.iter().map(ToJson::to_json).collect()),
+        ),
+    ])
+}
+
+/// A parsed baseline: its committed tolerance and rows.
+#[derive(Debug)]
+pub struct Baseline {
+    pub tol_rel: f64,
+    pub rows: Vec<BenchRow>,
+}
+
+impl Baseline {
+    /// Parses a baseline document. v1 documents (no `version`) are
+    /// rejected with a refresh hint — their rows predate the matrix.
+    pub fn parse(doc: &Json) -> Result<Baseline, String> {
+        match doc.get("version") {
+            Some(Json::U64(2)) => {}
+            _ => {
+                return Err(
+                    "baseline is not schema v2 — refresh it with `bench --out BENCH_simcore.json`"
+                        .to_string(),
+                )
+            }
+        }
+        let tol_rel = doc
+            .get("tolerance")
+            .and_then(|t| t.get("rel"))
+            .and_then(Json::as_f64)
+            .unwrap_or(DEFAULT_TOL_REL);
+        let rows = doc
+            .get("runs")
+            .and_then(Json::as_array)
+            .ok_or("baseline missing 'runs'")?
+            .iter()
+            .map(BenchRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Baseline { tol_rel, rows })
+    }
+}
+
+/// The gate verdict: hard failures (regressions, drift, matrix mismatch)
+/// and advisory notes (rows much faster than baseline → refresh hint).
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    pub failures: Vec<String>,
+    pub notes: Vec<String>,
+}
+
+impl CheckReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a current run against the baseline. `tol_override` (the CLI's
+/// `--tol-rel`) takes precedence over the baseline's committed tolerance.
+pub fn check(baseline: &Baseline, current: &[BenchRow], tol_override: Option<f64>) -> CheckReport {
+    let tol = tol_override.unwrap_or(baseline.tol_rel);
+    let mut report = CheckReport::default();
+    for cur in current {
+        let key = cur.key();
+        let Some(base) = baseline.rows.iter().find(|b| b.key() == key) else {
+            report.failures.push(format!(
+                "{key}: not in baseline — new matrix cell, refresh BENCH_simcore.json"
+            ));
+            continue;
+        };
+        if base.budget != cur.budget {
+            report.failures.push(format!(
+                "{key}: budget changed {} -> {} — refresh the baseline",
+                base.budget, cur.budget
+            ));
+        }
+        for (name, cur_v) in &cur.det {
+            match base.det.iter().find(|(k, _)| k == name) {
+                None => report.failures.push(format!(
+                    "{key}: counter '{name}' not in baseline — refresh the baseline"
+                )),
+                Some((_, base_v)) if base_v != cur_v => report.failures.push(format!(
+                    "{key}: deterministic counter '{name}' drifted {base_v} -> {cur_v} \
+                     (behaviour change, not noise)"
+                )),
+                Some(_) => {}
+            }
+        }
+        for (name, _) in &base.det {
+            if !cur.det.iter().any(|(k, _)| k == name) {
+                report.failures.push(format!(
+                    "{key}: baseline counter '{name}' missing from current run"
+                ));
+            }
+        }
+        let limit = base.median_ns as f64 * (1.0 + tol);
+        if cur.median_ns as f64 > limit {
+            report.failures.push(format!(
+                "{key}: median {} ns exceeds baseline {} ns by more than {:.0}% \
+                 (limit {} ns)",
+                cur.median_ns,
+                base.median_ns,
+                tol * 100.0,
+                limit as u64
+            ));
+        } else if (cur.median_ns as f64) * (1.0 + tol) < base.median_ns as f64 {
+            report.notes.push(format!(
+                "{key}: median {} ns is far below baseline {} ns — consider refreshing \
+                 the baseline to tighten the gate",
+                cur.median_ns, base.median_ns
+            ));
+        }
+    }
+    for base in &baseline.rows {
+        if !current.iter().any(|c| c.key() == base.key()) {
+            report.failures.push(format!(
+                "{}: in baseline but not in the current matrix — refresh the baseline",
+                base.key()
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(phase: &str, workload: &str, median_ns: u64, det: &[(&str, u64)]) -> BenchRow {
+        BenchRow {
+            phase: phase.into(),
+            workload: workload.into(),
+            scheme: "DLVP".into(),
+            budget: 50_000,
+            det: det.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            median_ns,
+            min_ns: median_ns / 2,
+            max_ns: median_ns * 2,
+            sim_cycles_per_sec: 1e6,
+        }
+    }
+
+    fn baseline_of(rows: &[BenchRow]) -> Baseline {
+        let doc = bench_doc(&BenchPolicy::default(), DEFAULT_TOL_REL, rows);
+        Baseline::parse(&doc).expect("self-produced baseline parses")
+    }
+
+    #[test]
+    fn rows_round_trip_through_json() {
+        let r = row("simcore", "aifirf", 1_000_000, &[("sim_cycles", 23_535)]);
+        let parsed = BenchRow::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json().pretty(), r.to_json().pretty());
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let rows = vec![
+            row("simcore", "aifirf", 1_000_000, &[("sim_cycles", 100)]),
+            row("analyze", "perlbmk", 2_000_000, &[("violations", 0)]),
+        ];
+        let report = check(&baseline_of(&rows), &rows, None);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn slowdowns_beyond_the_band_fail() {
+        let base = vec![row("simcore", "aifirf", 1_000_000, &[])];
+        let mut slow = base.clone();
+        slow[0].median_ns = 2_100_000; // 2.1x > (1 + 1.0) x baseline
+        let report = check(&baseline_of(&base), &slow, None);
+        assert_eq!(report.failures.len(), 1, "failures: {:?}", report.failures);
+        assert!(report.failures[0].contains("exceeds baseline"));
+
+        // Within the band: passes.
+        slow[0].median_ns = 1_900_000;
+        assert!(check(&baseline_of(&base), &slow, None).passed());
+
+        // A tighter override catches it.
+        let tight = check(&baseline_of(&base), &slow, Some(0.5));
+        assert!(!tight.passed());
+    }
+
+    #[test]
+    fn deterministic_drift_fails_at_any_speed() {
+        let base = vec![row("simcore", "aifirf", 1_000_000, &[("sim_cycles", 100)])];
+        let mut drifted = base.clone();
+        drifted[0].det[0].1 = 101;
+        drifted[0].median_ns = 500_000; // faster, but still a failure
+        let report = check(&baseline_of(&base), &drifted, None);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("deterministic counter 'sim_cycles' drifted")));
+    }
+
+    #[test]
+    fn matrix_shape_mismatches_fail_both_ways() {
+        let base = vec![
+            row("simcore", "aifirf", 1_000_000, &[]),
+            row("simcore", "nat", 1_000_000, &[]),
+        ];
+        let current = vec![
+            row("simcore", "aifirf", 1_000_000, &[]),
+            row("simcore", "viterbi", 1_000_000, &[]),
+        ];
+        let report = check(&baseline_of(&base), &current, None);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("not in baseline")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("not in the current matrix")));
+    }
+
+    #[test]
+    fn much_faster_runs_note_a_refresh() {
+        let base = vec![row("simcore", "aifirf", 10_000_000, &[])];
+        let mut fast = base.clone();
+        fast[0].median_ns = 1_000_000;
+        let report = check(&baseline_of(&base), &fast, None);
+        assert!(report.passed());
+        assert_eq!(report.notes.len(), 1);
+        assert!(report.notes[0].contains("refreshing"));
+    }
+
+    #[test]
+    fn v1_baselines_are_rejected_with_a_refresh_hint() {
+        let v1 = Json::obj([
+            ("benchmark", "simcore".to_json()),
+            ("runs", Json::Array(vec![])),
+        ]);
+        let err = Baseline::parse(&v1).expect_err("v1 must be rejected");
+        assert!(err.contains("refresh"));
+    }
+
+    #[test]
+    fn policy_enforces_the_sample_floor() {
+        let p = BenchPolicy {
+            samples: 2,
+            ..BenchPolicy::default()
+        }
+        .normalized();
+        assert_eq!(p.samples, 5);
+        assert_eq!(BenchPolicy::default().normalized().samples, 5);
+    }
+}

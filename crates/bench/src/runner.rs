@@ -21,7 +21,9 @@
 //!   beyond configurable [`Tolerances`].
 
 use crate::experiments::{run_scheme, SchemeKind, SchemeOutcome};
+use crate::telemetry::Progress;
 use lvp_json::{Json, ToJson};
+use lvp_obs::{NullPhases, PhaseSink};
 use lvp_uarch::SimConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -299,15 +301,63 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_metered(
+        items,
+        workers,
+        &NullPhases,
+        &Progress::off(),
+        |_| String::new(),
+        |_| (0, 0),
+        f,
+    )
+}
+
+/// [`par_map`] with host telemetry: each item runs inside a phase span on
+/// its worker's lane (worker `i` = lane `i + 1`), charged with the
+/// simulated work the `meter` closure extracts from its result, and ticks
+/// the [`Progress`] meter. With [`NullPhases`] the span and `label` calls
+/// compile out entirely and this **is** `par_map` — same pool, same
+/// input-order slots, bit-identical results for any worker count.
+pub fn par_map_metered<T, R, F, L, M, P>(
+    items: &[T],
+    workers: usize,
+    phases: &P,
+    progress: &Progress,
+    label: L,
+    meter: M,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(&T) -> String + Sync,
+    M: Fn(&R) -> (u64, u64) + Sync,
+    P: PhaseSink,
+{
     let workers = workers.max(1).min(items.len().max(1));
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let lane = (w + 1) as u32;
+            let (slots, cursor) = (&slots, &cursor);
+            let (f, label, meter) = (&f, &label, &meter);
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
+                let mut guard = if P::ENABLED {
+                    Some(phases.span(lane, &label(item)))
+                } else {
+                    None
+                };
                 let r = f(item);
+                let (sim_cycles, instructions) = meter(&r);
+                if let Some(g) = guard.as_mut() {
+                    g.charge(sim_cycles, instructions, 1);
+                    g.finish();
+                }
+                progress.tick(sim_cycles);
                 *slots[i].lock().expect("result slot lock poisoned") = Some(r);
             });
         }
@@ -328,6 +378,22 @@ where
 /// Traces are built once per (workload, budget) up front — shared read-only
 /// across jobs — then the job list is consumed via an atomic cursor.
 pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResults {
+    run_matrix_with(spec, workers, &NullPhases, &Progress::off())
+}
+
+/// [`run_matrix`] with host telemetry: trace construction runs under a
+/// lane-0 `build_traces` span (per-workload `trace:<name>` spans on the
+/// worker lanes), simulation under a `simulate` span with one
+/// `job:<workload>/<variant>/<scheme>` span per job, charged with that
+/// job's simulated cycles and instructions. The returned results — and
+/// their serialized bytes — are identical to [`run_matrix`]'s: telemetry
+/// observes the run, it never feeds back into it.
+pub fn run_matrix_with<P: PhaseSink>(
+    spec: &MatrixSpec,
+    workers: usize,
+    phases: &P,
+    progress: &Progress,
+) -> MatrixResults {
     let jobs = spec.expand();
 
     // Phase 1: build each workload's trace once, in parallel.
@@ -336,23 +402,56 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResults {
         .iter()
         .map(|w| lvp_workloads::by_name(w).unwrap_or_else(|| panic!("unknown workload '{w}'")))
         .collect();
-    let traces: Vec<lvp_trace::Trace> = par_map(&workload_list, workers, |w| w.trace(spec.budget));
+    let mut span = phases.span(0, "build_traces");
+    let traces: Vec<lvp_trace::Trace> = par_map_metered(
+        &workload_list,
+        workers,
+        phases,
+        &Progress::off(),
+        |w| format!("trace:{}", w.name),
+        |t: &lvp_trace::Trace| (0, t.len() as u64),
+        |w| w.trace(spec.budget),
+    );
+    span.charge(0, traces.iter().map(|t| t.len() as u64).sum(), 0);
+    span.finish();
 
     // Phase 2: run jobs; each result lands in its own index slot.
-    let results = par_map(&jobs, workers, |job| {
-        let wi = spec
-            .workloads
-            .iter()
-            .position(|w| *w == job.workload)
-            .expect("job came from this spec");
-        let outcome = run_scheme(&traces[wi], job.scheme, &job.variant.config());
-        JobResult {
-            seed: job.seed(),
-            suite: workload_list[wi].suite.to_string(),
-            spec: job.clone(),
-            outcome,
-        }
-    });
+    let mut span = phases.span(0, "simulate");
+    let results = par_map_metered(
+        &jobs,
+        workers,
+        phases,
+        progress,
+        |job| {
+            format!(
+                "job:{}/{}/{}",
+                job.workload,
+                job.variant.name(),
+                job.scheme.name()
+            )
+        },
+        |r: &JobResult| (r.outcome.stats.cycles, r.outcome.stats.instructions),
+        |job| {
+            let wi = spec
+                .workloads
+                .iter()
+                .position(|w| *w == job.workload)
+                .expect("job came from this spec");
+            let outcome = run_scheme(&traces[wi], job.scheme, &job.variant.config());
+            JobResult {
+                seed: job.seed(),
+                suite: workload_list[wi].suite.to_string(),
+                spec: job.clone(),
+                outcome,
+            }
+        },
+    );
+    span.charge(
+        results.iter().map(|r| r.outcome.stats.cycles).sum(),
+        results.iter().map(|r| r.outcome.stats.instructions).sum(),
+        results.len() as u64,
+    );
+    span.finish();
     MatrixResults {
         spec: spec.clone(),
         jobs: results,

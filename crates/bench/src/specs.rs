@@ -7,7 +7,7 @@
 //! byte-exact text the retired one-binary-per-figure harnesses printed.
 //! [`run_specs`] dedups the requests across every selected spec, builds each
 //! workload trace once, and runs the unique simulations on the deterministic
-//! [`par_map`] worker pool — so `figs --all` simulates each design point
+//! [`par_map_metered`] worker pool — so `figs --all` simulates each design point
 //! exactly once even when several figures share it, and its output is
 //! bit-identical for any worker count.
 //!
@@ -18,13 +18,15 @@
 use crate::analysis::analyze_workload;
 use crate::experiments::{run_scheme, ComparisonRow, SchemeKind, SchemeOutcome};
 use crate::report;
-use crate::runner::par_map;
+use crate::runner::par_map_metered;
+use crate::telemetry::Progress;
 use dlvp::{
     evaluate_standalone, AddrEval, AddrWidth, AddressPredictor, AptLayout, Cap, CapConfig,
     DlvpConfig, Dvtage, Pap, PapConfig, Vtage,
 };
 use lvp_analysis::{EdgeKind, XvalConfig};
 use lvp_energy::{PrfComparison, SramMacro};
+use lvp_obs::{NullPhases, PhaseSink};
 use lvp_trace::{repeat::THRESHOLDS, ConflictProfile, RepeatProfile, Trace};
 use lvp_uarch::{Core, CoreConfig, SimConfig, SimStats};
 use std::collections::{HashMap, HashSet};
@@ -52,6 +54,16 @@ macro_rules! outln {
 pub enum SimScheme {
     Kind(SchemeKind),
     Dvtage,
+}
+
+impl SimScheme {
+    /// Stable display label (for telemetry span names).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimScheme::Kind(k) => k.name(),
+            SimScheme::Dvtage => "dvtage",
+        }
+    }
 }
 
 /// One simulation a spec needs: `workload` under `scheme`, configured by
@@ -192,13 +204,28 @@ fn run_request(req: &SimRequest, trace: &Trace) -> SimOutput {
 }
 
 /// Executes the selected specs: dedups their simulation requests, builds
-/// each needed trace once, runs the unique simulations on the [`par_map`]
+/// each needed trace once, runs the unique simulations on the [`par_map_metered`]
 /// pool, and renders every spec from the shared [`ResultSet`].
 ///
 /// Deterministic end to end: request order is first-seen spec order, the
 /// pool writes results into per-index slots, and renders are pure — the
 /// returned texts are byte-identical for any `workers >= 1`.
 pub fn run_specs(specs: &[&ExperimentSpec], budget: u64, workers: usize) -> Vec<RenderedSpec> {
+    run_specs_with(specs, budget, workers, &NullPhases, &Progress::off())
+}
+
+/// [`run_specs`] with host telemetry: trace building runs under a lane-0
+/// `build_traces` span, the deduped simulations under a `simulate` span
+/// with one `job:<workload>/<preset>/<scheme>` span per request (charged
+/// with its simulated cycles and instructions), and the renders under a
+/// `render` span. Rendered texts are byte-identical to [`run_specs`]'s.
+pub fn run_specs_with<P: PhaseSink>(
+    specs: &[&ExperimentSpec],
+    budget: u64,
+    workers: usize,
+    phases: &P,
+    progress: &Progress,
+) -> Vec<RenderedSpec> {
     let mut requests: Vec<SimRequest> = Vec::new();
     let mut seen: HashSet<SimRequest> = HashSet::new();
     for spec in specs {
@@ -214,16 +241,44 @@ pub fn run_specs(specs: &[&ExperimentSpec], budget: u64, workers: usize) -> Vec<
         .into_iter()
         .filter(|name| need_all || requests.iter().any(|r| r.workload == *name))
         .collect();
-    let built = par_map(&workload_names, workers, |name| {
-        lvp_workloads::by_name(name)
-            .unwrap_or_else(|| panic!("unknown workload '{name}'"))
-            .trace(budget)
-    });
+    let mut span = phases.span(0, "build_traces");
+    let built = par_map_metered(
+        &workload_names,
+        workers,
+        phases,
+        &Progress::off(),
+        |name| format!("trace:{name}"),
+        |t: &Trace| (0, t.len() as u64),
+        |name| {
+            lvp_workloads::by_name(name)
+                .unwrap_or_else(|| panic!("unknown workload '{name}'"))
+                .trace(budget)
+        },
+    );
+    span.charge(0, built.iter().map(|t| t.len() as u64).sum(), 0);
+    span.finish();
     let traces: HashMap<&'static str, Trace> = workload_names.iter().copied().zip(built).collect();
 
-    let outputs = par_map(&requests, workers, |req| {
-        run_request(req, &traces[req.workload])
-    });
+    let sim_work = |out: &SimOutput| match out {
+        SimOutput::Outcome(o) => (o.stats.cycles, o.stats.instructions),
+        SimOutput::Stats(s) => (s.cycles, s.instructions),
+    };
+    let mut span = phases.span(0, "simulate");
+    let outputs = par_map_metered(
+        &requests,
+        workers,
+        phases,
+        progress,
+        |req| format!("job:{}/{}/{}", req.workload, req.preset, req.scheme.label()),
+        sim_work,
+        |req| run_request(req, &traces[req.workload]),
+    );
+    let (cycles, instructions) = outputs
+        .iter()
+        .map(sim_work)
+        .fold((0, 0), |(c, i), (dc, di)| (c + dc, i + di));
+    span.charge(cycles, instructions, outputs.len() as u64);
+    span.finish();
     let sims: HashMap<SimRequest, SimOutput> = requests.iter().copied().zip(outputs).collect();
 
     let set = ResultSet {
@@ -231,13 +286,15 @@ pub fn run_specs(specs: &[&ExperimentSpec], budget: u64, workers: usize) -> Vec<
         traces,
         sims,
     };
-    specs
-        .iter()
-        .map(|spec| RenderedSpec {
-            name: spec.name,
-            text: (spec.render)(&set),
-        })
-        .collect()
+    phases.time(0, "render", || {
+        specs
+            .iter()
+            .map(|spec| RenderedSpec {
+                name: spec.name,
+                text: (spec.render)(&set),
+            })
+            .collect()
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -9,12 +9,16 @@
 //! time, so the viewer's time axis reads directly in cycles.
 
 use crate::event::ObsEvent;
+use crate::profile::PhaseSpan;
 use lvp_json::{Json, ToJson};
 
 /// Trace process for pipeline spans.
 const PID_PIPELINE: u64 = 0;
 /// Trace process for DLVP lifecycle instants.
 const PID_DLVP: u64 = 1;
+/// Trace process for host phases (the simulator itself, not the simulated
+/// machine).
+const PID_HOST: u64 = 2;
 /// Cap on pipeline lanes; deeper overlap folds into the last lane.
 const MAX_LANES: usize = 64;
 
@@ -159,6 +163,51 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
     ])
 }
 
+/// Builds a Chrome `trace_event` document for **host** phase spans: process
+/// "host", one thread lane per profiler lane (lane 0 = the coordinating
+/// thread, lane `i + 1` = pool worker `i`), `ph: "X"` spans in microseconds
+/// so stragglers and pool idle time are visible at `chrome://tracing`.
+/// Unlike [`chrome_trace`], the input is wall-clock measurement — the
+/// output is honest telemetry, not a deterministic artifact.
+pub fn host_trace(spans: &[PhaseSpan]) -> Json {
+    let mut lanes: Vec<u32> = spans.iter().map(|s| s.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+
+    let mut trace_events = vec![metadata("process_name", PID_HOST, None, "host")];
+    for &lane in &lanes {
+        let name = if lane == 0 {
+            "main".to_string()
+        } else {
+            format!("worker {}", lane - 1)
+        };
+        trace_events.push(metadata("thread_name", PID_HOST, Some(lane as u64), &name));
+    }
+    for span in spans {
+        trace_events.push(Json::obj([
+            ("name", span.name.to_json()),
+            ("ph", "X".to_json()),
+            ("ts", (span.start_ns / 1_000).to_json()),
+            ("dur", (span.dur_ns / 1_000).max(1).to_json()),
+            ("pid", PID_HOST.to_json()),
+            ("tid", (span.lane as u64).to_json()),
+            (
+                "args",
+                Json::obj([
+                    ("depth", (span.depth as u64).to_json()),
+                    ("sim_cycles", span.sim_cycles.to_json()),
+                    ("instructions", span.instructions.to_json()),
+                    ("jobs", span.jobs.to_json()),
+                ]),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("displayTimeUnit", "ms".to_json()),
+        ("traceEvents", Json::Array(trace_events)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +302,63 @@ mod tests {
         assert_eq!(a.compact(), b.compact());
         assert_eq!(Json::parse(&a.compact()).expect("parse"), a);
         assert_eq!(a.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    }
+
+    #[test]
+    fn host_trace_gives_each_worker_a_lane() {
+        let spans = vec![
+            PhaseSpan {
+                name: "simulate".into(),
+                lane: 0,
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 5_000_000,
+                sim_cycles: 0,
+                instructions: 0,
+                jobs: 0,
+            },
+            PhaseSpan {
+                name: "job:a".into(),
+                lane: 1,
+                depth: 0,
+                start_ns: 1_000,
+                dur_ns: 400, // sub-microsecond: must still render with dur >= 1
+                sim_cycles: 12,
+                instructions: 30,
+                jobs: 1,
+            },
+            PhaseSpan {
+                name: "job:b".into(),
+                lane: 2,
+                depth: 0,
+                start_ns: 2_000_000,
+                dur_ns: 2_000_000,
+                sim_cycles: 99,
+                instructions: 70,
+                jobs: 1,
+            },
+        ];
+        let doc = host_trace(&spans);
+        let evs = trace_events(&doc);
+        let thread_names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(thread_names, vec!["main", "worker 0", "worker 1"]);
+        let xs: Vec<&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[1].get("dur").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(xs[2].get("ts").and_then(Json::as_f64), Some(2000.0));
+        // Round-trips through lvp-json.
+        assert_eq!(Json::parse(&doc.compact()).expect("parses"), doc);
     }
 
     #[test]

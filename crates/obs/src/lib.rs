@@ -20,8 +20,13 @@
 //! * [`chrome_trace`] — Chrome `trace_event` JSON for `chrome://tracing`;
 //! * [`LifecycleReport`] — a compact per-load-PC lifecycle report whose
 //!   injected/correct counts reconcile exactly with `SimStats::per_pc`;
-//! * [`HostProfiler`] — host-side wall-clock per simulator phase plus
-//!   simulated MIPS (stderr only; never part of deterministic artifacts).
+//! * [`PhaseSink`]/[`PhaseRecorder`] — hierarchical host-side phase
+//!   profiling of the simulator itself (wall-clock, sim cycles,
+//!   instructions and jobs per span, one lane per pool worker), zero-cost
+//!   when disabled via [`NullPhases`]; [`chrome::host_trace`] exports the
+//!   phases for `chrome://tracing`. Host timing is never part of a
+//!   deterministic artifact — it flows to stderr or to explicitly-requested
+//!   telemetry files only.
 //!
 //! ## Overhead contract
 //!
@@ -40,9 +45,11 @@ pub mod profile;
 pub mod report;
 pub mod ring;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, host_trace};
 pub use event::{FilterReason, InjectBlock, ObsEvent, RedirectCause, VerifyOutcome};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use profile::{mips, HostProfiler};
+pub use profile::{
+    mips, sim_cycles_per_sec, NullPhases, PhaseGuard, PhaseRecorder, PhaseSink, PhaseSpan,
+};
 pub use report::{LifecycleReport, PcLifecycle, RunMeta};
 pub use ring::{ErasedEmit, EventRing, EventSink, NullSink, RingSink, SinkHandle};

@@ -1,0 +1,62 @@
+//! Disabled-mode zero-allocation contract: profiling through [`NullPhases`]
+//! must not touch the heap at all. A counting global allocator wraps the
+//! system one; the disabled-sink span/charge/finish cycle must leave the
+//! allocation counter untouched, while the recording sink visibly must not.
+
+use lvp_obs::{NullPhases, PhaseRecorder, PhaseSink};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn null_phases_never_allocates() {
+    let sink = NullPhases;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1_000u64 {
+        let mut guard = sink.span(0, "hot-phase");
+        guard.charge(i, i * 2, 1);
+        guard.finish();
+        let v = sink.time(3, "nested", || i + 1);
+        std::hint::black_box(v);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled profiling must be allocation-free"
+    );
+}
+
+#[test]
+fn recorder_does_allocate_as_a_control() {
+    // The counting allocator itself must be live, or the zero-allocation
+    // assertion above would be vacuous.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let rec = PhaseRecorder::new();
+    rec.time(0, "control-span", || ());
+    std::hint::black_box(rec.spans());
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(after > before, "recording sink should hit the allocator");
+}

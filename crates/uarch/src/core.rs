@@ -120,6 +120,12 @@ pub struct Core<S: VpScheme, K: EventSink = NullSink> {
     /// Print a per-instruction pipeline trace for the first N instructions
     /// (debugging aid).
     verbose_until: u64,
+    /// Host-side busy-loop iterations per step (0 = off). A pure wall-clock
+    /// tax for the `bench --inject-slowdown` regression-gate proof: it
+    /// burns host time inside the hot step loop without reading or writing
+    /// any simulated state, so stats stay bit-identical. Deliberately not
+    /// part of [`CoreConfig`] — it must never serialize into an artifact.
+    host_spin: u32,
     /// Observability sink; purely write-only from the core's point of view.
     sink: K,
 }
@@ -167,6 +173,7 @@ impl<S: VpScheme, K: EventSink> Core<S, K> {
             rename_hist: VecDeque::new(),
             fetch_bound: 0,
             verbose_until: 0,
+            host_spin: 0,
             sink,
             cfg,
         }
@@ -175,6 +182,14 @@ impl<S: VpScheme, K: EventSink> Core<S, K> {
     /// Enables a stderr pipeline trace for the first `n` instructions.
     pub fn set_verbose(&mut self, n: u64) {
         self.verbose_until = n;
+    }
+
+    /// Injects `iters` busy-loop iterations into every step — a deliberate
+    /// host-side slowdown that leaves all simulated state untouched. Used by
+    /// `bench --inject-slowdown` to prove the throughput regression gate
+    /// bites; see the `host_spin` field.
+    pub fn set_host_spin(&mut self, iters: u32) {
+        self.host_spin = iters;
     }
 
     /// Access to the scheme (for post-run counters).
@@ -221,6 +236,14 @@ impl<S: VpScheme, K: EventSink> Core<S, K> {
 
     // ------------------------------------------------------------------
     fn step(&mut self, rec: &TraceRecord) {
+        if self.host_spin > 0 {
+            // Wall-clock tax only: no simulated state is read or written.
+            let mut x = 0u64;
+            for i in 0..self.host_spin as u64 {
+                x = std::hint::black_box(x ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            }
+            std::hint::black_box(x);
+        }
         self.stats.instructions += 1;
         let inst = rec.inst;
         let is_load = inst.is_load();

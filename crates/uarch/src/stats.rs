@@ -192,6 +192,24 @@ impl SimStats {
         }
     }
 
+    /// The host-telemetry accounting pair: simulated work as `(sim_cycles,
+    /// instructions)`, the two counters every host phase span and telemetry
+    /// manifest attributes wall-clock time to.
+    pub fn sim_work(&self) -> (u64, u64) {
+        (self.cycles, self.instructions)
+    }
+
+    /// Simulated cycles per wall-clock second for a run that took `wall_ns`
+    /// of host time — the throughput number the `bench --check` regression
+    /// gate watches. Zero when `wall_ns` is zero.
+    pub fn sim_cycles_per_sec(&self, wall_ns: u64) -> f64 {
+        if wall_ns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / (wall_ns as f64 / 1e9)
+        }
+    }
+
     /// Fallible variant of [`SimStats::speedup_over`].
     pub fn try_speedup_over(&self, baseline: &SimStats) -> Result<f64, StatsError> {
         if self.instructions != baseline.instructions {
