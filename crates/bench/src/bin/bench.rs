@@ -26,9 +26,9 @@
 //! exactly; medians under the relative tolerance band. See DESIGN.md §12.
 
 use lvp_bench::perf::{
-    bench_doc, check, run_benchmarks, Baseline, BenchPolicy, ANALYZE_BUDGET, ANALYZE_WORKLOAD,
-    DEFAULT_TOL_REL, FUZZ_PROFILE, FUZZ_SEEDS, INJECT_SPIN, SIMCORE_BUDGET, SIMCORE_SCHEMES,
-    SIMCORE_WORKLOADS,
+    bench_doc, check, run_benchmarks, tier_speedups, Baseline, BenchPolicy, ANALYZE_BUDGET,
+    ANALYZE_WORKLOAD, DEFAULT_TOL_REL, FUZZ_PROFILE, FUZZ_SEEDS, INJECT_SPIN, SIMCORE_BUDGET,
+    SIMCORE_SCHEMES, SIMCORE_WORKLOADS, TIER_PHASES, TIER_SAMPLE,
 };
 use lvp_bench::telemetry::{self, fmt_rate, Manifest};
 use lvp_json::{Json, ToJson};
@@ -144,6 +144,21 @@ fn main() -> ExitCode {
                 println!("  simcore/{w}/{}", s.name());
             }
         }
+        println!(
+            "tiers     : {} workloads x {} tiers, budget {} (sampled: ff {} / warm {} / detail {} / period {})",
+            SIMCORE_WORKLOADS.len(),
+            TIER_PHASES.len(),
+            SIMCORE_BUDGET,
+            TIER_SAMPLE.ff,
+            TIER_SAMPLE.warmup,
+            TIER_SAMPLE.detail,
+            TIER_SAMPLE.period,
+        );
+        for w in SIMCORE_WORKLOADS {
+            for p in TIER_PHASES {
+                println!("  {p}/{w}");
+            }
+        }
         println!("analyze   : {ANALYZE_WORKLOAD}, budget {ANALYZE_BUDGET}");
         println!("fuzz_oracle: profile {FUZZ_PROFILE}, seeds 0..{FUZZ_SEEDS}");
         flags.finish();
@@ -225,6 +240,19 @@ fn main() -> ExitCode {
             r.scheme,
             r.median_ns,
             fmt_rate(r.sim_cycles_per_sec)
+        );
+    }
+    // Tier summary: wall-clock speedup of each tier over cycle-level DLVP
+    // on the same workloads (geometric mean).
+    let speedups = tier_speedups(&rows);
+    if !speedups.is_empty() {
+        let parts: Vec<String> = speedups
+            .iter()
+            .map(|(phase, x)| format!("{} {:.1}x", phase.trim_start_matches("tier_"), x))
+            .collect();
+        println!(
+            "tier speedup vs cycle-level DLVP (geomean): {}",
+            parts.join(", ")
         );
     }
 

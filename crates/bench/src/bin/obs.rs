@@ -10,6 +10,8 @@
 //!   columns against SimStats::per_pc — exact reconciliation or exit 1.
 //!
 //! obs record <workload> <budget> <file>   emulate once, save the trace
+//!   (streams records to disk as they execute; the trace never materializes
+//!   in memory, so budget is bounded by disk, not RAM)
 //! obs stats  <file>                       inspect a saved trace
 //! obs replay <file> [scheme]              time a saved trace under a scheme
 //! obs misp     [--workload W] [--budget N] [--top N]
@@ -27,7 +29,7 @@
 use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
 use lvp_json::ToJson;
 use lvp_obs::{chrome_trace, LifecycleReport, PhaseRecorder, PhaseSink, RunMeta};
-use lvp_trace::{read_trace, write_trace};
+use lvp_trace::{read_trace, TraceWriter};
 use lvp_uarch::{fmt_pct, simulate, CoreConfig, NoVp, SimConfig, SimStats};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -227,7 +229,6 @@ fn cmd_record(args: &[String]) -> ExitCode {
     let budget: u64 = budget
         .parse()
         .unwrap_or_else(|_| usage("record: budget must be an integer"));
-    let trace = w.trace(budget);
     let out = match File::create(file) {
         Ok(f) => f,
         Err(e) => {
@@ -235,14 +236,25 @@ fn cmd_record(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = write_trace(&trace, BufWriter::new(out)) {
-        eprintln!("obs: cannot write {file}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "recorded {} instructions of {workload} to {file}",
-        trace.len()
-    );
+    // Stream straight from the emulator to disk: each record is written as
+    // it executes, so the capture never holds the trace in memory.
+    let written = (|| -> std::io::Result<u64> {
+        let mut writer = TraceWriter::new(BufWriter::new(out))?;
+        for rec in lvp_emu::Emulator::new(w.program()).records(budget) {
+            writer.push(&rec)?;
+        }
+        let n = writer.count();
+        writer.finish()?;
+        Ok(n)
+    })();
+    let written = match written {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("obs: cannot write {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("recorded {written} instructions of {workload} to {file}");
     ExitCode::SUCCESS
 }
 

@@ -8,6 +8,9 @@
 //!   --variants v,w        config variants (default,oracle_replay,gshare,
 //!                         no_prefetch,narrow_frontend,small_pvt)
 //!   --budget N            dynamic instructions per workload (default 200000)
+//!   --sample FF:W:D:P     fast-forward + sampled execution: skip FF insts,
+//!                         then per P-inst period run W warm-only and D
+//!                         detailed cycle-level insts (stats from D only)
 //!   --jobs N              worker threads (default: LVP_JOBS or all cores)
 //!   --out PATH            results file (default results/matrix.json)
 //!   --baseline PATH       diff against a golden snapshot; non-zero exit on drift
@@ -51,6 +54,7 @@ struct Args {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
     eprintln!("usage: runner [--workloads a,b] [--schemes x,y] [--variants v] [--budget N]");
+    eprintln!("              [--sample FF:W:D:P]");
     eprintln!("              [--jobs N] [--out PATH] [--baseline PATH] [--tol-rel X]");
     eprintln!("              [--tol-abs X] [--update-golden PATH] [--telemetry PATH]");
     eprintln!("              [--host-trace PATH] [--quiet] [--list]");
@@ -109,6 +113,29 @@ fn parse_args() -> Args {
                 spec.budget = value(&mut i, "--budget")
                     .parse()
                     .unwrap_or_else(|_| usage("--budget must be an integer"));
+            }
+            "--sample" => {
+                let v = value(&mut i, "--sample");
+                let parts: Vec<u64> = v
+                    .split(':')
+                    .map(|p| {
+                        p.parse()
+                            .unwrap_or_else(|_| usage("--sample needs FF:WARMUP:DETAIL:PERIOD"))
+                    })
+                    .collect();
+                let [ff, warmup, detail, period] = parts[..] else {
+                    usage("--sample needs exactly four ':'-separated integers")
+                };
+                let sample = lvp_uarch::SampleSpec {
+                    ff,
+                    warmup,
+                    detail,
+                    period,
+                };
+                if let Err(e) = sample.validate() {
+                    usage(&format!("--sample: {e}"));
+                }
+                spec.sample = Some(sample);
             }
             "--jobs" => {
                 jobs = value(&mut i, "--jobs")

@@ -125,6 +125,14 @@ pub fn run_scheme_spun(
     cfg: &SimConfig,
     spin: u32,
 ) -> SchemeOutcome {
+    // Sampled dispatch: a config carrying a SampleSpec runs the tiered
+    // fast-forward driver instead of the flat cycle-level pass. Configs
+    // without one (every committed artifact) take the unchanged path below.
+    if let Some(spec) = cfg.sample {
+        let (stats, s) =
+            lvp_uarch::run_sampled_trace(&cfg.core, scheme.build(cfg), trace, spec, spin);
+        return SchemeOutcome::collect(scheme, stats, &s);
+    }
     let mut core = Core::new(cfg.core.clone(), scheme.build(cfg));
     core.set_host_spin(spin);
     let (stats, s) = core.run_with_scheme(trace);
@@ -285,6 +293,31 @@ mod tests {
         let t = w.trace(20_000);
         let o = run_with_replay(&t, SchemeKind::Cap);
         assert_eq!(o.stats.vp_flushes, 0);
+    }
+
+    #[test]
+    fn sampled_dispatch_is_deterministic_and_marked() {
+        let w = lvp_workloads::by_name("autcor").expect("workload");
+        let t = w.trace(20_000);
+        let mut cfg = SimConfig {
+            sample: Some(lvp_uarch::SampleSpec {
+                ff: 2_000,
+                warmup: 500,
+                detail: 1_000,
+                period: 3_000,
+            }),
+            ..SimConfig::default()
+        };
+        let a = run_scheme(&t, SchemeKind::Dlvp, &cfg);
+        let b = run_scheme(&t, SchemeKind::Dlvp, &cfg);
+        assert_eq!(a, b, "sampled outcomes must be deterministic");
+        assert!(a.stats.sampling.is_some(), "sampled stats carry accounting");
+        assert!(a.stats.instructions < t.len() as u64);
+        // Unsampled outcomes stay free of the sampling key.
+        cfg.sample = None;
+        let plain = run_scheme(&t, SchemeKind::Dlvp, &cfg);
+        assert!(plain.stats.sampling.is_none());
+        assert!(!plain.to_json().pretty().contains("sampling"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use lvp_analysis::XvalConfig;
 use lvp_fuzz::{run_seed, OracleConfig, SynthProfile};
 use lvp_json::{Json, ToJson};
 use lvp_obs::PhaseSink;
-use lvp_uarch::SimConfig;
+use lvp_uarch::{CoreConfig, ExecutionTier, FunctionalTier, SampleSpec, SimConfig, SimpleTier};
 use std::time::Duration;
 
 /// The simcore phase's workload list (≥ 6, spanning suites and behaviours).
@@ -56,6 +56,21 @@ pub const SIMCORE_SCHEMES: [SchemeKind; 3] =
 /// Per-workload budget of the simcore phase (matches the historical
 /// `BENCH_simcore.json` rows).
 pub const SIMCORE_BUDGET: u64 = 50_000;
+
+/// The tier phases: the same six workloads through the cheap execution
+/// tiers (`tier_functional`, `tier_simple`) and through fast-forward +
+/// sampled cycle-level DLVP (`tier_sampled`), at the simcore budget.
+pub const TIER_PHASES: [&str; 3] = ["tier_functional", "tier_simple", "tier_sampled"];
+
+/// The `tier_sampled` phase's sampling spec: skip the first 10k
+/// instructions, then per 10k-instruction period run 2k warm-only and 4k
+/// detailed — 16k detailed instructions out of the 50k budget.
+pub const TIER_SAMPLE: SampleSpec = SampleSpec {
+    ff: 10_000,
+    warmup: 2_000,
+    detail: 4_000,
+    period: 10_000,
+};
 
 /// The analyze phase's workload and budget.
 pub const ANALYZE_WORKLOAD: &str = "perlbmk";
@@ -229,6 +244,14 @@ impl BenchRow {
     }
 }
 
+/// One tier benchmark cell: phase name, scheme label, and the measured
+/// closure (which borrows the tier and the trace).
+type TierCell<'a> = (
+    &'static str,
+    String,
+    Box<dyn FnMut() -> lvp_uarch::SimStats + 'a>,
+);
+
 /// Runs the full benchmark matrix serially (measurement never shares the
 /// machine with other jobs of the same run) and returns one row per cell.
 /// `spin > 0` injects the deliberate host-side slowdown into the simcore
@@ -277,6 +300,79 @@ pub fn run_benchmarks<P: PhaseSink>(policy: &BenchPolicy, spin: u32, phases: &P)
         }
     }
     span.charge(total_cycles, total_instr, rows.len() as u64);
+    span.finish();
+
+    // Tier cells: same workloads, alternative execution tiers. The spin
+    // reaches every tier (the functional tier included), so
+    // `--inject-slowdown` provably trips the gate on the fastest path too.
+    let mut span = phases.span(0, "bench:tiers");
+    let (mut tier_cycles, mut tier_instr) = (0u64, 0u64);
+    let sampled_cfg = SimConfig {
+        sample: Some(TIER_SAMPLE),
+        ..SimConfig::default()
+    };
+    for name in SIMCORE_WORKLOADS {
+        let w = lvp_workloads::by_name(name).expect("fixed benchmark workload");
+        let trace = phases.time(0, "build_trace", || w.trace(SIMCORE_BUDGET));
+        let mut functional = FunctionalTier::new();
+        functional.set_host_spin(spin);
+        let mut simple = SimpleTier::new(CoreConfig::default());
+        simple.set_host_spin(spin);
+        let cells: [TierCell<'_>; 3] = [
+            (
+                "tier_functional",
+                "functional".into(),
+                Box::new(|| functional.run(&trace)),
+            ),
+            (
+                "tier_simple",
+                "simple".into(),
+                Box::new(|| simple.run(&trace)),
+            ),
+            (
+                "tier_sampled",
+                SchemeKind::Dlvp.name().into(),
+                Box::new(|| run_scheme_spun(&trace, SchemeKind::Dlvp, &sampled_cfg, spin).stats),
+            ),
+        ];
+        for (phase, scheme, mut run) in cells {
+            let mut cell = if P::ENABLED {
+                Some(phases.span(0, &format!("job:{}/{}/{}", name, phase, scheme)))
+            } else {
+                None
+            };
+            let stats = run();
+            let m = policy
+                .bench(format!("{phase}_{name}"))
+                .measure(|| std::hint::black_box(run()));
+            let median_ns = m.median.as_nanos() as u64;
+            if let Some(c) = cell.as_mut() {
+                c.charge(stats.cycles, stats.instructions, 1);
+                c.finish();
+            }
+            tier_cycles += stats.cycles;
+            tier_instr += stats.instructions;
+            rows.push(BenchRow {
+                phase: phase.into(),
+                workload: name.into(),
+                scheme,
+                budget: SIMCORE_BUDGET,
+                det: vec![
+                    ("instructions".into(), stats.instructions),
+                    ("sim_cycles".into(), stats.cycles),
+                ],
+                median_ns,
+                min_ns: m.min.as_nanos() as u64,
+                max_ns: m.max.as_nanos() as u64,
+                sim_cycles_per_sec: lvp_obs::sim_cycles_per_sec(stats.cycles, median_ns),
+            });
+        }
+    }
+    span.charge(
+        tier_cycles,
+        tier_instr,
+        (SIMCORE_WORKLOADS.len() * 3) as u64,
+    );
     span.finish();
 
     let mut span = phases.span(0, "bench:analyze");
@@ -363,6 +459,28 @@ pub fn run_benchmarks<P: PhaseSink>(policy: &BenchPolicy, spin: u32, phases: &P)
     });
 
     rows
+}
+
+/// Geometric-mean wall-clock speedup of each tier phase over the
+/// cycle-level simcore DLVP cell on the same workload — the bench CLI's
+/// tier summary line. Phases without matching cells are omitted.
+pub fn tier_speedups(rows: &[BenchRow]) -> Vec<(&'static str, f64)> {
+    TIER_PHASES
+        .iter()
+        .filter_map(|&phase| {
+            let (mut log_sum, mut n) = (0f64, 0u32);
+            for r in rows.iter().filter(|r| r.phase == phase) {
+                let base = rows.iter().find(|b| {
+                    b.phase == "simcore"
+                        && b.workload == r.workload
+                        && b.scheme == SchemeKind::Dlvp.name()
+                })?;
+                log_sum += (base.median_ns.max(1) as f64 / r.median_ns.max(1) as f64).ln();
+                n += 1;
+            }
+            (n > 0).then(|| (phase, (log_sum / n as f64).exp()))
+        })
+        .collect()
 }
 
 /// Serializes a benchmark run as the baseline document (schema v2: v1's
@@ -611,6 +729,39 @@ mod tests {
         ]);
         let err = Baseline::parse(&v1).expect_err("v1 must be rejected");
         assert!(err.contains("refresh"));
+    }
+
+    #[test]
+    fn tier_sample_spec_is_valid() {
+        TIER_SAMPLE.validate().expect("fixed tier sampling spec");
+        assert_eq!(TIER_SAMPLE.period, 10_000);
+    }
+
+    #[test]
+    fn tier_speedups_geomean_over_matching_workloads() {
+        let mk = |phase: &str, workload: &str, scheme: &str, median: u64| BenchRow {
+            phase: phase.into(),
+            workload: workload.into(),
+            scheme: scheme.into(),
+            budget: 50_000,
+            det: vec![],
+            median_ns: median,
+            min_ns: median,
+            max_ns: median,
+            sim_cycles_per_sec: 0.0,
+        };
+        let rows = vec![
+            mk("simcore", "aifirf", "DLVP", 8_000),
+            mk("simcore", "nat", "DLVP", 2_000),
+            mk("tier_functional", "aifirf", "functional", 1_000),
+            mk("tier_functional", "nat", "functional", 1_000),
+        ];
+        let sp = tier_speedups(&rows);
+        assert_eq!(sp.len(), 1);
+        assert_eq!(sp[0].0, "tier_functional");
+        // geomean(8x, 2x) = 4x
+        assert!((sp[0].1 - 4.0).abs() < 1e-9, "got {}", sp[0].1);
+        assert!(tier_speedups(&[]).is_empty());
     }
 
     #[test]

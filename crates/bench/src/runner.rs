@@ -24,7 +24,7 @@ use crate::experiments::{run_scheme, SchemeKind, SchemeOutcome};
 use crate::telemetry::Progress;
 use lvp_json::{Json, ToJson};
 use lvp_obs::{NullPhases, PhaseSink};
-use lvp_uarch::SimConfig;
+use lvp_uarch::{SampleSpec, SimConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -100,6 +100,9 @@ pub struct JobSpec {
     pub scheme: SchemeKind,
     pub variant: ConfigVariant,
     pub budget: u64,
+    /// Fast-forward + sampled execution, threaded from the matrix level.
+    /// `None` (every committed artifact) runs the flat cycle-level path.
+    pub sample: Option<SampleSpec>,
 }
 
 impl JobSpec {
@@ -129,6 +132,8 @@ pub struct MatrixSpec {
     pub schemes: Vec<SchemeKind>,
     pub variants: Vec<ConfigVariant>,
     pub budget: u64,
+    /// Run every job under fast-forward + sampled execution (`--sample`).
+    pub sample: Option<SampleSpec>,
 }
 
 impl MatrixSpec {
@@ -143,6 +148,7 @@ impl MatrixSpec {
             schemes: SchemeKind::all().to_vec(),
             variants: vec![ConfigVariant::Default],
             budget,
+            sample: None,
         }
     }
 
@@ -159,6 +165,7 @@ impl MatrixSpec {
                         scheme,
                         variant,
                         budget: self.budget,
+                        sample: self.sample,
                     });
                 }
             }
@@ -184,13 +191,19 @@ impl MatrixSpec {
 }
 
 impl ToJson for MatrixSpec {
+    /// The `sample` key appears only when sampling is on, so unsampled
+    /// results files keep their exact pre-sampling bytes.
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("workloads", self.workloads.to_json()),
             ("schemes", self.schemes.to_json()),
             ("variants", self.variants.to_json()),
             ("budget", self.budget.to_json()),
-        ])
+        ];
+        if let Some(sample) = &self.sample {
+            pairs.push(("sample", sample.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -280,7 +293,9 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
     let w = lvp_workloads::by_name(&spec.workload)
         .unwrap_or_else(|| panic!("unknown workload '{}'", spec.workload));
     let trace = w.trace(spec.budget);
-    let outcome = run_scheme(&trace, spec.scheme, &spec.variant.config());
+    let mut cfg = spec.variant.config();
+    cfg.sample = spec.sample;
+    let outcome = run_scheme(&trace, spec.scheme, &cfg);
     JobResult {
         seed: spec.seed(),
         suite: w.suite.to_string(),
@@ -437,7 +452,9 @@ pub fn run_matrix_with<P: PhaseSink>(
                 .iter()
                 .position(|w| *w == job.workload)
                 .expect("job came from this spec");
-            let outcome = run_scheme(&traces[wi], job.scheme, &job.variant.config());
+            let mut cfg = job.variant.config();
+            cfg.sample = job.sample;
+            let outcome = run_scheme(&traces[wi], job.scheme, &cfg);
             JobResult {
                 seed: job.seed(),
                 suite: workload_list[wi].suite.to_string(),
@@ -587,6 +604,7 @@ mod tests {
             schemes: vec![SchemeKind::Baseline, SchemeKind::Dlvp],
             variants: vec![ConfigVariant::Default],
             budget: 5_000,
+            sample: None,
         }
     }
 
@@ -628,6 +646,7 @@ mod tests {
             schemes: vec![SchemeKind::Baseline],
             variants: vec![ConfigVariant::Default],
             budget: 3_000,
+            sample: None,
         };
         let results = run_matrix(&spec, 2);
         let golden = results.to_json();
@@ -668,6 +687,31 @@ mod tests {
         }
         let drifts = diff_matrices(&structural, &results.to_json(), Tolerances::default());
         assert!(drifts.iter().any(|d| d.path == "<structure>"));
+    }
+
+    #[test]
+    fn sampled_matrix_is_jobs_invariant_and_spec_key_is_conditional() {
+        let mut spec = tiny_spec();
+        assert!(
+            !spec.to_json().pretty().contains("\"sample\""),
+            "unsampled specs must not grow a sample key"
+        );
+        spec.budget = 20_000;
+        spec.sample = Some(SampleSpec {
+            ff: 4_000,
+            warmup: 1_000,
+            detail: 2_000,
+            period: 6_000,
+        });
+        let serial = run_matrix(&spec, 1);
+        let parallel = run_matrix(&spec, 4);
+        assert_eq!(serial, parallel, "sampling must stay --jobs invariant");
+        assert_eq!(serial.to_json().pretty(), parallel.to_json().pretty());
+        assert!(serial.to_json().pretty().contains("\"sample\""));
+        for j in &serial.jobs {
+            assert!(j.outcome.stats.sampling.is_some());
+            assert!(j.outcome.stats.instructions < spec.budget);
+        }
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub struct Dvtage {
     pending: HashMap<u64, PendingDv>,
     predictions: u64,
     mispredictions: u64,
+    /// Warm-only mode: train but never deliver predictions at rename.
+    warm_only: bool,
 }
 
 impl Dvtage {
@@ -110,6 +112,7 @@ impl Dvtage {
             pending: HashMap::new(),
             predictions: 0,
             mispredictions: 0,
+            warm_only: false,
             cfg,
         }
     }
@@ -244,10 +247,17 @@ impl VpScheme for Dvtage {
     }
 
     fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
+        if self.warm_only {
+            return None;
+        }
         self.pending
             .get(&seq)?
             .predicted
             .map(|_| RenamePrediction { chunks: 1 })
+    }
+
+    fn set_warm_only(&mut self, warm: bool) {
+        self.warm_only = warm;
     }
 
     fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {

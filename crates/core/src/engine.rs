@@ -90,6 +90,9 @@ pub struct Dlvp<A: AddressPredictor> {
     /// Per-PC outcomes (ordered so exports are deterministic).
     per_pc: BTreeMap<u64, PcOutcome>,
     name: &'static str,
+    /// Warm-only mode: lookup, probe and train as usual, but never deliver
+    /// a prediction at rename (sampled-simulation warmup windows).
+    warm_only: bool,
 }
 
 impl<A: AddressPredictor> Dlvp<A> {
@@ -105,6 +108,7 @@ impl<A: AddressPredictor> Dlvp<A> {
             cfg,
             predictor,
             name,
+            warm_only: false,
         }
     }
 
@@ -325,6 +329,9 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
     }
 
     fn prediction_at_rename(&mut self, seq: u64, rename_cycle: u64) -> Option<RenamePrediction> {
+        if self.warm_only {
+            return None;
+        }
         let p = self.pending.get(&seq)?.prediction?;
         if p.value_ready <= rename_cycle {
             Some(RenamePrediction { chunks: 1 })
@@ -332,6 +339,10 @@ impl<A: AddressPredictor> VpScheme for Dlvp<A> {
             self.counters.late_values += 1;
             None
         }
+    }
+
+    fn set_warm_only(&mut self, warm: bool) {
+        self.warm_only = warm;
     }
 
     fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {

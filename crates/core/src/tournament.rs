@@ -85,6 +85,11 @@ impl VpScheme for Tournament {
         }
     }
 
+    fn set_warm_only(&mut self, warm: bool) {
+        self.dlvp.set_warm_only(warm);
+        self.vtage.set_warm_only(warm);
+    }
+
     fn prediction_at_rename(&mut self, seq: u64, rename: u64) -> Option<RenamePrediction> {
         let d = self.dlvp.prediction_at_rename(seq, rename);
         let v = self.vtage.prediction_at_rename(seq, rename);

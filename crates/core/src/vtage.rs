@@ -90,6 +90,8 @@ pub struct Vtage {
     misp_by_pc: HashMap<u64, u64>,
     reads: u64,
     writes: u64,
+    /// Warm-only mode: train but never deliver predictions at rename.
+    warm_only: bool,
 }
 
 impl Vtage {
@@ -127,6 +129,7 @@ impl Vtage {
             misp_by_pc: HashMap::new(),
             reads: 0,
             writes: 0,
+            warm_only: false,
             cfg,
         }
     }
@@ -348,11 +351,18 @@ impl VpScheme for Vtage {
     }
 
     fn prediction_at_rename(&mut self, seq: u64, _rename: u64) -> Option<RenamePrediction> {
+        if self.warm_only {
+            return None;
+        }
         let p = self.pending.get(&seq)?;
         let values = p.values.as_ref()?;
         Some(RenamePrediction {
             chunks: values.len() as u32,
         })
+    }
+
+    fn set_warm_only(&mut self, warm: bool) {
+        self.warm_only = warm;
     }
 
     fn on_execute(&mut self, info: &ExecInfo<'_>) -> VpVerdict {

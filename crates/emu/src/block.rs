@@ -1,0 +1,72 @@
+//! Predecoded basic-block cache.
+//!
+//! Programs are static, so every straight-line run of instructions can be
+//! decoded exactly once and replayed as a flat slice: the interpreter pays
+//! the fetch bounds/alignment check and the halt test once per *block*
+//! instead of once per dynamic instruction, and the budget check in
+//! [`crate::Emulator::run`] moves to block granularity. Blocks are keyed by
+//! their start PC (one slot per static instruction, so a jump into the
+//! middle of a longer run simply builds the suffix block) and are never
+//! invalidated — [`Program`] text is immutable.
+
+use lvp_isa::{Instruction, Program, INST_BYTES};
+use std::rc::Rc;
+
+/// One straight-line run: every instruction from the start PC up to and
+/// including the first control transfer. Empty iff the start PC holds a
+/// `halt` — the only instruction the emulator refuses to execute.
+#[derive(Debug)]
+pub(crate) struct Block {
+    pub(crate) insts: Box<[Instruction]>,
+}
+
+impl Block {
+    fn build(program: &Program, start: u64) -> Block {
+        let mut insts = Vec::new();
+        let mut pc = start;
+        while let Some(inst) = program.fetch(pc) {
+            if matches!(inst, Instruction::Halt) {
+                break;
+            }
+            insts.push(inst);
+            if inst.is_branch() {
+                break;
+            }
+            pc = pc.wrapping_add(INST_BYTES);
+        }
+        Block {
+            insts: insts.into_boxed_slice(),
+        }
+    }
+}
+
+/// Lazily-built block cache: one optional block per static instruction.
+#[derive(Debug)]
+pub(crate) struct BlockCache {
+    blocks: Vec<Option<Rc<Block>>>,
+}
+
+impl BlockCache {
+    pub(crate) fn new(static_insts: usize) -> BlockCache {
+        BlockCache {
+            blocks: vec![None; static_insts],
+        }
+    }
+
+    /// The block starting at `pc`, decoding it on first use. `None` when
+    /// `pc` is outside the text or misaligned (the fell-off-text case).
+    pub(crate) fn lookup(&mut self, program: &Program, pc: u64) -> Option<Rc<Block>> {
+        let off = pc.wrapping_sub(program.base());
+        if !off.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = usize::try_from(off / INST_BYTES).ok()?;
+        let slot = self.blocks.get_mut(idx)?;
+        if let Some(b) = slot {
+            return Some(b.clone());
+        }
+        let b = Rc::new(Block::build(program, pc));
+        *slot = Some(b.clone());
+        Some(b)
+    }
+}

@@ -1,8 +1,10 @@
 //! The architectural interpreter.
 
+use crate::block::{Block, BlockCache};
 use crate::memory::SparseMemory;
 use lvp_isa::{Instruction, Program, Reg, INST_BYTES};
 use lvp_trace::{Trace, TraceRecord};
+use std::rc::Rc;
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,12 +27,24 @@ pub struct RunOutcome {
 }
 
 /// Functional emulator over a [`Program`].
+///
+/// Execution replays predecoded basic blocks (the `block` module): each
+/// static straight-line run is decoded once and then driven from a flat
+/// instruction slice, with fetch/halt checks paid per block rather than per
+/// dynamic instruction.
 #[derive(Debug)]
 pub struct Emulator {
     program: Program,
     regs: [u64; Reg::COUNT],
     mem: SparseMemory,
     pc: u64,
+    blocks: BlockCache,
+    /// Replay cursor: current block plus the next instruction offset in it.
+    cur: Option<(Rc<Block>, usize)>,
+    /// Set once the program halts or the PC leaves the text.
+    stopped: Option<StopReason>,
+    /// Dynamic instructions executed so far (stamps streaming `seq`s).
+    steps: u64,
 }
 
 impl Emulator {
@@ -42,11 +56,16 @@ impl Emulator {
             mem.write_bytes(init.addr, &init.bytes);
         }
         let pc = program.base();
+        let blocks = BlockCache::new(program.len());
         Emulator {
             program,
             regs: [0; Reg::COUNT],
             mem,
             pc,
+            blocks,
+            cur: None,
+            stopped: None,
+            steps: 0,
         }
     }
 
@@ -70,22 +89,108 @@ impl Emulator {
         &mut self.mem
     }
 
+    /// Loads the block at the current PC into the cursor, or reports why
+    /// execution cannot continue.
+    fn refill(&mut self) -> Result<(), StopReason> {
+        match self.blocks.lookup(&self.program, self.pc) {
+            None => Err(StopReason::FellOffText),
+            Some(b) if b.insts.is_empty() => Err(StopReason::Halted),
+            Some(b) => {
+                self.cur = Some((b, 0));
+                Ok(())
+            }
+        }
+    }
+
+    /// Why streaming execution stopped, once [`Emulator::step_record`] has
+    /// returned `None`. Always `Some` after that point; never
+    /// [`StopReason::BudgetExhausted`] (budgets belong to the caller).
+    pub fn stopped(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// Executes one instruction and returns its record, or `None` when the
+    /// program halts or the PC leaves the text (see [`Emulator::stopped`]).
+    ///
+    /// This is the streaming counterpart of [`Emulator::run`]: the caller
+    /// owns the budget and nothing is buffered, so fast-forwarding a long
+    /// region never materializes a [`Trace`]. Records carry dense `seq`
+    /// numbers from the first call onward — identical to the numbering
+    /// [`Trace::push`] would assign.
+    pub fn step_record(&mut self) -> Option<TraceRecord> {
+        if self.stopped.is_some() {
+            return None;
+        }
+        loop {
+            let fetched = match &mut self.cur {
+                Some((block, off)) if *off < block.insts.len() => {
+                    let inst = block.insts[*off];
+                    *off += 1;
+                    Some(inst)
+                }
+                _ => None,
+            };
+            match fetched {
+                Some(inst) => {
+                    let mut rec = self.step(inst);
+                    rec.seq = self.steps;
+                    self.steps += 1;
+                    return Some(rec);
+                }
+                None => {
+                    if let Err(stop) = self.refill() {
+                        self.stopped = Some(stop);
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Streams up to `max_insts` records, consuming the emulator. The
+    /// final architectural state stays reachable through
+    /// [`Records::into_emulator`].
+    pub fn records(self, max_insts: u64) -> Records {
+        Records {
+            emu: self,
+            remaining: max_insts,
+        }
+    }
+
     /// Runs up to `max_insts` dynamic instructions, producing the trace.
+    ///
+    /// Replays whole predecoded blocks against the remaining budget, so the
+    /// per-instruction cost is one dispatch from a flat slice.
     pub fn run(mut self, max_insts: u64) -> RunOutcome {
         let mut trace = Trace::new();
-        let mut stop = StopReason::BudgetExhausted;
-        for _ in 0..max_insts {
-            let Some(inst) = self.program.fetch(self.pc) else {
-                stop = StopReason::FellOffText;
-                break;
-            };
-            if matches!(inst, Instruction::Halt) {
-                stop = StopReason::Halted;
-                break;
+        let mut remaining = max_insts;
+        let stop = loop {
+            if let Some(stop) = self.stopped {
+                break stop;
             }
-            let rec = self.step(inst);
-            trace.push(rec);
-        }
+            if remaining == 0 {
+                break StopReason::BudgetExhausted;
+            }
+            let cursor = match &self.cur {
+                Some((block, off)) if *off < block.insts.len() => Some((block.clone(), *off)),
+                _ => None,
+            };
+            let Some((block, off)) = cursor else {
+                match self.refill() {
+                    Ok(()) => continue,
+                    Err(stop) => break stop,
+                }
+            };
+            let avail = block.insts.len() - off;
+            let take = avail.min(usize::try_from(remaining).unwrap_or(usize::MAX));
+            for inst in &block.insts[off..off + take] {
+                let rec = self.step(*inst);
+                trace.push(rec);
+            }
+            self.steps += take as u64;
+            remaining -= take as u64;
+            self.cur = Some((block, off + take));
+        };
         RunOutcome {
             trace,
             stop,
@@ -284,6 +389,40 @@ impl Emulator {
     }
 }
 
+/// Streaming record iterator over an [`Emulator`], bounded by a budget.
+///
+/// Yields exactly what [`Emulator::run`] would trace for the same budget,
+/// one record at a time, without buffering.
+#[derive(Debug)]
+pub struct Records {
+    emu: Emulator,
+    remaining: u64,
+}
+
+impl Records {
+    /// The underlying emulator (e.g. to inspect [`Emulator::stopped`]).
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+
+    /// Recovers the emulator and its final architectural state.
+    pub fn into_emulator(self) -> Emulator {
+        self.emu
+    }
+}
+
+impl Iterator for Records {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.emu.step_record()
+    }
+}
+
 fn mask(bytes: u64) -> u64 {
     if bytes >= 8 {
         u64::MAX
@@ -448,6 +587,73 @@ mod tests {
         let out = run(a, 100);
         assert_eq!(out.stop, StopReason::Halted);
         assert_eq!(out.trace.len(), 2);
+    }
+
+    #[test]
+    fn streaming_matches_batch_run() {
+        // step_record() must reproduce run()'s records, stop reason and
+        // final registers exactly — including across block boundaries,
+        // jumps into the middle of a block, and halt.
+        let build = || {
+            let mut a = Asm::new(0x1000);
+            a.data_u64(0x8000, &[3, 1, 4, 1, 5]);
+            a.mov(Reg::X0, 0x8000);
+            a.mov(Reg::X2, 5);
+            let top = a.here();
+            a.ldr(Reg::X1, Reg::X0, 0, MemSize::X);
+            a.add(Reg::X3, Reg::X3, Reg::X1);
+            a.addi(Reg::X0, Reg::X0, 8);
+            a.subi(Reg::X2, Reg::X2, 1);
+            a.cbnz(Reg::X2, top);
+            a.halt();
+            a.build()
+        };
+        for budget in [0u64, 3, 17, 1000] {
+            let batch = Emulator::new(build()).run(budget);
+            let mut streamed = Emulator::new(build());
+            let mut recs = Vec::new();
+            while (recs.len() as u64) < budget {
+                match streamed.step_record() {
+                    Some(r) => recs.push(r),
+                    None => break,
+                }
+            }
+            assert_eq!(recs.as_slice(), batch.trace.records(), "budget {budget}");
+            assert_eq!(streamed.regs, batch.regs, "budget {budget}");
+            match batch.stop {
+                StopReason::BudgetExhausted => assert_eq!(streamed.stopped(), None),
+                stop => assert_eq!(streamed.stopped(), Some(stop)),
+            }
+        }
+    }
+
+    #[test]
+    fn jump_into_block_interior_builds_suffix_block() {
+        let mut a = Asm::new(0x1000);
+        a.mov(Reg::X5, 0x100c); // target: middle of the straight-line run
+        a.br(Reg::X5);
+        a.mov(Reg::X1, 1); // 0x1008, skipped
+        a.mov(Reg::X2, 2); // 0x100c, the jump target
+        a.mov(Reg::X3, 3); // 0x1010
+        a.halt();
+        let out = Emulator::new(a.build()).run(100);
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(out.regs[Reg::X1.index()], 0);
+        assert_eq!(out.regs[Reg::X2.index()], 2);
+        assert_eq!(out.regs[Reg::X3.index()], 3);
+    }
+
+    #[test]
+    fn records_iterator_bounds_and_exposes_state() {
+        let mut a = Asm::new(0x1000);
+        let top = a.here();
+        a.addi(Reg::X1, Reg::X1, 1);
+        a.b(top);
+        let mut it = Emulator::new(a.build()).records(7);
+        assert_eq!(it.by_ref().count(), 7);
+        let emu = it.into_emulator();
+        assert_eq!(emu.stopped(), None);
+        assert_eq!(emu.reg(Reg::X1), 4); // 7 records = 4 adds + 3 branches
     }
 
     #[test]

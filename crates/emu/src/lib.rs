@@ -22,8 +22,9 @@
 //! assert_eq!(trace.records()[1].value, 7);
 //! ```
 
+mod block;
 pub mod emulator;
 pub mod memory;
 
-pub use emulator::{Emulator, RunOutcome, StopReason};
+pub use emulator::{Emulator, Records, RunOutcome, StopReason};
 pub use memory::SparseMemory;

@@ -2,17 +2,44 @@
 //!
 //! Uninitialized memory reads as zero, which keeps workload kernels simple
 //! (no need to zero-fill arrays) and keeps emulation deterministic.
+//!
+//! Page storage is a flat `Vec` of page frames plus a page-number index,
+//! fronted by a one-entry cache of the last-touched page. Workload kernels
+//! overwhelmingly touch the same page on consecutive accesses (stack frames,
+//! streaming arrays), so the cache turns the emulator's hottest lookup into
+//! a compare-and-index. The cache sits in a `Cell` so read paths stay
+//! `&self`.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+/// Page number that can never occur (addresses shift right by 12 first).
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse memory: pages materialize on first write.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Materialized page frames, in allocation order.
+    frames: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Page number -> index into `frames`.
+    index: HashMap<u64, u32>,
+    /// Last-touched `(page number, frame index)` — the fast path for the
+    /// emulator's strongly page-local access stream.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for SparseMemory {
+    fn default() -> SparseMemory {
+        SparseMemory {
+            frames: Vec::new(),
+            index: HashMap::new(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 impl SparseMemory {
@@ -21,21 +48,50 @@ impl SparseMemory {
         SparseMemory::default()
     }
 
+    /// Frame index of `page` if it is resident, refreshing the cache.
+    #[inline]
+    fn frame_of(&self, page: u64) -> Option<usize> {
+        let (cached_page, cached_frame) = self.last.get();
+        if cached_page == page {
+            return Some(cached_frame as usize);
+        }
+        let frame = *self.index.get(&page)?;
+        self.last.set((page, frame));
+        Some(frame as usize)
+    }
+
+    /// Frame index of `page`, materializing it on first touch.
+    #[inline]
+    fn frame_mut(&mut self, page: u64) -> usize {
+        let (cached_page, cached_frame) = self.last.get();
+        if cached_page == page {
+            return cached_frame as usize;
+        }
+        let frame = match self.index.get(&page) {
+            Some(&f) => f,
+            None => {
+                let f = u32::try_from(self.frames.len()).expect("page count fits u32");
+                self.frames.push(Box::new([0u8; PAGE_SIZE]));
+                self.index.insert(page, f);
+                f
+            }
+        };
+        self.last.set((page, frame));
+        frame as usize
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(p) => p[(addr & PAGE_MASK) as usize],
+        match self.frame_of(addr >> PAGE_SHIFT) {
+            Some(f) => self.frames[f][(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, val: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = val;
+        let f = self.frame_mut(addr >> PAGE_SHIFT);
+        self.frames[f][(addr & PAGE_MASK) as usize] = val;
     }
 
     /// Reads `bytes` (1..=8) little-endian, zero-extended to u64.
@@ -45,6 +101,16 @@ impl SparseMemory {
     /// Panics if `bytes` is not in `1..=8`.
     pub fn read_le(&self, addr: u64, bytes: u64) -> u64 {
         assert!((1..=8).contains(&bytes), "read width must be 1..=8 bytes");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes as usize <= PAGE_SIZE {
+            // Single-page fast path: assemble from the frame slice directly.
+            let Some(f) = self.frame_of(addr >> PAGE_SHIFT) else {
+                return 0;
+            };
+            let mut buf = [0u8; 8];
+            buf[..bytes as usize].copy_from_slice(&self.frames[f][off..off + bytes as usize]);
+            return u64::from_le_bytes(buf);
+        }
         let mut v = 0u64;
         for i in 0..bytes {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -59,6 +125,13 @@ impl SparseMemory {
     /// Panics if `bytes` is not in `1..=8`.
     pub fn write_le(&mut self, addr: u64, bytes: u64, val: u64) {
         assert!((1..=8).contains(&bytes), "write width must be 1..=8 bytes");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes as usize <= PAGE_SIZE {
+            let f = self.frame_mut(addr >> PAGE_SHIFT);
+            self.frames[f][off..off + bytes as usize]
+                .copy_from_slice(&val.to_le_bytes()[..bytes as usize]);
+            return;
+        }
         for i in 0..bytes {
             self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
         }
@@ -73,7 +146,7 @@ impl SparseMemory {
 
     /// Number of materialized pages (diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
     }
 }
 
@@ -105,6 +178,31 @@ mod tests {
         m.write_le(addr, 4, 0xaabb_ccdd);
         assert_eq!(m.read_le(addr, 4), 0xaabb_ccdd);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn page_cache_survives_boundary_crossings() {
+        // Alternating same-page and cross-page accesses: the last-touched
+        // cache must never serve bytes from the wrong page, including when
+        // a straddling access updates it mid-read.
+        let mut m = SparseMemory::new();
+        m.write_le(0x0ffc, 8, 0x8877_6655_4433_2211); // straddles 0x0000/0x1000
+        m.write_le(0x1ff8, 8, 0xaaaa_bbbb_cccc_dddd); // within 0x1000
+        m.write_le(0x2000, 8, 0x1111_2222_3333_4444); // within 0x2000
+                                                      // Cache now points at page 0x2; re-read the straddler both ways.
+        assert_eq!(m.read_le(0x0ffc, 8), 0x8877_6655_4433_2211);
+        assert_eq!(m.read_le(0x1ff8, 8), 0xaaaa_bbbb_cccc_dddd);
+        // A straddling read into an unmaterialized page reads zero there
+        // and does not allocate it.
+        assert_eq!(m.read_le(0x2ffc, 8), 0);
+        assert_eq!(m.resident_pages(), 3); // pages 0x0, 0x1, 0x2 only
+                                           // Writes through the cache land on the right page after a switch.
+        m.write_u8(0x1000, 0x5a);
+        m.write_u8(0x2001, 0x5b);
+        m.write_u8(0x1001, 0x5c);
+        assert_eq!(m.read_u8(0x1000), 0x5a);
+        assert_eq!(m.read_u8(0x2001), 0x5b);
+        assert_eq!(m.read_u8(0x1001), 0x5c);
     }
 
     #[test]

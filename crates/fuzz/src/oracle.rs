@@ -30,7 +30,12 @@
 //!    the DLVP predictor commits to it, its *value* accuracy must be high.
 //!    The check is pruned by the static verdicts: loads whose coverage
 //!    bound caps injection are skipped, since they cannot accumulate a
-//!    meaningful injection sample.
+//!    meaningful injection sample;
+//! 9. **tier-equivalence** — the execution tiers agree on the program's
+//!    architecture: a streaming [`Emulator::step_record`] replay yields
+//!    record-for-record the same trace as the batch run, and the
+//!    [`FunctionalTier`] reproduces the cycle-level core's architectural
+//!    counters (with IPC ≡ 1).
 
 use crate::synth::SynthProgram;
 use dlvp::{Dlvp, Pap, SchemeKind};
@@ -41,7 +46,7 @@ use lvp_analysis::{
 use lvp_emu::{Emulator, RunOutcome, StopReason};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{LifecycleReport, RingSink, RunMeta};
-use lvp_uarch::{Core, SimConfig, SimStats};
+use lvp_uarch::{Core, ExecutionTier, FunctionalTier, SimConfig, SimStats};
 use std::collections::BTreeMap;
 
 /// Configuration for one oracle evaluation.
@@ -319,6 +324,55 @@ pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Fin
                     ));
                 }
             }
+        }
+    }
+
+    // 9. Tier equivalence: the streaming emulator replays the batch run
+    // record-for-record, and the functional tier reproduces the cycle-level
+    // core's architectural counters.
+    let mut streamed = lvp_trace::Trace::new();
+    for rec in Emulator::new(sp.program.clone()).records(sp.budget) {
+        streamed.push(rec);
+    }
+    if streamed.records() != trace.records() {
+        out.push(Finding::new(
+            "-",
+            "tier-equivalence",
+            format!(
+                "streaming replay diverged from batch run: {} records vs {}",
+                streamed.len(),
+                trace.len()
+            ),
+        ));
+    }
+    let fstats = FunctionalTier::new().run(trace);
+    if fstats.cycles != fstats.instructions {
+        out.push(Finding::new(
+            "-",
+            "tier-equivalence",
+            format!(
+                "functional tier cycles {} != instructions {}",
+                fstats.cycles, fstats.instructions
+            ),
+        ));
+    }
+    if let Some((i, l, s, b, first)) = arch {
+        let fsig = (
+            fstats.instructions,
+            fstats.loads,
+            fstats.stores,
+            fstats.branches,
+        );
+        if fsig != (i, l, s, b) {
+            out.push(Finding::new(
+                "-",
+                "tier-equivalence",
+                format!(
+                    "functional tier architectural counters (instructions, \
+                     loads, stores, branches) {fsig:?} diverged from {first} {:?}",
+                    (i, l, s, b)
+                ),
+            ));
         }
     }
 

@@ -57,6 +57,18 @@ pub struct CacheStats {
     pub prefetch_fills: u64,
 }
 
+impl CacheStats {
+    /// Adds `other`'s counters into `self` (sampled-window aggregation).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.probes += other.probes;
+        self.probe_hits += other.probe_hits;
+        self.prefetch_fills += other.prefetch_fills;
+    }
+}
+
 /// Result of a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {

@@ -108,6 +108,19 @@ pub struct HierarchyStats {
     pub dlvp_prefetches: u64,
 }
 
+impl HierarchyStats {
+    /// Adds `other`'s counters into `self` (sampled-window aggregation).
+    pub fn accumulate(&mut self, other: &HierarchyStats) {
+        self.l1i.accumulate(&other.l1i);
+        self.l1d.accumulate(&other.l1d);
+        self.l2.accumulate(&other.l2);
+        self.l3.accumulate(&other.l3);
+        self.tlb.accumulate(&other.tlb);
+        self.prefetch.accumulate(&other.prefetch);
+        self.dlvp_prefetches += other.dlvp_prefetches;
+    }
+}
+
 /// The memory hierarchy.
 #[derive(Debug)]
 pub struct MemoryHierarchy {

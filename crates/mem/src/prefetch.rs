@@ -43,6 +43,14 @@ pub struct StrideStats {
     pub prefetches: u64,
 }
 
+impl StrideStats {
+    /// Adds `other`'s counters into `self` (sampled-window aggregation).
+    pub fn accumulate(&mut self, other: &StrideStats) {
+        self.trains += other.trains;
+        self.prefetches += other.prefetches;
+    }
+}
+
 /// The stride prefetcher.
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {

@@ -36,6 +36,14 @@ pub struct TlbStats {
     pub misses: u64,
 }
 
+impl TlbStats {
+    /// Adds `other`'s counters into `self` (sampled-window aggregation).
+    pub fn accumulate(&mut self, other: &TlbStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+    }
+}
+
 /// A set-associative TLB.
 #[derive(Debug, Clone)]
 pub struct Tlb {

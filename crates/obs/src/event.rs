@@ -90,6 +90,30 @@ impl RedirectCause {
     }
 }
 
+/// Which execution tier a sampled run is entering (the tiered-execution
+/// driver in `lvp-uarch`). Unsampled runs never emit tier events, so their
+/// artifacts are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierKind {
+    /// Functional fast-forward: instructions consumed with no timing model.
+    Skip,
+    /// Cycle-level warm-only execution: predictors train, nothing injects.
+    Warmup,
+    /// Cycle-level detailed execution accumulating statistics.
+    Detail,
+}
+
+impl TierKind {
+    /// Stable lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Skip => "skip",
+            TierKind::Warmup => "warmup",
+            TierKind::Detail => "detail",
+        }
+    }
+}
+
 /// One observability event. Variants cover the full DLVP load lifecycle —
 /// fetch-time prediction through verify — plus the pipeline anchors
 /// (retirement, redirects) that give every lifecycle a timeline.
@@ -194,6 +218,16 @@ pub enum ObsEvent {
     },
     /// Fetch redirect (flushes are modelled as refetches).
     Redirect { cycle: u64, cause: RedirectCause },
+    /// The sampled-simulation driver crossed a tier boundary (only sampled
+    /// runs emit these).
+    TierTransition {
+        /// Dynamic instruction index where the new tier begins.
+        seq: u64,
+        /// Detail cycles accumulated so far at the switch.
+        cycle: u64,
+        /// Tier being entered.
+        tier: TierKind,
+    },
 }
 
 impl ObsEvent {
@@ -213,6 +247,7 @@ impl ObsEvent {
             ObsEvent::Verify { .. } => "verify",
             ObsEvent::Retire { .. } => "retire",
             ObsEvent::Redirect { .. } => "redirect",
+            ObsEvent::TierTransition { .. } => "tier_transition",
         }
     }
 
@@ -230,7 +265,8 @@ impl ObsEvent {
             | ObsEvent::RenameInject { seq, .. }
             | ObsEvent::InjectBlocked { seq, .. }
             | ObsEvent::Verify { seq, .. }
-            | ObsEvent::Retire { seq, .. } => Some(seq),
+            | ObsEvent::Retire { seq, .. }
+            | ObsEvent::TierTransition { seq, .. } => Some(seq),
             ObsEvent::Redirect { .. } => None,
         }
     }
@@ -250,7 +286,8 @@ impl ObsEvent {
             | ObsEvent::RenameInject { cycle, .. }
             | ObsEvent::InjectBlocked { cycle, .. }
             | ObsEvent::Verify { cycle, .. }
-            | ObsEvent::Redirect { cycle, .. } => cycle,
+            | ObsEvent::Redirect { cycle, .. }
+            | ObsEvent::TierTransition { cycle, .. } => cycle,
             ObsEvent::Retire { fetch, .. } => fetch,
         }
     }
@@ -409,6 +446,11 @@ impl ToJson for ObsEvent {
             ObsEvent::Redirect { cycle, cause } => {
                 put("cycle", cycle.to_json());
                 put("cause", cause.name().to_json());
+            }
+            ObsEvent::TierTransition { seq, cycle, tier } => {
+                put("seq", seq.to_json());
+                put("cycle", cycle.to_json());
+                put("tier", tier.name().to_json());
             }
         }
         Json::Object(pairs)

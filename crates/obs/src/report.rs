@@ -325,6 +325,9 @@ impl LifecycleReport {
                             h.record(commit.saturating_sub(fetch));
                         }
                     }
+                    ObsEvent::TierTransition { .. } => {
+                        metrics.add("tier_transitions", 1);
+                    }
                     ObsEvent::Redirect { .. } => unreachable!("redirect has no seq"),
                 }
             } else if let ObsEvent::Redirect { cause, .. } = *event {

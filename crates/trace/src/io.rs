@@ -17,7 +17,7 @@
 
 use crate::record::{Trace, TraceRecord};
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 4] = b"LVPT";
 const VERSION: u32 = 1;
@@ -64,23 +64,89 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
     let mut words = Vec::with_capacity(3);
     for rec in trace.records() {
-        w.write_all(&rec.pc.to_le_bytes())?;
-        w.write_all(&rec.next_pc.to_le_bytes())?;
-        w.write_all(&rec.eff_addr.to_le_bytes())?;
-        w.write_all(&rec.value.to_le_bytes())?;
-        words.clear();
-        lvp_isa::encode(rec.inst, &mut words);
-        w.write_all(&[words.len() as u8])?;
-        for word in &words {
-            w.write_all(&word.to_le_bytes())?;
-        }
-        let extras: &[u64] = rec.extra_values.as_deref().unwrap_or(&[]);
-        w.write_all(&[extras.len() as u8])?;
-        for x in extras {
-            w.write_all(&x.to_le_bytes())?;
-        }
+        write_record(&mut w, rec, &mut words)?;
     }
     Ok(())
+}
+
+fn write_record<W: Write>(w: &mut W, rec: &TraceRecord, words: &mut Vec<u32>) -> io::Result<()> {
+    w.write_all(&rec.pc.to_le_bytes())?;
+    w.write_all(&rec.next_pc.to_le_bytes())?;
+    w.write_all(&rec.eff_addr.to_le_bytes())?;
+    w.write_all(&rec.value.to_le_bytes())?;
+    words.clear();
+    lvp_isa::encode(rec.inst, words);
+    w.write_all(&[words.len() as u8])?;
+    for word in words.iter() {
+        w.write_all(&word.to_le_bytes())?;
+    }
+    let extras: &[u64] = rec.extra_values.as_deref().unwrap_or(&[]);
+    w.write_all(&[extras.len() as u8])?;
+    for x in extras {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Incremental trace writer for streaming capture: records are appended as
+/// they are produced (no in-memory [`Trace`]), and [`TraceWriter::finish`]
+/// seeks back to patch the up-front record count. The resulting bytes are
+/// identical to [`write_trace`] over the same records.
+pub struct TraceWriter<W: Write + Seek> {
+    w: W,
+    count: u64,
+    words: Vec<u32>,
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Writes the header (with a zero count placeholder) and returns the
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut w: W) -> io::Result<TraceWriter<W>> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?;
+        Ok(TraceWriter {
+            w,
+            count: 0,
+            words: Vec::with_capacity(3),
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn push(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        write_record(&mut self.w, rec, &mut self.words)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Patches the record count into the header, flushes, and returns the
+    /// underlying writer. A dropped-without-finish writer leaves a
+    /// zero-count (i.e. visibly truncated) file rather than a corrupt one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        let end = self.w.stream_position()?;
+        self.w.seek(SeekFrom::Start((MAGIC.len() + 4) as u64))?;
+        self.w.write_all(&self.count.to_le_bytes())?;
+        self.w.seek(SeekFrom::Start(end))?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
 }
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
@@ -217,6 +283,33 @@ mod tests {
             read_trace(buf.as_slice()).unwrap_err(),
             TraceIoError::BadVersion(99)
         ));
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_bytes() {
+        let t = sample();
+        let mut batch = Vec::new();
+        write_trace(&t, &mut batch).unwrap();
+
+        let mut w = TraceWriter::new(std::io::Cursor::new(Vec::new())).unwrap();
+        for rec in t.records() {
+            w.push(rec).unwrap();
+        }
+        assert_eq!(w.count(), t.len() as u64);
+        let streamed = w.finish().unwrap().into_inner();
+        assert_eq!(streamed, batch, "streamed bytes must equal batch bytes");
+        assert_eq!(
+            read_trace(streamed.as_slice()).unwrap().records(),
+            t.records()
+        );
+
+        // Empty streaming capture is a valid empty trace.
+        let empty = TraceWriter::new(std::io::Cursor::new(Vec::new()))
+            .unwrap()
+            .finish()
+            .unwrap()
+            .into_inner();
+        assert!(read_trace(empty.as_slice()).unwrap().is_empty());
     }
 
     #[test]

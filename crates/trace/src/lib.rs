@@ -21,6 +21,6 @@ pub mod record;
 pub mod repeat;
 
 pub use conflict::ConflictProfile;
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use io::{read_trace, write_trace, TraceIoError, TraceWriter};
 pub use record::{LoadView, Trace, TraceRecord};
 pub use repeat::RepeatProfile;

@@ -25,19 +25,23 @@ pub mod simconfig;
 pub mod stats;
 #[cfg(test)]
 mod tests_model;
+pub mod tier;
 pub mod vp;
 pub mod vpe;
 
 pub use crate::core::{simulate, Core};
 pub use config::{BranchPredictorKind, CoreConfig, RecoveryMode};
 pub use lanes::LaneTracker;
-pub use lvp_obs::{EventRing, EventSink, NullSink, ObsEvent, RingSink};
+pub use lvp_obs::{EventRing, EventSink, NullSink, ObsEvent, RingSink, TierKind};
 pub use mdp::{MdpConfig, StoreSets};
 pub use simconfig::{
-    AddrWidth, AllocPolicy, CapConfig, ConfigError, DlvpConfig, PapConfig, SimConfig, VtageConfig,
-    VtageFilter, VtageTargets,
+    AddrWidth, AllocPolicy, CapConfig, ConfigError, DlvpConfig, PapConfig, SampleSpec, SimConfig,
+    VtageConfig, VtageFilter, VtageTargets,
 };
-pub use stats::{fmt_pct, SimStats, StatsError};
+pub use stats::{fmt_pct, SamplingStats, SimStats, StatsError};
+pub use tier::{
+    run_sampled, run_sampled_trace, ExecutionTier, FunctionalTier, OooTier, SimpleTier,
+};
 pub use vp::{
     ExecInfo, FetchCtx, FetchSlot, NoVp, OracleLoadVp, RenamePrediction, VpScheme, VpVerdict,
 };

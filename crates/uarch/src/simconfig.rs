@@ -252,6 +252,10 @@ pub struct SimConfig {
     pub cap: CapConfig,
     /// The VTAGE value predictor behind `SchemeKind::Vtage`.
     pub vtage: VtageConfig,
+    /// Fast-forward + sampled detailed-simulation windows. `None` (the
+    /// default everywhere) runs every instruction at cycle level and
+    /// reproduces pre-sampling artifacts byte-identically.
+    pub sample: Option<SampleSpec>,
 }
 
 impl Default for SimConfig {
@@ -275,6 +279,7 @@ impl SimConfig {
                 ..CapConfig::default()
             },
             vtage: VtageConfig::default(),
+            sample: None,
         }
     }
 
@@ -325,6 +330,9 @@ impl SimConfig {
         }
         if self.vtage.histories.is_empty() {
             return Err(ConfigError::EmptyHistories("vtage.histories"));
+        }
+        if let Some(sample) = &self.sample {
+            sample.validate()?;
         }
         Ok(())
     }
@@ -436,6 +444,54 @@ const PRESETS: &[&str] = &[
     "vtage_static_all",
 ];
 
+/// Fast-forward + sampled detailed-simulation windows (SMARTS-style).
+///
+/// Execution skips `ff` instructions functionally, then repeats a
+/// `period`-instruction cadence: the first `warmup` instructions of each
+/// period run at cycle level with predictors training but never injecting
+/// (warm-only), the next `detail` instructions run at full cycle level and
+/// are the only ones that accumulate [`crate::SimStats`], and the rest of
+/// the period is skipped functionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Instructions fast-forwarded before the first period.
+    pub ff: u64,
+    /// Cycle-level instructions per period that only train predictors.
+    pub warmup: u64,
+    /// Cycle-level instructions per period that accumulate statistics.
+    pub detail: u64,
+    /// Total instructions per period (`warmup + detail` must fit).
+    pub period: u64,
+}
+
+impl SampleSpec {
+    /// Rejects degenerate specs: zero-length detail windows or periods,
+    /// and warmup/detail windows that overflow their period.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.detail == 0 {
+            return Err(ConfigError::DegenerateSample(
+                "sample.detail must be non-zero",
+            ));
+        }
+        if self.period == 0 {
+            return Err(ConfigError::DegenerateSample(
+                "sample.period must be non-zero",
+            ));
+        }
+        if self.warmup > self.period {
+            return Err(ConfigError::DegenerateSample(
+                "sample.warmup must not exceed sample.period",
+            ));
+        }
+        if self.warmup.saturating_add(self.detail) > self.period {
+            return Err(ConfigError::DegenerateSample(
+                "sample.warmup + sample.detail must fit in sample.period",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Why a [`SimConfig`] was rejected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
@@ -457,6 +513,9 @@ pub enum ConfigError {
     UnknownPreset(String),
     /// [`SimConfig::from_json`] met JSON that does not describe a config.
     Malformed(String),
+    /// A [`SampleSpec`] is degenerate (zero-length windows, or windows
+    /// that do not fit their period).
+    DegenerateSample(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -484,6 +543,7 @@ impl std::fmt::Display for ConfigError {
                 PRESETS.join(", ")
             ),
             ConfigError::Malformed(detail) => write!(f, "malformed config JSON: {detail}"),
+            ConfigError::DegenerateSample(detail) => write!(f, "degenerate sample spec: {detail}"),
         }
     }
 }
@@ -603,13 +663,30 @@ impl ToJson for DlvpConfig {
 }
 
 impl ToJson for SimConfig {
+    /// The `sample` key is emitted only when sampling is enabled, so every
+    /// config serialized before sampling existed keeps its exact bytes.
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("core", self.core.to_json()),
             ("dlvp", self.dlvp.to_json()),
             ("pap", self.pap.to_json()),
             ("cap", self.cap.to_json()),
             ("vtage", self.vtage.to_json()),
+        ];
+        if let Some(sample) = &self.sample {
+            pairs.push(("sample", sample.to_json()));
+        }
+        Json::obj(pairs)
+    }
+}
+
+impl ToJson for SampleSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ff", self.ff.to_json()),
+            ("warmup", self.warmup.to_json()),
+            ("detail", self.detail.to_json()),
+            ("period", self.period.to_json()),
         ])
     }
 }
@@ -855,6 +932,15 @@ impl SimConfig {
             pap: parse_pap(field(j, "pap")?)?,
             cap: parse_cap(field(j, "cap")?)?,
             vtage: parse_vtage(field(j, "vtage")?)?,
+            sample: match j.get("sample") {
+                None => None,
+                Some(sj) => Some(SampleSpec {
+                    ff: get_u64(sj, "ff")?,
+                    warmup: get_u64(sj, "warmup")?,
+                    detail: get_u64(sj, "detail")?,
+                    period: get_u64(sj, "period")?,
+                }),
+            },
         })
     }
 }
@@ -1059,6 +1145,48 @@ mod tests {
             let parsed = SimConfig::from_json(&cfg.to_json()).expect("parses");
             assert_eq!(parsed, cfg, "preset {name}");
         }
+    }
+
+    #[test]
+    fn sample_spec_round_trips_and_stays_out_of_unsampled_json() {
+        // Sampling off: no "sample" key, so pre-sampling artifacts keep
+        // their exact bytes.
+        let plain = SimConfig::paper_default();
+        assert!(plain.to_json().get("sample").is_none());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.sample = Some(SampleSpec {
+            ff: 10_000,
+            warmup: 500,
+            detail: 1_000,
+            period: 5_000,
+        });
+        assert_eq!(cfg.validate(), Ok(()));
+        let parsed = SimConfig::from_json(&cfg.to_json()).expect("parses");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn degenerate_sample_specs_rejected() {
+        let spec = |ff, warmup, detail, period| SampleSpec {
+            ff,
+            warmup,
+            detail,
+            period,
+        };
+        for (bad, why) in [
+            (spec(0, 0, 0, 100), "detail"),
+            (spec(0, 10, 5, 0), "period"),
+            (spec(0, 200, 5, 100), "warmup"),
+            (spec(0, 60, 50, 100), "fit"),
+        ] {
+            let err = bad.validate().expect_err("degenerate");
+            assert!(err.to_string().contains(why), "{err}");
+            let mut cfg = SimConfig::paper_default();
+            cfg.sample = Some(bad);
+            assert!(cfg.validate().is_err());
+        }
+        assert_eq!(spec(0, 0, 100, 100).validate(), Ok(()));
     }
 
     #[test]

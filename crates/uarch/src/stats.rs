@@ -27,6 +27,18 @@ pub struct PcLoadStats {
     pub conflict_squashes: u64,
 }
 
+impl PcLoadStats {
+    /// Adds `other`'s counters into `self` (sampled-window aggregation).
+    pub fn accumulate(&mut self, other: &PcLoadStats) {
+        self.executions += other.executions;
+        self.conflict_exposed += other.conflict_exposed;
+        self.ordering_violations += other.ordering_violations;
+        self.injected += other.injected;
+        self.correct += other.correct;
+        self.conflict_squashes += other.conflict_squashes;
+    }
+}
+
 impl ToJson for PcLoadStats {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -91,6 +103,34 @@ pub struct SimStats {
     pub mem: HierarchyStats,
     /// Per-load-PC breakdown (ordered map so reports are deterministic).
     pub per_pc: BTreeMap<u64, PcLoadStats>,
+    /// Sampling accounting, present only for sampled runs (`None` keeps
+    /// unsampled artifacts byte-identical to the pre-sampling format).
+    pub sampling: Option<SamplingStats>,
+}
+
+/// What a fast-forward + sampled run did outside its detail windows.
+///
+/// `SimStats` counters in a sampled run cover *detail-window instructions
+/// only*; this records how the rest of the stream was spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingStats {
+    /// Detail windows that accumulated statistics.
+    pub windows: u64,
+    /// Cycle-level instructions that only warmed predictors (no stats).
+    pub warmup_instructions: u64,
+    /// Instructions executed functionally and skipped by the timing model
+    /// (initial fast-forward plus inter-window gaps).
+    pub skipped_instructions: u64,
+}
+
+impl ToJson for SamplingStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("windows", self.windows.to_json()),
+            ("warmup_instructions", self.warmup_instructions.to_json()),
+            ("skipped_instructions", self.skipped_instructions.to_json()),
+        ])
+    }
 }
 
 /// Typed error for statistics that relate two runs.
@@ -220,6 +260,45 @@ impl SimStats {
         }
         Ok(baseline.cycles as f64 / self.cycles.max(1) as f64)
     }
+
+    /// Adds `other`'s counters into `self`: the aggregation the sampled
+    /// driver uses to sum per-detail-window stats. Every counter including
+    /// the memory hierarchy and the per-PC map is summed; sampling
+    /// accounting merges when either side carries it.
+    pub fn accumulate(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.indirect_mispredicts += other.indirect_mispredicts;
+        self.return_mispredicts += other.return_mispredicts;
+        self.ordering_violations += other.ordering_violations;
+        self.mdp_delays += other.mdp_delays;
+        self.misp_resolve_sum += other.misp_resolve_sum;
+        self.vp_predicted += other.vp_predicted;
+        self.vp_predicted_loads += other.vp_predicted_loads;
+        self.vp_correct += other.vp_correct;
+        self.vp_flushes += other.vp_flushes;
+        self.vp_replays += other.vp_replays;
+        self.vp_pvt_full += other.vp_pvt_full;
+        self.vp_late += other.vp_late;
+        self.prf_reads += other.prf_reads;
+        self.prf_writes += other.prf_writes;
+        self.pvt_reads += other.pvt_reads;
+        self.pvt_writes += other.pvt_writes;
+        self.mem.accumulate(&other.mem);
+        for (pc, pcs) in &other.per_pc {
+            self.per_pc.entry(*pc).or_default().accumulate(pcs);
+        }
+        if let Some(theirs) = &other.sampling {
+            let ours = self.sampling.get_or_insert_with(SamplingStats::default);
+            ours.windows += theirs.windows;
+            ours.warmup_instructions += theirs.warmup_instructions;
+            ours.skipped_instructions += theirs.skipped_instructions;
+        }
+    }
 }
 
 /// Renders a fallible ratio (e.g. [`SimStats::try_accuracy`]) as a
@@ -234,8 +313,10 @@ pub fn fmt_pct(ratio: Result<f64, StatsError>, decimals: usize) -> String {
 }
 
 impl ToJson for SimStats {
+    /// The `sampling` key is emitted only for sampled runs, so unsampled
+    /// stats keep their exact pre-sampling bytes.
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("cycles", self.cycles.to_json()),
             ("instructions", self.instructions.to_json()),
             ("loads", self.loads.to_json()),
@@ -274,7 +355,11 @@ impl ToJson for SimStats {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(sampling) = &self.sampling {
+            pairs.push(("sampling", sampling.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 

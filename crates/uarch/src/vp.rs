@@ -146,6 +146,14 @@ pub trait VpScheme {
     fn activity(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Switches warm-only mode: the scheme keeps observing and training
+    /// (`on_fetch`/`on_execute` run as usual) but must stop delivering
+    /// predictions at rename, so nothing speculative is injected. The
+    /// sampled-simulation driver warms predictor state through this during
+    /// `warmup` windows. Default: ignored (schemes that never inject need
+    /// no gate).
+    fn set_warm_only(&mut self, _warm: bool) {}
 }
 
 impl<S: VpScheme + ?Sized> VpScheme for Box<S> {
@@ -175,6 +183,10 @@ impl<S: VpScheme + ?Sized> VpScheme for Box<S> {
 
     fn activity(&self) -> (u64, u64) {
         (**self).activity()
+    }
+
+    fn set_warm_only(&mut self, warm: bool) {
+        (**self).set_warm_only(warm);
     }
 }
 

@@ -20,6 +20,7 @@ fn golden_spec() -> MatrixSpec {
         schemes: SchemeKind::all().to_vec(),
         variants: vec![ConfigVariant::Default, ConfigVariant::NoPrefetch],
         budget: 20_000,
+        sample: None,
     }
 }
 

@@ -347,6 +347,7 @@ fn matrix_runner_is_schedule_invariant() {
         schemes: vec![SchemeKind::Baseline, SchemeKind::Dlvp, SchemeKind::Vtage],
         variants: vec![ConfigVariant::Default, ConfigVariant::OracleReplay],
         budget: 8_000,
+        sample: None,
     };
     let one_a = run_matrix(&spec, 1);
     let one_b = run_matrix(&spec, 1);
