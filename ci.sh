@@ -22,10 +22,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== clippy (library crates: no unwrap/panic outside tests) =="
 cargo clippy -q -p dlvp -p lvp-uarch -p lvp-mem -p lvp-emu -p lvp-json \
   -p lvp-analysis -p lvp-obs -p lvp-isa -p lvp-trace -p lvp-branch \
-  -p lvp-bench -p lvp-fuzz --lib -- -D warnings -D clippy::unwrap_used
+  -p lvp-bench -p lvp-fuzz -p lvp-store --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== clippy (CLI binaries: no unwrap outside tests) =="
-cargo clippy -q -p lvp-bench --bins -- -D warnings -D clippy::unwrap_used
+cargo clippy -q -p lvp-bench -p lvp-store --bins -- -D warnings -D clippy::unwrap_used
 
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
@@ -55,6 +55,54 @@ for f in "$tmp"/figs/*.txt; do
 done
 ./target/release/bench --validate-manifest "$tmp/figs_manifest.json"
 echo "figs --all matches the committed artifacts byte-for-byte (telemetry on)"
+
+echo "== result store gate (cold vs warm figs --all) =="
+# Cold: a fresh store fills from scratch. Warm: every sim request must hit
+# the store — the manifest proves zero sim jobs executed. Both runs must
+# render the committed artifacts byte-identically.
+./target/release/figs --all --out-dir "$tmp/figs_cold" --store "$tmp/store" \
+  --quiet > /dev/null
+./target/release/figs --all --out-dir "$tmp/figs_warm" --store "$tmp/store" \
+  --quiet --telemetry "$tmp/figs_warm_manifest.json" > /dev/null
+for f in "$tmp"/figs_cold/*.txt "$tmp"/figs_warm/*.txt; do
+  cmp "$f" "results/$(basename "$f")"
+done
+python3 - "$tmp/figs_warm_manifest.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+store = m.get("store") or {}
+assert m["jobs"] == 0, f"warm figs executed {m['jobs']} sim jobs"
+assert store.get("misses") == 0, f"warm figs missed the store: {store}"
+assert store.get("hits", 0) > 0, f"warm figs reports no store hits: {store}"
+print(f"warm figs: 0 sim jobs executed, {store['hits']} store hits, 0 misses")
+EOF
+./target/release/bench --validate-manifest "$tmp/figs_warm_manifest.json"
+echo "store-enabled figs is byte-identical cold and warm; warm is 100% hits"
+
+echo "== store CLI smoke (stats / verify / gc) =="
+./target/release/store --dir "$tmp/store" stats
+./target/release/store --dir "$tmp/store" verify > /dev/null
+./target/release/store --dir "$tmp/store" gc --max-entries 10000 > /dev/null
+echo "store maintenance CLI is healthy"
+
+echo "== serve/client smoke (batch server answers byte-identically) =="
+./target/release/runner --workloads aifirf --schemes baseline,dlvp \
+  --budget 10000 --jobs 2 --out "$tmp/local_matrix.json" --quiet
+mkdir -p "$tmp/queue"
+./target/release/runner --client "$tmp/queue" --client-timeout 120 \
+  --workloads aifirf --schemes baseline,dlvp --budget 10000 \
+  --out "$tmp/served_matrix.json" --quiet &
+client_pid=$!
+# The client submits asynchronously; poll `serve --once` until it has
+# drained the one batch.
+for _ in $(seq 1 400); do
+  served="$(./target/release/serve --queue "$tmp/queue" \
+    --store "$tmp/serve_store" --once --quiet)"
+  case "$served" in "serve: 0 batches"*) sleep 0.05 ;; *) break ;; esac
+done
+wait "$client_pid"
+cmp "$tmp/local_matrix.json" "$tmp/served_matrix.json"
+echo "served matrix is byte-identical to the local run"
 
 echo "== obs smoke (trace artifacts are schedule-invariant) =="
 ./target/release/obs run --workload aifirf --scheme dlvp --budget 10000 \

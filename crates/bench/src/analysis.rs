@@ -15,14 +15,15 @@
 //! document; [`depgraph_json`] renders the purely static dependence graphs
 //! (byte-diffed in CI — they depend only on the programs, not the budget).
 
-use dlvp::{Dlvp, DlvpConfig, Pap, PapConfig};
+use dlvp::{DlvpConfig, DlvpSimSlice, PapConfig};
 use lvp_analysis::{
     cross_validate, cross_validate_dep, DepAnalysis, DepInputs, DynLoadStats, ProgramAnalysis,
     Violation, XvalConfig, XvalLoad,
 };
 use lvp_json::{Json, ToJson};
+use lvp_store::SimService;
 use lvp_trace::Trace;
-use lvp_uarch::{Core, CoreConfig};
+use lvp_uarch::CoreConfig;
 use lvp_workloads::Workload;
 use std::collections::BTreeMap;
 
@@ -92,30 +93,99 @@ pub fn analyze_workload(
     dlvp: DlvpConfig,
     xval: &XvalConfig,
 ) -> WorkloadAnalysis {
+    analyze_workload_serviced(
+        workload,
+        budget,
+        pap,
+        dlvp,
+        xval,
+        &SimService::disabled(),
+        &lvp_obs::NullPhases,
+    )
+    .0
+}
+
+/// [`analyze_workload`] behind a [`SimService`]: the validating DLVP
+/// simulation (the expensive part) is looked up in — and recorded to —
+/// the result store; the static passes and gate rules always run. Returns
+/// the analysis and whether the simulation was a cache hit. The analysis
+/// is identical either way because the cached payload round-trips every
+/// counter the gate reads.
+///
+/// A `job:<workload>/analyze/dlvp` span is opened on `phases` only when
+/// the simulation actually runs, so a warm run's manifest reports zero
+/// jobs — exactly like the `figs`/`runner` pools.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_workload_serviced<P: lvp_obs::PhaseSink>(
+    workload: &Workload,
+    budget: u64,
+    pap: PapConfig,
+    dlvp: DlvpConfig,
+    xval: &XvalConfig,
+    service: &SimService,
+    phases: &P,
+) -> (WorkloadAnalysis, bool) {
     let program = workload.program();
     let analysis = ProgramAnalysis::analyze(&program);
     let dep = DepAnalysis::analyze(&program, &analysis);
     let trace = workload.trace(budget);
-    let core = Core::new(CoreConfig::default(), Dlvp::new(dlvp, Pap::new(pap)));
-    let (stats, scheme) = core.run_with_scheme(&trace);
-    let outcomes = scheme.per_pc_outcomes();
+
+    let run_span = |trace: &Trace| {
+        let mut job = if P::ENABLED {
+            Some(phases.span(0, &format!("job:{}/analyze/dlvp", workload.name)))
+        } else {
+            None
+        };
+        let sim = DlvpSimSlice::run(trace, CoreConfig::default(), dlvp, pap);
+        if let Some(j) = job.as_mut() {
+            j.charge(sim.cycles, sim.instructions, 1);
+            j.finish();
+        }
+        sim
+    };
+    let (sim, hit) = if service.enabled() {
+        let doc = DlvpSimSlice::request_doc(
+            trace.fingerprint(),
+            budget,
+            &CoreConfig::default(),
+            &dlvp,
+            &pap,
+        );
+        let key = service.key(&doc);
+        match service
+            .lookup(&key)
+            .and_then(|p| DlvpSimSlice::from_payload(&p))
+        {
+            Some(sim) => (sim, true),
+            None => {
+                let sim = run_span(&trace);
+                if let Err(e) = service.record(&key, &sim.to_payload()) {
+                    eprintln!("warning: result store write failed: {e}");
+                }
+                (sim, false)
+            }
+        }
+    } else {
+        (run_span(&trace), false)
+    };
+
     let loads: Vec<XvalLoad> = analysis
         .loads
         .iter()
         .map(|l| {
-            let sim = stats.per_pc.get(&l.pc).copied().unwrap_or_default();
-            let eng = outcomes.get(&l.pc).copied().unwrap_or_default();
+            let s = sim.per_pc.get(&l.pc).copied().unwrap_or_default();
+            let eng = sim.outcomes.get(&l.pc).copied().unwrap_or_default();
             XvalLoad {
                 pc: l.pc,
                 class: l.class,
                 conflict_free: l.conflict_free(),
                 ordered: l.ordered,
                 stats: DynLoadStats {
-                    executions: sim.executions,
-                    conflict_exposed: sim.conflict_exposed,
-                    ordering_violations: sim.ordering_violations,
-                    injected: sim.injected,
-                    value_correct: sim.correct,
+                    executions: s.executions,
+                    conflict_exposed: s.conflict_exposed,
+                    ordering_violations: s.ordering_violations,
+                    injected: s.injected,
+                    value_correct: s.correct,
                     attempts: eng.attempts,
                     predictions: eng.predictions,
                     addr_mispredicts: eng.addr_mispredicts,
@@ -136,16 +206,19 @@ pub fn analyze_workload(
         },
         xval,
     ));
-    WorkloadAnalysis {
-        name: workload.name,
-        analysis,
-        dep,
-        loads,
-        must_exercised: exercised,
-        violations,
-        sim_cycles: stats.cycles,
-        sim_instructions: stats.instructions,
-    }
+    (
+        WorkloadAnalysis {
+            name: workload.name,
+            analysis,
+            dep,
+            loads,
+            must_exercised: exercised,
+            violations,
+            sim_cycles: sim.cycles,
+            sim_instructions: sim.instructions,
+        },
+        hit,
+    )
 }
 
 /// Analyzes a batch of workloads (see [`analyze_workload`]).
@@ -181,29 +254,49 @@ pub fn analyze_workloads_with<P: lvp_obs::PhaseSink>(
     phases: &P,
     progress: &crate::telemetry::Progress,
 ) -> Vec<WorkloadAnalysis> {
+    analyze_workloads_serviced(
+        workloads,
+        budget,
+        pap,
+        dlvp,
+        xval,
+        phases,
+        progress,
+        &SimService::disabled(),
+    )
+}
+
+/// [`analyze_workloads_with`] behind a [`SimService`]: workloads whose
+/// validating simulation hits the store get no `job:` span and charge no
+/// work, so a fully warm run's manifest reports zero jobs — exactly like
+/// the `figs`/`runner` pools.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_workloads_serviced<P: lvp_obs::PhaseSink>(
+    workloads: &[Workload],
+    budget: u64,
+    pap: PapConfig,
+    dlvp: DlvpConfig,
+    xval: &XvalConfig,
+    phases: &P,
+    progress: &crate::telemetry::Progress,
+    service: &SimService,
+) -> Vec<WorkloadAnalysis> {
     let mut span = phases.span(0, "analyze");
+    let mut executed = (0u64, 0u64, 0u64);
     let results: Vec<WorkloadAnalysis> = workloads
         .iter()
         .map(|w| {
-            let mut job = if P::ENABLED {
-                Some(phases.span(0, &format!("job:{}/analyze/dlvp", w.name)))
-            } else {
-                None
-            };
-            let r = analyze_workload(w, budget, pap, dlvp, xval);
-            if let Some(j) = job.as_mut() {
-                j.charge(r.sim_cycles, r.sim_instructions, 1);
-                j.finish();
+            let (r, hit) = analyze_workload_serviced(w, budget, pap, dlvp, xval, service, phases);
+            if !hit {
+                executed.0 += r.sim_cycles;
+                executed.1 += r.sim_instructions;
+                executed.2 += 1;
             }
             progress.tick(r.sim_cycles);
             r
         })
         .collect();
-    span.charge(
-        results.iter().map(|r| r.sim_cycles).sum(),
-        results.iter().map(|r| r.sim_instructions).sum(),
-        results.len() as u64,
-    );
+    span.charge(executed.0, executed.1, executed.2);
     span.finish();
     results
 }

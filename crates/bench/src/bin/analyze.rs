@@ -35,12 +35,13 @@
 
 use lvp_analysis::XvalConfig;
 use lvp_bench::analysis::{
-    analyze_workloads_with, depgraph_json, report_json, total_collisions, total_violations,
+    analyze_workloads_serviced, depgraph_json, report_json, total_collisions, total_violations,
     WorkloadAnalysis,
 };
 use lvp_bench::{telemetry, Progress};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{NullPhases, PhaseRecorder};
+use lvp_store::SimService;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -53,6 +54,7 @@ struct Args {
     check: bool,
     inject_train_bug: bool,
     inject_lscd_bug: bool,
+    store: Option<String>,
     telemetry: Option<PathBuf>,
     host_trace: Option<PathBuf>,
     quiet: bool,
@@ -62,7 +64,8 @@ fn help_text() -> String {
     [
         "usage: analyze [--workloads a,b] [--budget N] [--out PATH] [--depgraph PATH]",
         "               [--json PATH] [--check] [--inject-train-bug] [--inject-lscd-bug]",
-        "               [--telemetry PATH] [--host-trace PATH] [--quiet] [--list] [--help]",
+        "               [--store DIR] [--telemetry PATH] [--host-trace PATH] [--quiet]",
+        "               [--list] [--help]",
         "",
         "  --workloads a,b,c    workloads to analyze (default: all)",
         "  --budget N           dynamic instructions per workload (default 60000)",
@@ -72,6 +75,8 @@ fn help_text() -> String {
         "  --check              byte-compare report and depgraph against existing files",
         "  --inject-train-bug   seed the APT training bug (gate must FAIL)",
         "  --inject-lscd-bug    seed the LSCD over-capture bug (rule R7 must FAIL)",
+        "  --store DIR          cache the validating simulations in a content-addressed",
+        "                       store; reruns recompute only what changed",
         "  --telemetry PATH     write a host-telemetry manifest of this run",
         "  --host-trace PATH    write a Chrome trace of the host phases",
         "  --quiet              suppress stderr progress lines",
@@ -101,6 +106,7 @@ fn parse_args() -> Args {
         check: false,
         inject_train_bug: false,
         inject_lscd_bug: false,
+        store: None,
         telemetry: None,
         host_trace: None,
         quiet: false,
@@ -133,6 +139,7 @@ fn parse_args() -> Args {
             "--check" => args.check = true,
             "--inject-train-bug" => args.inject_train_bug = true,
             "--inject-lscd-bug" => args.inject_lscd_bug = true,
+            "--store" => args.store = Some(value(&mut i, "--store")),
             "--telemetry" => args.telemetry = Some(PathBuf::from(value(&mut i, "--telemetry"))),
             "--host-trace" => args.host_trace = Some(PathBuf::from(value(&mut i, "--host-trace"))),
             "--quiet" => args.quiet = true,
@@ -202,8 +209,9 @@ fn run(
 ) -> Result<Vec<WorkloadAnalysis>, String> {
     let xval = XvalConfig::default();
     let progress = Progress::new("analyze", workloads.len(), !args.quiet);
+    let service = SimService::from_flag(args.store.as_deref()).map_err(|e| e.to_string())?;
     if args.telemetry.is_none() && args.host_trace.is_none() {
-        return Ok(analyze_workloads_with(
+        return Ok(analyze_workloads_serviced(
             workloads,
             args.budget,
             pap,
@@ -211,10 +219,11 @@ fn run(
             &xval,
             &NullPhases,
             &progress,
+            &service,
         ));
     }
     let rec = PhaseRecorder::new();
-    let results = analyze_workloads_with(
+    let results = analyze_workloads_serviced(
         workloads,
         args.budget,
         pap,
@@ -222,6 +231,7 @@ fn run(
         &xval,
         &rec,
         &progress,
+        &service,
     );
     let config = Json::obj([
         (
@@ -239,6 +249,7 @@ fn run(
         Vec::new(),
         1,
         &rec,
+        service.enabled().then(|| service.counters()),
         args.telemetry.as_deref(),
         args.host_trace.as_deref(),
     )?;

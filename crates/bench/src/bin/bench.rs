@@ -28,7 +28,7 @@
 use lvp_bench::perf::{
     bench_doc, check, run_benchmarks, tier_speedups, Baseline, BenchPolicy, ANALYZE_BUDGET,
     ANALYZE_WORKLOAD, DEFAULT_TOL_REL, FUZZ_PROFILE, FUZZ_SEEDS, INJECT_SPIN, SIMCORE_BUDGET,
-    SIMCORE_SCHEMES, SIMCORE_WORKLOADS, TIER_PHASES, TIER_SAMPLE,
+    SIMCORE_SCHEMES, SIMCORE_WORKLOADS, STORE_PHASES, TIER_PHASES, TIER_SAMPLE,
 };
 use lvp_bench::telemetry::{self, fmt_rate, Manifest};
 use lvp_json::{Json, ToJson};
@@ -159,6 +159,16 @@ fn main() -> ExitCode {
                 println!("  {p}/{w}");
             }
         }
+        println!(
+            "store     : {} workloads x {{cold miss, warm hit}}, budget {}",
+            SIMCORE_WORKLOADS.len(),
+            SIMCORE_BUDGET
+        );
+        for w in SIMCORE_WORKLOADS {
+            for p in STORE_PHASES {
+                println!("  {p}/{w}");
+            }
+        }
         println!("analyze   : {ANALYZE_WORKLOAD}, budget {ANALYZE_BUDGET}");
         println!("fuzz_oracle: profile {FUZZ_PROFILE}, seeds 0..{FUZZ_SEEDS}");
         flags.finish();
@@ -220,6 +230,7 @@ fn main() -> ExitCode {
             (0..FUZZ_SEEDS).collect(),
             1,
             &rec,
+            None,
             telemetry_path.as_deref(),
             host_trace.as_deref(),
         ) {

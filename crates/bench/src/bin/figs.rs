@@ -18,6 +18,7 @@ use lvp_bench::specs::{self, ExperimentSpec, RenderedSpec};
 use lvp_bench::{telemetry, Progress};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{NullPhases, PhaseRecorder};
+use lvp_store::SimService;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,6 +29,7 @@ struct Args {
     budget: u64,
     jobs: usize,
     out_dir: PathBuf,
+    store: Option<String>,
     telemetry: Option<PathBuf>,
     host_trace: Option<PathBuf>,
     quiet: bool,
@@ -36,11 +38,14 @@ struct Args {
 fn usage() -> String {
     let mut u = String::from(
         "usage: figs [--list] [--all | <spec>...] [--budget N] [--jobs N] [--out-dir DIR]\n\
-         \x20           [--telemetry PATH] [--host-trace PATH] [--quiet]\n\n\
+         \x20           [--store DIR] [--telemetry PATH] [--host-trace PATH] [--quiet]\n\n\
          Runs the named experiment specs (or all of them) and writes\n\
          <out-dir>/<spec>.txt for each. Defaults: budget 200000, out-dir 'results',\n\
-         jobs = available cores. --telemetry/--host-trace record host-side phase\n\
-         timing (never part of the .txt artifacts); --quiet silences progress.\n\nspecs:\n",
+         jobs = available cores. --store DIR caches simulation results in a\n\
+         content-addressed store, so reruns recompute only what changed (the\n\
+         .txt artifacts stay byte-identical). --telemetry/--host-trace record\n\
+         host-side phase timing (never part of the .txt artifacts); --quiet\n\
+         silences progress.\n\nspecs:\n",
     );
     for spec in specs::SPECS {
         u.push_str(&format!("  {:<22} {}\n", spec.name, spec.title));
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         budget: lvp_workloads::DEFAULT_BUDGET,
         jobs: lvp_bench::default_jobs(),
         out_dir: PathBuf::from("results"),
+        store: None,
         telemetry: None,
         host_trace: None,
         quiet: false,
@@ -76,6 +82,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out-dir" => {
                 args.out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a value")?);
+            }
+            "--store" => {
+                args.store = Some(it.next().ok_or("--store needs a value")?);
             }
             "--telemetry" => {
                 args.telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a value")?));
@@ -105,17 +114,20 @@ fn run(args: &Args, selected: &[&ExperimentSpec]) -> Result<Vec<RenderedSpec>, S
             .count()
     };
     let progress = Progress::new("figs", total, !args.quiet && total > 0);
+    let service = SimService::from_flag(args.store.as_deref()).map_err(|e| e.to_string())?;
     if args.telemetry.is_none() && args.host_trace.is_none() {
-        return Ok(specs::run_specs_with(
+        return Ok(specs::run_specs_serviced(
             selected,
             args.budget,
             args.jobs,
             &NullPhases,
             &progress,
+            &service,
         ));
     }
     let rec = PhaseRecorder::new();
-    let rendered = specs::run_specs_with(selected, args.budget, args.jobs, &rec, &progress);
+    let rendered =
+        specs::run_specs_serviced(selected, args.budget, args.jobs, &rec, &progress, &service);
     let config = Json::obj([
         (
             "specs",
@@ -130,6 +142,7 @@ fn run(args: &Args, selected: &[&ExperimentSpec]) -> Result<Vec<RenderedSpec>, S
         Vec::new(),
         args.jobs,
         &rec,
+        service.enabled().then(|| service.counters()),
         args.telemetry.as_deref(),
         args.host_trace.as_deref(),
     )?;

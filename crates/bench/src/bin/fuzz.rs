@@ -3,7 +3,7 @@
 //! ```text
 //! fuzz [--profile P] [--seeds N] [--seed-base B] [--jobs J] [--out PATH]
 //!      [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke]
-//!      [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]
+//!      [--store DIR] [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]
 //! ```
 //!
 //! Each seed is synthesized, executed, soundness-checked against the static
@@ -23,12 +23,17 @@
 //!   dependence rule R7 must catch it on at least one seed.
 //! * `--minimize` greedily shrinks each failing seed's program and appends
 //!   the reproducers to the report.
+//!
+//! The oracle's DLVP deep-check simulations run behind a [`SimService`]:
+//! an in-memory memo by default (duplicate programs across seeds simulate
+//! once), or the shared on-disk store with `--store DIR`.
 
 use lvp_bench::{par_map, par_map_metered, telemetry, Progress};
 use lvp_fuzz::minimize::minimize;
-use lvp_fuzz::{campaign_report, plan, run_seed, OracleConfig, SeedOutcome, SynthProfile};
+use lvp_fuzz::{campaign_report, plan, run_seed_serviced, OracleConfig, SeedOutcome, SynthProfile};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{NullPhases, PhaseRecorder, PhaseSink};
+use lvp_store::SimService;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,7 +43,9 @@ fn usage(err: &str) -> ! {
     }
     eprintln!("usage: fuzz [--profile P] [--seeds N] [--seed-base B] [--jobs J] [--out PATH]");
     eprintln!("            [--minimize] [--inject-train-bug] [--inject-lscd-bug] [--smoke]");
-    eprintln!("            [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]");
+    eprintln!(
+        "            [--store DIR] [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]"
+    );
     eprintln!("profiles: {}", SynthProfile::preset_names().join(", "));
     std::process::exit(2);
 }
@@ -91,6 +98,7 @@ fn run_campaign<P: PhaseSink>(
     cfg: &OracleConfig,
     phases: &P,
     progress: &Progress,
+    service: &SimService,
 ) -> Vec<SeedOutcome> {
     let mut span = phases.span(0, "campaign");
     let outcomes = par_map_metered(
@@ -100,7 +108,7 @@ fn run_campaign<P: PhaseSink>(
         progress,
         |seed| format!("job:seed{seed}/fuzz/oracle"),
         |o: &SeedOutcome| (0, o.dynamic as u64),
-        |&seed| run_seed(profile, seed, cfg),
+        |&seed| run_seed_serviced(profile, seed, cfg, service),
     );
     let dynamic: u64 = outcomes.iter().map(|o| o.dynamic as u64).sum();
     span.charge(0, dynamic, outcomes.len() as u64);
@@ -149,10 +157,24 @@ fn main() -> ExitCode {
     let inject_train = flags.take_bool("--inject-train-bug");
     let inject_lscd = flags.take_bool("--inject-lscd-bug");
     let inject = inject_train || inject_lscd;
+    let store_dir = flags.take("--store");
     let telemetry_path = flags.take("--telemetry").map(PathBuf::from);
     let host_trace = flags.take("--host-trace").map(PathBuf::from);
     let quiet = flags.take_bool("--quiet");
     flags.finish();
+
+    // The oracle dedups identical deep-check sims in-process by default;
+    // --store additionally persists them into the shared result store.
+    let service = match store_dir.as_deref() {
+        Some(dir) => match SimService::open(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fuzz: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => SimService::in_memory(),
+    };
 
     let profile = SynthProfile::preset(&profile_name)
         .unwrap_or_else(|| usage(&format!("unknown profile '{profile_name}'")));
@@ -176,9 +198,17 @@ fn main() -> ExitCode {
     let want_telemetry = telemetry_path.is_some() || host_trace.is_some();
     let rec = PhaseRecorder::new();
     let outcomes = if want_telemetry {
-        run_campaign(&seed_list, jobs, &profile, &cfg, &rec, &progress)
+        run_campaign(&seed_list, jobs, &profile, &cfg, &rec, &progress, &service)
     } else {
-        run_campaign(&seed_list, jobs, &profile, &cfg, &NullPhases, &progress)
+        run_campaign(
+            &seed_list,
+            jobs,
+            &profile,
+            &cfg,
+            &NullPhases,
+            &progress,
+            &service,
+        )
     };
     if want_telemetry {
         let config = Json::obj([
@@ -195,6 +225,7 @@ fn main() -> ExitCode {
             seed_list.clone(),
             jobs,
             &rec,
+            service.enabled().then(|| service.counters()),
             telemetry_path.as_deref(),
             host_trace.as_deref(),
         ) {

@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! obs run      [--workload W] [--scheme S] [--budget N] [--ring N]
-//!              [--trace-out PATH] [--report-out PATH]
+//!              [--trace-out PATH] [--report-out PATH] [--store DIR]
 //!   Simulate one (workload, scheme) with event tracing on. Writes a Chrome
 //!   trace_event JSON (load it at chrome://tracing) and a per-load-PC
 //!   lifecycle report, then cross-checks the report's injected/correct
 //!   columns against SimStats::per_pc — exact reconciliation or exit 1.
+//!   With `--store DIR` the run consults the content-addressed result
+//!   store under the same request key as `figs`/`runner` (recording its
+//!   outcome on a miss), and the store interaction itself is observed:
+//!   `store_access` events land in the Chrome trace and lazily-created
+//!   `store_*` counters in the report. Without the flag neither exists,
+//!   so store-disabled artifacts keep their exact bytes.
 //!
 //! obs record <workload> <budget> <file>   emulate once, save the trace
 //!   (streams records to disk as they execute; the trace never materializes
@@ -26,9 +32,12 @@
 //! counts. Host-timing output (the profiler, `overhead`) goes to stderr
 //! only and never into an artifact.
 
-use lvp_bench::{run_scheme, run_scheme_traced, SchemeKind};
+use lvp_bench::{run_scheme, run_scheme_traced, sim_request_doc, SchemeKind};
 use lvp_json::ToJson;
-use lvp_obs::{chrome_trace, LifecycleReport, PhaseRecorder, PhaseSink, RunMeta};
+use lvp_obs::{
+    chrome_trace, LifecycleReport, ObsEvent, PhaseRecorder, PhaseSink, RunMeta, StoreOp,
+};
+use lvp_store::SimService;
 use lvp_trace::{read_trace, TraceWriter};
 use lvp_uarch::{fmt_pct, simulate, CoreConfig, NoVp, SimConfig, SimStats};
 use std::fs::File;
@@ -43,7 +52,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: obs run      [--workload W] [--scheme S] [--budget N] [--ring N]");
-    eprintln!("                    [--trace-out PATH] [--report-out PATH]");
+    eprintln!("                    [--trace-out PATH] [--report-out PATH] [--store DIR]");
     eprintln!("       obs record   <workload> <budget> <file>");
     eprintln!("       obs stats    <file>");
     eprintln!("       obs replay   <file> [baseline|dlvp|cap|vtage|tournament]");
@@ -142,7 +151,16 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
         .take("--report-out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(format!("results/obs/{slug}.report.json")));
+    let store_flag = flags.take("--store");
     flags.finish();
+
+    let service = match SimService::from_flag(store_flag.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let w = workload_or_die(&workload);
     let scheme = scheme_or_die(&scheme_name);
@@ -152,10 +170,43 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
 
     let prof = PhaseRecorder::new();
     let trace = prof.time(0, "emulate", || w.trace(budget));
-    let (outcome, events, overwritten) = prof.time(0, "simulate", || {
+    let (outcome, mut events, overwritten) = prof.time(0, "simulate", || {
         run_scheme_traced(&trace, scheme, &SimConfig::default(), ring)
     });
     let stats = &outcome.stats;
+
+    // A store-enabled run shares the content-addressed key space with
+    // `figs`/`runner` and observes its own store traffic as events. The
+    // traced simulation always executes (the events are the product); the
+    // store just gains this run's outcome so untraced sweeps hit on it.
+    if service.enabled() {
+        let key = service.key(&sim_request_doc(
+            trace.fingerprint(),
+            budget,
+            scheme.name(),
+            &SimConfig::default(),
+        ));
+        let cycle = stats.cycles;
+        match service.lookup(&key) {
+            Some(_) => events.push(ObsEvent::StoreAccess {
+                cycle,
+                op: StoreOp::Hit,
+            }),
+            None => {
+                events.push(ObsEvent::StoreAccess {
+                    cycle,
+                    op: StoreOp::Miss,
+                });
+                match service.record(&key, &outcome.to_json()) {
+                    Ok(()) => events.push(ObsEvent::StoreAccess {
+                        cycle,
+                        op: StoreOp::Write,
+                    }),
+                    Err(e) => eprintln!("obs: warning: result store write failed: {e}"),
+                }
+            }
+        }
+    }
 
     // Satellite: an empty run must be a typed error, not a silent 0.0 IPC.
     let ipc = match stats.try_ipc() {
@@ -217,6 +268,13 @@ fn cmd_run(mut flags: Flags) -> ExitCode {
     );
     println!("wrote {}", trace_out.display());
     println!("wrote {}", report_out.display());
+    if service.enabled() {
+        let c = service.counters();
+        println!(
+            "store: hits {} misses {} writes {}",
+            c.hits, c.misses, c.writes
+        );
+    }
     eprint!("{}", prof.report(stats.instructions));
     ExitCode::SUCCESS
 }

@@ -18,6 +18,13 @@
 //!   --tol-abs X           absolute per-counter tolerance for --baseline (default 0)
 //!   --update-golden PATH  write the snapshot (use to regenerate goldens on
 //!                         an intentional model change)
+//!   --store DIR           cache per-job results in a content-addressed
+//!                         store; reruns recompute only what changed
+//!   --client QDIR         farm the matrix to a `serve` process via the
+//!                         file queue at QDIR instead of running locally
+//!                         (results stay byte-identical)
+//!   --client-timeout S    give up waiting on the server after S seconds
+//!                         (default 600)
 //!   --telemetry PATH      write a host-telemetry manifest of this run
 //!   --host-trace PATH     write a Chrome trace of host phases (one lane
 //!                         per worker) for chrome://tracing
@@ -30,12 +37,13 @@
 //! and stderr, never into the results artifact.
 
 use lvp_bench::runner::{
-    check_against_golden, default_jobs, run_matrix_with, ConfigVariant, MatrixResults, MatrixSpec,
-    Tolerances,
+    check_against_golden, default_jobs, run_matrix_serviced, ConfigVariant, MatrixResults,
+    MatrixSpec, Tolerances,
 };
 use lvp_bench::{telemetry, Progress, SchemeKind};
 use lvp_json::ToJson;
 use lvp_obs::{NullPhases, PhaseRecorder};
+use lvp_store::SimService;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -46,6 +54,9 @@ struct Args {
     baseline: Option<PathBuf>,
     update_golden: Option<PathBuf>,
     tol: Tolerances,
+    store: Option<String>,
+    client: Option<PathBuf>,
+    client_timeout_s: u64,
     telemetry: Option<PathBuf>,
     host_trace: Option<PathBuf>,
     quiet: bool,
@@ -56,8 +67,9 @@ fn usage(err: &str) -> ! {
     eprintln!("usage: runner [--workloads a,b] [--schemes x,y] [--variants v] [--budget N]");
     eprintln!("              [--sample FF:W:D:P]");
     eprintln!("              [--jobs N] [--out PATH] [--baseline PATH] [--tol-rel X]");
-    eprintln!("              [--tol-abs X] [--update-golden PATH] [--telemetry PATH]");
-    eprintln!("              [--host-trace PATH] [--quiet] [--list]");
+    eprintln!("              [--tol-abs X] [--update-golden PATH] [--store DIR]");
+    eprintln!("              [--client QDIR] [--client-timeout S]");
+    eprintln!("              [--telemetry PATH] [--host-trace PATH] [--quiet] [--list]");
     std::process::exit(2);
 }
 
@@ -68,6 +80,9 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut update_golden = None;
     let mut tol = Tolerances::default();
+    let mut store = None;
+    let mut client = None;
+    let mut client_timeout_s = 600u64;
     let mut telemetry = None;
     let mut host_trace = None;
     let mut quiet = false;
@@ -146,6 +161,13 @@ fn parse_args() -> Args {
                 }
             }
             "--out" => out = PathBuf::from(value(&mut i, "--out")),
+            "--store" => store = Some(value(&mut i, "--store")),
+            "--client" => client = Some(PathBuf::from(value(&mut i, "--client"))),
+            "--client-timeout" => {
+                client_timeout_s = value(&mut i, "--client-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--client-timeout must be an integer"));
+            }
             "--telemetry" => telemetry = Some(PathBuf::from(value(&mut i, "--telemetry"))),
             "--host-trace" => host_trace = Some(PathBuf::from(value(&mut i, "--host-trace"))),
             "--quiet" => quiet = true,
@@ -188,6 +210,9 @@ fn parse_args() -> Args {
             bad.join(", ")
         ));
     }
+    if client.is_some() && store.is_some() {
+        usage("--client and --store are mutually exclusive (the server owns the store)");
+    }
     Args {
         spec,
         jobs,
@@ -195,6 +220,9 @@ fn parse_args() -> Args {
         baseline,
         update_golden,
         tol,
+        store,
+        client,
+        client_timeout_s,
         telemetry,
         host_trace,
         quiet,
@@ -205,17 +233,39 @@ fn parse_args() -> Args {
 /// requested (the recording path costs a little; the default path
 /// monomorphizes it away entirely).
 fn run(args: &Args, njobs: usize) -> Result<MatrixResults, String> {
+    if let Some(queue) = &args.client {
+        // Farm the whole matrix to a serve process; the reassembled
+        // results are byte-identical to a local run.
+        let (results, sources) = lvp_bench::serve::client_run_matrix(
+            queue,
+            &args.spec,
+            50,
+            args.client_timeout_s.saturating_mul(1000),
+        )?;
+        if !args.quiet {
+            eprintln!(
+                "runner: served via {} (store {}, computed {}, deduped {})",
+                queue.display(),
+                sources.get("store").copied().unwrap_or(0),
+                sources.get("computed").copied().unwrap_or(0),
+                sources.get("deduped").copied().unwrap_or(0),
+            );
+        }
+        return Ok(results);
+    }
     let progress = Progress::new("runner", njobs, !args.quiet);
+    let service = SimService::from_flag(args.store.as_deref()).map_err(|e| e.to_string())?;
     if args.telemetry.is_none() && args.host_trace.is_none() {
-        return Ok(run_matrix_with(
+        return Ok(run_matrix_serviced(
             &args.spec,
             args.jobs,
             &NullPhases,
             &progress,
+            &service,
         ));
     }
     let rec = PhaseRecorder::new();
-    let results = run_matrix_with(&args.spec, args.jobs, &rec, &progress);
+    let results = run_matrix_serviced(&args.spec, args.jobs, &rec, &progress, &service);
     let seeds = args.spec.expand().iter().map(|j| j.seed()).collect();
     telemetry::emit(
         "runner",
@@ -224,6 +274,7 @@ fn run(args: &Args, njobs: usize) -> Result<MatrixResults, String> {
         seeds,
         args.jobs,
         &rec,
+        service.enabled().then(|| service.counters()),
         args.telemetry.as_deref(),
         args.host_trace.as_deref(),
     )?;

@@ -1,0 +1,133 @@
+//! `serve` — the long-running sim-as-a-service batch server.
+//!
+//! ```text
+//! serve --queue DIR [--store DIR] [--jobs N] [--once] [--poll-ms MS]
+//!       [--socket PATH] [--quiet]
+//! ```
+//!
+//! Watches `DIR/new/` for batch request files (see `lvp_bench::serve` for
+//! the queue protocol), claims them atomically, executes each batch behind
+//! a shared [`SimService`], and streams JSONL responses with per-request
+//! provenance into `DIR/done/`. By default the service is a process-local
+//! memo — one warm server dedups every sweep farmed to it; `--store`
+//! additionally persists results into the shared content-addressed store
+//! so hits survive server restarts.
+//!
+//! * `--once` drains the pending backlog and exits (CI smoke tests).
+//! * `--socket PATH` also answers batches over a Unix socket: one compact
+//!   request line in, response lines out.
+//!
+//! Submit work with `runner --client DIR` (byte-identical `matrix.json` to
+//! a local run) or by dropping request files into the queue directly.
+
+use lvp_bench::default_jobs;
+use lvp_bench::serve::{serve, ServeConfig};
+use lvp_store::SimService;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: serve --queue DIR [--store DIR] [--jobs N] [--once] [--poll-ms MS]");
+    eprintln!("             [--socket PATH] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut queue: Option<PathBuf> = None;
+    let mut store: Option<String> = None;
+    let mut jobs = default_jobs();
+    let mut once = false;
+    let mut poll_ms = 50u64;
+    let mut socket: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--queue" => queue = Some(PathBuf::from(value(&mut i, "--queue"))),
+            "--store" => store = Some(value(&mut i, "--store")),
+            "--jobs" => {
+                jobs = value(&mut i, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs must be an integer"));
+                if jobs == 0 {
+                    usage("--jobs must be >= 1");
+                }
+            }
+            "--once" => once = true,
+            "--poll-ms" => {
+                poll_ms = value(&mut i, "--poll-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--poll-ms must be an integer"));
+            }
+            "--socket" => socket = Some(PathBuf::from(value(&mut i, "--socket"))),
+            "--quiet" => quiet = true,
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(queue) = queue else {
+        usage("--queue DIR is required");
+    };
+
+    // One warm memo per server; --store makes hits durable across restarts.
+    let service = match store.as_deref() {
+        Some(dir) => match SimService::open(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => SimService::in_memory(),
+    };
+    let cfg = ServeConfig {
+        queue,
+        workers: jobs,
+        once,
+        poll_ms,
+        socket,
+        quiet,
+    };
+    if !quiet {
+        eprintln!(
+            "serve: queue {} ({} workers{}{})",
+            cfg.queue.display(),
+            cfg.workers,
+            if store.is_some() {
+                ", persistent store"
+            } else {
+                ", in-memory"
+            },
+            if once { ", once" } else { "" },
+        );
+    }
+    match serve(&cfg, &service) {
+        Ok(stats) => {
+            let c = service.counters();
+            println!(
+                "serve: {} batches, {} jobs ({} errors); store hits {} misses {} writes {} deduped {}",
+                stats.batches, stats.jobs, stats.errors, c.hits, c.misses, c.writes, c.deduped
+            );
+            if stats.errors > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

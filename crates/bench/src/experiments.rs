@@ -9,6 +9,7 @@
 pub use dlvp::SchemeKind;
 use lvp_energy::{core_energy, EnergyInput, EnergyParams, PredictorEnergyInput};
 use lvp_json::{Json, ToJson};
+use lvp_mem::{stats_parse_error, stats_u64, StatsParseError};
 use lvp_obs::{ObsEvent, RingSink};
 use lvp_trace::Trace;
 use lvp_uarch::{Core, SimConfig, SimStats, VpScheme};
@@ -99,6 +100,52 @@ impl ToJson for SchemeOutcome {
             ("predictor_writes", self.predictor_writes.to_json()),
             ("stats", self.stats.to_json()),
         ])
+    }
+}
+
+fn outcome_f64(j: &Json, key: &str) -> Result<f64, StatsParseError> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| stats_parse_error(format!("'{key}' must be a number")))
+}
+
+impl SchemeOutcome {
+    /// Inverse of [`ToJson::to_json`]: rebuilds an outcome from a cached
+    /// store payload. Counters are `u64` (exact) and every float was
+    /// written with the shortest-roundtrip formatter, so re-serializing
+    /// the parsed outcome reproduces the original bytes.
+    pub fn from_json(j: &Json) -> Result<SchemeOutcome, StatsParseError> {
+        let name = j
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or_else(|| stats_parse_error("'scheme' must be a string"))?;
+        let scheme = SchemeKind::from_name(name)
+            .ok_or_else(|| stats_parse_error(format!("unknown scheme '{name}'")))?;
+        let extra = match j.get("extra") {
+            Some(Json::Object(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64().map(|x| (k.clone(), x)).ok_or_else(|| {
+                        stats_parse_error(format!("extra counter '{k}' must be a number"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(stats_parse_error("'extra' must be an object")),
+        };
+        let stats = j
+            .get("stats")
+            .ok_or_else(|| stats_parse_error("missing key 'stats'"))?;
+        Ok(SchemeOutcome {
+            scheme,
+            stats: SimStats::from_json(stats)?,
+            cycles: stats_u64(j, "cycles")?,
+            coverage: outcome_f64(j, "coverage")?,
+            accuracy: outcome_f64(j, "accuracy")?,
+            extra,
+            predictor_bits: stats_u64(j, "predictor_bits")?,
+            predictor_reads: stats_u64(j, "predictor_reads")?,
+            predictor_writes: stats_u64(j, "predictor_writes")?,
+        })
     }
 }
 
@@ -276,6 +323,20 @@ mod tests {
         assert_eq!(row.schemes[2].scheme, SchemeKind::Dlvp);
         assert!(row.speedup(2) > 0.5 && row.speedup(2) < 2.0);
         assert!(row.baseline.stats.cycles > 0);
+    }
+
+    #[test]
+    fn outcome_roundtrips_through_json_byte_exactly() {
+        let w = lvp_workloads::by_name("aifirf").expect("workload");
+        let t = w.trace(8_000);
+        for kind in SchemeKind::all() {
+            let o = run_scheme(&t, kind, &SimConfig::default());
+            let text = o.to_json().pretty();
+            let back =
+                SchemeOutcome::from_json(&Json::parse(&text).expect("parse")).expect("from_json");
+            assert_eq!(back, o);
+            assert_eq!(back.to_json().pretty(), text);
+        }
     }
 
     #[test]

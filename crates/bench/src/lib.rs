@@ -25,6 +25,8 @@ pub mod microbench;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod serve;
+pub mod service;
 pub mod specs;
 pub mod telemetry;
 
@@ -33,10 +35,14 @@ pub use experiments::{
     SchemeOutcome,
 };
 pub use runner::{
-    default_jobs, diff_matrices, par_map, par_map_metered, run_job, run_matrix, run_matrix_with,
-    ConfigVariant, Drift, JobResult, JobSpec, MatrixResults, MatrixSpec, Tolerances,
+    default_jobs, diff_matrices, par_map, par_map_metered, run_job, run_matrix,
+    run_matrix_serviced, run_matrix_with, ConfigVariant, Drift, JobResult, JobSpec, MatrixResults,
+    MatrixSpec, Tolerances,
 };
+pub use serve::{client_run_matrix, execute_batch, serve, BatchRequest, ServeConfig, ServeStats};
+pub use service::{par_map_cached, sim_request_doc, CachedBatch, ExecutedWork};
 pub use specs::{
-    run_specs, run_specs_with, ExperimentSpec, RenderedSpec, ResultSet, SimRequest, SimScheme,
+    run_specs, run_specs_serviced, run_specs_with, ExperimentSpec, RenderedSpec, ResultSet,
+    SimRequest, SimScheme,
 };
 pub use telemetry::{config_hash, Manifest, PoolStats, Progress};

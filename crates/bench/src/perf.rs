@@ -30,12 +30,14 @@
 use crate::analysis::analyze_workload;
 use crate::experiments::run_scheme_spun;
 use crate::microbench::Bench;
-use crate::SchemeKind;
+use crate::service::sim_request_doc;
+use crate::{SchemeKind, SchemeOutcome};
 use dlvp::{DlvpConfig, PapConfig};
 use lvp_analysis::XvalConfig;
 use lvp_fuzz::{run_seed, OracleConfig, SynthProfile};
 use lvp_json::{Json, ToJson};
 use lvp_obs::PhaseSink;
+use lvp_store::{request_key, Store};
 use lvp_uarch::{CoreConfig, ExecutionTier, FunctionalTier, SampleSpec, SimConfig, SimpleTier};
 use std::time::Duration;
 
@@ -71,6 +73,12 @@ pub const TIER_SAMPLE: SampleSpec = SampleSpec {
     detail: 4_000,
     period: 10_000,
 };
+
+/// The store phases: the content-addressed result store's two hot paths,
+/// per simcore workload — `store_cold` (miss: lookup, simulate, record)
+/// and `store_warm` (hit: lookup + payload decode, no simulation), both
+/// against an on-disk sharded store so the cells time the real CAS path.
+pub const STORE_PHASES: [&str; 2] = ["store_cold", "store_warm"];
 
 /// The analyze phase's workload and budget.
 pub const ANALYZE_WORKLOAD: &str = "perlbmk";
@@ -372,6 +380,93 @@ pub fn run_benchmarks<P: PhaseSink>(policy: &BenchPolicy, spin: u32, phases: &P)
         tier_cycles,
         tier_instr,
         (SIMCORE_WORKLOADS.len() * 3) as u64,
+    );
+    span.finish();
+
+    // Store-path cells: cold-miss (evict, lookup, simulate, record) vs
+    // warm-hit (lookup + payload decode, zero simulation) through the real
+    // on-disk sharded CAS, one store per workload under a temp root. The
+    // warm cell's deterministic counters come from the *decoded* payload,
+    // so exact comparison against the baseline doubles as a round-trip
+    // check of the stored outcome.
+    let mut span = phases.span(0, "bench:store");
+    let store_root = std::env::temp_dir().join(format!("lvp-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let (mut store_cycles, mut store_instr) = (0u64, 0u64);
+    for name in SIMCORE_WORKLOADS {
+        let w = lvp_workloads::by_name(name).expect("fixed benchmark workload");
+        let trace = phases.time(0, "build_trace", || w.trace(SIMCORE_BUDGET));
+        let scheme = SchemeKind::Dlvp;
+        let store = Store::open(store_root.join(name)).expect("open benchmark store");
+        let key = request_key(&sim_request_doc(
+            trace.fingerprint(),
+            SIMCORE_BUDGET,
+            scheme.name(),
+            &cfg,
+        ));
+
+        let outcome = run_scheme_spun(&trace, scheme, &cfg, spin);
+        let m = policy.bench(format!("store_cold_{name}")).measure(|| {
+            store.gc(Some(0)).expect("evict benchmark store");
+            assert!(store.get(&key).expect("store get").is_none());
+            let o = run_scheme_spun(&trace, scheme, &cfg, spin);
+            store.put(&key, &o.to_json()).expect("store put");
+            std::hint::black_box(o);
+        });
+        let median_ns = m.median.as_nanos() as u64;
+        store_cycles += outcome.stats.cycles;
+        store_instr += outcome.stats.instructions;
+        rows.push(BenchRow {
+            phase: "store_cold".into(),
+            workload: name.into(),
+            scheme: scheme.name().into(),
+            budget: SIMCORE_BUDGET,
+            det: vec![
+                ("instructions".into(), outcome.stats.instructions),
+                ("sim_cycles".into(), outcome.stats.cycles),
+            ],
+            median_ns,
+            min_ns: m.min.as_nanos() as u64,
+            max_ns: m.max.as_nanos() as u64,
+            sim_cycles_per_sec: lvp_obs::sim_cycles_per_sec(outcome.stats.cycles, median_ns),
+        });
+
+        // The cold cell's last iteration left the entry in place — the
+        // warm cell hits it on every lookup.
+        let decoded = store
+            .get(&key)
+            .expect("store get")
+            .and_then(|p| SchemeOutcome::from_json(&p).ok())
+            .expect("warm entry present and decodable");
+        let m = policy.bench(format!("store_warm_{name}")).measure(|| {
+            let payload = store
+                .get(&key)
+                .expect("store get")
+                .expect("warm entry present");
+            let o = SchemeOutcome::from_json(&payload).expect("payload decodes");
+            std::hint::black_box(o);
+        });
+        let median_ns = m.median.as_nanos() as u64;
+        rows.push(BenchRow {
+            phase: "store_warm".into(),
+            workload: name.into(),
+            scheme: scheme.name().into(),
+            budget: SIMCORE_BUDGET,
+            det: vec![
+                ("instructions".into(), decoded.stats.instructions),
+                ("sim_cycles".into(), decoded.stats.cycles),
+            ],
+            median_ns,
+            min_ns: m.min.as_nanos() as u64,
+            max_ns: m.max.as_nanos() as u64,
+            sim_cycles_per_sec: lvp_obs::sim_cycles_per_sec(decoded.stats.cycles, median_ns),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
+    span.charge(
+        store_cycles,
+        store_instr,
+        (SIMCORE_WORKLOADS.len() * STORE_PHASES.len()) as u64,
     );
     span.finish();
 

@@ -21,9 +21,11 @@
 //!   beyond configurable [`Tolerances`].
 
 use crate::experiments::{run_scheme, SchemeKind, SchemeOutcome};
+use crate::service::{par_map_cached, sim_request_doc};
 use crate::telemetry::Progress;
 use lvp_json::{Json, ToJson};
 use lvp_obs::{NullPhases, PhaseSink};
+use lvp_store::SimService;
 use lvp_uarch::{SampleSpec, SimConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -409,6 +411,21 @@ pub fn run_matrix_with<P: PhaseSink>(
     phases: &P,
     progress: &Progress,
 ) -> MatrixResults {
+    run_matrix_serviced(spec, workers, phases, progress, &SimService::disabled())
+}
+
+/// [`run_matrix_with`] behind a result store: each job is looked up by the
+/// canonical hash of its request document (trace fingerprint + budget +
+/// scheme + fully-resolved config, the same key space `figs` uses), only
+/// misses execute on the pool, and computed outcomes are recorded. Results
+/// and serialized bytes are identical cold, warm, or disabled.
+pub fn run_matrix_serviced<P: PhaseSink>(
+    spec: &MatrixSpec,
+    workers: usize,
+    phases: &P,
+    progress: &Progress,
+    service: &SimService,
+) -> MatrixResults {
     let jobs = spec.expand();
 
     // Phase 1: build each workload's trace once, in parallel.
@@ -430,10 +447,48 @@ pub fn run_matrix_with<P: PhaseSink>(
     span.charge(0, traces.iter().map(|t| t.len() as u64).sum(), 0);
     span.finish();
 
-    // Phase 2: run jobs; each result lands in its own index slot.
+    // Phase 2: run jobs; each result lands in its own index slot. Behind
+    // an enabled service, jobs whose request documents hit the store skip
+    // the pool entirely and their `job:` spans never exist.
+    let fingerprints: Vec<u64> = if service.enabled() {
+        traces.iter().map(lvp_trace::Trace::fingerprint).collect()
+    } else {
+        Vec::new()
+    };
+    let workload_index = |job: &JobSpec| {
+        spec.workloads
+            .iter()
+            .position(|w| *w == job.workload)
+            .expect("job came from this spec")
+    };
+    let job_config = |job: &JobSpec| {
+        let mut cfg = job.variant.config();
+        cfg.sample = job.sample;
+        cfg
+    };
     let mut span = phases.span(0, "simulate");
-    let results = par_map_metered(
+    let batch = par_map_cached(
+        service,
         &jobs,
+        |job| {
+            sim_request_doc(
+                fingerprints[workload_index(job)],
+                spec.budget,
+                job.scheme.name(),
+                &job_config(job),
+            )
+        },
+        |job, payload| {
+            let outcome = SchemeOutcome::from_json(payload).ok()?;
+            let wi = workload_index(job);
+            Some(JobResult {
+                seed: job.seed(),
+                suite: workload_list[wi].suite.to_string(),
+                spec: job.clone(),
+                outcome,
+            })
+        },
+        |r| r.outcome.to_json(),
         workers,
         phases,
         progress,
@@ -447,14 +502,8 @@ pub fn run_matrix_with<P: PhaseSink>(
         },
         |r: &JobResult| (r.outcome.stats.cycles, r.outcome.stats.instructions),
         |job| {
-            let wi = spec
-                .workloads
-                .iter()
-                .position(|w| *w == job.workload)
-                .expect("job came from this spec");
-            let mut cfg = job.variant.config();
-            cfg.sample = job.sample;
-            let outcome = run_scheme(&traces[wi], job.scheme, &cfg);
+            let wi = workload_index(job);
+            let outcome = run_scheme(&traces[wi], job.scheme, &job_config(job));
             JobResult {
                 seed: job.seed(),
                 suite: workload_list[wi].suite.to_string(),
@@ -464,14 +513,14 @@ pub fn run_matrix_with<P: PhaseSink>(
         },
     );
     span.charge(
-        results.iter().map(|r| r.outcome.stats.cycles).sum(),
-        results.iter().map(|r| r.outcome.stats.instructions).sum(),
-        results.len() as u64,
+        batch.executed.sim_cycles,
+        batch.executed.instructions,
+        batch.executed.jobs,
     );
     span.finish();
     MatrixResults {
         spec: spec.clone(),
-        jobs: results,
+        jobs: batch.results,
     }
 }
 

@@ -1,0 +1,205 @@
+//! Bench-side glue for the content-addressed result store.
+//!
+//! [`lvp_store::SimService`] memoizes raw JSON payloads; this module binds
+//! it to the bench request models. It owns (a) the canonical *request
+//! document* shape every consumer hashes — so `figs`, `runner`, `serve`
+//! and `bench` share one key space and a result computed by any of them is
+//! a hit for all of them — and (b) [`par_map_cached`], the batch executor
+//! that consults the store, shards only the misses across the
+//! [`par_map_metered`] pool, and records what it computed.
+//!
+//! Request documents embed the trace *fingerprint* rather than the
+//! workload name: a workload-generator edit changes the fingerprint and
+//! silently invalidates every affected entry, while `SimConfig` is
+//! embedded fully resolved so a preset edit recomputes exactly the design
+//! points it touches (the incremental-`figs` property).
+
+use crate::runner::par_map_metered;
+use crate::telemetry::Progress;
+use lvp_json::{Json, ToJson};
+use lvp_obs::PhaseSink;
+use lvp_store::SimService;
+use lvp_uarch::SimConfig;
+
+/// The canonical request document for one simulation: everything its
+/// result is a pure function of.
+pub fn sim_request_doc(trace_fingerprint: u64, budget: u64, scheme: &str, cfg: &SimConfig) -> Json {
+    Json::obj([
+        ("kind", Json::Str("sim".to_string())),
+        ("trace", Json::Str(format!("{trace_fingerprint:016x}"))),
+        ("budget", Json::U64(budget)),
+        ("scheme", Json::Str(scheme.to_string())),
+        ("config", cfg.to_json()),
+    ])
+}
+
+/// What a cached batch actually executed (the cache misses): simulated
+/// cycles, instructions, and job count. Callers charge their `simulate`
+/// telemetry span with these so manifests attribute wall time only to
+/// sims that ran — a fully warm run reports zero jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutedWork {
+    pub sim_cycles: u64,
+    pub instructions: u64,
+    pub jobs: u64,
+}
+
+/// A batch result: every item's output (input order), plus the work the
+/// misses cost.
+pub struct CachedBatch<R> {
+    pub results: Vec<R>,
+    pub executed: ExecutedWork,
+}
+
+/// [`par_map_metered`] behind a [`SimService`]: looks every item up before
+/// executing, runs only the misses on the worker pool (same labels, same
+/// input-order slots), records what it computed, and reassembles results
+/// in input order.
+///
+/// With a disabled service this *is* [`par_map_metered`] — same pool, same
+/// spans, bit-identical results — so store-off runs keep their exact
+/// artifact and manifest bytes. With an enabled service the results are
+/// still bit-identical because payloads round-trip losslessly; only the
+/// set of executed `job:` spans shrinks.
+#[allow(clippy::too_many_arguments)]
+pub fn par_map_cached<T, R, F, L, M, P, Q, D, E>(
+    service: &SimService,
+    items: &[T],
+    request_doc: Q,
+    decode: D,
+    encode: E,
+    workers: usize,
+    phases: &P,
+    progress: &Progress,
+    label: L,
+    meter: M,
+    f: F,
+) -> CachedBatch<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(&T) -> String + Sync,
+    M: Fn(&R) -> (u64, u64) + Sync,
+    P: PhaseSink,
+    Q: Fn(&T) -> Json,
+    D: Fn(&T, &Json) -> Option<R>,
+    E: Fn(&R) -> Json,
+{
+    let tally = |results: &[R], meter: &M| {
+        results.iter().map(meter).fold(
+            ExecutedWork::default(),
+            |acc, (sim_cycles, instructions)| ExecutedWork {
+                sim_cycles: acc.sim_cycles + sim_cycles,
+                instructions: acc.instructions + instructions,
+                jobs: acc.jobs + 1,
+            },
+        )
+    };
+    if !service.enabled() {
+        let results = par_map_metered(items, workers, phases, progress, label, |r| meter(r), f);
+        let executed = tally(&results, &meter);
+        return CachedBatch { results, executed };
+    }
+
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let mut keys: Vec<String> = Vec::with_capacity(items.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let key = service.key(&request_doc(item));
+        // A payload that fails to decode (e.g. hand-edited entry) falls
+        // back to recomputation, exactly like an absent entry.
+        match service.lookup(&key).and_then(|p| decode(item, &p)) {
+            Some(r) => slots[i] = Some(r),
+            None => misses.push(i),
+        }
+        keys.push(key);
+    }
+
+    let miss_items: Vec<&T> = misses.iter().map(|&i| &items[i]).collect();
+    let computed = par_map_metered(
+        &miss_items,
+        workers,
+        phases,
+        progress,
+        |item| label(item),
+        |r| meter(r),
+        |item| f(item),
+    );
+    let executed = tally(&computed, &meter);
+    for (&i, r) in misses.iter().zip(computed) {
+        if let Err(e) = service.record(&keys[i], &encode(&r)) {
+            eprintln!("warning: result store write failed: {e}");
+        }
+        slots[i] = Some(r);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by a hit or a computed miss"))
+        .collect();
+    CachedBatch { results, executed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_obs::NullPhases;
+
+    fn doc(n: &u64) -> Json {
+        Json::obj([("n", Json::U64(*n))])
+    }
+
+    #[test]
+    fn disabled_service_matches_par_map() {
+        let items: Vec<u64> = (0..10).collect();
+        let svc = SimService::disabled();
+        let batch = par_map_cached(
+            &svc,
+            &items,
+            doc,
+            |_, p| p.as_f64().map(|x| x as u64),
+            |r| Json::U64(*r),
+            4,
+            &NullPhases,
+            &Progress::off(),
+            |_| String::new(),
+            |r| (*r, 1),
+            |n| n * 2,
+        );
+        assert_eq!(batch.results, (0..10).map(|n| n * 2).collect::<Vec<_>>());
+        assert_eq!(batch.executed.jobs, 10);
+        assert_eq!(batch.executed.sim_cycles, 90);
+    }
+
+    #[test]
+    fn warm_batch_executes_zero_jobs_and_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        let svc = SimService::in_memory();
+        let run = |svc: &SimService| {
+            par_map_cached(
+                svc,
+                &items,
+                doc,
+                |_, p| match p {
+                    Json::U64(n) => Some(*n),
+                    _ => None,
+                },
+                |r| Json::U64(*r),
+                4,
+                &NullPhases,
+                &Progress::off(),
+                |_| String::new(),
+                |r| (*r, 1),
+                |n| n * 3,
+            )
+        };
+        let cold = run(&svc);
+        assert_eq!(cold.executed.jobs, 10);
+        let warm = run(&svc);
+        assert_eq!(warm.executed.jobs, 0);
+        assert_eq!(warm.executed.sim_cycles, 0);
+        assert_eq!(warm.results, cold.results);
+        let c = svc.counters();
+        assert_eq!((c.hits, c.misses), (10, 10));
+    }
+}

@@ -19,6 +19,7 @@ use crate::analysis::analyze_workload;
 use crate::experiments::{run_scheme, ComparisonRow, SchemeKind, SchemeOutcome};
 use crate::report;
 use crate::runner::par_map_metered;
+use crate::service::{par_map_cached, sim_request_doc};
 use crate::telemetry::Progress;
 use dlvp::{
     evaluate_standalone, AddrEval, AddrWidth, AddressPredictor, AptLayout, Cap, CapConfig,
@@ -26,7 +27,9 @@ use dlvp::{
 };
 use lvp_analysis::{EdgeKind, XvalConfig};
 use lvp_energy::{PrfComparison, SramMacro};
+use lvp_json::{Json, ToJson};
 use lvp_obs::{NullPhases, PhaseSink};
+use lvp_store::SimService;
 use lvp_trace::{repeat::THRESHOLDS, ConflictProfile, RepeatProfile, Trace};
 use lvp_uarch::{Core, CoreConfig, SimConfig, SimStats};
 use std::collections::{HashMap, HashSet};
@@ -82,6 +85,35 @@ pub enum SimOutput {
     Outcome(SchemeOutcome),
     /// Bare stats (the D-VTAGE extension path).
     Stats(SimStats),
+}
+
+impl SimOutput {
+    /// The result-store payload for this output. Tagged so the two arms
+    /// cannot be confused when a payload is decoded.
+    pub fn to_payload(&self) -> Json {
+        match self {
+            SimOutput::Outcome(o) => Json::obj([
+                ("type", Json::Str("outcome".to_string())),
+                ("outcome", o.to_json()),
+            ]),
+            SimOutput::Stats(s) => Json::obj([
+                ("type", Json::Str("stats".to_string())),
+                ("stats", s.to_json()),
+            ]),
+        }
+    }
+
+    /// Inverse of [`SimOutput::to_payload`]; `None` on any shape mismatch
+    /// (the caller treats that as a cache miss and recomputes).
+    pub fn from_payload(j: &Json) -> Option<SimOutput> {
+        match j.get("type").and_then(Json::as_str)? {
+            "outcome" => Some(SimOutput::Outcome(
+                SchemeOutcome::from_json(j.get("outcome")?).ok()?,
+            )),
+            "stats" => Some(SimOutput::Stats(SimStats::from_json(j.get("stats")?).ok()?)),
+            _ => None,
+        }
+    }
 }
 
 /// Which traces a spec's `render` reads directly (beyond those implied by
@@ -226,15 +258,43 @@ pub fn run_specs_with<P: PhaseSink>(
     phases: &P,
     progress: &Progress,
 ) -> Vec<RenderedSpec> {
+    run_specs_serviced(
+        specs,
+        budget,
+        workers,
+        phases,
+        progress,
+        &SimService::disabled(),
+    )
+}
+
+/// [`run_specs_with`] behind a result store: every deduped request is
+/// looked up before the pool runs, only misses execute (so a fully warm
+/// store re-renders everything with **zero** sim jobs), and computed
+/// outputs are recorded for the next run. Rendered texts are
+/// byte-identical whether the store is cold, warm, or disabled, because
+/// store payloads round-trip losslessly.
+pub fn run_specs_serviced<P: PhaseSink>(
+    specs: &[&ExperimentSpec],
+    budget: u64,
+    workers: usize,
+    phases: &P,
+    progress: &Progress,
+    service: &SimService,
+) -> Vec<RenderedSpec> {
     let mut requests: Vec<SimRequest> = Vec::new();
     let mut seen: HashSet<SimRequest> = HashSet::new();
+    let mut duplicates: u64 = 0;
     for spec in specs {
         for req in (spec.sims)() {
             if seen.insert(req) {
                 requests.push(req);
+            } else {
+                duplicates += 1;
             }
         }
     }
+    service.note_deduped(duplicates);
 
     let need_all = specs.iter().any(|s| matches!(s.traces, TraceNeed::All));
     let workload_names: Vec<&'static str> = lvp_workloads::names()
@@ -263,9 +323,24 @@ pub fn run_specs_with<P: PhaseSink>(
         SimOutput::Outcome(o) => (o.stats.cycles, o.stats.instructions),
         SimOutput::Stats(s) => (s.cycles, s.instructions),
     };
+    let fingerprints: HashMap<&'static str, u64> = if service.enabled() {
+        traces
+            .iter()
+            .map(|(name, t)| (*name, t.fingerprint()))
+            .collect()
+    } else {
+        HashMap::new()
+    };
     let mut span = phases.span(0, "simulate");
-    let outputs = par_map_metered(
+    let batch = par_map_cached(
+        service,
         &requests,
+        |req| {
+            let cfg = SimConfig::preset(req.preset).expect("spec requests name registered presets");
+            sim_request_doc(fingerprints[req.workload], budget, req.scheme.label(), &cfg)
+        },
+        |_, payload| SimOutput::from_payload(payload),
+        SimOutput::to_payload,
         workers,
         phases,
         progress,
@@ -273,13 +348,14 @@ pub fn run_specs_with<P: PhaseSink>(
         sim_work,
         |req| run_request(req, &traces[req.workload]),
     );
-    let (cycles, instructions) = outputs
-        .iter()
-        .map(sim_work)
-        .fold((0, 0), |(c, i), (dc, di)| (c + dc, i + di));
-    span.charge(cycles, instructions, outputs.len() as u64);
+    span.charge(
+        batch.executed.sim_cycles,
+        batch.executed.instructions,
+        batch.executed.jobs,
+    );
     span.finish();
-    let sims: HashMap<SimRequest, SimOutput> = requests.iter().copied().zip(outputs).collect();
+    let sims: HashMap<SimRequest, SimOutput> =
+        requests.iter().copied().zip(batch.results).collect();
 
     let set = ResultSet {
         budget,

@@ -15,6 +15,7 @@
 
 use lvp_json::{Json, ToJson};
 use lvp_obs::{sim_cycles_per_sec, PhaseRecorder, PhaseSpan};
+use lvp_store::StoreCounters;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -147,6 +148,10 @@ pub struct Manifest {
     pub instructions: u64,
     /// Aggregate simulated-cycle throughput over the whole run wall-clock.
     pub sim_cycles_per_sec: f64,
+    /// Result-store counters, present only when the run used a
+    /// [`lvp_store::SimService`] — manifests from store-disabled runs keep
+    /// their exact pre-store bytes, and old manifests still parse.
+    pub store: Option<StoreCounters>,
     pub pool: PoolStats,
     pub per_job: Vec<JobRecord>,
     /// The full hierarchical phase tree, exactly as recorded.
@@ -164,6 +169,7 @@ impl Manifest {
         seeds: Vec<u64>,
         workers: usize,
         rec: &PhaseRecorder,
+        store: Option<StoreCounters>,
     ) -> Manifest {
         let phases = rec.spans();
         let wall_ns = rec.total_ns();
@@ -195,15 +201,18 @@ impl Manifest {
             sim_cycles,
             instructions,
             sim_cycles_per_sec: sim_cycles_per_sec(sim_cycles, wall_ns),
+            store,
             pool: PoolStats::from_spans(&phases, workers, wall_ns),
             per_job,
             phases,
         }
     }
 
-    /// Serializes the manifest (the `--telemetry` file body).
+    /// Serializes the manifest (the `--telemetry` file body). The `store`
+    /// key appears only for store-enabled runs, so store-off manifests
+    /// keep their exact pre-store bytes.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("version", self.version.to_json()),
             ("tool", self.tool.to_json()),
             ("config_hash", self.config_hash.to_json()),
@@ -218,6 +227,19 @@ impl Manifest {
             ("sim_cycles", self.sim_cycles.to_json()),
             ("instructions", self.instructions.to_json()),
             ("sim_cycles_per_sec", self.sim_cycles_per_sec.to_json()),
+        ];
+        if let Some(c) = &self.store {
+            pairs.push((
+                "store",
+                Json::obj([
+                    ("hits", c.hits.to_json()),
+                    ("misses", c.misses.to_json()),
+                    ("writes", c.writes.to_json()),
+                    ("deduped", c.deduped.to_json()),
+                ]),
+            ));
+        }
+        pairs.extend([
             ("pool", self.pool.to_json()),
             (
                 "per_job",
@@ -227,7 +249,8 @@ impl Manifest {
                 "phases",
                 Json::Array(self.phases.iter().map(ToJson::to_json).collect()),
             ),
-        ])
+        ]);
+        Json::obj(pairs)
     }
 
     /// Parses a manifest document — the inverse of [`Manifest::to_json`],
@@ -278,6 +301,15 @@ impl Manifest {
             idle_ns: num(pool_json, "idle_ns")?,
             occupancy: float(pool_json, "occupancy")?,
         };
+        let store = match j.get("store") {
+            None => None,
+            Some(s) => Some(StoreCounters {
+                hits: num(s, "hits")?,
+                misses: num(s, "misses")?,
+                writes: num(s, "writes")?,
+                deduped: num(s, "deduped")?,
+            }),
+        };
         let per_job = array(j, "per_job")?
             .iter()
             .map(|r| {
@@ -313,6 +345,7 @@ impl Manifest {
             sim_cycles: num(j, "sim_cycles")?,
             instructions: num(j, "instructions")?,
             sim_cycles_per_sec: float(j, "sim_cycles_per_sec")?,
+            store,
             pool,
             per_job,
             phases,
@@ -343,13 +376,14 @@ pub fn emit(
     seeds: Vec<u64>,
     workers: usize,
     rec: &PhaseRecorder,
+    store: Option<StoreCounters>,
     telemetry: Option<&Path>,
     host_trace: Option<&Path>,
 ) -> Result<(), String> {
     if telemetry.is_none() && host_trace.is_none() {
         return Ok(());
     }
-    let manifest = Manifest::build(tool, config, budget, seeds, workers, rec);
+    let manifest = Manifest::build(tool, config, budget, seeds, workers, rec, store);
     if let Some(path) = telemetry {
         write_json(path, &manifest.to_json())?;
         eprintln!("{tool}: wrote telemetry manifest {}", path.display());
@@ -477,7 +511,7 @@ mod tests {
             j2.finish();
         }
         let cfg = Json::obj([("budget", 123u64.to_json())]);
-        let m = Manifest::build("runner", &cfg, 123, vec![7, 9], 2, &rec);
+        let m = Manifest::build("runner", &cfg, 123, vec![7, 9], 2, &rec, None);
         assert_eq!(m.jobs, 2);
         assert_eq!(m.sim_cycles, 4_000);
         assert_eq!(m.instructions, 1_400);
@@ -490,6 +524,29 @@ mod tests {
         let text = m.to_json().pretty();
         let parsed = Manifest::parse(&Json::parse(&text).expect("parses")).expect("valid");
         assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json().pretty(), text, "byte-stable round-trip");
+    }
+
+    #[test]
+    fn manifest_store_counters_are_optional_and_round_trip() {
+        let rec = PhaseRecorder::new();
+        let cfg = Json::obj([("budget", 1u64.to_json())]);
+        let off = Manifest::build("figs", &cfg, 1, Vec::new(), 1, &rec, None);
+        assert!(
+            !off.to_json().pretty().contains("\"store\""),
+            "store-disabled manifests must not grow a store key"
+        );
+        let counters = StoreCounters {
+            hits: 4,
+            misses: 2,
+            writes: 2,
+            deduped: 1,
+        };
+        let on = Manifest::build("figs", &cfg, 1, Vec::new(), 1, &rec, Some(counters));
+        let text = on.to_json().pretty();
+        assert!(text.contains("\"store\""));
+        let parsed = Manifest::parse(&Json::parse(&text).expect("parses")).expect("valid");
+        assert_eq!(parsed.store, Some(counters));
         assert_eq!(parsed.to_json().pretty(), text, "byte-stable round-trip");
     }
 

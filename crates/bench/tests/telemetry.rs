@@ -154,6 +154,7 @@ fn manifest_round_trips_and_hash_ignores_workers() {
             spec.expand().iter().map(|j| j.seed()).collect(),
             workers,
             &rec,
+            None,
         );
         assert_eq!(m.per_job.len(), spec.expand().len());
         assert!(m.per_job.iter().all(|j| (j.worker as usize) < workers));

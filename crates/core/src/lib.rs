@@ -44,6 +44,7 @@ pub mod pap;
 pub mod paq;
 pub mod path;
 pub mod registry;
+pub mod slice;
 pub mod tournament;
 pub mod vtage;
 
@@ -57,5 +58,6 @@ pub use pap::{AddrWidth, AllocPolicy, AptLayout, Pap, PapConfig};
 pub use paq::{Paq, PaqEntry, PaqStats};
 pub use path::LoadPathHistory;
 pub use registry::SchemeKind;
+pub use slice::DlvpSimSlice;
 pub use tournament::{Tournament, TournamentCounters};
 pub use vtage::{Vtage, VtageConfig, VtageFilter, VtageTargets};

@@ -1,0 +1,225 @@
+//! The cacheable slice of a validating DLVP simulation.
+//!
+//! Both the `analyze` cross-validation gate and the fuzz oracle's DLVP
+//! deep check run the same simulation — a [`Core`] wrapping
+//! `Dlvp<Pap>` — and read the same outputs from it: cycle/instruction
+//! totals, the simulator's per-PC load counters, and the engine's per-PC
+//! predictor outcomes. [`DlvpSimSlice`] is that slice plus a lossless
+//! JSON payload codec, so the content-addressed result store can serve
+//! one consumer's simulation to the other: the request document
+//! ([`DlvpSimSlice::request_doc`]) hashes identically for identical
+//! `(trace, configs, budget)` no matter which tool asks.
+
+use crate::engine::{Dlvp, DlvpConfig, PcOutcome};
+use crate::pap::Pap;
+use lvp_json::{Json, ToJson};
+use lvp_trace::Trace;
+use lvp_uarch::stats::PcLoadStats;
+use lvp_uarch::{Core, CoreConfig, PapConfig};
+use std::collections::BTreeMap;
+
+/// Everything the cross-validation consumers read from one validating
+/// DLVP simulation.
+pub struct DlvpSimSlice {
+    /// Cycles the simulation ran for (host-telemetry accounting).
+    pub cycles: u64,
+    /// Instructions the simulation committed.
+    pub instructions: u64,
+    /// Simulator per-PC load counters.
+    pub per_pc: BTreeMap<u64, PcLoadStats>,
+    /// Engine per-PC predictor outcomes.
+    pub outcomes: BTreeMap<u64, PcOutcome>,
+}
+
+fn u(j: &Json, key: &str) -> Option<u64> {
+    match j.get(key) {
+        Some(Json::U64(v)) => Some(*v),
+        Some(Json::I64(v)) if *v >= 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+impl DlvpSimSlice {
+    /// Runs the validating simulation over `trace`.
+    pub fn run(trace: &Trace, core: CoreConfig, dlvp: DlvpConfig, pap: PapConfig) -> DlvpSimSlice {
+        let core = Core::new(core, Dlvp::new(dlvp, Pap::new(pap)));
+        let (stats, scheme) = core.run_with_scheme(trace);
+        DlvpSimSlice {
+            cycles: stats.cycles,
+            instructions: stats.instructions,
+            per_pc: stats.per_pc,
+            outcomes: scheme.per_pc_outcomes().clone(),
+        }
+    }
+
+    /// The canonical request document this simulation is a pure function
+    /// of: the trace fingerprint, the budget it was generated with, and
+    /// every engine knob — including the injectable bugs, so a
+    /// bug-injected run never hits a clean run's entry.
+    pub fn request_doc(
+        trace_fingerprint: u64,
+        budget: u64,
+        core: &CoreConfig,
+        dlvp: &DlvpConfig,
+        pap: &PapConfig,
+    ) -> Json {
+        Json::obj([
+            ("kind", Json::Str("dlvp_sim".to_string())),
+            ("trace", Json::Str(format!("{trace_fingerprint:016x}"))),
+            ("budget", Json::U64(budget)),
+            ("core", core.to_json()),
+            ("dlvp", dlvp.to_json()),
+            ("pap", pap.to_json()),
+        ])
+    }
+
+    /// Serializes the slice as a store payload.
+    pub fn to_payload(&self) -> Json {
+        let keyed = |pc: u64, fields: Json| {
+            let mut obj = vec![("pc".to_string(), pc.to_json())];
+            if let Json::Object(pairs) = fields {
+                obj.extend(pairs);
+            }
+            Json::Object(obj)
+        };
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("instructions", self.instructions.to_json()),
+            (
+                "per_pc",
+                Json::Array(
+                    self.per_pc
+                        .iter()
+                        .map(|(&pc, s)| keyed(pc, s.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "outcomes",
+                Json::Array(
+                    self.outcomes
+                        .iter()
+                        .map(|(&pc, o)| {
+                            keyed(
+                                pc,
+                                Json::obj([
+                                    ("attempts", o.attempts.to_json()),
+                                    ("predictions", o.predictions.to_json()),
+                                    ("addr_mispredicts", o.addr_mispredicts.to_json()),
+                                    ("stale_mispredicts", o.stale_mispredicts.to_json()),
+                                    ("lscd_suppressed", o.lscd_suppressed.to_json()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`DlvpSimSlice::to_payload`]; `None` (treated as a cache
+    /// miss) on any shape mismatch. Exact — every field is `u64` and both
+    /// maps re-enter their ordered form.
+    pub fn from_payload(j: &Json) -> Option<DlvpSimSlice> {
+        let mut per_pc = BTreeMap::new();
+        for entry in j.get("per_pc")?.as_array()? {
+            per_pc.insert(u(entry, "pc")?, PcLoadStats::from_json(entry).ok()?);
+        }
+        let mut outcomes = BTreeMap::new();
+        for entry in j.get("outcomes")?.as_array()? {
+            outcomes.insert(
+                u(entry, "pc")?,
+                PcOutcome {
+                    attempts: u(entry, "attempts")?,
+                    predictions: u(entry, "predictions")?,
+                    addr_mispredicts: u(entry, "addr_mispredicts")?,
+                    stale_mispredicts: u(entry, "stale_mispredicts")?,
+                    lscd_suppressed: u(entry, "lscd_suppressed")?,
+                },
+            );
+        }
+        Some(DlvpSimSlice {
+            cycles: u(j, "cycles")?,
+            instructions: u(j, "instructions")?,
+            per_pc,
+            outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_payload_round_trips_exactly() {
+        let mut per_pc = BTreeMap::new();
+        per_pc.insert(
+            0x1000,
+            PcLoadStats {
+                executions: 10,
+                conflict_exposed: 2,
+                ordering_violations: 1,
+                injected: 7,
+                correct: 6,
+                conflict_squashes: 1,
+            },
+        );
+        let mut outcomes = BTreeMap::new();
+        outcomes.insert(
+            0x1000,
+            PcOutcome {
+                attempts: 9,
+                predictions: 7,
+                addr_mispredicts: 1,
+                stale_mispredicts: 1,
+                lscd_suppressed: 0,
+            },
+        );
+        let slice = DlvpSimSlice {
+            cycles: 123,
+            instructions: 456,
+            per_pc,
+            outcomes,
+        };
+        let payload = slice.to_payload();
+        let back = DlvpSimSlice::from_payload(&payload).expect("parses");
+        assert_eq!(back.to_payload().pretty(), payload.pretty());
+        assert_eq!(back.cycles, 123);
+        assert_eq!(back.per_pc[&0x1000].injected, 7);
+        assert_eq!(back.outcomes[&0x1000].predictions, 7);
+    }
+
+    #[test]
+    fn from_payload_rejects_malformed_shapes() {
+        assert!(DlvpSimSlice::from_payload(&Json::Null).is_none());
+        let good = DlvpSimSlice {
+            cycles: 1,
+            instructions: 1,
+            per_pc: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+        }
+        .to_payload();
+        let mut missing = good.clone();
+        if let Json::Object(pairs) = &mut missing {
+            pairs.retain(|(k, _)| k != "outcomes");
+        }
+        assert!(DlvpSimSlice::from_payload(&missing).is_none());
+    }
+
+    #[test]
+    fn request_doc_separates_configs_and_traces() {
+        let core = CoreConfig::default();
+        let dlvp = DlvpConfig::default();
+        let pap = PapConfig::default();
+        let a = DlvpSimSlice::request_doc(1, 1000, &core, &dlvp, &pap);
+        let b = DlvpSimSlice::request_doc(2, 1000, &core, &dlvp, &pap);
+        assert_ne!(a.canonical(), b.canonical());
+        let bugged = DlvpConfig {
+            inject_lscd_bug: true,
+            ..dlvp
+        };
+        let c = DlvpSimSlice::request_doc(1, 1000, &core, &bugged, &pap);
+        assert_ne!(a.canonical(), c.canonical());
+    }
+}

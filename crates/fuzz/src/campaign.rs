@@ -6,11 +6,12 @@
 //! functions of their inputs, so a report is byte-identical no matter how
 //! many workers evaluated the seeds or in what order they finished.
 
-use crate::oracle::{check, execute, soundness, Finding, OracleConfig};
+use crate::oracle::{check_serviced, execute, soundness, Finding, OracleConfig};
 use crate::profile::SynthProfile;
 use crate::synth::{synthesize, StorePlacement, SynthProgram};
 use lvp_analysis::ProgramAnalysis;
 use lvp_json::{Json, ToJson};
+use lvp_store::SimService;
 
 /// Everything the campaign records about one seed.
 #[derive(Debug, Clone)]
@@ -94,11 +95,23 @@ pub fn program_hash(sp: &SynthProgram) -> u64 {
 /// Evaluates one seed end to end: synthesize, execute, soundness-check
 /// against the analyzer, and run the differential oracle.
 pub fn run_seed(profile: &SynthProfile, seed: u64, cfg: &OracleConfig) -> SeedOutcome {
+    run_seed_serviced(profile, seed, cfg, &SimService::disabled())
+}
+
+/// [`run_seed`] behind a [`SimService`]: the oracle's DLVP deep-check
+/// simulation consults the service, so duplicate programs across seeds
+/// simulate once. Outcomes are identical for any service state.
+pub fn run_seed_serviced(
+    profile: &SynthProfile,
+    seed: u64,
+    cfg: &OracleConfig,
+    service: &SimService,
+) -> SeedOutcome {
     let sp = synthesize(profile, seed);
     let analysis = ProgramAnalysis::analyze(&sp.program);
     let sound = soundness(&sp, &analysis, profile.mix_tolerance);
     let run = execute(&sp);
-    let findings = check(&sp, &run, cfg);
+    let findings = check_serviced(&sp, &run, cfg, service);
     SeedOutcome {
         seed,
         program_hash: program_hash(&sp),

@@ -31,7 +31,7 @@ pub mod oracle;
 pub mod profile;
 pub mod synth;
 
-pub use campaign::{campaign_report, run_seed, SeedOutcome};
+pub use campaign::{campaign_report, run_seed, run_seed_serviced, SeedOutcome};
 pub use metamorph::{identity_map, rename_registers, rotate_layout};
 pub use minimize::minimize;
 pub use oracle::{Finding, OracleConfig};

@@ -13,8 +13,9 @@
 //! result is a locally minimal spec whose synthesized program reproduces at
 //! least one finding.
 
-use crate::oracle::{check, execute, Finding, OracleConfig};
+use crate::oracle::{check_serviced, execute, Finding, OracleConfig};
 use crate::synth::{build, ProgramSpec, StorePlacement, SynthProgram};
+use lvp_store::SimService;
 
 /// Iteration floor for the halving reduction: far enough above the
 /// predictors' confidence thresholds that threshold-gated bugs still fire.
@@ -31,13 +32,17 @@ pub struct Minimized {
     pub steps: usize,
 }
 
-fn failing(spec: &ProgramSpec, cfg: &OracleConfig) -> Option<(SynthProgram, Vec<Finding>)> {
+fn failing(
+    spec: &ProgramSpec,
+    cfg: &OracleConfig,
+    service: &SimService,
+) -> Option<(SynthProgram, Vec<Finding>)> {
     if spec.sites.is_empty() {
         return None;
     }
     let sp = build(spec);
     let run = execute(&sp);
-    let findings = check(&sp, &run, cfg);
+    let findings = check_serviced(&sp, &run, cfg, service);
     if findings.is_empty() {
         None
     } else {
@@ -47,8 +52,14 @@ fn failing(spec: &ProgramSpec, cfg: &OracleConfig) -> Option<(SynthProgram, Vec<
 
 /// Greedily shrinks `spec` while it keeps failing `cfg`'s oracle. Returns
 /// `None` if the initial spec does not fail at all (nothing to minimize).
+///
+/// Every candidate's oracle run shares one in-memory [`SimService`], so a
+/// candidate re-proposed in a later fixpoint round reuses its DLVP
+/// deep-check simulation instead of re-running it.
 pub fn minimize(spec: &ProgramSpec, cfg: &OracleConfig) -> Option<Minimized> {
-    let (mut best_sp, mut best_findings) = failing(spec, cfg)?;
+    let service = SimService::in_memory();
+    let still_failing = |spec: &ProgramSpec| failing(spec, cfg, &service);
+    let (mut best_sp, mut best_findings) = still_failing(spec)?;
     let mut best = spec.clone();
     let mut steps = 0usize;
     loop {
@@ -59,7 +70,7 @@ pub fn minimize(spec: &ProgramSpec, cfg: &OracleConfig) -> Option<Minimized> {
         while i < best.sites.len() && best.sites.len() > 1 {
             let mut cand = best.clone();
             cand.sites.remove(i);
-            if let Some((sp, findings)) = failing(&cand, cfg) {
+            if let Some((sp, findings)) = still_failing(&cand) {
                 best = cand;
                 best_sp = sp;
                 best_findings = findings;
@@ -79,7 +90,7 @@ pub fn minimize(spec: &ProgramSpec, cfg: &OracleConfig) -> Option<Minimized> {
             }
             let mut cand = best.clone();
             cand.sites[i].store = StorePlacement::None;
-            if let Some((sp, findings)) = failing(&cand, cfg) {
+            if let Some((sp, findings)) = still_failing(&cand) {
                 best = cand;
                 best_sp = sp;
                 best_findings = findings;
@@ -92,7 +103,7 @@ pub fn minimize(spec: &ProgramSpec, cfg: &OracleConfig) -> Option<Minimized> {
         while best.iterations / 2 >= MIN_ITERATIONS {
             let mut cand = best.clone();
             cand.iterations /= 2;
-            if let Some((sp, findings)) = failing(&cand, cfg) {
+            if let Some((sp, findings)) = still_failing(&cand) {
                 best = cand;
                 best_sp = sp;
                 best_findings = findings;

@@ -38,7 +38,7 @@
 //!    counters (with IPC ≡ 1).
 
 use crate::synth::SynthProgram;
-use dlvp::{Dlvp, Pap, SchemeKind};
+use dlvp::{DlvpSimSlice, SchemeKind};
 use lvp_analysis::{
     cross_validate, cross_validate_dep, DepAnalysis, DepInputs, DynLoadStats, ProgramAnalysis,
     XvalConfig, XvalLoad,
@@ -46,6 +46,7 @@ use lvp_analysis::{
 use lvp_emu::{Emulator, RunOutcome, StopReason};
 use lvp_json::{Json, ToJson};
 use lvp_obs::{LifecycleReport, RingSink, RunMeta};
+use lvp_store::SimService;
 use lvp_uarch::{Core, ExecutionTier, FunctionalTier, SimConfig, SimStats};
 use std::collections::BTreeMap;
 
@@ -202,6 +203,22 @@ pub fn soundness(sp: &SynthProgram, analysis: &ProgramAnalysis, tolerance: f64) 
 
 /// Runs the full differential oracle over one synthesized program.
 pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Finding> {
+    check_serviced(sp, run, cfg, &SimService::disabled())
+}
+
+/// [`check`] behind a [`SimService`]: the DLVP deep-check simulation
+/// (steps 7-8) is looked up in — and recorded to — the service, keyed by
+/// the trace fingerprint and the full simulator configuration. The
+/// campaign and minimizer drivers share one in-memory service so repeated
+/// candidates (minimizer fixpoint rounds, duplicate seeds) simulate once;
+/// the findings are identical either way because the cached payload
+/// round-trips every counter the gate reads.
+pub fn check_serviced(
+    sp: &SynthProgram,
+    run: &RunOutcome,
+    cfg: &OracleConfig,
+    service: &SimService,
+) -> Vec<Finding> {
     let mut out = Vec::new();
     if !matches!(run.stop, StopReason::Halted) {
         out.push(Finding::new(
@@ -377,20 +394,41 @@ pub fn check(sp: &SynthProgram, run: &RunOutcome, cfg: &OracleConfig) -> Vec<Fin
     }
 
     // 7.+8. DLVP deep check: engine counters, xval gate (R1-R7), value
-    // accuracy.
+    // accuracy. The simulation goes through the result service — repeated
+    // traces (minimizer rounds, duplicate seeds) are served from cache.
     let dep = DepAnalysis::analyze(&sp.program, &analysis);
-    let core = Core::new(
-        cfg.sim.core.clone(),
-        Dlvp::new(cfg.sim.dlvp, Pap::new(cfg.sim.pap)),
-    );
-    let (dstats, dscheme) = core.run_with_scheme(trace);
-    let outcomes = dscheme.per_pc_outcomes();
+    let run_slice = || DlvpSimSlice::run(trace, cfg.sim.core.clone(), cfg.sim.dlvp, cfg.sim.pap);
+    let deep = if service.enabled() {
+        let doc = DlvpSimSlice::request_doc(
+            trace.fingerprint(),
+            sp.budget,
+            &cfg.sim.core,
+            &cfg.sim.dlvp,
+            &cfg.sim.pap,
+        );
+        let key = service.key(&doc);
+        match service
+            .lookup(&key)
+            .and_then(|p| DlvpSimSlice::from_payload(&p))
+        {
+            Some(slice) => slice,
+            None => {
+                let slice = run_slice();
+                if let Err(e) = service.record(&key, &slice.to_payload()) {
+                    eprintln!("warning: result store write failed: {e}");
+                }
+                slice
+            }
+        }
+    } else {
+        run_slice()
+    };
     let xval_loads: Vec<XvalLoad> = analysis
         .loads
         .iter()
         .map(|l| {
-            let sim = dstats.per_pc.get(&l.pc).copied().unwrap_or_default();
-            let eng = outcomes.get(&l.pc).copied().unwrap_or_default();
+            let sim = deep.per_pc.get(&l.pc).copied().unwrap_or_default();
+            let eng = deep.outcomes.get(&l.pc).copied().unwrap_or_default();
             XvalLoad {
                 pc: l.pc,
                 class: l.class,

@@ -95,6 +95,49 @@ impl Json {
         out
     }
 
+    /// Canonical serialization: compact, with object keys recursively
+    /// sorted byte-lexicographically. Two structurally equal values
+    /// produce identical bytes regardless of insertion order, so this is
+    /// the form content-addressed store keys hash over. Duplicate keys
+    /// keep their relative order (the writer never emits any). Floats use
+    /// the same shortest-roundtrip formatter as [`Json::compact`], so
+    /// `parse(canonical(v))` re-canonicalizes to the same bytes.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+                out.push('{');
+                for (i, &idx) in order.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, &pairs[idx].0);
+                    out.push(':');
+                    pairs[idx].1.write_canonical(out);
+                }
+                out.push('}');
+            }
+            _ => self.write_compact(out),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Array(items) if !items.is_empty() => {
@@ -611,6 +654,36 @@ mod tests {
         assert_eq!(build().pretty(), build().pretty());
         // Key order is insertion order, not sorted: stable diffs.
         assert!(build().pretty().find("\"b\"").unwrap() < build().pretty().find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively() {
+        let a = Json::obj([
+            ("b", 1u64.to_json()),
+            ("a", Json::obj([("z", 1.5.to_json()), ("y", Json::Null)])),
+        ]);
+        let b = Json::obj([
+            ("a", Json::obj([("y", Json::Null), ("z", 1.5.to_json())])),
+            ("b", 1u64.to_json()),
+        ]);
+        assert_ne!(a.compact(), b.compact());
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), "{\"a\":{\"y\":null,\"z\":1.5},\"b\":1}");
+        // Canonical form is a fixpoint: reparsing and re-canonicalizing
+        // reproduces the same bytes (floats are shortest-roundtrip).
+        let reparsed = Json::parse(&a.canonical()).unwrap();
+        assert_eq!(reparsed.canonical(), a.canonical());
+    }
+
+    #[test]
+    fn canonical_preserves_arrays_and_scalars() {
+        let v = Json::obj([
+            ("list", Json::Array(vec![Json::U64(2), Json::U64(1)])),
+            ("neg", (-3i64).to_json()),
+            ("f", 2.0.to_json()),
+        ]);
+        // Array element order is semantic and must NOT be sorted.
+        assert_eq!(v.canonical(), "{\"f\":2.0,\"list\":[2,1],\"neg\":-3}");
     }
 
     #[test]

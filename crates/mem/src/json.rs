@@ -7,6 +7,97 @@ use crate::prefetch::{StrideConfig, StrideStats};
 use crate::tlb::{TlbConfig, TlbStats};
 use lvp_json::{Json, ToJson};
 
+/// JSON that does not describe the stats structure it was parsed as.
+///
+/// Produced by the `from_json` constructors the content-addressed result
+/// store uses to rebuild typed counters from cached payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsParseError {
+    pub detail: String,
+}
+
+impl std::fmt::Display for StatsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed stats JSON: {}", self.detail)
+    }
+}
+
+impl std::error::Error for StatsParseError {}
+
+/// Builds a [`StatsParseError`] from a detail message.
+pub fn stats_parse_error(detail: impl Into<String>) -> StatsParseError {
+    StatsParseError {
+        detail: detail.into(),
+    }
+}
+
+/// Reads a required unsigned-integer field — the workhorse for parsing
+/// all-`u64` stats blocks back out of store payloads.
+pub fn stats_u64(j: &Json, key: &str) -> Result<u64, StatsParseError> {
+    match j.get(key) {
+        Some(&Json::U64(n)) => Ok(n),
+        Some(&Json::I64(n)) if n >= 0 => Ok(n as u64),
+        Some(other) => Err(stats_parse_error(format!(
+            "'{key}' must be an unsigned integer, got {other:?}"
+        ))),
+        None => Err(stats_parse_error(format!("missing key '{key}'"))),
+    }
+}
+
+fn stats_field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, StatsParseError> {
+    j.get(key)
+        .ok_or_else(|| stats_parse_error(format!("missing key '{key}'")))
+}
+
+impl CacheStats {
+    /// Inverse of [`ToJson::to_json`]; exact because every field is `u64`.
+    pub fn from_json(j: &Json) -> Result<CacheStats, StatsParseError> {
+        Ok(CacheStats {
+            accesses: stats_u64(j, "accesses")?,
+            hits: stats_u64(j, "hits")?,
+            misses: stats_u64(j, "misses")?,
+            probes: stats_u64(j, "probes")?,
+            probe_hits: stats_u64(j, "probe_hits")?,
+            prefetch_fills: stats_u64(j, "prefetch_fills")?,
+        })
+    }
+}
+
+impl TlbStats {
+    /// Inverse of [`ToJson::to_json`].
+    pub fn from_json(j: &Json) -> Result<TlbStats, StatsParseError> {
+        Ok(TlbStats {
+            accesses: stats_u64(j, "accesses")?,
+            misses: stats_u64(j, "misses")?,
+        })
+    }
+}
+
+impl StrideStats {
+    /// Inverse of [`ToJson::to_json`].
+    pub fn from_json(j: &Json) -> Result<StrideStats, StatsParseError> {
+        Ok(StrideStats {
+            trains: stats_u64(j, "trains")?,
+            prefetches: stats_u64(j, "prefetches")?,
+        })
+    }
+}
+
+impl HierarchyStats {
+    /// Inverse of [`ToJson::to_json`].
+    pub fn from_json(j: &Json) -> Result<HierarchyStats, StatsParseError> {
+        Ok(HierarchyStats {
+            l1i: CacheStats::from_json(stats_field(j, "l1i")?)?,
+            l1d: CacheStats::from_json(stats_field(j, "l1d")?)?,
+            l2: CacheStats::from_json(stats_field(j, "l2")?)?,
+            l3: CacheStats::from_json(stats_field(j, "l3")?)?,
+            tlb: TlbStats::from_json(stats_field(j, "tlb")?)?,
+            prefetch: StrideStats::from_json(stats_field(j, "prefetch")?)?,
+            dlvp_prefetches: stats_u64(j, "dlvp_prefetches")?,
+        })
+    }
+}
+
 impl ToJson for CacheStats {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -121,5 +212,30 @@ mod tests {
         let j = HierarchyConfig::default().to_json();
         let text = j.pretty();
         assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn stats_roundtrip_losslessly() {
+        let mut s = HierarchyStats::default();
+        s.l1d.accesses = 101;
+        s.l1d.probe_hits = 7;
+        s.l3.misses = u64::MAX - 1;
+        s.tlb.misses = 3;
+        s.prefetch.trains = 9;
+        s.dlvp_prefetches = 12;
+        let parsed = Json::parse(&s.to_json().pretty()).unwrap();
+        assert_eq!(HierarchyStats::from_json(&parsed).unwrap(), s);
+    }
+
+    #[test]
+    fn stats_parse_rejects_missing_and_mistyped_fields() {
+        let mut j = HierarchyStats::default().to_json();
+        assert!(HierarchyStats::from_json(&Json::Null).is_err());
+        if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "l2");
+        }
+        assert!(HierarchyStats::from_json(&j).is_err());
+        let bad = Json::obj([("accesses", Json::Str("ten".into()))]);
+        assert!(CacheStats::from_json(&bad).is_err());
     }
 }

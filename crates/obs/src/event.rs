@@ -114,6 +114,35 @@ impl TierKind {
     }
 }
 
+/// A result-store operation observed by a run that consults the
+/// content-addressed sim store. Host-side bookkeeping, not simulated
+/// machinery — store-disabled runs never emit these, so their artifacts
+/// keep their exact bytes (same contract as [`TierKind`] for unsampled
+/// runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// A request was answered from the store (memo or disk).
+    Hit,
+    /// A request missed and had to execute.
+    Miss,
+    /// A freshly computed result was persisted.
+    Write,
+    /// An identical in-flight request was coalesced before lookup.
+    Dedup,
+}
+
+impl StoreOp {
+    /// Stable lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreOp::Hit => "hit",
+            StoreOp::Miss => "miss",
+            StoreOp::Write => "write",
+            StoreOp::Dedup => "dedup",
+        }
+    }
+}
+
 /// One observability event. Variants cover the full DLVP load lifecycle —
 /// fetch-time prediction through verify — plus the pipeline anchors
 /// (retirement, redirects) that give every lifecycle a timeline.
@@ -228,6 +257,10 @@ pub enum ObsEvent {
         /// Tier being entered.
         tier: TierKind,
     },
+    /// A content-addressed result-store operation (only store-enabled runs
+    /// emit these). Like [`ObsEvent::Redirect`] it belongs to no dynamic
+    /// instruction; `cycle` anchors it to the run's simulated clock.
+    StoreAccess { cycle: u64, op: StoreOp },
 }
 
 impl ObsEvent {
@@ -248,6 +281,7 @@ impl ObsEvent {
             ObsEvent::Retire { .. } => "retire",
             ObsEvent::Redirect { .. } => "redirect",
             ObsEvent::TierTransition { .. } => "tier_transition",
+            ObsEvent::StoreAccess { .. } => "store_access",
         }
     }
 
@@ -267,7 +301,7 @@ impl ObsEvent {
             | ObsEvent::Verify { seq, .. }
             | ObsEvent::Retire { seq, .. }
             | ObsEvent::TierTransition { seq, .. } => Some(seq),
-            ObsEvent::Redirect { .. } => None,
+            ObsEvent::Redirect { .. } | ObsEvent::StoreAccess { .. } => None,
         }
     }
 
@@ -287,7 +321,8 @@ impl ObsEvent {
             | ObsEvent::InjectBlocked { cycle, .. }
             | ObsEvent::Verify { cycle, .. }
             | ObsEvent::Redirect { cycle, .. }
-            | ObsEvent::TierTransition { cycle, .. } => cycle,
+            | ObsEvent::TierTransition { cycle, .. }
+            | ObsEvent::StoreAccess { cycle, .. } => cycle,
             ObsEvent::Retire { fetch, .. } => fetch,
         }
     }
@@ -451,6 +486,10 @@ impl ToJson for ObsEvent {
                 put("seq", seq.to_json());
                 put("cycle", cycle.to_json());
                 put("tier", tier.name().to_json());
+            }
+            ObsEvent::StoreAccess { cycle, op } => {
+                put("cycle", cycle.to_json());
+                put("op", op.name().to_json());
             }
         }
         Json::Object(pairs)

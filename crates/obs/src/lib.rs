@@ -46,7 +46,9 @@ pub mod report;
 pub mod ring;
 
 pub use chrome::{chrome_trace, host_trace};
-pub use event::{FilterReason, InjectBlock, ObsEvent, RedirectCause, TierKind, VerifyOutcome};
+pub use event::{
+    FilterReason, InjectBlock, ObsEvent, RedirectCause, StoreOp, TierKind, VerifyOutcome,
+};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{
     mips, sim_cycles_per_sec, NullPhases, PhaseGuard, PhaseRecorder, PhaseSink, PhaseSpan,

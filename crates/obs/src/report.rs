@@ -328,17 +328,33 @@ impl LifecycleReport {
                     ObsEvent::TierTransition { .. } => {
                         metrics.add("tier_transitions", 1);
                     }
-                    ObsEvent::Redirect { .. } => unreachable!("redirect has no seq"),
+                    ObsEvent::Redirect { .. } | ObsEvent::StoreAccess { .. } => {
+                        unreachable!("seq-less event")
+                    }
                 }
-            } else if let ObsEvent::Redirect { cause, .. } = *event {
-                metrics.add(
-                    match cause {
-                        RedirectCause::Branch => "redirect_branch",
-                        RedirectCause::OrderingViolation => "redirect_ordering",
-                        RedirectCause::ValueMisprediction => "redirect_value",
-                    },
-                    1,
-                );
+            } else {
+                // Seq-less events: counters are created lazily, so runs that
+                // never emit them keep their exact report bytes.
+                match *event {
+                    ObsEvent::Redirect { cause, .. } => metrics.add(
+                        match cause {
+                            RedirectCause::Branch => "redirect_branch",
+                            RedirectCause::OrderingViolation => "redirect_ordering",
+                            RedirectCause::ValueMisprediction => "redirect_value",
+                        },
+                        1,
+                    ),
+                    ObsEvent::StoreAccess { op, .. } => metrics.add(
+                        match op {
+                            crate::event::StoreOp::Hit => "store_hits",
+                            crate::event::StoreOp::Miss => "store_misses",
+                            crate::event::StoreOp::Write => "store_writes",
+                            crate::event::StoreOp::Dedup => "store_deduped",
+                        },
+                        1,
+                    ),
+                    _ => {}
+                }
             }
         }
 
@@ -629,5 +645,31 @@ mod tests {
         assert_eq!(r.metrics().counter("paq_enqueues"), 1);
         assert_eq!(r.metrics().counter("unattributed_events"), 1);
         assert_eq!(r.overwritten(), 10);
+    }
+
+    #[test]
+    fn store_access_metrics_are_created_lazily() {
+        use crate::event::StoreOp;
+
+        // Store-disabled runs emit no StoreAccess events, so their report
+        // must not even mention the store counters — exact bytes preserved.
+        let without = LifecycleReport::build(meta(), &sample_events(), 0).to_json();
+        assert!(!without.pretty().contains("store_"));
+
+        let mut ev = sample_events();
+        for op in [StoreOp::Miss, StoreOp::Write, StoreOp::Hit, StoreOp::Dedup] {
+            ev.push(ObsEvent::StoreAccess { cycle: 50, op });
+        }
+        ev.push(ObsEvent::StoreAccess {
+            cycle: 51,
+            op: StoreOp::Hit,
+        });
+        let r = LifecycleReport::build(meta(), &ev, 0);
+        assert_eq!(r.metrics().counter("store_hits"), 2);
+        assert_eq!(r.metrics().counter("store_misses"), 1);
+        assert_eq!(r.metrics().counter("store_writes"), 1);
+        assert_eq!(r.metrics().counter("store_deduped"), 1);
+        // Lifecycle joins are untouched by the seq-less store events.
+        assert_eq!(r.per_pc()[&0x4000].injected, 1);
     }
 }

@@ -1,0 +1,30 @@
+//! # lvp-store — content-addressed result store for pure sim requests
+//!
+//! Every simulation in this workspace is a pure function of its request
+//! document (trace fingerprint, scheme, resolved `SimConfig`, budget) and
+//! every result round-trips losslessly through lvp-json. This crate
+//! exploits that purity with three layers (DESIGN.md §14):
+//!
+//! * [`key`] — canonical request hashing: FNV-1a-128 over the
+//!   canonicalized (sorted-key, shortest-roundtrip-float) request JSON,
+//!   stamped with [`key::KEY_SCHEMA_VERSION`] so payload-layout changes
+//!   invalidate en masse.
+//! * [`cas`] — the sharded on-disk store (`store/ab/cdef…`) with atomic
+//!   tmp+rename writes, read-time integrity checks, and `gc`/`stats`/
+//!   `verify` maintenance exposed by the `store` CLI.
+//! * [`service`] — [`SimService`], the memoizing layer consumers
+//!   (`figs`, `runner`, `analyze`, `bench`, the fuzz oracle, `serve`)
+//!   place between their request data model and the worker pool.
+//!
+//! The crate depends only on lvp-json, so both lvp-fuzz and lvp-bench can
+//! layer on top of it.
+
+pub mod cas;
+pub mod key;
+pub mod service;
+
+pub use cas::{GcReport, Store, StoreError, StoreStats, VerifyReport, STORE_VERSION};
+pub use key::{
+    fnv1a_128, fnv1a_64, payload_check, request_key, request_key_versioned, KEY_SCHEMA_VERSION,
+};
+pub use service::{SimService, StoreCounters};

@@ -134,6 +134,47 @@ impl Trace {
     pub fn branch_count(&self) -> usize {
         self.records.iter().filter(|r| r.inst.is_branch()).count()
     }
+
+    /// FNV-1a hash over every record's architectural content (pc, encoded
+    /// instruction, next pc, effective address, all values).
+    ///
+    /// This is the workload component of a content-addressed store key: a
+    /// workload-generator edit that changes what a trace contains changes
+    /// the fingerprint, so stale cached results become unreachable without
+    /// any manual invalidation.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        let mut words = Vec::new();
+        for r in &self.records {
+            mix(r.pc);
+            words.clear();
+            lvp_isa::encode(r.inst, &mut words);
+            mix(words.len() as u64);
+            for &w in &words {
+                mix(u64::from(w));
+            }
+            mix(r.next_pc);
+            mix(r.eff_addr);
+            mix(r.value);
+            match &r.extra_values {
+                Some(extra) => {
+                    mix(extra.len() as u64);
+                    for &v in extra.iter() {
+                        mix(v);
+                    }
+                }
+                None => mix(0),
+            }
+        }
+        h
+    }
 }
 
 impl FromIterator<TraceRecord> for Trace {
@@ -220,6 +261,28 @@ mod tests {
         let mut r = load(0, 0, 0);
         r.seq = 5;
         let _ = Trace::from_records(vec![r]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let base = || -> Trace {
+            vec![load(0x100, 0x8000, 1), store(0x104, 0x8000, 2)]
+                .into_iter()
+                .collect()
+        };
+        assert_eq!(base().fingerprint(), base().fingerprint());
+        // Any architectural change perturbs the fingerprint.
+        let mut changed = base();
+        changed.push(load(0x108, 0x8010, 3));
+        assert_ne!(base().fingerprint(), changed.fingerprint());
+        let different_value: Trace = vec![load(0x100, 0x8000, 9), store(0x104, 0x8000, 2)]
+            .into_iter()
+            .collect();
+        assert_ne!(base().fingerprint(), different_value.fingerprint());
+        // extra_values participate (None vs empty-adjacent cases).
+        let mut with_extra = base();
+        with_extra.records[0].extra_values = Some(vec![5].into_boxed_slice());
+        assert_ne!(base().fingerprint(), with_extra.fingerprint());
     }
 
     #[test]

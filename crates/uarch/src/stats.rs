@@ -1,7 +1,7 @@
 //! Simulation statistics and energy-relevant event counters.
 
 use lvp_json::{Json, ToJson};
-use lvp_mem::HierarchyStats;
+use lvp_mem::{stats_parse_error, stats_u64, HierarchyStats, StatsParseError};
 use std::collections::BTreeMap;
 
 /// Dynamic counters for one static load PC, kept in [`SimStats::per_pc`].
@@ -36,6 +36,20 @@ impl PcLoadStats {
         self.injected += other.injected;
         self.correct += other.correct;
         self.conflict_squashes += other.conflict_squashes;
+    }
+}
+
+impl PcLoadStats {
+    /// Inverse of [`ToJson::to_json`]; exact because every field is `u64`.
+    pub fn from_json(j: &Json) -> Result<PcLoadStats, StatsParseError> {
+        Ok(PcLoadStats {
+            executions: stats_u64(j, "executions")?,
+            conflict_exposed: stats_u64(j, "conflict_exposed")?,
+            ordering_violations: stats_u64(j, "ordering_violations")?,
+            injected: stats_u64(j, "injected")?,
+            correct: stats_u64(j, "correct")?,
+            conflict_squashes: stats_u64(j, "conflict_squashes")?,
+        })
     }
 }
 
@@ -121,6 +135,17 @@ pub struct SamplingStats {
     /// Instructions executed functionally and skipped by the timing model
     /// (initial fast-forward plus inter-window gaps).
     pub skipped_instructions: u64,
+}
+
+impl SamplingStats {
+    /// Inverse of [`ToJson::to_json`].
+    pub fn from_json(j: &Json) -> Result<SamplingStats, StatsParseError> {
+        Ok(SamplingStats {
+            windows: stats_u64(j, "windows")?,
+            warmup_instructions: stats_u64(j, "warmup_instructions")?,
+            skipped_instructions: stats_u64(j, "skipped_instructions")?,
+        })
+    }
 }
 
 impl ToJson for SamplingStats {
@@ -363,6 +388,58 @@ impl ToJson for SimStats {
     }
 }
 
+impl SimStats {
+    /// Inverse of [`ToJson::to_json`]: rebuilds typed counters from a
+    /// cached store payload. Exact — every counter is `u64`, `per_pc`
+    /// re-enters its ordered map, and the conditional `sampling` key maps
+    /// back to `None` when absent — so a parse/serialize cycle reproduces
+    /// the original bytes.
+    pub fn from_json(j: &Json) -> Result<SimStats, StatsParseError> {
+        let mem = j
+            .get("mem")
+            .ok_or_else(|| stats_parse_error("missing key 'mem'"))?;
+        let mut per_pc = BTreeMap::new();
+        let pcs = j
+            .get("per_pc")
+            .and_then(Json::as_array)
+            .ok_or_else(|| stats_parse_error("'per_pc' must be an array"))?;
+        for entry in pcs {
+            per_pc.insert(stats_u64(entry, "pc")?, PcLoadStats::from_json(entry)?);
+        }
+        let sampling = match j.get("sampling") {
+            Some(s) => Some(SamplingStats::from_json(s)?),
+            None => None,
+        };
+        Ok(SimStats {
+            cycles: stats_u64(j, "cycles")?,
+            instructions: stats_u64(j, "instructions")?,
+            loads: stats_u64(j, "loads")?,
+            stores: stats_u64(j, "stores")?,
+            branches: stats_u64(j, "branches")?,
+            branch_mispredicts: stats_u64(j, "branch_mispredicts")?,
+            indirect_mispredicts: stats_u64(j, "indirect_mispredicts")?,
+            return_mispredicts: stats_u64(j, "return_mispredicts")?,
+            ordering_violations: stats_u64(j, "ordering_violations")?,
+            mdp_delays: stats_u64(j, "mdp_delays")?,
+            misp_resolve_sum: stats_u64(j, "misp_resolve_sum")?,
+            vp_predicted: stats_u64(j, "vp_predicted")?,
+            vp_predicted_loads: stats_u64(j, "vp_predicted_loads")?,
+            vp_correct: stats_u64(j, "vp_correct")?,
+            vp_flushes: stats_u64(j, "vp_flushes")?,
+            vp_replays: stats_u64(j, "vp_replays")?,
+            vp_pvt_full: stats_u64(j, "vp_pvt_full")?,
+            vp_late: stats_u64(j, "vp_late")?,
+            prf_reads: stats_u64(j, "prf_reads")?,
+            prf_writes: stats_u64(j, "prf_writes")?,
+            pvt_reads: stats_u64(j, "pvt_reads")?,
+            pvt_writes: stats_u64(j, "pvt_writes")?,
+            mem: HierarchyStats::from_json(mem)?,
+            per_pc,
+            sampling,
+        })
+    }
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -489,6 +566,53 @@ mod tests {
             Some(2.0)
         );
         assert_eq!(arr[1].get("pc").and_then(Json::as_f64), Some(0x2000 as f64));
+    }
+
+    #[test]
+    fn stats_roundtrip_through_json_exactly() {
+        let mut s = SimStats {
+            cycles: 12345,
+            instructions: 6789,
+            loads: 55,
+            vp_predicted: 12,
+            vp_correct: 9,
+            misp_resolve_sum: u64::MAX - 7,
+            ..SimStats::default()
+        };
+        s.mem.l1d.accesses = 1000;
+        s.per_pc.insert(
+            0x1000,
+            PcLoadStats {
+                executions: 3,
+                conflict_squashes: 1,
+                ..PcLoadStats::default()
+            },
+        );
+        // Unsampled: the sampling key must stay absent after a round trip.
+        let text = s.to_json().pretty();
+        let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json().pretty(), text);
+        // Sampled: the conditional key round-trips too.
+        s.sampling = Some(SamplingStats {
+            windows: 4,
+            warmup_instructions: 2000,
+            skipped_instructions: 50_000,
+        });
+        let text = s.to_json().pretty();
+        let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_stats() {
+        assert!(SimStats::from_json(&Json::Null).is_err());
+        let mut j = SimStats::default().to_json();
+        if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "per_pc");
+        }
+        assert!(SimStats::from_json(&j).is_err());
     }
 
     #[test]
